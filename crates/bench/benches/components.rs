@@ -1,0 +1,179 @@
+//! Criterion micro-benchmarks of the computational building blocks.
+//!
+//! The paper's speed argument hinges on a cost hierarchy: predictive-model
+//! evaluation (nanoseconds) ≪ GP surrogate update (milliseconds) ≪ network
+//! training (simulated hours). These benches pin the left side of that
+//! hierarchy on real hardware.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperpower::model::{FeatureMap, LinearHwModel};
+use hyperpower::{Config, SearchSpace};
+use hyperpower_gp::acquisition::expected_improvement;
+use hyperpower_gp::{fit_gp_hyperparams, FitOptions, GpRegressor, Matern52};
+use hyperpower_gpu_sim::{analyze, DeviceProfile};
+use hyperpower_linalg::{Cholesky, Matrix};
+use hyperpower_nn::sim::{DatasetProfile, TrainingSimulator};
+use hyperpower_nn::{ArchSpec, LayerSpec, Network, Tensor, TrainingHyper};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn spd(n: usize) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(7);
+    let b = Matrix::from_fn(n, n, |_, _| rng.random_range(-1.0..1.0));
+    let mut a = b.matmul(&b.transpose()).expect("square");
+    a.add_diagonal(n as f64);
+    a
+}
+
+fn gp_training_data(n: usize) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Matrix::from_fn(n, 13, |_, _| rng.random_range(0.0..1.0));
+    let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+    (x, y)
+}
+
+fn cifar_arch() -> ArchSpec {
+    ArchSpec::new(
+        (3, 32, 32),
+        10,
+        vec![
+            LayerSpec::conv(48, 5),
+            LayerSpec::pool(2),
+            LayerSpec::conv(48, 3),
+            LayerSpec::pool(2),
+            LayerSpec::dense(400),
+        ],
+    )
+    .expect("valid arch")
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let a = spd(50);
+    c.bench_function("linalg/cholesky_50", |b| {
+        b.iter(|| Cholesky::factor(black_box(&a)).expect("SPD"))
+    });
+    let chol = Cholesky::factor(&a).expect("SPD");
+    let rhs: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+    c.bench_function("linalg/solve_50", |b| {
+        b.iter(|| chol.solve(black_box(&rhs)).expect("sized"))
+    });
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let (x, y) = gp_training_data(30);
+    c.bench_function("gp/fit_fixed_hyperparams_30x13", |b| {
+        b.iter(|| {
+            GpRegressor::fit(
+                Matern52::new(0.5).into_kernel(),
+                1.0,
+                1e-4,
+                black_box(&x),
+                black_box(&y),
+            )
+            .expect("fits")
+        })
+    });
+    c.bench_function("gp/fit_marginal_likelihood_30x13", |b| {
+        b.iter(|| {
+            fit_gp_hyperparams(
+                Matern52::new(0.5).into_kernel(),
+                black_box(&x),
+                black_box(&y),
+                FitOptions {
+                    restarts: 2,
+                    max_evals_per_restart: 80,
+                    min_noise_variance: 1e-6,
+                },
+            )
+            .expect("fits")
+        })
+    });
+    let gp = GpRegressor::fit(Matern52::new(0.5).into_kernel(), 1.0, 1e-4, &x, &y).expect("fits");
+    let q = vec![0.5; 13];
+    c.bench_function("gp/predict_30x13", |b| b.iter(|| gp.predict(black_box(&q))));
+    c.bench_function("gp/expected_improvement", |b| {
+        b.iter(|| expected_improvement(black_box(0.3), black_box(0.1), black_box(0.25)))
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let z: Vec<Vec<f64>> = (0..100)
+        .map(|_| (0..10).map(|_| rng.random_range(1.0..80.0)).collect())
+        .collect();
+    let y: Vec<f64> = z.iter().map(|r| 40.0 + r.iter().sum::<f64>()).collect();
+    c.bench_function("model/fit_kfold_100x10", |b| {
+        b.iter(|| {
+            LinearHwModel::fit_kfold(black_box(&z), black_box(&y), 10, FeatureMap::Linear)
+                .expect("fits")
+        })
+    });
+    let model = LinearHwModel::fit_kfold(&z, &y, 10, FeatureMap::Linear).expect("fits");
+    let q = vec![40.0; 10];
+    // The paper's headline: this is the "a-priori constraint evaluation".
+    c.bench_function("model/predict_power", |b| {
+        b.iter(|| model.predict(black_box(&q)))
+    });
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let spec = ArchSpec::new(
+        (1, 28, 28),
+        10,
+        vec![
+            LayerSpec::conv(8, 3),
+            LayerSpec::pool(2),
+            LayerSpec::dense(32),
+        ],
+    )
+    .expect("valid arch");
+    let mut net = Network::from_spec(&spec, 1).expect("builds");
+    let input = Tensor::zeros(4, 1, 28, 28);
+    c.bench_function("nn/forward_small_cnn_batch4", |b| {
+        b.iter(|| net.forward(black_box(&input)))
+    });
+    let images = vec![0.1f32; 4 * 784];
+    let labels = [0usize, 1, 2, 3];
+    let hyper = TrainingHyper::new(0.01, 0.9, 1e-4).expect("valid");
+    c.bench_function("nn/train_batch_small_cnn_batch4", |b| {
+        b.iter(|| net.train_batch(black_box(&images), black_box(&labels), &hyper))
+    });
+
+    let sim = TrainingSimulator::new(DatasetProfile::cifar10());
+    let arch = cifar_arch();
+    c.bench_function("nn/simulate_full_training", |b| {
+        b.iter(|| sim.simulate(black_box(&arch), &hyper, 3))
+    });
+}
+
+fn bench_gpu_sim(c: &mut Criterion) {
+    let arch = cifar_arch();
+    let gtx = DeviceProfile::gtx_1070();
+    c.bench_function("gpu_sim/analyze_cifar_arch", |b| {
+        b.iter(|| analyze(black_box(&gtx), black_box(&arch)))
+    });
+}
+
+fn bench_space(c: &mut Criterion) {
+    let space = SearchSpace::cifar10();
+    let config = Config::new(vec![0.5; 13]).expect("in range");
+    c.bench_function("space/decode_cifar13", |b| {
+        b.iter(|| space.decode(black_box(&config)).expect("valid"))
+    });
+    c.bench_function("space/structural_values_cifar13", |b| {
+        b.iter(|| space.structural_values(black_box(&config)).expect("valid"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_linalg,
+    bench_gp,
+    bench_models,
+    bench_nn,
+    bench_gpu_sim,
+    bench_space
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benchmarks of whole pipeline stages: offline profiling +
+//! model fitting, one BO proposal step, and a complete (short) optimization
+//! run. These bound the real-CPU cost of regenerating the paper's tables.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperpower::model::FeatureMap;
+use hyperpower::profiler::{fit_models, Profiler};
+use hyperpower::{Budget, Method, Mode, Scenario, Session};
+use hyperpower_gpu_sim::{Gpu, TrainingCostModel, VirtualClock};
+
+fn bench_profiling(c: &mut Criterion) {
+    let scenario = Scenario::mnist_gtx1070();
+    c.bench_function("pipeline/profile_50_and_fit", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(scenario.device.clone(), 9);
+            let mut clock = VirtualClock::new();
+            let data = Profiler::new(50)
+                .profile(
+                    black_box(&scenario.space),
+                    &mut gpu,
+                    &mut clock,
+                    &TrainingCostModel::default(),
+                    13,
+                )
+                .expect("profiles");
+            fit_models(&data, 10, FeatureMap::Linear).expect("fits")
+        })
+    });
+}
+
+fn bench_session(c: &mut Criterion) {
+    c.bench_function("pipeline/session_setup_mnist_gtx", |b| {
+        b.iter(|| Session::new(black_box(Scenario::mnist_gtx1070()), 3).expect("sets up"))
+    });
+
+    let mut session = Session::new(Scenario::mnist_gtx1070(), 4).expect("sets up");
+    c.bench_function("pipeline/run_rand_hyperpower_10_evals", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            session
+                .run_seeded(
+                    Method::Rand,
+                    Mode::HyperPower,
+                    Budget::Evaluations(10),
+                    seed,
+                )
+                .expect("runs")
+        })
+    });
+    c.bench_function("pipeline/run_hw_ieci_hyperpower_10_evals", |b| {
+        let mut seed = 1000;
+        b.iter(|| {
+            seed += 1;
+            session
+                .run_seeded(
+                    Method::HwIeci,
+                    Mode::HyperPower,
+                    Budget::Evaluations(10),
+                    seed,
+                )
+                .expect("runs")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_profiling, bench_session
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablation: alternative acquisition functions under HW-IECI-style
+//! constraint indicators.
+//!
+//! The paper commits to Expected Improvement and "leaves the systematic
+//! exploration of other acquisition functions for future work" (§3.4).
+//! This extension runs that exploration: EI vs Probability of Improvement
+//! vs negated Lower Confidence Bound (β = 2), each multiplied by the same
+//! hard constraint indicators, on CIFAR-10/GTX 1070 with 50 function
+//! evaluations × 5 runs.
+
+use hyperpower::methods::{
+    BaseAcquisition, BoSearcher, ConstraintWeighting, Searcher, ThompsonSearcher,
+};
+use hyperpower::{Budget, Method, Scenario, Session, Trace};
+use hyperpower_linalg::stats;
+
+fn summarise(traces: &[Trace], chance: f64) -> (f64, f64, f64) {
+    let best: Vec<f64> = traces
+        .iter()
+        .map(|t| t.best_feasible().map(|b| b.error).unwrap_or(chance))
+        .collect();
+    (
+        stats::mean(&best).unwrap_or(f64::NAN),
+        stats::std_dev(&best).unwrap_or(0.0),
+        traces
+            .iter()
+            .map(|t| t.measured_violations() as f64)
+            .sum::<f64>()
+            / traces.len() as f64,
+    )
+}
+
+fn main() {
+    let scenario = Scenario::cifar10_gtx1070();
+    let chance = scenario.dataset.chance_error;
+    println!(
+        "ABLATION: acquisition functions under hard constraint indicators\n\
+         ({}, 50 evaluations, 5 runs each).\n",
+        scenario.name
+    );
+    let mut session = Session::new(scenario, 19).expect("session setup");
+
+    let variants: [(&str, Option<BaseAcquisition>); 4] = [
+        ("EI (paper)", Some(BaseAcquisition::ExpectedImprovement)),
+        ("PI", Some(BaseAcquisition::ProbabilityOfImprovement)),
+        (
+            "LCB (beta=2)",
+            Some(BaseAcquisition::LowerConfidenceBound { beta: 2.0 }),
+        ),
+        ("Thompson", None),
+    ];
+
+    println!(
+        "{:<14} {:>18} {:>24}",
+        "acquisition", "best error (std)", "measured violations/run"
+    );
+    for (label, base) in variants {
+        let mut traces = Vec::new();
+        for run in 0..5u64 {
+            let searcher: Box<dyn Searcher> = match base {
+                Some(base) => Box::new(
+                    BoSearcher::new(
+                        ConstraintWeighting::Indicator,
+                        Some(session.oracle().clone()),
+                    )
+                    .with_base_acquisition(base),
+                ),
+                None => Box::new(ThompsonSearcher::new(Some(session.oracle().clone()))),
+            };
+            traces.push(
+                session
+                    .run_with_searcher(searcher, Method::HwIeci, Budget::Evaluations(50), 300 + run)
+                    .expect("run succeeds"),
+            );
+        }
+        let (mean, std, violations) = summarise(&traces, chance);
+        println!(
+            "{:<14} {:>10.2}% ({:.2}%) {:>24.1}",
+            label,
+            mean * 100.0,
+            std * 100.0,
+            violations
+        );
+    }
+    println!(
+        "\nExpected shape: all four land in the same error regime (the constraint\n\
+         indicator does the heavy lifting); EI is the safe default, PI greedier,\n\
+         LCB more exploratory. All selected samples are predicted-feasible\n\
+         (zero a-priori violations, as Fig. 4 center shows); the *measured*\n\
+         violations reported here arise because the constrained optimum sits\n\
+         on the budget boundary, where the ~6% model RMSPE cuts both ways."
+    );
+}

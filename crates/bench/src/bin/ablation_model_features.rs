@@ -1,0 +1,43 @@
+//! Ablation: linear vs quadratic predictive-model features.
+//!
+//! The paper (§3.3) deliberately uses models *linear* in the structural
+//! hyper-parameters and defers non-linear formulations to its follow-up
+//! work (NeuralPower \[10\]). This extension quantifies what the quadratic
+//! feature map buys on each device–dataset pair, at the same `L = 100`
+//! profiling budget.
+
+use hyperpower::model::FeatureMap;
+use hyperpower::profiler::{fit_models, Profiler};
+use hyperpower::Scenario;
+use hyperpower_gpu_sim::{Gpu, TrainingCostModel, VirtualClock};
+
+fn main() {
+    println!("ABLATION: predictive-model feature maps (10-fold CV RMSPE, L = 100).\n");
+    println!(
+        "{:<22} {:>14} {:>14} {:>16} {:>16}",
+        "Pair", "Power lin", "Power quad", "Memory lin", "Memory quad"
+    );
+    for scenario in Scenario::all_pairs() {
+        let mut gpu = Gpu::new(scenario.device.clone(), 5);
+        let mut clock = VirtualClock::new();
+        let cost = TrainingCostModel::default();
+        let data = Profiler::new(scenario.profiling_samples)
+            .profile(&scenario.space, &mut gpu, &mut clock, &cost, 55)
+            .expect("profiling succeeds");
+        let linear = fit_models(&data, 10, FeatureMap::Linear).expect("linear fit");
+        let quad = fit_models(&data, 10, FeatureMap::Quadratic).expect("quadratic fit");
+        let fmt = |v: Option<f64>| {
+            v.map(|r| format!("{:.2}%", r * 100.0))
+                .unwrap_or_else(|| "--".into())
+        };
+        println!(
+            "{:<22} {:>14} {:>14} {:>16} {:>16}",
+            scenario.name,
+            fmt(Some(linear.power.cv_rmspe())),
+            fmt(Some(quad.power.cv_rmspe())),
+            fmt(linear.memory.as_ref().map(|m| m.cv_rmspe())),
+            fmt(quad.memory.as_ref().map(|m| m.cv_rmspe())),
+        );
+    }
+    println!("\nExpected shape: quadratic features shave some residual, but the linear models are already in the usable (<10%) range — supporting the paper's choice of the cheapest formulation.");
+}

@@ -1,0 +1,72 @@
+//! Ablation: Random-Walk step-size (σ₀) sensitivity.
+//!
+//! The paper singles this out (§5): Rand-Walk's performance "is highly
+//! sensitive to the selection of the proper σ₀ value, which defeats the
+//! purpose of automated hyper-parameter optimization altogether" — its
+//! default Rand-Walk runs failed outright on both CIFAR-10 pairs. This
+//! extension sweeps σ₀ over two orders of magnitude on CIFAR-10/GTX 1070
+//! (HyperPower mode, 5 h virtual budget, 3 runs each) and shows the
+//! sweet-spot behaviour that makes the method fragile.
+
+use hyperpower::methods::RandomWalk;
+use hyperpower::{Budget, Method, Scenario, Session, Trace};
+use hyperpower_linalg::stats;
+
+fn summarise(traces: &[Trace], chance: f64) -> (f64, f64, f64) {
+    let best: Vec<f64> = traces
+        .iter()
+        .map(|t| t.best_feasible().map(|b| b.error).unwrap_or(chance))
+        .collect();
+    let found = traces
+        .iter()
+        .filter(|t| t.best_feasible().is_some())
+        .count();
+    (
+        stats::mean(&best).unwrap_or(f64::NAN),
+        stats::std_dev(&best).unwrap_or(0.0),
+        found as f64 / traces.len() as f64,
+    )
+}
+
+fn main() {
+    let scenario = Scenario::cifar10_gtx1070();
+    let hours = scenario.time_budget_hours;
+    let chance = scenario.dataset.chance_error;
+    println!(
+        "ABLATION: Rand-Walk step size sigma0 ({}, {} h budget, 3 runs per value).\n",
+        scenario.name, hours
+    );
+    let mut session = Session::new(scenario, 29).expect("session setup");
+
+    println!(
+        "{:>8} {:>18} {:>22}",
+        "sigma0", "best error (std)", "runs finding feasible"
+    );
+    for sigma in [0.01, 0.03, 0.06, 0.12, 0.25, 0.5, 1.0] {
+        let mut traces = Vec::new();
+        for run in 0..3u64 {
+            traces.push(
+                session
+                    .run_with_searcher(
+                        Box::new(RandomWalk::new(sigma)),
+                        Method::RandWalk,
+                        Budget::VirtualHours(hours),
+                        600 + run,
+                    )
+                    .expect("run succeeds"),
+            );
+        }
+        let (mean, std, found) = summarise(&traces, chance);
+        println!(
+            "{sigma:>8.2} {:>10.2}% ({:.2}%) {:>21.0}%",
+            mean * 100.0,
+            std * 100.0,
+            found * 100.0
+        );
+    }
+    println!(
+        "\nExpected shape: tiny steps get stuck near the first incumbent, huge steps\n\
+         degenerate into (slower) random search; only a narrow middle band performs —\n\
+         the sensitivity the paper blames for Rand-Walk's failed default runs."
+    );
+}

@@ -1,0 +1,74 @@
+//! Calibration diagnostic: the joint distribution of power, memory and
+//! achievable error over each scenario's search space.
+//!
+//! Not a paper artifact — this is the tool used to verify that the
+//! simulated platforms make the paper's budgets genuinely selective and
+//! that low-error designs exist inside each feasible region (the
+//! preconditions for every experiment harness).
+
+use hyperpower::{Config, Scenario};
+use hyperpower_gpu_sim::analyze;
+use hyperpower_nn::sim::TrainingSimulator;
+use hyperpower_nn::TrainingHyper;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 2000;
+    for scenario in Scenario::all_pairs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sim = TrainingSimulator::new(scenario.dataset.clone());
+        let good_hyper = TrainingHyper::new(0.012, 0.9, 1e-3).expect("valid");
+        let mut powers = Vec::new();
+        let mut mems = Vec::new();
+        let mut feasible = 0usize;
+        let mut best_feasible_err = f64::INFINITY;
+        let mut best_overall_err = f64::INFINITY;
+        let mut errs_feasible = Vec::new();
+        for _ in 0..n {
+            let c = Config::random(&mut rng, scenario.space.dim());
+            let d = scenario.space.decode(&c).expect("valid space");
+            let r = analyze(&scenario.device, &d.arch);
+            powers.push(r.power_w);
+            mems.push(r.memory_bytes as f64 / (1024f64 * 1024.0 * 1024.0));
+            // Error floor with *good* training hyper-parameters: what a
+            // competent optimizer could get from this architecture.
+            let err = sim.asymptotic_error(&d.arch, &good_hyper);
+            best_overall_err = best_overall_err.min(err);
+            let ok = scenario
+                .budgets
+                .satisfied_by(r.power_w, Some(r.memory_bytes));
+            if ok {
+                feasible += 1;
+                errs_feasible.push(err);
+                best_feasible_err = best_feasible_err.min(err);
+            }
+        }
+        powers.sort_by(f64::total_cmp);
+        mems.sort_by(f64::total_cmp);
+        let q = |v: &Vec<f64>, p: f64| v[((v.len() - 1) as f64 * p) as usize];
+        println!("== {} ==", scenario.name);
+        println!(
+            "  power W:  min {:.1}  p25 {:.1}  p50 {:.1}  p75 {:.1}  max {:.1}  (budget {:?})",
+            q(&powers, 0.0),
+            q(&powers, 0.25),
+            q(&powers, 0.5),
+            q(&powers, 0.75),
+            q(&powers, 1.0),
+            scenario.budgets.power_w
+        );
+        println!(
+            "  mem GiB:  min {:.3}  p50 {:.3}  max {:.3}  (budget {:?})",
+            q(&mems, 0.0),
+            q(&mems, 0.5),
+            q(&mems, 1.0),
+            scenario.budgets.memory_gib
+        );
+        println!(
+            "  feasible: {:.1}%   best-arch error: feasible {:.4} / overall {:.4}",
+            100.0 * feasible as f64 / n as f64,
+            best_feasible_err,
+            best_overall_err
+        );
+    }
+}

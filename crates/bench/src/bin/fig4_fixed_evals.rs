@@ -1,0 +1,217 @@
+//! Figure 4: the four methods under a fixed number of function
+//! evaluations (CIFAR-10, GTX 1070, 90 W budget, 50 iterations, 5 runs).
+//!
+//! * **Left** — best observed feasible test error vs function evaluations
+//!   (mean over runs),
+//! * **Center** — cumulative constraint-violating samples vs function
+//!   evaluations (HW-IECI never selects violating candidates),
+//! * **Right** — test error of every individual evaluation (BO methods
+//!   concentrate in high-performance regions; random methods scatter).
+
+use hyperpower::{
+    Budget, ConstraintOracle, Method, Mode, SampleKind, Scenario, SearchSpace, Session, Trace,
+};
+use hyperpower_bench::plot::{csv, scatter, Series};
+
+const RUNS: usize = 5;
+
+fn mean_best_curve(traces: &[Trace], evals_budget: usize) -> Vec<(f64, f64)> {
+    // Mean over runs of the best-so-far error at each evaluation index.
+    let mut out = Vec::new();
+    for eval in 1..=evals_budget {
+        let mut values = Vec::new();
+        for t in traces {
+            let curve = t.best_error_by_evaluation();
+            // Best error at or before `eval`, if the run has one.
+            if let Some((_, e)) = curve.iter().rev().find(|(i, _)| *i <= eval) {
+                values.push(*e);
+            }
+        }
+        if !values.is_empty() {
+            out.push((
+                eval as f64,
+                values.iter().sum::<f64>() / values.len() as f64 * 100.0,
+            ));
+        }
+    }
+    out
+}
+
+fn violation_curve(
+    traces: &[Trace],
+    space: &SearchSpace,
+    oracle: &ConstraintOracle,
+    evals_budget: usize,
+) -> Vec<(f64, f64)> {
+    // Mean cumulative count of *selected* constraint-violating samples —
+    // the paper's metric: configurations the method chose even though they
+    // violate the (a-priori-known) constraints. Model-rejected candidates
+    // count for the random methods; for BO methods, evaluated samples
+    // whose predicted power/memory violate the budgets count.
+    let mut out = Vec::new();
+    for eval in 1..=evals_budget {
+        let mut total = 0.0;
+        for t in traces {
+            let mut evals_seen = 0;
+            let mut violations = 0;
+            for s in &t.samples {
+                match s.kind {
+                    SampleKind::Rejected => violations += 1,
+                    _ => {
+                        evals_seen += 1;
+                        let z = space
+                            .structural_values(&s.config)
+                            .expect("config from this space");
+                        if !oracle.predicted_feasible(&z) {
+                            violations += 1;
+                        }
+                    }
+                }
+                if evals_seen >= eval {
+                    break;
+                }
+            }
+            total += violations as f64;
+        }
+        out.push((eval as f64, total / traces.len() as f64));
+    }
+    out
+}
+
+fn per_eval_points(traces: &[Trace]) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for t in traces {
+        let mut eval = 0;
+        for s in &t.samples {
+            if s.kind == SampleKind::Rejected {
+                continue;
+            }
+            eval += 1;
+            if let Some(e) = s.error {
+                out.push((eval as f64, e * 100.0));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    // `--pair mnist` runs the paper's MNIST setting (30 iterations);
+    // the default is CIFAR-10 (50 iterations).
+    let args: Vec<String> = std::env::args().collect();
+    let mnist = args.windows(2).any(|w| w[0] == "--pair" && w[1] == "mnist");
+    let (scenario, evals) = if mnist {
+        (Scenario::mnist_gtx1070(), 30)
+    } else {
+        (Scenario::cifar10_gtx1070(), 50)
+    };
+    println!(
+        "FIGURE 4. Fixed-evaluation assessment on {} ({} evaluations, {} runs, {:.0} W / {:.2} GiB budgets).\n",
+        scenario.name,
+        evals,
+        RUNS,
+        scenario.budgets.power_w.unwrap_or_default(),
+        scenario.budgets.memory_gib.unwrap_or_default()
+    );
+
+    let mut session = Session::new(scenario, 21).expect("session setup");
+    let methods = [
+        (Method::Rand, 'r'),
+        (Method::RandWalk, 'w'),
+        (Method::HwCwei, 'c'),
+        (Method::HwIeci, 'i'),
+    ];
+
+    let mut all_traces: Vec<(Method, char, Vec<Trace>)> = Vec::new();
+    for (method, marker) in methods {
+        eprintln!("running {method} ...");
+        let mut traces = Vec::new();
+        for run in 0..RUNS {
+            traces.push(
+                session
+                    .run_seeded(
+                        method,
+                        Mode::HyperPower,
+                        Budget::Evaluations(evals),
+                        500 + run as u64,
+                    )
+                    .expect("run succeeds"),
+            );
+        }
+        all_traces.push((method, marker, traces));
+    }
+
+    // Left panel.
+    let left: Vec<Series> = all_traces
+        .iter()
+        .map(|(m, marker, traces)| {
+            Series::new(*marker, m.to_string(), mean_best_curve(traces, evals))
+        })
+        .collect();
+    println!("(left) Best observed test error vs function evaluations:");
+    print!(
+        "{}",
+        scatter(
+            "mean over runs",
+            "function evaluations",
+            "best test error [%]",
+            &left,
+            64,
+            16
+        )
+    );
+
+    // Center panel.
+    let space = session.scenario().space.clone();
+    let oracle = session.oracle().clone();
+    let center: Vec<Series> = all_traces
+        .iter()
+        .map(|(m, marker, traces)| {
+            Series::new(
+                *marker,
+                m.to_string(),
+                violation_curve(traces, &space, &oracle, evals),
+            )
+        })
+        .collect();
+    println!("\n(center) Cumulative constraint-violating samples vs function evaluations:");
+    print!(
+        "{}",
+        scatter(
+            "model-rejected + measured violations",
+            "function evaluations",
+            "violating samples",
+            &center,
+            64,
+            16,
+        )
+    );
+    for (m, _, traces) in &all_traces {
+        let curve = violation_curve(traces, &space, &oracle, evals);
+        let final_violations = curve.last().map(|(_, v)| *v).unwrap_or(0.0);
+        println!(
+            "  {m}: {final_violations:.1} selected constraint-violating samples/run on average"
+        );
+    }
+
+    // Right panel.
+    let right: Vec<Series> = all_traces
+        .iter()
+        .map(|(m, marker, traces)| Series::new(*marker, m.to_string(), per_eval_points(traces)))
+        .collect();
+    println!("\n(right) Test error of each function evaluation:");
+    print!(
+        "{}",
+        scatter(
+            "BO methods concentrate in high-performance regions",
+            "function evaluation index",
+            "test error [%]",
+            &right,
+            64,
+            18,
+        )
+    );
+
+    println!("\n--- CSV (left panel) ---");
+    print!("{}", csv(&left));
+}

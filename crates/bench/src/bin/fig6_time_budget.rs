@@ -1,0 +1,102 @@
+//! Figure 6: the benefit of the power/memory models and early termination.
+//!
+//! Best test error on the CIFAR-10 network (GTX 1070) against total
+//! hyper-parameter-optimization runtime, for all four methods: solid
+//! (HyperPower, enhancements on) vs dotted (Default/exhaustive,
+//! enhancements off), 5-hour virtual budget. All solid curves should lie
+//! to the left of the dotted ones.
+
+use hyperpower::{Budget, Method, Mode, Scenario, Session, Trace};
+use hyperpower_bench::plot::{csv, scatter, Series};
+
+fn staircase(trace: &Trace, horizon_hours: f64) -> Vec<(f64, f64)> {
+    // Densified best-error-vs-time staircase for plotting.
+    let raw = trace.best_error_by_time();
+    let mut out = Vec::new();
+    let mut best: Option<f64> = None;
+    let mut next = raw.iter().peekable();
+    let steps = 120;
+    for step in 0..=steps {
+        let t = horizon_hours * step as f64 / steps as f64;
+        while let Some((ts, e)) = next.peek() {
+            if *ts <= t * 3600.0 {
+                best = Some(*e);
+                next.next();
+            } else {
+                break;
+            }
+        }
+        if let Some(b) = best {
+            out.push((t, b * 100.0));
+        }
+    }
+    out
+}
+
+fn main() {
+    let scenario = Scenario::cifar10_gtx1070();
+    let hours = scenario.time_budget_hours;
+    println!(
+        "FIGURE 6. Best test error vs optimization runtime ({}, {hours} h budget).\n\
+         Solid = HyperPower (models + early termination); dotted = exhaustive default.\n",
+        scenario.name
+    );
+
+    let mut session = Session::new(scenario, 61).expect("session setup");
+    let methods = [
+        (Method::Rand, 'r', 'R'),
+        (Method::RandWalk, 'w', 'W'),
+        (Method::HwCwei, 'c', 'C'),
+        (Method::HwIeci, 'i', 'I'),
+    ];
+
+    let mut series = Vec::new();
+    for (method, solid, dotted) in methods {
+        eprintln!("running {method} ...");
+        let hp = session
+            .run_seeded(method, Mode::HyperPower, Budget::VirtualHours(hours), 700)
+            .expect("run succeeds");
+        let def = session
+            .run_seeded(method, Mode::Default, Budget::VirtualHours(hours), 700)
+            .expect("run succeeds");
+        let hp_curve = staircase(&hp, hours);
+        let def_curve = staircase(&def, hours);
+        let first = |c: &Vec<(f64, f64)>| c.first().map(|(t, _)| *t);
+        println!(
+            "  {method}: first feasible design at {} (HyperPower) vs {} (default); final best {:.2}% vs {}",
+            first(&hp_curve).map(|t| format!("{t:.2} h")).unwrap_or_else(|| "--".into()),
+            first(&def_curve).map(|t| format!("{t:.2} h")).unwrap_or_else(|| "--".into()),
+            hp_curve.last().map(|(_, e)| *e).unwrap_or(f64::NAN),
+            def_curve
+                .last()
+                .map(|(_, e)| format!("{e:.2}%"))
+                .unwrap_or_else(|| "--".into()),
+        );
+        series.push(Series::new(
+            solid,
+            format!("{method} (HyperPower)"),
+            hp_curve,
+        ));
+        series.push(Series::new(
+            dotted,
+            format!("{method} (default)"),
+            def_curve,
+        ));
+    }
+
+    println!();
+    print!(
+        "{}",
+        scatter(
+            "lower-left is better; solid curves lead dotted ones",
+            "optimization runtime [h]",
+            "best test error [%]",
+            &series,
+            72,
+            22,
+        )
+    );
+
+    println!("\n--- CSV ---");
+    print!("{}", csv(&series));
+}

@@ -1,0 +1,157 @@
+//! Tables 2–5: the paper's main fixed-runtime comparison.
+//!
+//! For every device–dataset pair and every method, runs the
+//! constraint-unaware Default baseline and the HyperPower variant under
+//! the paper's wall-clock budgets (2 h MNIST / 5 h CIFAR-10, virtual
+//! time), three paired runs each, and prints:
+//!
+//! * **Table 2** — mean (std) best feasible test error,
+//! * **Table 3** — runtime for HyperPower to reach the default's queried
+//!   sample count, with geometric-mean speedup,
+//! * **Table 4** — queried-sample counts and increase,
+//! * **Table 5** — time to reach the default's best accuracy, with
+//!   speedup.
+//!
+//! Usage: `tab2to5_main_results [--quick]` (`--quick`: one run per cell
+//! and quarter-length budgets, for smoke testing).
+
+use hyperpower::report::{format_error_cell, format_scalar_cell, PairedRuns};
+use hyperpower::{Budget, Method, Mode, Scenario, Session, Trace};
+
+fn run_pairs(
+    scenario: &Scenario,
+    method: Method,
+    runs: usize,
+    hours: f64,
+    base_seed: u64,
+) -> PairedRuns {
+    let mut session = Session::new(scenario.clone(), base_seed).expect("session setup");
+    let mut default_runs: Vec<Trace> = Vec::new();
+    let mut hyperpower_runs: Vec<Trace> = Vec::new();
+    for run in 0..runs {
+        let seed = base_seed * 1000 + run as u64;
+        default_runs.push(
+            session
+                .run_seeded(method, Mode::Default, Budget::VirtualHours(hours), seed)
+                .expect("default run"),
+        );
+        hyperpower_runs.push(
+            session
+                .run_seeded(method, Mode::HyperPower, Budget::VirtualHours(hours), seed)
+                .expect("hyperpower run"),
+        );
+    }
+    PairedRuns {
+        default_runs,
+        hyperpower_runs,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let runs = if quick { 1 } else { 5 };
+    let budget_scale = if quick { 0.25 } else { 1.0 };
+
+    let scenarios = Scenario::all_pairs();
+    let methods = Method::ALL;
+
+    // results[pair][method]
+    let mut results: Vec<Vec<PairedRuns>> = Vec::new();
+    for (si, scenario) in scenarios.iter().enumerate() {
+        eprintln!("running pair {} ...", scenario.name);
+        let mut row = Vec::new();
+        for (mi, &method) in methods.iter().enumerate() {
+            let hours = scenario.time_budget_hours * budget_scale;
+            row.push(run_pairs(
+                scenario,
+                method,
+                runs,
+                hours,
+                (si * 10 + mi + 1) as u64,
+            ));
+        }
+        results.push(row);
+    }
+
+    let pair_names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+    let header = || {
+        print!("{:<10}", "Solver");
+        for name in &pair_names {
+            print!(" | {name:^34}");
+        }
+        println!();
+        print!("{:<10}", "");
+        for _ in &pair_names {
+            print!(" | {:^16} {:^17}", "Default", "HyperPower");
+        }
+        println!();
+    };
+
+    println!("\nTABLE 2. MEAN BEST TEST ERROR (AND STANDARD DEVIATION) PER METHOD.");
+    header();
+    for (mi, method) in methods.iter().enumerate() {
+        print!("{:<10}", method.to_string());
+        for (si, scenario) in scenarios.iter().enumerate() {
+            let row = results[si][mi].best_error_row(scenario.dataset.chance_error);
+            print!(
+                " | {:^16} {:^17}",
+                format_error_cell(row.default),
+                format_error_cell(row.hyperpower)
+            );
+        }
+        println!();
+    }
+
+    println!("\nTABLE 3. RUNTIME (HOURS) FOR HYPERPOWER METHODS TO REACH THE NUMBER OF SAMPLES THAT THEIR EXHAUSTIVE COUNTERPARTS QUERIED.");
+    header();
+    for (mi, method) in methods.iter().enumerate() {
+        print!("{:<10}", method.to_string());
+        for si in 0..scenarios.len() {
+            let row = results[si][mi].runtime_to_samples_row();
+            print!(
+                " | {:>6} {:>6} {:>9}",
+                format_scalar_cell(row.default_hours, ""),
+                format_scalar_cell(row.hyperpower_hours, ""),
+                format_scalar_cell(row.speedup, "x")
+            );
+            print!("{}", " ".repeat(11));
+        }
+        println!();
+    }
+
+    println!("\nTABLE 4. INCREASE IN THE NUMBER OF SAMPLES THAT EACH METHOD WAS ABLE TO QUERY.");
+    header();
+    for (mi, method) in methods.iter().enumerate() {
+        print!("{:<10}", method.to_string());
+        for si in 0..scenarios.len() {
+            let row = results[si][mi].sample_count_row();
+            print!(
+                " | {:>7} {:>8} {:>8}",
+                format_scalar_cell(row.default_samples, ""),
+                format_scalar_cell(row.hyperpower_samples, ""),
+                format_scalar_cell(row.increase, "x")
+            );
+            print!("{}", " ".repeat(9));
+        }
+        println!();
+    }
+
+    println!("\nTABLE 5. IMPROVEMENT IN RUNTIME (HOURS) TO ACHIEVE THE BEST ACCURACY THAT THE EXHAUSTIVE METHODS DID.");
+    header();
+    for (mi, method) in methods.iter().enumerate() {
+        print!("{:<10}", method.to_string());
+        for si in 0..scenarios.len() {
+            let row = results[si][mi].time_to_accuracy_row();
+            print!(
+                " | {:>6} {:>6} {:>9}",
+                format_scalar_cell(row.default_hours, ""),
+                format_scalar_cell(row.hyperpower_hours, ""),
+                format_scalar_cell(row.speedup, "x")
+            );
+            print!("{}", " ".repeat(11));
+        }
+        println!();
+    }
+
+    println!("\n(5 paired runs per cell unless --quick; budgets: 2 h MNIST, 5 h CIFAR-10 of virtual time; '--' = no feasible design found, as in the paper.)");
+}

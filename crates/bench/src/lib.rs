@@ -1,0 +1,8 @@
+//! Shared helpers for the HyperPower experiment harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one of the paper's tables or
+//! figures (see DESIGN.md §4 for the index); this library holds the small
+//! amount of code they share — ASCII scatter plotting and run-matrix
+//! helpers.
+
+pub mod plot;

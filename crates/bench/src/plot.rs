@@ -1,0 +1,140 @@
+//! Minimal ASCII scatter/line plotting for terminal-rendered figures.
+//!
+//! The paper's figures are scatter and line plots; these helpers render
+//! the same series as fixed-size character rasters so every `fig*` binary
+//! can show the *shape* of the result directly in the terminal (the raw
+//! series are also printed as CSV for external plotting).
+
+/// A labelled point series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Single-character marker used in the raster.
+    pub marker: char,
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(marker: char, label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            marker,
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Renders series onto a `width`×`height` character raster with axis
+/// annotations. Later series overwrite earlier ones on collisions.
+///
+/// Returns an empty string if no series contains a finite point.
+pub fn scatter(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+) -> String {
+    let finite: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return String::new();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in &finite {
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_min = y_min.min(*y);
+        y_max = y_max.max(*y);
+    }
+    if x_max == x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max == y_min {
+        y_max = y_min + 1.0;
+    }
+
+    let mut raster = vec![vec![' '; width]; height];
+    for s in series {
+        for (x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            raster[row][col.min(width - 1)] = s.marker;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("  {title}\n"));
+    out.push_str(&format!("  y: {y_label}  [{y_min:.4} .. {y_max:.4}]\n"));
+    for row in raster {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("  x: {x_label}  [{x_min:.4} .. {x_max:.4}]\n"));
+    for s in series {
+        out.push_str(&format!("  {} = {}\n", s.marker, s.label));
+    }
+    out
+}
+
+/// Prints a series as CSV lines (`label,x,y`) for external plotting.
+pub fn csv(series: &[Series]) -> String {
+    let mut out = String::from("series,x,y\n");
+    for s in series {
+        for (x, y) in &s.points {
+            out.push_str(&format!("{},{x},{y}\n", s.label));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_renders_markers_and_ranges() {
+        let s = vec![Series::new('o', "a", vec![(0.0, 0.0), (1.0, 1.0)])];
+        let plot = scatter("t", "x", "y", &s, 20, 10);
+        assert!(plot.contains('o'));
+        assert!(plot.contains("[0.0000 .. 1.0000]"));
+        assert!(plot.contains("o = a"));
+    }
+
+    #[test]
+    fn scatter_empty_is_empty() {
+        let s = vec![Series::new('o', "a", vec![])];
+        assert!(scatter("t", "x", "y", &s, 20, 10).is_empty());
+    }
+
+    #[test]
+    fn scatter_handles_degenerate_ranges() {
+        let s = vec![Series::new('x', "a", vec![(2.0, 3.0), (2.0, 3.0)])];
+        let plot = scatter("t", "x", "y", &s, 10, 5);
+        assert!(plot.contains('x'));
+    }
+
+    #[test]
+    fn csv_lists_all_points() {
+        let s = vec![Series::new('o', "a", vec![(1.0, 2.0), (3.0, 4.0)])];
+        let out = csv(&s);
+        assert!(out.contains("a,1,2"));
+        assert!(out.contains("a,3,4"));
+    }
+}

@@ -1,0 +1,378 @@
+//! Hand-rolled argument parsing for the `hyperpower` binary.
+//!
+//! Deliberately dependency-free: the grammar is tiny (one subcommand, a
+//! handful of `--key value` options), and keeping it in plain Rust makes
+//! the whole workspace buildable from the vendored crate set.
+
+use std::fmt;
+
+use hyperpower::{Budget, Method, Mode};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `hyperpower profile --pair <pair>`: profile the platform and print
+    /// the fitted model diagnostics.
+    Profile {
+        /// Device–dataset pair.
+        pair: Pair,
+        /// Profiling sample count `L`.
+        samples: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `hyperpower run --pair <pair> --method <m>`: one optimization run,
+    /// printing the trace summary (and optionally a CSV dump).
+    Run {
+        /// Device–dataset pair.
+        pair: Pair,
+        /// Search method.
+        method: Method,
+        /// Enhancement mode.
+        mode: Mode,
+        /// Stop criterion.
+        budget: Budget,
+        /// RNG seed.
+        seed: u64,
+        /// Write the full per-sample trace as CSV to this path.
+        csv: Option<String>,
+    },
+    /// `hyperpower help`: usage text.
+    Help,
+}
+
+/// The paper's device–dataset pairs, as CLI values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pair {
+    /// MNIST on GTX 1070.
+    MnistGtx,
+    /// CIFAR-10 on GTX 1070.
+    CifarGtx,
+    /// MNIST on Tegra TX1.
+    MnistTegra,
+    /// CIFAR-10 on Tegra TX1.
+    CifarTegra,
+}
+
+impl Pair {
+    /// All CLI spellings.
+    pub const NAMES: [&'static str; 4] = ["mnist-gtx", "cifar-gtx", "mnist-tegra", "cifar-tegra"];
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text printed by `help` and on parse errors.
+pub const USAGE: &str = "\
+hyperpower — power- and memory-constrained hyper-parameter optimization
+
+USAGE:
+  hyperpower profile --pair <PAIR> [--samples N] [--seed N]
+  hyperpower run --pair <PAIR> --method <METHOD> [--mode MODE]
+                 [--evals N | --hours H] [--seed N] [--csv PATH]
+  hyperpower help
+
+PAIRS:    mnist-gtx | cifar-gtx | mnist-tegra | cifar-tegra
+METHODS:  rand | rand-walk | hw-cwei | hw-ieci
+MODES:    default | hyperpower        (default: hyperpower)
+BUDGETS:  --evals N (function evaluations) or --hours H (virtual wall
+          clock); default: the pair's paper budget (2 h / 5 h).
+";
+
+fn parse_pair(s: &str) -> Result<Pair, ParseError> {
+    match s {
+        "mnist-gtx" => Ok(Pair::MnistGtx),
+        "cifar-gtx" => Ok(Pair::CifarGtx),
+        "mnist-tegra" => Ok(Pair::MnistTegra),
+        "cifar-tegra" => Ok(Pair::CifarTegra),
+        other => Err(ParseError(format!(
+            "unknown pair '{other}' (expected one of: {})",
+            Pair::NAMES.join(", ")
+        ))),
+    }
+}
+
+fn parse_method(s: &str) -> Result<Method, ParseError> {
+    match s {
+        "rand" => Ok(Method::Rand),
+        "rand-walk" => Ok(Method::RandWalk),
+        "hw-cwei" => Ok(Method::HwCwei),
+        "hw-ieci" => Ok(Method::HwIeci),
+        other => Err(ParseError(format!(
+            "unknown method '{other}' (expected rand, rand-walk, hw-cwei or hw-ieci)"
+        ))),
+    }
+}
+
+fn parse_mode(s: &str) -> Result<Mode, ParseError> {
+    match s {
+        "default" => Ok(Mode::Default),
+        "hyperpower" => Ok(Mode::HyperPower),
+        other => Err(ParseError(format!(
+            "unknown mode '{other}' (expected default or hyperpower)"
+        ))),
+    }
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<&'a str, ParseError> {
+    it.next()
+        .ok_or_else(|| ParseError(format!("flag {flag} requires a value")))
+}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a user-facing message for unknown
+/// subcommands, flags, values, or missing required options.
+pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
+    let mut it = args.iter().copied();
+    let sub = it.next().unwrap_or("help");
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "profile" => {
+            let mut pair = None;
+            let mut samples = 100usize;
+            let mut seed = 0u64;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--pair" => pair = Some(parse_pair(take_value(flag, &mut it)?)?),
+                    "--samples" => {
+                        samples = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--samples expects an integer".into()))?
+                    }
+                    "--seed" => {
+                        seed = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--seed expects an integer".into()))?
+                    }
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            let pair = pair.ok_or_else(|| ParseError("--pair is required".into()))?;
+            if samples == 0 {
+                return Err(ParseError("--samples must be positive".into()));
+            }
+            Ok(Command::Profile {
+                pair,
+                samples,
+                seed,
+            })
+        }
+        "run" => {
+            let mut pair = None;
+            let mut method = None;
+            let mut mode = Mode::HyperPower;
+            let mut budget = None;
+            let mut seed = 0u64;
+            let mut csv = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--pair" => pair = Some(parse_pair(take_value(flag, &mut it)?)?),
+                    "--method" => method = Some(parse_method(take_value(flag, &mut it)?)?),
+                    "--mode" => mode = parse_mode(take_value(flag, &mut it)?)?,
+                    "--evals" => {
+                        let n: usize = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--evals expects an integer".into()))?;
+                        budget = Some(Budget::Evaluations(n));
+                    }
+                    "--hours" => {
+                        let h: f64 = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--hours expects a number".into()))?;
+                        budget = Some(Budget::VirtualHours(h));
+                    }
+                    "--seed" => {
+                        seed = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--seed expects an integer".into()))?
+                    }
+                    "--csv" => csv = Some(take_value(flag, &mut it)?.to_string()),
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            let pair = pair.ok_or_else(|| ParseError("--pair is required".into()))?;
+            let method = method.ok_or_else(|| ParseError("--method is required".into()))?;
+            let budget = budget.unwrap_or(match pair {
+                Pair::MnistGtx | Pair::MnistTegra => Budget::VirtualHours(2.0),
+                Pair::CifarGtx | Pair::CifarTegra => Budget::VirtualHours(5.0),
+            });
+            Ok(Command::Run {
+                pair,
+                method,
+                mode,
+                budget,
+                seed,
+                csv,
+            })
+        }
+        other => Err(ParseError(format!(
+            "unknown subcommand '{other}' (expected profile, run or help)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_variants() {
+        for args in [&[][..], &["help"][..], &["--help"][..], &["-h"][..]] {
+            assert_eq!(parse(args).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn profile_defaults_and_overrides() {
+        let c = parse(&["profile", "--pair", "mnist-gtx"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Profile {
+                pair: Pair::MnistGtx,
+                samples: 100,
+                seed: 0
+            }
+        );
+        let c = parse(&[
+            "profile",
+            "--pair",
+            "cifar-tegra",
+            "--samples",
+            "50",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Profile {
+                pair: Pair::CifarTegra,
+                samples: 50,
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn run_full_form() {
+        let c = parse(&[
+            "run",
+            "--pair",
+            "cifar-gtx",
+            "--method",
+            "hw-ieci",
+            "--mode",
+            "default",
+            "--evals",
+            "25",
+            "--seed",
+            "3",
+            "--csv",
+            "/tmp/t.csv",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Run {
+                pair: Pair::CifarGtx,
+                method: Method::HwIeci,
+                mode: Mode::Default,
+                budget: Budget::Evaluations(25),
+                seed: 3,
+                csv: Some("/tmp/t.csv".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn run_defaults_to_paper_budget_and_hyperpower_mode() {
+        let c = parse(&["run", "--pair", "mnist-tegra", "--method", "rand"]).unwrap();
+        let Command::Run { mode, budget, .. } = c else {
+            panic!("expected run");
+        };
+        assert_eq!(mode, Mode::HyperPower);
+        assert_eq!(budget, Budget::VirtualHours(2.0));
+        let c = parse(&["run", "--pair", "cifar-gtx", "--method", "rand"]).unwrap();
+        let Command::Run { budget, .. } = c else {
+            panic!("expected run");
+        };
+        assert_eq!(budget, Budget::VirtualHours(5.0));
+    }
+
+    #[test]
+    fn hours_budget() {
+        let c = parse(&[
+            "run",
+            "--pair",
+            "mnist-gtx",
+            "--method",
+            "rand-walk",
+            "--hours",
+            "1.5",
+        ])
+        .unwrap();
+        let Command::Run { budget, method, .. } = c else {
+            panic!("expected run");
+        };
+        assert_eq!(budget, Budget::VirtualHours(1.5));
+        assert_eq!(method, Method::RandWalk);
+    }
+
+    #[test]
+    fn error_messages_are_specific() {
+        assert!(parse(&["frobnicate"]).unwrap_err().0.contains("subcommand"));
+        assert!(parse(&["run", "--method", "rand"])
+            .unwrap_err()
+            .0
+            .contains("--pair is required"));
+        assert!(parse(&["run", "--pair", "mnist-gtx"])
+            .unwrap_err()
+            .0
+            .contains("--method is required"));
+        assert!(parse(&["run", "--pair", "venus", "--method", "rand"])
+            .unwrap_err()
+            .0
+            .contains("unknown pair"));
+        assert!(parse(&["run", "--pair", "mnist-gtx", "--method", "sgd"])
+            .unwrap_err()
+            .0
+            .contains("unknown method"));
+        assert!(parse(&["profile", "--pair"])
+            .unwrap_err()
+            .0
+            .contains("requires a value"));
+        assert!(parse(&["profile", "--pair", "mnist-gtx", "--samples", "0"])
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(parse(&["profile", "--pair", "mnist-gtx", "--samples", "x"])
+            .unwrap_err()
+            .0
+            .contains("integer"));
+    }
+
+    #[test]
+    fn usage_mentions_everything() {
+        for name in Pair::NAMES {
+            assert!(USAGE.contains(name));
+        }
+        for m in ["rand", "rand-walk", "hw-cwei", "hw-ieci"] {
+            assert!(USAGE.contains(m));
+        }
+    }
+}

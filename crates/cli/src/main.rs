@@ -1,0 +1,146 @@
+//! `hyperpower` — the command-line face of the reproduction.
+//!
+//! ```text
+//! hyperpower profile --pair cifar-gtx
+//! hyperpower run --pair cifar-gtx --method hw-ieci --evals 30 --csv trace.csv
+//! ```
+//!
+//! See `hyperpower help` for the full grammar.
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{parse, Command, Pair, USAGE};
+use hyperpower::{Scenario, Session};
+
+fn scenario_for(pair: Pair) -> Scenario {
+    match pair {
+        Pair::MnistGtx => Scenario::mnist_gtx1070(),
+        Pair::CifarGtx => Scenario::cifar10_gtx1070(),
+        Pair::MnistTegra => Scenario::mnist_tegra_tx1(),
+        Pair::CifarTegra => Scenario::cifar10_tegra_tx1(),
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = raw.iter().map(String::as_str).collect();
+    let command = match parse(&refs) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command {
+        Command::Help => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Command::Profile {
+            pair,
+            samples,
+            seed,
+        } => {
+            let mut scenario = scenario_for(pair);
+            scenario.profiling_samples = samples;
+            let name = scenario.name.clone();
+            match Session::new(scenario, seed) {
+                Ok(session) => {
+                    println!(
+                        "{name}: profiled {samples} configurations in {:.0} virtual seconds",
+                        session.profiling_secs()
+                    );
+                    let models = session.models();
+                    println!(
+                        "  power model  : RMSPE {:.2}%",
+                        models.power.cv_rmspe() * 100.0
+                    );
+                    match &models.memory {
+                        Some(m) => {
+                            println!("  memory model : RMSPE {:.2}%", m.cv_rmspe() * 100.0)
+                        }
+                        None => println!("  memory model : -- (platform has no memory API)"),
+                    }
+                    if let Some(l) = &models.latency {
+                        println!(
+                            "  latency model: RMSPE {:.2}% (log-linear)",
+                            l.cv_rmspe() * 100.0
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Command::Run {
+            pair,
+            method,
+            mode,
+            budget,
+            seed,
+            csv,
+        } => {
+            let scenario = scenario_for(pair);
+            let name = scenario.name.clone();
+            let chance = scenario.dataset.chance_error;
+            let mut session = match Session::new(scenario, seed) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let trace = match session.run_seeded(method, mode, budget, seed) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "{name} / {method} / {mode}: {} samples queried, {} evaluated, {:.2} h virtual time",
+                trace.queried(),
+                trace.evaluations(),
+                trace.total_time_s / 3600.0
+            );
+            match trace.best_feasible() {
+                Some(best) => {
+                    println!(
+                        "best feasible design: {:.2}% test error at {:.1} W{} (found after {:.2} h)",
+                        best.error * 100.0,
+                        best.power_w,
+                        best.memory_bytes
+                            .map(|m| format!(", {:.3} GiB", m as f64 / (1u64 << 30) as f64))
+                            .unwrap_or_default(),
+                        best.timestamp_s / 3600.0
+                    );
+                }
+                None => println!(
+                    "no feasible design found (chance error level is {:.0}%)",
+                    chance * 100.0
+                ),
+            }
+            if let Some(path) = csv {
+                let file = match std::fs::File::create(&path) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("error: cannot create {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Err(e) = trace.write_csv(std::io::BufWriter::new(file)) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("trace written to {path}");
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Hardware budgets and model-backed feasibility oracles.
+//!
+//! A [`Budgets`] value carries the platform's power/memory limits (the
+//! paper uses 85 W + 1.15 GiB and 90 W + 1.25 GiB on the GTX 1070, and
+//! power-only 10 W / 12 W on the Tegra TX1). A [`ConstraintOracle`] binds
+//! budgets to fitted [`HwModels`] and answers the two questions the
+//! constraint-aware methods ask about a candidate `z`:
+//!
+//! * HW-IECI: the **hard indicator** `I[P(z) ≤ P_B]·I[M(z) ≤ M_B]`
+//!   (paper Eq. 3),
+//! * HW-CWEI: the **probability** of satisfaction under Gaussian constraint
+//!   models whose spread is the models' cross-validated residual noise
+//!   (paper §3.5).
+
+use hyperpower_gp::acquisition::probability_below;
+
+use crate::HwModels;
+
+/// Bytes per GiB.
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Power/memory budget limits for a platform.
+///
+/// `None` means the constraint is not imposed (the paper imposes no memory
+/// constraint on Tegra because the platform cannot measure memory).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Budgets {
+    /// Maximum allowed inference power draw, in watts.
+    pub power_w: Option<f64>,
+    /// Maximum allowed memory consumption, in GiB.
+    pub memory_gib: Option<f64>,
+    /// Maximum allowed inference latency per example, in milliseconds.
+    /// An extension beyond the paper (its refs \[10\] and \[14\] constrain
+    /// runtime); `None` everywhere in the paper-reproduction scenarios.
+    pub latency_ms: Option<f64>,
+}
+
+impl Budgets {
+    /// Power-only budget.
+    pub fn power(watts: f64) -> Self {
+        Budgets {
+            power_w: Some(watts),
+            ..Budgets::default()
+        }
+    }
+
+    /// Power + memory budget.
+    pub fn power_and_memory(watts: f64, gib: f64) -> Self {
+        Budgets {
+            power_w: Some(watts),
+            memory_gib: Some(gib),
+            ..Budgets::default()
+        }
+    }
+
+    /// Adds a latency budget (builder style).
+    pub fn with_latency_ms(mut self, ms: f64) -> Self {
+        self.latency_ms = Some(ms);
+        self
+    }
+
+    /// Whether a *measured* sample satisfies the power/memory budgets.
+    /// Memory is optional: platforms without a memory API can only be
+    /// checked on power. Shorthand for
+    /// [`Budgets::satisfied_by_measurements`] without a latency reading.
+    pub fn satisfied_by(&self, power_w: f64, memory_bytes: Option<u64>) -> bool {
+        self.satisfied_by_measurements(power_w, memory_bytes, None)
+    }
+
+    /// Whether a *measured* sample satisfies all imposed budgets.
+    /// Unmeasured quantities (`None`) are not checked.
+    pub fn satisfied_by_measurements(
+        &self,
+        power_w: f64,
+        memory_bytes: Option<u64>,
+        latency_s: Option<f64>,
+    ) -> bool {
+        if let Some(pb) = self.power_w {
+            if power_w > pb {
+                return false;
+            }
+        }
+        if let (Some(mb), Some(measured)) = (self.memory_gib, memory_bytes) {
+            if measured as f64 / GIB > mb {
+                return false;
+            }
+        }
+        if let (Some(lb), Some(measured)) = (self.latency_ms, latency_s) {
+            if measured * 1000.0 > lb {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Binds fitted predictive models to budgets; the a-priori constraint
+/// evaluator at the heart of HyperPower.
+///
+/// # Examples
+///
+/// See [`crate::Session`] for a full pipeline; the oracle itself is a thin
+/// composition of model predictions and budget comparisons.
+#[derive(Debug, Clone)]
+pub struct ConstraintOracle {
+    models: HwModels,
+    budgets: Budgets,
+}
+
+impl ConstraintOracle {
+    /// Creates an oracle from fitted models and budgets.
+    pub fn new(models: HwModels, budgets: Budgets) -> Self {
+        ConstraintOracle { models, budgets }
+    }
+
+    /// The underlying models.
+    pub fn models(&self) -> &HwModels {
+        &self.models
+    }
+
+    /// The budgets.
+    pub fn budgets(&self) -> Budgets {
+        self.budgets
+    }
+
+    /// Hard indicator `I[P(z) ≤ P_B]·I[M(z) ≤ M_B]` (paper Eq. 3): `true`
+    /// iff every imposed constraint is predicted satisfied.
+    ///
+    /// A budget whose quantity has no fitted model (memory on Tegra,
+    /// latency unless a latency model was fitted) is skipped, matching the
+    /// paper's handling of Tegra memory.
+    pub fn predicted_feasible(&self, z: &[f64]) -> bool {
+        if let Some(pb) = self.budgets.power_w {
+            if self.models.predict_power(z) > pb {
+                return false;
+            }
+        }
+        if let (Some(mb), Some(pred)) = (self.budgets.memory_gib, self.models.predict_memory(z)) {
+            if pred / GIB > mb {
+                return false;
+            }
+        }
+        if let (Some(lb), Some(pred)) = (self.budgets.latency_ms, self.models.predict_latency(z)) {
+            if pred * 1000.0 > lb {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Probability that `z` satisfies all imposed constraints, treating
+    /// each model prediction as Gaussian with the model's held-out
+    /// residual standard deviation (HW-CWEI, paper §3.5):
+    /// `Pr(P(z) ≤ P_B) · Pr(M(z) ≤ M_B)`.
+    pub fn feasibility_probability(&self, z: &[f64]) -> f64 {
+        let mut p = 1.0;
+        if let Some(pb) = self.budgets.power_w {
+            p *= probability_below(
+                self.models.predict_power(z),
+                self.models.power.residual_std(),
+                pb,
+            );
+        }
+        if let (Some(mb), Some(model)) = (self.budgets.memory_gib, self.models.memory.as_ref()) {
+            p *= probability_below(model.predict(z), model.residual_std(), mb * GIB);
+        }
+        if let (Some(lb), Some(model)) = (self.budgets.latency_ms, self.models.latency.as_ref()) {
+            p *= probability_below(model.predict(z), model.residual_std(), lb / 1000.0);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FeatureMap, LinearHwModel};
+
+    /// A model that predicts exactly `10·z₀` with a given residual std.
+    fn scaled_model(residual_std_target: f64) -> LinearHwModel {
+        // Fit on exact data (residual 0), then verify; for nonzero residual
+        // std we fit on noisy data.
+        let z: Vec<Vec<f64>> = (1..40).map(|i| vec![i as f64 * 0.25]).collect();
+        let y: Vec<f64> = z
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 10.0 * r[0] + residual_std_target * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        LinearHwModel::fit_kfold(&z, &y, 5, FeatureMap::Linear).unwrap()
+    }
+
+    #[test]
+    fn budgets_satisfied_by_measurements() {
+        let b = Budgets::power_and_memory(90.0, 1.25);
+        assert!(b.satisfied_by(85.0, Some((1.0 * GIB) as u64)));
+        assert!(!b.satisfied_by(95.0, Some((1.0 * GIB) as u64)));
+        assert!(!b.satisfied_by(85.0, Some((1.5 * GIB) as u64)));
+        // No memory measurement: only power is checked.
+        assert!(b.satisfied_by(85.0, None));
+        // No constraints at all.
+        assert!(Budgets::default().satisfied_by(1000.0, None));
+    }
+
+    #[test]
+    fn indicator_cuts_at_budget() {
+        let oracle = ConstraintOracle::new(
+            HwModels {
+                power: scaled_model(0.0),
+                memory: None,
+                latency: None,
+            },
+            Budgets::power(50.0),
+        );
+        assert!(oracle.predicted_feasible(&[4.9])); // P = 49
+        assert!(!oracle.predicted_feasible(&[5.1])); // P = 51
+    }
+
+    #[test]
+    fn memory_budget_without_model_is_skipped() {
+        let oracle = ConstraintOracle::new(
+            HwModels {
+                power: scaled_model(0.0),
+                memory: None,
+                latency: None,
+            },
+            Budgets::power_and_memory(50.0, 0.0001),
+        );
+        // Memory budget is tiny but unmodelled (Tegra case): only power counts.
+        assert!(oracle.predicted_feasible(&[1.0]));
+    }
+
+    #[test]
+    fn memory_model_enforced_when_present() {
+        let mem = scaled_model(0.0); // predicts 10·z bytes
+        let oracle = ConstraintOracle::new(
+            HwModels {
+                power: scaled_model(0.0),
+                memory: Some(mem),
+                latency: None,
+            },
+            Budgets::power_and_memory(1e9, 10.0 * 20.0 / GIB), // memory cap = 200 bytes
+        );
+        assert!(oracle.predicted_feasible(&[19.0])); // M = 190 bytes
+        assert!(!oracle.predicted_feasible(&[21.0])); // M = 210 bytes
+    }
+
+    #[test]
+    fn probability_monotone_decreasing_in_z() {
+        let oracle = ConstraintOracle::new(
+            HwModels {
+                power: scaled_model(1.0),
+                memory: None,
+                latency: None,
+            },
+            Budgets::power(50.0),
+        );
+        let p_small = oracle.feasibility_probability(&[3.0]);
+        let p_mid = oracle.feasibility_probability(&[5.0]);
+        let p_big = oracle.feasibility_probability(&[7.0]);
+        assert!(p_small > 0.99);
+        assert!((0.2..0.8).contains(&p_mid), "p_mid {p_mid}");
+        assert!(p_big < 0.01);
+    }
+
+    #[test]
+    fn probability_one_with_no_constraints() {
+        let oracle = ConstraintOracle::new(
+            HwModels {
+                power: scaled_model(1.0),
+                memory: None,
+                latency: None,
+            },
+            Budgets::default(),
+        );
+        assert_eq!(oracle.feasibility_probability(&[100.0]), 1.0);
+        assert!(oracle.predicted_feasible(&[100.0]));
+    }
+}

@@ -1,0 +1,517 @@
+//! The optimization loop: budgets, traces and the sample-by-sample record.
+//!
+//! [`run_optimization`] executes one full hyper-parameter search under
+//! either a fixed evaluation count (paper §5, "fixed number of function
+//! evaluations": 50 iterations, 30 for MNIST) or a virtual wall-clock
+//! budget (2 h MNIST / 5 h CIFAR-10). The resulting [`Trace`] records every
+//! *queried sample* — model-rejected, early-terminated or fully trained —
+//! with its timestamp, measured hardware metrics and feasibility, which is
+//! exactly the information the paper's Figures 4 and 6 and Tables 2–5 are
+//! built from.
+
+use hyperpower_gpu_sim::{Gpu, TrainingCostModel, VirtualClock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::methods::{make_searcher, History, Searcher};
+use crate::{
+    Budgets, Config, ConstraintOracle, EarlyTermination, Method, Mode, Objective, Result,
+    SearchSpace,
+};
+
+/// Stop criterion for one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Budget {
+    /// Stop after this many *function evaluations* (trained candidates;
+    /// model-rejected samples do not count).
+    Evaluations(usize),
+    /// Stop once the virtual clock passes this many hours. The sample in
+    /// flight at the deadline completes (as in the paper: "we allow the
+    /// last sample queried right before the maximum time limit to
+    /// complete").
+    VirtualHours(f64),
+}
+
+/// How a queried sample was handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleKind {
+    /// Predicted constraint-violating by the models and discarded without
+    /// training (HyperPower-mode model-free methods only).
+    Rejected,
+    /// Training started but was aborted by early termination.
+    EarlyTerminated,
+    /// Trained to completion.
+    Trained,
+}
+
+/// One queried sample in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// 0-based query index.
+    pub index: usize,
+    /// Virtual timestamp (seconds) at which processing of this sample
+    /// finished.
+    pub timestamp_s: f64,
+    /// How the sample was handled.
+    pub kind: SampleKind,
+    /// Observed test error (`None` for rejected samples).
+    pub error: Option<f64>,
+    /// Power in watts: measured for evaluated samples, model-predicted for
+    /// rejected ones.
+    pub power_w: f64,
+    /// Measured memory in bytes, where the platform supports it.
+    pub memory_bytes: Option<u64>,
+    /// Measured inference latency in seconds per example (`None` for
+    /// rejected samples).
+    pub latency_s: Option<f64>,
+    /// Whether the sample satisfies the budgets (by measurement for
+    /// evaluated samples; rejected samples are infeasible by prediction).
+    pub feasible: bool,
+    /// The queried configuration.
+    pub config: Config,
+}
+
+/// The best feasible design found by a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Best {
+    /// Test error of the best feasible design.
+    pub error: f64,
+    /// Its measured power in watts.
+    pub power_w: f64,
+    /// Its measured memory in bytes, if available.
+    pub memory_bytes: Option<u64>,
+    /// Virtual time at which it was found, in seconds.
+    pub timestamp_s: f64,
+    /// The configuration itself.
+    pub config: Config,
+}
+
+/// The complete record of one optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Method that produced the trace.
+    pub method: Method,
+    /// Mode (Default vs HyperPower).
+    pub mode: Mode,
+    /// Budgets in force.
+    pub budgets: Budgets,
+    /// Every queried sample, in order.
+    pub samples: Vec<Sample>,
+    /// Virtual time when the run finished, in seconds.
+    pub total_time_s: f64,
+}
+
+/// Alias kept for API clarity: a finished run *is* its trace.
+pub type Outcome = Trace;
+
+impl Trace {
+    /// Total queried samples (the paper's Table 4 metric): rejected +
+    /// early-terminated + trained.
+    pub fn queried(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Function evaluations: samples whose objective was actually run
+    /// (early-terminated or trained).
+    pub fn evaluations(&self) -> usize {
+        self.samples
+            .iter()
+            .filter(|s| s.kind != SampleKind::Rejected)
+            .count()
+    }
+
+    /// Evaluated samples that violated the budgets by *measurement* (the
+    /// paper's Figure 4 center metric).
+    pub fn measured_violations(&self) -> usize {
+        self.samples
+            .iter()
+            .filter(|s| s.kind != SampleKind::Rejected && !s.feasible)
+            .count()
+    }
+
+    /// The best feasible design, if any run sample was feasible with an
+    /// observed error.
+    pub fn best_feasible(&self) -> Option<Best> {
+        let mut best: Option<Best> = None;
+        for s in &self.samples {
+            let (Some(error), true) = (s.error, s.feasible) else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|b| error < b.error) {
+                best = Some(Best {
+                    error,
+                    power_w: s.power_w,
+                    memory_bytes: s.memory_bytes,
+                    timestamp_s: s.timestamp_s,
+                    config: s.config.clone(),
+                });
+            }
+        }
+        best
+    }
+
+    /// Best feasible error as a function of evaluations: one point per
+    /// evaluated sample `(evaluation index, best error so far)`. Feeds the
+    /// paper's Figure 4 (left).
+    pub fn best_error_by_evaluation(&self) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        let mut best = f64::INFINITY;
+        let mut evals = 0;
+        for s in &self.samples {
+            if s.kind == SampleKind::Rejected {
+                continue;
+            }
+            evals += 1;
+            if let (Some(e), true) = (s.error, s.feasible) {
+                if e < best {
+                    best = e;
+                }
+            }
+            if best.is_finite() {
+                out.push((evals, best));
+            }
+        }
+        out
+    }
+
+    /// Best feasible error as a function of virtual time `(seconds, best
+    /// error so far)`. Feeds the paper's Figure 6.
+    pub fn best_error_by_time(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let mut best = f64::INFINITY;
+        for s in &self.samples {
+            if let (Some(e), true) = (s.error, s.feasible) {
+                if e < best {
+                    best = e;
+                    out.push((s.timestamp_s, best));
+                }
+            }
+        }
+        out
+    }
+
+    /// Virtual time (seconds) at which the run had processed `n` queried
+    /// samples, or `None` if it never did (feeds Table 3).
+    pub fn time_to_reach_queried(&self, n: usize) -> Option<f64> {
+        if n == 0 {
+            return Some(0.0);
+        }
+        self.samples.get(n - 1).map(|s| s.timestamp_s)
+    }
+
+    /// Virtual time (seconds) at which a feasible design with error ≤
+    /// `target` was first found, or `None` (feeds Table 5).
+    pub fn time_to_reach_error(&self, target: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.feasible && s.error.is_some_and(|e| e <= target))
+            .map(|s| s.timestamp_s)
+    }
+
+    /// Writes the trace as CSV (one row per queried sample) for external
+    /// analysis/plotting. Columns: `index,timestamp_s,kind,error,power_w,
+    /// memory_bytes,latency_s,feasible,config...` (the config's unit-cube
+    /// coordinates, one column per dimension).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer. Pass `&mut writer` to keep
+    /// using the writer afterwards.
+    pub fn write_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        let dim = self.samples.first().map(|s| s.config.dim()).unwrap_or(0);
+        write!(
+            w,
+            "index,timestamp_s,kind,error,power_w,memory_bytes,latency_s,feasible"
+        )?;
+        for d in 0..dim {
+            write!(w, ",u{d}")?;
+        }
+        writeln!(w)?;
+        for s in &self.samples {
+            let kind = match s.kind {
+                SampleKind::Rejected => "rejected",
+                SampleKind::EarlyTerminated => "early_terminated",
+                SampleKind::Trained => "trained",
+            };
+            write!(
+                w,
+                "{},{},{},{},{},{},{},{}",
+                s.index,
+                s.timestamp_s,
+                kind,
+                s.error.map(|e| e.to_string()).unwrap_or_default(),
+                s.power_w,
+                s.memory_bytes.map(|m| m.to_string()).unwrap_or_default(),
+                s.latency_s.map(|l| l.to_string()).unwrap_or_default(),
+                s.feasible
+            )?;
+            for u in s.config.unit() {
+                write!(w, ",{u}")?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything one optimization run needs.
+pub struct RunSetup<'a> {
+    /// The search space.
+    pub space: &'a SearchSpace,
+    /// The expensive objective.
+    pub objective: &'a mut dyn Objective,
+    /// The target platform (measures power/memory of evaluated samples).
+    pub gpu: &'a mut Gpu,
+    /// Hardware budgets used to judge feasibility.
+    pub budgets: Budgets,
+    /// Fitted constraint oracle; `Some` in HyperPower mode.
+    pub oracle: Option<&'a ConstraintOracle>,
+    /// Early-termination policy; `Some` in HyperPower mode.
+    pub early_termination: Option<EarlyTermination>,
+    /// Virtual-time cost model.
+    pub cost: TrainingCostModel,
+    /// Search method.
+    pub method: Method,
+    /// Enhancement mode.
+    pub mode: Mode,
+    /// Stop criterion.
+    pub budget: Budget,
+    /// Run seed (searcher proposals, objective noise, sensor noise order).
+    pub seed: u64,
+    /// Optional custom proposal strategy. When `Some`, it replaces the
+    /// searcher `method`/`mode` would normally build — used by the
+    /// acquisition and grid-search ablations; `method`/`mode` then only
+    /// label the trace.
+    pub searcher_override: Option<Box<dyn Searcher>>,
+}
+
+/// Safety valve: a HyperPower-mode run whose models reject this many
+/// candidates *in a row* concludes the predicted-feasible region is
+/// (effectively) empty and stops proposing.
+const MAX_CONSECUTIVE_REJECTIONS: usize = 20_000;
+
+/// Runs one optimization to completion and returns its [`Trace`].
+///
+/// # Errors
+///
+/// Propagates space-decoding, GP-fitting and objective errors.
+pub fn run_optimization(setup: RunSetup<'_>) -> Result<Trace> {
+    let RunSetup {
+        space,
+        objective,
+        gpu,
+        budgets,
+        oracle,
+        early_termination,
+        cost,
+        method,
+        mode,
+        budget,
+        seed,
+        searcher_override,
+    } = setup;
+
+    let mut searcher =
+        searcher_override.unwrap_or_else(|| make_searcher(method, mode, oracle.cloned()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clock = VirtualClock::new();
+    let mut history = History::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut evaluations = 0usize;
+    let mut consecutive_rejections = 0usize;
+
+    // Model-based rejection filtering applies to model-free methods in
+    // HyperPower mode; BO methods carry the constraints in their
+    // acquisition instead (paper §3.4–3.5).
+    let screen = match (mode, oracle) {
+        (Mode::HyperPower, Some(oracle)) if method.is_model_free() => Some(oracle),
+        _ => None,
+    };
+
+    loop {
+        match budget {
+            Budget::Evaluations(n) if evaluations >= n => break,
+            Budget::VirtualHours(h) if clock.hours() >= h => break,
+            _ => {}
+        }
+
+        let config = searcher.propose(space, &history, &mut rng)?;
+        let decoded = space.decode(&config)?;
+
+        if let Some(oracle) = screen {
+            if !oracle.predicted_feasible(&decoded.structural) {
+                clock.advance_secs(cost.model_eval_s);
+                let predicted_power = oracle.models().predict_power(&decoded.structural);
+                samples.push(Sample {
+                    index: samples.len(),
+                    timestamp_s: clock.seconds(),
+                    kind: SampleKind::Rejected,
+                    error: None,
+                    power_w: predicted_power,
+                    memory_bytes: None,
+                    latency_s: None,
+                    feasible: false,
+                    config,
+                });
+                consecutive_rejections += 1;
+                if consecutive_rejections >= MAX_CONSECUTIVE_REJECTIONS {
+                    break;
+                }
+                continue;
+            }
+            // Feasibility checks on surviving candidates are also billed.
+            clock.advance_secs(cost.model_eval_s);
+        }
+        consecutive_rejections = 0;
+
+        // The expensive step: train the candidate.
+        let eval_seed = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(samples.len() as u64);
+        let result = objective.evaluate(&decoded, early_termination.as_ref(), eval_seed)?;
+        clock.advance_secs(result.train_secs);
+
+        // Profile the trained candidate on the target platform.
+        let power_w = gpu.measure_power(&decoded.arch);
+        let memory_bytes = gpu.measure_memory(&decoded.arch).ok();
+        let latency_s = gpu.measure_latency(&decoded.arch);
+        clock.advance_secs(cost.measurement_s);
+
+        let feasible = budgets.satisfied_by_measurements(power_w, memory_bytes, Some(latency_s));
+        history.push(config.clone(), result.error);
+        evaluations += 1;
+        samples.push(Sample {
+            index: samples.len(),
+            timestamp_s: clock.seconds(),
+            kind: if result.terminated_early {
+                SampleKind::EarlyTerminated
+            } else {
+                SampleKind::Trained
+            },
+            error: Some(result.error),
+            power_w,
+            memory_bytes,
+            latency_s: Some(latency_s),
+            feasible,
+            config,
+        });
+    }
+
+    Ok(Trace {
+        method,
+        mode,
+        budgets,
+        samples,
+        total_time_s: clock.seconds(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(
+        index: usize,
+        t: f64,
+        kind: SampleKind,
+        error: Option<f64>,
+        feasible: bool,
+    ) -> Sample {
+        Sample {
+            index,
+            timestamp_s: t,
+            kind,
+            error,
+            power_w: 80.0,
+            memory_bytes: None,
+            latency_s: error.map(|_| 0.001),
+            feasible,
+            config: Config::new(vec![0.5]).unwrap(),
+        }
+    }
+
+    fn toy_trace() -> Trace {
+        Trace {
+            method: Method::Rand,
+            mode: Mode::HyperPower,
+            budgets: Budgets::power(90.0),
+            samples: vec![
+                sample(0, 1.0, SampleKind::Rejected, None, false),
+                sample(1, 100.0, SampleKind::Trained, Some(0.5), true),
+                sample(2, 200.0, SampleKind::Trained, Some(0.3), false),
+                sample(3, 300.0, SampleKind::EarlyTerminated, Some(0.9), true),
+                sample(4, 400.0, SampleKind::Trained, Some(0.2), true),
+            ],
+            total_time_s: 400.0,
+        }
+    }
+
+    #[test]
+    fn counting_metrics() {
+        let t = toy_trace();
+        assert_eq!(t.queried(), 5);
+        assert_eq!(t.evaluations(), 4);
+        assert_eq!(t.measured_violations(), 1);
+    }
+
+    #[test]
+    fn best_feasible_ignores_infeasible_and_rejected() {
+        let t = toy_trace();
+        let best = t.best_feasible().unwrap();
+        // 0.3 was infeasible; best feasible is 0.2.
+        assert_eq!(best.error, 0.2);
+        assert_eq!(best.timestamp_s, 400.0);
+    }
+
+    #[test]
+    fn best_error_curves() {
+        let t = toy_trace();
+        let by_eval = t.best_error_by_evaluation();
+        // Evaluations: idx1 (0.5 feasible), idx2 (infeasible), idx3 (0.9), idx4 (0.2).
+        assert_eq!(by_eval, vec![(1, 0.5), (2, 0.5), (3, 0.5), (4, 0.2)]);
+        let by_time = t.best_error_by_time();
+        assert_eq!(by_time, vec![(100.0, 0.5), (400.0, 0.2)]);
+    }
+
+    #[test]
+    fn time_metrics() {
+        let t = toy_trace();
+        assert_eq!(t.time_to_reach_queried(0), Some(0.0));
+        assert_eq!(t.time_to_reach_queried(2), Some(100.0));
+        assert_eq!(t.time_to_reach_queried(99), None);
+        assert_eq!(t.time_to_reach_error(0.5), Some(100.0));
+        assert_eq!(t.time_to_reach_error(0.25), Some(400.0));
+        assert_eq!(t.time_to_reach_error(0.1), None);
+    }
+
+    #[test]
+    fn csv_export_lists_all_samples() {
+        let t = toy_trace();
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + t.queried());
+        assert!(lines[0].starts_with("index,timestamp_s,kind"));
+        assert!(lines[0].ends_with(",u0"));
+        assert!(lines[1].contains("rejected"));
+        assert!(lines[2].contains("trained"));
+        assert!(lines[4].contains("early_terminated"));
+        // Rejected samples have an empty error field.
+        assert!(lines[1].contains(",,"));
+    }
+
+    #[test]
+    fn empty_trace_has_no_best() {
+        let t = Trace {
+            method: Method::HwIeci,
+            mode: Mode::Default,
+            budgets: Budgets::default(),
+            samples: vec![],
+            total_time_s: 0.0,
+        };
+        assert!(t.best_feasible().is_none());
+        assert!(t.best_error_by_time().is_empty());
+        assert_eq!(t.evaluations(), 0);
+    }
+}

@@ -1,0 +1,109 @@
+use std::fmt;
+
+/// Errors produced by the HyperPower framework.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A search-space definition is invalid (empty, or a dimension with an
+    /// empty/reversed range).
+    InvalidSpace(String),
+    /// A configuration vector has the wrong dimensionality or components
+    /// outside `[0, 1]`.
+    InvalidConfig(String),
+    /// Model fitting requires profiling data that was not supplied (e.g. a
+    /// memory model on a platform without memory measurements).
+    MissingProfilingData(&'static str),
+    /// Not enough profiled samples to fit/cross-validate a model.
+    NotEnoughSamples {
+        /// Samples required.
+        required: usize,
+        /// Samples available.
+        available: usize,
+    },
+    /// An underlying numerical routine failed.
+    Numerical(hyperpower_linalg::Error),
+    /// Gaussian-process fitting failed.
+    Gp(hyperpower_gp::Error),
+    /// Network construction or training failed.
+    Nn(hyperpower_nn::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidSpace(msg) => write!(f, "invalid search space: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::MissingProfilingData(what) => {
+                write!(f, "missing profiling data for {what}")
+            }
+            Error::NotEnoughSamples {
+                required,
+                available,
+            } => write!(
+                f,
+                "not enough profiled samples: need {required}, have {available}"
+            ),
+            Error::Numerical(e) => write!(f, "numerical failure: {e}"),
+            Error::Gp(e) => write!(f, "gaussian-process failure: {e}"),
+            Error::Nn(e) => write!(f, "network failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Numerical(e) => Some(e),
+            Error::Gp(e) => Some(e),
+            Error::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hyperpower_linalg::Error> for Error {
+    fn from(e: hyperpower_linalg::Error) -> Self {
+        Error::Numerical(e)
+    }
+}
+
+impl From<hyperpower_gp::Error> for Error {
+    fn from(e: hyperpower_gp::Error) -> Self {
+        Error::Gp(e)
+    }
+}
+
+impl From<hyperpower_nn::Error> for Error {
+    fn from(e: hyperpower_nn::Error) -> Self {
+        Error::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_nonempty() {
+        let e = Error::NotEnoughSamples {
+            required: 10,
+            available: 3,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = Error::from(hyperpower_linalg::Error::NonFiniteInput);
+        assert!(e.source().is_some());
+        let e = Error::InvalidSpace("x".into());
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,84 @@
+//! **HyperPower** — power- and memory-constrained hyper-parameter
+//! optimization for neural networks.
+//!
+//! A from-scratch Rust reproduction of Stamoulis et al.,
+//! *"HyperPower: Power- and Memory-Constrained Hyper-Parameter Optimization
+//! for Neural Networks"* (DATE 2018, arXiv:1712.02446).
+//!
+//! # The method
+//!
+//! HyperPower observes that a CNN's inference-time **power** and **memory**
+//! on a target GPU depend only on its *structural* hyper-parameters `z`
+//! (feature counts, kernel sizes, layer widths) — not on trained weights —
+//! and can therefore be treated as **a-priori-known constraints**:
+//!
+//! 1. Profile `L` random architectures offline on the target platform and
+//!    fit linear models `P(z) = Σ wⱼ·zⱼ`, `M(z) = Σ mⱼ·zⱼ` (paper Eq. 1–2,
+//!    [`model`]).
+//! 2. Fold the models into the Bayesian-optimization acquisition function:
+//!    * **HW-IECI** — Expected Improvement × hard indicators
+//!      `I[P(z) ≤ P_B]·I[M(z) ≤ M_B]` (paper Eq. 3),
+//!    * **HW-CWEI** — EI × probability of constraint satisfaction,
+//!    * constraint-aware **Rand** / **Rand-Walk** reject predicted-invalid
+//!      candidates at model-evaluation cost (milliseconds, not hours).
+//! 3. Terminate diverging training runs after a few epochs
+//!    ([`EarlyTermination`]).
+//!
+//! # Architecture of this crate
+//!
+//! * [`space`] — the paper's AlexNet-variant search spaces (6-dim MNIST,
+//!   13-dim CIFAR-10) and configuration en/decoding,
+//! * [`model`] — linear predictive power/memory models with 10-fold CV,
+//! * [`profiler`] — offline random profiling on a simulated GPU,
+//! * [`constraints`] — budgets and model-backed feasibility oracles,
+//! * [`objective`] — the expensive objective (train a CNN, report test
+//!   error), in both simulated and real-training flavours,
+//! * [`methods`] — the four searchers (Rand, Rand-Walk, HW-CWEI, HW-IECI),
+//! * [`driver`] — evaluation- and virtual-time-budgeted optimization loops
+//!   producing [`Trace`]s,
+//! * [`scenario`] — the paper's four device–dataset pairs with their
+//!   published budgets,
+//! * [`report`] — aggregation into the paper's Tables 2–5.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hyperpower::{Budget, Method, Mode, Scenario, Session};
+//!
+//! # fn main() -> Result<(), hyperpower::Error> {
+//! // MNIST on a (simulated) GTX 1070: 85 W / 1.15 GiB budgets.
+//! let scenario = Scenario::mnist_gtx1070();
+//! let mut session = Session::new(scenario, 42)?;
+//! let outcome = session.run(Method::HwIeci, Mode::HyperPower, Budget::Evaluations(8))?;
+//! let best = outcome.best_feasible().expect("found a feasible design");
+//! assert!(best.error < 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod driver;
+mod error;
+pub mod methods;
+pub mod model;
+pub mod objective;
+pub mod profiler;
+pub mod report;
+pub mod scenario;
+pub mod space;
+
+pub use constraints::{Budgets, ConstraintOracle};
+pub use driver::{Budget, Outcome, Sample, SampleKind, Trace};
+pub use error::Error;
+pub use methods::{Method, Mode};
+pub use model::{HwModels, LinearHwModel};
+pub use objective::{EarlyTermination, EvaluationResult, Objective, SimulatedObjective};
+pub use profiler::{ProfiledData, Profiler};
+pub use scenario::{Scenario, Session};
+pub use space::{Config, Dimension, SearchSpace};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,941 @@
+//! The four search methods of the paper (§3.4–3.5).
+//!
+//! | Method | Proposal rule | Constraint handling (HyperPower mode) |
+//! |---|---|---|
+//! | [`Method::Rand`] | uniform random | model-based rejection of predicted-invalid points |
+//! | [`Method::RandWalk`] | Gaussian walk around the incumbent | model-based rejection |
+//! | [`Method::HwCwei`] | GP-BO, EI × Pr(constraints satisfied) | probabilistic, inside the acquisition |
+//! | [`Method::HwIeci`] | GP-BO, EI × hard indicators (Eq. 3) | a-priori indicator, inside the acquisition |
+//!
+//! In **Default** (constraint-unaware, "exhaustive") mode every method
+//! reduces to its published baseline: plain random search \[5\], plain random
+//! walk \[8\], and plain-EI Bayesian optimization — no models, no early
+//! termination, every proposal trained to completion.
+
+use std::fmt;
+
+use hyperpower_gp::acquisition::{
+    expected_improvement_at, lower_confidence_bound_at, probability_of_improvement_at,
+};
+use hyperpower_gp::sampler::uniform_candidates;
+use hyperpower_gp::{fit_gp_hyperparams, FitOptions, Matern52};
+use hyperpower_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::{Config, ConstraintOracle, Error, Result, SearchSpace};
+
+/// The search method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Random search (Bergstra & Bengio \[5\]).
+    Rand,
+    /// Random walk around the incumbent (Smithson et al. \[8\]).
+    RandWalk,
+    /// Bayesian optimization with Constraint-Weighted EI (Gelbart \[6\]).
+    HwCwei,
+    /// Bayesian optimization with the paper's hardware-aware Integrated
+    /// Expected Conditional Improvement (Gramacy & Lee \[17\], Eq. 3).
+    HwIeci,
+}
+
+impl Method {
+    /// All four methods, in the paper's table order.
+    pub const ALL: [Method; 4] = [
+        Method::Rand,
+        Method::RandWalk,
+        Method::HwCwei,
+        Method::HwIeci,
+    ];
+
+    /// Whether the method is model-free (random-based). Model-free methods
+    /// apply the constraint models as a *rejection filter* before paying
+    /// for training; BO methods fold them into the acquisition instead.
+    pub fn is_model_free(&self) -> bool {
+        matches!(self, Method::Rand | Method::RandWalk)
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Method::Rand => "Rand",
+            Method::RandWalk => "Rand-Walk",
+            Method::HwCwei => "HW-CWEI",
+            Method::HwIeci => "HW-IECI",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether a run uses the HyperPower enhancements (predictive models +
+/// early termination) or the published constraint-unaware baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Constraint-unaware, exhaustive baseline ("default" in the paper's
+    /// tables).
+    Default,
+    /// Constraint-aware with early termination.
+    HyperPower,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mode::Default => "Default",
+            Mode::HyperPower => "HyperPower",
+        })
+    }
+}
+
+/// One completed observation as the searchers see it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// The evaluated configuration.
+    pub config: Config,
+    /// Its observed test error (chance-level for diverged runs).
+    pub error: f64,
+}
+
+/// The evaluation history a searcher conditions on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct History {
+    observations: Vec<Observation>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Records an observation.
+    pub fn push(&mut self, config: Config, error: f64) {
+        self.observations.push(Observation { config, error });
+    }
+
+    /// All observations in evaluation order.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Returns `true` if nothing has been evaluated yet.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// The incumbent: the observation with the lowest error.
+    pub fn best(&self) -> Option<&Observation> {
+        self.observations
+            .iter()
+            .min_by(|a, b| a.error.total_cmp(&b.error))
+    }
+}
+
+/// A strategy that proposes the next candidate configuration.
+///
+/// Proposals are *pre-screen*: for model-free methods in HyperPower mode
+/// the driver applies the constraint-model rejection filter on top.
+pub trait Searcher {
+    /// Proposes the next candidate given the evaluation history.
+    ///
+    /// # Errors
+    ///
+    /// BO searchers propagate GP-fitting failures (which fall back to
+    /// random proposals only when the history is degenerate).
+    fn propose(
+        &mut self,
+        space: &SearchSpace,
+        history: &History,
+        rng: &mut StdRng,
+    ) -> Result<Config>;
+}
+
+/// Uniform random search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSearch;
+
+impl Searcher for RandomSearch {
+    fn propose(
+        &mut self,
+        space: &SearchSpace,
+        _history: &History,
+        rng: &mut StdRng,
+    ) -> Result<Config> {
+        Ok(Config::random(rng, space.dim()))
+    }
+}
+
+/// Gaussian random walk around the incumbent
+/// (`x_{n+1} ~ N(x⁺, σ₀²)`, paper §3.5).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomWalk {
+    /// Step standard deviation in unit-cube coordinates. The paper points
+    /// out that performance is highly sensitive to this choice — the very
+    /// weakness its Rand-Walk baselines exhibit.
+    pub sigma: f64,
+}
+
+impl RandomWalk {
+    /// The σ₀ used by the experiments.
+    pub const DEFAULT_SIGMA: f64 = 0.12;
+
+    /// Creates a walk with the given step size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not positive and finite.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive");
+        RandomWalk { sigma }
+    }
+}
+
+impl Default for RandomWalk {
+    fn default() -> Self {
+        RandomWalk::new(Self::DEFAULT_SIGMA)
+    }
+}
+
+impl Searcher for RandomWalk {
+    fn propose(
+        &mut self,
+        space: &SearchSpace,
+        history: &History,
+        rng: &mut StdRng,
+    ) -> Result<Config> {
+        match history.best() {
+            None => Ok(Config::random(rng, space.dim())),
+            Some(best) => Ok(best.config.gaussian_step(self.sigma, rng)),
+        }
+    }
+}
+
+/// Exhaustive grid search over an axis-aligned lattice.
+///
+/// The paper's introduction dismisses grid search as yielding "poor
+/// results in terms of performance and training time" in NN
+/// hyper-parameter spaces; this implementation exists as that baseline
+/// (see the `baseline_grid_search` example/bench). Points are visited in
+/// a deterministic lattice order; once the lattice is exhausted the
+/// search refines it by doubling the per-dimension resolution.
+#[derive(Debug, Clone)]
+pub struct GridSearch {
+    points_per_dim: usize,
+    cursor: usize,
+}
+
+impl GridSearch {
+    /// Creates a grid with `points_per_dim` levels per dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points_per_dim < 2`.
+    pub fn new(points_per_dim: usize) -> Self {
+        assert!(
+            points_per_dim >= 2,
+            "need at least two levels per dimension"
+        );
+        GridSearch {
+            points_per_dim,
+            cursor: 0,
+        }
+    }
+
+    /// Decodes lattice index `cursor` into a unit-cube point.
+    fn lattice_point(&self, mut index: usize, dim: usize) -> Vec<f64> {
+        let levels = self.points_per_dim;
+        (0..dim)
+            .map(|_| {
+                let level = index % levels;
+                index /= levels;
+                // Centre levels within their cells: 1/2L, 3/2L, ...
+                (level as f64 + 0.5) / levels as f64
+            })
+            .collect()
+    }
+}
+
+impl Searcher for GridSearch {
+    fn propose(
+        &mut self,
+        space: &SearchSpace,
+        _history: &History,
+        _rng: &mut StdRng,
+    ) -> Result<Config> {
+        let dim = space.dim();
+        let total = self.points_per_dim.pow(dim.min(12) as u32);
+        if self.cursor >= total {
+            // Lattice exhausted: refine.
+            self.points_per_dim *= 2;
+            self.cursor = 0;
+        }
+        let unit = self.lattice_point(self.cursor, dim);
+        self.cursor += 1;
+        Config::new(unit)
+    }
+}
+
+/// How a BO searcher weights EI by the constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintWeighting {
+    /// No weighting: plain EI (the Default mode of both BO methods).
+    None,
+    /// HW-CWEI: multiply EI by the probability of constraint satisfaction.
+    Probability,
+    /// HW-IECI: multiply EI by hard indicator functions (paper Eq. 3).
+    Indicator,
+}
+
+/// The improvement criterion underneath a BO searcher's acquisition.
+///
+/// The paper uses Expected Improvement and "leaves the systematic
+/// exploration of other acquisition functions for future work" (§3.4);
+/// the alternatives here implement that exploration (see the
+/// `ablation_acquisitions` bench).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BaseAcquisition {
+    /// Expected Improvement (the paper's choice).
+    ExpectedImprovement,
+    /// Probability of Improvement: greedier, ignores improvement size.
+    ProbabilityOfImprovement,
+    /// Negated Lower Confidence Bound with exploration weight `beta`.
+    LowerConfidenceBound {
+        /// Exploration weight (≥ 0); 2.0 is a common default.
+        beta: f64,
+    },
+}
+
+impl Default for BaseAcquisition {
+    fn default() -> Self {
+        BaseAcquisition::ExpectedImprovement
+    }
+}
+
+/// Gaussian-process Bayesian optimization with a constraint-weighted
+/// Expected Improvement acquisition, maximised over a random candidate
+/// grid (as Spearmint does).
+#[derive(Debug, Clone)]
+pub struct BoSearcher {
+    weighting: ConstraintWeighting,
+    oracle: Option<ConstraintOracle>,
+    /// The improvement criterion (EI by default, per the paper).
+    pub base_acquisition: BaseAcquisition,
+    /// Candidate-grid size per iteration.
+    pub candidates: usize,
+    /// Observations required before the GP takes over from random
+    /// proposals.
+    pub min_observations: usize,
+}
+
+impl BoSearcher {
+    /// Creates a BO searcher with the paper's Expected Improvement base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a constraint weighting other than
+    /// [`ConstraintWeighting::None`] is requested without an oracle.
+    pub fn new(weighting: ConstraintWeighting, oracle: Option<ConstraintOracle>) -> Self {
+        assert!(
+            weighting == ConstraintWeighting::None || oracle.is_some(),
+            "constraint weighting requires a fitted constraint oracle"
+        );
+        BoSearcher {
+            weighting,
+            oracle,
+            base_acquisition: BaseAcquisition::default(),
+            candidates: 500,
+            min_observations: 3,
+        }
+    }
+
+    /// Replaces the improvement criterion (builder style).
+    pub fn with_base_acquisition(mut self, base: BaseAcquisition) -> Self {
+        self.base_acquisition = base;
+        self
+    }
+
+    fn acquisition_weight(&self, space: &SearchSpace, candidate: &Config) -> Result<f64> {
+        let weight = match (self.weighting, &self.oracle) {
+            (ConstraintWeighting::None, _) => 1.0,
+            (ConstraintWeighting::Probability, Some(oracle)) => {
+                let z = space.structural_values(candidate)?;
+                oracle.feasibility_probability(&z)
+            }
+            (ConstraintWeighting::Indicator, Some(oracle)) => {
+                let z = space.structural_values(candidate)?;
+                if oracle.predicted_feasible(&z) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            (_, None) => unreachable!("checked at construction"),
+        };
+        Ok(weight)
+    }
+}
+
+impl Searcher for BoSearcher {
+    fn propose(
+        &mut self,
+        space: &SearchSpace,
+        history: &History,
+        rng: &mut StdRng,
+    ) -> Result<Config> {
+        if history.len() < self.min_observations {
+            // Seed phase: random designs. Under the hard indicator
+            // (HW-IECI) even the seeds must be predicted feasible — the
+            // paper's "never considering invalid configurations" claim
+            // covers the whole run.
+            if let (ConstraintWeighting::Indicator, Some(oracle)) = (self.weighting, &self.oracle) {
+                for _ in 0..10_000 {
+                    let candidate = Config::random(rng, space.dim());
+                    let z = space.structural_values(&candidate)?;
+                    if oracle.predicted_feasible(&z) {
+                        return Ok(candidate);
+                    }
+                }
+                // Effectively empty feasible region: fall through to an
+                // unfiltered random seed.
+            }
+            return Ok(Config::random(rng, space.dim()));
+        }
+
+        // Fit the surrogate to all observations.
+        let n = history.len();
+        let d = space.dim();
+        let mut data = Vec::with_capacity(n * d);
+        let mut y = Vec::with_capacity(n);
+        for obs in history.observations() {
+            data.extend_from_slice(obs.config.unit());
+            y.push(obs.error);
+        }
+        let x = Matrix::from_vec(n, d, data).map_err(Error::Numerical)?;
+        let fitted = fit_gp_hyperparams(
+            Matern52::new(0.5).into_kernel(),
+            &x,
+            &y,
+            FitOptions {
+                restarts: 2,
+                max_evals_per_restart: 80,
+                min_noise_variance: 1e-6,
+            },
+        )?;
+        let best = history.best().expect("non-empty history").error;
+
+        // Score every candidate on the grid.
+        let grid = uniform_candidates(rng, self.candidates, d);
+        let mut scored: Vec<(Config, f64, f64)> = Vec::with_capacity(grid.rows());
+        for i in 0..grid.rows() {
+            let candidate = Config::new(grid.row(i).to_vec())?;
+            let prediction = fitted.gp.predict(candidate.unit());
+            let base = match self.base_acquisition {
+                BaseAcquisition::ExpectedImprovement => expected_improvement_at(prediction, best),
+                BaseAcquisition::ProbabilityOfImprovement => {
+                    probability_of_improvement_at(prediction, best)
+                }
+                BaseAcquisition::LowerConfidenceBound { beta } => {
+                    lower_confidence_bound_at(prediction, beta)
+                }
+            };
+            let weight = self.acquisition_weight(space, &candidate)?;
+            scored.push((candidate, base, weight));
+        }
+
+        // Combine base and constraint weight. EI/PI are non-negative, so
+        // multiplication composes (paper Eq. 3); LCB can be negative, so
+        // infeasibility is charged as a penalty scaled to the grid's score
+        // range instead.
+        let lcb = matches!(
+            self.base_acquisition,
+            BaseAcquisition::LowerConfidenceBound { .. }
+        );
+        if lcb {
+            let lo = scored
+                .iter()
+                .map(|(_, b, _)| *b)
+                .fold(f64::INFINITY, f64::min);
+            let hi = scored
+                .iter()
+                .map(|(_, b, _)| *b)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let span = (hi - lo).max(1e-9);
+            let (winner, _) = scored
+                .into_iter()
+                .map(|(c, b, w)| {
+                    let s = b - 10.0 * span * (1.0 - w);
+                    (c, s)
+                })
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("candidate grid is non-empty");
+            return Ok(winner);
+        }
+
+        let mut best_candidate: Option<(Config, f64)> = None;
+        // Best candidate with *any* constraint weight (kept feasible even
+        // when every EI underflows to zero during exploitation) and the
+        // best unweighted candidate as a last resort.
+        let mut best_weighted: Option<(Config, f64, f64)> = None; // (cfg, weight, base)
+        let mut best_unweighted: Option<(Config, f64)> = None;
+        for (candidate, base, weight) in scored {
+            let score = base * weight;
+            if best_candidate.as_ref().is_none_or(|(_, s)| score > *s) {
+                best_candidate = Some((candidate.clone(), score));
+            }
+            if weight > 0.0
+                && best_weighted
+                    .as_ref()
+                    .is_none_or(|(_, w, b)| (weight, base) > (*w, *b))
+            {
+                best_weighted = Some((candidate.clone(), weight, base));
+            }
+            if best_unweighted.as_ref().is_none_or(|(_, b)| base > *b) {
+                best_unweighted = Some((candidate, base));
+            }
+        }
+        let (winner, score) = best_candidate.expect("candidate grid is non-empty");
+        if score > 0.0 {
+            Ok(winner)
+        } else if let Some((feasible, _, _)) = best_weighted {
+            // All improvement mass vanished: stay inside the
+            // predicted-feasible region rather than proposing a violator.
+            Ok(feasible)
+        } else {
+            // The whole grid is predicted infeasible (pathologically tight
+            // budgets): fall back to the best unweighted point.
+            Ok(best_unweighted.expect("candidate grid is non-empty").0)
+        }
+    }
+}
+
+/// Thompson-sampling Bayesian optimization (extension).
+///
+/// Instead of maximising an acquisition *score*, each iteration draws one
+/// correlated sample of the objective from the GP's **joint posterior**
+/// over a candidate grid and proposes the sample's argmin. Exploration
+/// emerges from posterior uncertainty; there is no explicit trade-off
+/// parameter. Constraints are handled HW-IECI-style: predicted-infeasible
+/// candidates are excluded from the argmin (and from the seed proposals).
+#[derive(Debug, Clone)]
+pub struct ThompsonSearcher {
+    oracle: Option<ConstraintOracle>,
+    /// Candidate-grid size per iteration. Joint-posterior sampling is
+    /// O(grid³), so this is smaller than [`BoSearcher`]'s grid.
+    pub candidates: usize,
+    /// Observations required before the GP takes over from random
+    /// proposals.
+    pub min_observations: usize,
+}
+
+impl ThompsonSearcher {
+    /// Creates a Thompson-sampling searcher; with an oracle it proposes
+    /// only predicted-feasible candidates.
+    pub fn new(oracle: Option<ConstraintOracle>) -> Self {
+        ThompsonSearcher {
+            oracle,
+            candidates: 120,
+            min_observations: 3,
+        }
+    }
+
+    fn feasible_random(&self, space: &SearchSpace, rng: &mut StdRng) -> Result<Config> {
+        if let Some(oracle) = &self.oracle {
+            for _ in 0..10_000 {
+                let candidate = Config::random(rng, space.dim());
+                if oracle.predicted_feasible(&space.structural_values(&candidate)?) {
+                    return Ok(candidate);
+                }
+            }
+        }
+        Ok(Config::random(rng, space.dim()))
+    }
+}
+
+impl Searcher for ThompsonSearcher {
+    fn propose(
+        &mut self,
+        space: &SearchSpace,
+        history: &History,
+        rng: &mut StdRng,
+    ) -> Result<Config> {
+        if history.len() < self.min_observations {
+            return self.feasible_random(space, rng);
+        }
+
+        let n = history.len();
+        let d = space.dim();
+        let mut data = Vec::with_capacity(n * d);
+        let mut y = Vec::with_capacity(n);
+        for obs in history.observations() {
+            data.extend_from_slice(obs.config.unit());
+            y.push(obs.error);
+        }
+        let x = Matrix::from_vec(n, d, data).map_err(Error::Numerical)?;
+        let fitted = fit_gp_hyperparams(
+            Matern52::new(0.5).into_kernel(),
+            &x,
+            &y,
+            FitOptions {
+                restarts: 2,
+                max_evals_per_restart: 80,
+                min_noise_variance: 1e-6,
+            },
+        )?;
+
+        // Candidate grid, constraint-filtered up front.
+        let grid = uniform_candidates(rng, self.candidates * 4, d);
+        let mut candidates = Vec::with_capacity(self.candidates);
+        for i in 0..grid.rows() {
+            if candidates.len() >= self.candidates {
+                break;
+            }
+            let candidate = Config::new(grid.row(i).to_vec())?;
+            let admissible = match &self.oracle {
+                Some(oracle) => oracle.predicted_feasible(&space.structural_values(&candidate)?),
+                None => true,
+            };
+            if admissible {
+                candidates.push(candidate);
+            }
+        }
+        if candidates.is_empty() {
+            return self.feasible_random(space, rng);
+        }
+
+        // One correlated posterior draw; propose its argmin.
+        let m = candidates.len();
+        let mut q = Vec::with_capacity(m * d);
+        for c in &candidates {
+            q.extend_from_slice(c.unit());
+        }
+        let queries = Matrix::from_vec(m, d, q).map_err(Error::Numerical)?;
+        let normals: Vec<f64> = (0..m)
+            .map(|_| {
+                let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.random_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            })
+            .collect();
+        let sample = fitted.gp.sample_posterior(&queries, &normals)?;
+        let argmin = sample
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty candidate set");
+        Ok(candidates.swap_remove(argmin))
+    }
+}
+
+/// Builds the searcher for a `(method, mode)` pair. The oracle must be
+/// `Some` in HyperPower mode (the session supplies it) and is ignored for
+/// model-free methods, whose rejection filter lives in the driver.
+pub(crate) fn make_searcher(
+    method: Method,
+    mode: Mode,
+    oracle: Option<ConstraintOracle>,
+) -> Box<dyn Searcher> {
+    let bo_oracle = match mode {
+        Mode::Default => None,
+        Mode::HyperPower => oracle,
+    };
+    match (method, mode) {
+        (Method::Rand, _) => Box::new(RandomSearch),
+        (Method::RandWalk, _) => Box::new(RandomWalk::default()),
+        (Method::HwCwei, Mode::Default) | (Method::HwIeci, Mode::Default) => {
+            Box::new(BoSearcher::new(ConstraintWeighting::None, None))
+        }
+        (Method::HwCwei, Mode::HyperPower) => {
+            Box::new(BoSearcher::new(ConstraintWeighting::Probability, bo_oracle))
+        }
+        (Method::HwIeci, Mode::HyperPower) => {
+            Box::new(BoSearcher::new(ConstraintWeighting::Indicator, bo_oracle))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn history_from(points: &[(Vec<f64>, f64)]) -> History {
+        let mut h = History::new();
+        for (unit, err) in points {
+            h.push(Config::new(unit.clone()).unwrap(), *err);
+        }
+        h
+    }
+
+    #[test]
+    fn method_display_matches_paper_names() {
+        assert_eq!(Method::Rand.to_string(), "Rand");
+        assert_eq!(Method::RandWalk.to_string(), "Rand-Walk");
+        assert_eq!(Method::HwCwei.to_string(), "HW-CWEI");
+        assert_eq!(Method::HwIeci.to_string(), "HW-IECI");
+        assert_eq!(Mode::Default.to_string(), "Default");
+        assert_eq!(Mode::HyperPower.to_string(), "HyperPower");
+    }
+
+    #[test]
+    fn model_free_classification() {
+        assert!(Method::Rand.is_model_free());
+        assert!(Method::RandWalk.is_model_free());
+        assert!(!Method::HwCwei.is_model_free());
+        assert!(!Method::HwIeci.is_model_free());
+    }
+
+    #[test]
+    fn history_tracks_incumbent() {
+        let h = history_from(&[
+            (vec![0.1; 6], 0.5),
+            (vec![0.2; 6], 0.2),
+            (vec![0.3; 6], 0.9),
+        ]);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.best().unwrap().error, 0.2);
+        assert!(History::new().best().is_none());
+    }
+
+    #[test]
+    fn random_search_proposes_valid_configs() {
+        let space = SearchSpace::mnist();
+        let mut s = RandomSearch;
+        let mut r = rng();
+        for _ in 0..50 {
+            let c = s.propose(&space, &History::new(), &mut r).unwrap();
+            assert_eq!(c.dim(), 6);
+            assert!(space.decode(&c).is_ok());
+        }
+    }
+
+    #[test]
+    fn random_walk_stays_near_incumbent() {
+        let space = SearchSpace::mnist();
+        let mut s = RandomWalk::new(0.05);
+        let mut r = rng();
+        let h = history_from(&[(vec![0.5; 6], 0.1)]);
+        for _ in 0..30 {
+            let c = s.propose(&space, &h, &mut r).unwrap();
+            for (a, b) in c.unit().iter().zip(&[0.5; 6]) {
+                assert!((a - b).abs() < 0.3, "walk step too large");
+            }
+        }
+    }
+
+    #[test]
+    fn random_walk_uniform_without_history() {
+        let space = SearchSpace::mnist();
+        let mut s = RandomWalk::default();
+        let mut r = rng();
+        let c = s.propose(&space, &History::new(), &mut r).unwrap();
+        assert_eq!(c.dim(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn bad_sigma_panics() {
+        RandomWalk::new(0.0);
+    }
+
+    #[test]
+    fn bo_random_until_min_observations() {
+        let space = SearchSpace::mnist();
+        let mut s = BoSearcher::new(ConstraintWeighting::None, None);
+        let mut r = rng();
+        let h = history_from(&[(vec![0.5; 6], 0.3)]);
+        // Below min_observations: must not fail, proposes randomly.
+        let c = s.propose(&space, &h, &mut r).unwrap();
+        assert_eq!(c.dim(), 6);
+    }
+
+    #[test]
+    fn bo_exploits_low_error_region() {
+        // Errors fall toward unit coordinates near 0.8: BO should propose
+        // in that neighbourhood more often than uniform chance.
+        let space = SearchSpace::mnist();
+        let mut h = History::new();
+        let mut r = rng();
+        for i in 0..12 {
+            let u = i as f64 / 11.0;
+            let config = Config::new(vec![u; 6]).unwrap();
+            let err = (u - 0.8).abs() + 0.05;
+            h.push(config, err);
+        }
+        let mut s = BoSearcher::new(ConstraintWeighting::None, None);
+        let mut near = 0;
+        for _ in 0..10 {
+            let c = s.propose(&space, &h, &mut r).unwrap();
+            let mean_u: f64 = c.unit().iter().sum::<f64>() / 6.0;
+            if (mean_u - 0.8).abs() < 0.25 {
+                near += 1;
+            }
+        }
+        assert!(near >= 5, "only {near}/10 proposals near the optimum");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a fitted constraint oracle")]
+    fn weighted_bo_without_oracle_panics() {
+        BoSearcher::new(ConstraintWeighting::Indicator, None);
+    }
+
+    #[test]
+    fn grid_search_visits_distinct_lattice_points() {
+        let space = SearchSpace::mnist();
+        let mut g = GridSearch::new(2);
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        // 2^6 = 64 lattice points, all distinct.
+        for _ in 0..64 {
+            let c = g.propose(&space, &History::new(), &mut r).unwrap();
+            let key: Vec<u64> = c.unit().iter().map(|u| u.to_bits()).collect();
+            assert!(seen.insert(key), "grid revisited a point prematurely");
+        }
+        // The 65th proposal starts the refined (4-level) lattice.
+        let c = g.propose(&space, &History::new(), &mut r).unwrap();
+        assert!(c.unit().iter().all(|u| (0.0..=1.0).contains(u)));
+    }
+
+    #[test]
+    fn grid_points_are_cell_centres() {
+        let space = SearchSpace::mnist();
+        let mut g = GridSearch::new(2);
+        let mut r = rng();
+        let c = g.propose(&space, &History::new(), &mut r).unwrap();
+        assert_eq!(c.unit(), &[0.25; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two levels")]
+    fn degenerate_grid_panics() {
+        GridSearch::new(1);
+    }
+
+    #[test]
+    fn thompson_sampler_proposes_valid_configs() {
+        let space = SearchSpace::mnist();
+        let mut s = ThompsonSearcher::new(None);
+        let mut r = rng();
+        // Seed phase.
+        let c = s.propose(&space, &History::new(), &mut r).unwrap();
+        assert_eq!(c.dim(), 6);
+        // Model phase.
+        let mut h = History::new();
+        for i in 0..8 {
+            let u = i as f64 / 7.0;
+            h.push(Config::new(vec![u; 6]).unwrap(), (u - 0.6).abs() + 0.1);
+        }
+        for _ in 0..5 {
+            let c = s.propose(&space, &h, &mut r).unwrap();
+            assert!(space.decode(&c).is_ok());
+        }
+    }
+
+    #[test]
+    fn thompson_sampler_exploits_low_error_region() {
+        let space = SearchSpace::mnist();
+        let mut h = History::new();
+        for i in 0..12 {
+            let u = i as f64 / 11.0;
+            h.push(Config::new(vec![u; 6]).unwrap(), (u - 0.8).abs() + 0.05);
+        }
+        let mut s = ThompsonSearcher::new(None);
+        let mut r = rng();
+        let mut near = 0;
+        for _ in 0..10 {
+            let c = s.propose(&space, &h, &mut r).unwrap();
+            let mean_u: f64 = c.unit().iter().sum::<f64>() / 6.0;
+            if (mean_u - 0.8).abs() < 0.35 {
+                near += 1;
+            }
+        }
+        assert!(
+            near >= 5,
+            "only {near}/10 Thompson proposals near the optimum"
+        );
+    }
+
+    #[test]
+    fn thompson_proposals_vary_across_draws() {
+        // Exploration: repeated proposals from the same posterior differ.
+        let space = SearchSpace::mnist();
+        let mut h = History::new();
+        for i in 0..6 {
+            let u = i as f64 / 5.0;
+            h.push(Config::new(vec![u; 6]).unwrap(), 0.5 - 0.1 * u);
+        }
+        let mut s = ThompsonSearcher::new(None);
+        let mut r = rng();
+        let a = s.propose(&space, &h, &mut r).unwrap();
+        let b = s.propose(&space, &h, &mut r).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn alternative_acquisitions_propose_valid_configs() {
+        let space = SearchSpace::mnist();
+        let mut h = History::new();
+        for i in 0..8 {
+            let u = i as f64 / 7.0;
+            h.push(Config::new(vec![u; 6]).unwrap(), (u - 0.6).abs() + 0.1);
+        }
+        for base in [
+            BaseAcquisition::ExpectedImprovement,
+            BaseAcquisition::ProbabilityOfImprovement,
+            BaseAcquisition::LowerConfidenceBound { beta: 2.0 },
+        ] {
+            let mut s =
+                BoSearcher::new(ConstraintWeighting::None, None).with_base_acquisition(base);
+            let mut r = rng();
+            let c = s.propose(&space, &h, &mut r).unwrap();
+            assert_eq!(c.dim(), 6);
+            assert!(space.decode(&c).is_ok());
+        }
+    }
+
+    #[test]
+    fn lcb_exploits_low_error_region_too() {
+        let space = SearchSpace::mnist();
+        let mut h = History::new();
+        for i in 0..12 {
+            let u = i as f64 / 11.0;
+            h.push(Config::new(vec![u; 6]).unwrap(), (u - 0.8).abs() + 0.05);
+        }
+        let mut s = BoSearcher::new(ConstraintWeighting::None, None)
+            .with_base_acquisition(BaseAcquisition::LowerConfidenceBound { beta: 1.0 });
+        let mut r = rng();
+        let mut near = 0;
+        for _ in 0..10 {
+            let c = s.propose(&space, &h, &mut r).unwrap();
+            let mean_u: f64 = c.unit().iter().sum::<f64>() / 6.0;
+            if (mean_u - 0.8).abs() < 0.3 {
+                near += 1;
+            }
+        }
+        assert!(near >= 5, "only {near}/10 LCB proposals near the optimum");
+    }
+
+    #[test]
+    fn make_searcher_covers_all_combinations() {
+        // Default mode never needs an oracle.
+        for m in Method::ALL {
+            let _ = make_searcher(m, Mode::Default, None);
+        }
+        // Model-free HyperPower searchers don't hold the oracle either
+        // (the driver screens); BO HyperPower methods require it, supplied
+        // by the session — here we just check the model-free paths.
+        let _ = make_searcher(Method::Rand, Mode::HyperPower, None);
+        let _ = make_searcher(Method::RandWalk, Mode::HyperPower, None);
+    }
+}

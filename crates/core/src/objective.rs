@@ -1,0 +1,338 @@
+//! The expensive objective: train a candidate network, report test error.
+//!
+//! This is step 2 of the paper's Figure 2 — the step every enhancement
+//! tries to bypass or shorten. Two interchangeable implementations are
+//! provided behind the [`Objective`] trait:
+//!
+//! * [`SimulatedObjective`] — the calibrated training simulator
+//!   ([`hyperpower_nn::sim`]) used for paper-scale sweeps, with virtual
+//!   time from a [`TrainingCostModel`],
+//! * [`RealTrainingObjective`] — actual SGD training of a
+//!   [`hyperpower_nn::Network`] on a synthetic dataset, exercised by the
+//!   examples and integration tests to prove the full code path works.
+//!
+//! Both honour the paper's **early termination** enhancement (§3.2):
+//! diverging runs are identified after a few epochs and aborted, saving
+//! nearly the entire training cost.
+
+use hyperpower_data::{Dataset, Split};
+use hyperpower_gpu_sim::TrainingCostModel;
+use hyperpower_nn::sim::TrainingSimulator;
+use hyperpower_nn::Network;
+
+use crate::space::Decoded;
+use crate::Result;
+
+/// The early-termination policy (paper §3.2, Fig. 3 right): after
+/// `check_epoch` epochs, a run whose test error is still above
+/// `error_threshold` is declared diverging and aborted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyTermination {
+    /// Epoch at which the check fires.
+    pub check_epoch: usize,
+    /// Error above which the run is considered diverging. The paper flags
+    /// configurations that fail to exceed 10% accuracy; with 10 balanced
+    /// classes that corresponds to an error threshold of 0.85–0.90.
+    pub error_threshold: f64,
+}
+
+impl Default for EarlyTermination {
+    fn default() -> Self {
+        EarlyTermination {
+            check_epoch: 3,
+            error_threshold: 0.85,
+        }
+    }
+}
+
+/// Outcome of one objective evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvaluationResult {
+    /// Observed test error (final, or at the termination epoch).
+    pub error: f64,
+    /// Whether the run diverged.
+    pub diverged: bool,
+    /// Whether early termination cut the run short.
+    pub terminated_early: bool,
+    /// Modelled wall-clock cost of the run in (virtual) seconds.
+    pub train_secs: f64,
+}
+
+/// An expensive objective function over decoded configurations.
+///
+/// Implementations must be deterministic given `(decoded, early, seed)`.
+pub trait Objective {
+    /// Trains the candidate and reports its test error.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail on invalid architectures; the built-in
+    /// search spaces never produce those.
+    fn evaluate(
+        &mut self,
+        decoded: &Decoded,
+        early: Option<&EarlyTermination>,
+        seed: u64,
+    ) -> Result<EvaluationResult>;
+
+    /// Number of full-training epochs this objective runs.
+    fn full_epochs(&self) -> usize;
+}
+
+/// Paper-scale objective backed by the analytical training simulator.
+#[derive(Debug, Clone)]
+pub struct SimulatedObjective {
+    sim: TrainingSimulator,
+    cost: TrainingCostModel,
+    train_examples: usize,
+}
+
+impl SimulatedObjective {
+    /// Creates a simulated objective.
+    ///
+    /// `train_examples` is the (virtual) training-set size that, together
+    /// with the cost model, determines how long each run takes.
+    pub fn new(sim: TrainingSimulator, cost: TrainingCostModel, train_examples: usize) -> Self {
+        SimulatedObjective {
+            sim,
+            cost,
+            train_examples,
+        }
+    }
+
+    /// The underlying simulator.
+    pub fn simulator(&self) -> &TrainingSimulator {
+        &self.sim
+    }
+
+    /// The cost model used for virtual-time accounting.
+    pub fn cost_model(&self) -> &TrainingCostModel {
+        &self.cost
+    }
+}
+
+impl Objective for SimulatedObjective {
+    fn evaluate(
+        &mut self,
+        decoded: &Decoded,
+        early: Option<&EarlyTermination>,
+        seed: u64,
+    ) -> Result<EvaluationResult> {
+        let outcome = self.sim.simulate(&decoded.arch, &decoded.hyper, seed);
+        let full_epochs = self.sim.profile().full_epochs;
+        let epoch_secs = self.cost.epoch_secs(&decoded.arch, self.train_examples);
+
+        if let Some(policy) = early {
+            let check = policy.check_epoch.min(full_epochs);
+            let error_at_check = outcome.error_at_epoch(check);
+            if error_at_check > policy.error_threshold {
+                return Ok(EvaluationResult {
+                    error: error_at_check,
+                    diverged: outcome.diverged,
+                    terminated_early: true,
+                    train_secs: self.cost.per_run_overhead_s + epoch_secs * check as f64,
+                });
+            }
+        }
+        Ok(EvaluationResult {
+            error: outcome.final_error,
+            diverged: outcome.diverged,
+            terminated_early: false,
+            train_secs: self.cost.per_run_overhead_s + epoch_secs * full_epochs as f64,
+        })
+    }
+
+    fn full_epochs(&self) -> usize {
+        self.sim.profile().full_epochs
+    }
+}
+
+/// Objective that really trains a [`Network`] with SGD on a dataset from
+/// the `hyperpower-data` crate.
+///
+/// Wall-clock accounting still uses the virtual [`TrainingCostModel`] — the
+/// experiments reason about *target-platform-era* durations, not about how
+/// fast this reproduction's CPU happens to be.
+#[derive(Debug, Clone)]
+pub struct RealTrainingObjective {
+    dataset: Dataset,
+    epochs: usize,
+    batch_size: usize,
+    cost: TrainingCostModel,
+}
+
+impl RealTrainingObjective {
+    /// Creates a real-training objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` or `batch_size` is zero.
+    pub fn new(
+        dataset: Dataset,
+        epochs: usize,
+        batch_size: usize,
+        cost: TrainingCostModel,
+    ) -> Self {
+        assert!(
+            epochs > 0 && batch_size > 0,
+            "epochs and batch size must be positive"
+        );
+        RealTrainingObjective {
+            dataset,
+            epochs,
+            batch_size,
+            cost,
+        }
+    }
+}
+
+impl Objective for RealTrainingObjective {
+    fn evaluate(
+        &mut self,
+        decoded: &Decoded,
+        early: Option<&EarlyTermination>,
+        seed: u64,
+    ) -> Result<EvaluationResult> {
+        let mut net = Network::from_spec(&decoded.arch, seed)?;
+        let examples = self.dataset.num_train();
+        let epoch_secs = self.cost.epoch_secs(&decoded.arch, examples);
+        let mut last_error = 1.0;
+        for epoch in 1..=self.epochs {
+            net.train_epoch(&self.dataset, self.batch_size, &decoded.hyper);
+            last_error = net.evaluate(&self.dataset, Split::Test);
+            if let Some(policy) = early {
+                if epoch == policy.check_epoch && last_error > policy.error_threshold {
+                    return Ok(EvaluationResult {
+                        error: last_error,
+                        diverged: true,
+                        terminated_early: true,
+                        train_secs: self.cost.per_run_overhead_s + epoch_secs * epoch as f64,
+                    });
+                }
+            }
+        }
+        Ok(EvaluationResult {
+            error: last_error,
+            diverged: false,
+            terminated_early: false,
+            train_secs: self.cost.per_run_overhead_s + epoch_secs * self.epochs as f64,
+        })
+    }
+
+    fn full_epochs(&self) -> usize {
+        self.epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Config, SearchSpace};
+    use hyperpower_nn::sim::DatasetProfile;
+
+    fn decoded_from_unit(space: &SearchSpace, unit: Vec<f64>) -> Decoded {
+        space.decode(&Config::new(unit).unwrap()).unwrap()
+    }
+
+    fn simulated() -> SimulatedObjective {
+        SimulatedObjective::new(
+            TrainingSimulator::new(DatasetProfile::mnist()),
+            TrainingCostModel::default(),
+            60_000,
+        )
+    }
+
+    #[test]
+    fn good_config_trains_fully() {
+        let space = SearchSpace::mnist();
+        // Large net, mid lr (0.5 decodes to the geometric mean 0.01), mid momentum.
+        let decoded = decoded_from_unit(&space, vec![0.9, 0.9, 0.4, 0.9, 0.5, 0.5]);
+        let mut obj = simulated();
+        let r = obj
+            .evaluate(&decoded, Some(&EarlyTermination::default()), 1)
+            .unwrap();
+        assert!(!r.terminated_early);
+        assert!(!r.diverged);
+        assert!(r.error < 0.1, "error {}", r.error);
+        assert!(r.train_secs > 100.0);
+    }
+
+    #[test]
+    fn divergent_config_terminates_early_and_saves_time() {
+        let space = SearchSpace::mnist();
+        // Max learning rate + max momentum on a big net: diverges.
+        let decoded = decoded_from_unit(&space, vec![0.9, 0.9, 0.4, 0.9, 1.0, 1.0]);
+        let mut obj = simulated();
+        let with_early = obj
+            .evaluate(&decoded, Some(&EarlyTermination::default()), 2)
+            .unwrap();
+        let without = obj.evaluate(&decoded, None, 2).unwrap();
+        assert!(with_early.terminated_early);
+        assert!(with_early.diverged);
+        assert!(with_early.error > 0.85);
+        assert!(!without.terminated_early);
+        assert!(
+            with_early.train_secs < without.train_secs * 0.4,
+            "early {} vs full {}",
+            with_early.train_secs,
+            without.train_secs
+        );
+    }
+
+    #[test]
+    fn early_termination_never_fires_on_converging_runs() {
+        let space = SearchSpace::mnist();
+        let mut obj = simulated();
+        // Sweep mid-range learning rates; none should be flagged.
+        for lr_unit in [0.3, 0.4, 0.5, 0.6] {
+            let decoded = decoded_from_unit(&space, vec![0.8, 0.5, 0.4, 0.8, lr_unit, 0.3]);
+            let r = obj
+                .evaluate(&decoded, Some(&EarlyTermination::default()), 3)
+                .unwrap();
+            assert!(!r.terminated_early, "lr unit {lr_unit} was terminated");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = SearchSpace::mnist();
+        let decoded = decoded_from_unit(&space, vec![0.5; 6]);
+        let mut obj = simulated();
+        let a = obj.evaluate(&decoded, None, 7).unwrap();
+        let b = obj.evaluate(&decoded, None, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_epochs_reported() {
+        assert_eq!(
+            simulated().full_epochs(),
+            DatasetProfile::mnist().full_epochs
+        );
+    }
+
+    #[test]
+    fn real_training_objective_runs() {
+        use hyperpower_data::synthetic_dataset;
+        use hyperpower_data::GeneratorOptions;
+        // A tiny easy dataset and a tiny space-decoded network.
+        let opts = GeneratorOptions {
+            channels: 1,
+            height: 28,
+            width: 28,
+            num_classes: 10,
+            noise_level: 0.15,
+            max_shift: 1,
+        };
+        let data = synthetic_dataset(opts, 1, 80, 40);
+        let mut obj = RealTrainingObjective::new(data, 3, 16, TrainingCostModel::default());
+        let space = SearchSpace::mnist();
+        // Small net (fast), sensible lr.
+        let decoded = decoded_from_unit(&space, vec![0.0, 0.3, 0.6, 0.0, 0.6, 0.3]);
+        let r = obj.evaluate(&decoded, None, 5).unwrap();
+        assert!((0.0..=1.0).contains(&r.error));
+        assert!(!r.terminated_early);
+        assert!(r.train_secs > 0.0);
+        assert_eq!(obj.full_epochs(), 3);
+    }
+}

@@ -1,0 +1,430 @@
+//! The paper's four device–dataset scenarios and the end-to-end session.
+//!
+//! A [`Scenario`] bundles a platform, a search space, a dataset regime and
+//! the published budgets (paper §5):
+//!
+//! | Pair | Power | Memory | Time budget |
+//! |---|---|---|---|
+//! | MNIST / GTX 1070 | 85 W | 1.15 GiB | 2 h |
+//! | CIFAR-10 / GTX 1070 | 90 W | 1.25 GiB | 5 h |
+//! | MNIST / Tegra TX1 | 10 W | — (no API) | 2 h |
+//! | CIFAR-10 / Tegra TX1 | 12 W | — (no API) | 5 h |
+//!
+//! A [`Session`] performs the offline phase once — profile `L = 100`
+//! random configurations, fit the power/memory models with 10-fold CV —
+//! and then runs any number of `(method, mode, budget)` searches against
+//! the same fitted models, as the paper's experiments do.
+
+use hyperpower_gp::sampler::latin_hypercube;
+use hyperpower_gpu_sim::{DeviceProfile, Gpu, TrainingCostModel, VirtualClock};
+use hyperpower_nn::sim::{DatasetProfile, TrainingSimulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::driver::{run_optimization, Budget, RunSetup, Trace};
+use crate::model::FeatureMap;
+use crate::objective::SimulatedObjective;
+use crate::profiler::{fit_models, Profiler};
+use crate::{
+    Budgets, Config, ConstraintOracle, EarlyTermination, HwModels, Method, Mode, Result,
+    SearchSpace,
+};
+
+/// One of the paper's device–dataset experiment settings.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable name, e.g. `"cifar10-gtx1070"`.
+    pub name: String,
+    /// The target platform.
+    pub device: DeviceProfile,
+    /// The hyper-parameter search space.
+    pub space: SearchSpace,
+    /// The dataset regime for the training simulator (capacity anchors are
+    /// calibrated to the space, see [`Scenario::calibrated_profile`]).
+    pub dataset: DatasetProfile,
+    /// Power/memory budgets.
+    pub budgets: Budgets,
+    /// The paper's wall-clock budget for this pair, in hours.
+    pub time_budget_hours: f64,
+    /// Virtual training-set size (drives training cost).
+    pub train_examples: usize,
+    /// Offline profiling samples `L`.
+    pub profiling_samples: usize,
+}
+
+impl Scenario {
+    /// MNIST on GTX 1070: 85 W, 1.15 GiB, 2 h.
+    pub fn mnist_gtx1070() -> Self {
+        let space = SearchSpace::mnist();
+        let dataset = Self::calibrated_profile(DatasetProfile::mnist(), &space);
+        Scenario {
+            name: "mnist-gtx1070".into(),
+            device: DeviceProfile::gtx_1070(),
+            space,
+            dataset,
+            budgets: Budgets::power_and_memory(85.0, 1.15),
+            time_budget_hours: 2.0,
+            train_examples: 60_000,
+            profiling_samples: 100,
+        }
+    }
+
+    /// CIFAR-10 on GTX 1070: 90 W, 1.25 GiB, 5 h.
+    pub fn cifar10_gtx1070() -> Self {
+        let space = SearchSpace::cifar10();
+        let dataset = Self::calibrated_profile(DatasetProfile::cifar10(), &space);
+        Scenario {
+            name: "cifar10-gtx1070".into(),
+            device: DeviceProfile::gtx_1070(),
+            space,
+            dataset,
+            budgets: Budgets::power_and_memory(90.0, 1.25),
+            time_budget_hours: 5.0,
+            train_examples: 50_000,
+            profiling_samples: 100,
+        }
+    }
+
+    /// MNIST on Tegra TX1: 10 W, no memory constraint (no API), 2 h.
+    pub fn mnist_tegra_tx1() -> Self {
+        let space = SearchSpace::mnist();
+        let dataset = Self::calibrated_profile(DatasetProfile::mnist(), &space);
+        Scenario {
+            name: "mnist-tegra-tx1".into(),
+            device: DeviceProfile::tegra_tx1(),
+            space,
+            dataset,
+            budgets: Budgets::power(10.0),
+            time_budget_hours: 2.0,
+            train_examples: 60_000,
+            profiling_samples: 100,
+        }
+    }
+
+    /// CIFAR-10 on Tegra TX1: 12 W, no memory constraint (no API), 5 h.
+    pub fn cifar10_tegra_tx1() -> Self {
+        let space = SearchSpace::cifar10();
+        let dataset = Self::calibrated_profile(DatasetProfile::cifar10(), &space);
+        Scenario {
+            name: "cifar10-tegra-tx1".into(),
+            device: DeviceProfile::tegra_tx1(),
+            space,
+            dataset,
+            budgets: Budgets::power(12.0),
+            time_budget_hours: 5.0,
+            train_examples: 50_000,
+            profiling_samples: 100,
+        }
+    }
+
+    /// All four pairs in the paper's table order.
+    pub fn all_pairs() -> Vec<Scenario> {
+        vec![
+            Scenario::mnist_gtx1070(),
+            Scenario::cifar10_gtx1070(),
+            Scenario::mnist_tegra_tx1(),
+            Scenario::cifar10_tegra_tx1(),
+        ]
+    }
+
+    /// Anchors the dataset profile's capacity normalisation to the actual
+    /// FLOP extremes of the search space (measured over a deterministic
+    /// Latin-hypercube sample).
+    pub fn calibrated_profile(base: DatasetProfile, space: &SearchSpace) -> DatasetProfile {
+        let mut rng = StdRng::seed_from_u64(0xCAFE);
+        let grid = latin_hypercube(&mut rng, 256, space.dim());
+        let mut f_lo = f64::INFINITY;
+        let mut f_hi = f64::NEG_INFINITY;
+        let mut p_lo = f64::INFINITY;
+        let mut p_hi = f64::NEG_INFINITY;
+        for i in 0..grid.rows() {
+            let config = Config::new(grid.row(i).to_vec()).expect("unit samples");
+            let decoded = space
+                .decode(&config)
+                .expect("built-in spaces always decode");
+            let lg_f = (decoded.arch.flops_per_example().max(1) as f64).log10();
+            f_lo = f_lo.min(lg_f);
+            f_hi = f_hi.max(lg_f);
+            let lg_p = (decoded.arch.param_count().max(1) as f64).log10();
+            p_lo = p_lo.min(lg_p);
+            p_hi = p_hi.max(lg_p);
+        }
+        base.with_capacity_range(f_lo, f_hi)
+            .with_param_range(p_lo, p_hi)
+    }
+}
+
+/// An end-to-end HyperPower session: offline profiling + model fitting,
+/// then repeated optimization runs.
+///
+/// See the crate-level quickstart for an example.
+#[derive(Debug)]
+pub struct Session {
+    scenario: Scenario,
+    models: HwModels,
+    oracle: ConstraintOracle,
+    profiling_secs: f64,
+    seed: u64,
+    runs_started: u64,
+}
+
+impl Session {
+    /// Creates a session: profiles `L` random configurations on the
+    /// scenario's platform and fits the predictive models with 10-fold
+    /// cross-validation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling/fitting failures (e.g. undersized `L`).
+    pub fn new(scenario: Scenario, seed: u64) -> Result<Self> {
+        let mut gpu = Gpu::new(scenario.device.clone(), seed);
+        let mut clock = VirtualClock::new();
+        let cost = TrainingCostModel::default();
+        let data = Profiler::new(scenario.profiling_samples).profile(
+            &scenario.space,
+            &mut gpu,
+            &mut clock,
+            &cost,
+            seed ^ 0x50_50,
+        )?;
+        let models = fit_models(&data, 10, FeatureMap::Linear)?;
+        let oracle = ConstraintOracle::new(models.clone(), scenario.budgets);
+        Ok(Session {
+            scenario,
+            models,
+            oracle,
+            profiling_secs: clock.seconds(),
+            seed,
+            runs_started: 0,
+        })
+    }
+
+    /// The scenario this session is bound to.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The fitted predictive models.
+    pub fn models(&self) -> &HwModels {
+        &self.models
+    }
+
+    /// The constraint oracle (models + budgets).
+    pub fn oracle(&self) -> &ConstraintOracle {
+        &self.oracle
+    }
+
+    /// Virtual time the offline profiling phase took, in seconds. (The
+    /// paper treats profiling as offline and does not bill it to the
+    /// optimization budget; neither do we.)
+    pub fn profiling_secs(&self) -> f64 {
+        self.profiling_secs
+    }
+
+    /// Runs one optimization with an automatically advanced run seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    pub fn run(&mut self, method: Method, mode: Mode, budget: Budget) -> Result<Trace> {
+        self.runs_started += 1;
+        let run_seed = self
+            .seed
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .wrapping_add(self.runs_started);
+        self.run_seeded(method, mode, budget, run_seed)
+    }
+
+    /// Runs one optimization with an explicit run seed (used by the
+    /// benchmark harnesses for paired Default/HyperPower runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    pub fn run_seeded(
+        &mut self,
+        method: Method,
+        mode: Mode,
+        budget: Budget,
+        run_seed: u64,
+    ) -> Result<Trace> {
+        let (models, early) = match mode {
+            Mode::Default => (false, false),
+            Mode::HyperPower => (true, true),
+        };
+        self.run_ablation(method, models, early, budget, run_seed)
+    }
+
+    /// Runs one optimization with a custom proposal strategy (e.g. an
+    /// alternative acquisition function or grid search), in HyperPower
+    /// mode with the session's oracle and early termination.
+    ///
+    /// The trace's `method`/`mode` labels are taken from `label_method`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    pub fn run_with_searcher(
+        &mut self,
+        searcher: Box<dyn crate::methods::Searcher>,
+        label_method: Method,
+        budget: Budget,
+        run_seed: u64,
+    ) -> Result<Trace> {
+        let cost = TrainingCostModel::default();
+        let sim = TrainingSimulator::new(self.scenario.dataset.clone());
+        let mut objective = SimulatedObjective::new(sim, cost, self.scenario.train_examples);
+        let mut gpu = Gpu::new(self.scenario.device.clone(), run_seed ^ 0xDEAD_BEEF);
+        run_optimization(RunSetup {
+            space: &self.scenario.space,
+            objective: &mut objective,
+            gpu: &mut gpu,
+            budgets: self.scenario.budgets,
+            oracle: Some(&self.oracle),
+            early_termination: Some(EarlyTermination::default()),
+            cost,
+            method: label_method,
+            mode: Mode::HyperPower,
+            budget,
+            seed: run_seed,
+            searcher_override: Some(searcher),
+        })
+    }
+
+    /// Runs one optimization with the two HyperPower enhancements toggled
+    /// *independently* — the ablation the paper's Figure 6 discussion
+    /// motivates (how much of the win comes from the predictive models vs
+    /// from early termination).
+    ///
+    /// `use_models` enables the constraint models (rejection filter /
+    /// constraint-aware acquisition); `use_early_termination` enables the
+    /// divergence cutoff. Both on ≡ HyperPower mode; both off ≡ Default.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    pub fn run_ablation(
+        &mut self,
+        method: Method,
+        use_models: bool,
+        use_early_termination: bool,
+        budget: Budget,
+        run_seed: u64,
+    ) -> Result<Trace> {
+        let cost = TrainingCostModel::default();
+        let sim = TrainingSimulator::new(self.scenario.dataset.clone());
+        let mut objective = SimulatedObjective::new(sim, cost, self.scenario.train_examples);
+        let mut gpu = Gpu::new(self.scenario.device.clone(), run_seed ^ 0xDEAD_BEEF);
+        let mode = if use_models {
+            Mode::HyperPower
+        } else {
+            Mode::Default
+        };
+        let oracle = use_models.then_some(&self.oracle);
+        let early = use_early_termination.then(EarlyTermination::default);
+        run_optimization(RunSetup {
+            space: &self.scenario.space,
+            objective: &mut objective,
+            gpu: &mut gpu,
+            budgets: self.scenario.budgets,
+            oracle,
+            early_termination: early,
+            cost,
+            method,
+            mode,
+            budget,
+            seed: run_seed,
+            searcher_override: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::SampleKind;
+
+    #[test]
+    fn scenarios_carry_paper_budgets() {
+        let pairs = Scenario::all_pairs();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs[0].budgets.power_w, Some(85.0));
+        assert_eq!(pairs[0].budgets.memory_gib, Some(1.15));
+        assert_eq!(pairs[1].budgets.power_w, Some(90.0));
+        assert_eq!(pairs[1].budgets.memory_gib, Some(1.25));
+        assert_eq!(pairs[2].budgets.power_w, Some(10.0));
+        assert_eq!(pairs[2].budgets.memory_gib, None);
+        assert_eq!(pairs[3].budgets.power_w, Some(12.0));
+        assert_eq!(pairs[3].budgets.memory_gib, None);
+        assert_eq!(pairs[0].time_budget_hours, 2.0);
+        assert_eq!(pairs[1].time_budget_hours, 5.0);
+    }
+
+    #[test]
+    fn capacity_calibration_brackets_space() {
+        let s = Scenario::cifar10_gtx1070();
+        // The calibrated range must be non-trivial and ordered.
+        assert!(s.dataset.log10_flops_lo < s.dataset.log10_flops_hi);
+        assert!(s.dataset.log10_flops_hi - s.dataset.log10_flops_lo > 1.0);
+    }
+
+    #[test]
+    fn session_fits_models_with_small_rmspe() {
+        let session = Session::new(Scenario::mnist_gtx1070(), 3).unwrap();
+        assert!(session.models().power.cv_rmspe() < 0.10);
+        assert!(session.models().memory.is_some());
+        assert!(session.profiling_secs() > 0.0);
+    }
+
+    #[test]
+    fn tegra_session_has_no_memory_model() {
+        let session = Session::new(Scenario::mnist_tegra_tx1(), 4).unwrap();
+        assert!(session.models().memory.is_none());
+    }
+
+    #[test]
+    fn hyperpower_rand_run_produces_feasible_best() {
+        let mut session = Session::new(Scenario::mnist_gtx1070(), 5).unwrap();
+        let trace = session
+            .run(Method::Rand, Mode::HyperPower, Budget::Evaluations(6))
+            .unwrap();
+        assert_eq!(trace.evaluations(), 6);
+        // The screen rejected some predicted-infeasible candidates.
+        let best = trace.best_feasible().expect("feasible design found");
+        assert!(best.error < 0.9);
+    }
+
+    #[test]
+    fn default_mode_never_rejects() {
+        let mut session = Session::new(Scenario::mnist_gtx1070(), 6).unwrap();
+        let trace = session
+            .run(Method::Rand, Mode::Default, Budget::Evaluations(5))
+            .unwrap();
+        assert_eq!(trace.queried(), 5);
+        assert!(trace.samples.iter().all(|s| s.kind != SampleKind::Rejected));
+    }
+
+    #[test]
+    fn paired_seeds_reproduce() {
+        let mut session = Session::new(Scenario::mnist_tegra_tx1(), 7).unwrap();
+        let a = session
+            .run_seeded(Method::Rand, Mode::HyperPower, Budget::Evaluations(4), 99)
+            .unwrap();
+        let b = session
+            .run_seeded(Method::Rand, Mode::HyperPower, Budget::Evaluations(4), 99)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn time_budget_stops_near_deadline() {
+        let mut session = Session::new(Scenario::mnist_gtx1070(), 8).unwrap();
+        let trace = session
+            .run(Method::Rand, Mode::Default, Budget::VirtualHours(0.5))
+            .unwrap();
+        // The run passes the deadline only by the in-flight sample.
+        assert!(trace.total_time_s >= 0.5 * 3600.0);
+        assert!(trace.total_time_s < 0.5 * 3600.0 + 3600.0);
+        assert!(trace.queried() >= 1);
+    }
+}

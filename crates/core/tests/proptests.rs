@@ -1,0 +1,137 @@
+//! Property-based tests for the HyperPower core crate.
+
+use hyperpower::methods::History;
+use hyperpower::model::{FeatureMap, LinearHwModel};
+use hyperpower::{Budgets, Config, ConstraintOracle, HwModels, SearchSpace};
+use proptest::prelude::*;
+
+fn unit_vec(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..=1.0, dim)
+}
+
+/// A power model fitted to `P(z) = 60 + Σ z` with a known residual spread.
+fn toy_power_model(noise: f64) -> LinearHwModel {
+    let z: Vec<Vec<f64>> = (0..60)
+        .map(|i| {
+            vec![
+                (i % 7) as f64 + 1.0,
+                (i % 5) as f64 + 1.0,
+                (i % 3) as f64 + 1.0,
+            ]
+        })
+        .collect();
+    let y: Vec<f64> = z
+        .iter()
+        .enumerate()
+        .map(|(i, r)| 60.0 + r.iter().sum::<f64>() + noise * if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    LinearHwModel::fit_kfold(&z, &y, 10, FeatureMap::Linear).expect("fits")
+}
+
+proptest! {
+    #[test]
+    fn every_unit_point_decodes_mnist(unit in unit_vec(6)) {
+        let space = SearchSpace::mnist();
+        let config = Config::new(unit).unwrap();
+        let decoded = space.decode(&config).unwrap();
+        // All decoded values within the paper's published ranges.
+        prop_assert!((20.0..=80.0).contains(&decoded.values[0]));
+        prop_assert!((2.0..=5.0).contains(&decoded.values[1]));
+        prop_assert!((1.0..=3.0).contains(&decoded.values[2]));
+        prop_assert!((200.0..=700.0).contains(&decoded.values[3]));
+        prop_assert!((1e-3..=0.1).contains(&decoded.hyper.learning_rate()));
+        prop_assert!((0.8..=0.95).contains(&decoded.hyper.momentum()));
+        prop_assert_eq!(decoded.structural.len(), 4);
+    }
+
+    #[test]
+    fn every_unit_point_decodes_cifar(unit in unit_vec(13)) {
+        let space = SearchSpace::cifar10();
+        let config = Config::new(unit).unwrap();
+        let decoded = space.decode(&config).unwrap();
+        prop_assert!(decoded.arch.param_count() > 0);
+        prop_assert_eq!(decoded.structural.len(), 10);
+        prop_assert!((1e-4..=1e-2).contains(&decoded.hyper.weight_decay()));
+    }
+
+    #[test]
+    fn structural_values_agree_with_decode(unit in unit_vec(13)) {
+        let space = SearchSpace::cifar10();
+        let config = Config::new(unit).unwrap();
+        let z = space.structural_values(&config).unwrap();
+        let decoded = space.decode(&config).unwrap();
+        prop_assert_eq!(z, decoded.structural);
+    }
+
+    #[test]
+    fn integer_dimensions_decode_monotonically(u1 in 0.0f64..=1.0, u2 in 0.0f64..=1.0) {
+        let space = SearchSpace::mnist();
+        let dim = &space.dimensions()[0]; // conv1_features, 20..=80
+        let (lo, hi) = (u1.min(u2), u1.max(u2));
+        prop_assert!(dim.decode(lo) <= dim.decode(hi));
+    }
+
+    #[test]
+    fn gaussian_step_stays_in_cube(unit in unit_vec(13), sigma in 0.001f64..1.0, seed in 0u64..500) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let base = Config::new(unit).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let step = base.gaussian_step(sigma, &mut rng);
+        prop_assert!(step.unit().iter().all(|u| (0.0..=1.0).contains(u)));
+        prop_assert_eq!(step.dim(), base.dim());
+    }
+
+    #[test]
+    fn indicator_implies_majority_probability(z in proptest::collection::vec(1.0f64..8.0, 3)) {
+        // If the hard indicator says feasible, the Gaussian constraint
+        // probability must be at least 1/2 (and vice versa).
+        let oracle = ConstraintOracle::new(
+            HwModels { power: toy_power_model(2.0), memory: None, latency: None },
+            Budgets::power(70.0),
+        );
+        let feasible = oracle.predicted_feasible(&z);
+        let p = oracle.feasibility_probability(&z);
+        prop_assert!((0.0..=1.0).contains(&p));
+        if feasible {
+            prop_assert!(p >= 0.5 - 1e-9, "indicator true but probability {p}");
+        } else {
+            prop_assert!(p <= 0.5 + 1e-9, "indicator false but probability {p}");
+        }
+    }
+
+    #[test]
+    fn budgets_none_accepts_everything(power in 0.0f64..1e4) {
+        prop_assert!(Budgets::default().satisfied_by(power, Some(u64::MAX)));
+    }
+
+    #[test]
+    fn budget_check_is_monotone_in_power(
+        budget in 10.0f64..200.0, below in 0.0f64..1.0, above in 0.0f64..100.0
+    ) {
+        let b = Budgets::power(budget);
+        prop_assert!(b.satisfied_by(budget * below, None));
+        prop_assert!(!b.satisfied_by(budget + above + 1e-9, None));
+    }
+
+    #[test]
+    fn history_best_is_minimum(errors in proptest::collection::vec(0.0f64..1.0, 1..30)) {
+        let mut h = History::new();
+        for (i, e) in errors.iter().enumerate() {
+            let u = (i as f64 / errors.len() as f64).min(1.0);
+            h.push(Config::new(vec![u; 3]).unwrap(), *e);
+        }
+        let best = h.best().unwrap().error;
+        let min = errors.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(best, min);
+    }
+
+    #[test]
+    fn model_prediction_is_affine(z in proptest::collection::vec(0.0f64..10.0, 3), t in 0.0f64..1.0) {
+        // Prediction along a segment interpolates linearly.
+        let model = toy_power_model(0.0);
+        let z2: Vec<f64> = z.iter().map(|v| v + 1.0).collect();
+        let mid: Vec<f64> = z.iter().zip(&z2).map(|(a, b)| a + t * (b - a)).collect();
+        let interp = model.predict(&z) + t * (model.predict(&z2) - model.predict(&z));
+        prop_assert!((model.predict(&mid) - interp).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,313 @@
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::Dataset;
+
+/// Parameters of the procedural dataset generator.
+///
+/// Each class is a smooth random prototype image; every example is its
+/// class prototype with a random sub-pixel shift plus i.i.d. pixel noise.
+/// The achievable test error of a well-sized classifier grows with
+/// `noise_level` and shrinks with prototype separation, which lets the
+/// MNIST-like and CIFAR-like presets land in the paper's respective error
+/// regimes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorOptions {
+    /// Image channels (1 for MNIST-like, 3 for CIFAR-like).
+    pub channels: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Standard deviation of the additive pixel noise.
+    pub noise_level: f64,
+    /// Maximum spatial jitter (pixels) applied to each example.
+    pub max_shift: usize,
+}
+
+impl GeneratorOptions {
+    /// Preset matching the paper's MNIST setting: 28×28 grayscale,
+    /// 10 classes, low noise.
+    pub fn mnist_like() -> Self {
+        GeneratorOptions {
+            channels: 1,
+            height: 28,
+            width: 28,
+            num_classes: 10,
+            noise_level: 0.25,
+            max_shift: 2,
+        }
+    }
+
+    /// Preset matching the paper's CIFAR-10 setting: 32×32 RGB,
+    /// 10 classes, heavy noise.
+    pub fn cifar10_like() -> Self {
+        GeneratorOptions {
+            channels: 3,
+            height: 32,
+            width: 32,
+            num_classes: 10,
+            noise_level: 0.9,
+            max_shift: 3,
+        }
+    }
+}
+
+/// Generates an MNIST-like dataset (28×28×1, 10 classes, easy).
+///
+/// See [`synthetic_dataset`] for the generation procedure.
+pub fn mnist_like(seed: u64, num_train: usize, num_test: usize) -> Dataset {
+    synthetic_dataset(GeneratorOptions::mnist_like(), seed, num_train, num_test)
+}
+
+/// Generates a CIFAR-like dataset (32×32×3, 10 classes, hard).
+///
+/// See [`synthetic_dataset`] for the generation procedure.
+pub fn cifar10_like(seed: u64, num_train: usize, num_test: usize) -> Dataset {
+    synthetic_dataset(GeneratorOptions::cifar10_like(), seed, num_train, num_test)
+}
+
+/// Generates a procedural class-conditional dataset.
+///
+/// Class prototypes are sums of a few random 2-D cosine waves per channel
+/// (smooth, band-limited patterns that convolutions can pick up). Each
+/// example applies a random cyclic shift of up to `max_shift` pixels and
+/// adds Gaussian pixel noise of standard deviation `noise_level`, then
+/// clamps to `[0, 1]`.
+///
+/// Deterministic for a given `(options, seed, num_train, num_test)` tuple.
+///
+/// # Panics
+///
+/// Panics if `options.num_classes` is zero or the image has zero size.
+pub fn synthetic_dataset(
+    options: GeneratorOptions,
+    seed: u64,
+    num_train: usize,
+    num_test: usize,
+) -> Dataset {
+    assert!(options.num_classes > 0, "need at least one class");
+    assert!(
+        options.channels * options.height * options.width > 0,
+        "image must be non-empty"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prototypes: Vec<Vec<f32>> = (0..options.num_classes)
+        .map(|_| class_prototype(&mut rng, &options))
+        .collect();
+
+    let make_split = |count: usize, rng: &mut StdRng| {
+        let px = options.channels * options.height * options.width;
+        let mut images = Vec::with_capacity(count * px);
+        let mut labels = Vec::with_capacity(count);
+        for i in 0..count {
+            let label = i % options.num_classes;
+            labels.push(label);
+            render_example(rng, &options, &prototypes[label], &mut images);
+        }
+        (images, labels)
+    };
+
+    let (train_images, train_labels) = make_split(num_train, &mut rng);
+    let (test_images, test_labels) = make_split(num_test, &mut rng);
+
+    Dataset::from_parts(
+        options.channels,
+        options.height,
+        options.width,
+        options.num_classes,
+        train_images,
+        train_labels,
+        test_images,
+        test_labels,
+    )
+}
+
+/// A smooth random prototype: per channel, a sum of 3 random cosine waves.
+fn class_prototype(rng: &mut StdRng, opt: &GeneratorOptions) -> Vec<f32> {
+    let mut proto = vec![0.0f32; opt.channels * opt.height * opt.width];
+    for c in 0..opt.channels {
+        let waves: Vec<(f64, f64, f64, f64)> = (0..3)
+            .map(|_| {
+                (
+                    rng.random_range(0.5..3.0),                   // fy
+                    rng.random_range(0.5..3.0),                   // fx
+                    rng.random_range(0.0..std::f64::consts::TAU), // phase
+                    rng.random_range(0.5..1.0),                   // amplitude
+                )
+            })
+            .collect();
+        for y in 0..opt.height {
+            for x in 0..opt.width {
+                let mut v = 0.0;
+                for (fy, fx, phase, amp) in &waves {
+                    let ty = y as f64 / opt.height as f64;
+                    let tx = x as f64 / opt.width as f64;
+                    v += amp * (std::f64::consts::TAU * (fy * ty + fx * tx) + phase).cos();
+                }
+                // Normalise to roughly [0, 1].
+                let idx = (c * opt.height + y) * opt.width + x;
+                proto[idx] = (0.5 + v / 6.0).clamp(0.0, 1.0) as f32;
+            }
+        }
+    }
+    proto
+}
+
+/// Renders one example: cyclic shift of the prototype plus pixel noise.
+fn render_example(rng: &mut StdRng, opt: &GeneratorOptions, proto: &[f32], out: &mut Vec<f32>) {
+    let shift_range = opt.max_shift as i64;
+    let (dy, dx) = if shift_range > 0 {
+        (
+            rng.random_range(-shift_range..=shift_range),
+            rng.random_range(-shift_range..=shift_range),
+        )
+    } else {
+        (0, 0)
+    };
+    for c in 0..opt.channels {
+        for y in 0..opt.height {
+            for x in 0..opt.width {
+                let sy = (y as i64 + dy).rem_euclid(opt.height as i64) as usize;
+                let sx = (x as i64 + dx).rem_euclid(opt.width as i64) as usize;
+                let base = proto[(c * opt.height + sy) * opt.width + sx];
+                let noise = standard_normal(rng) * opt.noise_level;
+                out.push((base as f64 + noise).clamp(0.0, 1.0) as f32);
+            }
+        }
+    }
+}
+
+/// Standard normal sample via Box–Muller (avoids a rand_distr dependency).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Split;
+
+    #[test]
+    fn mnist_like_shape_and_balance() {
+        let d = mnist_like(1, 100, 50);
+        assert_eq!(d.image_shape(), (1, 28, 28));
+        assert_eq!(d.num_classes(), 10);
+        // Labels cycle through classes => balanced.
+        let mut counts = [0usize; 10];
+        for i in 0..d.num_train() {
+            counts[d.label(Split::Train, i)] += 1;
+        }
+        assert_eq!(counts, [10; 10]);
+    }
+
+    #[test]
+    fn cifar_like_shape() {
+        let d = cifar10_like(2, 20, 10);
+        assert_eq!(d.image_shape(), (3, 32, 32));
+        assert_eq!(d.example_len(), 3 * 32 * 32);
+    }
+
+    #[test]
+    fn pixels_in_unit_interval() {
+        let d = cifar10_like(3, 30, 10);
+        for i in 0..d.num_train() {
+            assert!(d
+                .image(Split::Train, i)
+                .iter()
+                .all(|p| (0.0..=1.0).contains(p)));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = mnist_like(7, 20, 10);
+        let b = mnist_like(7, 20, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = mnist_like(7, 20, 10);
+        let b = mnist_like(8, 20, 10);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn same_class_examples_more_similar_than_cross_class() {
+        // The signal must dominate enough for learning to be possible:
+        // average intra-class distance < average inter-class distance.
+        let d = mnist_like(11, 100, 0);
+        let dist = |a: &[f32], b: &[f32]| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| ((x - y) * (x - y)) as f64)
+                .sum::<f64>()
+        };
+        let mut intra = (0.0, 0usize);
+        let mut inter = (0.0, 0usize);
+        for i in 0..40 {
+            for j in 0..i {
+                let dd = dist(d.image(Split::Train, i), d.image(Split::Train, j));
+                if d.label(Split::Train, i) == d.label(Split::Train, j) {
+                    intra = (intra.0 + dd, intra.1 + 1);
+                } else {
+                    inter = (inter.0 + dd, inter.1 + 1);
+                }
+            }
+        }
+        let intra_mean = intra.0 / intra.1 as f64;
+        let inter_mean = inter.0 / inter.1 as f64;
+        assert!(
+            intra_mean < inter_mean,
+            "intra {intra_mean} should be < inter {inter_mean}"
+        );
+    }
+
+    #[test]
+    fn cifar_noisier_than_mnist() {
+        // The CIFAR-like preset must be harder: its intra/inter separation
+        // ratio should be worse than the MNIST-like preset's.
+        fn separation(d: &Dataset) -> f64 {
+            let dist = |a: &[f32], b: &[f32]| -> f64 {
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| ((x - y) * (x - y)) as f64)
+                    .sum::<f64>()
+                    / a.len() as f64
+            };
+            let (mut intra, mut ni) = (0.0, 0);
+            let (mut inter, mut nx) = (0.0, 0);
+            for i in 0..30 {
+                for j in 0..i {
+                    let dd = dist(d.image(Split::Train, i), d.image(Split::Train, j));
+                    if d.label(Split::Train, i) == d.label(Split::Train, j) {
+                        intra += dd;
+                        ni += 1;
+                    } else {
+                        inter += dd;
+                        nx += 1;
+                    }
+                }
+            }
+            (inter / nx as f64) / (intra / ni as f64)
+        }
+        let m = mnist_like(5, 60, 0);
+        let c = cifar10_like(5, 60, 0);
+        assert!(separation(&m) > separation(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_panics() {
+        let opt = GeneratorOptions {
+            num_classes: 0,
+            ..GeneratorOptions::mnist_like()
+        };
+        synthetic_dataset(opt, 0, 1, 1);
+    }
+}

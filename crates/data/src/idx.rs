@@ -1,0 +1,406 @@
+//! Loaders for the real dataset file formats.
+//!
+//! The synthetic generators are the default substrate (no dataset files
+//! ship with this reproduction), but a user who *has* the real files can
+//! load them through these parsers and run the whole pipeline on actual
+//! MNIST/CIFAR-10:
+//!
+//! * [`load_idx_images`] / [`load_idx_labels`] — the IDX format of the
+//!   original MNIST distribution (`train-images-idx3-ubyte` etc.),
+//! * [`load_cifar10_batch`] — the CIFAR-10 binary batch format
+//!   (`data_batch_1.bin` etc.),
+//! * [`mnist_from_idx`] / [`cifar10_from_batches`] — assemble a
+//!   [`Dataset`] from the raw parts.
+//!
+//! All parsers work on in-memory byte slices (callers do the I/O), which
+//! keeps them trivially testable.
+
+use std::fmt;
+
+use crate::Dataset;
+
+/// Errors produced when parsing dataset files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The magic number does not match the expected IDX type.
+    BadMagic {
+        /// Expected magic value.
+        expected: u32,
+        /// Found magic value.
+        found: u32,
+    },
+    /// The buffer ended before the declared payload.
+    Truncated {
+        /// Bytes required by the header.
+        expected: usize,
+        /// Bytes available.
+        found: usize,
+    },
+    /// Declared dimensions are unusable (e.g. zero-sized images).
+    BadDimensions(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadMagic { expected, found } => {
+                write!(
+                    f,
+                    "bad magic number: expected {expected:#010x}, found {found:#010x}"
+                )
+            }
+            ParseError::Truncated { expected, found } => {
+                write!(f, "file truncated: need {expected} bytes, have {found}")
+            }
+            ParseError::BadDimensions(msg) => write!(f, "bad dimensions: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// IDX magic for 3-D unsigned-byte tensors (images).
+const IDX_IMAGES_MAGIC: u32 = 0x0000_0803;
+/// IDX magic for 1-D unsigned-byte tensors (labels).
+const IDX_LABELS_MAGIC: u32 = 0x0000_0801;
+
+fn read_u32(bytes: &[u8], offset: usize) -> Result<u32, ParseError> {
+    let end = offset + 4;
+    if bytes.len() < end {
+        return Err(ParseError::Truncated {
+            expected: end,
+            found: bytes.len(),
+        });
+    }
+    Ok(u32::from_be_bytes([
+        bytes[offset],
+        bytes[offset + 1],
+        bytes[offset + 2],
+        bytes[offset + 3],
+    ]))
+}
+
+/// Parses an IDX3 image file (`magic, count, rows, cols, pixels…`).
+///
+/// Returns `(images, rows, cols)` with pixels scaled to `[0, 1]` `f32`,
+/// flattened per example in row-major order.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on bad magic, truncation or zero dimensions.
+pub fn load_idx_images(bytes: &[u8]) -> Result<(Vec<f32>, usize, usize), ParseError> {
+    let magic = read_u32(bytes, 0)?;
+    if magic != IDX_IMAGES_MAGIC {
+        return Err(ParseError::BadMagic {
+            expected: IDX_IMAGES_MAGIC,
+            found: magic,
+        });
+    }
+    let count = read_u32(bytes, 4)? as usize;
+    let rows = read_u32(bytes, 8)? as usize;
+    let cols = read_u32(bytes, 12)? as usize;
+    if rows == 0 || cols == 0 {
+        return Err(ParseError::BadDimensions(format!("{rows}x{cols} image")));
+    }
+    let needed = 16 + count * rows * cols;
+    if bytes.len() < needed {
+        return Err(ParseError::Truncated {
+            expected: needed,
+            found: bytes.len(),
+        });
+    }
+    let images = bytes[16..needed]
+        .iter()
+        .map(|b| *b as f32 / 255.0)
+        .collect();
+    Ok((images, rows, cols))
+}
+
+/// Parses an IDX1 label file (`magic, count, labels…`).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on bad magic or truncation.
+pub fn load_idx_labels(bytes: &[u8]) -> Result<Vec<usize>, ParseError> {
+    let magic = read_u32(bytes, 0)?;
+    if magic != IDX_LABELS_MAGIC {
+        return Err(ParseError::BadMagic {
+            expected: IDX_LABELS_MAGIC,
+            found: magic,
+        });
+    }
+    let count = read_u32(bytes, 4)? as usize;
+    let needed = 8 + count;
+    if bytes.len() < needed {
+        return Err(ParseError::Truncated {
+            expected: needed,
+            found: bytes.len(),
+        });
+    }
+    Ok(bytes[8..needed].iter().map(|b| *b as usize).collect())
+}
+
+/// Number of bytes per record in a CIFAR-10 binary batch:
+/// 1 label byte + 3×32×32 pixel bytes.
+pub const CIFAR10_RECORD_BYTES: usize = 1 + 3 * 32 * 32;
+
+/// Parses one CIFAR-10 binary batch file: a sequence of records, each a
+/// label byte followed by 3072 pixel bytes in CHW order.
+///
+/// Returns `(images, labels)` with pixels scaled to `[0, 1]` `f32`.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Truncated`] if the buffer is not a whole number
+/// of records, and [`ParseError::BadDimensions`] on labels ≥ 10.
+pub fn load_cifar10_batch(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), ParseError> {
+    if bytes.len() % CIFAR10_RECORD_BYTES != 0 {
+        return Err(ParseError::Truncated {
+            expected: bytes.len().div_ceil(CIFAR10_RECORD_BYTES) * CIFAR10_RECORD_BYTES,
+            found: bytes.len(),
+        });
+    }
+    let count = bytes.len() / CIFAR10_RECORD_BYTES;
+    let mut images = Vec::with_capacity(count * 3072);
+    let mut labels = Vec::with_capacity(count);
+    for record in bytes.chunks_exact(CIFAR10_RECORD_BYTES) {
+        let label = record[0] as usize;
+        if label >= 10 {
+            return Err(ParseError::BadDimensions(format!(
+                "label {label} out of range for CIFAR-10"
+            )));
+        }
+        labels.push(label);
+        images.extend(record[1..].iter().map(|b| *b as f32 / 255.0));
+    }
+    Ok((images, labels))
+}
+
+/// Assembles an MNIST [`Dataset`] from parsed IDX train/test parts.
+///
+/// # Errors
+///
+/// Returns [`ParseError::BadDimensions`] if image and label counts
+/// disagree or the image shapes differ between splits.
+pub fn mnist_from_idx(
+    train_images: &[u8],
+    train_labels: &[u8],
+    test_images: &[u8],
+    test_labels: &[u8],
+) -> Result<Dataset, ParseError> {
+    let (train_px, rows, cols) = load_idx_images(train_images)?;
+    let train_y = load_idx_labels(train_labels)?;
+    let (test_px, trows, tcols) = load_idx_images(test_images)?;
+    let test_y = load_idx_labels(test_labels)?;
+    if (rows, cols) != (trows, tcols) {
+        return Err(ParseError::BadDimensions(format!(
+            "train {rows}x{cols} vs test {trows}x{tcols}"
+        )));
+    }
+    if train_px.len() != train_y.len() * rows * cols || test_px.len() != test_y.len() * rows * cols
+    {
+        return Err(ParseError::BadDimensions(
+            "image/label counts disagree".into(),
+        ));
+    }
+    Ok(Dataset::from_parts(
+        1, rows, cols, 10, train_px, train_y, test_px, test_y,
+    ))
+}
+
+/// Assembles a CIFAR-10 [`Dataset`] from parsed binary batches.
+///
+/// # Errors
+///
+/// Propagates batch parse errors; requires at least one training batch.
+pub fn cifar10_from_batches(
+    train_batches: &[&[u8]],
+    test_batch: &[u8],
+) -> Result<Dataset, ParseError> {
+    if train_batches.is_empty() {
+        return Err(ParseError::BadDimensions("no training batches".into()));
+    }
+    let mut train_px = Vec::new();
+    let mut train_y = Vec::new();
+    for batch in train_batches {
+        let (px, y) = load_cifar10_batch(batch)?;
+        train_px.extend(px);
+        train_y.extend(y);
+    }
+    let (test_px, test_y) = load_cifar10_batch(test_batch)?;
+    Ok(Dataset::from_parts(
+        3, 32, 32, 10, train_px, train_y, test_px, test_y,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Split;
+
+    /// Builds a valid IDX3 buffer with the given images.
+    fn idx3(count: usize, rows: usize, cols: usize, pixel: u8) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend(IDX_IMAGES_MAGIC.to_be_bytes());
+        out.extend((count as u32).to_be_bytes());
+        out.extend((rows as u32).to_be_bytes());
+        out.extend((cols as u32).to_be_bytes());
+        out.extend(std::iter::repeat_n(pixel, count * rows * cols));
+        out
+    }
+
+    fn idx1(labels: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend(IDX_LABELS_MAGIC.to_be_bytes());
+        out.extend((labels.len() as u32).to_be_bytes());
+        out.extend_from_slice(labels);
+        out
+    }
+
+    #[test]
+    fn idx_images_roundtrip() {
+        let buf = idx3(2, 3, 4, 255);
+        let (px, rows, cols) = load_idx_images(&buf).unwrap();
+        assert_eq!((rows, cols), (3, 4));
+        assert_eq!(px.len(), 24);
+        assert!(px.iter().all(|p| (*p - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn idx_labels_roundtrip() {
+        let buf = idx1(&[3, 1, 4, 1, 5]);
+        assert_eq!(load_idx_labels(&buf).unwrap(), vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = idx3(1, 2, 2, 0);
+        buf[3] = 0x99;
+        assert!(matches!(
+            load_idx_images(&buf).unwrap_err(),
+            ParseError::BadMagic { .. }
+        ));
+        // Labels parser rejects an images file.
+        let buf = idx3(1, 2, 2, 0);
+        assert!(matches!(
+            load_idx_labels(&buf).unwrap_err(),
+            ParseError::BadMagic { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let mut buf = idx3(2, 3, 4, 7);
+        buf.truncate(buf.len() - 1);
+        assert!(matches!(
+            load_idx_images(&buf).unwrap_err(),
+            ParseError::Truncated { .. }
+        ));
+        assert!(matches!(
+            load_idx_images(&[1, 2]).unwrap_err(),
+            ParseError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        let mut buf = idx3(1, 0, 4, 0);
+        // Patch rows = 0 (already 0 via constructor).
+        buf.truncate(16);
+        assert!(matches!(
+            load_idx_images(&buf).unwrap_err(),
+            ParseError::BadDimensions(_)
+        ));
+    }
+
+    fn cifar_record(label: u8, pixel: u8) -> Vec<u8> {
+        let mut r = vec![label];
+        r.extend(std::iter::repeat_n(pixel, 3072));
+        r
+    }
+
+    #[test]
+    fn cifar_batch_roundtrip() {
+        let mut buf = cifar_record(3, 128);
+        buf.extend(cifar_record(7, 0));
+        let (px, labels) = load_cifar10_batch(&buf).unwrap();
+        assert_eq!(labels, vec![3, 7]);
+        assert_eq!(px.len(), 2 * 3072);
+        assert!((px[0] - 128.0 / 255.0).abs() < 1e-6);
+        assert_eq!(px[3072], 0.0);
+    }
+
+    #[test]
+    fn cifar_partial_record_rejected() {
+        let buf = vec![0u8; CIFAR10_RECORD_BYTES + 1];
+        assert!(matches!(
+            load_cifar10_batch(&buf).unwrap_err(),
+            ParseError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn cifar_bad_label_rejected() {
+        let buf = cifar_record(12, 0);
+        assert!(matches!(
+            load_cifar10_batch(&buf).unwrap_err(),
+            ParseError::BadDimensions(_)
+        ));
+    }
+
+    #[test]
+    fn mnist_dataset_assembly() {
+        let ds = mnist_from_idx(
+            &idx3(4, 28, 28, 100),
+            &idx1(&[0, 1, 2, 3]),
+            &idx3(2, 28, 28, 50),
+            &idx1(&[4, 5]),
+        )
+        .unwrap();
+        assert_eq!(ds.image_shape(), (1, 28, 28));
+        assert_eq!(ds.num_train(), 4);
+        assert_eq!(ds.num_test(), 2);
+        assert_eq!(ds.label(Split::Test, 1), 5);
+    }
+
+    #[test]
+    fn mnist_shape_mismatch_rejected() {
+        let err = mnist_from_idx(
+            &idx3(1, 28, 28, 0),
+            &idx1(&[0]),
+            &idx3(1, 14, 14, 0),
+            &idx1(&[1]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseError::BadDimensions(_)));
+    }
+
+    #[test]
+    fn cifar_dataset_assembly() {
+        let b1 = cifar_record(1, 10);
+        let b2 = cifar_record(2, 20);
+        let test = cifar_record(3, 30);
+        let ds = cifar10_from_batches(&[&b1, &b2], &test).unwrap();
+        assert_eq!(ds.image_shape(), (3, 32, 32));
+        assert_eq!(ds.num_train(), 2);
+        assert_eq!(ds.num_test(), 1);
+        assert_eq!(ds.label(Split::Train, 1), 2);
+        assert!(cifar10_from_batches(&[], &test).is_err());
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let e = ParseError::BadMagic {
+            expected: 0x803,
+            found: 0x801,
+        };
+        assert!(e.to_string().contains("magic"));
+        assert!(ParseError::Truncated {
+            expected: 10,
+            found: 5
+        }
+        .to_string()
+        .contains("truncated"));
+    }
+}

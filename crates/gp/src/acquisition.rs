@@ -1,0 +1,236 @@
+//! Acquisition functions and Gaussian utilities.
+//!
+//! The paper's Bayesian-optimization loop (Figure 2, step 1) selects the
+//! next candidate by maximising an acquisition function over the design
+//! space. The base criterion is Expected Improvement (EI); HyperPower's
+//! constraint-aware variants (HW-IECI, HW-CWEI — implemented in the
+//! `hyperpower` crate) multiply EI by indicator functions or constraint
+//! probabilities. This module supplies the shared math: the standard-normal
+//! pdf/cdf and closed-form EI for *minimisation*.
+
+use crate::Prediction;
+
+/// Standard normal probability density function φ(z).
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution function Φ(z).
+///
+/// Implemented via the complementary error function with the
+/// Abramowitz–Stegun 7.1.26 rational approximation (|error| < 1.5·10⁻⁷),
+/// which is far below the noise floor of any quantity in this workspace.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function, Abramowitz–Stegun formula 7.1.26.
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Closed-form Expected Improvement for **minimisation**:
+///
+/// `EI(x) = E[max(best − Y, 0)]` with `Y ~ N(mean, std²)`, i.e.
+/// `EI = (best − μ)·Φ(z) + σ·φ(z)` where `z = (best − μ)/σ`.
+///
+/// `best` is the incumbent (lowest observed objective value, the paper's
+/// adaptive threshold `y⁺`). Returns 0 when `std` is zero and the mean does
+/// not improve on the incumbent.
+///
+/// # Examples
+///
+/// ```
+/// use hyperpower_gp::acquisition::expected_improvement;
+///
+/// // A candidate predicted well below the incumbent has high EI...
+/// let good = expected_improvement(0.1, 0.05, 0.5);
+/// // ...a candidate predicted above it, with little uncertainty, has ~none.
+/// let bad = expected_improvement(0.9, 0.05, 0.5);
+/// assert!(good > 0.3);
+/// assert!(bad < 1e-6);
+/// ```
+pub fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
+    if std <= 0.0 {
+        return (best - mean).max(0.0);
+    }
+    let z = (best - mean) / std;
+    let ei = (best - mean) * normal_cdf(z) + std * normal_pdf(z);
+    ei.max(0.0)
+}
+
+/// Expected Improvement evaluated from a GP [`Prediction`].
+pub fn expected_improvement_at(prediction: Prediction, best: f64) -> f64 {
+    expected_improvement(prediction.mean, prediction.std_dev(), best)
+}
+
+/// Probability that a Gaussian quantity `N(mean, std²)` is at most
+/// `threshold` — used by HW-CWEI to express `Pr(P(z) ≤ P_B)` when the
+/// constraints are modelled probabilistically (paper §3.5).
+pub fn probability_below(mean: f64, std: f64, threshold: f64) -> f64 {
+    if std <= 0.0 {
+        return if mean <= threshold { 1.0 } else { 0.0 };
+    }
+    normal_cdf((threshold - mean) / std)
+}
+
+/// Probability of Improvement for **minimisation**:
+/// `PI = Pr(Y < best) = Φ((best − μ)/σ)`.
+///
+/// Greedier than EI (it ignores the *magnitude* of improvement); part of
+/// the acquisition family the paper leaves for future exploration (§3.4).
+pub fn probability_of_improvement(mean: f64, std: f64, best: f64) -> f64 {
+    probability_below(mean, std, best)
+}
+
+/// Negated Lower Confidence Bound for **minimisation**, as a
+/// maximisation score: `−(μ − β·σ) = β·σ − μ`.
+///
+/// `beta` trades exploration (large) against exploitation (small); 2.0 is
+/// a common default. Unlike EI/PI the score is unbounded and can be
+/// negative — only its argmax is meaningful.
+///
+/// # Panics
+///
+/// Panics if `beta` is negative.
+pub fn lower_confidence_bound(mean: f64, std: f64, beta: f64) -> f64 {
+    assert!(beta >= 0.0, "beta must be non-negative");
+    beta * std - mean
+}
+
+/// Probability of Improvement from a GP [`Prediction`].
+pub fn probability_of_improvement_at(prediction: Prediction, best: f64) -> f64 {
+    probability_of_improvement(prediction.mean, prediction.std_dev(), best)
+}
+
+/// Negated LCB from a GP [`Prediction`].
+pub fn lower_confidence_bound_at(prediction: Prediction, beta: f64) -> f64 {
+    lower_confidence_bound(prediction.mean, prediction.std_dev(), beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        // Known values of Φ.
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.8413447).abs() < 1e-6);
+        assert!((normal_cdf(-1.0) - 0.1586553).abs() < 1e-6);
+        assert!((normal_cdf(1.96) - 0.9750021).abs() < 1e-6);
+        assert!(normal_cdf(8.0) > 0.9999999);
+        assert!(normal_cdf(-8.0) < 1e-7);
+    }
+
+    #[test]
+    fn normal_pdf_reference_values() {
+        assert!((normal_pdf(0.0) - 0.39894228).abs() < 1e-7);
+        assert!((normal_pdf(1.0) - 0.24197072).abs() < 1e-7);
+        assert_eq!(normal_pdf(1.5), normal_pdf(-1.5));
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = 0.0;
+        for i in -40..=40 {
+            let v = normal_cdf(i as f64 * 0.2);
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn ei_nonnegative_and_zero_far_above_incumbent() {
+        assert!(expected_improvement(10.0, 0.1, 0.0) >= 0.0);
+        assert!(expected_improvement(10.0, 0.1, 0.0) < 1e-12);
+    }
+
+    #[test]
+    fn ei_increases_with_uncertainty_when_mean_worse() {
+        // Same (worse) mean, more uncertainty => more EI.
+        let lo = expected_improvement(1.0, 0.1, 0.5);
+        let hi = expected_improvement(1.0, 1.0, 0.5);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn ei_increases_as_mean_improves() {
+        let worse = expected_improvement(0.6, 0.2, 0.5);
+        let better = expected_improvement(0.2, 0.2, 0.5);
+        assert!(better > worse);
+    }
+
+    #[test]
+    fn ei_deterministic_limit() {
+        // Zero std: EI is exactly the deterministic improvement.
+        assert_eq!(expected_improvement(0.3, 0.0, 0.5), 0.2);
+        assert_eq!(expected_improvement(0.7, 0.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn ei_closed_form_hand_check() {
+        // best=0, mean=0, std=1 => EI = φ(0) = 1/√(2π).
+        let ei = expected_improvement(0.0, 1.0, 0.0);
+        assert!((ei - 0.39894228).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ei_at_wraps_prediction() {
+        let p = Prediction {
+            mean: 0.0,
+            variance: 1.0,
+        };
+        assert!((expected_improvement_at(p, 0.0) - 0.39894228).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pi_is_cdf_of_improvement() {
+        assert!((probability_of_improvement(0.0, 1.0, 0.0) - 0.5).abs() < 1e-7);
+        assert!(probability_of_improvement(1.0, 0.1, 0.0) < 1e-7);
+        assert!(probability_of_improvement(-1.0, 0.1, 0.0) > 1.0 - 1e-7);
+        // Deterministic limits.
+        assert_eq!(probability_of_improvement(0.5, 0.0, 1.0), 1.0);
+        assert_eq!(probability_of_improvement(1.5, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn lcb_trades_mean_against_uncertainty() {
+        // Same mean, more uncertainty => higher score.
+        assert!(lower_confidence_bound(1.0, 2.0, 2.0) > lower_confidence_bound(1.0, 0.5, 2.0));
+        // Same uncertainty, lower mean => higher score.
+        assert!(lower_confidence_bound(0.0, 1.0, 2.0) > lower_confidence_bound(1.0, 1.0, 2.0));
+        // Beta 0 is pure exploitation.
+        assert_eq!(lower_confidence_bound(0.7, 5.0, 0.0), -0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_beta_panics() {
+        lower_confidence_bound(0.0, 1.0, -1.0);
+    }
+
+    #[test]
+    fn at_variants_wrap_predictions() {
+        let p = Prediction {
+            mean: 0.0,
+            variance: 4.0,
+        };
+        assert!((probability_of_improvement_at(p, 0.0) - 0.5).abs() < 1e-7);
+        assert_eq!(lower_confidence_bound_at(p, 1.0), 2.0);
+    }
+
+    #[test]
+    fn probability_below_limits() {
+        assert_eq!(probability_below(5.0, 0.0, 4.0), 0.0);
+        assert_eq!(probability_below(3.0, 0.0, 4.0), 1.0);
+        assert!((probability_below(0.0, 1.0, 0.0) - 0.5).abs() < 1e-7);
+        assert!(probability_below(0.0, 1.0, 3.0) > 0.99);
+    }
+}

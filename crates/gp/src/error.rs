@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// Errors produced by Gaussian-process routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The training inputs and targets disagree in length, or a query point
+    /// has the wrong dimensionality.
+    DimensionMismatch {
+        /// Human-readable description of what was expected.
+        expected: String,
+        /// Human-readable description of what was found.
+        found: String,
+    },
+    /// Fitting requires at least one observation.
+    NoObservations,
+    /// A kernel or GP hyper-parameter is out of its valid domain (must be
+    /// positive and finite).
+    InvalidHyperParameter {
+        /// Name of the offending hyper-parameter.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+    },
+    /// The kernel matrix could not be factored even after jitter escalation.
+    Numerical(hyperpower_linalg::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            Error::NoObservations => write!(f, "at least one observation is required"),
+            Error::InvalidHyperParameter { name, value } => {
+                write!(
+                    f,
+                    "invalid hyper-parameter {name} = {value} (must be positive and finite)"
+                )
+            }
+            Error::Numerical(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hyperpower_linalg::Error> for Error {
+    fn from(e: hyperpower_linalg::Error) -> Self {
+        Error::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = Error::InvalidHyperParameter {
+            name: "length_scale",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("length_scale"));
+        assert!(Error::NoObservations.to_string().len() > 5);
+    }
+
+    #[test]
+    fn source_chains_linalg_errors() {
+        use std::error::Error as _;
+        let e = Error::from(hyperpower_linalg::Error::NonFiniteInput);
+        assert!(e.source().is_some());
+    }
+}

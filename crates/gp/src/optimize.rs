@@ -1,0 +1,249 @@
+//! A dependency-free Nelder–Mead simplex optimizer.
+//!
+//! Used to maximise the GP log marginal likelihood over (log) kernel
+//! hyper-parameters. Gradient-free is the right tool here: the search space
+//! is 3-dimensional, evaluations are cheap relative to the outer
+//! Bayesian-optimization loop, and we avoid hand-deriving kernel gradients.
+
+/// Options controlling a Nelder–Mead run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum number of objective evaluations.
+    pub max_evals: usize,
+    /// Convergence tolerance on the simplex's objective spread.
+    pub f_tol: f64,
+    /// Initial simplex edge length.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evals: 400,
+            f_tol: 1e-8,
+            initial_step: 0.5,
+        }
+    }
+}
+
+/// Result of a Nelder–Mead minimisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub f: f64,
+    /// Number of objective evaluations performed.
+    pub evals: usize,
+}
+
+/// Minimises `f` starting from `x0` with the Nelder–Mead simplex method
+/// (standard reflection/expansion/contraction/shrink coefficients
+/// 1, 2, ½, ½).
+///
+/// Objective values that are NaN are treated as `+∞`, so the simplex walks
+/// away from invalid regions rather than getting stuck.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use hyperpower_gp::optimize::{nelder_mead, NelderMeadOptions};
+///
+/// let sphere = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+/// let r = nelder_mead(sphere, &[1.0, -2.0], NelderMeadOptions::default());
+/// assert!(r.f < 1e-6);
+/// ```
+pub fn nelder_mead(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    options: NelderMeadOptions,
+) -> NelderMeadResult {
+    assert!(
+        !x0.is_empty(),
+        "nelder_mead requires a non-empty start point"
+    );
+    let n = x0.len();
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Initial simplex: x0 plus one perturbed vertex per dimension.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let f0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), f0));
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        v[i] += options.initial_step;
+        let fv = eval(&v, &mut evals);
+        simplex.push((v, fv));
+    }
+
+    while evals < options.max_evals {
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let best = simplex[0].1;
+        let worst = simplex[n].1;
+        if (worst - best).abs() <= options.f_tol * (1.0 + best.abs()) {
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for (v, _) in simplex.iter().take(n) {
+            for (c, vi) in centroid.iter_mut().zip(v) {
+                *c += vi / n as f64;
+            }
+        }
+
+        let reflect = |from: &[f64], coeff: f64| -> Vec<f64> {
+            centroid
+                .iter()
+                .zip(from)
+                .map(|(c, w)| c + coeff * (c - w))
+                .collect()
+        };
+
+        let xr = reflect(&simplex[n].0, 1.0);
+        let fr = eval(&xr, &mut evals);
+
+        if fr < simplex[0].1 {
+            // Try expansion.
+            let xe = reflect(&simplex[n].0, 2.0);
+            let fe = eval(&xe, &mut evals);
+            simplex[n] = if fe < fr { (xe, fe) } else { (xr, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (xr, fr);
+        } else {
+            // Contraction (outside if reflection improved on worst, else inside).
+            let (xc, fc) = if fr < simplex[n].1 {
+                let xc = reflect(&simplex[n].0, 0.5);
+                let fc = eval(&xc, &mut evals);
+                (xc, fc)
+            } else {
+                let xc: Vec<f64> = centroid
+                    .iter()
+                    .zip(&simplex[n].0)
+                    .map(|(c, w)| c - 0.5 * (c - w))
+                    .collect();
+                let fc = eval(&xc, &mut evals);
+                (xc, fc)
+            };
+            if fc < simplex[n].1.min(fr) {
+                simplex[n] = (xc, fc);
+            } else {
+                // Shrink toward the best vertex.
+                let best_x = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let shrunk: Vec<f64> = best_x
+                        .iter()
+                        .zip(&entry.0)
+                        .map(|(b, v)| b + 0.5 * (v - b))
+                        .collect();
+                    let fs = eval(&shrunk, &mut evals);
+                    *entry = (shrunk, fs);
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let (x, fx) = simplex.swap_remove(0);
+    NelderMeadResult { x, f: fx, evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_sphere() {
+        let r = nelder_mead(
+            |x| x.iter().map(|v| v * v).sum(),
+            &[3.0, -4.0, 2.0],
+            NelderMeadOptions::default(),
+        );
+        assert!(r.f < 1e-5, "f = {}", r.f);
+        for v in &r.x {
+            assert!(v.abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn minimises_rosenbrock_2d() {
+        let rosen = |x: &[f64]| {
+            let (a, b) = (x[0], x[1]);
+            (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+        };
+        let r = nelder_mead(
+            rosen,
+            &[-1.2, 1.0],
+            NelderMeadOptions {
+                max_evals: 2000,
+                ..Default::default()
+            },
+        );
+        assert!(r.f < 1e-4, "f = {}", r.f);
+        assert!((r.x[0] - 1.0).abs() < 0.05);
+        assert!((r.x[1] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn one_dimensional_quadratic() {
+        let r = nelder_mead(
+            |x| (x[0] - 2.5) * (x[0] - 2.5) + 7.0,
+            &[0.0],
+            NelderMeadOptions::default(),
+        );
+        assert!((r.x[0] - 2.5).abs() < 1e-3);
+        assert!((r.f - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let budget = 25;
+        let r = nelder_mead(
+            |x| x.iter().map(|v| v * v).sum(),
+            &[10.0, 10.0],
+            NelderMeadOptions {
+                max_evals: budget,
+                f_tol: 0.0,
+                ..Default::default()
+            },
+        );
+        // A few extra evals can happen inside the final iteration.
+        assert!(r.evals <= budget + 4, "evals = {}", r.evals);
+    }
+
+    #[test]
+    fn nan_regions_are_avoided() {
+        // Objective is NaN for x < 0, quadratic for x >= 0.
+        let r = nelder_mead(
+            |x| {
+                if x[0] < 0.0 {
+                    f64::NAN
+                } else {
+                    (x[0] - 1.0) * (x[0] - 1.0)
+                }
+            },
+            &[3.0],
+            NelderMeadOptions::default(),
+        );
+        assert!((r.x[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_start_panics() {
+        nelder_mead(|_| 0.0, &[], NelderMeadOptions::default());
+    }
+}

@@ -1,0 +1,467 @@
+use std::sync::Arc;
+
+use hyperpower_linalg::{vector, Cholesky, Matrix};
+
+use crate::{Error, Kernel, Result};
+
+/// Posterior prediction of a Gaussian process at one query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Posterior mean of the latent function.
+    pub mean: f64,
+    /// Posterior variance of the latent function (noise-free), clamped to be
+    /// non-negative.
+    pub variance: f64,
+}
+
+impl Prediction {
+    /// Posterior standard deviation (`variance.sqrt()`).
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Exact Gaussian-process regression with a fixed kernel.
+///
+/// The model is `y = f(x) + ε`, `f ~ GP(m, σ_f²·k)`, `ε ~ N(0, σ_n²)`, where
+/// `m` is the empirical mean of the training targets (centering makes the
+/// zero-mean assumption harmless). Fitting factors the kernel matrix once
+/// with Cholesky (with jitter escalation for borderline matrices);
+/// predictions are then O(n) mean / O(n²) variance per query.
+///
+/// This is the surrogate model `M` of the paper's Figure 2: at every
+/// Bayesian-optimization iteration it supplies the predictive marginal
+/// density `p_M(y|x)` that the acquisition function integrates against.
+///
+/// # Examples
+///
+/// ```
+/// use hyperpower_gp::{GpRegressor, SquaredExponential};
+/// use hyperpower_linalg::Matrix;
+///
+/// # fn main() -> Result<(), hyperpower_gp::Error> {
+/// let x = Matrix::from_vec(3, 1, vec![0.0, 1.0, 2.0]).unwrap();
+/// let y = [0.0, 1.0, 4.0];
+/// let gp = GpRegressor::fit(SquaredExponential::new(1.0).into_kernel(), 1.0, 1e-6, &x, &y)?;
+/// // Interpolates near the data, uncertain far away.
+/// assert!(gp.predict(&[1.0]).variance < gp.predict(&[10.0]).variance);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpRegressor {
+    kernel: Arc<dyn Kernel>,
+    signal_variance: f64,
+    noise_variance: f64,
+    x_train: Matrix,
+    y_mean: f64,
+    /// α = (σ_f²K + σ_n²I)⁻¹ (y − m)
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    log_marginal_likelihood: f64,
+}
+
+impl GpRegressor {
+    /// Fits a GP to `n` observations: `x_train` is n×d, `y_train` has
+    /// length n.
+    ///
+    /// `signal_variance` scales the kernel; `noise_variance` is the
+    /// observation-noise variance added to the diagonal.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NoObservations`] if `x_train` has no rows.
+    /// * [`Error::DimensionMismatch`] if `y_train.len() != x_train.rows()`.
+    /// * [`Error::InvalidHyperParameter`] for non-positive/non-finite
+    ///   variances.
+    /// * [`Error::Numerical`] if the covariance matrix cannot be factored.
+    pub fn fit(
+        kernel: Arc<dyn Kernel>,
+        signal_variance: f64,
+        noise_variance: f64,
+        x_train: &Matrix,
+        y_train: &[f64],
+    ) -> Result<Self> {
+        if x_train.rows() == 0 {
+            return Err(Error::NoObservations);
+        }
+        if y_train.len() != x_train.rows() {
+            return Err(Error::DimensionMismatch {
+                expected: format!("{} targets", x_train.rows()),
+                found: format!("{} targets", y_train.len()),
+            });
+        }
+        if !(signal_variance.is_finite() && signal_variance > 0.0) {
+            return Err(Error::InvalidHyperParameter {
+                name: "signal_variance",
+                value: signal_variance,
+            });
+        }
+        if !(noise_variance.is_finite() && noise_variance > 0.0) {
+            return Err(Error::InvalidHyperParameter {
+                name: "noise_variance",
+                value: noise_variance,
+            });
+        }
+
+        let n = x_train.rows();
+        let y_mean = y_train.iter().sum::<f64>() / n as f64;
+        let y_centered: Vec<f64> = y_train.iter().map(|y| y - y_mean).collect();
+
+        let mut cov = kernel.matrix(x_train).scale(signal_variance);
+        cov.add_diagonal(noise_variance);
+        let (chol, _jitter) = Cholesky::factor_with_jitter(&cov, 1e-10, 10)?;
+        let alpha = chol.solve(&y_centered)?;
+
+        // log p(y|X) = -½ yᵀα − ½ log|K| − n/2 log 2π
+        let log_marginal_likelihood = -0.5 * vector::dot(&y_centered, &alpha)
+            - 0.5 * chol.log_det()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+        Ok(GpRegressor {
+            kernel,
+            signal_variance,
+            noise_variance,
+            x_train: x_train.clone(),
+            y_mean,
+            alpha,
+            chol,
+            log_marginal_likelihood,
+        })
+    }
+
+    /// Posterior mean and (noise-free) variance at `query`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len()` differs from the training dimensionality.
+    pub fn predict(&self, query: &[f64]) -> Prediction {
+        assert_eq!(
+            query.len(),
+            self.x_train.cols(),
+            "query dimensionality mismatch"
+        );
+        let k_star: Vec<f64> = self
+            .kernel
+            .cross(query, &self.x_train)
+            .into_iter()
+            .map(|v| v * self.signal_variance)
+            .collect();
+        let mean = self.y_mean + vector::dot(&k_star, &self.alpha);
+        // v = L⁻¹ k*; var = k(x*,x*) − vᵀv
+        let v = self
+            .chol
+            .solve_lower(&k_star)
+            .expect("k_star has training length by construction");
+        let prior = self.signal_variance * self.kernel.eval(query, query);
+        let variance = (prior - vector::dot(&v, &v)).max(0.0);
+        Prediction { mean, variance }
+    }
+
+    /// Joint posterior over a set of query points (rows of `queries`):
+    /// the posterior mean vector and the full posterior covariance matrix.
+    ///
+    /// This is what Thompson sampling needs — correlated draws over a
+    /// candidate grid — and what pointwise [`GpRegressor::predict`] cannot
+    /// provide.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the query dimensionality
+    /// differs from the training data.
+    pub fn predict_joint(
+        &self,
+        queries: &Matrix,
+    ) -> std::result::Result<(Vec<f64>, Matrix), Error> {
+        if queries.cols() != self.x_train.cols() {
+            return Err(Error::DimensionMismatch {
+                expected: format!("queries with {} columns", self.x_train.cols()),
+                found: format!("queries with {} columns", queries.cols()),
+            });
+        }
+        let m = queries.rows();
+        // Cross-covariance K* (m×n) and prior K** (m×m).
+        let mut mean = Vec::with_capacity(m);
+        let mut v_rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+        for i in 0..m {
+            let k_star: Vec<f64> = self
+                .kernel
+                .cross(queries.row(i), &self.x_train)
+                .into_iter()
+                .map(|v| v * self.signal_variance)
+                .collect();
+            mean.push(self.y_mean + vector::dot(&k_star, &self.alpha));
+            let v = self
+                .chol
+                .solve_lower(&k_star)
+                .expect("k_star has training length by construction");
+            v_rows.push(v);
+        }
+        let cov = Matrix::from_fn(m, m, |i, j| {
+            let prior = self.signal_variance * self.kernel.eval(queries.row(i), queries.row(j));
+            prior - vector::dot(&v_rows[i], &v_rows[j])
+        });
+        Ok((mean, cov))
+    }
+
+    /// Draws one correlated sample from the joint posterior at `queries`
+    /// (Thompson sampling). The posterior covariance is factored with
+    /// jitter escalation; `standard_normals` must supply `queries.rows()`
+    /// i.i.d. N(0,1) values (the caller owns the RNG so this crate stays
+    /// generic over randomness sources).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::DimensionMismatch`] and numerical failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `standard_normals.len() != queries.rows()`.
+    pub fn sample_posterior(
+        &self,
+        queries: &Matrix,
+        standard_normals: &[f64],
+    ) -> std::result::Result<Vec<f64>, Error> {
+        assert_eq!(
+            standard_normals.len(),
+            queries.rows(),
+            "need one standard normal per query point"
+        );
+        let (mean, cov) = self.predict_joint(queries)?;
+        let (chol, _) = hyperpower_linalg::Cholesky::factor_with_jitter(&cov, 1e-10, 12)
+            .map_err(Error::Numerical)?;
+        let l = chol.factor_l();
+        let m = queries.rows();
+        let sample: Vec<f64> = (0..m)
+            .map(|i| {
+                let mut v = mean[i];
+                for j in 0..=i {
+                    v += l[(i, j)] * standard_normals[j];
+                }
+                v
+            })
+            .collect();
+        Ok(sample)
+    }
+
+    /// Log marginal likelihood of the training data under this model — the
+    /// quantity maximised by [`crate::fit_gp_hyperparams`].
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.log_marginal_likelihood
+    }
+
+    /// Number of training observations.
+    pub fn num_observations(&self) -> usize {
+        self.x_train.rows()
+    }
+
+    /// Dimensionality of the input space.
+    pub fn input_dim(&self) -> usize {
+        self.x_train.cols()
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> &Arc<dyn Kernel> {
+        &self.kernel
+    }
+
+    /// The observation-noise variance.
+    pub fn noise_variance(&self) -> f64 {
+        self.noise_variance
+    }
+
+    /// The signal variance that scales the kernel.
+    pub fn signal_variance(&self) -> f64 {
+        self.signal_variance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Matern52, SquaredExponential};
+
+    fn toy_gp() -> GpRegressor {
+        let x = Matrix::from_vec(4, 1, vec![-1.0, 0.0, 1.0, 2.0]).unwrap();
+        let y = [1.0, 0.0, 1.0, 4.0];
+        GpRegressor::fit(
+            SquaredExponential::new(1.0).into_kernel(),
+            1.0,
+            1e-6,
+            &x,
+            &y,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_point_posterior_closed_form() {
+        // With one observation the posterior mean at the observed point is
+        // m + k/(k+σ²)·(y − m) = y when σ² → 0 (m = y here so mean = y).
+        let x = Matrix::from_vec(1, 1, vec![0.0]).unwrap();
+        let y = [2.0];
+        let gp = GpRegressor::fit(
+            SquaredExponential::new(1.0).into_kernel(),
+            1.0,
+            1e-8,
+            &x,
+            &y,
+        )
+        .unwrap();
+        let p = gp.predict(&[0.0]);
+        assert!((p.mean - 2.0).abs() < 1e-6);
+        assert!(p.variance < 1e-6);
+        // Far away: revert to prior mean (= empirical mean = 2) with prior variance.
+        let far = gp.predict(&[100.0]);
+        assert!((far.mean - 2.0).abs() < 1e-9);
+        assert!((far.variance - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolates_training_data() {
+        let gp = toy_gp();
+        let p = gp.predict(&[1.0]);
+        assert!((p.mean - 1.0).abs() < 1e-3, "mean {}", p.mean);
+    }
+
+    #[test]
+    fn variance_shrinks_at_observed_points() {
+        let gp = toy_gp();
+        assert!(gp.predict(&[0.0]).variance < 1e-4);
+        assert!(gp.predict(&[5.0]).variance > 0.5);
+    }
+
+    #[test]
+    fn variance_nonnegative_everywhere() {
+        let gp = toy_gp();
+        for i in -30..30 {
+            let p = gp.predict(&[i as f64 * 0.33]);
+            assert!(p.variance >= 0.0);
+            assert!(p.std_dev() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mismatched_targets_rejected() {
+        let x = Matrix::from_vec(2, 1, vec![0.0, 1.0]).unwrap();
+        let err =
+            GpRegressor::fit(Matern52::new(1.0).into_kernel(), 1.0, 1e-6, &x, &[1.0]).unwrap_err();
+        assert!(matches!(err, Error::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_training_rejected() {
+        let x = Matrix::zeros(0, 1);
+        let err =
+            GpRegressor::fit(Matern52::new(1.0).into_kernel(), 1.0, 1e-6, &x, &[]).unwrap_err();
+        assert!(matches!(err, Error::NoObservations));
+    }
+
+    #[test]
+    fn invalid_variances_rejected() {
+        let x = Matrix::from_vec(1, 1, vec![0.0]).unwrap();
+        let k = Matern52::new(1.0).into_kernel();
+        assert!(GpRegressor::fit(k.clone(), 0.0, 1e-6, &x, &[1.0]).is_err());
+        assert!(GpRegressor::fit(k.clone(), 1.0, -1.0, &x, &[1.0]).is_err());
+        assert!(GpRegressor::fit(k, f64::NAN, 1e-6, &x, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn log_marginal_likelihood_prefers_matching_noise() {
+        // Noisy data should get higher evidence with a noise level near the
+        // truth than with an absurdly small one.
+        let x = Matrix::from_vec(8, 1, (0..8).map(|i| i as f64).collect()).unwrap();
+        // y = 0 with +-0.5 alternating "noise".
+        let y: Vec<f64> = (0..8)
+            .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let k = SquaredExponential::new(3.0).into_kernel();
+        let good = GpRegressor::fit(k.clone(), 1.0, 0.25, &x, &y).unwrap();
+        let bad = GpRegressor::fit(k, 1.0, 1e-8, &x, &y).unwrap();
+        assert!(good.log_marginal_likelihood() > bad.log_marginal_likelihood());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn predict_wrong_dim_panics() {
+        toy_gp().predict(&[0.0, 1.0]);
+    }
+
+    #[test]
+    fn joint_posterior_diagonal_matches_pointwise() {
+        let gp = toy_gp();
+        let queries = Matrix::from_vec(3, 1, vec![-0.5, 0.5, 3.0]).unwrap();
+        let (mean, cov) = gp.predict_joint(&queries).unwrap();
+        for i in 0..3 {
+            let p = gp.predict(queries.row(i));
+            assert!((mean[i] - p.mean).abs() < 1e-10);
+            assert!((cov[(i, i)] - p.variance).abs() < 1e-8);
+        }
+        // Covariance is symmetric.
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((cov[(i, j)] - cov[(j, i)]).abs() < 1e-10);
+            }
+        }
+        // Far from the data, nearby points keep their prior correlation.
+        let far = Matrix::from_vec(2, 1, vec![49.5, 50.5]).unwrap();
+        let (_, far_cov) = gp.predict_joint(&far).unwrap();
+        assert!(far_cov[(0, 1)] > 0.3);
+    }
+
+    #[test]
+    fn joint_posterior_rejects_wrong_dim() {
+        let gp = toy_gp();
+        let queries = Matrix::zeros(2, 3);
+        assert!(gp.predict_joint(&queries).is_err());
+    }
+
+    #[test]
+    fn posterior_samples_interpolate_training_data() {
+        // At training points with tiny noise, every posterior draw passes
+        // (nearly) through the observations.
+        let x = Matrix::from_vec(3, 1, vec![0.0, 1.0, 2.0]).unwrap();
+        let y = [0.5, -0.5, 1.5];
+        let gp = GpRegressor::fit(
+            SquaredExponential::new(1.0).into_kernel(),
+            1.0,
+            1e-8,
+            &x,
+            &y,
+        )
+        .unwrap();
+        let normals = [1.3, -0.7, 0.2];
+        let sample = gp.sample_posterior(&x, &normals).unwrap();
+        for (s, t) in sample.iter().zip(&y) {
+            assert!((s - t).abs() < 1e-2, "sample {s} vs observation {t}");
+        }
+    }
+
+    #[test]
+    fn posterior_samples_vary_far_from_data() {
+        let gp = toy_gp();
+        let queries = Matrix::from_vec(2, 1, vec![50.0, 60.0]).unwrap();
+        let a = gp.sample_posterior(&queries, &[1.0, 1.0]).unwrap();
+        let b = gp.sample_posterior(&queries, &[-1.0, -1.0]).unwrap();
+        // Different normals => different draws in the uncertain region.
+        assert!((a[0] - b[0]).abs() > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one standard normal per query")]
+    fn sample_posterior_wrong_normal_count_panics() {
+        let gp = toy_gp();
+        let queries = Matrix::from_vec(2, 1, vec![0.0, 1.0]).unwrap();
+        let _ = gp.sample_posterior(&queries, &[0.0]);
+    }
+
+    #[test]
+    fn accessors_report_fit() {
+        let gp = toy_gp();
+        assert_eq!(gp.num_observations(), 4);
+        assert_eq!(gp.input_dim(), 1);
+        assert_eq!(gp.noise_variance(), 1e-6);
+        assert_eq!(gp.signal_variance(), 1.0);
+        assert_eq!(gp.kernel().length_scale(), 1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Candidate-point generators on the unit hypercube `[0, 1)ᵈ`.
+//!
+//! Spearmint maximises the acquisition function over a large set of sampled
+//! grid points; we do the same. Two generators are provided: plain uniform
+//! sampling, and Latin-hypercube sampling whose per-dimension stratification
+//! gives better coverage for the same budget.
+
+use hyperpower_linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// Draws `n` points uniformly at random from `[0, 1)ᵈ`, one per row.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let c = hyperpower_gp::sampler::uniform_candidates(&mut rng, 100, 3);
+/// assert_eq!(c.shape(), (100, 3));
+/// assert!(c.as_slice().iter().all(|v| (0.0..1.0).contains(v)));
+/// ```
+pub fn uniform_candidates(rng: &mut impl Rng, n: usize, dim: usize) -> Matrix {
+    Matrix::from_fn(n, dim, |_, _| rng.random_range(0.0..1.0))
+}
+
+/// Draws `n` points by Latin-hypercube sampling on `[0, 1)ᵈ`.
+///
+/// Each dimension is divided into `n` equal strata; every stratum receives
+/// exactly one sample, with an independent random permutation per dimension.
+/// This guarantees one-dimensional projections are evenly spread — useful
+/// when profiling the hyper-parameter space for the power/memory models.
+pub fn latin_hypercube(rng: &mut impl Rng, n: usize, dim: usize) -> Matrix {
+    let mut out = Matrix::zeros(n, dim);
+    for j in 0..dim {
+        let mut strata: Vec<usize> = (0..n).collect();
+        strata.shuffle(rng);
+        for (i, s) in strata.into_iter().enumerate() {
+            let jitter: f64 = rng.random_range(0.0..1.0);
+            out[(i, j)] = (s as f64 + jitter) / n as f64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_in_unit_cube() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = uniform_candidates(&mut rng, 500, 4);
+        assert_eq!(c.shape(), (500, 4));
+        assert!(c.as_slice().iter().all(|v| (0.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn uniform_deterministic_under_seed() {
+        let a = uniform_candidates(&mut StdRng::seed_from_u64(42), 10, 2);
+        let b = uniform_candidates(&mut StdRng::seed_from_u64(42), 10, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lhs_stratification_per_dimension() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20;
+        let c = latin_hypercube(&mut rng, n, 3);
+        for j in 0..3 {
+            let mut occupied = vec![false; n];
+            for i in 0..n {
+                let stratum = (c[(i, j)] * n as f64).floor() as usize;
+                assert!(stratum < n);
+                assert!(!occupied[stratum], "stratum {stratum} hit twice in dim {j}");
+                occupied[stratum] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn lhs_in_unit_cube() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let c = latin_hypercube(&mut rng, 50, 5);
+        assert!(c.as_slice().iter().all(|v| (0.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn zero_points_is_empty() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(uniform_candidates(&mut rng, 0, 3).rows(), 0);
+        assert_eq!(latin_hypercube(&mut rng, 0, 3).rows(), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the Gaussian-process crate.
+
+use hyperpower_gp::acquisition::{expected_improvement, normal_cdf, probability_below};
+use hyperpower_gp::{GpRegressor, Kernel, Matern52, SquaredExponential};
+use hyperpower_linalg::Matrix;
+use proptest::prelude::*;
+
+fn training_set() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (2usize..12).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-5.0f64..5.0, n),
+            proptest::collection::vec(-2.0f64..2.0, n),
+        )
+            .prop_map(move |(xs, ys)| (Matrix::from_vec(n, 1, xs).expect("n rows"), ys))
+    })
+}
+
+proptest! {
+    #[test]
+    fn gp_variance_nonnegative((x, y) in training_set(), q in -10.0f64..10.0) {
+        let gp = GpRegressor::fit(
+            Matern52::new(1.0).into_kernel(), 1.0, 1e-4, &x, &y,
+        ).unwrap();
+        let p = gp.predict(&[q]);
+        prop_assert!(p.variance >= 0.0);
+        prop_assert!(p.mean.is_finite());
+    }
+
+    #[test]
+    fn gp_variance_small_at_training_points((x, y) in training_set()) {
+        let gp = GpRegressor::fit(
+            Matern52::new(1.0).into_kernel(), 1.0, 1e-6, &x, &y,
+        ).unwrap();
+        // Posterior variance at a training input is bounded by (roughly) the
+        // noise level, far below the prior variance of 1.
+        for i in 0..x.rows() {
+            let p = gp.predict(x.row(i));
+            prop_assert!(p.variance < 0.1, "variance {} at row {i}", p.variance);
+        }
+    }
+
+    #[test]
+    fn gp_far_field_reverts_to_prior((x, y) in training_set()) {
+        let gp = GpRegressor::fit(
+            SquaredExponential::new(1.0).into_kernel(), 1.0, 1e-4, &x, &y,
+        ).unwrap();
+        let p = gp.predict(&[1e4]);
+        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        prop_assert!((p.mean - y_mean).abs() < 1e-6);
+        prop_assert!((p.variance - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kernel_matrices_factor_with_jitter((x, _y) in training_set()) {
+        // Gram matrices of both kernels are SPD (possibly after jitter).
+        for kernel in [Matern52::new(0.5).into_kernel(), SquaredExponential::new(2.0).into_kernel()] {
+            let k = kernel.matrix(&x);
+            let r = hyperpower_linalg::Cholesky::factor_with_jitter(&k, 1e-10, 12);
+            prop_assert!(r.is_ok());
+        }
+    }
+
+    #[test]
+    fn ei_nonnegative(mean in -10.0f64..10.0, std in 0.0f64..5.0, best in -10.0f64..10.0) {
+        prop_assert!(expected_improvement(mean, std, best) >= 0.0);
+    }
+
+    #[test]
+    fn ei_bounded_by_improvement_plus_std(mean in -10.0f64..10.0, std in 0.0f64..5.0, best in -10.0f64..10.0) {
+        // EI <= max(best - mean, 0) + std (loose but useful sanity bound:
+        // E[max(best - Y, 0)] <= max(best - mean, 0) + E|Y - mean|, and
+        // E|Y - mean| = std*sqrt(2/pi) < std).
+        let ei = expected_improvement(mean, std, best);
+        prop_assert!(ei <= (best - mean).max(0.0) + std + 1e-12);
+    }
+
+    #[test]
+    fn cdf_in_unit_interval(z in -50.0f64..50.0) {
+        let v = normal_cdf(z);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn cdf_symmetry(z in -8.0f64..8.0) {
+        prop_assert!((normal_cdf(z) + normal_cdf(-z) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn probability_below_monotone_in_threshold(
+        mean in -5.0f64..5.0,
+        std in 0.01f64..3.0,
+        t1 in -10.0f64..10.0,
+        dt in 0.0f64..5.0,
+    ) {
+        let p1 = probability_below(mean, std, t1);
+        let p2 = probability_below(mean, std, t1 + dt);
+        prop_assert!(p2 >= p1 - 1e-12);
+    }
+}

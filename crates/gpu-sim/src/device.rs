@@ -1,0 +1,113 @@
+/// Static description of a simulated GPU platform.
+///
+/// The two presets model the paper's evaluation platforms. Numbers are
+/// drawn from public spec sheets where available (peak throughput,
+/// bandwidth, TDP) and calibrated otherwise (occupancy saturation, sensor
+/// noise) so that the induced power/memory distributions over the paper's
+/// AlexNet-variant space make the paper's budgets (85–90 W / 10–12 W,
+/// 1.15–1.25 GB) genuinely selective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Device name used in reports, e.g. `"GTX 1070"`.
+    pub name: String,
+    /// Peak single-precision throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Idle board power in watts.
+    pub idle_power_w: f64,
+    /// Maximum sustained board power in watts.
+    pub max_power_w: f64,
+    /// Total device memory in GiB.
+    pub memory_capacity_gib: f64,
+    /// Memory claimed by driver/context/framework before any network
+    /// allocations, in MiB.
+    pub baseline_memory_mib: f64,
+    /// Batch size the profiler uses for inference measurements.
+    pub inference_batch: usize,
+    /// Whether the platform exposes a memory-consumption API. The Tegra
+    /// TX1 does not (paper footnote 1): `tegrastats` reports utilisation,
+    /// not memory.
+    pub supports_memory_measurement: bool,
+    /// Per-layer *output-element* count (at the inference batch size) at
+    /// which the device reaches ~63% occupancy. Occupancy is about
+    /// parallelism, not arithmetic: a wide convolution's millions of output
+    /// pixels keep every SM busy, while a fully connected layer's few
+    /// thousand outputs leave most of the chip idle (and drawing little) —
+    /// the effect behind the paper's Figure 1 iso-accuracy power spread.
+    pub occupancy_saturation_elems: f64,
+    /// Standard deviation of power-sensor noise in watts.
+    pub power_noise_w: f64,
+    /// Standard deviation of memory-measurement noise in MiB.
+    pub memory_noise_mib: f64,
+}
+
+impl DeviceProfile {
+    /// The server-class platform of the paper: NVIDIA GTX 1070
+    /// (Pascal, 6.5 TFLOP/s, 256 GB/s, 150 W TDP, 8 GiB).
+    pub fn gtx_1070() -> Self {
+        DeviceProfile {
+            name: "GTX 1070".into(),
+            peak_gflops: 6500.0,
+            mem_bandwidth_gbps: 256.0,
+            idle_power_w: 45.0,
+            max_power_w: 150.0,
+            memory_capacity_gib: 8.0,
+            baseline_memory_mib: 1000.0,
+            inference_batch: 128,
+            supports_memory_measurement: true,
+            occupancy_saturation_elems: 1.5e6,
+            power_noise_w: 1.6,
+            memory_noise_mib: 12.0,
+        }
+    }
+
+    /// The embedded platform of the paper: NVIDIA Tegra TX1
+    /// (Maxwell, 512 GFLOP/s FP32, 25.6 GB/s, ~15 W, 4 GiB shared).
+    pub fn tegra_tx1() -> Self {
+        DeviceProfile {
+            name: "Tegra TX1".into(),
+            peak_gflops: 512.0,
+            mem_bandwidth_gbps: 25.6,
+            idle_power_w: 1.8,
+            max_power_w: 14.5,
+            memory_capacity_gib: 4.0,
+            baseline_memory_mib: 350.0,
+            inference_batch: 64,
+            supports_memory_measurement: false,
+            occupancy_saturation_elems: 2.0e5,
+            power_noise_w: 0.22,
+            memory_noise_mib: 8.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for d in [DeviceProfile::gtx_1070(), DeviceProfile::tegra_tx1()] {
+            assert!(d.peak_gflops > 0.0);
+            assert!(d.mem_bandwidth_gbps > 0.0);
+            assert!(d.idle_power_w < d.max_power_w);
+            assert!(d.inference_batch > 0);
+            assert!(d.occupancy_saturation_elems > 0.0);
+            assert!(!d.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn tegra_lacks_memory_api() {
+        assert!(!DeviceProfile::tegra_tx1().supports_memory_measurement);
+        assert!(DeviceProfile::gtx_1070().supports_memory_measurement);
+    }
+
+    #[test]
+    fn tegra_is_low_power() {
+        let tegra = DeviceProfile::tegra_tx1();
+        let gtx = DeviceProfile::gtx_1070();
+        assert!(tegra.max_power_w < gtx.idle_power_w);
+    }
+}

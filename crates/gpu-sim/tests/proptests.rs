@@ -1,0 +1,112 @@
+//! Property-based tests for the GPU simulator.
+
+use hyperpower_gpu_sim::{analyze, DeviceProfile, Gpu, TrainingCostModel};
+use hyperpower_nn::{ArchSpec, LayerSpec};
+use proptest::prelude::*;
+
+fn cifar_arch_strategy() -> impl Strategy<Value = ArchSpec> {
+    (
+        20usize..=80,
+        2usize..=5,
+        1usize..=3,
+        20usize..=80,
+        2usize..=5,
+        1usize..=3,
+        200usize..=700,
+    )
+        .prop_map(|(f1, k1, p1, f2, k2, p2, u)| {
+            ArchSpec::new(
+                (3, 32, 32),
+                10,
+                vec![
+                    LayerSpec::conv(f1, k1),
+                    LayerSpec::pool(p1),
+                    LayerSpec::conv(f2, k2),
+                    LayerSpec::pool(p2),
+                    LayerSpec::dense(u),
+                ],
+            )
+            .expect("paper ranges always valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn power_within_physical_envelope(spec in cifar_arch_strategy()) {
+        for device in [DeviceProfile::gtx_1070(), DeviceProfile::tegra_tx1()] {
+            let r = analyze(&device, &spec);
+            prop_assert!(r.power_w >= device.idle_power_w - 1e-9);
+            prop_assert!(r.power_w <= device.max_power_w + 1e-9);
+            prop_assert!((0.0..=1.0).contains(&r.utilization));
+            prop_assert!(r.latency_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn memory_at_least_baseline(spec in cifar_arch_strategy()) {
+        let device = DeviceProfile::gtx_1070();
+        let r = analyze(&device, &spec);
+        let baseline = (device.baseline_memory_mib * 1024.0 * 1024.0) as u64;
+        prop_assert!(r.memory_bytes >= baseline);
+    }
+
+    #[test]
+    fn memory_monotone_in_fc_width(
+        f in 20usize..=80, k in 2usize..=5, u in 200usize..=699
+    ) {
+        let device = DeviceProfile::gtx_1070();
+        let base = |units: usize| {
+            analyze(
+                &device,
+                &ArchSpec::new(
+                    (3, 32, 32),
+                    10,
+                    vec![LayerSpec::conv(f, k), LayerSpec::pool(2), LayerSpec::dense(units)],
+                )
+                .unwrap(),
+            )
+            .memory_bytes
+        };
+        prop_assert!(base(u + 1) > base(u));
+    }
+
+    #[test]
+    fn measurements_scatter_within_bounds(spec in cifar_arch_strategy(), seed in 0u64..100) {
+        let device = DeviceProfile::gtx_1070();
+        let truth = analyze(&device, &spec);
+        let mut gpu = Gpu::new(device.clone(), seed);
+        for _ in 0..5 {
+            let p = gpu.measure_power(&spec);
+            prop_assert!((p - truth.power_w).abs() < 8.0 * device.power_noise_w);
+            let m = gpu.measure_memory(&spec).unwrap();
+            let noise = (m as f64 - truth.memory_bytes as f64).abs();
+            prop_assert!(noise < 8.0 * device.memory_noise_mib * 1024.0 * 1024.0);
+        }
+    }
+
+    #[test]
+    fn tegra_memory_always_unsupported(spec in cifar_arch_strategy(), seed in 0u64..50) {
+        let mut gpu = Gpu::new(DeviceProfile::tegra_tx1(), seed);
+        prop_assert!(gpu.measure_memory(&spec).is_err());
+    }
+
+    #[test]
+    fn training_cost_scales_with_epochs(
+        spec in cifar_arch_strategy(), epochs in 1usize..60, examples in 1000usize..60_000
+    ) {
+        let cost = TrainingCostModel::default();
+        let t1 = cost.training_secs(&spec, examples, epochs);
+        let t2 = cost.training_secs(&spec, examples, epochs + 1);
+        prop_assert!(t1 > 0.0);
+        prop_assert!(t2 > t1);
+        // Linearity in epochs (overhead aside).
+        let per_epoch = cost.epoch_secs(&spec, examples);
+        prop_assert!((t2 - t1 - per_epoch).abs() < 1e-6 * per_epoch.max(1.0));
+    }
+
+    #[test]
+    fn analysis_is_deterministic(spec in cifar_arch_strategy()) {
+        let device = DeviceProfile::tegra_tx1();
+        prop_assert_eq!(analyze(&device, &spec), analyze(&device, &spec));
+    }
+}

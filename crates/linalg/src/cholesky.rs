@@ -1,0 +1,323 @@
+use crate::{Error, Matrix, Result};
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
+///
+/// The factorization is computed once and can then be reused for multiple
+/// solves, log-determinant queries and sampling transforms — exactly the
+/// access pattern of Gaussian-process regression, where the kernel matrix is
+/// factored once per fit and solved against many right-hand sides.
+///
+/// # Examples
+///
+/// ```
+/// use hyperpower_linalg::Matrix;
+///
+/// # fn main() -> Result<(), hyperpower_linalg::Error> {
+/// let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0],
+///                             &[15.0, 18.0,  0.0],
+///                             &[-5.0,  0.0, 11.0]])?;
+/// let chol = a.cholesky()?;
+/// // L is lower-triangular with positive diagonal.
+/// assert!((chol.factor_l()[(0, 0)] - 5.0).abs() < 1e-12);
+/// // log|A| via the factorization.
+/// assert!(chol.log_det().is_finite());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read, so callers may pass a matrix
+    /// whose upper triangle is stale.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotSquare`] if `a` is not square.
+    /// * [`Error::NonFiniteInput`] if `a` contains NaN or infinity.
+    /// * [`Error::NotPositiveDefinite`] if a non-positive pivot arises.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(Error::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        if !a.is_finite() {
+            return Err(Error::NonFiniteInput);
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(Error::NotPositiveDefinite {
+                            pivot: i,
+                            value: sum,
+                        });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factors `a + jitter·I`, escalating `jitter` by ×10 up to `max_tries`
+    /// times if the matrix is numerically indefinite.
+    ///
+    /// This is the standard trick for kernel matrices that are positive
+    /// definite in exact arithmetic but borderline in floating point.
+    ///
+    /// Returns the factorization together with the jitter that was actually
+    /// applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the last factorization error if all attempts fail.
+    pub fn factor_with_jitter(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_tries: usize,
+    ) -> Result<(Self, f64)> {
+        match Self::factor(a) {
+            Ok(c) => return Ok((c, 0.0)),
+            Err(Error::NotPositiveDefinite { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        let mut jitter = initial_jitter;
+        let mut last_err = Error::NotPositiveDefinite {
+            pivot: 0,
+            value: 0.0,
+        };
+        for _ in 0..max_tries {
+            let mut aj = a.clone();
+            aj.add_diagonal(jitter);
+            match Self::factor(&aj) {
+                Ok(c) => return Ok((c, jitter)),
+                Err(e) => {
+                    last_err = e;
+                    jitter *= 10.0;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor_l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A·x = b` using the factorization (forward then backward
+    /// substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.solve_lower(b)?;
+        self.solve_lower_transpose(&y)
+    }
+
+    /// Solves the lower-triangular system `L·y = b` (forward substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(Error::ShapeMismatch {
+                expected: format!("rhs of length {n}"),
+                found: format!("rhs of length {}", b.len()),
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solves the upper-triangular system `Lᵀ·x = y` (backward substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `y.len() != self.dim()`.
+    pub fn solve_lower_transpose(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if y.len() != n {
+            return Err(Error::ShapeMismatch {
+                expected: format!("rhs of length {n}"),
+                found: format!("rhs of length {}", y.len()),
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column-by-column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(Error::ShapeMismatch {
+                expected: format!("rhs with {n} rows"),
+                found: format!("rhs with {} rows", b.rows()),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Natural logarithm of `det(A) = det(L)² = (∏ Lᵢᵢ)²`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Reconstructs `A = L·Lᵀ` (mainly useful in tests).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.dim();
+        Matrix::from_fn(n, n, |i, j| {
+            (0..=i.min(j))
+                .map(|k| self.l[(i, k)] * self.l[(j, k)])
+                .sum()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]]).unwrap()
+    }
+
+    #[test]
+    fn factor_known_matrix() {
+        // Classic textbook example with exact integer factor.
+        let c = spd3().cholesky().unwrap();
+        let l = c.factor_l();
+        let expected =
+            Matrix::from_rows(&[&[5.0, 0.0, 0.0], &[3.0, 3.0, 0.0], &[-1.0, 1.0, 3.0]]).unwrap();
+        assert!(l.max_abs_diff(&expected).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruct_roundtrip() {
+        let a = spd3();
+        let c = a.cholesky().unwrap();
+        assert!(c.reconstruct().max_abs_diff(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let c = a.cholesky().unwrap();
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = c.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn log_det_matches_product_of_pivots() {
+        let c = spd3().cholesky().unwrap();
+        // det = (5*3*3)^2 = 2025
+        assert!((c.log_det() - 2025.0_f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        let err = a.cholesky().unwrap_err();
+        assert!(matches!(err, Error::NotPositiveDefinite { pivot: 1, .. }));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a).unwrap_err(),
+            Error::NotSquare { rows: 2, cols: 3 }
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut a = Matrix::identity(2);
+        a[(0, 1)] = f64::NAN;
+        assert!(matches!(a.cholesky().unwrap_err(), Error::NonFiniteInput));
+    }
+
+    #[test]
+    fn jitter_recovers_borderline_matrix() {
+        // Rank-deficient matrix: needs jitter to factor.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let (c, jitter) = Cholesky::factor_with_jitter(&a, 1e-10, 12).unwrap();
+        assert!(jitter > 0.0);
+        assert_eq!(c.dim(), 2);
+    }
+
+    #[test]
+    fn jitter_zero_for_well_conditioned() {
+        let (_, jitter) = Cholesky::factor_with_jitter(&spd3(), 1e-10, 5).unwrap();
+        assert_eq!(jitter, 0.0);
+    }
+
+    #[test]
+    fn solve_matrix_identity_inverts() {
+        let a = spd3();
+        let c = a.cholesky().unwrap();
+        let inv = c.solve_matrix(&Matrix::identity(3)).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn solve_wrong_length_rejected() {
+        let c = spd3().cholesky().unwrap();
+        assert!(c.solve(&[1.0, 2.0]).is_err());
+    }
+}

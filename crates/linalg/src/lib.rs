@@ -1,0 +1,60 @@
+//! Dense linear-algebra kernels for the HyperPower reproduction.
+//!
+//! This crate provides the small set of numerical routines the rest of the
+//! workspace needs:
+//!
+//! * [`Matrix`] — a row-major dense matrix of `f64` with the usual
+//!   constructors, element access and BLAS-like operations,
+//! * [`Cholesky`] — factorization of symmetric positive-definite matrices,
+//!   with solves and log-determinants (the workhorse of Gaussian-process
+//!   regression in `hyperpower-gp`),
+//! * [`ridge_least_squares`] — ℓ₂-regularised linear regression via the
+//!   normal equations (the workhorse of the power/memory predictive models
+//!   in `hyperpower`),
+//! * [`qr_least_squares`] — Householder-QR least squares, the numerically
+//!   robust (regularisation-free) alternative,
+//! * [`vector`] — free functions on `&[f64]` slices (dot products, norms,
+//!   axpy),
+//! * [`stats`] — descriptive statistics (mean, standard deviation, RMSPE)
+//!   used when reporting experiment tables.
+//!
+//! Everything is implemented from scratch on safe Rust; matrices in this
+//! problem domain are small (at most a few hundred rows), so cache-oblivious
+//! blocking or SIMD would be over-engineering.
+//!
+//! # Examples
+//!
+//! Solving a symmetric positive-definite system:
+//!
+//! ```
+//! use hyperpower_linalg::Matrix;
+//!
+//! # fn main() -> Result<(), hyperpower_linalg::Error> {
+//! let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+//! let chol = a.cholesky()?;
+//! let x = chol.solve(&[8.0, 7.0])?;
+//! assert!((x[0] - 1.25).abs() < 1e-12);
+//! assert!((x[1] - 1.5).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod error;
+mod lstsq;
+mod matrix;
+mod qr;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::Error;
+pub use lstsq::{ridge_least_squares, LeastSquaresFit};
+pub use matrix::Matrix;
+pub use qr::qr_least_squares;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,185 @@
+use crate::{Cholesky, Error, Matrix, Result};
+
+/// Result of a (ridge-regularised) least-squares fit.
+///
+/// Produced by [`ridge_least_squares`]; holds the fitted coefficients plus
+/// the residual diagnostics most callers want immediately after a fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeastSquaresFit {
+    /// Fitted coefficient vector, one entry per design-matrix column.
+    pub coefficients: Vec<f64>,
+    /// Sum of squared residuals `‖y − X·β‖²` on the training data.
+    pub residual_sum_of_squares: f64,
+    /// Coefficient of determination R² on the training data (1 − RSS/TSS).
+    /// `NaN` when the targets are constant (TSS = 0).
+    pub r_squared: f64,
+}
+
+impl LeastSquaresFit {
+    /// Predicts the target for a single feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the number of coefficients.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        crate::vector::dot(&self.coefficients, x)
+    }
+}
+
+/// Solves the ridge-regularised least-squares problem
+/// `min_β ‖y − X·β‖² + ridge·‖β‖²` via the normal equations
+/// `(XᵀX + ridge·I)·β = Xᵀy`.
+///
+/// The normal-equations route is numerically adequate here: the design
+/// matrices in this workspace are small (≤ a few hundred rows, ≤ a few tens
+/// of columns) and a positive `ridge` keeps the system well conditioned.
+/// This is exactly the estimator behind HyperPower's linear power and memory
+/// models (paper Eq. 1–2).
+///
+/// # Errors
+///
+/// * [`Error::Empty`] if `x` has no rows or no columns.
+/// * [`Error::ShapeMismatch`] if `y.len() != x.rows()`.
+/// * [`Error::NonFiniteInput`] if any input is NaN/infinite.
+/// * [`Error::NotPositiveDefinite`] if the regularised normal matrix cannot
+///   be factored (only possible when `ridge == 0` and `x` is rank deficient).
+///
+/// # Examples
+///
+/// ```
+/// use hyperpower_linalg::{ridge_least_squares, Matrix};
+///
+/// # fn main() -> Result<(), hyperpower_linalg::Error> {
+/// // y = 2*x0 + 3*x1, recover the planted coefficients.
+/// let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0]])?;
+/// let y = [2.0, 3.0, 5.0, 7.0];
+/// let fit = ridge_least_squares(&x, &y, 0.0)?;
+/// assert!((fit.coefficients[0] - 2.0).abs() < 1e-10);
+/// assert!((fit.coefficients[1] - 3.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ridge_least_squares(x: &Matrix, y: &[f64], ridge: f64) -> Result<LeastSquaresFit> {
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(Error::Empty);
+    }
+    if y.len() != x.rows() {
+        return Err(Error::ShapeMismatch {
+            expected: format!("{} targets", x.rows()),
+            found: format!("{} targets", y.len()),
+        });
+    }
+    if !x.is_finite() || y.iter().any(|v| !v.is_finite()) || !ridge.is_finite() || ridge < 0.0 {
+        return Err(Error::NonFiniteInput);
+    }
+
+    let mut normal = x.gram();
+    if ridge > 0.0 {
+        normal.add_diagonal(ridge);
+    }
+    // Xᵀy
+    let xt_y: Vec<f64> = (0..x.cols())
+        .map(|j| (0..x.rows()).map(|i| x[(i, j)] * y[i]).sum())
+        .collect();
+
+    let chol = Cholesky::factor(&normal)?;
+    let coefficients = chol.solve(&xt_y)?;
+
+    let predictions = x.matvec(&coefficients)?;
+    let rss: f64 = predictions
+        .iter()
+        .zip(y)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    let mean_y = y.iter().sum::<f64>() / y.len() as f64;
+    let tss: f64 = y.iter().map(|t| (t - mean_y) * (t - mean_y)).sum();
+    let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { f64::NAN };
+
+    Ok(LeastSquaresFit {
+        coefficients,
+        residual_sum_of_squares: rss,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_planted_coefficients_exactly() {
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0],
+            &[0.0, 1.0, 1.0],
+            &[1.0, 1.0, 0.0],
+            &[2.0, 1.0, 1.0],
+            &[1.0, 3.0, 2.0],
+        ])
+        .unwrap();
+        let beta = [1.5, -2.0, 0.75];
+        let y: Vec<f64> = (0..x.rows())
+            .map(|i| crate::vector::dot(x.row(i), &beta))
+            .collect();
+        let fit = ridge_least_squares(&x, &y, 0.0).unwrap();
+        for (c, b) in fit.coefficients.iter().zip(&beta) {
+            assert!((c - b).abs() < 1e-10);
+        }
+        assert!(fit.residual_sum_of_squares < 1e-18);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let x = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]).unwrap();
+        let y = [2.0, 2.0, 2.0];
+        let fit0 = ridge_least_squares(&x, &y, 0.0).unwrap();
+        let fit1 = ridge_least_squares(&x, &y, 10.0).unwrap();
+        assert!((fit0.coefficients[0] - 2.0).abs() < 1e-12);
+        assert!(fit1.coefficients[0] < fit0.coefficients[0]);
+        assert!(fit1.coefficients[0] > 0.0);
+    }
+
+    #[test]
+    fn rank_deficient_needs_ridge() {
+        // Two identical columns: singular without regularisation.
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        let y = [2.0, 4.0, 6.0];
+        assert!(ridge_least_squares(&x, &y, 0.0).is_err());
+        let fit = ridge_least_squares(&x, &y, 1e-6).unwrap();
+        // Ridge splits weight evenly between the identical columns.
+        assert!((fit.coefficients[0] - fit.coefficients[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mismatched_targets_rejected() {
+        let x = Matrix::identity(3);
+        assert!(matches!(
+            ridge_least_squares(&x, &[1.0, 2.0], 0.0).unwrap_err(),
+            Error::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let x = Matrix::identity(2);
+        assert!(ridge_least_squares(&x, &[f64::NAN, 1.0], 0.0).is_err());
+        assert!(ridge_least_squares(&x, &[1.0, 1.0], -1.0).is_err());
+    }
+
+    #[test]
+    fn constant_targets_have_nan_r_squared() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        let fit = ridge_least_squares(&x, &[3.0, 3.0], 1e-9).unwrap();
+        assert!(fit.r_squared.is_nan());
+    }
+
+    #[test]
+    fn predict_uses_coefficients() {
+        let fit = LeastSquaresFit {
+            coefficients: vec![2.0, -1.0],
+            residual_sum_of_squares: 0.0,
+            r_squared: 1.0,
+        };
+        assert_eq!(fit.predict(&[3.0, 4.0]), 2.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Householder-QR least squares.
+//!
+//! The ridge/normal-equations route in [`crate::ridge_least_squares`]
+//! squares the condition number of the design matrix; for well-scaled
+//! profiling data that is harmless, but QR solves the same problem at the
+//! original conditioning and needs no regularisation parameter. Offered
+//! as the numerically robust alternative (and cross-validated against the
+//! normal equations in the tests).
+
+use crate::{Error, LeastSquaresFit, Matrix, Result};
+
+/// Solves `min_β ‖y − X·β‖²` via Householder QR factorization.
+///
+/// Requires `x.rows() >= x.cols()` (at least as many observations as
+/// features) and full column rank.
+///
+/// # Errors
+///
+/// * [`Error::Empty`] if `x` has no rows or columns.
+/// * [`Error::ShapeMismatch`] if `y.len() != x.rows()` or the system is
+///   underdetermined.
+/// * [`Error::NonFiniteInput`] on NaN/infinite inputs.
+/// * [`Error::SingularTriangular`] if `x` is (numerically) rank deficient.
+///
+/// # Examples
+///
+/// ```
+/// use hyperpower_linalg::{qr_least_squares, Matrix};
+///
+/// # fn main() -> Result<(), hyperpower_linalg::Error> {
+/// let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]])?;
+/// let y = [2.0, 3.0, 5.0];
+/// let fit = qr_least_squares(&x, &y)?;
+/// assert!((fit.coefficients[0] - 2.0).abs() < 1e-12);
+/// assert!((fit.coefficients[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn qr_least_squares(x: &Matrix, y: &[f64]) -> Result<LeastSquaresFit> {
+    let (m, n) = x.shape();
+    if m == 0 || n == 0 {
+        return Err(Error::Empty);
+    }
+    if y.len() != m {
+        return Err(Error::ShapeMismatch {
+            expected: format!("{m} targets"),
+            found: format!("{} targets", y.len()),
+        });
+    }
+    if m < n {
+        return Err(Error::ShapeMismatch {
+            expected: format!("at least {n} observations"),
+            found: format!("{m} observations"),
+        });
+    }
+    if !x.is_finite() || y.iter().any(|v| !v.is_finite()) {
+        return Err(Error::NonFiniteInput);
+    }
+
+    // Work on the augmented matrix [X | y]: applying each reflector to the
+    // extra column yields Qᵀy for free.
+    let mut a = Matrix::from_fn(m, n + 1, |i, j| if j < n { x[(i, j)] } else { y[i] });
+
+    for col in 0..n {
+        // Householder vector for column `col`, rows col..m.
+        let mut norm2 = 0.0;
+        for i in col..m {
+            norm2 += a[(i, col)] * a[(i, col)];
+        }
+        let norm = norm2.sqrt();
+        if norm == 0.0 {
+            return Err(Error::SingularTriangular { index: col });
+        }
+        let alpha = if a[(col, col)] > 0.0 { -norm } else { norm };
+        // v = x - alpha·e1 (stored temporarily), normalised implicitly via
+        // v_norm2.
+        let mut v = vec![0.0; m - col];
+        v[0] = a[(col, col)] - alpha;
+        for i in col + 1..m {
+            v[i - col] = a[(i, col)];
+        }
+        let v_norm2: f64 = v.iter().map(|t| t * t).sum();
+        if v_norm2 == 0.0 {
+            // Column already triangular; nothing to reflect.
+            continue;
+        }
+        // Apply H = I − 2·v·vᵀ/‖v‖² to the remaining columns (incl. y).
+        for j in col..=n {
+            let mut dot = 0.0;
+            for i in col..m {
+                dot += v[i - col] * a[(i, j)];
+            }
+            let scale = 2.0 * dot / v_norm2;
+            for i in col..m {
+                a[(i, j)] -= scale * v[i - col];
+            }
+        }
+        // Enforce exact triangularity below the diagonal.
+        a[(col, col)] = alpha;
+        for i in col + 1..m {
+            a[(i, col)] = 0.0;
+        }
+    }
+
+    // Back-substitute R·β = (Qᵀy)[..n].
+    let mut coefficients = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = a[(i, n)];
+        for j in i + 1..n {
+            sum -= a[(i, j)] * coefficients[j];
+        }
+        let r_ii = a[(i, i)];
+        if r_ii == 0.0 || !r_ii.is_finite() {
+            return Err(Error::SingularTriangular { index: i });
+        }
+        coefficients[i] = sum / r_ii;
+    }
+
+    // Residual diagnostics on the original data.
+    let predictions = x.matvec(&coefficients)?;
+    let rss: f64 = predictions
+        .iter()
+        .zip(y)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    let mean_y = y.iter().sum::<f64>() / m as f64;
+    let tss: f64 = y.iter().map(|t| (t - mean_y) * (t - mean_y)).sum();
+    let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { f64::NAN };
+
+    Ok(LeastSquaresFit {
+        coefficients,
+        residual_sum_of_squares: rss,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ridge_least_squares;
+
+    #[test]
+    fn exact_fit_recovers_coefficients() {
+        let x = Matrix::from_rows(&[
+            &[1.0, 2.0, 0.5],
+            &[0.0, 1.0, 1.5],
+            &[1.0, 0.0, 2.0],
+            &[2.0, 1.0, 1.0],
+            &[0.5, 0.5, 0.5],
+        ])
+        .unwrap();
+        let beta = [2.0, -1.0, 0.5];
+        let y: Vec<f64> = (0..5)
+            .map(|i| crate::vector::dot(x.row(i), &beta))
+            .collect();
+        let fit = qr_least_squares(&x, &y).unwrap();
+        for (c, b) in fit.coefficients.iter().zip(&beta) {
+            assert!((c - b).abs() < 1e-12);
+        }
+        assert!(fit.residual_sum_of_squares < 1e-20);
+    }
+
+    #[test]
+    fn agrees_with_normal_equations_when_well_conditioned() {
+        let x = Matrix::from_fn(20, 4, |i, j| ((i * 7 + j * 3) % 11) as f64 + 1.0);
+        let y: Vec<f64> = (0..20).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        let qr = qr_least_squares(&x, &y).unwrap();
+        let ne = ridge_least_squares(&x, &y, 1e-12).unwrap();
+        for (a, b) in qr.coefficients.iter().zip(&ne.coefficients) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn survives_lauchli_conditioning() {
+        // Läuchli matrix: columns nearly parallel; the normal equations
+        // lose eps² and go singular in f64 while QR stays accurate.
+        let eps = 1e-8;
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[eps, 0.0], &[0.0, eps]]).unwrap();
+        let y = [2.0, eps, eps]; // exact solution β = (1, 1)
+        let fit = qr_least_squares(&x, &y).unwrap();
+        assert!((fit.coefficients[0] - 1.0).abs() < 1e-4);
+        assert!((fit.coefficients[1] - 1.0).abs() < 1e-4);
+        // Unregularised normal equations fail on the same input.
+        assert!(ridge_least_squares(&x, &y, 0.0).is_err());
+    }
+
+    #[test]
+    fn overdetermined_noise_minimised() {
+        // y = 3x with one outlier: QR returns the least-squares slope.
+        let x = Matrix::from_vec(5, 1, vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let y = [3.0, 6.0, 9.0, 12.0, 20.0];
+        let fit = qr_least_squares(&x, &y).unwrap();
+        // Slope = Σxy/Σx² = (3+12+27+48+100)/55 = 190/55.
+        assert!((fit.coefficients[0] - 190.0 / 55.0).abs() < 1e-12);
+        assert!(fit.r_squared > 0.9);
+    }
+
+    #[test]
+    fn error_paths() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        // Underdetermined.
+        assert!(matches!(
+            qr_least_squares(&x, &[1.0]).unwrap_err(),
+            Error::ShapeMismatch { .. }
+        ));
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        // Wrong target length.
+        assert!(qr_least_squares(&x, &[1.0]).is_err());
+        // Non-finite input.
+        assert!(qr_least_squares(&x, &[f64::NAN, 1.0]).is_err());
+        // Rank deficient (zero column).
+        let x = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 2.0], &[0.0, 3.0]]).unwrap();
+        assert!(matches!(
+            qr_least_squares(&x, &[1.0, 2.0, 3.0]).unwrap_err(),
+            Error::SingularTriangular { .. }
+        ));
+    }
+}

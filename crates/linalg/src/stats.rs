@@ -1,0 +1,139 @@
+//! Descriptive statistics used throughout the experiment harnesses.
+//!
+//! The paper reports means, standard deviations, geometric-mean speedups and
+//! Root Mean Square Percentage Error (RMSPE, Table 1); this module provides
+//! those estimators. Functions return `None` on empty (or otherwise
+//! undefined) inputs instead of panicking, so harness code can surface
+//! missing cells the way the paper prints "–" for failed runs.
+
+/// Arithmetic mean, or `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Sample standard deviation (n−1 denominator), or `None` when fewer than
+/// two values are supplied.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Geometric mean, or `None` if the slice is empty or contains non-positive
+/// values. The paper uses the geometric mean to aggregate speedups across
+/// runs (Tables 3 and 5).
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Root Mean Square Percentage Error between predictions and actuals, as a
+/// fraction (multiply by 100 for percent). This is the accuracy metric of
+/// the paper's Table 1.
+///
+/// Returns `None` if the slices are empty, have different lengths, or any
+/// actual value is zero (the percentage error would be undefined).
+pub fn rmspe(predicted: &[f64], actual: &[f64]) -> Option<f64> {
+    if predicted.is_empty() || predicted.len() != actual.len() {
+        return None;
+    }
+    if actual.iter().any(|a| *a == 0.0) {
+        return None;
+    }
+    let mse: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| {
+            let e = (p - a) / a;
+            e * e
+        })
+        .sum::<f64>()
+        / predicted.len() as f64;
+    Some(mse.sqrt())
+}
+
+/// Minimum of a slice, ignoring NaNs; `None` if no finite values exist.
+pub fn min_finite(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+}
+
+/// Maximum of a slice, ignoring NaNs; `None` if no finite values exist.
+pub fn max_finite(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_hand_computed() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn std_dev_hand_computed() {
+        // Sample std of [2, 4, 4, 4, 5, 5, 7, 9] with n-1 denominator.
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = std_dev(&v).unwrap();
+        assert!((s - 2.13809).abs() < 1e-4);
+        assert_eq!(std_dev(&[1.0]), None);
+    }
+
+    #[test]
+    fn geometric_mean_of_speedups() {
+        let g = geometric_mean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[1.0, -1.0]), None);
+        assert_eq!(geometric_mean(&[]), None);
+    }
+
+    #[test]
+    fn rmspe_perfect_prediction_is_zero() {
+        let a = [10.0, 20.0, 30.0];
+        assert_eq!(rmspe(&a, &a), Some(0.0));
+    }
+
+    #[test]
+    fn rmspe_hand_computed() {
+        // 10% error on every point -> RMSPE = 0.10.
+        let actual = [100.0, 200.0];
+        let predicted = [110.0, 220.0];
+        let r = rmspe(&predicted, &actual).unwrap();
+        assert!((r - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmspe_undefined_cases() {
+        assert_eq!(rmspe(&[], &[]), None);
+        assert_eq!(rmspe(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(rmspe(&[1.0], &[0.0]), None);
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let v = [f64::NAN, 3.0, -1.0, f64::INFINITY];
+        assert_eq!(min_finite(&v), Some(-1.0));
+        assert_eq!(max_finite(&v), Some(3.0));
+        assert_eq!(min_finite(&[f64::NAN]), None);
+    }
+}

@@ -1,0 +1,295 @@
+//! Network weight checkpointing.
+//!
+//! A tiny, versioned binary format for saving and restoring the trainable
+//! parameters of a [`Network`] — so the best design found by a
+//! hyper-parameter search can be kept, shipped, or warm-started:
+//!
+//! ```text
+//! magic "HPWT" | version u32 | layer-buffer count u32 |
+//!   per layer: value count u64 | values f32-LE…
+//! ```
+//!
+//! Only parameters are stored — the architecture itself is a
+//! [`crate::ArchSpec`] and must match at load time (the format records
+//! per-layer sizes, so mismatches are detected, not silently accepted).
+//! All integers are little-endian.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use crate::Network;
+
+/// Format magic bytes.
+const MAGIC: [u8; 4] = *b"HPWT";
+/// Current format version.
+const VERSION: u32 = 1;
+
+/// Errors produced when loading a checkpoint.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The buffer is not a HyperPower checkpoint.
+    BadMagic,
+    /// The format version is not supported.
+    UnsupportedVersion(u32),
+    /// The checkpoint's layer structure does not match the network's.
+    StructureMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "i/o failure: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a HyperPower weight checkpoint"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::StructureMismatch { detail } => {
+                write!(f, "checkpoint does not match network structure: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl Network {
+    /// Writes the network's trainable parameters as a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn save_weights<W: Write>(&self, mut w: W) -> Result<(), CheckpointError> {
+        let buffers: Vec<Vec<f32>> = self
+            .layers()
+            .iter()
+            .map(|l| l.param_values())
+            .filter(|v| !v.is_empty())
+            .collect();
+        w.write_all(&MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(buffers.len() as u32).to_le_bytes())?;
+        for buffer in &buffers {
+            w.write_all(&(buffer.len() as u64).to_le_bytes())?;
+            for value in buffer {
+                w.write_all(&value.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores trainable parameters from a checkpoint produced by
+    /// [`Network::save_weights`] on a network of identical architecture.
+    ///
+    /// # Errors
+    ///
+    /// * [`CheckpointError::BadMagic`] / [`CheckpointError::UnsupportedVersion`]
+    ///   for foreign or future-format data,
+    /// * [`CheckpointError::StructureMismatch`] if the layer count or any
+    ///   buffer size differs from this network's,
+    /// * [`CheckpointError::Io`] on read failures (including truncation).
+    pub fn load_weights<R: Read>(&mut self, mut r: R) -> Result<(), CheckpointError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let mut u32buf = [0u8; 4];
+        r.read_exact(&mut u32buf)?;
+        let version = u32::from_le_bytes(u32buf);
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        r.read_exact(&mut u32buf)?;
+        let buffer_count = u32::from_le_bytes(u32buf) as usize;
+
+        let expected: usize = self.layers().iter().filter(|l| l.param_count() > 0).count();
+        if buffer_count != expected {
+            return Err(CheckpointError::StructureMismatch {
+                detail: format!(
+                    "checkpoint has {buffer_count} parameter layers, network has {expected}"
+                ),
+            });
+        }
+
+        let mut buffers = Vec::with_capacity(buffer_count);
+        for _ in 0..buffer_count {
+            let mut u64buf = [0u8; 8];
+            r.read_exact(&mut u64buf)?;
+            let len = u64::from_le_bytes(u64buf) as usize;
+            let mut values = Vec::with_capacity(len);
+            let mut f32buf = [0u8; 4];
+            for _ in 0..len {
+                r.read_exact(&mut f32buf)?;
+                values.push(f32::from_le_bytes(f32buf));
+            }
+            buffers.push(values);
+        }
+
+        // Validate every size before mutating anything.
+        {
+            let mut it = buffers.iter();
+            for (i, layer) in self.layers().iter().enumerate() {
+                if layer.param_count() == 0 {
+                    continue;
+                }
+                let buffer = it.next().expect("counts checked above");
+                if buffer.len() != layer.param_count() {
+                    return Err(CheckpointError::StructureMismatch {
+                        detail: format!(
+                            "layer {i} ({}) expects {} values, checkpoint has {}",
+                            layer.name(),
+                            layer.param_count(),
+                            buffer.len()
+                        ),
+                    });
+                }
+            }
+        }
+        let mut it = buffers.into_iter();
+        for layer in self.layers_mut() {
+            if layer.param_count() == 0 {
+                continue;
+            }
+            layer.set_param_values(&it.next().expect("counts checked above"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchSpec, LayerSpec, Tensor};
+
+    fn spec() -> ArchSpec {
+        ArchSpec::new(
+            (1, 8, 8),
+            4,
+            vec![
+                LayerSpec::conv(4, 3),
+                LayerSpec::pool(2),
+                LayerSpec::dense(16),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn probe() -> Tensor {
+        Tensor::from_vec(
+            2,
+            1,
+            8,
+            8,
+            (0..128).map(|i| (i as f32 * 0.17).sin()).collect(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let mut trained = Network::from_spec(&spec(), 1).unwrap();
+        let mut buf = Vec::new();
+        trained.save_weights(&mut buf).unwrap();
+
+        // A differently initialised network behaves differently...
+        let mut fresh = Network::from_spec(&spec(), 2).unwrap();
+        let input = probe();
+        assert_ne!(
+            trained.forward(&input).as_slice(),
+            fresh.forward(&input).as_slice()
+        );
+        // ...until the checkpoint is loaded.
+        fresh.load_weights(buf.as_slice()).unwrap();
+        assert_eq!(
+            trained.forward(&input).as_slice(),
+            fresh.forward(&input).as_slice()
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut net = Network::from_spec(&spec(), 1).unwrap();
+        let err = net.load_weights(&b"NOPE1234"[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let net = Network::from_spec(&spec(), 1).unwrap();
+        let mut buf = Vec::new();
+        net.save_weights(&mut buf).unwrap();
+        buf[4] = 99; // bump version byte
+        let mut net2 = Network::from_spec(&spec(), 1).unwrap();
+        assert!(matches!(
+            net2.load_weights(buf.as_slice()).unwrap_err(),
+            CheckpointError::UnsupportedVersion(99)
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let net = Network::from_spec(&spec(), 1).unwrap();
+        let mut buf = Vec::new();
+        net.save_weights(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut net2 = Network::from_spec(&spec(), 1).unwrap();
+        assert!(matches!(
+            net2.load_weights(buf.as_slice()).unwrap_err(),
+            CheckpointError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn architecture_mismatch_rejected() {
+        let net = Network::from_spec(&spec(), 1).unwrap();
+        let mut buf = Vec::new();
+        net.save_weights(&mut buf).unwrap();
+        // A wider dense layer: same layer count, different sizes.
+        let other = ArchSpec::new(
+            (1, 8, 8),
+            4,
+            vec![
+                LayerSpec::conv(4, 3),
+                LayerSpec::pool(2),
+                LayerSpec::dense(32),
+            ],
+        )
+        .unwrap();
+        let mut net2 = Network::from_spec(&other, 1).unwrap();
+        let err = net2.load_weights(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::StructureMismatch { .. }));
+        // Fewer layers entirely.
+        let small = ArchSpec::new((1, 8, 8), 4, vec![LayerSpec::dense(16)]).unwrap();
+        let mut net3 = Network::from_spec(&small, 1).unwrap();
+        assert!(matches!(
+            net3.load_weights(buf.as_slice()).unwrap_err(),
+            CheckpointError::StructureMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CheckpointError::BadMagic.to_string().contains("checkpoint"));
+        assert!(CheckpointError::UnsupportedVersion(7)
+            .to_string()
+            .contains('7'));
+    }
+}

@@ -1,0 +1,61 @@
+use std::fmt;
+
+/// Errors produced when building or training networks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An architecture specification is invalid (e.g. zero features, a
+    /// pooling layer that would reduce the feature map below 1×1, or a
+    /// dense layer followed by a convolution).
+    InvalidArchitecture(String),
+    /// A training hyper-parameter is outside its valid domain.
+    InvalidHyperParameter {
+        /// Name of the offending hyper-parameter.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+    },
+    /// The dataset's image shape does not match the network's input shape.
+    ShapeMismatch {
+        /// Shape the network expects, `(channels, height, width)`.
+        expected: (usize, usize, usize),
+        /// Shape the data provides.
+        found: (usize, usize, usize),
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidArchitecture(msg) => write!(f, "invalid architecture: {msg}"),
+            Error::InvalidHyperParameter { name, value } => {
+                write!(f, "invalid hyper-parameter {name} = {value}")
+            }
+            Error::ShapeMismatch { expected, found } => write!(
+                f,
+                "input shape mismatch: network expects {expected:?}, data provides {found:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = Error::InvalidHyperParameter {
+            name: "learning_rate",
+            value: -0.5,
+        };
+        assert!(e.to_string().contains("learning_rate"));
+        let e = Error::ShapeMismatch {
+            expected: (1, 28, 28),
+            found: (3, 32, 32),
+        };
+        assert!(e.to_string().contains("28"));
+    }
+}

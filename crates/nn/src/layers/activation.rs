@@ -1,0 +1,135 @@
+use super::Layer;
+use crate::Tensor;
+
+/// Rectified linear unit, `y = max(x, 0)`, applied element-wise.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    /// Mask of positive inputs, cached for backward.
+    mask: Vec<bool>,
+    shape: (usize, usize, usize, usize),
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.shape = input.shape();
+        self.mask = input.as_slice().iter().map(|v| *v > 0.0).collect();
+        let (n, c, h, w) = input.shape();
+        Tensor::from_vec(
+            n,
+            c,
+            h,
+            w,
+            input.as_slice().iter().map(|v| v.max(0.0)).collect(),
+        )
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_output.len(),
+            self.mask.len(),
+            "backward called before forward"
+        );
+        let (n, c, h, w) = self.shape;
+        Tensor::from_vec(
+            n,
+            c,
+            h,
+            w,
+            grad_output
+                .as_slice()
+                .iter()
+                .zip(&self.mask)
+                .map(|(g, m)| if *m { *g } else { 0.0 })
+                .collect(),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Reshapes `(n, c, h, w)` to `(n, c·h·w, 1, 1)` — the bridge between the
+/// convolutional stack and the fully connected head.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_shape: (usize, usize, usize, usize),
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.input_shape = input.shape();
+        input.flattened()
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let (n, c, h, w) = self.input_shape;
+        assert!(n > 0, "backward called before forward");
+        Tensor::from_vec(n, c, h, w, grad_output.as_slice().to_vec())
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::check_input_gradient;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new();
+        let input = Tensor::from_vec(1, 1, 1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        let out = r.forward(&input);
+        assert_eq!(out.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let mut r = Relu::new();
+        r.forward(&Tensor::from_vec(1, 1, 1, 3, vec![-1.0, 1.0, 2.0]));
+        let g = r.backward(&Tensor::from_vec(1, 1, 1, 3, vec![5.0, 5.0, 5.0]));
+        assert_eq!(g.as_slice(), &[0.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn relu_gradient_check() {
+        let mut r = Relu::new();
+        // Values away from 0 so the kink does not break finite differences.
+        let input = Tensor::from_vec(1, 2, 2, 2, vec![-2.0, 1.5, 0.7, -0.9, 2.2, -1.1, 0.4, 3.0]);
+        check_input_gradient(&mut r, &input, 1e-4);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let input = Tensor::from_vec(2, 2, 1, 2, (0..8).map(|i| i as f32).collect());
+        let out = f.forward(&input);
+        assert_eq!(out.shape(), (2, 4, 1, 1));
+        let back = f.backward(&out);
+        assert_eq!(back, input);
+    }
+
+    #[test]
+    fn flatten_gradient_check() {
+        let mut f = Flatten::new();
+        let input = Tensor::from_vec(1, 2, 2, 2, (0..8).map(|i| i as f32 * 0.3).collect());
+        check_input_gradient(&mut f, &input, 1e-4);
+    }
+}

@@ -1,0 +1,175 @@
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use super::Layer;
+use crate::Tensor;
+
+/// Inverted dropout: during training each value is zeroed with probability
+/// `rate` and survivors are scaled by `1/(1−rate)`, so inference (where
+/// dropout is disabled via [`Layer::set_training`]) needs no rescaling.
+///
+/// AlexNet — the template of the paper's search space — uses dropout on
+/// its fully connected layers; the layer is provided so real-training
+/// objectives can include it.
+#[derive(Debug)]
+pub struct Dropout {
+    rate: f32,
+    training: bool,
+    rng: StdRng,
+    mask: Vec<f32>,
+    shape: (usize, usize, usize, usize),
+}
+
+impl Dropout {
+    /// Creates a dropout layer with the given drop probability, seeded for
+    /// reproducible masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate < 1.0`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "rate must be in [0, 1)");
+        Dropout {
+            rate: rate as f32,
+            training: true,
+            rng: StdRng::seed_from_u64(seed),
+            mask: Vec::new(),
+            shape: (0, 0, 0, 0),
+        }
+    }
+
+    /// The drop probability.
+    pub fn rate(&self) -> f64 {
+        self.rate as f64
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.shape = input.shape();
+        let (n, c, h, w) = input.shape();
+        if !self.training || self.rate == 0.0 {
+            self.mask = vec![1.0; input.len()];
+            return input.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let scale = 1.0 / keep;
+        self.mask = (0..input.len())
+            .map(|_| {
+                if self.rng.random_range(0.0f32..1.0) < self.rate {
+                    0.0
+                } else {
+                    scale
+                }
+            })
+            .collect();
+        Tensor::from_vec(
+            n,
+            c,
+            h,
+            w,
+            input
+                .as_slice()
+                .iter()
+                .zip(&self.mask)
+                .map(|(v, m)| v * m)
+                .collect(),
+        )
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_output.len(),
+            self.mask.len(),
+            "backward called before forward"
+        );
+        let (n, c, h, w) = self.shape;
+        Tensor::from_vec(
+            n,
+            c,
+            h,
+            w,
+            grad_output
+                .as_slice()
+                .iter()
+                .zip(&self.mask)
+                .map(|(g, m)| g * m)
+                .collect(),
+        )
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        d.set_training(false);
+        let input = Tensor::from_vec(1, 1, 1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.forward(&input), input);
+    }
+
+    #[test]
+    fn zero_rate_is_identity_even_in_training() {
+        let mut d = Dropout::new(0.0, 1);
+        let input = Tensor::from_vec(1, 1, 2, 2, vec![1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(d.forward(&input), input);
+    }
+
+    #[test]
+    fn training_zeroes_and_rescales() {
+        let mut d = Dropout::new(0.5, 2);
+        let input = Tensor::from_vec(1, 1, 1, 1000, vec![1.0; 1000]);
+        let out = d.forward(&input);
+        let zeros = out.as_slice().iter().filter(|v| **v == 0.0).count();
+        let kept: Vec<f32> = out
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|v| *v != 0.0)
+            .collect();
+        // Roughly half dropped.
+        assert!((300..700).contains(&zeros), "{zeros} dropped");
+        // Survivors scaled by 2.
+        assert!(kept.iter().all(|v| (*v - 2.0).abs() < 1e-6));
+        // Expectation preserved (inverted dropout).
+        let mean = out.as_slice().iter().sum::<f32>() / 1000.0;
+        assert!((mean - 1.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let input = Tensor::from_vec(1, 1, 1, 8, vec![1.0; 8]);
+        let out = d.forward(&input);
+        let grad = d.backward(&Tensor::from_vec(1, 1, 1, 8, vec![1.0; 8]));
+        // Gradient is zero exactly where the activation was dropped.
+        for (o, g) in out.as_slice().iter().zip(grad.as_slice()) {
+            assert_eq!(*o == 0.0, *g == 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Dropout::new(0.3, 7);
+        let mut b = Dropout::new(0.3, 7);
+        let input = Tensor::from_vec(1, 1, 1, 16, vec![1.0; 16]);
+        assert_eq!(a.forward(&input), b.forward(&input));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn rate_one_panics() {
+        Dropout::new(1.0, 0);
+    }
+}

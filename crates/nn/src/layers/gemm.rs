@@ -1,0 +1,134 @@
+//! A small single-precision GEMM used by the im2col convolution path.
+//!
+//! Plain `ikj`-ordered loops: the innermost loop walks both `b` and `c`
+//! contiguously, which the compiler auto-vectorises. No blocking — the
+//! matrices in this workspace are at most a few thousand elements per
+//! side, where a blocked kernel buys little.
+
+/// `c += a · b` for row-major `a` (`m×k`), `b` (`k×n`), `c` (`m×n`).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the given dimensions.
+pub(crate) fn gemm_accumulate(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    assert_eq!(c.len(), m * n, "out size mismatch");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                *c_ij += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// `c += aᵀ · b` for row-major `a` (`k×m`), `b` (`k×n`), `c` (`m×n`).
+///
+/// Used by the convolution backward pass (`gradW = gradOut · colᵀ` is
+/// expressed through this with swapped operands).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the given dimensions.
+pub(crate) fn gemm_transpose_a(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    assert_eq!(c.len(), m * n, "out size mismatch");
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                *c_ij += a_pi * b_pj;
+            }
+        }
+    }
+}
+
+/// `c += a · bᵀ` for row-major `a` (`m×k`), `b` (`n×k`), `c` (`m×n`).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the given dimensions.
+pub(crate) fn gemm_transpose_b(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), n * k, "rhs size mismatch");
+    assert_eq!(c.len(), m * n, "out size mismatch");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_matches_hand_computation() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        gemm_accumulate(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+        // Accumulation.
+        gemm_accumulate(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [38.0, 44.0, 86.0, 100.0]);
+    }
+
+    #[test]
+    fn transpose_a_matches_explicit_transpose() {
+        // a is 3x2 (k=3, m=2): aT is 2x3.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0]; // 3x2
+        let mut c = [0.0; 4];
+        gemm_transpose_a(2, 3, 2, &a, &b, &mut c);
+        // aT = [1 3 5; 2 4 6]; aT*b = [1+5 3+5; 2+6 4+6]
+        assert_eq!(c, [6.0, 8.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn transpose_b_matches_explicit_transpose() {
+        let a = [1.0, 2.0, 3.0, 4.0]; // 2x2
+        let b = [5.0, 7.0, 6.0, 8.0]; // 2x2, represents bT of [5 6; 7 8]
+        let mut c = [0.0; 4];
+        gemm_transpose_b(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        // (1x3) * (3x2)
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut c = [0.0; 2];
+        gemm_accumulate(1, 3, 2, &a, &b, &mut c);
+        assert_eq!(c, [22.0, 28.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn shape_mismatch_panics() {
+        let mut c = [0.0; 4];
+        gemm_accumulate(2, 2, 2, &[1.0; 3], &[1.0; 4], &mut c);
+    }
+}

@@ -1,0 +1,295 @@
+use super::Layer;
+use crate::Tensor;
+
+/// Non-overlapping 2-D max pooling (stride equals the kernel size).
+///
+/// Output spatial size is `floor(h/k) × floor(w/k)`; trailing rows/columns
+/// that do not fill a window are dropped, matching Caffe's floor-mode
+/// pooling. A kernel of 1 is the identity, which is how the paper's search
+/// space (pool kernel 1–3) can effectively skip a pooling stage.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    kernel: usize,
+    /// Flat input index of each output element's argmax, cached for backward.
+    argmax: Vec<usize>,
+    input_shape: (usize, usize, usize, usize),
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is zero.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel > 0, "pool kernel must be positive");
+        MaxPool2d {
+            kernel,
+            argmax: Vec::new(),
+            input_shape: (0, 0, 0, 0),
+        }
+    }
+
+    /// Kernel (and stride) size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Output spatial size for a given input size.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h / self.kernel, w / self.kernel)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (n, c, h, w) = input.shape();
+        let (oh, ow) = self.output_hw(h, w);
+        assert!(oh > 0 && ow > 0, "pool window larger than input");
+        let mut out = Tensor::zeros(n, c, oh, ow);
+        self.argmax = vec![0; n * c * oh * ow];
+        self.input_shape = input.shape();
+        let k = self.kernel;
+        let mut out_idx = 0;
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_flat = 0;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                let y = oy * k + dy;
+                                let x = ox * k + dx;
+                                let v = input.at(b, ch, y, x);
+                                if v > best {
+                                    best = v;
+                                    best_flat = ((b * c + ch) * h + y) * w + x;
+                                }
+                            }
+                        }
+                        *out.at_mut(b, ch, oy, ox) = best;
+                        self.argmax[out_idx] = best_flat;
+                        out_idx += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let (n, c, h, w) = self.input_shape;
+        assert!(n > 0, "backward called before forward");
+        let mut grad_input = Tensor::zeros(n, c, h, w);
+        for (out_idx, &flat) in self.argmax.iter().enumerate() {
+            grad_input.as_mut_slice()[flat] += grad_output.as_slice()[out_idx];
+        }
+        grad_input
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+/// Non-overlapping 2-D average pooling (stride equals the kernel size).
+///
+/// Same windowing rules as [`MaxPool2d`]; the backward pass distributes
+/// each output gradient uniformly over its window.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    kernel: usize,
+    input_shape: (usize, usize, usize, usize),
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is zero.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel > 0, "pool kernel must be positive");
+        AvgPool2d {
+            kernel,
+            input_shape: (0, 0, 0, 0),
+        }
+    }
+
+    /// Kernel (and stride) size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Output spatial size for a given input size.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h / self.kernel, w / self.kernel)
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (n, c, h, w) = input.shape();
+        let (oh, ow) = self.output_hw(h, w);
+        assert!(oh > 0 && ow > 0, "pool window larger than input");
+        self.input_shape = input.shape();
+        let k = self.kernel;
+        let inv = 1.0 / (k * k) as f32;
+        let mut out = Tensor::zeros(n, c, oh, ow);
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                acc += input.at(b, ch, oy * k + dy, ox * k + dx);
+                            }
+                        }
+                        *out.at_mut(b, ch, oy, ox) = acc * inv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let (n, c, h, w) = self.input_shape;
+        assert!(n > 0, "backward called before forward");
+        let k = self.kernel;
+        let inv = 1.0 / (k * k) as f32;
+        let (_, _, oh, ow) = grad_output.shape();
+        let mut grad_input = Tensor::zeros(n, c, h, w);
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_output.at(b, ch, oy, ox) * inv;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                *grad_input.at_mut(b, ch, oy * k + dy, ox * k + dx) += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn name(&self) -> &'static str {
+        "avgpool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::check_input_gradient;
+
+    #[test]
+    fn avg_pools_mean_per_window() {
+        let mut pool = AvgPool2d::new(2);
+        let input = Tensor::from_vec(1, 1, 2, 4, vec![1.0, 3.0, 10.0, 20.0, 5.0, 7.0, 30.0, 40.0]);
+        let out = pool.forward(&input);
+        assert_eq!(out.shape(), (1, 1, 1, 2));
+        assert_eq!(out.as_slice(), &[4.0, 25.0]);
+    }
+
+    #[test]
+    fn avg_backward_distributes_uniformly() {
+        let mut pool = AvgPool2d::new(2);
+        pool.forward(&Tensor::zeros(1, 1, 2, 2));
+        let grad = pool.backward(&Tensor::from_vec(1, 1, 1, 1, vec![8.0]));
+        assert_eq!(grad.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn avg_gradient_check() {
+        let mut pool = AvgPool2d::new(2);
+        let input = Tensor::from_vec(
+            1,
+            2,
+            4,
+            4,
+            (0..32).map(|i| (i as f32 * 0.21).sin()).collect(),
+        );
+        check_input_gradient(&mut pool, &input, 1e-3);
+    }
+
+    #[test]
+    fn avg_kernel_one_is_identity() {
+        let mut pool = AvgPool2d::new(1);
+        let input = Tensor::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(pool.forward(&input).as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn pools_max_per_window() {
+        let mut pool = MaxPool2d::new(2);
+        let input = Tensor::from_vec(
+            1,
+            1,
+            4,
+            4,
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        );
+        let out = pool.forward(&input);
+        assert_eq!(out.shape(), (1, 1, 2, 2));
+        assert_eq!(out.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn kernel_one_is_identity() {
+        let mut pool = MaxPool2d::new(1);
+        let input = Tensor::from_vec(1, 2, 2, 2, (0..8).map(|i| i as f32).collect());
+        let out = pool.forward(&input);
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn floor_mode_drops_trailing() {
+        let mut pool = MaxPool2d::new(2);
+        let input = Tensor::zeros(1, 1, 5, 5);
+        let out = pool.forward(&input);
+        assert_eq!(out.shape(), (1, 1, 2, 2));
+    }
+
+    #[test]
+    fn backward_routes_to_argmax_only() {
+        let mut pool = MaxPool2d::new(2);
+        let input = Tensor::from_vec(1, 1, 2, 2, vec![1.0, 9.0, 3.0, 4.0]);
+        pool.forward(&input);
+        let grad = pool.backward(&Tensor::from_vec(1, 1, 1, 1, vec![5.0]));
+        assert_eq!(grad.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut pool = MaxPool2d::new(2);
+        // Distinct values avoid argmax ties, which would make the loss
+        // non-differentiable at the test point.
+        let input = Tensor::from_vec(
+            1,
+            2,
+            4,
+            4,
+            (0..32).map(|i| ((i * 7919) % 61) as f32 * 0.1).collect(),
+        );
+        check_input_gradient(&mut pool, &input, 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn oversized_window_panics() {
+        let mut pool = MaxPool2d::new(3);
+        pool.forward(&Tensor::zeros(1, 1, 2, 2));
+    }
+}

@@ -1,0 +1,164 @@
+use crate::Tensor;
+
+/// Fused softmax + cross-entropy loss over class logits.
+///
+/// Operating on the fused form keeps the backward pass numerically trivial:
+/// `∂L/∂logit = softmax(logit) − onehot(label)`, averaged over the batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy
+    }
+
+    /// Computes the mean loss and the logit gradient for a batch.
+    ///
+    /// `logits` must have shape `(n, num_classes, 1, 1)`; `labels` must hold
+    /// `n` class indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or a label is out of range.
+    pub fn loss_and_grad(&self, logits: &Tensor, labels: &[usize]) -> (f64, Tensor) {
+        let (n, classes, h, w) = logits.shape();
+        assert_eq!(h * w, 1, "logits must be flattened to (n, classes, 1, 1)");
+        assert_eq!(n, labels.len(), "one label per example required");
+        let mut grad = Tensor::zeros(n, classes, 1, 1);
+        let mut total_loss = 0.0f64;
+        for b in 0..n {
+            let label = labels[b];
+            assert!(label < classes, "label {label} out of range ({classes})");
+            let row = logits.example(b);
+            // Numerically stable log-softmax.
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exp: Vec<f64> = row.iter().map(|v| ((v - max) as f64).exp()).collect();
+            let sum: f64 = exp.iter().sum();
+            let log_prob = (row[label] - max) as f64 - sum.ln();
+            total_loss -= log_prob;
+            for c in 0..classes {
+                let p = exp[c] / sum;
+                let target = if c == label { 1.0 } else { 0.0 };
+                *grad.at_mut(b, c, 0, 0) = ((p - target) / n as f64) as f32;
+            }
+        }
+        (total_loss / n as f64, grad)
+    }
+
+    /// Predicted class (argmax of the logits) for each example in the batch.
+    pub fn predictions(&self, logits: &Tensor) -> Vec<usize> {
+        let (n, classes, _, _) = logits.shape();
+        (0..n)
+            .map(|b| {
+                let row = logits.example(b);
+                let mut best = 0;
+                for c in 1..classes {
+                    if row[c] > row[best] {
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(1, 4, 1, 1);
+        let (l, _) = loss.loss_and_grad(&logits, &[2]);
+        assert!((l - 4.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confident_correct_prediction_low_loss() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(1, 3, 1, 1, vec![10.0, -10.0, -10.0]);
+        let (l, _) = loss.loss_and_grad(&logits, &[0]);
+        assert!(l < 1e-6);
+        let logits_wrong = Tensor::from_vec(1, 3, 1, 1, vec![10.0, -10.0, -10.0]);
+        let (l_wrong, _) = loss.loss_and_grad(&logits_wrong, &[1]);
+        assert!(l_wrong > 10.0);
+    }
+
+    #[test]
+    fn gradient_is_softmax_minus_onehot() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(1, 2, 1, 1);
+        let (_, grad) = loss.loss_and_grad(&logits, &[0]);
+        // softmax = [0.5, 0.5]; grad = [0.5-1, 0.5] = [-0.5, 0.5]
+        assert!((grad.at(0, 0, 0, 0) + 0.5).abs() < 1e-6);
+        assert!((grad.at(0, 1, 0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_example() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(2, 3, 1, 1, vec![1.0, -0.5, 2.0, 0.0, 0.3, -1.0]);
+        let (_, grad) = loss.loss_and_grad(&logits, &[2, 1]);
+        for b in 0..2 {
+            let s: f32 = grad.example(b).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_finite_difference() {
+        let loss = SoftmaxCrossEntropy::new();
+        let base = vec![0.4f32, -0.7, 1.2];
+        let labels = [1usize];
+        let logits = Tensor::from_vec(1, 3, 1, 1, base.clone());
+        let (_, grad) = loss.loss_and_grad(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut plus = base.clone();
+            plus[i] += eps;
+            let mut minus = base.clone();
+            minus[i] -= eps;
+            let (lp, _) = loss.loss_and_grad(&Tensor::from_vec(1, 3, 1, 1, plus), &labels);
+            let (lm, _) = loss.loss_and_grad(&Tensor::from_vec(1, 3, 1, 1, minus), &labels);
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            let analytic = grad.as_slice()[i] as f64;
+            assert!((numeric - analytic).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn batch_loss_is_mean() {
+        let loss = SoftmaxCrossEntropy::new();
+        let one = Tensor::zeros(1, 2, 1, 1);
+        let (l1, _) = loss.loss_and_grad(&one, &[0]);
+        let two = Tensor::zeros(2, 2, 1, 1);
+        let (l2, _) = loss.loss_and_grad(&two, &[0, 1]);
+        assert!((l1 - l2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictions_argmax() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(2, 3, 1, 1, vec![0.0, 2.0, 1.0, 5.0, -1.0, 3.0]);
+        assert_eq!(loss.predictions(&logits), vec![1, 0]);
+    }
+
+    #[test]
+    fn large_logits_are_stable() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(1, 2, 1, 1, vec![1000.0, -1000.0]);
+        let (l, grad) = loss.loss_and_grad(&logits, &[0]);
+        assert!(l.is_finite());
+        assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let loss = SoftmaxCrossEntropy::new();
+        loss.loss_and_grad(&Tensor::zeros(1, 2, 1, 1), &[2]);
+    }
+}

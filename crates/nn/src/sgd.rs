@@ -1,0 +1,286 @@
+use crate::{Error, Result};
+
+/// Training hyper-parameters: SGD with momentum and (ℓ₂) weight decay.
+///
+/// These are the paper's *non-structural* hyper-parameters — the ones that
+/// affect training dynamics but not the network's inference power or memory
+/// footprint (§3.3): learning rate (0.001–0.1), momentum (0.8–0.95) and
+/// weight decay (0.0001–0.01).
+///
+/// # Examples
+///
+/// ```
+/// use hyperpower_nn::TrainingHyper;
+///
+/// # fn main() -> Result<(), hyperpower_nn::Error> {
+/// let h = TrainingHyper::new(0.01, 0.9, 1e-4)?;
+/// assert_eq!(h.learning_rate(), 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingHyper {
+    learning_rate: f64,
+    momentum: f64,
+    weight_decay: f64,
+}
+
+impl TrainingHyper {
+    /// Creates a validated set of training hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHyperParameter`] if `learning_rate` is not
+    /// positive and finite, `momentum` is outside `[0, 1)`, or
+    /// `weight_decay` is negative or non-finite.
+    pub fn new(learning_rate: f64, momentum: f64, weight_decay: f64) -> Result<Self> {
+        if !(learning_rate.is_finite() && learning_rate > 0.0) {
+            return Err(Error::InvalidHyperParameter {
+                name: "learning_rate",
+                value: learning_rate,
+            });
+        }
+        if !(0.0..1.0).contains(&momentum) {
+            return Err(Error::InvalidHyperParameter {
+                name: "momentum",
+                value: momentum,
+            });
+        }
+        if !(weight_decay.is_finite() && weight_decay >= 0.0) {
+            return Err(Error::InvalidHyperParameter {
+                name: "weight_decay",
+                value: weight_decay,
+            });
+        }
+        Ok(TrainingHyper {
+            learning_rate,
+            momentum,
+            weight_decay,
+        })
+    }
+
+    /// The SGD step size.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// The momentum coefficient in `[0, 1)`.
+    pub fn momentum(&self) -> f64 {
+        self.momentum
+    }
+
+    /// The ℓ₂ weight-decay coefficient.
+    pub fn weight_decay(&self) -> f64 {
+        self.weight_decay
+    }
+}
+
+/// A learning-rate schedule over training epochs.
+///
+/// Caffe — the paper's training framework — trains AlexNet with the
+/// "step" policy (multiply the rate by a factor every N iterations); the
+/// same policy is provided here for the real-training path. Schedules
+/// produce a *derived* [`TrainingHyper`] per epoch, leaving the base
+/// hyper-parameters (what the search tunes) untouched.
+///
+/// # Examples
+///
+/// ```
+/// use hyperpower_nn::{LearningRateSchedule, TrainingHyper};
+///
+/// # fn main() -> Result<(), hyperpower_nn::Error> {
+/// let base = TrainingHyper::new(0.1, 0.9, 1e-4)?;
+/// let schedule = LearningRateSchedule::StepDecay { every_epochs: 10, factor: 0.1 };
+/// assert_eq!(schedule.at_epoch(&base, 1)?.learning_rate(), 0.1);
+/// assert!((schedule.at_epoch(&base, 11)?.learning_rate() - 0.01).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LearningRateSchedule {
+    /// The base learning rate throughout (the paper's setting: the rate
+    /// itself is a search dimension).
+    Constant,
+    /// Multiply the rate by `factor` after every `every_epochs` epochs
+    /// (Caffe's "step" policy).
+    StepDecay {
+        /// Epochs between decays.
+        every_epochs: usize,
+        /// Multiplicative factor per decay (usually < 1).
+        factor: f64,
+    },
+}
+
+impl LearningRateSchedule {
+    /// The effective hyper-parameters at 1-based `epoch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHyperParameter`] if the decayed rate leaves
+    /// the valid domain (e.g. a `factor > 1` overflowing to infinity), or
+    /// if the schedule itself is invalid (`every_epochs == 0`,
+    /// non-positive `factor`).
+    pub fn at_epoch(&self, base: &TrainingHyper, epoch: usize) -> Result<TrainingHyper> {
+        match *self {
+            LearningRateSchedule::Constant => Ok(*base),
+            LearningRateSchedule::StepDecay {
+                every_epochs,
+                factor,
+            } => {
+                if every_epochs == 0 {
+                    return Err(Error::InvalidHyperParameter {
+                        name: "every_epochs",
+                        value: 0.0,
+                    });
+                }
+                if !(factor.is_finite() && factor > 0.0) {
+                    return Err(Error::InvalidHyperParameter {
+                        name: "factor",
+                        value: factor,
+                    });
+                }
+                let decays = epoch.saturating_sub(1) / every_epochs;
+                let lr = base.learning_rate() * factor.powi(decays as i32);
+                TrainingHyper::new(lr, base.momentum(), base.weight_decay())
+            }
+        }
+    }
+}
+
+/// One SGD-with-momentum step over a parameter buffer.
+///
+/// `velocity = momentum·velocity − lr·(grad + weight_decay·weight)`,
+/// `weight += velocity`; `grads` is zeroed afterwards so the next batch
+/// starts accumulating from scratch.
+///
+/// `decay` lets callers disable weight decay for biases (the usual
+/// convention).
+///
+/// # Panics
+///
+/// Panics if the three buffers have different lengths.
+pub(crate) fn sgd_step(
+    weights: &mut [f32],
+    grads: &mut [f32],
+    velocity: &mut [f32],
+    hyper: &TrainingHyper,
+    decay: bool,
+) {
+    assert_eq!(weights.len(), grads.len());
+    assert_eq!(weights.len(), velocity.len());
+    let lr = hyper.learning_rate() as f32;
+    let mu = hyper.momentum() as f32;
+    let wd = if decay {
+        hyper.weight_decay() as f32
+    } else {
+        0.0
+    };
+    for ((w, g), v) in weights.iter_mut().zip(grads.iter_mut()).zip(velocity) {
+        *v = mu * *v - lr * (*g + wd * *w);
+        *w += *v;
+        *g = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(TrainingHyper::new(0.0, 0.9, 0.0).is_err());
+        assert!(TrainingHyper::new(-0.1, 0.9, 0.0).is_err());
+        assert!(TrainingHyper::new(f64::NAN, 0.9, 0.0).is_err());
+        assert!(TrainingHyper::new(0.1, 1.0, 0.0).is_err());
+        assert!(TrainingHyper::new(0.1, -0.1, 0.0).is_err());
+        assert!(TrainingHyper::new(0.1, 0.9, -1.0).is_err());
+        assert!(TrainingHyper::new(0.1, 0.9, 0.01).is_ok());
+        assert!(TrainingHyper::new(0.1, 0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn constant_schedule_is_identity() {
+        let base = TrainingHyper::new(0.05, 0.9, 1e-3).unwrap();
+        for epoch in [1, 7, 100] {
+            assert_eq!(
+                LearningRateSchedule::Constant
+                    .at_epoch(&base, epoch)
+                    .unwrap(),
+                base
+            );
+        }
+    }
+
+    #[test]
+    fn step_decay_multiplies_every_n_epochs() {
+        let base = TrainingHyper::new(0.08, 0.9, 1e-3).unwrap();
+        let s = LearningRateSchedule::StepDecay {
+            every_epochs: 5,
+            factor: 0.5,
+        };
+        assert_eq!(s.at_epoch(&base, 1).unwrap().learning_rate(), 0.08);
+        assert_eq!(s.at_epoch(&base, 5).unwrap().learning_rate(), 0.08);
+        assert!((s.at_epoch(&base, 6).unwrap().learning_rate() - 0.04).abs() < 1e-12);
+        assert!((s.at_epoch(&base, 11).unwrap().learning_rate() - 0.02).abs() < 1e-12);
+        // Momentum/decay pass through unchanged.
+        assert_eq!(s.at_epoch(&base, 11).unwrap().momentum(), 0.9);
+    }
+
+    #[test]
+    fn invalid_schedules_rejected() {
+        let base = TrainingHyper::new(0.1, 0.9, 0.0).unwrap();
+        assert!(LearningRateSchedule::StepDecay {
+            every_epochs: 0,
+            factor: 0.5
+        }
+        .at_epoch(&base, 1)
+        .is_err());
+        assert!(LearningRateSchedule::StepDecay {
+            every_epochs: 5,
+            factor: -1.0
+        }
+        .at_epoch(&base, 1)
+        .is_err());
+    }
+
+    #[test]
+    fn sgd_step_without_momentum_is_plain_descent() {
+        let hyper = TrainingHyper::new(0.1, 0.0, 0.0).unwrap();
+        let mut w = [1.0f32];
+        let mut g = [2.0f32];
+        let mut v = [0.0f32];
+        sgd_step(&mut w, &mut g, &mut v, &hyper, true);
+        assert!((w[0] - 0.8).abs() < 1e-6);
+        assert_eq!(g[0], 0.0, "gradient must be zeroed");
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let hyper = TrainingHyper::new(0.1, 0.5, 0.0).unwrap();
+        let mut w = [0.0f32];
+        let mut v = [0.0f32];
+        let mut g = [1.0f32];
+        sgd_step(&mut w, &mut g, &mut v, &hyper, true);
+        assert!((w[0] - -0.1).abs() < 1e-6);
+        let mut g = [1.0f32];
+        sgd_step(&mut w, &mut g, &mut v, &hyper, true);
+        // v = 0.5*(-0.1) - 0.1 = -0.15; w = -0.25
+        assert!((w[0] - -0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let hyper = TrainingHyper::new(0.1, 0.0, 1.0).unwrap();
+        let mut w = [1.0f32];
+        let mut g = [0.0f32];
+        let mut v = [0.0f32];
+        sgd_step(&mut w, &mut g, &mut v, &hyper, true);
+        assert!((w[0] - 0.9).abs() < 1e-6);
+        // Decay disabled (bias convention): no change.
+        let mut w = [1.0f32];
+        let mut g = [0.0f32];
+        let mut v = [0.0f32];
+        sgd_step(&mut w, &mut g, &mut v, &hyper, false);
+        assert_eq!(w[0], 1.0);
+    }
+}

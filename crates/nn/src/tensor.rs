@@ -1,0 +1,177 @@
+/// A minimal 4-D tensor in NCHW layout (`batch × channels × height × width`).
+///
+/// Dense layers treat their features as `channels` with `height = width = 1`.
+/// Data is `f32`, matching what GPU frameworks use for training, and stored
+/// contiguously so layer kernels can index with simple strides.
+///
+/// # Examples
+///
+/// ```
+/// use hyperpower_nn::Tensor;
+///
+/// let mut t = Tensor::zeros(2, 3, 4, 4);
+/// *t.at_mut(1, 2, 3, 0) = 7.0;
+/// assert_eq!(t.at(1, 2, 3, 0), 7.0);
+/// assert_eq!(t.shape(), (2, 3, 4, 4));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Tensor {
+            n,
+            c,
+            h,
+            w,
+            data: vec![0.0; n * c * h * w],
+        }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n*c*h*w`.
+    pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            n * c * h * w,
+            "buffer length {} does not match shape ({n},{c},{h},{w})",
+            data.len()
+        );
+        Tensor { n, c, h, w, data }
+    }
+
+    /// Shape as `(n, c, h, w)`.
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Batch size.
+    pub fn batch(&self) -> usize {
+        self.n
+    }
+
+    /// Number of values per example (`c*h*w`).
+    pub fn example_len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Total number of values.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Value at `(n, c, h, w)`.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.offset(n, c, h, w)]
+    }
+
+    /// Mutable reference to the value at `(n, c, h, w)`.
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        let i = self.offset(n, c, h, w);
+        &mut self.data[i]
+    }
+
+    /// Borrows the underlying buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrows the contiguous values of example `n`.
+    pub fn example(&self, n: usize) -> &[f32] {
+        let len = self.example_len();
+        &self.data[n * len..(n + 1) * len]
+    }
+
+    /// Reinterprets the tensor as `(n, c*h*w, 1, 1)` — what [`Flatten`]
+    /// produces before a dense layer.
+    ///
+    /// [`Flatten`]: crate::layers::Flatten
+    pub fn flattened(&self) -> Tensor {
+        Tensor {
+            n: self.n,
+            c: self.example_len(),
+            h: 1,
+            w: 1,
+            data: self.data.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_len() {
+        let t = Tensor::zeros(2, 3, 4, 5);
+        assert_eq!(t.shape(), (2, 3, 4, 5));
+        assert_eq!(t.len(), 120);
+        assert_eq!(t.example_len(), 60);
+        assert!(t.as_slice().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut t = Tensor::zeros(2, 2, 3, 3);
+        *t.at_mut(1, 0, 2, 1) = 5.0;
+        assert_eq!(t.at(1, 0, 2, 1), 5.0);
+        // NCHW layout: offset = ((n*C + c)*H + h)*W + w.
+        assert_eq!(t.as_slice()[((1 * 2 + 0) * 3 + 2) * 3 + 1], 5.0);
+    }
+
+    #[test]
+    fn from_vec_layout() {
+        let t = Tensor::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.at(0, 0, 0, 1), 2.0);
+        assert_eq!(t.at(0, 0, 1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_bad_len_panics() {
+        Tensor::from_vec(1, 1, 2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn example_view() {
+        let t = Tensor::from_vec(2, 1, 1, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.example(0), &[1.0, 2.0]);
+        assert_eq!(t.example(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn flattened_preserves_data() {
+        let t = Tensor::from_vec(2, 2, 1, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let f = t.flattened();
+        assert_eq!(f.shape(), (2, 4, 1, 1));
+        assert_eq!(f.as_slice(), t.as_slice());
+    }
+}

@@ -1,0 +1,70 @@
+//! Embedded-deployment scenario: find the most accurate CIFAR-10 network
+//! that an NVIDIA Tegra TX1 can serve within a 12 W power envelope.
+//!
+//! This is the workload the paper's introduction motivates: an ML
+//! practitioner targeting a battery/thermally limited edge device cannot
+//! eyeball which hyper-parameters stay inside the power envelope (Fig. 1),
+//! and can't afford to train hundreds of candidates to find out. The
+//! example compares all four search methods under the same (virtual) time
+//! budget and shows why constraint-awareness matters.
+//!
+//! Run with: `cargo run --release --example embedded_deployment`
+
+use hyperpower::{Budget, Method, Mode, Scenario, Session};
+
+fn main() -> Result<(), hyperpower::Error> {
+    let scenario = Scenario::cifar10_tegra_tx1();
+    println!(
+        "target platform: {} — power budget {} W (no memory API on this board)",
+        scenario.device.name,
+        scenario.budgets.power_w.unwrap_or_default()
+    );
+    println!("search space: {} hyper-parameters\n", scenario.space.dim());
+
+    let mut session = Session::new(scenario, 7)?;
+    let budget = Budget::VirtualHours(session.scenario().time_budget_hours);
+
+    println!(
+        "{:<12} {:>6} {:>10} {:>12} {:>11} {:>12}",
+        "method", "mode", "queried", "best error", "power [W]", "found at [h]"
+    );
+    for method in Method::ALL {
+        for mode in [Mode::Default, Mode::HyperPower] {
+            let trace = session.run_seeded(method, mode, budget, 77)?;
+            match trace.best_feasible() {
+                Some(best) => println!(
+                    "{:<12} {:>6} {:>10} {:>11.2}% {:>11.2} {:>12.2}",
+                    method.to_string(),
+                    short_mode(mode),
+                    trace.queried(),
+                    best.error * 100.0,
+                    best.power_w,
+                    best.timestamp_s / 3600.0
+                ),
+                None => println!(
+                    "{:<12} {:>6} {:>10} {:>12} {:>11} {:>12}",
+                    method.to_string(),
+                    short_mode(mode),
+                    trace.queried(),
+                    "--",
+                    "--",
+                    "--"
+                ),
+            }
+        }
+    }
+    println!(
+        "\n'HP' rows use the HyperPower enhancements (predictive power model as an a-priori\n\
+         constraint + early termination of diverging runs); 'def' rows are the published\n\
+         constraint-unaware baselines. The HP rows query more candidates in the same time\n\
+         and never waste training on designs the device cannot serve."
+    );
+    Ok(())
+}
+
+fn short_mode(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Default => "def",
+        Mode::HyperPower => "HP",
+    }
+}

@@ -1,0 +1,78 @@
+//! Working directly with the predictive power/memory models.
+//!
+//! Shows the offline phase as a library user would drive it by hand:
+//! profile the platform, fit the models, inspect coefficients, and use the
+//! models to answer "what would this design cost?" questions *before any
+//! training* — the paper's central insight (§3.2–3.3).
+//!
+//! Run with: `cargo run --release --example power_models`
+
+use hyperpower::model::FeatureMap;
+use hyperpower::profiler::{fit_models, Profiler};
+use hyperpower::{Config, SearchSpace};
+use hyperpower_gpu_sim::{DeviceProfile, Gpu, TrainingCostModel, VirtualClock};
+
+fn main() -> Result<(), hyperpower::Error> {
+    let space = SearchSpace::cifar10();
+    let mut gpu = Gpu::new(DeviceProfile::gtx_1070(), 1);
+    let mut clock = VirtualClock::new();
+    let cost = TrainingCostModel::default();
+
+    // Offline: profile 100 random architectures (inference power + memory,
+    // no training needed) and fit the linear models with 10-fold CV.
+    let data = Profiler::new(100).profile(&space, &mut gpu, &mut clock, &cost, 9)?;
+    let models = fit_models(&data, 10, FeatureMap::Linear)?;
+    println!(
+        "profiled {} configurations in {:.0} (virtual) seconds",
+        data.len(),
+        clock.seconds()
+    );
+    println!(
+        "power model : RMSPE {:.2}% (residual std {:.2} W)",
+        models.power.cv_rmspe() * 100.0,
+        models.power.residual_std()
+    );
+    if let Some(mem) = &models.memory {
+        println!(
+            "memory model: RMSPE {:.2}% (residual std {:.1} MiB)",
+            mem.cv_rmspe() * 100.0,
+            mem.residual_std() / (1024.0 * 1024.0)
+        );
+    }
+
+    // The fitted coefficients: one weight per structural hyper-parameter
+    // (plus an intercept), paper Eq. 1.
+    println!("\npower-model weights (watts per unit of each structural dimension):");
+    let names: Vec<&str> = space
+        .dimensions()
+        .iter()
+        .filter(|d| d.is_structural())
+        .map(|d| d.name())
+        .collect();
+    print!("  intercept: {:+.3} W", models.power.weights()[0]);
+    for (name, w) in names.iter().zip(&models.power.weights()[1..]) {
+        print!("\n  {name:<16} {w:+.4}");
+    }
+    println!();
+
+    // Use the models: compare three designs *a priori*.
+    println!("\npredictions for three candidate designs (no training, no measurement):");
+    let designs = [
+        ("small conv-net", vec![0.05; 13]),
+        ("balanced", vec![0.5; 13]),
+        ("conv-heavy", {
+            let mut u = vec![0.9; 13];
+            u[9] = 0.2; // narrow FC
+            u
+        }),
+    ];
+    for (label, unit) in designs {
+        let config = Config::new(unit)?;
+        let z = space.structural_values(&config)?;
+        let decoded = space.decode(&config)?;
+        let predicted = models.predict_power(&z);
+        let actual = gpu.analyze(&decoded.arch).power_w;
+        println!("  {label:<15} predicted {predicted:>6.1} W   (ground truth {actual:>6.1} W)");
+    }
+    Ok(())
+}

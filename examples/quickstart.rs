@@ -1,0 +1,61 @@
+//! Quickstart: power- and memory-constrained hyper-parameter optimization
+//! in a dozen lines.
+//!
+//! Sets up the paper's MNIST / GTX 1070 scenario (85 W power budget,
+//! 1.15 GiB memory budget), profiles the platform, fits the predictive
+//! models, and runs HW-IECI — the paper's best method — for 15 function
+//! evaluations.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hyperpower::{Budget, Method, Mode, Scenario, Session};
+
+fn main() -> Result<(), hyperpower::Error> {
+    // 1. Pick a scenario: platform + search space + budgets.
+    let scenario = Scenario::mnist_gtx1070();
+    println!(
+        "scenario: {} — budgets: {:?} W / {:?} GiB, {}-dim search space",
+        scenario.name,
+        scenario.budgets.power_w,
+        scenario.budgets.memory_gib,
+        scenario.space.dim()
+    );
+
+    // 2. Create the session. This performs the paper's offline phase:
+    //    profile 100 random architectures on the (simulated) GPU and fit
+    //    the linear power/memory models with 10-fold cross-validation.
+    let mut session = Session::new(scenario, 42)?;
+    println!(
+        "power model RMSPE: {:.2}%   memory model RMSPE: {:.2}%",
+        session.models().power.cv_rmspe() * 100.0,
+        session
+            .models()
+            .memory
+            .as_ref()
+            .map(|m| m.cv_rmspe() * 100.0)
+            .unwrap_or(f64::NAN)
+    );
+
+    // 3. Optimize with the constraint-aware acquisition (HW-IECI).
+    let trace = session.run(Method::HwIeci, Mode::HyperPower, Budget::Evaluations(15))?;
+
+    // 4. Inspect the result.
+    let best = trace
+        .best_feasible()
+        .expect("HW-IECI finds a feasible design");
+    println!(
+        "\nbest feasible design after {} evaluations ({} samples queried):",
+        trace.evaluations(),
+        trace.queried()
+    );
+    println!("  test error : {:.2}%", best.error * 100.0);
+    println!("  power      : {:.1} W", best.power_w);
+    if let Some(mem) = best.memory_bytes {
+        println!("  memory     : {:.3} GiB", mem as f64 / (1u64 << 30) as f64);
+    }
+    println!(
+        "  found after: {:.2} h of (virtual) optimization time",
+        best.timestamp_s / 3600.0
+    );
+    Ok(())
+}

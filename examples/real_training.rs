@@ -1,0 +1,124 @@
+//! End-to-end run with *real* gradient-descent training.
+//!
+//! The paper-scale harnesses use the calibrated training simulator, but
+//! the optimizer is agnostic: this example plugs the actual CNN substrate
+//! (`hyperpower-nn` layers trained with SGD on a synthetic MNIST-like
+//! dataset from `hyperpower-data`) into the same driver, proving the whole
+//! code path — space decode → network build → train → evaluate → measure
+//! power/memory → constraint check — works with real training.
+//!
+//! Kept small (tiny dataset, few epochs, few evaluations) so it finishes
+//! in seconds on a laptop CPU.
+//!
+//! Run with: `cargo run --release --example real_training`
+
+use hyperpower::driver::{run_optimization, RunSetup};
+use hyperpower::objective::RealTrainingObjective;
+use hyperpower::{Budget, EarlyTermination, Method, Mode, Scenario, Session};
+use hyperpower_data::synthetic_dataset;
+use hyperpower_data::GeneratorOptions;
+use hyperpower_gpu_sim::{Gpu, TrainingCostModel};
+
+fn main() -> Result<(), hyperpower::Error> {
+    // A small, easy MNIST-like dataset: 28x28 grayscale, 10 classes.
+    let dataset = synthetic_dataset(
+        GeneratorOptions {
+            noise_level: 0.15,
+            ..GeneratorOptions::mnist_like()
+        },
+        3,
+        300, // training examples
+        100, // test examples
+    );
+    println!(
+        "dataset: {} train / {} test examples, shape {:?}",
+        dataset.num_train(),
+        dataset.num_test(),
+        dataset.image_shape()
+    );
+
+    // Reuse the MNIST/GTX scenario for its space, budgets and fitted
+    // constraint models...
+    let scenario = Scenario::mnist_gtx1070();
+    let session = Session::new(scenario.clone(), 11)?;
+
+    // ...but evaluate candidates by actually training them.
+    let mut objective = RealTrainingObjective::new(
+        dataset,
+        4,  // epochs per candidate
+        32, // batch size
+        TrainingCostModel::default(),
+    );
+    let mut gpu = Gpu::new(scenario.device.clone(), 23);
+
+    println!("\nrunning HW-IECI with real SGD training (6 evaluations)...");
+    let trace = run_optimization(RunSetup {
+        space: &scenario.space,
+        objective: &mut objective,
+        gpu: &mut gpu,
+        budgets: scenario.budgets,
+        oracle: Some(session.oracle()),
+        early_termination: Some(EarlyTermination {
+            check_epoch: 2,
+            error_threshold: 0.88,
+        }),
+        cost: TrainingCostModel::default(),
+        method: Method::HwIeci,
+        mode: Mode::HyperPower,
+        budget: Budget::Evaluations(6),
+        seed: 5,
+        searcher_override: None,
+    })?;
+
+    println!("evaluations: {}", trace.evaluations());
+    for s in &trace.samples {
+        if let Some(err) = s.error {
+            println!(
+                "  sample {:>2}: error {:>5.1}%  power {:>5.1} W  feasible {}",
+                s.index,
+                err * 100.0,
+                s.power_w,
+                s.feasible
+            );
+        }
+    }
+    if let Some(best) = trace.best_feasible() {
+        println!(
+            "\nbest feasible (really trained) design: {:.1}% test error at {:.1} W",
+            best.error * 100.0,
+            best.power_w
+        );
+
+        // Retrain the winner with a step-decay schedule and checkpoint it —
+        // what a practitioner does with the design the search found.
+        use hyperpower_nn::{LearningRateSchedule, Network};
+        let decoded = scenario.space.decode(&best.config)?;
+        let mut net = Network::from_spec(&decoded.arch, 99)?;
+        let schedule = LearningRateSchedule::StepDecay {
+            every_epochs: 3,
+            factor: 0.5,
+        };
+        let retrain_data = synthetic_dataset(
+            GeneratorOptions {
+                noise_level: 0.15,
+                ..GeneratorOptions::mnist_like()
+            },
+            3,
+            300,
+            100,
+        );
+        for epoch in 1..=6 {
+            let hyper = schedule.at_epoch(&decoded.hyper, epoch)?;
+            net.train_epoch(&retrain_data, 32, &hyper);
+        }
+        let err = net.evaluate(&retrain_data, hyperpower_data::Split::Test);
+        let mut checkpoint = Vec::new();
+        net.save_weights(&mut checkpoint).expect("in-memory write");
+        println!(
+            "retrained winner with step-decay schedule: {:.1}% error; checkpoint is {} bytes",
+            err * 100.0,
+            checkpoint.len()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Umbrella crate for the HyperPower reproduction workspace.
+//!
+//! Re-exports the workspace crates under one roof so the examples and
+//! integration tests (and downstream users who want a single dependency)
+//! can reach every layer:
+//!
+//! * [`hyperpower`] — the paper's contribution: constrained hyper-parameter
+//!   optimization (search spaces, predictive models, the four methods,
+//!   drivers, scenarios and reports),
+//! * [`gp`] — Gaussian-process regression and acquisition functions,
+//! * [`nn`] — the CNN training substrate and the calibrated training
+//!   simulator,
+//! * [`data`] — synthetic MNIST-like / CIFAR-like datasets,
+//! * [`gpu_sim`] — the GPU power/memory/latency simulator, virtual clock
+//!   and cost models,
+//! * [`linalg`] — the dense linear-algebra kernels underneath it all.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hyperpower_repro::hyperpower::{Budget, Method, Mode, Scenario, Session};
+//!
+//! # fn main() -> Result<(), hyperpower_repro::hyperpower::Error> {
+//! let mut session = Session::new(Scenario::mnist_tegra_tx1(), 1)?;
+//! let trace = session.run(Method::HwIeci, Mode::HyperPower, Budget::Evaluations(5))?;
+//! assert_eq!(trace.evaluations(), 5);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench`
+//! for the harnesses that regenerate every table and figure of the paper.
+
+pub use hyperpower;
+pub use hyperpower_data as data;
+pub use hyperpower_gp as gp;
+pub use hyperpower_gpu_sim as gpu_sim;
+pub use hyperpower_linalg as linalg;
+pub use hyperpower_nn as nn;

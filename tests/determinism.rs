@@ -1,0 +1,97 @@
+//! Reproducibility guarantees: every randomised component of the pipeline
+//! is seeded, so identical inputs must produce identical outputs — the
+//! property that makes the experiment harnesses rerunnable.
+
+use hyperpower::{Budget, Method, Mode, Scenario, Session};
+use hyperpower_data::cifar10_like;
+use hyperpower_nn::sim::{DatasetProfile, TrainingSimulator};
+use hyperpower_nn::{ArchSpec, LayerSpec, Network, Tensor, TrainingHyper};
+
+#[test]
+fn sessions_with_same_seed_fit_identical_models() {
+    let a = Session::new(Scenario::mnist_gtx1070(), 77).expect("session");
+    let b = Session::new(Scenario::mnist_gtx1070(), 77).expect("session");
+    assert_eq!(a.models().power.weights(), b.models().power.weights());
+    let (ma, mb) = (a.models().memory.as_ref(), b.models().memory.as_ref());
+    assert_eq!(
+        ma.map(|m| m.weights().to_vec()),
+        mb.map(|m| m.weights().to_vec())
+    );
+}
+
+#[test]
+fn sessions_with_different_seeds_differ() {
+    let a = Session::new(Scenario::mnist_gtx1070(), 1).expect("session");
+    let b = Session::new(Scenario::mnist_gtx1070(), 2).expect("session");
+    assert_ne!(a.models().power.weights(), b.models().power.weights());
+}
+
+#[test]
+fn runs_are_reproducible_across_sessions() {
+    let mut a = Session::new(Scenario::cifar10_tegra_tx1(), 5).expect("session");
+    let mut b = Session::new(Scenario::cifar10_tegra_tx1(), 5).expect("session");
+    for method in [Method::Rand, Method::HwIeci] {
+        let ta = a
+            .run_seeded(method, Mode::HyperPower, Budget::Evaluations(4), 33)
+            .expect("run");
+        let tb = b
+            .run_seeded(method, Mode::HyperPower, Budget::Evaluations(4), 33)
+            .expect("run");
+        assert_eq!(ta, tb, "{method} traces must match");
+    }
+}
+
+#[test]
+fn different_run_seeds_explore_differently() {
+    let mut session = Session::new(Scenario::mnist_tegra_tx1(), 6).expect("session");
+    let a = session
+        .run_seeded(Method::Rand, Mode::Default, Budget::Evaluations(5), 1)
+        .expect("run");
+    let b = session
+        .run_seeded(Method::Rand, Mode::Default, Budget::Evaluations(5), 2)
+        .expect("run");
+    assert_ne!(a.samples[0].config, b.samples[0].config);
+}
+
+#[test]
+fn datasets_and_networks_are_seed_deterministic() {
+    assert_eq!(cifar10_like(9, 32, 16), cifar10_like(9, 32, 16));
+    let spec = ArchSpec::new(
+        (3, 8, 8),
+        4,
+        vec![
+            LayerSpec::conv(4, 3),
+            LayerSpec::pool(2),
+            LayerSpec::dense(8),
+        ],
+    )
+    .expect("valid");
+    let mut na = Network::from_spec(&spec, 3).expect("builds");
+    let mut nb = Network::from_spec(&spec, 3).expect("builds");
+    let input = Tensor::zeros(2, 3, 8, 8);
+    assert_eq!(na.forward(&input), nb.forward(&input));
+}
+
+#[test]
+fn simulator_outcomes_are_seed_deterministic() {
+    let sim = TrainingSimulator::new(DatasetProfile::cifar10());
+    let spec = ArchSpec::new(
+        (3, 32, 32),
+        10,
+        vec![
+            LayerSpec::conv(40, 3),
+            LayerSpec::pool(2),
+            LayerSpec::dense(300),
+        ],
+    )
+    .expect("valid");
+    let hyper = TrainingHyper::new(0.01, 0.9, 1e-3).expect("valid");
+    assert_eq!(
+        sim.simulate(&spec, &hyper, 4),
+        sim.simulate(&spec, &hyper, 4)
+    );
+    assert_ne!(
+        sim.simulate(&spec, &hyper, 4).final_error,
+        sim.simulate(&spec, &hyper, 5).final_error
+    );
+}

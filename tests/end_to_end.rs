@@ -1,0 +1,168 @@
+//! End-to-end integration tests: the full HyperPower pipeline across all
+//! four device–dataset scenarios, with structural invariants on the
+//! resulting traces.
+
+use hyperpower::{Budget, Method, Mode, SampleKind, Scenario, Session, Trace};
+
+fn assert_trace_invariants(trace: &Trace) {
+    // Timestamps are strictly increasing and positive.
+    let mut prev = 0.0;
+    for s in &trace.samples {
+        assert!(s.timestamp_s > prev, "timestamps must increase");
+        prev = s.timestamp_s;
+        // Rejected samples carry no error and are infeasible.
+        match s.kind {
+            SampleKind::Rejected => {
+                assert!(s.error.is_none());
+                assert!(!s.feasible);
+            }
+            _ => {
+                let e = s.error.expect("evaluated samples have errors");
+                assert!((0.0..=1.0).contains(&e), "error {e} out of range");
+                assert!(s.power_w > 0.0);
+            }
+        }
+    }
+    assert!(trace.total_time_s >= prev);
+    assert_eq!(
+        trace.queried(),
+        trace.samples.len(),
+        "queried counts every sample"
+    );
+    assert!(trace.evaluations() <= trace.queried());
+}
+
+#[test]
+fn all_four_scenarios_run_all_methods() {
+    for (i, scenario) in Scenario::all_pairs().into_iter().enumerate() {
+        let mut session = Session::new(scenario, 100 + i as u64).expect("session");
+        for method in Method::ALL {
+            for mode in [Mode::Default, Mode::HyperPower] {
+                let trace = session
+                    .run_seeded(method, mode, Budget::Evaluations(4), 50)
+                    .expect("run succeeds");
+                assert_eq!(trace.evaluations(), 4);
+                assert_eq!(trace.method, method);
+                assert_eq!(trace.mode, mode);
+                assert_trace_invariants(&trace);
+            }
+        }
+    }
+}
+
+#[test]
+fn default_mode_queries_equal_evaluations() {
+    let mut session = Session::new(Scenario::cifar10_gtx1070(), 3).expect("session");
+    let trace = session
+        .run_seeded(Method::Rand, Mode::Default, Budget::Evaluations(6), 9)
+        .expect("run succeeds");
+    // Constraint-unaware: nothing is rejected up front.
+    assert_eq!(trace.queried(), trace.evaluations());
+}
+
+#[test]
+fn hyperpower_rand_rejects_predicted_violations() {
+    // On CIFAR/GTX the feasible region is small, so random search must
+    // discard a significant number of candidates via the models.
+    let mut session = Session::new(Scenario::cifar10_gtx1070(), 4).expect("session");
+    let trace = session
+        .run_seeded(Method::Rand, Mode::HyperPower, Budget::Evaluations(5), 11)
+        .expect("run succeeds");
+    let rejected = trace.queried() - trace.evaluations();
+    assert!(
+        rejected >= 5,
+        "expected substantial model rejections, got {rejected}"
+    );
+    assert_trace_invariants(&trace);
+}
+
+#[test]
+fn hw_ieci_never_selects_predicted_violations() {
+    // The paper's headline property: with the hard-indicator acquisition,
+    // no selected sample is predicted constraint-violating.
+    let mut session = Session::new(Scenario::cifar10_gtx1070(), 5).expect("session");
+    let trace = session
+        .run_seeded(
+            Method::HwIeci,
+            Mode::HyperPower,
+            Budget::Evaluations(12),
+            13,
+        )
+        .expect("run succeeds");
+    let space = session.scenario().space.clone();
+    let oracle = session.oracle().clone();
+    for s in &trace.samples {
+        assert_ne!(s.kind, SampleKind::Rejected, "IECI proposes in-acquisition");
+        let z = space.structural_values(&s.config).expect("valid config");
+        assert!(
+            oracle.predicted_feasible(&z),
+            "HW-IECI selected a predicted-violating sample at index {}",
+            s.index
+        );
+    }
+}
+
+#[test]
+fn time_budget_respects_deadline_with_overshoot_for_last_sample() {
+    let mut session = Session::new(Scenario::mnist_gtx1070(), 6).expect("session");
+    for mode in [Mode::Default, Mode::HyperPower] {
+        let trace = session
+            .run_seeded(Method::Rand, mode, Budget::VirtualHours(1.0), 21)
+            .expect("run succeeds");
+        assert!(trace.total_time_s >= 3600.0, "budget must be exhausted");
+        // Overshoot is bounded by one full training run (< 1 h on MNIST).
+        assert!(trace.total_time_s < 3600.0 * 2.0);
+    }
+}
+
+#[test]
+fn hyperpower_queries_at_least_as_many_samples_in_time_budget() {
+    let mut session = Session::new(Scenario::cifar10_gtx1070(), 7).expect("session");
+    let default = session
+        .run_seeded(Method::Rand, Mode::Default, Budget::VirtualHours(3.0), 31)
+        .expect("run succeeds");
+    let hyper = session
+        .run_seeded(
+            Method::Rand,
+            Mode::HyperPower,
+            Budget::VirtualHours(3.0),
+            31,
+        )
+        .expect("run succeeds");
+    assert!(
+        hyper.queried() > default.queried(),
+        "HyperPower {} vs default {}",
+        hyper.queried(),
+        default.queried()
+    );
+}
+
+#[test]
+fn tegra_traces_have_no_memory_measurements() {
+    let mut session = Session::new(Scenario::mnist_tegra_tx1(), 8).expect("session");
+    let trace = session
+        .run_seeded(Method::Rand, Mode::HyperPower, Budget::Evaluations(3), 41)
+        .expect("run succeeds");
+    for s in &trace.samples {
+        assert!(s.memory_bytes.is_none(), "Tegra has no memory API");
+    }
+    assert!(session.models().memory.is_none());
+}
+
+#[test]
+fn best_feasible_is_consistent_with_samples() {
+    let mut session = Session::new(Scenario::mnist_gtx1070(), 9).expect("session");
+    let trace = session
+        .run_seeded(Method::HwCwei, Mode::HyperPower, Budget::Evaluations(8), 51)
+        .expect("run succeeds");
+    if let Some(best) = trace.best_feasible() {
+        // No feasible evaluated sample has a lower error.
+        for s in &trace.samples {
+            if s.feasible {
+                if let Some(e) = s.error {
+                    assert!(e >= best.error);
+                }
+            }
+        }
+    }
+}
