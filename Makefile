@@ -1,0 +1,28 @@
+# Developer entry points. Everything here is also runnable directly with
+# cargo; the Makefile just names the standard bundles.
+
+.PHONY: all build test check clippy analyze bench clean
+
+all: build test check
+
+build:
+	cargo build --workspace --release
+
+test:
+	cargo test --workspace
+
+# The full lint gate: clippy with the workspace deny set, then the custom
+# static-analysis pass (determinism + numerics invariants, DESIGN.md §6a).
+check: clippy analyze
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+analyze:
+	cargo run -p hyperpower-analyze
+
+bench:
+	cargo bench --workspace
+
+clean:
+	cargo clean

@@ -1,0 +1,436 @@
+//! `hyperpower-analyze`: a dependency-light static-analysis pass enforcing
+//! the workspace's numerics and determinism invariants.
+//!
+//! Clippy's lint gate (see the root `Cargo.toml`) covers the generic
+//! hygiene rules — no unwraps in library code, no raw float equality the
+//! compiler can see, and so on. This crate covers the *project-specific*
+//! invariants clippy cannot express:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `R1` | no ambient entropy (`thread_rng`, `SystemTime`, …) in deterministic search paths |
+//! | `R2` | no raw `==`/`!=` against non-zero float literals, no `partial_cmp().unwrap()` on objectives |
+//! | `R3` | every public error enum is `#[non_exhaustive]` |
+//! | `R4` | no `println!`/`eprintln!`/`dbg!` in library crates (stdout is the cli's) |
+//! | `R5` | `debug_assert_finite!` guards present at declared numerical boundaries |
+//!
+//! The pass is a line-level scanner, not a full parser: comments and
+//! string/char literals are blanked before matching and `#[cfg(test)]`
+//! regions are exempt, which in practice removes false positives without
+//! needing syn/rustc internals (this workspace builds hermetically, so the
+//! analyzer must stay dependency-free). Intentional exceptions are
+//! annotated in the source with `// analyze::allow(<rule>)`, which
+//! silences the named rule on that line and the next.
+//!
+//! Run it as `cargo run -p hyperpower-analyze` (human-readable) or with
+//! `--json` for a machine-readable findings report; it also runs as a
+//! tier-1 test via the root `tests/static_analysis.rs`.
+
+pub mod rules;
+mod scan;
+
+pub use scan::{Line, SourceFile};
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` trees the pass scans. The `cli` and `bench`
+/// crates are intentionally absent: they own stdout, and their wiring
+/// code may panic on startup errors.
+pub const LIBRARY_CRATES: &[&str] = &["core", "data", "gp", "gpu-sim", "linalg", "nn"];
+
+/// Analyzer errors (I/O only — scanning itself is total).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Reading a source file or directory failed.
+    Io {
+        /// The path that could not be read.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { path, source } => write!(f, "io error at {}: {source}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Analyzer result type.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The rule kinds the pass checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Rule {
+    /// R1: ambient entropy / wall-clock time in deterministic search paths.
+    R1NondeterministicEntropy,
+    /// R2: raw float equality or `partial_cmp().unwrap()` on objectives.
+    R2RawFloatEq,
+    /// R3: public error enum without `#[non_exhaustive]`.
+    R3ErrorEnumExhaustive,
+    /// R4: print-family macro in a library crate.
+    R4PrintInLibrary,
+    /// R5: declared numerical boundary missing its finiteness guard.
+    R5MissingFiniteGuard,
+}
+
+impl Rule {
+    /// All rule kinds, in id order.
+    pub const ALL: [Rule; 5] = [
+        Rule::R1NondeterministicEntropy,
+        Rule::R2RawFloatEq,
+        Rule::R3ErrorEnumExhaustive,
+        Rule::R4PrintInLibrary,
+        Rule::R5MissingFiniteGuard,
+    ];
+
+    /// Short id used in reports and `analyze::allow(..)` markers.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::R1NondeterministicEntropy => "R1",
+            Rule::R2RawFloatEq => "R2",
+            Rule::R3ErrorEnumExhaustive => "R3",
+            Rule::R4PrintInLibrary => "R4",
+            Rule::R5MissingFiniteGuard => "R5",
+        }
+    }
+
+    /// Human-readable slug.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::R1NondeterministicEntropy => "nondeterministic-entropy",
+            Rule::R2RawFloatEq => "raw-float-eq",
+            Rule::R3ErrorEnumExhaustive => "error-enum-exhaustive",
+            Rule::R4PrintInLibrary => "print-in-library",
+            Rule::R5MissingFiniteGuard => "missing-finite-guard",
+        }
+    }
+
+    /// One-line description of the invariant the rule protects.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::R1NondeterministicEntropy => {
+                "search paths must draw randomness only from explicitly seeded RNGs"
+            }
+            Rule::R2RawFloatEq => {
+                "objective/constraint floats are ordered with total_cmp, never raw == or panicking partial_cmp"
+            }
+            Rule::R3ErrorEnumExhaustive => "public error enums stay extensible via #[non_exhaustive]",
+            Rule::R4PrintInLibrary => "library crates never write to stdout/stderr",
+            Rule::R5MissingFiniteGuard => {
+                "numerical boundaries carry debug_assert_finite! guards against NaN/Inf"
+            }
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number (1 for file-level findings).
+    pub line: usize,
+    /// Trimmed source excerpt (empty for file-level findings).
+    pub excerpt: String,
+    /// Explanation of the violation.
+    pub message: String,
+}
+
+/// The result of an analysis run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule id).
+    pub findings: Vec<Finding>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings for one rule.
+    pub fn findings_for(&self, rule: Rule) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.rule == rule)
+    }
+
+    /// Machine-readable JSON report (hand-rolled: the analyzer is
+    /// dependency-free by design).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"rules\": [\n");
+        for (i, rule) in Rule::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"slug\": \"{}\", \"findings\": {}}}{}\n",
+                rule.id(),
+                rule.slug(),
+                self.findings_for(*rule).count(),
+                if i + 1 < Rule::ALL.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"excerpt\": \"{}\", \"message\": \"{}\"}}{}\n",
+                f.rule.id(),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.excerpt),
+                json_escape(&f.message),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Analyzes the library crates of the workspace rooted at `root`.
+///
+/// Scans `crates/<name>/src/**/*.rs` for each name in [`LIBRARY_CRATES`]
+/// (crates absent from the tree are skipped, so the pass also works on
+/// the scratch workspaces the unit tests build), applies R1–R4 per line,
+/// and checks each [`rules::GUARD_SITES`] entry for R5.
+pub fn analyze_workspace(root: &Path) -> Result<Report> {
+    let mut findings = Vec::new();
+    let mut files_scanned = 0;
+
+    for krate in LIBRARY_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        for path in scan::rust_files(&src)? {
+            let file = SourceFile::load(root, &path)?;
+            rules::apply_line_rules(&file, &mut findings);
+            files_scanned += 1;
+        }
+    }
+
+    for (rel, what) in rules::GUARD_SITES {
+        let path = root.join(rel);
+        if !path.is_file() {
+            continue;
+        }
+        let file = SourceFile::load(root, &path)?;
+        rules::check_finite_guard(&file, what, &mut findings);
+    }
+
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.id()).cmp(&(b.file.as_str(), b.line, b.rule.id()))
+    });
+    Ok(Report {
+        findings,
+        files_scanned,
+    })
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`. Used by the binary so it works from any subdirectory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// A scratch workspace on disk, deleted on drop. Unique names come
+    /// from the pid plus a process-wide counter (no clock needed).
+    struct Scratch {
+        root: PathBuf,
+    }
+
+    impl Scratch {
+        fn new() -> Self {
+            static COUNTER: AtomicU32 = AtomicU32::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let root = std::env::temp_dir().join(format!(
+                "hyperpower-analyze-test-{}-{n}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&root).unwrap();
+            Scratch { root }
+        }
+
+        fn write(&self, rel: &str, text: &str) {
+            let path = self.root.join(rel);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(path, text).unwrap();
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+
+    #[test]
+    fn clean_scratch_workspace_is_clean() {
+        let ws = Scratch::new();
+        ws.write(
+            "crates/gp/src/lib.rs",
+            "pub fn posterior(x: f64) -> f64 { x + 1.0 }\n",
+        );
+        let report = analyze_workspace(&ws.root).unwrap();
+        assert!(report.is_clean(), "unexpected findings: {:?}", report.findings);
+        assert_eq!(report.files_scanned, 1);
+    }
+
+    #[test]
+    fn seeded_violations_are_all_detected() {
+        // A scratch file seeded with one violation per rule kind; the
+        // analyzer must find every one of them.
+        let ws = Scratch::new();
+        ws.write(
+            "crates/core/src/methods.rs",
+            concat!(
+                "use std::time::SystemTime;\n",                          // R1
+                "pub fn pick(xs: &[f64]) -> usize {\n",
+                "    xs.iter().enumerate()\n",
+                "        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())\n", // R2
+                "        .map(|(i, _)| i).unwrap_or(0)\n",
+                "}\n",
+                "pub fn warn() { eprintln!(\"slow convergence\"); }\n",   // R4
+                "#[derive(Debug)]\n",
+                "pub enum SearchError { Budget }\n",                      // R3
+            ),
+        );
+        // R5: a declared guard site present but without the marker.
+        ws.write("crates/core/src/model.rs", "pub fn fit() {}\n");
+
+        let report = analyze_workspace(&ws.root).unwrap();
+        for rule in Rule::ALL {
+            assert!(
+                report.findings_for(rule).count() >= 1,
+                "rule {} did not fire on its seeded violation; findings: {:?}",
+                rule.id(),
+                report.findings
+            );
+        }
+    }
+
+    #[test]
+    fn allow_marker_suppresses_seeded_violation() {
+        let ws = Scratch::new();
+        ws.write(
+            "crates/nn/src/lib.rs",
+            "// analyze::allow(R4)\npub fn log() { eprintln!(\"x\"); }\n",
+        );
+        let report = analyze_workspace(&ws.root).unwrap();
+        assert!(report.is_clean(), "findings: {:?}", report.findings);
+    }
+
+    #[test]
+    fn findings_are_sorted_and_json_is_wellformed() {
+        let ws = Scratch::new();
+        ws.write(
+            "crates/linalg/src/b.rs",
+            "pub fn f() { println!(\"b\"); }\n",
+        );
+        ws.write(
+            "crates/linalg/src/a.rs",
+            "pub fn g() { println!(\"a\"); }\npub fn h() { dbg!(1); }\n",
+        );
+        let report = analyze_workspace(&ws.root).unwrap();
+        let files: Vec<_> = report.findings.iter().map(|f| f.file.clone()).collect();
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+
+        let json = report.to_json();
+        assert!(json.contains("\"rule\": \"R4\""));
+        assert!(json.contains("\"files_scanned\": 2"));
+        // Balanced braces is a cheap well-formedness smoke check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn workspace_root_discovery() {
+        let ws = Scratch::new();
+        ws.write("Cargo.toml", "[workspace]\nmembers = []\n");
+        ws.write("crates/gp/src/lib.rs", "pub fn f() {}\n");
+        let nested = ws.root.join("crates/gp/src");
+        assert_eq!(find_workspace_root(&nested), Some(ws.root.clone()));
+    }
+
+    #[test]
+    fn real_workspace_is_clean() {
+        // The tier-1 gate: the actual repository must pass its own
+        // analyzer. CARGO_MANIFEST_DIR is crates/analyze; the workspace
+        // root is two levels up.
+        let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let root = match find_workspace_root(&here) {
+            Some(r) => r,
+            None => panic!("workspace root not found above {}", here.display()),
+        };
+        let report = analyze_workspace(&root).unwrap();
+        assert!(
+            report.is_clean(),
+            "static-analysis violations in the workspace:\n{}",
+            report
+                .findings
+                .iter()
+                .map(|f| format!("  [{}] {}:{} {}", f.rule.id(), f.file, f.line, f.message))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(report.files_scanned >= 10, "scanned too few files");
+    }
+}

@@ -1,0 +1,111 @@
+//! Command-line entry point for the workspace static-analysis pass.
+//!
+//! Usage: `cargo run -p hyperpower-analyze [-- --json] [root]`
+//!
+//! Exits 0 when the workspace is clean, 1 when any rule fired, 2 on
+//! usage or I/O errors.
+
+// This binary owns its stdout/stderr; the R4/print lints apply to the
+// library crates only.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hyperpower_analyze::{analyze_workspace, find_workspace_root, Rule};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: hyperpower-analyze [--json] [workspace-root]");
+                println!("rules:");
+                for rule in Rule::ALL {
+                    println!("  {} ({}): {}", rule.id(), rule.slug(), rule.description());
+                }
+                return ExitCode::SUCCESS;
+            }
+            other if root_arg.is_none() && !other.starts_with('-') => {
+                root_arg = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        println!(
+            "hyperpower-analyze: scanned {} files across {} rules",
+            report.files_scanned,
+            Rule::ALL.len()
+        );
+        for rule in Rule::ALL {
+            let n = report.findings_for(rule).count();
+            println!(
+                "  {} {} ({}): {} finding{}",
+                if n == 0 { "ok " } else { "FAIL" },
+                rule.id(),
+                rule.slug(),
+                n,
+                if n == 1 { "" } else { "s" }
+            );
+        }
+        for f in &report.findings {
+            println!("\n[{}] {}:{}", f.rule.id(), f.file, f.line);
+            if !f.excerpt.is_empty() {
+                println!("    {}", f.excerpt);
+            }
+            println!("    {}", f.message);
+        }
+        if report.is_clean() {
+            println!("\nclean: all invariants hold");
+        } else {
+            println!(
+                "\n{} violation{} found",
+                report.findings.len(),
+                if report.findings.len() == 1 { "" } else { "s" }
+            );
+        }
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,426 @@
+//! The five analyzer rules (R1–R5).
+//!
+//! Each rule is a line- or file-level check over a [`SourceFile`] whose
+//! comments and strings have already been blanked. Rules only fire in
+//! library-crate code outside `#[cfg(test)]` regions, and every rule
+//! honours the `// analyze::allow(<rule>)` escape hatch.
+
+use crate::scan::SourceFile;
+use crate::{Finding, Rule};
+
+/// Sites that must carry a finiteness guard (R5): numerical boundaries
+/// where a NaN/Inf slipping through would silently poison downstream
+/// results. Paths are workspace-relative; the marker must appear in
+/// non-test code of that file.
+pub const GUARD_SITES: &[(&str, &str)] = &[
+    (
+        "crates/linalg/src/cholesky.rs",
+        "Cholesky factorization entry",
+    ),
+    ("crates/linalg/src/lstsq.rs", "least-squares solver entry"),
+    ("crates/gp/src/regressor.rs", "GP posterior boundary"),
+    ("crates/core/src/model.rs", "constraint-model boundary"),
+];
+
+/// The marker R5 looks for at each guard site.
+pub const FINITE_GUARD_MARKER: &str = "debug_assert_finite!";
+
+/// Substrings that indicate ambient, non-reproducible entropy (R1).
+const ENTROPY_PATTERNS: &[&str] = &[
+    "thread_rng",
+    "from_os_rng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+    "SystemTime",
+    "Instant::now",
+];
+
+/// Print-family macros forbidden in library crates (R4).
+const PRINT_PATTERNS: &[&str] = &["println!", "print!", "eprintln!", "eprint!", "dbg!"];
+
+/// Applies every line-level rule (R1–R4) to one file.
+pub fn apply_line_rules(file: &SourceFile, findings: &mut Vec<Finding>) {
+    check_entropy(file, findings);
+    check_float_eq(file, findings);
+    check_error_enums(file, findings);
+    check_prints(file, findings);
+}
+
+/// R5: the file is a declared guard site and must contain the
+/// `debug_assert_finite!` marker in live (non-test) code.
+pub fn check_finite_guard(file: &SourceFile, what: &str, findings: &mut Vec<Finding>) {
+    let present = file
+        .lines
+        .iter()
+        .any(|l| !l.in_test && l.code.contains(FINITE_GUARD_MARKER));
+    let allowed = file
+        .lines
+        .iter()
+        .any(|l| l.allowed.contains(Rule::R5MissingFiniteGuard.id()));
+    if !present && !allowed {
+        findings.push(Finding {
+            rule: Rule::R5MissingFiniteGuard,
+            file: file.rel_path.display().to_string(),
+            line: 1,
+            excerpt: String::new(),
+            message: format!(
+                "{what}: no `{FINITE_GUARD_MARKER}` guard found; NaN/Inf can cross this numerical boundary unchecked"
+            ),
+        });
+    }
+}
+
+fn check_entropy(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for line in &file.lines {
+        if line.in_test || line.allowed.contains(Rule::R1NondeterministicEntropy.id()) {
+            continue;
+        }
+        for pat in ENTROPY_PATTERNS {
+            if line.code.contains(pat) {
+                findings.push(Finding {
+                    rule: Rule::R1NondeterministicEntropy,
+                    file: file.rel_path.display().to_string(),
+                    line: line.number,
+                    excerpt: excerpt(&line.raw),
+                    message: format!(
+                        "`{pat}` introduces ambient entropy/time into a deterministic search path; seed all randomness explicitly"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+fn check_float_eq(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for line in &file.lines {
+        if line.in_test || line.allowed.contains(Rule::R2RawFloatEq.id()) {
+            continue;
+        }
+        if line.code.contains("partial_cmp")
+            && (line.code.contains(".unwrap()") || line.code.contains(".expect("))
+        {
+            findings.push(Finding {
+                rule: Rule::R2RawFloatEq,
+                file: file.rel_path.display().to_string(),
+                line: line.number,
+                excerpt: excerpt(&line.raw),
+                message: "`partial_cmp(..).unwrap()` panics on NaN; use `f64::total_cmp` for objective/constraint ordering".to_string(),
+            });
+            continue;
+        }
+        if let Some(tok) = nonzero_float_literal_comparison(&line.code) {
+            findings.push(Finding {
+                rule: Rule::R2RawFloatEq,
+                file: file.rel_path.display().to_string(),
+                line: line.number,
+                excerpt: excerpt(&line.raw),
+                message: format!(
+                    "raw `==`/`!=` against float literal `{tok}` is bit-exact and brittle; compare with a tolerance or use `total_cmp` (exact-zero checks are exempt)"
+                ),
+            });
+        }
+    }
+}
+
+fn check_error_enums(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.allowed.contains(Rule::R3ErrorEnumExhaustive.id()) {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        let is_pub_error_enum = trimmed.strip_prefix("pub enum ").is_some_and(|rest| {
+            rest.split(|c: char| !c.is_alphanumeric() && c != '_')
+                .next()
+                .is_some_and(|name| name.contains("Error"))
+        });
+        if !is_pub_error_enum {
+            continue;
+        }
+        // Walk back through the attribute/doc block looking for the marker.
+        let mut has_marker = false;
+        for back in file.lines[..idx].iter().rev().take(16) {
+            let t = back.code.trim_start();
+            let attr_or_doc = t.starts_with("#[")
+                || t.starts_with(')') // tail of a multi-line derive list
+                || t.starts_with(']')
+                || t.is_empty()
+                || back.raw.trim_start().starts_with("///")
+                || back.raw.trim_start().starts_with("//");
+            if back.code.contains("non_exhaustive") {
+                has_marker = true;
+                break;
+            }
+            if !attr_or_doc {
+                break;
+            }
+        }
+        if !has_marker {
+            findings.push(Finding {
+                rule: Rule::R3ErrorEnumExhaustive,
+                file: file.rel_path.display().to_string(),
+                line: line.number,
+                excerpt: excerpt(&line.raw),
+                message: "public error enum is missing `#[non_exhaustive]`; adding a variant later would be a breaking change".to_string(),
+            });
+        }
+    }
+}
+
+fn check_prints(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for line in &file.lines {
+        if line.in_test || line.allowed.contains(Rule::R4PrintInLibrary.id()) {
+            continue;
+        }
+        for pat in PRINT_PATTERNS {
+            if contains_macro(&line.code, pat) {
+                findings.push(Finding {
+                    rule: Rule::R4PrintInLibrary,
+                    file: file.rel_path.display().to_string(),
+                    line: line.number,
+                    excerpt: excerpt(&line.raw),
+                    message: format!(
+                        "`{pat}` in library code; stdout/stderr are reserved for the cli and bench crates"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// True when `pat` (a `name!` macro) occurs as its own token — i.e. not as
+/// the suffix of a longer identifier (`eprintln!` must not match inside a
+/// hypothetical `my_eprintln!`, and `print!` must not fire on `println!`,
+/// which is reported separately).
+fn contains_macro(code: &str, pat: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(pat) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok {
+            return true;
+        }
+        start = abs + pat.len();
+    }
+    false
+}
+
+/// Finds a float-literal operand of `==` / `!=` that is not an exact zero.
+/// Returns the offending literal token, if any.
+fn nonzero_float_literal_comparison(code: &str) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &code[i..i + 2];
+        if two == "==" || two == "!=" {
+            // Skip `<=`, `>=`, `===`-like runs and pattern arms (`=>`).
+            let prev = code[..i].chars().next_back();
+            let next = code[i + 2..].chars().next();
+            let is_cmp = prev != Some('<')
+                && prev != Some('>')
+                && prev != Some('=')
+                && prev != Some('!')
+                && next != Some('=');
+            if is_cmp {
+                for tok in [left_token(&code[..i]), right_token(&code[i + 2..])]
+                    .into_iter()
+                    .flatten()
+                {
+                    if is_float_literal(&tok) && !is_zero_literal(&tok) {
+                        return Some(tok);
+                    }
+                }
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+fn left_token(s: &str) -> Option<String> {
+    let trimmed = s.trim_end();
+    let start = trimmed
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '.' || c == '_'))
+        .map_or(0, |p| p + 1);
+    let tok = &trimmed[start..];
+    if tok.is_empty() {
+        None
+    } else {
+        Some(tok.to_string())
+    }
+}
+
+fn right_token(s: &str) -> Option<String> {
+    let trimmed = s.trim_start();
+    let tok: String = trimmed
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '.' || *c == '_' || *c == '-')
+        .collect();
+    if tok.is_empty() {
+        None
+    } else {
+        Some(tok)
+    }
+}
+
+fn is_float_literal(tok: &str) -> bool {
+    let t = tok
+        .trim_start_matches('-')
+        .trim_end_matches("f64")
+        .trim_end_matches("f32");
+    if t.is_empty() || !t.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    t.contains('.') && t.trim_end_matches('.').parse::<f64>().is_ok()
+}
+
+fn is_zero_literal(tok: &str) -> bool {
+    let t = tok
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches('.');
+    t.parse::<f64>().is_ok_and(|v| v.to_bits() == 0 || v.to_bits() == (-0.0f64).to_bits())
+}
+
+fn excerpt(raw: &str) -> String {
+    let t = raw.trim();
+    if t.len() > 120 {
+        let cut = t
+            .char_indices()
+            .take_while(|(i, _)| *i < 117)
+            .last()
+            .map_or(0, |(i, c)| i + c.len_utf8());
+        format!("{}...", &t[..cut])
+    } else {
+        t.to_string()
+    }
+}
+
+#[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scan(text: &str) -> SourceFile {
+        SourceFile::from_source(PathBuf::from("crates/x/src/lib.rs"), text)
+    }
+
+    fn run(text: &str) -> Vec<Finding> {
+        let mut f = Vec::new();
+        apply_line_rules(&scan(text), &mut f);
+        f
+    }
+
+    #[test]
+    fn r1_fires_on_thread_rng() {
+        let f = run("let mut rng = rand::thread_rng();\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R1NondeterministicEntropy);
+    }
+
+    #[test]
+    fn r1_ignores_strings_comments_and_tests() {
+        assert!(run("let s = \"thread_rng\"; // thread_rng\n").is_empty());
+        assert!(run("#[cfg(test)]\nmod tests {\n  fn t() { thread_rng(); }\n}\n").is_empty());
+    }
+
+    #[test]
+    fn r1_escape_hatch() {
+        let f = run("// analyze::allow(R1)\nlet t = SystemTime::now();\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn r2_fires_on_partial_cmp_unwrap() {
+        let f = run("xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R2RawFloatEq);
+    }
+
+    #[test]
+    fn r2_fires_on_nonzero_float_literal_eq() {
+        let f = run("if x == 0.5 { y(); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R2RawFloatEq);
+        assert!(run("if 1.0 == x { y(); }\n").len() == 1);
+    }
+
+    #[test]
+    fn r2_exempts_exact_zero_and_integers() {
+        assert!(run("if x == 0.0 { y(); }\n").is_empty());
+        assert!(run("if x != 0.0f32 { y(); }\n").is_empty());
+        assert!(run("if n == 10 { y(); }\n").is_empty());
+        assert!(run("if x <= 0.5 { y(); }\n").is_empty());
+        assert!(run("match x { 0 => a, _ => b }\n").is_empty());
+    }
+
+    #[test]
+    fn r3_fires_on_exhaustive_pub_error_enum() {
+        let f = run("#[derive(Debug)]\npub enum ParseError {\n    Bad,\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R3ErrorEnumExhaustive);
+    }
+
+    #[test]
+    fn r3_accepts_non_exhaustive() {
+        let src = "/// Docs.\n#[derive(Debug)]\n#[non_exhaustive]\npub enum Error {\n    Bad,\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn r3_ignores_non_error_enums_and_private() {
+        assert!(run("pub enum Mode { A, B }\n").is_empty());
+        assert!(run("enum InternalError { X }\n").is_empty());
+    }
+
+    #[test]
+    fn r4_fires_on_println() {
+        let f = run("println!(\"progress: {pct}\");\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R4PrintInLibrary);
+    }
+
+    #[test]
+    fn r4_token_boundaries() {
+        // `print!` must not fire merely because `println!` contains it as a
+        // substring mid-identifier; and writeln! is fine.
+        assert!(run("writeln!(buf, \"x\").ok();\n").is_empty());
+        let f = run("eprintln!(\"warn\");\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn r5_missing_and_present() {
+        let mut f = Vec::new();
+        check_finite_guard(&scan("pub fn predict() {}\n"), "GP posterior", &mut f);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R5MissingFiniteGuard);
+
+        let mut ok = Vec::new();
+        check_finite_guard(
+            &scan("pub fn predict() { debug_assert_finite!(\"gp\", &mean); }\n"),
+            "GP posterior",
+            &mut ok,
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn r5_marker_in_test_code_does_not_count() {
+        let src = "pub fn predict() {}\n#[cfg(test)]\nmod tests {\n  fn t() { debug_assert_finite!(\"x\", &v); }\n}\n";
+        let mut f = Vec::new();
+        check_finite_guard(&scan(src), "GP posterior", &mut f);
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,416 @@
+//! Source-file model for the analyzer.
+//!
+//! Parses a Rust source file just deeply enough for reliable line-level
+//! pattern rules: comments and string literals are blanked out (so a
+//! forbidden token inside an error message never counts), `#[cfg(test)]`
+//! regions are marked (test code is exempt from most rules), and
+//! `// analyze::allow(<rule>)` escape-hatch markers are collected.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use crate::{Error, Result};
+
+/// One scanned line of source.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The raw text, untouched.
+    pub raw: String,
+    /// The text with comments and string/char literals blanked to spaces.
+    /// Pattern rules match against this.
+    pub code: String,
+    /// Whether the line sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Rule ids (`"R1"`…) allowed on this line via the escape hatch.
+    pub allowed: HashSet<String>,
+}
+
+/// A scanned source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root.
+    pub rel_path: PathBuf,
+    /// The scanned lines, in order.
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Loads and scans one file. `root` is the workspace root used to
+    /// relativise the path in findings.
+    pub fn load(root: &Path, path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path).map_err(|source| Error::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let rel_path = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_path_buf();
+        Ok(Self::from_source(rel_path, &text))
+    }
+
+    /// Scans source text (exposed for unit tests).
+    pub fn from_source(rel_path: PathBuf, text: &str) -> Self {
+        let stripped = strip_comments_and_strings(text);
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let code_lines: Vec<&str> = stripped.lines().collect();
+
+        // Pass 1: brace depth at the start of each line + cfg(test) regions.
+        let mut in_test_flags = vec![false; raw_lines.len()];
+        let mut depth: i64 = 0;
+        // Depth at which the innermost active #[cfg(test)] region opened;
+        // None when outside any test region.
+        let mut test_region_depth: Option<i64> = None;
+        let mut pending_cfg_test = false;
+        for (i, code) in code_lines.iter().enumerate() {
+            let entering_depth = depth;
+            let opens = code.matches('{').count() as i64;
+            let closes = code.matches('}').count() as i64;
+
+            if let Some(d) = test_region_depth {
+                in_test_flags[i] = true;
+                // Region ends when the closing brace returns us to its depth.
+                if entering_depth + opens - closes <= d {
+                    // The line containing the closing brace is still "test".
+                    if entering_depth - closes < d || closes > 0 {
+                        test_region_depth =
+                            if entering_depth + opens - closes <= d && closes >= opens {
+                                None
+                            } else {
+                                test_region_depth
+                            };
+                    }
+                    if entering_depth + opens - closes <= d {
+                        test_region_depth = None;
+                    }
+                }
+            } else if pending_cfg_test {
+                // The attribute applies to the next item; once we see its
+                // opening brace the region starts.
+                in_test_flags[i] = true;
+                if opens > closes {
+                    test_region_depth = Some(entering_depth);
+                    pending_cfg_test = false;
+                } else if !code.trim().is_empty() && !code.trim_start().starts_with("#[") {
+                    // An item without a body (e.g. `mod tests;`): the
+                    // attribute consumed, no region to track.
+                    pending_cfg_test = false;
+                }
+            }
+
+            if test_region_depth.is_none() && code.contains("cfg(test)") && code.contains("#[") {
+                in_test_flags[i] = true;
+                pending_cfg_test = true;
+            }
+
+            depth = entering_depth + opens - closes;
+        }
+
+        // Pass 2: allow markers. A marker covers its own line and the next.
+        let mut allows: Vec<HashSet<String>> = vec![HashSet::new(); raw_lines.len()];
+        for (i, raw) in raw_lines.iter().enumerate() {
+            if let Some(ids) = parse_allow_marker(raw) {
+                for id in &ids {
+                    allows[i].insert(id.clone());
+                }
+                if i + 1 < raw_lines.len() {
+                    for id in ids {
+                        allows[i + 1].insert(id);
+                    }
+                }
+            }
+        }
+
+        let lines = raw_lines
+            .iter()
+            .enumerate()
+            .map(|(i, raw)| Line {
+                number: i + 1,
+                raw: (*raw).to_string(),
+                code: code_lines.get(i).copied().unwrap_or("").to_string(),
+                in_test: in_test_flags[i],
+                allowed: std::mem::take(&mut allows[i]),
+            })
+            .collect();
+        SourceFile { rel_path, lines }
+    }
+}
+
+/// Extracts rule ids from an `analyze::allow(R1, R4)` marker, if present.
+fn parse_allow_marker(line: &str) -> Option<Vec<String>> {
+    let idx = line.find("analyze::allow(")?;
+    let rest = &line[idx + "analyze::allow(".len()..];
+    let close = rest.find(')')?;
+    let ids = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_ascii_uppercase())
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>();
+    if ids.is_empty() {
+        None
+    } else {
+        Some(ids)
+    }
+}
+
+/// Blanks comments, string literals and char literals to spaces, preserving
+/// line structure so line numbers survive. Handles `//`, `/* */` (nested),
+/// `"…"` with escapes, raw strings `r"…"` / `r#"…"#`, and char literals
+/// (without mistaking lifetimes for them).
+fn strip_comments_and_strings(text: &str) -> String {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+    }
+
+    let mut out = String::with_capacity(text.len());
+    let chars: Vec<char> = text.chars().collect();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push(' ');
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string: r"…" or r#"…"#.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                        state = State::RawStr(hashes);
+                        continue;
+                    }
+                    out.push(c);
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal closes with ' a
+                    // character or escape later; a lifetime never does.
+                    let close_at = if next == Some('\\') {
+                        // escaped char: '\x7f', '\n', '\'', …
+                        (i + 2..chars.len().min(i + 8)).find(|&j| chars[j] == '\'')
+                    } else if next.is_some() && chars.get(i + 2) == Some(&'\'') {
+                        Some(i + 2)
+                    } else {
+                        None
+                    };
+                    if let Some(end) = close_at {
+                        for _ in i..=end {
+                            out.push(' ');
+                        }
+                        i = end + 1;
+                        continue;
+                    }
+                    out.push(c); // lifetime tick
+                }
+                _ => out.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::BlockComment(nesting) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else if c == '*' && next == Some('/') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    state = if nesting == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(nesting - 1)
+                    };
+                    continue;
+                } else if c == '/' && next == Some('*') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    state = State::BlockComment(nesting + 1);
+                    continue;
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(if next == Some('\n') { '\n' } else { ' ' });
+                        i += 2;
+                        continue;
+                    }
+                }
+                '"' => {
+                    out.push(' ');
+                    state = State::Code;
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let all_hashes = (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'));
+                    if all_hashes {
+                        for _ in 0..=hashes {
+                            out.push(' ');
+                        }
+                        i += hashes + 1;
+                        state = State::Code;
+                        continue;
+                    }
+                    out.push(' ');
+                } else if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+pub fn rust_files(dir: &Path) -> Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rust_files(dir, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<()> {
+    let entries = std::fs::read_dir(dir).map_err(|source| Error::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|source| Error::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> SourceFile {
+        SourceFile::from_source(PathBuf::from("x.rs"), text)
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = scan("let a = \"thread_rng\"; // thread_rng\nlet b = 1;\n");
+        assert!(!f.lines[0].code.contains("thread_rng"));
+        assert!(f.lines[0].raw.contains("thread_rng"));
+        assert!(f.lines[1].code.contains("let b"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = scan("a /* x\ny */ b\n");
+        assert!(f.lines[0].code.starts_with('a'));
+        assert!(!f.lines[1].code.contains('y'));
+        assert!(f.lines[1].code.contains('b'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = scan("let s = r#\"println!(\"hi\")\"#; call();\n");
+        assert!(!f.lines[0].code.contains("println"));
+        assert!(f.lines[0].code.contains("call()"));
+    }
+
+    #[test]
+    fn char_literals_blanked_lifetimes_kept() {
+        let f = scan("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'y'; }\n");
+        assert!(f.lines[0].code.contains("<'a>"));
+        assert!(!f.lines[0].code.contains('y'));
+        // The quote char literal must not open a string state.
+        assert!(f.lines[0].code.contains("let d"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let text = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn after() {}\n";
+        let f = scan(text);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test, "code after the test module is live");
+    }
+
+    #[test]
+    fn nested_braces_inside_test_module() {
+        let text = "#[cfg(test)]\nmod tests {\n    fn t() { if x { y(); } }\n}\nfn live() {}\n";
+        let f = scan(text);
+        assert!(f.lines[2].in_test);
+        assert!(!f.lines[4].in_test);
+    }
+
+    #[test]
+    fn allow_marker_covers_line_and_next() {
+        let text = "// analyze::allow(R1)\nuse x::thread_rng;\nuse y::z;\n";
+        let f = scan(text);
+        assert!(f.lines[0].allowed.contains("R1"));
+        assert!(f.lines[1].allowed.contains("R1"));
+        assert!(f.lines[2].allowed.is_empty());
+    }
+
+    #[test]
+    fn allow_marker_multiple_rules() {
+        let f = scan("let x = 1; // analyze::allow(R2, r4)\n");
+        assert!(f.lines[0].allowed.contains("R2"));
+        assert!(f.lines[0].allowed.contains("R4"));
+    }
+}

@@ -5,6 +5,10 @@
 //! training (simulated hours). These benches pin the left side of that
 //! hierarchy on real hardware.
 
+
+// Benches are harness code: panicking on a broken setup is correct.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion};

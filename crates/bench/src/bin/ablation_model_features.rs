@@ -6,6 +6,12 @@
 //! feature map buys on each device–dataset pair, at the same `L = 100`
 //! profiling budget.
 
+
+// Experiment binaries are terminal programs: printing results and
+// panicking on setup failures are the point, not a lint violation.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hyperpower::model::FeatureMap;
 use hyperpower::profiler::{fit_models, Profiler};
 use hyperpower::Scenario;

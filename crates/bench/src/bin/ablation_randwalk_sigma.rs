@@ -8,6 +8,12 @@
 //! (HyperPower mode, 5 h virtual budget, 3 runs each) and shows the
 //! sweet-spot behaviour that makes the method fragile.
 
+
+// Experiment binaries are terminal programs: printing results and
+// panicking on setup failures are the point, not a lint violation.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hyperpower::methods::RandomWalk;
 use hyperpower::{Budget, Method, Scenario, Session, Trace};
 use hyperpower_linalg::stats;

@@ -6,6 +6,12 @@
 //! that low-error designs exist inside each feasible region (the
 //! preconditions for every experiment harness).
 
+
+// Experiment binaries are terminal programs: printing results and
+// panicking on setup failures are the point, not a lint violation.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hyperpower::{Config, Scenario};
 use hyperpower_gpu_sim::analyze;
 use hyperpower_nn::sim::TrainingSimulator;

@@ -10,6 +10,12 @@
 //! spread plus the two motivating design points (iso-error power savings,
 //! iso-power error reduction).
 
+
+// Experiment binaries are terminal programs: printing results and
+// panicking on setup failures are the point, not a lint violation.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hyperpower::{Config, Scenario};
 use hyperpower_bench::plot::{csv, scatter, Series};
 use hyperpower_gpu_sim::Gpu;

@@ -8,6 +8,12 @@
 //!   identifiable within the first few epochs (accuracy stuck at chance),
 //!   enabling early termination.
 
+
+// Experiment binaries are terminal programs: printing results and
+// panicking on setup failures are the point, not a lint violation.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hyperpower::{Config, EarlyTermination, Scenario};
 use hyperpower_bench::plot::{scatter, Series};
 use hyperpower_gpu_sim::Gpu;

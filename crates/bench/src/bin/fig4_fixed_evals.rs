@@ -8,6 +8,12 @@
 //! * **Right** — test error of every individual evaluation (BO methods
 //!   concentrate in high-performance regions; random methods scatter).
 
+
+// Experiment binaries are terminal programs: printing results and
+// panicking on setup failures are the point, not a lint violation.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hyperpower::{
     Budget, ConstraintOracle, Method, Mode, SampleKind, Scenario, SearchSpace, Session, Trace,
 };

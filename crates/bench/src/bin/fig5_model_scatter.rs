@@ -6,6 +6,12 @@
 //! fitted on 100 profiled configurations (10-fold CV) and evaluated here
 //! on 100 *fresh* configurations per pair.
 
+
+// Experiment binaries are terminal programs: printing results and
+// panicking on setup failures are the point, not a lint violation.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hyperpower::{Config, Scenario, Session};
 use hyperpower_bench::plot::{csv, scatter, Series};
 use hyperpower_gpu_sim::Gpu;

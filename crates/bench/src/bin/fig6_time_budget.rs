@@ -6,6 +6,12 @@
 //! enhancements off), 5-hour virtual budget. All solid curves should lie
 //! to the left of the dotted ones.
 
+
+// Experiment binaries are terminal programs: printing results and
+// panicking on setup failures are the point, not a lint violation.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hyperpower::{Budget, Method, Mode, Scenario, Session, Trace};
 use hyperpower_bench::plot::{csv, scatter, Series};
 

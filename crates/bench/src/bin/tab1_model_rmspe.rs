@@ -7,6 +7,12 @@
 //! value the paper reports. (Tegra cells for memory are `--`: the platform
 //! has no memory-measurement API, paper footnote 1.)
 
+
+// Experiment binaries are terminal programs: printing results and
+// panicking on setup failures are the point, not a lint violation.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hyperpower::{Scenario, Session};
 
 fn main() {

@@ -15,6 +15,12 @@
 //! Usage: `tab2to5_main_results [--quick]` (`--quick`: one run per cell
 //! and quarter-length budgets, for smoke testing).
 
+
+// Experiment binaries are terminal programs: printing results and
+// panicking on setup failures are the point, not a lint violation.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hyperpower::report::{format_error_cell, format_scalar_cell, PairedRuns};
 use hyperpower::{Budget, Method, Mode, Scenario, Session, Trace};
 
@@ -106,8 +112,8 @@ fn main() {
     header();
     for (mi, method) in methods.iter().enumerate() {
         print!("{:<10}", method.to_string());
-        for si in 0..scenarios.len() {
-            let row = results[si][mi].runtime_to_samples_row();
+        for scenario_results in results.iter().take(scenarios.len()) {
+            let row = scenario_results[mi].runtime_to_samples_row();
             print!(
                 " | {:>6} {:>6} {:>9}",
                 format_scalar_cell(row.default_hours, ""),
@@ -123,8 +129,8 @@ fn main() {
     header();
     for (mi, method) in methods.iter().enumerate() {
         print!("{:<10}", method.to_string());
-        for si in 0..scenarios.len() {
-            let row = results[si][mi].sample_count_row();
+        for scenario_results in results.iter().take(scenarios.len()) {
+            let row = scenario_results[mi].sample_count_row();
             print!(
                 " | {:>7} {:>8} {:>8}",
                 format_scalar_cell(row.default_samples, ""),
@@ -140,8 +146,8 @@ fn main() {
     header();
     for (mi, method) in methods.iter().enumerate() {
         print!("{:<10}", method.to_string());
-        for si in 0..scenarios.len() {
-            let row = results[si][mi].time_to_accuracy_row();
+        for scenario_results in results.iter().take(scenarios.len()) {
+            let row = scenario_results[mi].time_to_accuracy_row();
             print!(
                 " | {:>6} {:>6} {:>9}",
                 format_scalar_cell(row.default_hours, ""),

@@ -55,10 +55,10 @@ pub fn scatter(
         y_min = y_min.min(*y);
         y_max = y_max.max(*y);
     }
-    if x_max == x_min {
+    if x_max <= x_min {
         x_max = x_min + 1.0;
     }
-    if y_max == y_min {
+    if y_max <= y_min {
         y_max = y_min + 1.0;
     }
 
@@ -105,6 +105,9 @@ pub fn csv(series: &[Series]) -> String {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

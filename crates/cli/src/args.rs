@@ -227,6 +227,9 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -7,6 +7,12 @@
 //!
 //! See `hyperpower help` for the full grammar.
 
+
+// Experiment binaries are terminal programs: printing results and
+// panicking on setup failures are the point, not a lint violation.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 mod args;
 
 use std::process::ExitCode;

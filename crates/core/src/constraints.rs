@@ -172,6 +172,9 @@ impl ConstraintOracle {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::model::{FeatureMap, LinearHwModel};

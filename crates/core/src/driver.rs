@@ -285,6 +285,24 @@ pub struct RunSetup<'a> {
     pub searcher_override: Option<Box<dyn Searcher>>,
 }
 
+// Manual impl: `objective` and `searcher_override` are trait objects, so
+// only their presence is reported.
+impl std::fmt::Debug for RunSetup<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunSetup")
+            .field("budgets", &self.budgets)
+            .field("oracle", &self.oracle.is_some())
+            .field("early_termination", &self.early_termination)
+            .field("cost", &self.cost)
+            .field("method", &self.method)
+            .field("mode", &self.mode)
+            .field("budget", &self.budget)
+            .field("seed", &self.seed)
+            .field("searcher_override", &self.searcher_override.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Safety valve: a HyperPower-mode run whose models reject this many
 /// candidates *in a row* concludes the predicted-feasible region is
 /// (effectively) empty and stops proposing.
@@ -407,6 +425,9 @@ pub fn run_optimization(setup: RunSetup<'_>) -> Result<Trace> {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -130,10 +130,22 @@ impl History {
     }
 
     /// The incumbent: the observation with the lowest error.
+    ///
+    /// Non-finite errors (NaN from a diverged run, ±∞) can never displace
+    /// a finite incumbent: finite observations are ranked first with
+    /// `total_cmp` (which is total, so this never panics), and a
+    /// non-finite observation is returned only when the history contains
+    /// nothing else.
     pub fn best(&self) -> Option<&Observation> {
         self.observations
             .iter()
+            .filter(|o| o.error.is_finite())
             .min_by(|a, b| a.error.total_cmp(&b.error))
+            .or_else(|| {
+                self.observations
+                    .iter()
+                    .min_by(|a, b| a.error.total_cmp(&b.error))
+            })
     }
 }
 
@@ -298,9 +310,10 @@ pub enum ConstraintWeighting {
 /// exploration of other acquisition functions for future work" (§3.4);
 /// the alternatives here implement that exploration (see the
 /// `ablation_acquisitions` bench).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum BaseAcquisition {
     /// Expected Improvement (the paper's choice).
+    #[default]
     ExpectedImprovement,
     /// Probability of Improvement: greedier, ignores improvement size.
     ProbabilityOfImprovement,
@@ -309,12 +322,6 @@ pub enum BaseAcquisition {
         /// Exploration weight (≥ 0); 2.0 is a common default.
         beta: f64,
     },
-}
-
-impl Default for BaseAcquisition {
-    fn default() -> Self {
-        BaseAcquisition::ExpectedImprovement
-    }
 }
 
 /// Gaussian-process Bayesian optimization with a constraint-weighted
@@ -407,14 +414,22 @@ impl Searcher for BoSearcher {
             return Ok(Config::random(rng, space.dim()));
         }
 
-        // Fit the surrogate to all observations.
-        let n = history.len();
+        // Fit the surrogate to the finite observations: a NaN error from a
+        // diverged run carries no ranking information and would be rejected
+        // by the GP fit anyway.
         let d = space.dim();
-        let mut data = Vec::with_capacity(n * d);
-        let mut y = Vec::with_capacity(n);
+        let mut data = Vec::with_capacity(history.len() * d);
+        let mut y = Vec::with_capacity(history.len());
         for obs in history.observations() {
+            if !obs.error.is_finite() {
+                continue;
+            }
             data.extend_from_slice(obs.config.unit());
             y.push(obs.error);
+        }
+        let n = y.len();
+        if n < self.min_observations {
+            return Ok(Config::random(rng, space.dim()));
         }
         let x = Matrix::from_vec(n, d, data).map_err(Error::Numerical)?;
         let fitted = fit_gp_hyperparams(
@@ -427,14 +442,20 @@ impl Searcher for BoSearcher {
                 min_noise_variance: 1e-6,
             },
         )?;
-        let best = history.best().expect("non-empty history").error;
+        // min_observations guards this, but an empty history (possible
+        // with min_observations == 0) must degrade to a random seed, not
+        // panic.
+        let best = match history.best() {
+            Some(b) => b.error,
+            None => return Ok(Config::random(rng, space.dim())),
+        };
 
         // Score every candidate on the grid.
         let grid = uniform_candidates(rng, self.candidates, d);
         let mut scored: Vec<(Config, f64, f64)> = Vec::with_capacity(grid.rows());
         for i in 0..grid.rows() {
             let candidate = Config::new(grid.row(i).to_vec())?;
-            let prediction = fitted.gp.predict(candidate.unit());
+            let prediction = fitted.gp.predict(candidate.unit())?;
             let base = match self.base_acquisition {
                 BaseAcquisition::ExpectedImprovement => expected_improvement_at(prediction, best),
                 BaseAcquisition::ProbabilityOfImprovement => {
@@ -466,15 +487,18 @@ impl Searcher for BoSearcher {
                 .map(|(_, b, _)| *b)
                 .fold(f64::NEG_INFINITY, f64::max);
             let span = (hi - lo).max(1e-9);
-            let (winner, _) = scored
+            let winner = scored
                 .into_iter()
                 .map(|(c, b, w)| {
                     let s = b - 10.0 * span * (1.0 - w);
                     (c, s)
                 })
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("candidate grid is non-empty");
-            return Ok(winner);
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            return match winner {
+                Some((c, _)) => Ok(c),
+                // Zero-sized candidate grid: degrade to a random proposal.
+                None => Ok(Config::random(rng, space.dim())),
+            };
         }
 
         let mut best_candidate: Option<(Config, f64)> = None;
@@ -499,17 +523,22 @@ impl Searcher for BoSearcher {
                 best_unweighted = Some((candidate, base));
             }
         }
-        let (winner, score) = best_candidate.expect("candidate grid is non-empty");
+        let Some((winner, score)) = best_candidate else {
+            // Zero-sized candidate grid: degrade to a random proposal.
+            return Ok(Config::random(rng, space.dim()));
+        };
         if score > 0.0 {
             Ok(winner)
         } else if let Some((feasible, _, _)) = best_weighted {
             // All improvement mass vanished: stay inside the
             // predicted-feasible region rather than proposing a violator.
             Ok(feasible)
-        } else {
+        } else if let Some((fallback, _)) = best_unweighted {
             // The whole grid is predicted infeasible (pathologically tight
             // budgets): fall back to the best unweighted point.
-            Ok(best_unweighted.expect("candidate grid is non-empty").0)
+            Ok(fallback)
+        } else {
+            Ok(winner)
         }
     }
 }
@@ -568,13 +597,19 @@ impl Searcher for ThompsonSearcher {
             return self.feasible_random(space, rng);
         }
 
-        let n = history.len();
         let d = space.dim();
-        let mut data = Vec::with_capacity(n * d);
-        let mut y = Vec::with_capacity(n);
+        let mut data = Vec::with_capacity(history.len() * d);
+        let mut y = Vec::with_capacity(history.len());
         for obs in history.observations() {
+            if !obs.error.is_finite() {
+                continue;
+            }
             data.extend_from_slice(obs.config.unit());
             y.push(obs.error);
+        }
+        let n = y.len();
+        if n < self.min_observations {
+            return self.feasible_random(space, rng);
         }
         let x = Matrix::from_vec(n, d, data).map_err(Error::Numerical)?;
         let fitted = fit_gp_hyperparams(
@@ -627,9 +662,13 @@ impl Searcher for ThompsonSearcher {
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .expect("non-empty candidate set");
-        Ok(candidates.swap_remove(argmin))
+            .map(|(i, _)| i);
+        match argmin {
+            Some(i) => Ok(candidates.swap_remove(i)),
+            // Unreachable while `candidates` is checked non-empty above,
+            // but a panic-free fallback costs nothing.
+            None => self.feasible_random(space, rng),
+        }
     }
 }
 
@@ -661,6 +700,9 @@ pub(crate) fn make_searcher(
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
@@ -705,6 +747,32 @@ mod tests {
         assert_eq!(h.len(), 3);
         assert_eq!(h.best().unwrap().error, 0.2);
         assert!(History::new().best().is_none());
+    }
+
+    #[test]
+    fn nan_objective_cannot_panic_or_become_incumbent() {
+        // Regression guard for the incumbent-selection invariant: a
+        // diverged run reporting NaN must neither panic the comparator
+        // nor be selected over any finite observation.
+        let mut h = history_from(&[(vec![0.2; 6], 0.4), (vec![0.6; 6], 0.7)]);
+        h.push(Config::new(vec![0.4; 6]).unwrap(), f64::NAN);
+        h.push(Config::new(vec![0.5; 6]).unwrap(), f64::NEG_INFINITY);
+        h.push(Config::new(vec![0.7; 6]).unwrap(), -f64::NAN);
+        let best = h.best().unwrap();
+        assert_eq!(best.error, 0.4, "non-finite error displaced the incumbent");
+
+        // A history of only non-finite errors still answers without
+        // panicking (callers see the degenerate value and can react).
+        let mut degenerate = History::new();
+        degenerate.push(Config::new(vec![0.1; 6]).unwrap(), f64::NAN);
+        assert!(degenerate.best().unwrap().error.is_nan());
+
+        // And the BO proposal path survives a NaN observation end to end.
+        let space = SearchSpace::mnist();
+        let mut s = BoSearcher::new(ConstraintWeighting::None, None);
+        let mut r = rng();
+        let c = s.propose(&space, &h, &mut r).unwrap();
+        assert_eq!(c.dim(), 6);
     }
 
     #[test]

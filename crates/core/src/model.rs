@@ -224,6 +224,7 @@ impl LinearHwModel {
         let all_rows: Vec<&Vec<f64>> = features.iter().collect();
         let x = rows_to_matrix(&all_rows, d)?;
         let fit = ridge_least_squares(&x, y, 1e-6)?;
+        hyperpower_linalg::debug_assert_finite!("hw-model weights", &fit.coefficients);
 
         Ok(LinearHwModel {
             weights: fit.coefficients,
@@ -240,6 +241,7 @@ impl LinearHwModel {
     ///
     /// Panics if `z` has the wrong dimensionality for the feature map.
     pub fn predict(&self, z: &[f64]) -> f64 {
+        hyperpower_linalg::debug_assert_finite!("hw-model input z", z);
         let features = self.feature_map.expand(z);
         self.target_transform
             .inverse(vector::dot(&self.weights, &features))
@@ -316,6 +318,9 @@ impl HwModels {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

@@ -225,6 +225,9 @@ impl Objective for RealTrainingObjective {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::{Config, SearchSpace};

@@ -215,6 +215,9 @@ pub fn format_scalar_cell(value: Option<f64>, suffix: &str) -> String {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::driver::{Sample, SampleKind};

@@ -418,7 +418,7 @@ impl SearchSpace {
                 .iter()
                 .position(|d| d.name() == name)
                 .map(|i| values[i])
-                .expect("dimension name known at compile time")
+                .unwrap_or_else(|| panic!("template references unknown dimension {name}"))
         };
 
         let (arch, weight_decay) = match self.template {
@@ -484,6 +484,9 @@ impl SearchSpace {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

@@ -1,5 +1,10 @@
 //! Property-based tests for the HyperPower core crate.
 
+
+// Test-support code: strategies build exact values and assert round-trips
+// bit-for-bit; panicking helpers are correct in a test harness.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+
 use hyperpower::methods::History;
 use hyperpower::model::{FeatureMap, LinearHwModel};
 use hyperpower::{Budgets, Config, ConstraintOracle, HwModels, SearchSpace};

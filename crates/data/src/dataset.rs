@@ -30,6 +30,7 @@ impl Dataset {
     ///
     /// Panics if the buffer lengths are inconsistent with the image shape
     /// and label counts, or if any label is out of range.
+    #[allow(clippy::too_many_arguments)] // mirrors the on-disk layout: shape, classes, then the four buffers
     pub fn from_parts(
         channels: usize,
         height: usize,
@@ -206,6 +207,9 @@ impl<'a> Iterator for BatchIter<'a> {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

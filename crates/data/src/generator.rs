@@ -188,6 +188,9 @@ fn standard_normal(rng: &mut StdRng) -> f64 {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::Split;

@@ -155,7 +155,7 @@ pub const CIFAR10_RECORD_BYTES: usize = 1 + 3 * 32 * 32;
 /// Returns [`ParseError::Truncated`] if the buffer is not a whole number
 /// of records, and [`ParseError::BadDimensions`] on labels ≥ 10.
 pub fn load_cifar10_batch(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), ParseError> {
-    if bytes.len() % CIFAR10_RECORD_BYTES != 0 {
+    if !bytes.len().is_multiple_of(CIFAR10_RECORD_BYTES) {
         return Err(ParseError::Truncated {
             expected: bytes.len().div_ceil(CIFAR10_RECORD_BYTES) * CIFAR10_RECORD_BYTES,
             found: bytes.len(),
@@ -235,6 +235,9 @@ pub fn cifar10_from_batches(
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::Split;

@@ -115,6 +115,9 @@ pub fn lower_confidence_bound_at(prediction: Prediction, beta: f64) -> f64 {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -60,6 +60,9 @@ impl From<hyperpower_linalg::Error> for Error {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

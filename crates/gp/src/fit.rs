@@ -114,12 +114,11 @@ pub fn fit_gp_hyperparams(
         }
     }
 
-    let (params, best_f) = best.expect("at least one restart runs");
-    // If every restart diverged, fall back to the heuristic seed.
-    let params = if best_f.is_finite() {
-        params
-    } else {
-        init.to_vec()
+    // `restarts.max(1)` guarantees at least one entry; if every restart
+    // diverged (or none ran), fall back to the heuristic seed.
+    let params = match best {
+        Some((params, best_f)) if best_f.is_finite() => params,
+        _ => init.to_vec(),
     };
     let length_scale = params[0].exp();
     let signal_variance = params[1].exp();
@@ -163,6 +162,9 @@ fn variance(y: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::Matern52;
@@ -199,7 +201,7 @@ mod tests {
         )
         .unwrap();
         // Interpolate at a held-out point.
-        let p = fitted.gp.predict(&[2.25]);
+        let p = fitted.gp.predict(&[2.25]).unwrap();
         assert!((p.mean - 2.25f64.sin()).abs() < 0.15, "mean {}", p.mean);
     }
 

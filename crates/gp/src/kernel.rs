@@ -94,7 +94,10 @@ impl SquaredExponential {
     /// Panics if `length_scale` is not positive and finite; use
     /// [`SquaredExponential::try_new`] for a fallible constructor.
     pub fn new(length_scale: f64) -> Self {
-        Self::try_new(length_scale).expect("length scale must be positive and finite")
+        match Self::try_new(length_scale) {
+            Ok(k) => k,
+            Err(_) => panic!("length scale must be positive and finite, got {length_scale}"),
+        }
     }
 
     /// Fallible constructor.
@@ -159,7 +162,10 @@ impl Matern52 {
     /// Panics if `length_scale` is not positive and finite; use
     /// [`Matern52::try_new`] for a fallible constructor.
     pub fn new(length_scale: f64) -> Self {
-        Self::try_new(length_scale).expect("length scale must be positive and finite")
+        match Self::try_new(length_scale) {
+            Ok(k) => k,
+            Err(_) => panic!("length scale must be positive and finite, got {length_scale}"),
+        }
     }
 
     /// Fallible constructor.
@@ -196,6 +202,9 @@ impl Kernel for Matern52 {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

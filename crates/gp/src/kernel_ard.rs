@@ -124,6 +124,9 @@ impl Kernel for Matern52Ard {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -199,7 +202,7 @@ mod tests {
         )
         .unwrap();
         // Dimension 0 matters (short scale), dimension 1 barely does.
-        let p = gp.predict(&[1.0, 0.5]);
+        let p = gp.predict(&[1.0, 0.5]).unwrap();
         assert!((p.mean - 1.05).abs() < 0.2, "mean {}", p.mean);
     }
 }

@@ -29,7 +29,7 @@
 //! let x = Matrix::from_vec(5, 1, vec![-2.0, -1.0, 0.0, 1.0, 2.0]).unwrap();
 //! let y = [4.0, 1.0, 0.0, 1.0, 4.0];
 //! let gp = GpRegressor::fit(Matern52::new(1.0).into_kernel(), 1.0, 1e-6, &x, &y)?;
-//! let p = gp.predict(&[0.5]);
+//! let p = gp.predict(&[0.5])?;
 //! assert!((p.mean - 0.25).abs() < 0.5);
 //! assert!(p.variance >= 0.0);
 //! # Ok(())

@@ -44,7 +44,7 @@ impl Prediction {
 /// let y = [0.0, 1.0, 4.0];
 /// let gp = GpRegressor::fit(SquaredExponential::new(1.0).into_kernel(), 1.0, 1e-6, &x, &y)?;
 /// // Interpolates near the data, uncertain far away.
-/// assert!(gp.predict(&[1.0]).variance < gp.predict(&[10.0]).variance);
+/// assert!(gp.predict(&[1.0])?.variance < gp.predict(&[10.0])?.variance);
 /// # Ok(())
 /// # }
 /// ```
@@ -103,6 +103,11 @@ impl GpRegressor {
                 value: noise_variance,
             });
         }
+        if y_train.iter().any(|v| !v.is_finite()) {
+            // A NaN target would silently poison α and every posterior;
+            // reject it here with the typed error instead.
+            return Err(Error::Numerical(hyperpower_linalg::Error::NonFiniteInput));
+        }
 
         let n = x_train.rows();
         let y_mean = y_train.iter().sum::<f64>() / n as f64;
@@ -112,6 +117,7 @@ impl GpRegressor {
         cov.add_diagonal(noise_variance);
         let (chol, _jitter) = Cholesky::factor_with_jitter(&cov, 1e-10, 10)?;
         let alpha = chol.solve(&y_centered)?;
+        hyperpower_linalg::debug_assert_finite!("gp fit alpha", &alpha);
 
         // log p(y|X) = -½ yᵀα − ½ log|K| − n/2 log 2π
         let log_marginal_likelihood = -0.5 * vector::dot(&y_centered, &alpha)
@@ -132,15 +138,19 @@ impl GpRegressor {
 
     /// Posterior mean and (noise-free) variance at `query`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `query.len()` differs from the training dimensionality.
-    pub fn predict(&self, query: &[f64]) -> Prediction {
-        assert_eq!(
-            query.len(),
-            self.x_train.cols(),
-            "query dimensionality mismatch"
-        );
+    /// * [`Error::DimensionMismatch`] if `query.len()` differs from the
+    ///   training dimensionality.
+    /// * [`Error::Numerical`] if the triangular solve against the stored
+    ///   factorization fails.
+    pub fn predict(&self, query: &[f64]) -> Result<Prediction> {
+        if query.len() != self.x_train.cols() {
+            return Err(Error::DimensionMismatch {
+                expected: format!("query with {} dimensions", self.x_train.cols()),
+                found: format!("query with {} dimensions", query.len()),
+            });
+        }
         let k_star: Vec<f64> = self
             .kernel
             .cross(query, &self.x_train)
@@ -149,13 +159,14 @@ impl GpRegressor {
             .collect();
         let mean = self.y_mean + vector::dot(&k_star, &self.alpha);
         // v = L⁻¹ k*; var = k(x*,x*) − vᵀv
-        let v = self
-            .chol
-            .solve_lower(&k_star)
-            .expect("k_star has training length by construction");
+        let v = self.chol.solve_lower(&k_star)?;
         let prior = self.signal_variance * self.kernel.eval(query, query);
         let variance = (prior - vector::dot(&v, &v)).max(0.0);
-        Prediction { mean, variance }
+        hyperpower_linalg::debug_assert_finite!(
+            "gp posterior (mean, variance)",
+            &[mean, variance]
+        );
+        Ok(Prediction { mean, variance })
     }
 
     /// Joint posterior over a set of query points (rows of `queries`):
@@ -191,12 +202,10 @@ impl GpRegressor {
                 .map(|v| v * self.signal_variance)
                 .collect();
             mean.push(self.y_mean + vector::dot(&k_star, &self.alpha));
-            let v = self
-                .chol
-                .solve_lower(&k_star)
-                .expect("k_star has training length by construction");
+            let v = self.chol.solve_lower(&k_star)?;
             v_rows.push(v);
         }
+        hyperpower_linalg::debug_assert_finite!("gp joint posterior mean", &mean);
         let cov = Matrix::from_fn(m, m, |i, j| {
             let prior = self.signal_variance * self.kernel.eval(queries.row(i), queries.row(j));
             prior - vector::dot(&v_rows[i], &v_rows[j])
@@ -277,6 +286,9 @@ impl GpRegressor {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::{Matern52, SquaredExponential};
@@ -308,11 +320,11 @@ mod tests {
             &y,
         )
         .unwrap();
-        let p = gp.predict(&[0.0]);
+        let p = gp.predict(&[0.0]).unwrap();
         assert!((p.mean - 2.0).abs() < 1e-6);
         assert!(p.variance < 1e-6);
         // Far away: revert to prior mean (= empirical mean = 2) with prior variance.
-        let far = gp.predict(&[100.0]);
+        let far = gp.predict(&[100.0]).unwrap();
         assert!((far.mean - 2.0).abs() < 1e-9);
         assert!((far.variance - 1.0).abs() < 1e-9);
     }
@@ -320,22 +332,22 @@ mod tests {
     #[test]
     fn interpolates_training_data() {
         let gp = toy_gp();
-        let p = gp.predict(&[1.0]);
+        let p = gp.predict(&[1.0]).unwrap();
         assert!((p.mean - 1.0).abs() < 1e-3, "mean {}", p.mean);
     }
 
     #[test]
     fn variance_shrinks_at_observed_points() {
         let gp = toy_gp();
-        assert!(gp.predict(&[0.0]).variance < 1e-4);
-        assert!(gp.predict(&[5.0]).variance > 0.5);
+        assert!(gp.predict(&[0.0]).unwrap().variance < 1e-4);
+        assert!(gp.predict(&[5.0]).unwrap().variance > 0.5);
     }
 
     #[test]
     fn variance_nonnegative_everywhere() {
         let gp = toy_gp();
         for i in -30..30 {
-            let p = gp.predict(&[i as f64 * 0.33]);
+            let p = gp.predict(&[i as f64 * 0.33]).unwrap();
             assert!(p.variance >= 0.0);
             assert!(p.std_dev() >= 0.0);
         }
@@ -382,9 +394,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "dimensionality mismatch")]
-    fn predict_wrong_dim_panics() {
-        toy_gp().predict(&[0.0, 1.0]);
+    fn predict_wrong_dim_is_typed_error() {
+        let err = toy_gp().predict(&[0.0, 1.0]).unwrap_err();
+        assert!(matches!(err, Error::DimensionMismatch { .. }));
     }
 
     #[test]
@@ -393,7 +405,7 @@ mod tests {
         let queries = Matrix::from_vec(3, 1, vec![-0.5, 0.5, 3.0]).unwrap();
         let (mean, cov) = gp.predict_joint(&queries).unwrap();
         for i in 0..3 {
-            let p = gp.predict(queries.row(i));
+            let p = gp.predict(queries.row(i)).unwrap();
             assert!((mean[i] - p.mean).abs() < 1e-10);
             assert!((cov[(i, i)] - p.variance).abs() < 1e-8);
         }

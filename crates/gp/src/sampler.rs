@@ -45,6 +45,9 @@ pub fn latin_hypercube(rng: &mut impl Rng, n: usize, dim: usize) -> Matrix {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

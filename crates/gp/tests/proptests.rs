@@ -1,7 +1,12 @@
 //! Property-based tests for the Gaussian-process crate.
 
+
+// Test-support code: strategies build exact values and assert round-trips
+// bit-for-bit; panicking helpers are correct in a test harness.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+
 use hyperpower_gp::acquisition::{expected_improvement, normal_cdf, probability_below};
-use hyperpower_gp::{GpRegressor, Kernel, Matern52, SquaredExponential};
+use hyperpower_gp::{GpRegressor, Matern52, SquaredExponential};
 use hyperpower_linalg::Matrix;
 use proptest::prelude::*;
 
@@ -21,7 +26,7 @@ proptest! {
         let gp = GpRegressor::fit(
             Matern52::new(1.0).into_kernel(), 1.0, 1e-4, &x, &y,
         ).unwrap();
-        let p = gp.predict(&[q]);
+        let p = gp.predict(&[q]).unwrap();
         prop_assert!(p.variance >= 0.0);
         prop_assert!(p.mean.is_finite());
     }
@@ -34,7 +39,7 @@ proptest! {
         // Posterior variance at a training input is bounded by (roughly) the
         // noise level, far below the prior variance of 1.
         for i in 0..x.rows() {
-            let p = gp.predict(x.row(i));
+            let p = gp.predict(x.row(i)).unwrap();
             prop_assert!(p.variance < 0.1, "variance {} at row {i}", p.variance);
         }
     }
@@ -44,7 +49,7 @@ proptest! {
         let gp = GpRegressor::fit(
             SquaredExponential::new(1.0).into_kernel(), 1.0, 1e-4, &x, &y,
         ).unwrap();
-        let p = gp.predict(&[1e4]);
+        let p = gp.predict(&[1e4]).unwrap();
         let y_mean = y.iter().sum::<f64>() / y.len() as f64;
         prop_assert!((p.mean - y_mean).abs() < 1e-6);
         prop_assert!((p.variance - 1.0).abs() < 1e-6);
@@ -83,6 +88,44 @@ proptest! {
     #[test]
     fn cdf_symmetry(z in -8.0f64..8.0) {
         prop_assert!((normal_cdf(z) + normal_cdf(-z) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn gp_posterior_stays_finite_on_adversarial_inputs(
+        // Adversarial but valid: extreme-but-finite targets, near-duplicate
+        // inputs (ill-conditioned Gram matrices), tiny noise, and kernels at
+        // both ends of the sensible length-scale range.
+        n in 2usize..10,
+        base in -5.0f64..5.0,
+        spread in 1e-9f64..1e-3,
+        y_scale in prop::sample::select(vec![1e-8f64, 1.0, 1e6, 1e8]),
+        length_scale in prop::sample::select(vec![1e-3f64, 1.0, 1e3]),
+        q in -1e6f64..1e6,
+    ) {
+        // Rows cluster within `spread` of `base`: the Gram matrix is close
+        // to rank-one, which is exactly where naive solvers blow up.
+        let xs: Vec<f64> = (0..n).map(|i| base + spread * i as f64).collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|i| y_scale * if i.is_multiple_of(2) { 1.0 } else { -1.0 })
+            .collect();
+        let x = Matrix::from_vec(n, 1, xs).expect("n rows");
+        for kernel in [
+            Matern52::new(length_scale).into_kernel(),
+            SquaredExponential::new(length_scale).into_kernel(),
+        ] {
+            let gp = GpRegressor::fit(kernel, 1.0, 1e-6, &x, &ys).unwrap();
+            let p = gp.predict(&[q]).unwrap();
+            prop_assert!(p.mean.is_finite(), "mean {} not finite", p.mean);
+            prop_assert!(p.variance.is_finite(), "variance {} not finite", p.variance);
+            prop_assert!(p.variance >= 0.0, "variance {} negative", p.variance);
+        }
+    }
+
+    #[test]
+    fn gp_fit_rejects_non_finite_targets((x, mut y) in training_set(), bad in prop::sample::select(vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY])) {
+        y[0] = bad;
+        let r = GpRegressor::fit(Matern52::new(1.0).into_kernel(), 1.0, 1e-4, &x, &y);
+        prop_assert!(r.is_err(), "non-finite target must be a typed error, not a poisoned posterior");
     }
 
     #[test]

@@ -157,6 +157,9 @@ pub fn analyze(device: &DeviceProfile, spec: &ArchSpec) -> InferenceReport {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use hyperpower_nn::LayerSpec;

@@ -115,6 +115,8 @@ impl TrainingCostModel {
 }
 
 #[cfg(test)]
+// Exact float equality is intended here: virtual-clock arithmetic is exact.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use hyperpower_nn::LayerSpec;

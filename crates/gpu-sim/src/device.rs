@@ -83,6 +83,9 @@ impl DeviceProfile {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

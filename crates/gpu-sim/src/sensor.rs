@@ -112,6 +112,8 @@ impl Gpu {
 }
 
 #[cfg(test)]
+// Exact float equality is intended here: determinism asserts bit-identical readings.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use hyperpower_nn::LayerSpec;

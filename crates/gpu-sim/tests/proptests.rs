@@ -1,5 +1,10 @@
 //! Property-based tests for the GPU simulator.
 
+
+// Test-support code: strategies build exact values and assert round-trips
+// bit-for-bit; panicking helpers are correct in a test harness.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+
 use hyperpower_gpu_sim::{analyze, DeviceProfile, Gpu, TrainingCostModel};
 use hyperpower_nn::{ArchSpec, LayerSpec};
 use proptest::prelude::*;

@@ -71,6 +71,9 @@ impl Cholesky {
                 }
             }
         }
+        // Inputs were checked above; this catches factor-internal
+        // overflow/underflow before L escapes into GP solves.
+        crate::debug_assert_finite!("cholesky factor L", l.as_slice());
         Ok(Cholesky { l })
     }
 
@@ -152,8 +155,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[(i, k)] * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                sum -= self.l[(i, k)] * yk;
             }
             y[i] = sum / self.l[(i, i)];
         }
@@ -176,8 +179,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for k in i + 1..n {
-                sum -= self.l[(k, i)] * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l[(k, i)] * xk;
             }
             x[i] = sum / self.l[(i, i)];
         }
@@ -225,6 +228,9 @@ impl Cholesky {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

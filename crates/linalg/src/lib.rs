@@ -44,6 +44,7 @@
 
 mod cholesky;
 mod error;
+pub mod guards;
 mod lstsq;
 mod matrix;
 mod qr;

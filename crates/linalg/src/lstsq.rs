@@ -84,6 +84,7 @@ pub fn ridge_least_squares(x: &Matrix, y: &[f64], ridge: f64) -> Result<LeastSqu
 
     let chol = Cholesky::factor(&normal)?;
     let coefficients = chol.solve(&xt_y)?;
+    crate::debug_assert_finite!("ridge_least_squares coefficients", &coefficients);
 
     let predictions = x.matvec(&coefficients)?;
     let rss: f64 = predictions
@@ -103,6 +104,9 @@ pub fn ridge_least_squares(x: &Matrix, y: &[f64], ridge: f64) -> Result<LeastSqu
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

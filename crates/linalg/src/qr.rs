@@ -135,6 +135,9 @@ pub fn qr_least_squares(x: &Matrix, y: &[f64]) -> Result<LeastSquaresFit> {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::ridge_least_squares;

@@ -47,7 +47,7 @@ pub fn rmspe(predicted: &[f64], actual: &[f64]) -> Option<f64> {
     if predicted.is_empty() || predicted.len() != actual.len() {
         return None;
     }
-    if actual.iter().any(|a| *a == 0.0) {
+    if actual.contains(&0.0) {
         return None;
     }
     let mse: f64 = predicted
@@ -81,6 +81,9 @@ pub fn max_finite(values: &[f64]) -> Option<f64> {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

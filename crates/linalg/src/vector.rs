@@ -52,6 +52,9 @@ pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -151,7 +151,14 @@ impl Network {
                 if layer.param_count() == 0 {
                     continue;
                 }
-                let buffer = it.next().expect("counts checked above");
+                let Some(buffer) = it.next() else {
+                    return Err(CheckpointError::StructureMismatch {
+                        detail: format!(
+                            "checkpoint has no buffer for layer {i} ({})",
+                            layer.name()
+                        ),
+                    });
+                };
                 if buffer.len() != layer.param_count() {
                     return Err(CheckpointError::StructureMismatch {
                         detail: format!(
@@ -169,13 +176,20 @@ impl Network {
             if layer.param_count() == 0 {
                 continue;
             }
-            layer.set_param_values(&it.next().expect("counts checked above"));
+            // Buffer counts were fully validated above; a missing buffer
+            // here would be an internal bug, so skipping is safe.
+            if let Some(values) = it.next() {
+                layer.set_param_values(&values);
+            }
         }
         Ok(())
     }
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::{ArchSpec, LayerSpec, Tensor};

@@ -313,11 +313,9 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward called before forward")
-            .clone();
+        let Some(input) = self.cached_input.clone() else {
+            panic!("backward called before forward");
+        };
         match self.algorithm {
             ConvAlgorithm::Naive => self.backward_naive(grad_output, &input),
             ConvAlgorithm::Im2col => self.backward_im2col(grad_output, &input),
@@ -369,6 +367,9 @@ impl Layer for Conv2d {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::layers::check_input_gradient;

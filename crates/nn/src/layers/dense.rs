@@ -84,11 +84,9 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward called before forward")
-            .clone();
+        let Some(input) = self.cached_input.clone() else {
+            panic!("backward called before forward");
+        };
         let (n, _, _, _) = input.shape();
         let mut grad_input = Tensor::zeros(n, self.in_features, 1, 1);
         for b in 0..n {
@@ -155,6 +153,9 @@ impl Layer for Dense {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::layers::check_input_gradient;

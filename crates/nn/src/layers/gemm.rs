@@ -79,6 +79,9 @@ pub(crate) fn gemm_transpose_b(m: usize, k: usize, n: usize, a: &[f32], b: &[f32
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

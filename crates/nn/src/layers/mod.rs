@@ -87,6 +87,12 @@ pub(crate) fn standard_normal(rng: &mut impl rand::RngExt) -> f64 {
 }
 
 #[cfg(test)]
+pub(crate) use tests::check_input_gradient;
+
+#[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
@@ -151,6 +157,3 @@ mod tests {
         }
     }
 }
-
-#[cfg(test)]
-pub(crate) use tests::check_input_gradient;

@@ -185,6 +185,9 @@ impl Layer for AvgPool2d {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::layers::check_input_gradient;

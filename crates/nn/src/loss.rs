@@ -27,8 +27,7 @@ impl SoftmaxCrossEntropy {
         assert_eq!(n, labels.len(), "one label per example required");
         let mut grad = Tensor::zeros(n, classes, 1, 1);
         let mut total_loss = 0.0f64;
-        for b in 0..n {
-            let label = labels[b];
+        for (b, &label) in labels.iter().enumerate() {
             assert!(label < classes, "label {label} out of range ({classes})");
             let row = logits.example(b);
             // Numerically stable log-softmax.
@@ -37,8 +36,8 @@ impl SoftmaxCrossEntropy {
             let sum: f64 = exp.iter().sum();
             let log_prob = (row[label] - max) as f64 - sum.ln();
             total_loss -= log_prob;
-            for c in 0..classes {
-                let p = exp[c] / sum;
+            for (c, e) in exp.iter().enumerate() {
+                let p = e / sum;
                 let target = if c == label { 1.0 } else { 0.0 };
                 *grad.at_mut(b, c, 0, 0) = ((p - target) / n as f64) as f32;
             }
@@ -65,6 +64,9 @@ impl SoftmaxCrossEntropy {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

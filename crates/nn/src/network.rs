@@ -209,6 +209,9 @@ impl Network {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use hyperpower_data::{mnist_like, synthetic_dataset, GeneratorOptions};

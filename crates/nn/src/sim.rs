@@ -284,7 +284,9 @@ impl TrainingSimulator {
                 .collect()
         };
 
-        let final_error = *curve.last().expect("epochs > 0");
+        // Zero-epoch runs produce an empty curve; chance level is the only
+        // defensible error estimate there.
+        let final_error = curve.last().copied().unwrap_or(p.chance_error);
         TrainingOutcome {
             curve,
             final_error,
@@ -313,6 +315,9 @@ fn standard_normal(rng: &mut StdRng) -> f64 {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::LayerSpec;

@@ -126,6 +126,9 @@ impl Tensor {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -143,8 +146,11 @@ mod tests {
         let mut t = Tensor::zeros(2, 2, 3, 3);
         *t.at_mut(1, 0, 2, 1) = 5.0;
         assert_eq!(t.at(1, 0, 2, 1), 5.0);
-        // NCHW layout: offset = ((n*C + c)*H + h)*W + w.
-        assert_eq!(t.as_slice()[((1 * 2 + 0) * 3 + 2) * 3 + 1], 5.0);
+        // NCHW layout: offset = ((n*C + c)*H + h)*W + w, spelled out in
+        // full so the formula stays readable.
+        #[allow(clippy::identity_op)]
+        let offset = ((1 * 2 + 0) * 3 + 2) * 3 + 1;
+        assert_eq!(t.as_slice()[offset], 5.0);
     }
 
     #[test]

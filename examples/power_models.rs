@@ -7,6 +7,12 @@
 //!
 //! Run with: `cargo run --release --example power_models`
 
+
+// Examples are terminal programs: printing and panicking on missing results
+// are the point, not a lint violation.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hyperpower::model::FeatureMap;
 use hyperpower::profiler::{fit_models, Profiler};
 use hyperpower::{Config, SearchSpace};

@@ -8,6 +8,11 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Examples are terminal programs: printing and panicking on missing results
+// are the point, not a lint violation.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hyperpower::{Budget, Method, Mode, Scenario, Session};
 
 fn main() -> Result<(), hyperpower::Error> {

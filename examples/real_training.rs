@@ -12,6 +12,12 @@
 //!
 //! Run with: `cargo run --release --example real_training`
 
+
+// Examples are terminal programs: printing and panicking on missing results
+// are the point, not a lint violation.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hyperpower::driver::{run_optimization, RunSetup};
 use hyperpower::objective::RealTrainingObjective;
 use hyperpower::{Budget, EarlyTermination, Method, Mode, Scenario, Session};

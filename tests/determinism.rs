@@ -2,6 +2,10 @@
 //! is seeded, so identical inputs must produce identical outputs — the
 //! property that makes the experiment harnesses rerunnable.
 
+// Determinism means bit-identical floats; exact comparison is the property
+// under test here, not an accident.
+#![allow(clippy::float_cmp)]
+
 use hyperpower::{Budget, Method, Mode, Scenario, Session};
 use hyperpower_data::cifar10_like;
 use hyperpower_nn::sim::{DatasetProfile, TrainingSimulator};

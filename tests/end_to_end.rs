@@ -2,6 +2,11 @@
 //! four device–dataset scenarios, with structural invariants on the
 //! resulting traces.
 
+// Helper functions shared by the #[test] fns below sit outside the scope of
+// clippy.toml's allow-expect-in-tests; panicking on a broken invariant is
+// exactly what test helpers should do.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use hyperpower::{Budget, Method, Mode, SampleKind, Scenario, Session, Trace};
 
 fn assert_trace_invariants(trace: &Trace) {

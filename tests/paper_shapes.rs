@@ -3,6 +3,11 @@
 //! claims behind Tables 1–5 and Figures 1, 3, 4 and 6 (the full harnesses
 //! live in `crates/bench`).
 
+
+// Test-support code: strategies build exact values and assert round-trips
+// bit-for-bit; panicking helpers are correct in a test harness.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+
 use hyperpower::{Budget, Config, Method, Mode, Scenario, Session};
 use hyperpower_gpu_sim::{analyze, Gpu};
 use hyperpower_nn::sim::TrainingSimulator;

@@ -1,0 +1,58 @@
+//! Tier-1 gate: the custom static-analysis pass must hold over the whole
+//! workspace on every commit.
+//!
+//! `hyperpower-analyze` checks invariants the compiler and clippy cannot
+//! express — seeded randomness only (R1), no raw float equality against
+//! non-zero literals (R2), `#[non_exhaustive]` public error enums (R3),
+//! no printing from library crates (R4), and `debug_assert_finite!`
+//! guards at the declared numerical boundaries (R5). Running it as an
+//! ordinary test keeps `cargo test` the single entry point for all
+//! correctness gates.
+
+// Test-support code: panicking on a broken invariant is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use hyperpower_analyze::{analyze_workspace, find_workspace_root, Rule};
+
+fn workspace_root() -> std::path::PathBuf {
+    find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("test runs inside the workspace")
+}
+
+#[test]
+fn workspace_passes_all_analyzer_rules() {
+    let report = analyze_workspace(&workspace_root()).expect("workspace sources readable");
+    assert!(
+        report.is_clean(),
+        "static-analysis violations:\n{}",
+        report.to_json()
+    );
+}
+
+#[test]
+fn analyzer_scans_the_real_library_sources() {
+    let report = analyze_workspace(&workspace_root()).expect("workspace sources readable");
+    // All six library crates must actually be walked: a path refactor that
+    // silently empties the scan would otherwise make the gate vacuous.
+    assert!(
+        report.files_scanned >= 40,
+        "only {} files scanned — analyzer lost track of the source tree",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn analyzer_reports_every_rule_kind() {
+    // The report must account for all five rules even when clean, so a
+    // rule silently dropped from the rule set is caught here.
+    let report = analyze_workspace(&workspace_root()).expect("workspace sources readable");
+    for rule in Rule::ALL {
+        assert_eq!(
+            report.findings_for(rule).count(),
+            0,
+            "rule {} has findings on a clean workspace",
+            rule.id()
+        );
+    }
+    assert_eq!(Rule::ALL.len(), 5, "expected exactly five analyzer rules");
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/type surface the workspace's benches compile against
+//! (`criterion_group!`, `criterion_main!`, [`Criterion::bench_function`],
+//! [`Bencher::iter`]) with a simple wall-clock measurement loop instead of
+//! criterion's statistical machinery. Good enough to smoke-run benches and
+//! spot order-of-magnitude regressions in hermetic environments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, as handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the stand-in uses a fixed iteration
+    /// count, so the requested sample size is ignored.
+    pub fn sample_size(self, _samples: usize) -> Self {
+        self
+    }
+
+    /// Runs `f` as a named benchmark and prints a one-line timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iterations == 0 {
+            Duration::ZERO
+        } else {
+            bencher.total / bencher.iterations
+        };
+        println!(
+            "bench {id:<48} {:>12.3?}/iter ({} iters)",
+            per_iter, bencher.iterations
+        );
+        self
+    }
+}
+
+/// Measures closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over a small fixed number of iterations (after one
+    /// warm-up call), accumulating wall-clock time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        const ITERS: u32 = 10;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iterations += ITERS;
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+///
+/// Both criterion invocation forms compile: the positional
+/// `criterion_group!(name, target, ...)` shorthand and the configured
+/// `criterion_group! { name = ...; config = ...; targets = ... }` form
+/// (the config expression is evaluated and used as the driver).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        c.bench_function("trivial/add", |b| b.iter(|| 1u64 + 1));
+    }
+
+    criterion_group!(trivial_group, trivial_bench);
+
+    #[test]
+    fn group_runs_without_panicking() {
+        trivial_group();
+    }
+
+    #[test]
+    fn bencher_accumulates_iterations() {
+        let mut c = Criterion::default();
+        c.bench_function("counts", |b| b.iter(|| std::hint::black_box(3 * 3)));
+    }
+}

@@ -1,0 +1,369 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The HyperPower workspace is built in hermetic environments with no
+//! crates.io access, so this vendored crate implements exactly the
+//! deterministic subset of the `rand` 0.10 API the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a seedable, portable PRNG (xoshiro256++ seeded via
+//!   SplitMix64),
+//! * [`SeedableRng::seed_from_u64`] — the only seeding entry point,
+//! * [`Rng`] / [`RngExt`] — `next_u64`, `random`, `random_range`,
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates shuffling.
+//!
+//! **Deliberately absent:** `thread_rng`, `from_os_rng`, `from_entropy` and
+//! every other nondeterministic seeding path. All randomness in the
+//! workspace must flow from explicit seeds (see `DESIGN.md`, rule R1 of the
+//! static-analysis layer); omitting the OS-entropy constructors makes the
+//! violation a compile error rather than a lint finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u64`s. The minimal core trait: everything else is
+/// derived from `next_u64`.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A type that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Draws one value uniformly from `[low, high)`.
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Draws one value uniformly from `[low, high]`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "random_range: empty range {low}..{high}");
+        let v = low + unit_f64(rng) * (high - low);
+        // Guard the rare rounding case where low + u*(high-low) == high.
+        if v < high {
+            v
+        } else {
+            low
+        }
+    }
+
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "random_range: empty range {low}..={high}");
+        let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        low + u * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_half_open(rng, low as f64, high as f64) as f32
+    }
+
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_inclusive(rng, low as f64, high as f64) as f32
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "random_range: empty integer range");
+                let span = (high as i128 - low as i128) as u128;
+                // Rejection sampling to avoid modulo bias.
+                let zone = u128::from(u64::MAX) - (u128::from(u64::MAX) + 1) % span;
+                loop {
+                    let v = u128::from(rng.next_u64());
+                    if v <= zone {
+                        return (low as i128 + (v % span) as i128) as $t;
+                    }
+                }
+            }
+
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "random_range: empty integer range");
+                if low as i128 == <$t>::MIN as i128 && high as i128 == <$t>::MAX as i128 {
+                    return rng.next_u64() as $t;
+                }
+                Self::sample_half_open(rng, low, (high as i128 + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// A range argument accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// A type with a canonical "standard" distribution: uniform over all values
+/// for integers/bools, uniform on `[0, 1)` for floats.
+pub trait StandardUniform: Sized {
+    /// Draws one value from the standard distribution.
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for u64 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardUniform for f64 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl StandardUniform for bool {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws one value from the type's standard distribution.
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// Draws one value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Deterministic construction of RNGs from explicit seeds.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed, expanding it into full generator
+    /// state. Identical seeds always produce identical streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard PRNG: xoshiro256++ with SplitMix64 seeding.
+    ///
+    /// Not cryptographically secure — it backs simulations and sampling,
+    /// where portability and speed matter and adversarial prediction does
+    /// not. The stream for a given seed is stable across platforms and
+    /// releases, which the determinism test-suite relies on.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related random operations.
+pub mod seq {
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns one uniformly chosen element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = super::SampleUniform::sample_inclusive(rng, 0usize, i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[super::SampleUniform::sample_half_open(rng, 0usize, self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(super::Rng::next_u64(&mut a), super::Rng::next_u64(&mut b));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..4).map(|_| super::Rng::next_u64(&mut a)).collect();
+        let vb: Vec<u64> = (0..4).map(|_| super::Rng::next_u64(&mut b)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn float_ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&v));
+            let w: f64 = rng.random_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&w));
+            let x: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_endpoints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let v: usize = rng.random_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "not all values of 0..5 drawn");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the identity permutation");
+    }
+
+    #[test]
+    fn choose_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn random_bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "got {hits}/10000 at p=0.25");
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}
