@@ -1,0 +1,291 @@
+//! `--fix`: mechanical, token-aware source rewrites.
+//!
+//! Two fix families are supported, both safe enough to apply blindly:
+//!
+//! * **R6 unit suffixes** — a *non-`pub`* `name: f64` declaration whose
+//!   name is a physical quantity without a unit suffix is renamed to the
+//!   canonical suffix (`power` → `power_w`, `total_time` → `total_time_s`),
+//!   along with every other token spelling that identifier in the same
+//!   file. Public items are never renamed (their name is API surface
+//!   beyond this file), and a rename is skipped entirely when the target
+//!   name already occurs in the file.
+//! * **allow-marker normalization** — `// analyze::allow(r4,R1, r1)`
+//!   becomes `// analyze::allow(R1, R4)` (uppercase, deduplicated,
+//!   sorted, canonical spacing), keeping the escape hatch greppable.
+//!
+//! Renames operate on token positions from the stripped text; the strip
+//! pass blanks characters one-for-one, so token columns map directly onto
+//! the raw line and string/comment contents are never touched.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::rules::units;
+use crate::scan::{rust_files, SourceFile};
+use crate::token::TokenKind;
+use crate::{Error, Result, Rule, LIBRARY_CRATES};
+
+/// What a fix run changed.
+#[derive(Debug, Clone, Default)]
+pub struct FixReport {
+    /// Files rewritten on disk.
+    pub files_changed: usize,
+    /// Distinct identifiers renamed (across all files).
+    pub renames: usize,
+    /// Allow markers rewritten into canonical form.
+    pub markers_normalized: usize,
+}
+
+/// Applies all fixes to the library crates under `root`, writing changed
+/// files back to disk.
+pub fn apply_fixes(root: &Path) -> Result<FixReport> {
+    let mut report = FixReport::default();
+    for krate in LIBRARY_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        for path in rust_files(&src)? {
+            let text = std::fs::read_to_string(&path).map_err(|source| Error::Io {
+                path: path.clone(),
+                source,
+            })?;
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            let outcome = fix_source(rel, &text);
+            if let Some(fixed) = outcome.text {
+                std::fs::write(&path, fixed).map_err(|source| Error::Io {
+                    path: path.clone(),
+                    source,
+                })?;
+                report.files_changed += 1;
+            }
+            report.renames += outcome.renames;
+            report.markers_normalized += outcome.markers_normalized;
+        }
+    }
+    Ok(report)
+}
+
+/// The outcome of fixing one file.
+#[derive(Debug, Default)]
+pub struct FileFix {
+    /// The rewritten source, or `None` when nothing changed.
+    pub text: Option<String>,
+    /// Distinct identifiers renamed in this file.
+    pub renames: usize,
+    /// Allow markers normalized in this file.
+    pub markers_normalized: usize,
+}
+
+/// Computes the fixed form of one file's source (pure; exposed for
+/// tests).
+pub fn fix_source(rel_path: PathBuf, text: &str) -> FileFix {
+    let file = SourceFile::from_source(rel_path, text);
+    let toks = &file.tokens;
+
+    // Pass 1: collect R6 suffix renames at declaration sites.
+    let mut renames: BTreeMap<String, String> = BTreeMap::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let declares_f64 = t.kind == TokenKind::Ident
+            && toks.get(i + 1).is_some_and(|c| c.is_punct(":"))
+            && toks.get(i + 2).is_some_and(|ty| ty.is_ident("f64"));
+        if !declares_f64
+            || !units::missing_suffix(&t.text)
+            || file.token_exempt(t, Rule::R6UnitDiscipline.id())
+            || is_public_decl(toks, i)
+        {
+            continue;
+        }
+        let Some(suffix) = units::suggested_suffix(&t.text) else {
+            continue;
+        };
+        let new_name = format!("{}{}", t.text, suffix);
+        if toks
+            .iter()
+            .any(|o| o.kind == TokenKind::Ident && o.text == new_name)
+        {
+            continue; // target name taken: renaming would shadow/collide
+        }
+        renames.insert(t.text.clone(), new_name);
+    }
+
+    // Pass 2: apply renames at every token spelling a renamed identifier.
+    // Token columns are char offsets into the stripped line, which maps
+    // one-for-one onto the raw line.
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    let mut edits: BTreeMap<usize, Vec<(usize, usize, String)>> = BTreeMap::new();
+    for t in toks {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if let Some(new_name) = renames.get(&t.text) {
+            edits.entry(t.line - 1).or_default().push((
+                t.col,
+                t.text.chars().count(),
+                new_name.clone(),
+            ));
+        }
+    }
+    for (line_idx, mut line_edits) in edits {
+        let Some(line) = lines.get_mut(line_idx) else {
+            continue;
+        };
+        line_edits.sort_by_key(|e| std::cmp::Reverse(e.0)); // right-to-left
+        let mut chars: Vec<char> = line.chars().collect();
+        for (col, len, new_name) in line_edits {
+            if col + len <= chars.len() {
+                chars.splice(col..col + len, new_name.chars());
+            }
+        }
+        *line = chars.into_iter().collect();
+    }
+
+    // Pass 3: normalize allow markers.
+    let mut markers_normalized = 0;
+    for line in &mut lines {
+        if let Some(fixed) = normalize_allow_marker(line) {
+            if fixed != *line {
+                *line = fixed;
+                markers_normalized += 1;
+            }
+        }
+    }
+
+    let mut rebuilt = lines.join("\n");
+    if text.ends_with('\n') {
+        rebuilt.push('\n');
+    }
+    FileFix {
+        text: (rebuilt != text).then_some(rebuilt),
+        renames: renames.len(),
+        markers_normalized,
+    }
+}
+
+/// Whether the declaration whose name token is at `idx` is `pub` (walks
+/// back a few tokens, stopping at declaration boundaries).
+fn is_public_decl(toks: &[crate::token::Token], idx: usize) -> bool {
+    for back in (0..idx).rev().take(5) {
+        let t = &toks[back];
+        if t.is_ident("pub") {
+            return true;
+        }
+        if t.is_punct(",") || t.is_punct("{") || t.is_punct(";") || t.is_punct("(") {
+            return false;
+        }
+    }
+    false
+}
+
+/// Rewrites an `analyze::allow(...)` marker on `line` into canonical form
+/// (uppercase, deduplicated, sorted, `", "`-separated). Returns the fixed
+/// line, or `None` when the line has no well-formed marker.
+fn normalize_allow_marker(line: &str) -> Option<String> {
+    let start = line.find("analyze::allow(")?;
+    let ids_start = start + "analyze::allow(".len();
+    let close = line[ids_start..].find(')')? + ids_start;
+    let mut ids: Vec<String> = line[ids_start..close]
+        .split(',')
+        .map(|s| s.trim().to_ascii_uppercase())
+        .filter(|s| !s.is_empty())
+        .collect();
+    ids.sort();
+    ids.dedup();
+    if ids.is_empty() {
+        return None;
+    }
+    Some(format!(
+        "{}{}{}",
+        &line[..ids_start],
+        ids.join(", "),
+        &line[close..]
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fix(text: &str) -> FileFix {
+        fix_source(PathBuf::from("crates/x/src/lib.rs"), text)
+    }
+
+    #[test]
+    fn renames_local_quantity_declaration_and_uses() {
+        let src =
+            "fn f(power: f64) -> f64 {\n    let doubled = power * 2.0;\n    doubled + power\n}\n";
+        let out = fix(src);
+        assert_eq!(out.renames, 1);
+        let fixed = out.text.unwrap();
+        assert!(fixed.contains("fn f(power_w: f64)"));
+        assert!(fixed.contains("power_w * 2.0"));
+        assert!(fixed.contains("doubled + power_w"));
+        assert!(!fixed.contains("power *"));
+    }
+
+    #[test]
+    fn public_fields_are_never_renamed() {
+        let src = "pub struct R {\n    pub power: f64,\n}\n";
+        let out = fix(src);
+        assert_eq!(out.renames, 0);
+        assert!(out.text.is_none());
+    }
+
+    #[test]
+    fn rename_skipped_when_target_exists() {
+        let src = "fn f(latency: f64, latency_s: f64) -> f64 { latency + latency_s }\n";
+        let out = fix(src);
+        assert_eq!(out.renames, 0, "colliding rename must be skipped");
+    }
+
+    #[test]
+    fn strings_and_comments_survive_renames() {
+        let src = "fn f(energy: f64) -> f64 {\n    // energy is important\n    let s = \"energy\";\n    energy\n}\n";
+        let fixed = fix(src).text.unwrap();
+        assert!(fixed.contains("fn f(energy_j: f64)"));
+        assert!(fixed.contains("// energy is important"));
+        assert!(fixed.contains("\"energy\""));
+        assert!(fixed.contains("\n    energy_j\n"));
+    }
+
+    #[test]
+    fn suffixed_and_nonquantity_names_untouched() {
+        assert!(
+            fix("fn f(power_w: f64, count: f64) -> f64 { power_w + count }\n")
+                .text
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn allow_markers_are_normalized() {
+        let src = "let x = 1; // analyze::allow(r4,R1,  r1)\n";
+        let out = fix(src);
+        assert_eq!(out.markers_normalized, 1);
+        assert!(out.text.unwrap().contains("// analyze::allow(R1, R4)"));
+    }
+
+    #[test]
+    fn canonical_markers_are_stable() {
+        let src = "let x = 1; // analyze::allow(R1, R4)\n";
+        let out = fix(src);
+        assert_eq!(out.markers_normalized, 0);
+        assert!(out.text.is_none());
+    }
+
+    #[test]
+    fn fix_is_idempotent() {
+        let src = "fn f(power: f64) -> f64 { power }\n// analyze::allow(r2)\n";
+        let once = fix(src).text.unwrap();
+        assert!(fix_source(PathBuf::from("crates/x/src/lib.rs"), &once)
+            .text
+            .is_none());
+    }
+
+    #[test]
+    fn test_code_is_not_rewritten() {
+        let src = "#[cfg(test)]\nmod t {\n    fn f(power: f64) -> f64 { power }\n}\n";
+        assert!(fix(src).text.is_none());
+    }
+}

@@ -13,21 +13,32 @@
 //! | `R3` | every public error enum is `#[non_exhaustive]` |
 //! | `R4` | no `println!`/`eprintln!`/`dbg!` in library crates (stdout is the cli's) |
 //! | `R5` | `debug_assert_finite!` guards present at declared numerical boundaries |
+//! | `R6` | `f64` physical quantities carry unit suffixes (`_w`, `_mb`, `_s`, `_j`) or typed newtypes; no mixed-unit arithmetic |
+//! | `R7` | acquisition paths evaluate the cheap hardware-constraint indicator before the expensive objective (HW-IECI/HW-CWEI) |
+//! | `R8` | RNGs are constructed only at declared seeded roots and threaded `&mut` elsewhere |
 //!
-//! The pass is a line-level scanner, not a full parser: comments and
-//! string/char literals are blanked before matching and `#[cfg(test)]`
-//! regions are exempt, which in practice removes false positives without
-//! needing syn/rustc internals (this workspace builds hermetically, so the
-//! analyzer must stay dependency-free). Intentional exceptions are
+//! The pass tokenizes each file after blanking comments and string/char
+//! literals (see [`token`]), so matching is token-exact rather than
+//! substring-based, `#[cfg(test)]` regions are exempt, and no
+//! syn/rustc dependency is needed (this workspace builds hermetically, so
+//! the analyzer must stay dependency-free). Intentional exceptions are
 //! annotated in the source with `// analyze::allow(<rule>)`, which
 //! silences the named rule on that line and the next.
 //!
-//! Run it as `cargo run -p hyperpower-analyze` (human-readable) or with
-//! `--json` for a machine-readable findings report; it also runs as a
-//! tier-1 test via the root `tests/static_analysis.rs`.
+//! Run it as `cargo run -p hyperpower-analyze` (human-readable), with
+//! `--format json` or `--format sarif` for machine-readable reports, with
+//! `--fix` to apply mechanical rewrites, or with `--write-baseline` to
+//! accept the current findings into `analyze-baseline.json`. Tier-1
+//! enforcement lives in the root `tests/static_analysis.rs`: any finding
+//! beyond the committed baseline fails the build, and so does a stale
+//! baseline entry (the ratchet only tightens).
 
+pub mod baseline;
+pub mod fix;
 pub mod rules;
+pub mod sarif;
 mod scan;
+pub mod token;
 
 pub use scan::{Line, SourceFile};
 
@@ -85,16 +96,27 @@ pub enum Rule {
     R4PrintInLibrary,
     /// R5: declared numerical boundary missing its finiteness guard.
     R5MissingFiniteGuard,
+    /// R6: `f64` physical quantity without a unit suffix, or arithmetic
+    /// mixing different declared units.
+    R6UnitDiscipline,
+    /// R7: expensive objective evaluated before the cheap hardware
+    /// constraint in an acquisition path.
+    R7ConstraintOrder,
+    /// R8: RNG constructed or owned outside a declared seeded root.
+    R8RngThreading,
 }
 
 impl Rule {
     /// All rule kinds, in id order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 8] = [
         Rule::R1NondeterministicEntropy,
         Rule::R2RawFloatEq,
         Rule::R3ErrorEnumExhaustive,
         Rule::R4PrintInLibrary,
         Rule::R5MissingFiniteGuard,
+        Rule::R6UnitDiscipline,
+        Rule::R7ConstraintOrder,
+        Rule::R8RngThreading,
     ];
 
     /// Short id used in reports and `analyze::allow(..)` markers.
@@ -105,6 +127,9 @@ impl Rule {
             Rule::R3ErrorEnumExhaustive => "R3",
             Rule::R4PrintInLibrary => "R4",
             Rule::R5MissingFiniteGuard => "R5",
+            Rule::R6UnitDiscipline => "R6",
+            Rule::R7ConstraintOrder => "R7",
+            Rule::R8RngThreading => "R8",
         }
     }
 
@@ -116,6 +141,9 @@ impl Rule {
             Rule::R3ErrorEnumExhaustive => "error-enum-exhaustive",
             Rule::R4PrintInLibrary => "print-in-library",
             Rule::R5MissingFiniteGuard => "missing-finite-guard",
+            Rule::R6UnitDiscipline => "unit-of-measure",
+            Rule::R7ConstraintOrder => "constraint-before-objective",
+            Rule::R8RngThreading => "rng-threading",
         }
     }
 
@@ -132,6 +160,15 @@ impl Rule {
             Rule::R4PrintInLibrary => "library crates never write to stdout/stderr",
             Rule::R5MissingFiniteGuard => {
                 "numerical boundaries carry debug_assert_finite! guards against NaN/Inf"
+            }
+            Rule::R6UnitDiscipline => {
+                "f64 physical quantities carry unit suffixes or typed newtypes, and arithmetic never mixes units"
+            }
+            Rule::R7ConstraintOrder => {
+                "acquisition paths evaluate the cheap hardware-constraint indicator before the expensive objective"
+            }
+            Rule::R8RngThreading => {
+                "RNGs are constructed only at declared seeded roots and passed &mut everywhere else"
             }
         }
     }
@@ -173,7 +210,8 @@ impl Report {
     }
 
     /// Machine-readable JSON report (hand-rolled: the analyzer is
-    /// dependency-free by design).
+    /// dependency-free by design). Deterministic: findings are already
+    /// sorted by (file, line, rule id) and rules are emitted in id order.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
@@ -205,7 +243,7 @@ impl Report {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -225,8 +263,8 @@ fn json_escape(s: &str) -> String {
 ///
 /// Scans `crates/<name>/src/**/*.rs` for each name in [`LIBRARY_CRATES`]
 /// (crates absent from the tree are skipped, so the pass also works on
-/// the scratch workspaces the unit tests build), applies R1–R4 per line,
-/// and checks each [`rules::GUARD_SITES`] entry for R5.
+/// the scratch workspaces the unit tests build), applies the per-file
+/// rules, and checks each [`rules::GUARD_SITES`] entry for R5.
 pub fn analyze_workspace(root: &Path) -> Result<Report> {
     let mut findings = Vec::new();
     let mut files_scanned = 0;
@@ -238,7 +276,7 @@ pub fn analyze_workspace(root: &Path) -> Result<Report> {
         }
         for path in scan::rust_files(&src)? {
             let file = SourceFile::load(root, &path)?;
-            rules::apply_line_rules(&file, &mut findings);
+            rules::apply_rules(&file, &mut findings);
             files_scanned += 1;
         }
     }
@@ -324,27 +362,37 @@ mod tests {
             "pub fn posterior(x: f64) -> f64 { x + 1.0 }\n",
         );
         let report = analyze_workspace(&ws.root).unwrap();
-        assert!(report.is_clean(), "unexpected findings: {:?}", report.findings);
+        assert!(
+            report.is_clean(),
+            "unexpected findings: {:?}",
+            report.findings
+        );
         assert_eq!(report.files_scanned, 1);
     }
 
     #[test]
     fn seeded_violations_are_all_detected() {
-        // A scratch file seeded with one violation per rule kind; the
+        // A scratch workspace seeded with one violation per rule kind; the
         // analyzer must find every one of them.
         let ws = Scratch::new();
         ws.write(
             "crates/core/src/methods.rs",
             concat!(
-                "use std::time::SystemTime;\n",                          // R1
+                "use std::time::SystemTime;\n", // R1
                 "pub fn pick(xs: &[f64]) -> usize {\n",
                 "    xs.iter().enumerate()\n",
                 "        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())\n", // R2
                 "        .map(|(i, _)| i).unwrap_or(0)\n",
                 "}\n",
-                "pub fn warn() { eprintln!(\"slow convergence\"); }\n",   // R4
+                "pub fn warn() { eprintln!(\"slow convergence\"); }\n", // R4
                 "#[derive(Debug)]\n",
-                "pub enum SearchError { Budget }\n",                      // R3
+                "pub enum SearchError { Budget }\n",   // R3
+                "pub struct Row { pub power: f64 }\n", // R6
+                "fn score(&self) -> f64 {\n",
+                "    let e = expected_improvement_at(m, s, best);\n", // R7
+                "    e * self.acquisition_weight(z)\n",
+                "}\n",
+                "fn fork() { let r = StdRng::seed_from_u64(1); }\n", // R8
             ),
         );
         // R5: a declared guard site present but without the marker.
@@ -397,6 +445,29 @@ mod tests {
     }
 
     #[test]
+    fn repeated_runs_are_byte_identical() {
+        // Determinism regression: two full analyses of the same tree must
+        // serialise identically in every format.
+        let ws = Scratch::new();
+        ws.write(
+            "crates/core/src/lib.rs",
+            "pub struct R { pub power: f64 }\npub fn f() { println!(\"x\"); }\n",
+        );
+        ws.write(
+            "crates/nn/src/lib.rs",
+            "fn g() { let r = StdRng::seed_from_u64(1); }\n",
+        );
+        let a = analyze_workspace(&ws.root).unwrap();
+        let b = analyze_workspace(&ws.root).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(sarif::to_sarif(&a), sarif::to_sarif(&b));
+        assert_eq!(
+            baseline::Baseline::from_report(&a).to_json(),
+            baseline::Baseline::from_report(&b).to_json()
+        );
+    }
+
+    #[test]
     fn json_escapes_quotes_and_backslashes() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
@@ -411,19 +482,22 @@ mod tests {
     }
 
     #[test]
-    fn real_workspace_is_clean() {
-        // The tier-1 gate: the actual repository must pass its own
-        // analyzer. CARGO_MANIFEST_DIR is crates/analyze; the workspace
-        // root is two levels up.
+    fn real_workspace_matches_baseline() {
+        // The tier-1 gate: the actual repository must match its committed
+        // findings baseline exactly — no new findings, no stale grants.
         let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
         let root = match find_workspace_root(&here) {
             Some(r) => r,
             None => panic!("workspace root not found above {}", here.display()),
         };
         let report = analyze_workspace(&root).unwrap();
+        let base = baseline::Baseline::load(&root.join(baseline::BASELINE_FILE)).unwrap();
+        let drift = base.diff(&report);
         assert!(
-            report.is_clean(),
-            "static-analysis violations in the workspace:\n{}",
+            drift.is_empty(),
+            "static-analysis drift against {}:\n{}\ncurrent findings:\n{}",
+            baseline::BASELINE_FILE,
+            drift.describe(),
             report
                 .findings
                 .iter()

@@ -1,0 +1,99 @@
+//! R1 — no ambient entropy or wall-clock reads in library code.
+//!
+//! The HyperPower search must replay bit-identically from a seed: the BO
+//! loop, the simulated GPU sensors and the dataset generators all thread
+//! explicit RNG state. Any call that reaches for the OS entropy pool or
+//! the wall clock (`thread_rng`, `OsRng`, `SystemTime`, `Instant::now`)
+//! silently breaks that replay guarantee.
+
+use crate::scan::SourceFile;
+use crate::token::TokenKind;
+use crate::{Finding, Rule};
+
+/// Identifiers that introduce ambient, non-reproducible entropy or time.
+const ENTROPY_IDENTS: &[&str] = &[
+    "thread_rng",
+    "from_os_rng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+    "SystemTime",
+];
+
+/// R1: flags entropy/time identifiers token-exactly (a doc string or a
+/// longer identifier containing one of the names never fires).
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let rule = Rule::R1NondeterministicEntropy;
+    let mut last_line = 0usize;
+    for (i, t) in file.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.line == last_line {
+            continue;
+        }
+        let name = t.text.as_str();
+        let instant_now = name == "Instant"
+            && file.tokens.get(i + 1).is_some_and(|p| p.is_punct("::"))
+            && file.tokens.get(i + 2).is_some_and(|n| n.is_ident("now"));
+        if !(ENTROPY_IDENTS.contains(&name) || instant_now) {
+            continue;
+        }
+        if file.token_exempt(t, rule.id()) {
+            continue;
+        }
+        let shown = if instant_now { "Instant::now" } else { name };
+        findings.push(super::finding_at(
+            rule,
+            file,
+            t.line,
+            format!(
+                "`{shown}` introduces ambient entropy/time into a deterministic search path; seed all randomness explicitly"
+            ),
+        ));
+        last_line = t.line;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(text: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(PathBuf::from("crates/x/src/lib.rs"), text);
+        let mut f = Vec::new();
+        check(&file, &mut f);
+        f
+    }
+
+    #[test]
+    fn fires_on_thread_rng() {
+        let f = run("let mut rng = rand::thread_rng();\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R1NondeterministicEntropy);
+    }
+
+    #[test]
+    fn fires_on_instant_now_but_not_instant_alone() {
+        assert_eq!(run("let t = Instant::now();\n").len(), 1);
+        assert!(run("fn status(t: Instant) -> bool { t.elapsed }\n").is_empty());
+    }
+
+    #[test]
+    fn token_exact_no_substring_hits() {
+        // `my_thread_rng_wrapper` is one identifier; the old substring
+        // scanner fired on it, the tokenizer must not.
+        assert!(run("fn my_thread_rng_wrapper() {}\n").is_empty());
+        assert!(run("let s = \"thread_rng\"; // thread_rng\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_and_allow_are_exempt() {
+        assert!(run("#[cfg(test)]\nmod tests {\n  fn t() { thread_rng(); }\n}\n").is_empty());
+        assert!(run("// analyze::allow(R1)\nlet t = SystemTime::now();\n").is_empty());
+    }
+
+    #[test]
+    fn one_finding_per_line() {
+        let f = run("let (a, b) = (OsRng, SystemTime::now());\n");
+        assert_eq!(f.len(), 1);
+    }
+}

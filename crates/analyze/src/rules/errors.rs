@@ -1,0 +1,84 @@
+//! R3 — every public error enum is `#[non_exhaustive]`.
+//!
+//! Error enums grow as the system grows; without `#[non_exhaustive]`,
+//! adding a variant is a semver break for every downstream `match`.
+
+use crate::scan::SourceFile;
+use crate::{Finding, Rule};
+
+/// R3: flags `pub enum *Error*` declarations whose attribute block lacks
+/// `#[non_exhaustive]`.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.allowed.contains(Rule::R3ErrorEnumExhaustive.id()) {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        let is_pub_error_enum = trimmed.strip_prefix("pub enum ").is_some_and(|rest| {
+            rest.split(|c: char| !c.is_alphanumeric() && c != '_')
+                .next()
+                .is_some_and(|name| name.contains("Error"))
+        });
+        if !is_pub_error_enum {
+            continue;
+        }
+        // Walk back through the attribute/doc block looking for the marker.
+        let mut has_marker = false;
+        for back in file.lines[..idx].iter().rev().take(16) {
+            let t = back.code.trim_start();
+            let attr_or_doc = t.starts_with("#[")
+                || t.starts_with(')') // tail of a multi-line derive list
+                || t.starts_with(']')
+                || t.is_empty()
+                || back.raw.trim_start().starts_with("///")
+                || back.raw.trim_start().starts_with("//");
+            if back.code.contains("non_exhaustive") {
+                has_marker = true;
+                break;
+            }
+            if !attr_or_doc {
+                break;
+            }
+        }
+        if !has_marker {
+            findings.push(super::finding_at(
+                Rule::R3ErrorEnumExhaustive,
+                file,
+                line.number,
+                "public error enum is missing `#[non_exhaustive]`; adding a variant later would be a breaking change".to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(text: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(PathBuf::from("crates/x/src/lib.rs"), text);
+        let mut f = Vec::new();
+        check(&file, &mut f);
+        f
+    }
+
+    #[test]
+    fn fires_on_exhaustive_pub_error_enum() {
+        let f = run("#[derive(Debug)]\npub enum ParseError {\n    Bad,\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R3ErrorEnumExhaustive);
+    }
+
+    #[test]
+    fn accepts_non_exhaustive() {
+        let src = "/// Docs.\n#[derive(Debug)]\n#[non_exhaustive]\npub enum Error {\n    Bad,\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn ignores_non_error_enums_and_private() {
+        assert!(run("pub enum Mode { A, B }\n").is_empty());
+        assert!(run("enum InternalError { X }\n").is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! R2 — no raw float equality and no panicking `partial_cmp` on
+//! objectives.
+//!
+//! Acquisition scores and constraint slacks are floats; `==` against a
+//! non-zero literal is bit-exact and brittle, and
+//! `partial_cmp(..).unwrap()` panics the search loop on the first NaN.
+//! `f64::total_cmp` (or an explicit tolerance) is the sanctioned
+//! alternative. Exact-zero comparisons are exempt — they test "was this
+//! field ever written", which is well-defined.
+
+use crate::scan::SourceFile;
+use crate::token::{matching_close, TokenKind};
+use crate::{Finding, Rule};
+
+/// R2: token-based float-comparison checks.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let rule = Rule::R2RawFloatEq;
+    let mut last_line = 0usize;
+    for (i, t) in file.tokens.iter().enumerate() {
+        if t.line == last_line || file.token_exempt(t, rule.id()) {
+            continue;
+        }
+
+        // `partial_cmp(…).unwrap()` / `.expect(…)`: find the call's close
+        // paren in the token stream and look at what chains off it.
+        if t.is_ident("partial_cmp") && file.tokens.get(i + 1).is_some_and(|p| p.is_punct("(")) {
+            if let Some(close) = matching_close(&file.tokens, i + 1, "(", ")") {
+                let chained_panic = file.tokens.get(close + 1).is_some_and(|d| d.is_punct("."))
+                    && file
+                        .tokens
+                        .get(close + 2)
+                        .is_some_and(|m| m.is_ident("unwrap") || m.is_ident("expect"));
+                if chained_panic {
+                    findings.push(super::finding_at(
+                        rule,
+                        file,
+                        t.line,
+                        "`partial_cmp(..).unwrap()` panics on NaN; use `f64::total_cmp` for objective/constraint ordering".to_string(),
+                    ));
+                    last_line = t.line;
+                    continue;
+                }
+            }
+        }
+
+        // `x == 0.5` / `0.5 != x`: either operand a non-zero float literal.
+        if t.kind == TokenKind::Punct && (t.text == "==" || t.text == "!=") {
+            let operand = [i.checked_sub(1), Some(i + 1)]
+                .into_iter()
+                .flatten()
+                .filter_map(|j| file.tokens.get(j))
+                .find(|o| o.kind == TokenKind::Float && !is_zero_literal(&o.text));
+            if let Some(lit) = operand {
+                findings.push(super::finding_at(
+                    rule,
+                    file,
+                    t.line,
+                    format!(
+                        "raw `==`/`!=` against float literal `{}` is bit-exact and brittle; compare with a tolerance or use `total_cmp` (exact-zero checks are exempt)",
+                        lit.text
+                    ),
+                ));
+                last_line = t.line;
+            }
+        }
+    }
+}
+
+/// True when a float-literal token spells exactly zero (`0.0`, `0.`,
+/// `0.0f32`, `0e0`, …).
+fn is_zero_literal(text: &str) -> bool {
+    let t = text
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .replace('_', "");
+    t.trim_end_matches('.')
+        .parse::<f64>()
+        .is_ok_and(|v| v == 0.0) // covers -0.0 too
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(text: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(PathBuf::from("crates/x/src/lib.rs"), text);
+        let mut f = Vec::new();
+        check(&file, &mut f);
+        f
+    }
+
+    #[test]
+    fn fires_on_partial_cmp_unwrap() {
+        let f = run("xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R2RawFloatEq);
+    }
+
+    #[test]
+    fn fires_on_partial_cmp_expect() {
+        assert_eq!(run("let o = a.partial_cmp(&b).expect(\"nan\");\n").len(), 1);
+    }
+
+    #[test]
+    fn partial_cmp_without_panic_is_fine() {
+        assert!(run("if let Some(o) = a.partial_cmp(&b) { use_it(o); }\n").is_empty());
+        // `unwrap_or` is not `unwrap`.
+        assert!(run("let o = a.partial_cmp(&b).unwrap_or(Ordering::Equal);\n").is_empty());
+    }
+
+    #[test]
+    fn fires_on_nonzero_float_literal_eq() {
+        let f = run("if x == 0.5 { y(); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(run("if 1.0 == x { y(); }\n").len(), 1);
+        assert_eq!(run("if x != 2.5f64 { y(); }\n").len(), 1);
+    }
+
+    #[test]
+    fn exempts_exact_zero_and_integers() {
+        assert!(run("if x == 0.0 { y(); }\n").is_empty());
+        assert!(run("if x != 0.0f32 { y(); }\n").is_empty());
+        assert!(run("if n == 10 { y(); }\n").is_empty());
+        assert!(run("if x <= 0.5 { y(); }\n").is_empty());
+        assert!(run("match x { 0 => a, _ => b }\n").is_empty());
+    }
+
+    #[test]
+    fn escape_hatch_and_tests_exempt() {
+        assert!(run("// analyze::allow(R2)\nif x == 0.5 { y(); }\n").is_empty());
+        assert!(run("#[cfg(test)]\nmod t {\n fn f() { assert!(x == 0.5); }\n}\n").is_empty());
+    }
+}

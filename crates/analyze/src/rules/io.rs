@@ -1,0 +1,76 @@
+//! R4 — no print-family macros in library crates.
+//!
+//! Stdout/stderr belong to the `cli` and `bench` crates; a library that
+//! prints corrupts machine-readable output and can't be silenced.
+
+use crate::scan::SourceFile;
+use crate::token::TokenKind;
+use crate::{Finding, Rule};
+
+/// Print-family macro names forbidden in library crates.
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// R4: flags `name!` macro invocations token-exactly (a `writeln!` or a
+/// `my_println!` never fires).
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let rule = Rule::R4PrintInLibrary;
+    let mut last_line = 0usize;
+    for (i, t) in file.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || t.line == last_line
+            || !PRINT_MACROS.contains(&t.text.as_str())
+            || !file.tokens.get(i + 1).is_some_and(|b| b.is_punct("!"))
+        {
+            continue;
+        }
+        if file.token_exempt(t, rule.id()) {
+            continue;
+        }
+        findings.push(super::finding_at(
+            rule,
+            file,
+            t.line,
+            format!(
+                "`{}!` in library code; stdout/stderr are reserved for the cli and bench crates",
+                t.text
+            ),
+        ));
+        last_line = t.line;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(text: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(PathBuf::from("crates/x/src/lib.rs"), text);
+        let mut f = Vec::new();
+        check(&file, &mut f);
+        f
+    }
+
+    #[test]
+    fn fires_on_println_and_dbg() {
+        let f = run("println!(\"progress: {pct}\");\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R4PrintInLibrary);
+        assert_eq!(run("pub fn h() { dbg!(1); }\n").len(), 1);
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(run("writeln!(buf, \"x\").ok();\n").is_empty());
+        assert!(run("my_println!(\"x\");\n").is_empty());
+        // An ident named `print` without the bang is not a macro call.
+        assert!(run("let print = 1; use_it(print);\n").is_empty());
+        assert_eq!(run("eprintln!(\"warn\");\n").len(), 1);
+    }
+
+    #[test]
+    fn test_code_and_allow_are_exempt() {
+        assert!(run("#[cfg(test)]\nmod t {\n fn f() { println!(\"x\"); }\n}\n").is_empty());
+        assert!(run("// analyze::allow(R4)\npub fn log() { eprintln!(\"x\"); }\n").is_empty());
+    }
+}

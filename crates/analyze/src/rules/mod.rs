@@ -1,0 +1,151 @@
+//! The analyzer rules (R1–R8), one module per rule family.
+//!
+//! Each rule is a token- or file-level check over a [`SourceFile`] whose
+//! comments and strings have already been blanked and whose remaining
+//! text has been tokenized. Rules only fire in library-crate code outside
+//! `#[cfg(test)]` regions, and every rule honours the
+//! `// analyze::allow(<rule>)` escape hatch.
+//!
+//! | module | rules |
+//! |--------|-------|
+//! | [`determinism`] | R1 — no ambient entropy or wall-clock reads |
+//! | [`floats`] | R2 — no raw float equality / panicking `partial_cmp` |
+//! | [`errors`] | R3 — public error enums are `#[non_exhaustive]` |
+//! | [`io`] | R4 — no print-family macros in library crates |
+//! | (here) | R5 — finiteness guards at declared numerical boundaries |
+//! | [`units`] | R6 — unit-of-measure discipline on `f64` quantities |
+//! | [`ordering`] | R7 — hardware constraints evaluated before objectives |
+//! | [`rng`] | R8 — RNGs constructed only at declared seeded roots |
+
+pub mod determinism;
+pub mod errors;
+pub mod floats;
+pub mod io;
+pub mod ordering;
+pub mod rng;
+pub mod units;
+
+use crate::scan::SourceFile;
+use crate::{Finding, Rule};
+
+/// Sites that must carry a finiteness guard (R5): numerical boundaries
+/// where a NaN/Inf slipping through would silently poison downstream
+/// results. Paths are workspace-relative; the marker must appear in
+/// non-test code of that file.
+pub const GUARD_SITES: &[(&str, &str)] = &[
+    (
+        "crates/linalg/src/cholesky.rs",
+        "Cholesky factorization entry",
+    ),
+    ("crates/linalg/src/lstsq.rs", "least-squares solver entry"),
+    ("crates/gp/src/regressor.rs", "GP posterior boundary"),
+    ("crates/core/src/model.rs", "constraint-model boundary"),
+];
+
+/// The marker R5 looks for at each guard site.
+pub const FINITE_GUARD_MARKER: &str = "debug_assert_finite!";
+
+/// Applies every per-file rule (R1–R4, R6–R8) to one file. R5 is applied
+/// separately per [`GUARD_SITES`] entry via [`check_finite_guard`].
+pub fn apply_rules(file: &SourceFile, findings: &mut Vec<Finding>) {
+    determinism::check(file, findings);
+    floats::check(file, findings);
+    errors::check(file, findings);
+    io::check(file, findings);
+    units::check(file, findings);
+    ordering::check(file, findings);
+    rng::check(file, findings);
+}
+
+/// R5: the file is a declared guard site and must contain the
+/// `debug_assert_finite!` marker in live (non-test) code.
+pub fn check_finite_guard(file: &SourceFile, what: &str, findings: &mut Vec<Finding>) {
+    let present = file
+        .lines
+        .iter()
+        .any(|l| !l.in_test && l.code.contains(FINITE_GUARD_MARKER));
+    let allowed = file
+        .lines
+        .iter()
+        .any(|l| l.allowed.contains(Rule::R5MissingFiniteGuard.id()));
+    if !present && !allowed {
+        findings.push(Finding {
+            rule: Rule::R5MissingFiniteGuard,
+            file: file.rel_path.display().to_string(),
+            line: 1,
+            excerpt: String::new(),
+            message: format!(
+                "{what}: no `{FINITE_GUARD_MARKER}` guard found; NaN/Inf can cross this numerical boundary unchecked"
+            ),
+        });
+    }
+}
+
+/// Trims and clips a raw source line for use as a finding excerpt.
+pub fn excerpt(raw: &str) -> String {
+    let t = raw.trim();
+    if t.len() > 120 {
+        let cut = t
+            .char_indices()
+            .take_while(|(i, _)| *i < 117)
+            .last()
+            .map_or(0, |(i, c)| i + c.len_utf8());
+        format!("{}...", &t[..cut])
+    } else {
+        t.to_string()
+    }
+}
+
+/// Builds a [`Finding`] for `rule` at a 1-based `line` of `file`, with the
+/// excerpt taken from the source.
+pub(crate) fn finding_at(rule: Rule, file: &SourceFile, line: usize, message: String) -> Finding {
+    Finding {
+        rule,
+        file: file.rel_path.display().to_string(),
+        line,
+        excerpt: file.excerpt_at(line),
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scan(text: &str) -> SourceFile {
+        SourceFile::from_source(PathBuf::from("crates/x/src/lib.rs"), text)
+    }
+
+    #[test]
+    fn r5_missing_and_present() {
+        let mut f = Vec::new();
+        check_finite_guard(&scan("pub fn predict() {}\n"), "GP posterior", &mut f);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R5MissingFiniteGuard);
+
+        let mut ok = Vec::new();
+        check_finite_guard(
+            &scan("pub fn predict() { debug_assert_finite!(\"gp\", &mean); }\n"),
+            "GP posterior",
+            &mut ok,
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn r5_marker_in_test_code_does_not_count() {
+        let src = "pub fn predict() {}\n#[cfg(test)]\nmod tests {\n  fn t() { debug_assert_finite!(\"x\", &v); }\n}\n";
+        let mut f = Vec::new();
+        check_finite_guard(&scan(src), "GP posterior", &mut f);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn excerpt_clips_long_lines() {
+        let long = "x".repeat(400);
+        let e = excerpt(&long);
+        assert!(e.len() <= 121);
+        assert!(e.ends_with("..."));
+    }
+}

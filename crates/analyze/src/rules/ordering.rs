@@ -1,0 +1,148 @@
+//! R7 — hardware constraints are evaluated before objectives.
+//!
+//! The whole point of HW-IECI / HW-CWEI (HyperPower §III) is that the
+//! power/memory constraint models are *cheap* (a dot product) while the
+//! objective side (GP posterior, expected improvement) is *expensive*.
+//! Any acquisition path that computes the objective before consulting the
+//! constraint indicator both wastes that asymmetry and risks proposing
+//! infeasible configurations. This rule checks, per function body, that
+//! the first constraint call precedes the first objective call whenever
+//! both appear.
+
+use crate::scan::SourceFile;
+use crate::token::{matching_close, TokenKind};
+use crate::{Finding, Rule};
+
+/// Cheap constraint-side calls (hardware indicator / probability).
+const CONSTRAINT_CALLS: &[&str] = &[
+    "predicted_feasible",
+    "feasibility_probability",
+    "acquisition_weight",
+    "satisfied_by",
+    "satisfied_by_measurements",
+];
+
+/// Expensive objective-side acquisition calls.
+const OBJECTIVE_CALLS: &[&str] = &[
+    "expected_improvement",
+    "expected_improvement_at",
+    "probability_of_improvement",
+    "probability_of_improvement_at",
+    "lower_confidence_bound",
+    "lower_confidence_bound_at",
+];
+
+/// R7: within each `fn` body containing both call families, the first
+/// constraint call must come before the first objective call.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let rule = Rule::R7ConstraintOrder;
+    let toks = &file.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        // Find the body `{` of this fn (a `;` first means no body).
+        let mut open = None;
+        let mut k = i + 1;
+        while k < toks.len() {
+            if toks[k].is_punct(";") {
+                break;
+            }
+            if toks[k].is_punct("{") {
+                open = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        let Some(open) = open else {
+            i = k + 1;
+            continue;
+        };
+        let close = matching_close(toks, open, "{", "}").unwrap_or(toks.len() - 1);
+
+        let body = &toks[open..=close.min(toks.len() - 1)];
+        let first_call = |names: &[&str]| {
+            body.iter().enumerate().position(|(j, t)| {
+                t.kind == TokenKind::Ident
+                    && names.contains(&t.text.as_str())
+                    && body.get(j + 1).is_some_and(|p| p.is_punct("("))
+                    // A nested `fn name(` is a definition, not a call.
+                    && !(j > 0 && body[j - 1].is_ident("fn"))
+            })
+        };
+        if let (Some(c), Some(o)) = (first_call(CONSTRAINT_CALLS), first_call(OBJECTIVE_CALLS)) {
+            if o < c {
+                let tok = &body[o];
+                if !file.token_exempt(tok, rule.id()) {
+                    findings.push(super::finding_at(
+                        rule,
+                        file,
+                        tok.line,
+                        format!(
+                            "`{}` (expensive objective) is evaluated before the hardware-constraint check in this function; compute the cheap constraint indicator first (HW-IECI/HW-CWEI)",
+                            tok.text
+                        ),
+                    ));
+                }
+            }
+        }
+        i = close + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(text: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(PathBuf::from("crates/x/src/lib.rs"), text);
+        let mut f = Vec::new();
+        check(&file, &mut f);
+        f
+    }
+
+    #[test]
+    fn objective_before_constraint_fires() {
+        let src = "fn propose(&self) {\n    let ei = expected_improvement_at(m, s, best);\n    let w = self.acquisition_weight(z);\n    score(ei * w);\n}\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R7ConstraintOrder);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn constraint_first_passes() {
+        let src = "fn propose(&self) {\n    let w = self.acquisition_weight(z);\n    if w > 0.0 {\n        let ei = expected_improvement_at(m, s, best);\n    }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn single_family_functions_pass() {
+        assert!(run("fn a(&self) { let w = self.predicted_feasible(z); }\n").is_empty());
+        assert!(run("fn b(&self) { let e = expected_improvement_at(m, s, b); }\n").is_empty());
+        assert!(run("fn c(&self) { plain(); }\n").is_empty());
+    }
+
+    #[test]
+    fn definitions_are_not_calls() {
+        // A file defining the objective helpers must not fire on itself.
+        let src = "fn expected_improvement_at(m: f64, s: f64, best: f64) -> f64 { m + s + best }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn per_function_scoping() {
+        // Objective in one fn, constraint in another: no ordering relation.
+        let src = "fn a(&self) { expected_improvement_at(m, s, b); }\nfn b(&self) { self.predicted_feasible(z); }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn escape_hatch_exempts() {
+        let src = "fn propose(&self) {\n    // analyze::allow(R7)\n    let ei = expected_improvement_at(m, s, best);\n    let w = self.acquisition_weight(z);\n}\n";
+        assert!(run(src).is_empty());
+    }
+}

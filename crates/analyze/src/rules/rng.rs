@@ -1,0 +1,143 @@
+//! R8 — RNGs are constructed only at declared seeded roots and threaded
+//! `&mut` everywhere else.
+//!
+//! Reproducibility in this workspace hinges on a single discipline: each
+//! top-level component derives its RNG once from an explicit seed (a
+//! *seeded root*), and every helper below it borrows that stream as
+//! `&mut StdRng`. A helper that constructs its own RNG — even seeded —
+//! forks the stream and silently decouples replay from the recorded seed;
+//! a helper that takes `StdRng` by value or `&StdRng` either splits or
+//! can't advance the stream.
+
+use crate::scan::SourceFile;
+use crate::token::TokenKind;
+use crate::{Finding, Rule};
+
+/// Files allowed to construct and own RNG state. Everything else must
+/// borrow `&mut StdRng`.
+pub const RNG_ROOTS: &[&str] = &[
+    "crates/core/src/driver.rs",
+    "crates/core/src/profiler.rs",
+    "crates/core/src/scenario.rs",
+    "crates/data/src/generator.rs",
+    "crates/gpu-sim/src/sensor.rs",
+    "crates/nn/src/layers/dropout.rs",
+    "crates/nn/src/network.rs",
+    "crates/nn/src/sim.rs",
+];
+
+/// Seeded-construction methods that only roots may call.
+const CONSTRUCT_IDENTS: &[&str] = &["seed_from_u64", "from_seed", "from_rng"];
+
+/// R8: outside the declared roots, flags RNG construction and non-`&mut`
+/// RNG ownership.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let rule = Rule::R8RngThreading;
+    let rel = file.rel_path.to_string_lossy().replace('\\', "/");
+    if RNG_ROOTS.contains(&rel.as_str()) {
+        return;
+    }
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if CONSTRUCT_IDENTS.contains(&t.text.as_str()) {
+            if !file.token_exempt(t, rule.id()) {
+                findings.push(super::finding_at(
+                    rule,
+                    file,
+                    t.line,
+                    format!(
+                        "`{}` constructs an RNG outside a declared seeded root; accept `&mut StdRng` from the caller instead (roots: see rules::rng::RNG_ROOTS)",
+                        t.text
+                    ),
+                ));
+            }
+            continue;
+        }
+        if t.text == "StdRng" {
+            // How is the type used? Look at the token immediately before.
+            let prev = i.checked_sub(1).and_then(|j| toks.get(j));
+            let problem = match prev {
+                // `rng: StdRng` (owned param/field), `-> StdRng`,
+                // `Option<StdRng>`: holds or transfers an owned stream.
+                Some(p) if p.is_punct(":") || p.is_punct("->") || p.is_punct("<") => {
+                    Some("owns an RNG stream")
+                }
+                // `&StdRng`: a shared borrow can never advance the stream.
+                Some(p) if p.is_punct("&") => Some("takes `&StdRng` (cannot advance the stream)"),
+                // `&mut StdRng`, `use …::StdRng`, `StdRng::…` paths: fine.
+                _ => None,
+            };
+            if let Some(what) = problem {
+                if !file.token_exempt(t, rule.id()) {
+                    findings.push(super::finding_at(
+                        rule,
+                        file,
+                        t.line,
+                        format!(
+                            "{what} outside a declared seeded root; thread the root's stream as `&mut StdRng`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_at(path: &str, text: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(PathBuf::from(path), text);
+        let mut f = Vec::new();
+        check(&file, &mut f);
+        f
+    }
+
+    fn run(text: &str) -> Vec<Finding> {
+        run_at("crates/gp/src/sampler.rs", text)
+    }
+
+    #[test]
+    fn construction_outside_root_fires() {
+        let f = run("let mut rng = StdRng::seed_from_u64(7);\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R8RngThreading);
+    }
+
+    #[test]
+    fn construction_inside_root_is_fine() {
+        let f = run_at(
+            "crates/gpu-sim/src/sensor.rs",
+            "let mut rng = StdRng::seed_from_u64(7);\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn owned_and_shared_rng_params_fire() {
+        assert_eq!(run("fn f(rng: StdRng) {}\n").len(), 1);
+        assert_eq!(run("fn f(rng: &StdRng) {}\n").len(), 1);
+        assert_eq!(run("fn f() -> StdRng { make() }\n").len(), 1);
+        assert_eq!(run("struct S { rng: Option<StdRng> }\n").len(), 1);
+    }
+
+    #[test]
+    fn mut_borrow_and_imports_pass() {
+        assert!(run("fn f(rng: &mut StdRng) { step(rng); }\n").is_empty());
+        assert!(run("use rand::rngs::StdRng;\n").is_empty());
+        assert!(run("fn f(rng: &mut StdRng) -> f64 { draw(rng) }\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_and_allow_are_exempt() {
+        assert!(
+            run("#[cfg(test)]\nmod t {\n fn f() { StdRng::seed_from_u64(1); }\n}\n").is_empty()
+        );
+        assert!(run("// analyze::allow(R8)\nfn f(rng: StdRng) {}\n").is_empty());
+    }
+}

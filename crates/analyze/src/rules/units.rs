@@ -1,0 +1,439 @@
+//! R6 — unit-of-measure discipline on `f64` quantities.
+//!
+//! HyperPower's constraint pipeline moves physical quantities (watts,
+//! mebibytes, seconds, joules) through plain `f64`s at several layers.
+//! Two defenses keep `P(z) ≤ P_B` / `M(z) ≤ M_B` checks honest:
+//!
+//! 1. the typed newtypes in `hyperpower_linalg::units` (`Watts`,
+//!    `Mebibytes`, `Seconds`, `Joules`) make mixups a *compile* error at
+//!    API boundaries, and
+//! 2. this rule enforces naming discipline where raw `f64`s remain
+//!    (regression targets, report rows): a declared `f64` whose name says
+//!    it is a physical quantity must carry a unit suffix (`power_w`,
+//!    `latency_s`, `memory_bytes`, …), and arithmetic or comparison that
+//!    mixes two *different* declared units (`power_w + latency_s`,
+//!    `m_mb <= m_bytes`) is flagged.
+//!
+//! Multiplication and division are exempt from the mixing check — they
+//! legitimately change dimension (`power_w * latency_s` is energy).
+
+use crate::scan::SourceFile;
+use crate::token::{Token, TokenKind};
+use crate::{Finding, Rule};
+
+/// The dimension a unit suffix declares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dim {
+    Power,
+    Energy,
+    Time,
+    Memory,
+    Bandwidth,
+    Compute,
+    Frequency,
+    /// Recognised as "has a suffix" but never participates in mixing
+    /// checks (ratios, percentages, element counts).
+    Dimensionless,
+}
+
+/// Recognised unit suffixes (the final `_`-separated segment of a name).
+const SUFFIXES: &[(&str, Dim)] = &[
+    ("w", Dim::Power),
+    ("mw", Dim::Power),
+    ("kw", Dim::Power),
+    ("watts", Dim::Power),
+    ("j", Dim::Energy),
+    ("kj", Dim::Energy),
+    ("mj", Dim::Energy),
+    ("joules", Dim::Energy),
+    ("s", Dim::Time),
+    ("ms", Dim::Time),
+    ("us", Dim::Time),
+    ("ns", Dim::Time),
+    ("secs", Dim::Time),
+    ("seconds", Dim::Time),
+    ("hours", Dim::Time),
+    ("bytes", Dim::Memory),
+    ("kb", Dim::Memory),
+    ("kib", Dim::Memory),
+    ("mb", Dim::Memory),
+    ("mib", Dim::Memory),
+    ("gb", Dim::Memory),
+    ("gib", Dim::Memory),
+    ("gbps", Dim::Bandwidth),
+    ("mbps", Dim::Bandwidth),
+    ("flops", Dim::Compute),
+    ("gflops", Dim::Compute),
+    ("tflops", Dim::Compute),
+    ("hz", Dim::Frequency),
+    ("khz", Dim::Frequency),
+    ("mhz", Dim::Frequency),
+    ("ghz", Dim::Frequency),
+    ("pct", Dim::Dimensionless),
+    ("frac", Dim::Dimensionless),
+    ("ratio", Dim::Dimensionless),
+    ("elems", Dim::Dimensionless),
+    ("count", Dim::Dimensionless),
+];
+
+/// Name segments that mark a declaration as a physical quantity. Matched
+/// as whole snake-case segments, so `lifetime` and `timestamp` never hit
+/// the `time` stem.
+const QUANTITY_STEMS: &[&str] = &[
+    "power",
+    "powers",
+    "energy",
+    "energies",
+    "latency",
+    "latencies",
+    "memory",
+    "watt",
+    "watts",
+    "joule",
+    "joules",
+    "time",
+    "duration",
+    "durations",
+    "runtime",
+    "bandwidth",
+];
+
+/// The suffix `--fix` appends for each stem (workspace canonical units:
+/// watts, joules, seconds, bytes, Gbit/s).
+const STEM_FIX_SUFFIX: &[(&str, &str)] = &[
+    ("power", "_w"),
+    ("powers", "_w"),
+    ("watt", "_w"),
+    ("watts", "_w"),
+    ("energy", "_j"),
+    ("energies", "_j"),
+    ("joule", "_j"),
+    ("joules", "_j"),
+    ("latency", "_s"),
+    ("latencies", "_s"),
+    ("time", "_s"),
+    ("duration", "_s"),
+    ("durations", "_s"),
+    ("runtime", "_s"),
+    ("memory", "_bytes"),
+    ("bandwidth", "_gbps"),
+];
+
+/// Looks up the declared unit of a snake-case name: the suffix string and
+/// its dimension, from the final `_`-segment (or the whole name).
+fn declared_unit(name: &str) -> Option<(&'static str, Dim)> {
+    let last = name.rsplit('_').next().unwrap_or(name);
+    SUFFIXES
+        .iter()
+        .find(|(s, _)| *s == last)
+        .map(|(s, d)| (*s, *d))
+}
+
+/// Whether any snake-case segment of `name` is a quantity stem.
+fn quantity_stem(name: &str) -> Option<&'static str> {
+    name.split('_')
+        .find_map(|seg| QUANTITY_STEMS.iter().find(|s| **s == seg).copied())
+}
+
+/// The suffix `--fix` would append to an unsuffixed quantity name, if the
+/// stem maps to a canonical unit. Used by the autofix engine.
+pub(crate) fn suggested_suffix(name: &str) -> Option<&'static str> {
+    let stem = quantity_stem(name)?;
+    STEM_FIX_SUFFIX
+        .iter()
+        .find(|(s, _)| *s == stem)
+        .map(|(_, suf)| *suf)
+}
+
+/// Whether `name` needs a unit suffix and lacks one: a lowercase
+/// snake-case quantity name whose final segment is not a recognised unit.
+/// Shared with the autofix engine.
+pub(crate) fn missing_suffix(name: &str) -> bool {
+    !name.chars().any(|c| c.is_ascii_uppercase())
+        && quantity_stem(name).is_some()
+        && declared_unit(name).is_none()
+}
+
+/// R6 entry point: declaration, return-type, and unit-mixing checks.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    check_declarations(file, findings);
+    check_returns(file, findings);
+    check_mixing(file, findings);
+}
+
+/// `power: f64` — a field, param or binding declared as a bare `f64`
+/// whose name says "physical quantity" but carries no unit.
+fn check_declarations(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let rule = Rule::R6UnitDiscipline;
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let typed_f64 = toks.get(i + 1).is_some_and(|c| c.is_punct(":"))
+            && toks.get(i + 2).is_some_and(|ty| ty.is_ident("f64"));
+        if !typed_f64 || !missing_suffix(&t.text) || file.token_exempt(t, rule.id()) {
+            continue;
+        }
+        let suggestion = suggested_suffix(&t.text)
+            .map(|s| format!(" (e.g. `{}{}`)", t.text, s))
+            .unwrap_or_default();
+        findings.push(super::finding_at(
+            rule,
+            file,
+            t.line,
+            format!(
+                "`{}: f64` is a physical quantity without a unit suffix; name the unit{} or use a typed newtype (`Watts`, `Mebibytes`, `Seconds`, `Joules`)",
+                t.text, suggestion
+            ),
+        ));
+    }
+}
+
+/// `fn total_time(…) -> f64` — a function returning a bare `f64` whose
+/// name says "physical quantity" but carries no unit.
+fn check_returns(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let rule = Rule::R6UnitDiscipline;
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if !(toks[i].is_punct("->") && toks.get(i + 1).is_some_and(|ty| ty.is_ident("f64"))) {
+            continue;
+        }
+        // Walk back to the `fn` of this signature; stop at any statement
+        // boundary so we never cross into a previous item (closures and
+        // `fn`-pointer types have no reachable `fn` and are skipped).
+        let Some(name) = (0..i).rev().find_map(|j| {
+            let t = &toks[j];
+            if t.is_punct("{") || t.is_punct("}") || t.is_punct(";") || t.is_punct("=") {
+                return Some(None); // boundary: not a named fn signature
+            }
+            if t.is_ident("fn") {
+                return Some(toks.get(j + 1).filter(|n| n.kind == TokenKind::Ident));
+            }
+            None
+        }) else {
+            continue;
+        };
+        let Some(name) = name else { continue };
+        if !missing_suffix(&name.text) || file.token_exempt(name, rule.id()) {
+            continue;
+        }
+        let suggestion = suggested_suffix(&name.text)
+            .map(|s| format!(" (e.g. `{}{}`)", name.text, s))
+            .unwrap_or_default();
+        findings.push(super::finding_at(
+            rule,
+            file,
+            name.line,
+            format!(
+                "`fn {}` returns a bare `f64` physical quantity without a unit suffix; name the unit{} or return a typed newtype",
+                name.text, suggestion
+            ),
+        ));
+    }
+}
+
+/// Additive/comparison operators that require both operands to be in the
+/// same unit. `*` and `/` are absent: they change dimension legitimately.
+const SAME_UNIT_OPS: &[&str] = &["+", "-", "+=", "-=", "<", ">", "<=", ">=", "==", "!="];
+
+/// `power_w + latency_s`, `m_mb <= m_bytes` — additive or comparison
+/// arithmetic whose operands declare *different* units.
+fn check_mixing(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let rule = Rule::R6UnitDiscipline;
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let op = &toks[i];
+        if op.kind != TokenKind::Punct || !SAME_UNIT_OPS.contains(&op.text.as_str()) {
+            continue;
+        }
+        let Some(lhs) = i.checked_sub(1).and_then(|j| toks.get(j)) else {
+            continue;
+        };
+        if lhs.kind != TokenKind::Ident {
+            continue;
+        }
+        // Precedence guard: if either operand is itself a factor of a
+        // product/quotient (`a_s + flops / throughput_flops`), the
+        // adjacent ident's unit is not the operand's unit — skip.
+        let lhs_in_product = i
+            .checked_sub(2)
+            .and_then(|j| toks.get(j))
+            .is_some_and(|p| p.is_punct("*") || p.is_punct("/"));
+        let Some(rhs_off) = rhs_operand_ident(&toks[i + 1..]) else {
+            continue;
+        };
+        let rhs = &toks[i + 1 + rhs_off];
+        let rhs_in_product = toks
+            .get(i + 1 + rhs_off + 1)
+            .is_some_and(|p| p.is_punct("*") || p.is_punct("/"));
+        if lhs_in_product || rhs_in_product {
+            continue;
+        }
+        let (Some((ls, ld)), Some((rs, rd))) = (declared_unit(&lhs.text), declared_unit(&rhs.text))
+        else {
+            continue;
+        };
+        if ld == Dim::Dimensionless || rd == Dim::Dimensionless || ls == rs {
+            continue;
+        }
+        if file.token_exempt(op, rule.id()) {
+            continue;
+        }
+        let kind = if ld == rd {
+            "mixed scales of the same dimension"
+        } else {
+            "mixed dimensions"
+        };
+        findings.push(super::finding_at(
+            rule,
+            file,
+            op.line,
+            format!(
+                "`{} {} {}` {}: `_{ls}` vs `_{rs}`; convert explicitly or use typed newtypes",
+                lhs.text, op.text, rhs.text, kind
+            ),
+        ));
+    }
+}
+
+/// The identifier carrying the unit on the right of an operator: skips
+/// over `self`, `.`, `(`, `&` and unary `-`/`*` so `self.latency_s` and
+/// `(total_bytes)` resolve to the suffixed name. Returns the offset into
+/// `rest`.
+fn rhs_operand_ident(rest: &[Token]) -> Option<usize> {
+    for (off, t) in rest.iter().enumerate().take(5) {
+        match t.kind {
+            TokenKind::Ident if t.text != "self" => return Some(off),
+            TokenKind::Ident => continue, // `self`
+            TokenKind::Punct if matches!(t.text.as_str(), "." | "(" | "&" | "-" | "*" | "::") => {
+                continue
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(text: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(PathBuf::from("crates/x/src/lib.rs"), text);
+        let mut f = Vec::new();
+        check(&file, &mut f);
+        f
+    }
+
+    #[test]
+    fn unsuffixed_quantity_field_fires() {
+        let f = run("pub struct R { pub power: f64 }\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("power_w"));
+    }
+
+    #[test]
+    fn suffixed_and_typed_fields_pass() {
+        assert!(run("pub struct R { pub power_w: f64, pub memory_mib: f64 }\n").is_empty());
+        assert!(run("pub struct R { pub power: Watts }\n").is_empty());
+        assert!(run("pub struct R { pub memory: Option<f64> }\n").is_empty());
+    }
+
+    #[test]
+    fn stems_match_whole_segments_only() {
+        // `lifetime` must not hit the `time` stem; `timestamp_s` is fine.
+        assert!(run("fn f(lifetime: f64) {}\n").is_empty());
+        assert!(run("fn f(timestamp_s: f64) {}\n").is_empty());
+        assert_eq!(run("fn f(total_time: f64) {}\n").len(), 1);
+    }
+
+    #[test]
+    fn unsuffixed_param_and_return_fire() {
+        assert_eq!(run("fn f(latency: f64) {}\n").len(), 1);
+        let f = run("fn total_time(&self) -> f64 { 0.0 }\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("total_time_s"));
+    }
+
+    #[test]
+    fn suffixed_return_and_nonquantity_pass() {
+        assert!(run("fn total_time_s(&self) -> f64 { 0.0 }\n").is_empty());
+        assert!(run("fn utilization(&self) -> f64 { 0.0 }\n").is_empty());
+        // `-> Option<f64>` is not a bare f64 return.
+        assert!(run("fn duration(&self) -> Option<f64> { None }\n").is_empty());
+    }
+
+    #[test]
+    fn closures_and_fn_pointer_types_are_skipped() {
+        assert!(run("let g = |x: u32| -> f64 { f(x) };\n").is_empty());
+        assert!(run("type F = fn(u32) -> f64;\n").is_empty());
+    }
+
+    #[test]
+    fn mixing_dimensions_fires() {
+        let f = run("let x = power_w + latency_s;\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("mixed dimensions"));
+    }
+
+    #[test]
+    fn mixing_scales_fires() {
+        let f = run("if used_mb <= budget_bytes { go(); }\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("mixed scales"));
+    }
+
+    #[test]
+    fn mixing_through_self_and_parens() {
+        assert_eq!(run("let e = self.power_w - self.latency_s;\n").len(), 1);
+        assert_eq!(run("let e = power_w + (latency_s);\n").len(), 1);
+    }
+
+    #[test]
+    fn same_unit_and_conversions_pass() {
+        assert!(run("let p = idle_power_w + dynamic_power_w;\n").is_empty());
+        // Multiplication/division change dimension legitimately.
+        assert!(run("let e_j = power_w * latency_s;\n").is_empty());
+        assert!(run("let w = energy_j / latency_s;\n").is_empty());
+        // Comparisons against literals or unsuffixed names don't fire.
+        assert!(run("if power_w > 0.0 { go(); }\n").is_empty());
+        assert!(run("if power_w > limit { go(); }\n").is_empty());
+    }
+
+    #[test]
+    fn precedence_guard_skips_products() {
+        // `flops / throughput_flops` *is* seconds; the ident adjacent to
+        // `+` does not carry the operand's unit.
+        assert!(run("let t = overhead_s + flops / throughput_flops;\n").is_empty());
+        assert!(run("let t = overhead_s + epoch_secs * n;\n").is_empty());
+        assert!(run("let t = n * epoch_secs + overhead_s;\n").is_empty());
+    }
+
+    #[test]
+    fn dimensionless_suffixes_never_mix() {
+        assert!(run("let r = speedup_ratio + wait_frac;\n").is_empty());
+        assert!(run("if util_pct < batch_elems { go(); }\n").is_empty());
+    }
+
+    #[test]
+    fn generics_do_not_false_positive() {
+        assert!(run("fn f(x: Vec<f64>, y: Option<Watts>) {}\n").is_empty());
+    }
+
+    #[test]
+    fn escape_hatch_and_tests_exempt() {
+        assert!(run("// analyze::allow(R6)\nfn f(power: f64) {}\n").is_empty());
+        assert!(run("#[cfg(test)]\nmod t {\n fn f(power: f64) {}\n}\n").is_empty());
+    }
+
+    #[test]
+    fn fix_suggestions() {
+        assert_eq!(suggested_suffix("power"), Some("_w"));
+        assert_eq!(suggested_suffix("total_time"), Some("_s"));
+        assert_eq!(suggested_suffix("peak_memory"), Some("_bytes"));
+        assert_eq!(suggested_suffix("utilization"), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! SARIF 2.1.0 output.
+//!
+//! Emits the minimal valid subset of the Static Analysis Results
+//! Interchange Format that code-review UIs (GitHub code scanning, VS
+//! Code SARIF viewers) consume: one run, the rule catalogue under
+//! `tool.driver.rules`, and one result per finding with a physical
+//! location. Output is deterministic: findings arrive pre-sorted from
+//! [`crate::analyze_workspace`] and rules are emitted in id order.
+
+use crate::{json_escape, Report, Rule};
+
+/// The SARIF schema this writer targets.
+const SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Serialises a report as a SARIF 2.1.0 log.
+pub fn to_sarif(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"$schema\": \"{SCHEMA}\",\n"));
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"hyperpower-analyze\",\n");
+    out.push_str("          \"informationUri\": \"https://arxiv.org/abs/1712.02446\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"name\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            rule.id(),
+            rule.slug(),
+            json_escape(rule.description()),
+            if i + 1 < Rule::ALL.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        let rule_index = Rule::ALL
+            .iter()
+            .position(|r| *r == f.rule)
+            .unwrap_or_default();
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"ruleId\": \"{}\",\n", f.rule.id()));
+        out.push_str(&format!("          \"ruleIndex\": {rule_index},\n"));
+        out.push_str("          \"level\": \"error\",\n");
+        out.push_str(&format!(
+            "          \"message\": {{\"text\": \"{}\"}},\n",
+            json_escape(&f.message)
+        ));
+        out.push_str(&format!(
+            "          \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\", \"uriBaseId\": \"SRCROOT\"}}, \"region\": {{\"startLine\": {}}}}}}}]\n",
+            json_escape(&f.file),
+            f.line.max(1)
+        ));
+        out.push_str(&format!(
+            "        }}{}\n",
+            if i + 1 < report.findings.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Finding;
+
+    #[test]
+    fn sarif_contains_rules_and_results() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: Rule::R6UnitDiscipline,
+                file: "crates/a/src/lib.rs".to_string(),
+                line: 12,
+                excerpt: "let power: f64 = 1.0;".to_string(),
+                message: "needs a \"unit\" suffix".to_string(),
+            }],
+            files_scanned: 1,
+        };
+        let s = to_sarif(&report);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"R6\""));
+        assert!(s.contains("\"startLine\": 12"));
+        assert!(s.contains("needs a \\\"unit\\\" suffix"));
+        // One rule descriptor per rule.
+        assert_eq!(s.matches("\"shortDescription\"").count(), Rule::ALL.len());
+        // Cheap well-formedness smoke checks.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let report = Report {
+            findings: vec![],
+            files_scanned: 0,
+        };
+        let s = to_sarif(&report);
+        assert!(s.contains("\"results\": [\n      ]"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+}

@@ -1,14 +1,16 @@
 //! Source-file model for the analyzer.
 //!
-//! Parses a Rust source file just deeply enough for reliable line-level
-//! pattern rules: comments and string literals are blanked out (so a
-//! forbidden token inside an error message never counts), `#[cfg(test)]`
-//! regions are marked (test code is exempt from most rules), and
+//! Parses a Rust source file just deeply enough for reliable token-level
+//! rules: comments and string literals are blanked out (so a forbidden
+//! token inside an error message never counts), the remaining text is
+//! tokenized (see [`crate::token`]), `#[cfg(test)]` regions are marked
+//! from the token stream (test code is exempt from most rules), and
 //! `// analyze::allow(<rule>)` escape-hatch markers are collected.
 
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
+use crate::token::{matching_close, tokenize, Token};
 use crate::{Error, Result};
 
 /// One scanned line of source.
@@ -34,6 +36,9 @@ pub struct SourceFile {
     pub rel_path: PathBuf,
     /// The scanned lines, in order.
     pub lines: Vec<Line>,
+    /// The token stream of the stripped source (comments/strings blanked
+    /// before lexing, so their contents never produce tokens).
+    pub tokens: Vec<Token>,
 }
 
 impl SourceFile {
@@ -44,10 +49,7 @@ impl SourceFile {
             path: path.to_path_buf(),
             source,
         })?;
-        let rel_path = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_path_buf();
+        let rel_path = path.strip_prefix(root).unwrap_or(path).to_path_buf();
         Ok(Self::from_source(rel_path, &text))
     }
 
@@ -56,59 +58,11 @@ impl SourceFile {
         let stripped = strip_comments_and_strings(text);
         let raw_lines: Vec<&str> = text.lines().collect();
         let code_lines: Vec<&str> = stripped.lines().collect();
+        let tokens = tokenize(&stripped);
 
-        // Pass 1: brace depth at the start of each line + cfg(test) regions.
-        let mut in_test_flags = vec![false; raw_lines.len()];
-        let mut depth: i64 = 0;
-        // Depth at which the innermost active #[cfg(test)] region opened;
-        // None when outside any test region.
-        let mut test_region_depth: Option<i64> = None;
-        let mut pending_cfg_test = false;
-        for (i, code) in code_lines.iter().enumerate() {
-            let entering_depth = depth;
-            let opens = code.matches('{').count() as i64;
-            let closes = code.matches('}').count() as i64;
+        let in_test_flags = test_region_lines(&tokens, raw_lines.len());
 
-            if let Some(d) = test_region_depth {
-                in_test_flags[i] = true;
-                // Region ends when the closing brace returns us to its depth.
-                if entering_depth + opens - closes <= d {
-                    // The line containing the closing brace is still "test".
-                    if entering_depth - closes < d || closes > 0 {
-                        test_region_depth =
-                            if entering_depth + opens - closes <= d && closes >= opens {
-                                None
-                            } else {
-                                test_region_depth
-                            };
-                    }
-                    if entering_depth + opens - closes <= d {
-                        test_region_depth = None;
-                    }
-                }
-            } else if pending_cfg_test {
-                // The attribute applies to the next item; once we see its
-                // opening brace the region starts.
-                in_test_flags[i] = true;
-                if opens > closes {
-                    test_region_depth = Some(entering_depth);
-                    pending_cfg_test = false;
-                } else if !code.trim().is_empty() && !code.trim_start().starts_with("#[") {
-                    // An item without a body (e.g. `mod tests;`): the
-                    // attribute consumed, no region to track.
-                    pending_cfg_test = false;
-                }
-            }
-
-            if test_region_depth.is_none() && code.contains("cfg(test)") && code.contains("#[") {
-                in_test_flags[i] = true;
-                pending_cfg_test = true;
-            }
-
-            depth = entering_depth + opens - closes;
-        }
-
-        // Pass 2: allow markers. A marker covers its own line and the next.
+        // Allow markers: a marker covers its own line and the next.
         let mut allows: Vec<HashSet<String>> = vec![HashSet::new(); raw_lines.len()];
         for (i, raw) in raw_lines.iter().enumerate() {
             if let Some(ids) = parse_allow_marker(raw) {
@@ -130,16 +84,121 @@ impl SourceFile {
                 number: i + 1,
                 raw: (*raw).to_string(),
                 code: code_lines.get(i).copied().unwrap_or("").to_string(),
-                in_test: in_test_flags[i],
+                in_test: in_test_flags.get(i).copied().unwrap_or(false),
                 allowed: std::mem::take(&mut allows[i]),
             })
             .collect();
-        SourceFile { rel_path, lines }
+        SourceFile {
+            rel_path,
+            lines,
+            tokens,
+        }
+    }
+
+    /// Whether `line` (1-based) sits inside a `#[cfg(test)]` region.
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.lines
+            .get(line.saturating_sub(1))
+            .is_some_and(|l| l.in_test)
+    }
+
+    /// Whether `rule_id` is allowed on `line` (1-based) via the escape
+    /// hatch.
+    pub fn line_allowed(&self, line: usize, rule_id: &str) -> bool {
+        self.lines
+            .get(line.saturating_sub(1))
+            .is_some_and(|l| l.allowed.contains(rule_id))
+    }
+
+    /// A token's line is exempt from a rule when it is test code or the
+    /// rule is explicitly allowed there.
+    pub fn token_exempt(&self, token: &Token, rule_id: &str) -> bool {
+        self.line_in_test(token.line) || self.line_allowed(token.line, rule_id)
+    }
+
+    /// The raw text of a 1-based line, trimmed, for finding excerpts.
+    pub fn excerpt_at(&self, line: usize) -> String {
+        self.lines
+            .get(line.saturating_sub(1))
+            .map(|l| crate::rules::excerpt(&l.raw))
+            .unwrap_or_default()
     }
 }
 
+/// Computes, from the token stream, which lines fall inside a
+/// `#[cfg(test)]` region: the attribute itself, any stacked attributes,
+/// and the annotated item through its closing brace (or terminating
+/// semicolon for body-less items). Token-based matching handles the cases
+/// a line scanner silently misses: the attribute and the item's opening
+/// brace on one line (`#[cfg(test)] mod t { … }`), stacked attributes,
+/// and brace counts confused by braces in (already-blanked) strings.
+///
+/// `#[cfg(...)]` groups mentioning `not` (e.g. `#[cfg(not(test))]`) are
+/// *not* test regions: that code is live in production builds and must
+/// stay checked.
+fn test_region_lines(tokens: &[Token], line_count: usize) -> Vec<bool> {
+    let mut flags = vec![false; line_count];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching_close(tokens, i + 1, "[", "]") else {
+            break;
+        };
+        let group = &tokens[i + 2..close];
+        let is_cfg_test = group.iter().any(|t| t.is_ident("cfg"))
+            && group.iter().any(|t| t.is_ident("test"))
+            && !group.iter().any(|t| t.is_ident("not"));
+        if !is_cfg_test {
+            i = close + 1;
+            continue;
+        }
+
+        let start_line = tokens[i].line;
+        // Skip stacked attributes on the same item.
+        let mut j = close + 1;
+        while j + 1 < tokens.len() && tokens[j].is_punct("#") && tokens[j + 1].is_punct("[") {
+            match matching_close(tokens, j + 1, "[", "]") {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        // The item extends to its matching close brace, or to the first
+        // semicolon for body-less items (`mod tests;`, `use …;`).
+        let mut end_line = tokens.get(j).map_or(start_line, |t| t.line);
+        let mut k = j;
+        while k < tokens.len() {
+            if tokens[k].is_punct(";") {
+                end_line = tokens[k].line;
+                break;
+            }
+            if tokens[k].is_punct("{") {
+                match matching_close(tokens, k, "{", "}") {
+                    Some(c) => {
+                        end_line = tokens[c].line;
+                        k = c;
+                    }
+                    None => {
+                        // Unbalanced (mid-edit source): mark to EOF.
+                        end_line = line_count;
+                    }
+                }
+                break;
+            }
+            k += 1;
+        }
+        for line in start_line..=end_line.min(line_count) {
+            flags[line - 1] = true;
+        }
+        i = k.max(j) + 1;
+    }
+    flags
+}
+
 /// Extracts rule ids from an `analyze::allow(R1, R4)` marker, if present.
-fn parse_allow_marker(line: &str) -> Option<Vec<String>> {
+pub(crate) fn parse_allow_marker(line: &str) -> Option<Vec<String>> {
     let idx = line.find("analyze::allow(")?;
     let rest = &line[idx + "analyze::allow(".len()..];
     let close = rest.find(')')?;
@@ -157,8 +216,9 @@ fn parse_allow_marker(line: &str) -> Option<Vec<String>> {
 
 /// Blanks comments, string literals and char literals to spaces, preserving
 /// line structure so line numbers survive. Handles `//`, `/* */` (nested),
-/// `"…"` with escapes, raw strings `r"…"` / `r#"…"#`, and char literals
-/// (without mistaking lifetimes for them).
+/// `"…"` with escapes, raw strings `r"…"` / `r#"…"#` (and their `br`
+/// byte-string forms), and char literals (without mistaking lifetimes for
+/// them).
 fn strip_comments_and_strings(text: &str) -> String {
     #[derive(Clone, Copy, PartialEq)]
     enum State {
@@ -352,6 +412,7 @@ mod tests {
         assert!(!f.lines[0].code.contains("thread_rng"));
         assert!(f.lines[0].raw.contains("thread_rng"));
         assert!(f.lines[1].code.contains("let b"));
+        assert!(!f.tokens.iter().any(|t| t.text == "thread_rng"));
     }
 
     #[test]
@@ -363,10 +424,55 @@ mod tests {
     }
 
     #[test]
+    fn nested_block_comments_fully_blanked() {
+        // A nested `/* /* */ */` must not resurface code after the inner
+        // close: everything through the *outer* close is comment.
+        let f = scan("a /* x /* y */ println!(\"z\") */ b\n");
+        assert!(!f.lines[0].code.contains("println"));
+        assert!(f.lines[0].code.contains('b'));
+        // Multi-line nesting.
+        let g = scan("/* outer\n/* inner */\nstill_comment\n*/ live();\n");
+        assert!(!g.lines[2].code.contains("still_comment"));
+        assert!(g.lines[3].code.contains("live"));
+    }
+
+    #[test]
     fn raw_strings_are_blanked() {
         let f = scan("let s = r#\"println!(\"hi\")\"#; call();\n");
         assert!(!f.lines[0].code.contains("println"));
         assert!(f.lines[0].code.contains("call()"));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_are_blanked() {
+        // `r##"…"##` may contain a `"#` without closing; only `"##` closes.
+        let f = scan("let s = r##\"a \"# b println!()\"##; live();\n");
+        assert!(!f.lines[0].code.contains("println"));
+        assert!(f.lines[0].code.contains("live()"));
+    }
+
+    #[test]
+    fn multiline_raw_string_preserves_line_numbers() {
+        let f = scan("let s = r#\"first\nthread_rng()\nlast\"#;\nafter();\n");
+        assert_eq!(f.lines.len(), 4);
+        assert!(!f.lines[1].code.contains("thread_rng"));
+        assert!(f.lines[3].code.contains("after"));
+        let after = f.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_blanked() {
+        let f = scan("let a = b\"dbg!\"; let c = br#\"eprintln!\"#; live();\n");
+        assert!(!f.lines[0].code.contains("dbg"));
+        assert!(!f.lines[0].code.contains("eprintln"));
+        assert!(f.lines[0].code.contains("live()"));
+    }
+
+    #[test]
+    fn raw_identifiers_survive_stripping() {
+        let f = scan("let r#match = 1; use_it(r#match);\n");
+        assert!(f.lines[0].code.contains("match"));
     }
 
     #[test]
@@ -380,7 +486,8 @@ mod tests {
 
     #[test]
     fn cfg_test_region_is_marked() {
-        let text = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn after() {}\n";
+        let text =
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn after() {}\n";
         let f = scan(text);
         assert!(!f.lines[0].in_test);
         assert!(f.lines[1].in_test);
@@ -388,6 +495,59 @@ mod tests {
         assert!(f.lines[3].in_test);
         assert!(f.lines[4].in_test);
         assert!(!f.lines[5].in_test, "code after the test module is live");
+    }
+
+    #[test]
+    fn cfg_test_inline_mod_on_one_line() {
+        // The attribute, the mod and its body on a single line — a silent
+        // false-negative source for the old line scanner (the pending
+        // attribute was only applied from the *next* line on).
+        let text = "#[cfg(test)] mod tests { fn t() { thread_rng(); } }\nfn live() {}\n";
+        let f = scan(text);
+        assert!(f.lines[0].in_test, "inline test mod must be marked");
+        assert!(!f.lines[1].in_test);
+        // Attribute and opening brace on one line, body below.
+        let g = scan("#[cfg(test)] mod tests {\n    fn t() {}\n}\nfn live() {}\n");
+        assert!(g.lines[0].in_test);
+        assert!(g.lines[1].in_test);
+        assert!(g.lines[2].in_test);
+        assert!(!g.lines[3].in_test);
+    }
+
+    #[test]
+    fn cfg_test_with_stacked_attributes() {
+        let text = "#[cfg(test)]\n#[allow(clippy::float_cmp)]\nmod tests {\n    fn t() {}\n}\nfn live() {}\n";
+        let f = scan(text);
+        for i in 0..5 {
+            assert!(f.lines[i].in_test, "line {} must be test", i + 1);
+        }
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let f = scan("#[cfg(not(test))]\nfn live() { x(); }\n");
+        assert!(!f.lines[1].in_test, "cfg(not(test)) code is live");
+    }
+
+    #[test]
+    fn cfg_test_bodyless_item() {
+        let f = scan("#[cfg(test)]\nmod tests;\nfn live() {}\n");
+        assert!(f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_confuse_test_regions() {
+        // A stray `}` inside a string used to be invisible to the line
+        // scanner too (strings are blanked), but `{` counts from *raw*
+        // text would end the region early. Token-based matching is immune.
+        let text = "#[cfg(test)]\nmod tests {\n    fn t() { let s = \"}}}\"; }\n}\nfn live() {}\n";
+        let f = scan(text);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[4].in_test);
     }
 
     #[test]

@@ -5,7 +5,6 @@
 //! training (simulated hours). These benches pin the left side of that
 //! hierarchy on real hardware.
 
-
 // Benches are harness code: panicking on a broken setup is correct.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 

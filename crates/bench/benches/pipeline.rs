@@ -2,7 +2,6 @@
 //! model fitting, one BO proposal step, and a complete (short) optimization
 //! run. These bound the real-CPU cost of regenerating the paper's tables.
 
-
 // Benches are harness code: panicking on a broken setup is correct.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 

@@ -8,7 +8,6 @@
 //! hard constraint indicators, on CIFAR-10/GTX 1070 with 50 function
 //! evaluations × 5 runs.
 
-
 // Experiment binaries are terminal programs: printing results and
 // panicking on setup failures are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]

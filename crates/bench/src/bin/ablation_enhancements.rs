@@ -6,7 +6,6 @@
 //! budget, 3 runs) all four combinations are compared on best feasible
 //! error, queried samples and time-to-first-feasible.
 
-
 // Experiment binaries are terminal programs: printing results and
 // panicking on setup failures are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]

@@ -6,7 +6,6 @@
 //! feature map buys on each device–dataset pair, at the same `L = 100`
 //! profiling budget.
 
-
 // Experiment binaries are terminal programs: printing results and
 // panicking on setup failures are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]

@@ -8,7 +8,6 @@
 //! (HyperPower mode, 5 h virtual budget, 3 runs each) and shows the
 //! sweet-spot behaviour that makes the method fragile.
 
-
 // Experiment binaries are terminal programs: printing results and
 // panicking on setup failures are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]

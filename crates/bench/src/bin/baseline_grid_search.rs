@@ -7,7 +7,6 @@
 //! lattice over 13 dimensions spends its entire budget in a corner of the
 //! space, while random search with the same budget covers every dimension.
 
-
 // Experiment binaries are terminal programs: printing results and
 // panicking on setup failures are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]

@@ -6,7 +6,6 @@
 //! that low-error designs exist inside each feasible region (the
 //! preconditions for every experiment harness).
 
-
 // Experiment binaries are terminal programs: printing results and
 // panicking on setup failures are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
@@ -35,15 +34,13 @@ fn main() {
             let c = Config::random(&mut rng, scenario.space.dim());
             let d = scenario.space.decode(&c).expect("valid space");
             let r = analyze(&scenario.device, &d.arch);
-            powers.push(r.power_w);
-            mems.push(r.memory_bytes as f64 / (1024f64 * 1024.0 * 1024.0));
+            powers.push(r.power.get());
+            mems.push(r.memory.as_gib());
             // Error floor with *good* training hyper-parameters: what a
             // competent optimizer could get from this architecture.
             let err = sim.asymptotic_error(&d.arch, &good_hyper);
             best_overall_err = best_overall_err.min(err);
-            let ok = scenario
-                .budgets
-                .satisfied_by(r.power_w, Some(r.memory_bytes));
+            let ok = scenario.budgets.satisfied_by(r.power, Some(r.memory));
             if ok {
                 feasible += 1;
                 errs_feasible.push(err);
@@ -61,14 +58,14 @@ fn main() {
             q(&powers, 0.5),
             q(&powers, 0.75),
             q(&powers, 1.0),
-            scenario.budgets.power_w
+            scenario.budgets.power
         );
         println!(
             "  mem GiB:  min {:.3}  p50 {:.3}  max {:.3}  (budget {:?})",
             q(&mems, 0.0),
             q(&mems, 0.5),
             q(&mems, 1.0),
-            scenario.budgets.memory_gib
+            scenario.budgets.memory.map(|m| m.as_gib())
         );
         println!(
             "  feasible: {:.1}%   best-arch error: feasible {:.4} / overall {:.4}",

@@ -10,7 +10,6 @@
 //! spread plus the two motivating design points (iso-error power savings,
 //! iso-power error reduction).
 
-
 // Experiment binaries are terminal programs: printing results and
 // panicking on setup failures are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
@@ -35,7 +34,7 @@ fn main() {
         let decoded = scenario.space.decode(&config).expect("valid space");
         let outcome = sim.simulate(&decoded.arch, &decoded.hyper, i);
         let power = gpu.measure_power(&decoded.arch);
-        points.push((power, outcome.final_error * 100.0));
+        points.push((power.get(), outcome.final_error * 100.0));
     }
 
     let series = vec![Series::new(
@@ -93,7 +92,7 @@ fn main() {
             .expect("in range"),
         )
         .expect("valid");
-    let ref_power = gpu.analyze(&reference.arch).power_w;
+    let ref_power = gpu.analyze(&reference.arch).power.get();
     let ref_err = sim
         .simulate(&reference.arch, &reference.hyper, 999)
         .final_error

@@ -8,7 +8,6 @@
 //!   identifiable within the first few epochs (accuracy stuck at chance),
 //!   enabling early termination.
 
-
 // Experiment binaries are terminal programs: printing results and
 // panicking on setup failures are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
@@ -39,7 +38,7 @@ fn main() {
         for epoch in [1usize, 5, 10, 20, 30] {
             // A measurement at this checkpoint: the architecture (hence
             // true power) is unchanged; only sensor noise differs.
-            pts.push((epoch as f64, gpu.measure_power(&decoded.arch)));
+            pts.push((epoch as f64, gpu.measure_power(&decoded.arch).get()));
         }
         let spread = pts
             .iter()

@@ -8,7 +8,6 @@
 //! * **Right** — test error of every individual evaluation (BO methods
 //!   concentrate in high-performance regions; random methods scatter).
 
-
 // Experiment binaries are terminal programs: printing results and
 // panicking on setup failures are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
@@ -116,8 +115,8 @@ fn main() {
         scenario.name,
         evals,
         RUNS,
-        scenario.budgets.power_w.unwrap_or_default(),
-        scenario.budgets.memory_gib.unwrap_or_default()
+        scenario.budgets.power.unwrap_or_default().get(),
+        scenario.budgets.memory.unwrap_or_default().as_gib()
     );
 
     let mut session = Session::new(scenario, 21).expect("session setup");

@@ -6,7 +6,6 @@
 //! fitted on 100 profiled configurations (10-fold CV) and evaluated here
 //! on 100 *fresh* configurations per pair.
 
-
 // Experiment binaries are terminal programs: printing results and
 // panicking on setup failures are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
@@ -42,8 +41,8 @@ fn main() {
         for _ in 0..100 {
             let config = Config::random(&mut rng, space.dim());
             let decoded = space.decode(&config).expect("valid");
-            let actual = gpu.measure_power(&decoded.arch);
-            let predicted = session.models().predict_power(&decoded.structural);
+            let actual = gpu.measure_power(&decoded.arch).get();
+            let predicted = session.models().predict_power(&decoded.structural).get();
             pts.push((actual, predicted));
             actuals.push(actual);
             predictions.push(predicted);

@@ -6,7 +6,6 @@
 //! enhancements off), 5-hour virtual budget. All solid curves should lie
 //! to the left of the dotted ones.
 
-
 // Experiment binaries are terminal programs: printing results and
 // panicking on setup failures are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]

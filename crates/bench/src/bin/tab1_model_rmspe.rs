@@ -7,7 +7,6 @@
 //! value the paper reports. (Tegra cells for memory are `--`: the platform
 //! has no memory-measurement API, paper footnote 1.)
 
-
 // Experiment binaries are terminal programs: printing results and
 // panicking on setup failures are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]

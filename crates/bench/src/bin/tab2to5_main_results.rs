@@ -15,7 +15,6 @@
 //! Usage: `tab2to5_main_results [--quick]` (`--quick`: one run per cell
 //! and quarter-length budgets, for smoke testing).
 
-
 // Experiment binaries are terminal programs: printing results and
 // panicking on setup failures are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]

@@ -7,7 +7,6 @@
 //!
 //! See `hyperpower help` for the full grammar.
 
-
 // Experiment binaries are terminal programs: printing results and
 // panicking on setup failures are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]

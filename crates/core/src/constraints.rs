@@ -13,49 +13,51 @@
 //!   (paper §3.5).
 
 use hyperpower_gp::acquisition::probability_below;
+use hyperpower_linalg::units::{Mebibytes, Seconds, Watts};
 
 use crate::HwModels;
 
-/// Bytes per GiB.
-pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
-
 /// Power/memory budget limits for a platform.
 ///
+/// Each limit carries its unit in the type, so `P(z) ≤ P_B` can only ever
+/// compare watts against watts and `M(z) ≤ M_B` mebibytes against
+/// mebibytes — a joule or byte count in the wrong slot is a compile error.
 /// `None` means the constraint is not imposed (the paper imposes no memory
 /// constraint on Tegra because the platform cannot measure memory).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Budgets {
-    /// Maximum allowed inference power draw, in watts.
-    pub power_w: Option<f64>,
-    /// Maximum allowed memory consumption, in GiB.
-    pub memory_gib: Option<f64>,
-    /// Maximum allowed inference latency per example, in milliseconds.
-    /// An extension beyond the paper (its refs \[10\] and \[14\] constrain
-    /// runtime); `None` everywhere in the paper-reproduction scenarios.
-    pub latency_ms: Option<f64>,
+    /// Maximum allowed inference power draw `P_B`.
+    pub power: Option<Watts>,
+    /// Maximum allowed memory consumption `M_B`.
+    pub memory: Option<Mebibytes>,
+    /// Maximum allowed inference latency per example. An extension beyond
+    /// the paper (its refs \[10\] and \[14\] constrain runtime); `None`
+    /// everywhere in the paper-reproduction scenarios.
+    pub latency: Option<Seconds>,
 }
 
 impl Budgets {
     /// Power-only budget.
-    pub fn power(watts: f64) -> Self {
+    pub fn power(limit: Watts) -> Self {
         Budgets {
-            power_w: Some(watts),
+            power: Some(limit),
             ..Budgets::default()
         }
     }
 
-    /// Power + memory budget.
-    pub fn power_and_memory(watts: f64, gib: f64) -> Self {
+    /// Power + memory budget (the paper quotes memory budgets in GiB;
+    /// convert with [`Mebibytes::from_gib`]).
+    pub fn power_and_memory(power: Watts, memory: Mebibytes) -> Self {
         Budgets {
-            power_w: Some(watts),
-            memory_gib: Some(gib),
+            power: Some(power),
+            memory: Some(memory),
             ..Budgets::default()
         }
     }
 
     /// Adds a latency budget (builder style).
-    pub fn with_latency_ms(mut self, ms: f64) -> Self {
-        self.latency_ms = Some(ms);
+    pub fn with_latency(mut self, limit: Seconds) -> Self {
+        self.latency = Some(limit);
         self
     }
 
@@ -63,30 +65,30 @@ impl Budgets {
     /// Memory is optional: platforms without a memory API can only be
     /// checked on power. Shorthand for
     /// [`Budgets::satisfied_by_measurements`] without a latency reading.
-    pub fn satisfied_by(&self, power_w: f64, memory_bytes: Option<u64>) -> bool {
-        self.satisfied_by_measurements(power_w, memory_bytes, None)
+    pub fn satisfied_by(&self, power: Watts, memory: Option<Mebibytes>) -> bool {
+        self.satisfied_by_measurements(power, memory, None)
     }
 
     /// Whether a *measured* sample satisfies all imposed budgets.
     /// Unmeasured quantities (`None`) are not checked.
     pub fn satisfied_by_measurements(
         &self,
-        power_w: f64,
-        memory_bytes: Option<u64>,
-        latency_s: Option<f64>,
+        power: Watts,
+        memory: Option<Mebibytes>,
+        latency: Option<Seconds>,
     ) -> bool {
-        if let Some(pb) = self.power_w {
-            if power_w > pb {
+        if let Some(pb) = self.power {
+            if power > pb {
                 return false;
             }
         }
-        if let (Some(mb), Some(measured)) = (self.memory_gib, memory_bytes) {
-            if measured as f64 / GIB > mb {
+        if let (Some(mb), Some(measured)) = (self.memory, memory) {
+            if measured > mb {
                 return false;
             }
         }
-        if let (Some(lb), Some(measured)) = (self.latency_ms, latency_s) {
-            if measured * 1000.0 > lb {
+        if let (Some(lb), Some(measured)) = (self.latency, latency) {
+            if measured > lb {
                 return false;
             }
         }
@@ -130,18 +132,18 @@ impl ConstraintOracle {
     /// latency unless a latency model was fitted) is skipped, matching the
     /// paper's handling of Tegra memory.
     pub fn predicted_feasible(&self, z: &[f64]) -> bool {
-        if let Some(pb) = self.budgets.power_w {
+        if let Some(pb) = self.budgets.power {
             if self.models.predict_power(z) > pb {
                 return false;
             }
         }
-        if let (Some(mb), Some(pred)) = (self.budgets.memory_gib, self.models.predict_memory(z)) {
-            if pred / GIB > mb {
+        if let (Some(mb), Some(pred)) = (self.budgets.memory, self.models.predict_memory(z)) {
+            if pred > mb {
                 return false;
             }
         }
-        if let (Some(lb), Some(pred)) = (self.budgets.latency_ms, self.models.predict_latency(z)) {
-            if pred * 1000.0 > lb {
+        if let (Some(lb), Some(pred)) = (self.budgets.latency, self.models.predict_latency(z)) {
+            if pred > lb {
                 return false;
             }
         }
@@ -154,18 +156,21 @@ impl ConstraintOracle {
     /// `Pr(P(z) ≤ P_B) · Pr(M(z) ≤ M_B)`.
     pub fn feasibility_probability(&self, z: &[f64]) -> f64 {
         let mut p = 1.0;
-        if let Some(pb) = self.budgets.power_w {
+        if let Some(pb) = self.budgets.power {
             p *= probability_below(
-                self.models.predict_power(z),
+                self.models.predict_power(z).get(),
                 self.models.power.residual_std(),
-                pb,
+                pb.get(),
             );
         }
-        if let (Some(mb), Some(model)) = (self.budgets.memory_gib, self.models.memory.as_ref()) {
-            p *= probability_below(model.predict(z), model.residual_std(), mb * GIB);
+        // The raw regressions predict in their fitted scale (bytes for
+        // memory), so budgets are converted to that scale for the Gaussian
+        // tail probability — `residual_std` lives on the same scale.
+        if let (Some(mb), Some(model)) = (self.budgets.memory, self.models.memory.as_ref()) {
+            p *= probability_below(model.predict(z), model.residual_std(), mb.as_bytes());
         }
-        if let (Some(lb), Some(model)) = (self.budgets.latency_ms, self.models.latency.as_ref()) {
-            p *= probability_below(model.predict(z), model.residual_std(), lb / 1000.0);
+        if let (Some(lb), Some(model)) = (self.budgets.latency, self.models.latency.as_ref()) {
+            p *= probability_below(model.predict(z), model.residual_std(), lb.get());
         }
         p
     }
@@ -194,14 +199,18 @@ mod tests {
 
     #[test]
     fn budgets_satisfied_by_measurements() {
-        let b = Budgets::power_and_memory(90.0, 1.25);
-        assert!(b.satisfied_by(85.0, Some((1.0 * GIB) as u64)));
-        assert!(!b.satisfied_by(95.0, Some((1.0 * GIB) as u64)));
-        assert!(!b.satisfied_by(85.0, Some((1.5 * GIB) as u64)));
+        let b = Budgets::power_and_memory(Watts(90.0), Mebibytes::from_gib(1.25));
+        assert!(b.satisfied_by(Watts(85.0), Some(Mebibytes::from_gib(1.0))));
+        assert!(!b.satisfied_by(Watts(95.0), Some(Mebibytes::from_gib(1.0))));
+        assert!(!b.satisfied_by(Watts(85.0), Some(Mebibytes::from_gib(1.5))));
         // No memory measurement: only power is checked.
-        assert!(b.satisfied_by(85.0, None));
+        assert!(b.satisfied_by(Watts(85.0), None));
         // No constraints at all.
-        assert!(Budgets::default().satisfied_by(1000.0, None));
+        assert!(Budgets::default().satisfied_by(Watts(1000.0), None));
+        // Latency budget.
+        let b = b.with_latency(Seconds::from_millis(4.0));
+        assert!(b.satisfied_by_measurements(Watts(85.0), None, Some(Seconds(0.003))));
+        assert!(!b.satisfied_by_measurements(Watts(85.0), None, Some(Seconds(0.005))));
     }
 
     #[test]
@@ -212,7 +221,7 @@ mod tests {
                 memory: None,
                 latency: None,
             },
-            Budgets::power(50.0),
+            Budgets::power(Watts(50.0)),
         );
         assert!(oracle.predicted_feasible(&[4.9])); // P = 49
         assert!(!oracle.predicted_feasible(&[5.1])); // P = 51
@@ -226,7 +235,7 @@ mod tests {
                 memory: None,
                 latency: None,
             },
-            Budgets::power_and_memory(50.0, 0.0001),
+            Budgets::power_and_memory(Watts(50.0), Mebibytes::from_gib(0.0001)),
         );
         // Memory budget is tiny but unmodelled (Tegra case): only power counts.
         assert!(oracle.predicted_feasible(&[1.0]));
@@ -241,7 +250,8 @@ mod tests {
                 memory: Some(mem),
                 latency: None,
             },
-            Budgets::power_and_memory(1e9, 10.0 * 20.0 / GIB), // memory cap = 200 bytes
+            // Memory cap = 200 bytes against a model that predicts 10·z bytes.
+            Budgets::power_and_memory(Watts(1e9), Mebibytes::from_bytes(10.0 * 20.0)),
         );
         assert!(oracle.predicted_feasible(&[19.0])); // M = 190 bytes
         assert!(!oracle.predicted_feasible(&[21.0])); // M = 210 bytes
@@ -255,7 +265,7 @@ mod tests {
                 memory: None,
                 latency: None,
             },
-            Budgets::power(50.0),
+            Budgets::power(Watts(50.0)),
         );
         let p_small = oracle.feasibility_probability(&[3.0]);
         let p_mid = oracle.feasibility_probability(&[5.0]);

@@ -365,7 +365,7 @@ pub fn run_optimization(setup: RunSetup<'_>) -> Result<Trace> {
                     timestamp_s: clock.seconds(),
                     kind: SampleKind::Rejected,
                     error: None,
-                    power_w: predicted_power,
+                    power_w: predicted_power.get(),
                     memory_bytes: None,
                     latency_s: None,
                     feasible: false,
@@ -389,13 +389,15 @@ pub fn run_optimization(setup: RunSetup<'_>) -> Result<Trace> {
         let result = objective.evaluate(&decoded, early_termination.as_ref(), eval_seed)?;
         clock.advance_secs(result.train_secs);
 
-        // Profile the trained candidate on the target platform.
-        let power_w = gpu.measure_power(&decoded.arch);
-        let memory_bytes = gpu.measure_memory(&decoded.arch).ok();
-        let latency_s = gpu.measure_latency(&decoded.arch);
+        // Profile the trained candidate on the target platform. The typed
+        // readings flow straight into the budget check; the trace record
+        // keeps raw (suffixed) magnitudes for CSV export and reporting.
+        let power = gpu.measure_power(&decoded.arch);
+        let memory = gpu.measure_memory(&decoded.arch).ok();
+        let latency = gpu.measure_latency(&decoded.arch);
         clock.advance_secs(cost.measurement_s);
 
-        let feasible = budgets.satisfied_by_measurements(power_w, memory_bytes, Some(latency_s));
+        let feasible = budgets.satisfied_by_measurements(power, memory, Some(latency));
         history.push(config.clone(), result.error);
         evaluations += 1;
         samples.push(Sample {
@@ -407,9 +409,9 @@ pub fn run_optimization(setup: RunSetup<'_>) -> Result<Trace> {
                 SampleKind::Trained
             },
             error: Some(result.error),
-            power_w,
-            memory_bytes,
-            latency_s: Some(latency_s),
+            power_w: power.get(),
+            memory_bytes: memory.map(|m| m.as_bytes() as u64),
+            latency_s: Some(latency.get()),
             feasible,
             config,
         });
@@ -455,7 +457,7 @@ mod tests {
         Trace {
             method: Method::Rand,
             mode: Mode::HyperPower,
-            budgets: Budgets::power(90.0),
+            budgets: Budgets::power(crate::Watts(90.0)),
             samples: vec![
                 sample(0, 1.0, SampleKind::Rejected, None, false),
                 sample(1, 100.0, SampleKind::Trained, Some(0.5), true),

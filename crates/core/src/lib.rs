@@ -72,7 +72,9 @@ pub mod space;
 
 pub use constraints::{Budgets, ConstraintOracle};
 pub use driver::{Budget, Outcome, Sample, SampleKind, Trace};
+// Typed hardware units used throughout the budget/constraint API.
 pub use error::Error;
+pub use hyperpower_linalg::units::{Joules, Mebibytes, Seconds, Watts};
 pub use methods::{Method, Mode};
 pub use model::{HwModels, LinearHwModel};
 pub use objective::{EarlyTermination, EvaluationResult, Objective, SimulatedObjective};

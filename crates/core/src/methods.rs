@@ -450,23 +450,16 @@ impl Searcher for BoSearcher {
             None => return Ok(Config::random(rng, space.dim())),
         };
 
-        // Score every candidate on the grid.
+        // Score the grid constraint-first (HW-IECI/HW-CWEI): the hardware
+        // weight is a dot product per candidate, orders of magnitude
+        // cheaper than a GP posterior, so it is computed for the whole
+        // grid before any objective work.
         let grid = uniform_candidates(rng, self.candidates, d);
-        let mut scored: Vec<(Config, f64, f64)> = Vec::with_capacity(grid.rows());
+        let mut weighted: Vec<(Config, f64)> = Vec::with_capacity(grid.rows());
         for i in 0..grid.rows() {
             let candidate = Config::new(grid.row(i).to_vec())?;
-            let prediction = fitted.gp.predict(candidate.unit())?;
-            let base = match self.base_acquisition {
-                BaseAcquisition::ExpectedImprovement => expected_improvement_at(prediction, best),
-                BaseAcquisition::ProbabilityOfImprovement => {
-                    probability_of_improvement_at(prediction, best)
-                }
-                BaseAcquisition::LowerConfidenceBound { beta } => {
-                    lower_confidence_bound_at(prediction, beta)
-                }
-            };
             let weight = self.acquisition_weight(space, &candidate)?;
-            scored.push((candidate, base, weight));
+            weighted.push((candidate, weight));
         }
 
         // Combine base and constraint weight. EI/PI are non-negative, so
@@ -477,6 +470,34 @@ impl Searcher for BoSearcher {
             self.base_acquisition,
             BaseAcquisition::LowerConfidenceBound { .. }
         );
+        let any_feasible = weighted.iter().any(|(_, w)| *w > 0.0);
+        let mut scored: Vec<(Config, f64, f64)> = Vec::with_capacity(weighted.len());
+        for (candidate, weight) in weighted {
+            // The expensive objective runs only where its value can reach
+            // the proposal: LCB's penalty form needs every base, EI/PI
+            // need bases for predicted-feasible candidates — and for the
+            // whole grid only when nothing is feasible and the unweighted
+            // fallback will have to decide. A skipped base contributes
+            // base * 0.0 == 0.0 exactly as before, so selection is
+            // unchanged.
+            let base = if lcb || weight > 0.0 || !any_feasible {
+                let prediction = fitted.gp.predict(candidate.unit())?;
+                match self.base_acquisition {
+                    BaseAcquisition::ExpectedImprovement => {
+                        expected_improvement_at(prediction, best)
+                    }
+                    BaseAcquisition::ProbabilityOfImprovement => {
+                        probability_of_improvement_at(prediction, best)
+                    }
+                    BaseAcquisition::LowerConfidenceBound { beta } => {
+                        lower_confidence_bound_at(prediction, beta)
+                    }
+                }
+            } else {
+                0.0
+            };
+            scored.push((candidate, base, weight));
+        }
         if lcb {
             let lo = scored
                 .iter()

@@ -17,6 +17,7 @@
 //! non-linear models) a quadratic-feature variant is provided via
 //! [`FeatureMap::Quadratic`].
 
+use hyperpower_linalg::units::{Mebibytes, Seconds, Watts};
 use hyperpower_linalg::{ridge_least_squares, stats, vector, Matrix};
 
 use crate::{Error, Result};
@@ -300,20 +301,25 @@ pub struct HwModels {
 }
 
 impl HwModels {
-    /// Predicted power in watts.
-    pub fn predict_power(&self, z: &[f64]) -> f64 {
-        self.power.predict(z)
+    /// Predicted inference power `P(z)` (paper Eq. 1). The underlying
+    /// regression is fitted on raw watt readings; the typed wrapper is the
+    /// API boundary that keeps budget comparisons dimension-safe.
+    pub fn predict_power(&self, z: &[f64]) -> Watts {
+        Watts(self.power.predict(z))
     }
 
-    /// Predicted memory in bytes, or `None` without a memory model.
-    pub fn predict_memory(&self, z: &[f64]) -> Option<f64> {
-        self.memory.as_ref().map(|m| m.predict(z))
+    /// Predicted memory `M(z)` (paper Eq. 2), or `None` without a memory
+    /// model. The regression is fitted on raw byte readings and converted
+    /// here, so the scale change happens in exactly one place.
+    pub fn predict_memory(&self, z: &[f64]) -> Option<Mebibytes> {
+        self.memory
+            .as_ref()
+            .map(|m| Mebibytes::from_bytes(m.predict(z)))
     }
 
-    /// Predicted latency in seconds per example, or `None` without a
-    /// latency model.
-    pub fn predict_latency(&self, z: &[f64]) -> Option<f64> {
-        self.latency.as_ref().map(|m| m.predict(z))
+    /// Predicted latency per example, or `None` without a latency model.
+    pub fn predict_latency(&self, z: &[f64]) -> Option<Seconds> {
+        self.latency.as_ref().map(|m| Seconds(m.predict(z)))
     }
 }
 
@@ -406,6 +412,7 @@ mod tests {
             latency: None,
         };
         assert!(models.predict_power(&[2.0, 2.0, 2.0]).is_finite());
+        assert!(models.predict_power(&[2.0, 2.0, 2.0]) > Watts::ZERO);
         assert_eq!(models.predict_memory(&[2.0, 2.0, 2.0]), None);
         let with_mem = HwModels {
             power: power.clone(),

@@ -93,14 +93,17 @@ impl Profiler {
         for i in 0..grid.rows() {
             let config = Config::new(grid.row(i).to_vec())?;
             let decoded = space.decode(&config)?;
-            power.push(gpu.measure_power(&decoded.arch));
-            latency.push(gpu.measure_latency(&decoded.arch));
+            // The regression targets stay raw (suffixed) magnitudes: the
+            // linear models fit watts/bytes/seconds directly, and the typed
+            // wrappers come back at the prediction boundary (`HwModels`).
+            power.push(gpu.measure_power(&decoded.arch).get());
+            latency.push(gpu.measure_latency(&decoded.arch).get());
             if let Some(mem) = memory.as_mut() {
                 // `supports_memory` was checked when `memory` was created,
                 // so a measurement refusal here cannot occur; skipping the
                 // sample keeps the profiler panic-free regardless.
                 if let Ok(m) = gpu.measure_memory(&decoded.arch) {
-                    mem.push(m as f64);
+                    mem.push(m.as_bytes());
                 }
             }
             z.push(decoded.structural);
@@ -236,7 +239,7 @@ mod tests {
         // absolute percentage deviation well under 20%.
         let mut total = 0.0;
         for (z, p) in data.z.iter().zip(&data.power_w) {
-            total += ((models.predict_power(z) - p) / p).abs();
+            total += ((models.predict_power(z).get() - p) / p).abs();
         }
         assert!((total / data.len() as f64) < 0.1);
     }

@@ -26,8 +26,8 @@ use crate::model::FeatureMap;
 use crate::objective::SimulatedObjective;
 use crate::profiler::{fit_models, Profiler};
 use crate::{
-    Budgets, Config, ConstraintOracle, EarlyTermination, HwModels, Method, Mode, Result,
-    SearchSpace,
+    Budgets, Config, ConstraintOracle, EarlyTermination, HwModels, Mebibytes, Method, Mode, Result,
+    SearchSpace, Watts,
 };
 
 /// One of the paper's device–dataset experiment settings.
@@ -62,7 +62,7 @@ impl Scenario {
             device: DeviceProfile::gtx_1070(),
             space,
             dataset,
-            budgets: Budgets::power_and_memory(85.0, 1.15),
+            budgets: Budgets::power_and_memory(Watts(85.0), Mebibytes::from_gib(1.15)),
             time_budget_hours: 2.0,
             train_examples: 60_000,
             profiling_samples: 100,
@@ -78,7 +78,7 @@ impl Scenario {
             device: DeviceProfile::gtx_1070(),
             space,
             dataset,
-            budgets: Budgets::power_and_memory(90.0, 1.25),
+            budgets: Budgets::power_and_memory(Watts(90.0), Mebibytes::from_gib(1.25)),
             time_budget_hours: 5.0,
             train_examples: 50_000,
             profiling_samples: 100,
@@ -94,7 +94,7 @@ impl Scenario {
             device: DeviceProfile::tegra_tx1(),
             space,
             dataset,
-            budgets: Budgets::power(10.0),
+            budgets: Budgets::power(Watts(10.0)),
             time_budget_hours: 2.0,
             train_examples: 60_000,
             profiling_samples: 100,
@@ -110,7 +110,7 @@ impl Scenario {
             device: DeviceProfile::tegra_tx1(),
             space,
             dataset,
-            budgets: Budgets::power(12.0),
+            budgets: Budgets::power(Watts(12.0)),
             time_budget_hours: 5.0,
             train_examples: 50_000,
             profiling_samples: 100,
@@ -356,14 +356,16 @@ mod tests {
     fn scenarios_carry_paper_budgets() {
         let pairs = Scenario::all_pairs();
         assert_eq!(pairs.len(), 4);
-        assert_eq!(pairs[0].budgets.power_w, Some(85.0));
-        assert_eq!(pairs[0].budgets.memory_gib, Some(1.15));
-        assert_eq!(pairs[1].budgets.power_w, Some(90.0));
-        assert_eq!(pairs[1].budgets.memory_gib, Some(1.25));
-        assert_eq!(pairs[2].budgets.power_w, Some(10.0));
-        assert_eq!(pairs[2].budgets.memory_gib, None);
-        assert_eq!(pairs[3].budgets.power_w, Some(12.0));
-        assert_eq!(pairs[3].budgets.memory_gib, None);
+        assert_eq!(pairs[0].budgets.power, Some(Watts(85.0)));
+        assert_eq!(pairs[0].budgets.memory, Some(Mebibytes::from_gib(1.15)));
+        assert_eq!(pairs[1].budgets.power, Some(Watts(90.0)));
+        assert_eq!(pairs[1].budgets.memory, Some(Mebibytes::from_gib(1.25)));
+        assert_eq!(pairs[2].budgets.power, Some(Watts(10.0)));
+        assert_eq!(pairs[2].budgets.memory, None);
+        assert_eq!(pairs[3].budgets.power, Some(Watts(12.0)));
+        assert_eq!(pairs[3].budgets.memory, None);
+        // No scenario imposes the latency extension.
+        assert!(pairs.iter().all(|p| p.budgets.latency.is_none()));
         assert_eq!(pairs[0].time_budget_hours, 2.0);
         assert_eq!(pairs[1].time_budget_hours, 5.0);
     }

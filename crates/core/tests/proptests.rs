@@ -1,13 +1,12 @@
 //! Property-based tests for the HyperPower core crate.
 
-
 // Test-support code: strategies build exact values and assert round-trips
 // bit-for-bit; panicking helpers are correct in a test harness.
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 
 use hyperpower::methods::History;
 use hyperpower::model::{FeatureMap, LinearHwModel};
-use hyperpower::{Budgets, Config, ConstraintOracle, HwModels, SearchSpace};
+use hyperpower::{Budgets, Config, ConstraintOracle, HwModels, Mebibytes, SearchSpace, Watts};
 use proptest::prelude::*;
 
 fn unit_vec(dim: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -92,7 +91,7 @@ proptest! {
         // probability must be at least 1/2 (and vice versa).
         let oracle = ConstraintOracle::new(
             HwModels { power: toy_power_model(2.0), memory: None, latency: None },
-            Budgets::power(70.0),
+            Budgets::power(Watts(70.0)),
         );
         let feasible = oracle.predicted_feasible(&z);
         let p = oracle.feasibility_probability(&z);
@@ -106,16 +105,18 @@ proptest! {
 
     #[test]
     fn budgets_none_accepts_everything(power in 0.0f64..1e4) {
-        prop_assert!(Budgets::default().satisfied_by(power, Some(u64::MAX)));
+        prop_assert!(
+            Budgets::default().satisfied_by(Watts(power), Some(Mebibytes(f64::MAX)))
+        );
     }
 
     #[test]
     fn budget_check_is_monotone_in_power(
         budget in 10.0f64..200.0, below in 0.0f64..1.0, above in 0.0f64..100.0
     ) {
-        let b = Budgets::power(budget);
-        prop_assert!(b.satisfied_by(budget * below, None));
-        prop_assert!(!b.satisfied_by(budget + above + 1e-9, None));
+        let b = Budgets::power(Watts(budget));
+        prop_assert!(b.satisfied_by(Watts(budget * below), None));
+        prop_assert!(!b.satisfied_by(Watts(budget + above + 1e-9), None));
     }
 
     #[test]

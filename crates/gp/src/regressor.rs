@@ -162,10 +162,7 @@ impl GpRegressor {
         let v = self.chol.solve_lower(&k_star)?;
         let prior = self.signal_variance * self.kernel.eval(query, query);
         let variance = (prior - vector::dot(&v, &v)).max(0.0);
-        hyperpower_linalg::debug_assert_finite!(
-            "gp posterior (mean, variance)",
-            &[mean, variance]
-        );
+        hyperpower_linalg::debug_assert_finite!("gp posterior (mean, variance)", &[mean, variance]);
         Ok(Prediction { mean, variance })
     }
 

@@ -1,6 +1,5 @@
 //! Property-based tests for the Gaussian-process crate.
 
-
 // Test-support code: strategies build exact values and assert round-trips
 // bit-for-bit; panicking helpers are correct in a test harness.
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]

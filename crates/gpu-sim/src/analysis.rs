@@ -1,3 +1,4 @@
+use hyperpower_linalg::units::{Joules, Mebibytes, Seconds, Watts};
 use hyperpower_nn::{ArchSpec, LayerShapeReport};
 
 use crate::DeviceProfile;
@@ -5,25 +6,28 @@ use crate::DeviceProfile;
 /// Noise-free ground truth for one architecture on one device.
 ///
 /// Produced by [`analyze`]; the sensor layer ([`crate::Gpu`]) adds
-/// measurement noise on top of these values.
+/// measurement noise on top of these values. The hardware quantities carry
+/// their units in the type — `power * latency` *is* [`Joules`], and mixing
+/// e.g. watts into a memory comparison is a compile error.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InferenceReport {
-    /// Mean inference latency per example, in seconds.
-    pub latency_s: f64,
-    /// Mean board power during sustained inference, in watts.
-    pub power_w: f64,
-    /// Device memory consumed while the network is resident, in bytes.
-    pub memory_bytes: u64,
+    /// Mean inference latency per example.
+    pub latency: Seconds,
+    /// Mean board power during sustained inference.
+    pub power: Watts,
+    /// Device memory consumed while the network is resident.
+    pub memory: Mebibytes,
     /// Time-weighted mean compute utilisation in `[0, 1]`.
     pub utilization: f64,
 }
 
 impl InferenceReport {
-    /// Energy per inference example in joules (`power × latency`) — the
-    /// efficiency metric the paper's follow-up work (NeuralPower \[10\])
-    /// optimizes directly.
-    pub fn energy_per_example_j(&self) -> f64 {
-        self.power_w * self.latency_s
+    /// Energy per inference example (`power × latency`) — the efficiency
+    /// metric the paper's follow-up work (NeuralPower \[10\]) optimizes
+    /// directly. The unit algebra makes this definitionally correct:
+    /// `Watts × Seconds = Joules`.
+    pub fn energy_per_example(&self) -> Joules {
+        self.power * self.latency
     }
 }
 
@@ -146,12 +150,12 @@ pub fn analyze(device: &DeviceProfile, spec: &ArchSpec) -> InferenceReport {
         // buffers.
         .min(64.0 * 1024.0 * 1024.0);
     let dynamic_bytes = 2.0 * (3.0 * params * 4.0 + batch * total_activations * 4.0 + im2col);
-    let memory_bytes = (device.baseline_memory_mib * 1024.0 * 1024.0 + dynamic_bytes) as u64;
+    let memory = Mebibytes(device.baseline_memory_mib) + Mebibytes::from_bytes(dynamic_bytes);
 
     InferenceReport {
-        latency_s: total_time / batch,
-        power_w,
-        memory_bytes,
+        latency: Seconds(total_time / batch),
+        power: Watts(power_w),
+        memory,
         utilization,
     }
 }
@@ -197,8 +201,8 @@ mod tests {
         let gtx = DeviceProfile::gtx_1070();
         for (f, k, u) in [(20, 2, 200), (50, 3, 400), (80, 5, 700)] {
             let r = analyze(&gtx, &cifar_arch(f, k, u));
-            assert!(r.power_w >= gtx.idle_power_w, "power {}", r.power_w);
-            assert!(r.power_w <= gtx.max_power_w, "power {}", r.power_w);
+            assert!(r.power >= Watts(gtx.idle_power_w), "power {}", r.power);
+            assert!(r.power <= Watts(gtx.max_power_w), "power {}", r.power);
         }
     }
 
@@ -208,10 +212,10 @@ mod tests {
         let small = analyze(&gtx, &cifar_arch(20, 2, 200));
         let large = analyze(&gtx, &cifar_arch(80, 5, 700));
         assert!(
-            large.power_w > small.power_w + 5.0,
+            large.power > small.power + Watts(5.0),
             "large {} vs small {}",
-            large.power_w,
-            small.power_w
+            large.power,
+            small.power
         );
     }
 
@@ -225,8 +229,8 @@ mod tests {
         for f in [20, 35, 50, 65, 80] {
             for k in [2, 3, 4, 5] {
                 for u in [200, 450, 700] {
-                    let p = analyze(&gtx, &cifar_arch(f, k, u)).power_w;
-                    if p <= 90.0 {
+                    let p = analyze(&gtx, &cifar_arch(f, k, u)).power;
+                    if p <= Watts(90.0) {
                         below += 1;
                     } else {
                         above += 1;
@@ -243,34 +247,45 @@ mod tests {
     #[test]
     fn tegra_power_spread_crosses_budgets() {
         let tegra = DeviceProfile::tegra_tx1();
-        let mnist_small = analyze(&tegra, &mnist_arch(20, 2, 200)).power_w;
-        let mnist_large = analyze(&tegra, &mnist_arch(80, 5, 700)).power_w;
+        let mnist_small = analyze(&tegra, &mnist_arch(20, 2, 200)).power;
+        let mnist_large = analyze(&tegra, &mnist_arch(80, 5, 700)).power;
         // 10 W budget should separate small from large MNIST nets.
-        assert!(mnist_small < 10.0, "small draws {mnist_small}");
-        assert!(mnist_large > 10.0, "large draws {mnist_large}");
-        let cifar_large = analyze(&tegra, &cifar_arch(80, 5, 700)).power_w;
-        assert!(cifar_large > 12.0, "large CIFAR draws {cifar_large}");
+        assert!(mnist_small < Watts(10.0), "small draws {mnist_small}");
+        assert!(mnist_large > Watts(10.0), "large draws {mnist_large}");
+        let cifar_large = analyze(&tegra, &cifar_arch(80, 5, 700)).power;
+        assert!(cifar_large > Watts(12.0), "large CIFAR draws {cifar_large}");
     }
 
     #[test]
     fn memory_spread_crosses_gtx_budgets() {
         let gtx = DeviceProfile::gtx_1070();
-        let gib = 1024.0 * 1024.0 * 1024.0;
-        let cifar_small = analyze(&gtx, &cifar_arch(20, 2, 200)).memory_bytes as f64 / gib;
-        let cifar_large = analyze(&gtx, &cifar_arch(80, 5, 700)).memory_bytes as f64 / gib;
-        assert!(cifar_small < 1.25, "small CIFAR {cifar_small} GiB");
-        assert!(cifar_large > 1.25, "large CIFAR {cifar_large} GiB");
-        let mnist_small = analyze(&gtx, &mnist_arch(20, 2, 200)).memory_bytes as f64 / gib;
-        let mnist_large = analyze(&gtx, &mnist_arch(80, 5, 700)).memory_bytes as f64 / gib;
-        assert!(mnist_small < 1.15, "small MNIST {mnist_small} GiB");
-        assert!(mnist_large > 1.15, "large MNIST {mnist_large} GiB");
+        let cifar_small = analyze(&gtx, &cifar_arch(20, 2, 200)).memory;
+        let cifar_large = analyze(&gtx, &cifar_arch(80, 5, 700)).memory;
+        assert!(
+            cifar_small < Mebibytes::from_gib(1.25),
+            "small CIFAR {cifar_small}"
+        );
+        assert!(
+            cifar_large > Mebibytes::from_gib(1.25),
+            "large CIFAR {cifar_large}"
+        );
+        let mnist_small = analyze(&gtx, &mnist_arch(20, 2, 200)).memory;
+        let mnist_large = analyze(&gtx, &mnist_arch(80, 5, 700)).memory;
+        assert!(
+            mnist_small < Mebibytes::from_gib(1.15),
+            "small MNIST {mnist_small}"
+        );
+        assert!(
+            mnist_large > Mebibytes::from_gib(1.15),
+            "large MNIST {mnist_large}"
+        );
     }
 
     #[test]
     fn memory_monotone_in_units() {
         let gtx = DeviceProfile::gtx_1070();
-        let a = analyze(&gtx, &mnist_arch(40, 3, 200)).memory_bytes;
-        let b = analyze(&gtx, &mnist_arch(40, 3, 700)).memory_bytes;
+        let a = analyze(&gtx, &mnist_arch(40, 3, 200)).memory;
+        let b = analyze(&gtx, &mnist_arch(40, 3, 700)).memory;
         assert!(b > a);
     }
 
@@ -278,8 +293,12 @@ mod tests {
     fn latency_positive_and_batch_scaled() {
         let gtx = DeviceProfile::gtx_1070();
         let r = analyze(&gtx, &cifar_arch(50, 3, 400));
-        assert!(r.latency_s > 0.0);
-        assert!(r.latency_s < 0.1, "per-example latency {}", r.latency_s);
+        assert!(r.latency > Seconds::ZERO);
+        assert!(
+            r.latency < Seconds(0.1),
+            "per-example latency {}",
+            r.latency
+        );
     }
 
     #[test]
@@ -293,11 +312,12 @@ mod tests {
     #[test]
     fn tegra_saturates_easier_than_gtx() {
         // The same net keeps a bigger fraction of the small device busy.
+        // `Watts / Watts` is the dimensionless fraction.
         let spec = cifar_arch(40, 3, 400);
         let tegra = analyze(&DeviceProfile::tegra_tx1(), &spec);
         let gtx = analyze(&DeviceProfile::gtx_1070(), &spec);
-        let tegra_frac = (tegra.power_w - 1.8) / (14.5 - 1.8);
-        let gtx_frac = (gtx.power_w - 45.0) / (150.0 - 45.0);
+        let tegra_frac = (tegra.power - Watts(1.8)) / Watts(14.5 - 1.8);
+        let gtx_frac = (gtx.power - Watts(45.0)) / Watts(150.0 - 45.0);
         assert!(tegra_frac > gtx_frac);
     }
 
@@ -305,11 +325,12 @@ mod tests {
     fn energy_is_power_times_latency() {
         let gtx = DeviceProfile::gtx_1070();
         let r = analyze(&gtx, &cifar_arch(40, 3, 300));
-        assert!((r.energy_per_example_j() - r.power_w * r.latency_s).abs() < 1e-15);
-        assert!(r.energy_per_example_j() > 0.0);
+        let direct: Joules = r.power * r.latency;
+        assert!((r.energy_per_example() - direct).get().abs() < 1e-15);
+        assert!(r.energy_per_example() > Joules::ZERO);
         // Bigger nets cost more energy per example.
         let big = analyze(&gtx, &cifar_arch(80, 5, 700));
-        assert!(big.energy_per_example_j() > r.energy_per_example_j());
+        assert!(big.energy_per_example() > r.energy_per_example());
     }
 
     #[test]

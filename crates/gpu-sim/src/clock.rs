@@ -30,17 +30,17 @@ impl VirtualClock {
         VirtualClock::default()
     }
 
-    /// Advances the clock by `seconds`.
+    /// Advances the clock by `dt_s` seconds.
     ///
     /// # Panics
     ///
-    /// Panics if `seconds` is negative or non-finite.
-    pub fn advance_secs(&mut self, seconds: f64) {
+    /// Panics if `dt_s` is negative or non-finite.
+    pub fn advance_secs(&mut self, dt_s: f64) {
         assert!(
-            seconds.is_finite() && seconds >= 0.0,
-            "cannot advance clock by {seconds}"
+            dt_s.is_finite() && dt_s >= 0.0,
+            "cannot advance clock by {dt_s}"
         );
-        self.now_s += seconds;
+        self.now_s += dt_s;
     }
 
     /// Advances the clock by `hours`.

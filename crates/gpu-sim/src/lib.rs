@@ -33,11 +33,12 @@
 //!     LayerSpec::pool(2),
 //!     LayerSpec::dense(512),
 //! ])?;
+//! use hyperpower_gpu_sim::{Mebibytes, Watts};
 //! let mut gpu = Gpu::new(DeviceProfile::gtx_1070(), 7);
 //! let power = gpu.measure_power(&spec);
-//! assert!(power > 45.0 && power < 151.0);
+//! assert!(power > Watts(45.0) && power < Watts(151.0));
 //! let memory = gpu.measure_memory(&spec)?;
-//! assert!(memory > 0);
+//! assert!(memory > Mebibytes::ZERO);
 //! # Ok(())
 //! # }
 //! ```
@@ -53,4 +54,7 @@ mod sensor;
 pub use analysis::{analyze, InferenceReport};
 pub use clock::{TrainingCostModel, VirtualClock};
 pub use device::DeviceProfile;
+// Measurement results carry their units in the type; re-exported so
+// downstream crates can name them without depending on the linalg crate.
+pub use hyperpower_linalg::units::{Joules, Mebibytes, Seconds, Watts};
 pub use sensor::{Gpu, MeasurementError};

@@ -1,5 +1,6 @@
 use std::fmt;
 
+use hyperpower_linalg::units::{Mebibytes, Seconds, Watts};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -71,36 +72,39 @@ impl Gpu {
         analyze(&self.device, spec)
     }
 
-    /// One noisy power measurement in watts, clamped to the physical
-    /// envelope `[idle, max]`.
-    pub fn measure_power(&mut self, spec: &ArchSpec) -> f64 {
-        let truth = analyze(&self.device, spec).power_w;
-        let noisy = truth + self.device.power_noise_w * self.standard_normal();
-        noisy.clamp(self.device.idle_power_w, self.device.max_power_w)
+    /// One noisy power measurement, clamped to the physical envelope
+    /// `[idle, max]`.
+    pub fn measure_power(&mut self, spec: &ArchSpec) -> Watts {
+        let truth = analyze(&self.device, spec).power;
+        let noisy = truth + Watts(self.device.power_noise_w * self.standard_normal());
+        noisy.clamp(
+            Watts(self.device.idle_power_w),
+            Watts(self.device.max_power_w),
+        )
     }
 
-    /// One noisy memory measurement in bytes.
+    /// One noisy memory measurement.
     ///
     /// # Errors
     ///
     /// Returns [`MeasurementError::Unsupported`] on platforms without a
     /// memory API (Tegra TX1).
-    pub fn measure_memory(&mut self, spec: &ArchSpec) -> Result<u64, MeasurementError> {
+    pub fn measure_memory(&mut self, spec: &ArchSpec) -> Result<Mebibytes, MeasurementError> {
         if !self.device.supports_memory_measurement {
             return Err(MeasurementError::Unsupported {
                 device: self.device.name.clone(),
                 quantity: "memory",
             });
         }
-        let truth = analyze(&self.device, spec).memory_bytes as f64;
-        let noise = self.device.memory_noise_mib * 1024.0 * 1024.0 * self.standard_normal();
-        Ok((truth + noise).max(0.0) as u64)
+        let truth = analyze(&self.device, spec).memory;
+        let noise = Mebibytes(self.device.memory_noise_mib * self.standard_normal());
+        Ok((truth + noise).max(Mebibytes::ZERO))
     }
 
-    /// One noisy latency measurement in seconds per example (timing a few
-    /// inference batches scatters by ~2% on real systems).
-    pub fn measure_latency(&mut self, spec: &ArchSpec) -> f64 {
-        let truth = analyze(&self.device, spec).latency_s;
+    /// One noisy latency measurement per example (timing a few inference
+    /// batches scatters by ~2% on real systems).
+    pub fn measure_latency(&mut self, spec: &ArchSpec) -> Seconds {
+        let truth = analyze(&self.device, spec).latency;
         (truth * (1.0 + 0.02 * self.standard_normal())).max(truth * 0.5)
     }
 
@@ -134,13 +138,16 @@ mod tests {
     #[test]
     fn power_measurements_scatter_around_truth() {
         let mut gpu = Gpu::new(DeviceProfile::gtx_1070(), 1);
-        let truth = gpu.analyze(&spec()).power_w;
+        let truth = gpu.analyze(&spec()).power;
         let n = 200;
-        let measurements: Vec<f64> = (0..n).map(|_| gpu.measure_power(&spec())).collect();
-        let mean = measurements.iter().sum::<f64>() / n as f64;
-        assert!((mean - truth).abs() < 0.5, "mean {mean} vs truth {truth}");
+        let measurements: Vec<Watts> = (0..n).map(|_| gpu.measure_power(&spec())).collect();
+        let mean = measurements.iter().copied().sum::<Watts>() / n as f64;
+        assert!(
+            (mean - truth).get().abs() < 0.5,
+            "mean {mean} vs truth {truth}"
+        );
         // Noise is real: not all identical.
-        assert!(measurements.iter().any(|m| (m - truth).abs() > 0.1));
+        assert!(measurements.iter().any(|m| (*m - truth).get().abs() > 0.1));
     }
 
     #[test]
@@ -148,7 +155,7 @@ mod tests {
         let mut gpu = Gpu::new(DeviceProfile::tegra_tx1(), 2);
         for _ in 0..100 {
             let p = gpu.measure_power(&spec());
-            assert!((1.8..=14.5).contains(&p));
+            assert!(p >= Watts(1.8) && p <= Watts(14.5), "power {p}");
         }
     }
 
@@ -169,12 +176,14 @@ mod tests {
     #[test]
     fn gtx_memory_supported_and_noisy() {
         let mut gpu = Gpu::new(DeviceProfile::gtx_1070(), 4);
-        let truth = gpu.analyze(&spec()).memory_bytes;
+        let truth = gpu.analyze(&spec()).memory;
         let a = gpu.measure_memory(&spec()).unwrap();
         let b = gpu.measure_memory(&spec()).unwrap();
         assert_ne!(a, b, "sensor noise expected");
-        let mib = 1024 * 1024;
-        assert!((a as i64 - truth as i64).unsigned_abs() < 100 * mib);
+        assert!(
+            (a - truth).get().abs() < 100.0,
+            "reading {a} vs truth {truth}"
+        );
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Property-based tests for the GPU simulator.
 
-
 // Test-support code: strategies build exact values and assert round-trips
 // bit-for-bit; panicking helpers are correct in a test harness.
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 
-use hyperpower_gpu_sim::{analyze, DeviceProfile, Gpu, TrainingCostModel};
+use hyperpower_gpu_sim::{
+    analyze, DeviceProfile, Gpu, Joules, Mebibytes, Seconds, TrainingCostModel, Watts,
+};
 use hyperpower_nn::{ArchSpec, LayerSpec};
 use proptest::prelude::*;
 
@@ -40,10 +41,10 @@ proptest! {
     fn power_within_physical_envelope(spec in cifar_arch_strategy()) {
         for device in [DeviceProfile::gtx_1070(), DeviceProfile::tegra_tx1()] {
             let r = analyze(&device, &spec);
-            prop_assert!(r.power_w >= device.idle_power_w - 1e-9);
-            prop_assert!(r.power_w <= device.max_power_w + 1e-9);
+            prop_assert!(r.power >= Watts(device.idle_power_w - 1e-9));
+            prop_assert!(r.power <= Watts(device.max_power_w + 1e-9));
             prop_assert!((0.0..=1.0).contains(&r.utilization));
-            prop_assert!(r.latency_s > 0.0);
+            prop_assert!(r.latency > Seconds::ZERO);
         }
     }
 
@@ -51,8 +52,7 @@ proptest! {
     fn memory_at_least_baseline(spec in cifar_arch_strategy()) {
         let device = DeviceProfile::gtx_1070();
         let r = analyze(&device, &spec);
-        let baseline = (device.baseline_memory_mib * 1024.0 * 1024.0) as u64;
-        prop_assert!(r.memory_bytes >= baseline);
+        prop_assert!(r.memory >= Mebibytes(device.baseline_memory_mib));
     }
 
     #[test]
@@ -70,9 +70,43 @@ proptest! {
                 )
                 .unwrap(),
             )
-            .memory_bytes
+            .memory
         };
         prop_assert!(base(u + 1) > base(u));
+    }
+
+    #[test]
+    fn memory_monotone_in_feature_count(
+        f in 20usize..=79, k in 2usize..=5, u in 200usize..=700
+    ) {
+        let device = DeviceProfile::gtx_1070();
+        let base = |features: usize| {
+            analyze(
+                &device,
+                &ArchSpec::new(
+                    (3, 32, 32),
+                    10,
+                    vec![LayerSpec::conv(features, k), LayerSpec::pool(2), LayerSpec::dense(u)],
+                )
+                .unwrap(),
+            )
+            .memory
+        };
+        prop_assert!(base(f + 1) > base(f));
+    }
+
+    #[test]
+    fn energy_is_power_times_latency(spec in cifar_arch_strategy()) {
+        // The typed identity `Watts × Seconds = Joules` must agree with the
+        // raw-magnitude product for every architecture on every device.
+        for device in [DeviceProfile::gtx_1070(), DeviceProfile::tegra_tx1()] {
+            let r = analyze(&device, &spec);
+            let typed: Joules = r.power * r.latency;
+            prop_assert_eq!(r.energy_per_example(), typed);
+            let raw_j = r.power.get() * r.latency.get();
+            prop_assert!((r.energy_per_example().get() - raw_j).abs() <= 1e-12 * raw_j.abs());
+            prop_assert!(r.energy_per_example() > Joules::ZERO);
+        }
     }
 
     #[test]
@@ -82,10 +116,10 @@ proptest! {
         let mut gpu = Gpu::new(device.clone(), seed);
         for _ in 0..5 {
             let p = gpu.measure_power(&spec);
-            prop_assert!((p - truth.power_w).abs() < 8.0 * device.power_noise_w);
+            prop_assert!((p - truth.power).get().abs() < 8.0 * device.power_noise_w);
             let m = gpu.measure_memory(&spec).unwrap();
-            let noise = (m as f64 - truth.memory_bytes as f64).abs();
-            prop_assert!(noise < 8.0 * device.memory_noise_mib * 1024.0 * 1024.0);
+            let noise_mib = (m - truth.memory).get().abs();
+            prop_assert!(noise_mib < 8.0 * device.memory_noise_mib);
         }
     }
 

@@ -16,7 +16,11 @@
 //! * [`vector`] — free functions on `&[f64]` slices (dot products, norms,
 //!   axpy),
 //! * [`stats`] — descriptive statistics (mean, standard deviation, RMSPE)
-//!   used when reporting experiment tables.
+//!   used when reporting experiment tables,
+//! * [`units`] — typed hardware units ([`units::Watts`],
+//!   [`units::Mebibytes`], [`units::Seconds`], [`units::Joules`]) so the
+//!   constraint pipeline's `P(z) ≤ P_B` / `M(z) ≤ M_B` checks are
+//!   type-safe at the API boundary.
 //!
 //! Everything is implemented from scratch on safe Rust; matrices in this
 //! problem domain are small (at most a few hundred rows), so cache-oblivious
@@ -49,6 +53,7 @@ mod lstsq;
 mod matrix;
 mod qr;
 pub mod stats;
+pub mod units;
 pub mod vector;
 
 pub use cholesky::Cholesky;

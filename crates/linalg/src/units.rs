@@ -1,0 +1,382 @@
+//! Typed hardware units for the HyperPower constraint pipeline.
+//!
+//! HyperPower's premise is that power (watts) and memory (mebibytes) are
+//! a-priori-predictable quantities folded into the acquisition function,
+//! so a silent unit mix-up — joules where watts were meant, bytes compared
+//! against a mebibyte budget — corrupts every downstream table without
+//! failing a single test. These newtypes make the unit part of the type:
+//! a [`Watts`] value cannot be passed where [`Joules`] is expected, and
+//! `Watts × Seconds` *is* `Joules` by construction.
+//!
+//! The wrappers are deliberately thin: `#[repr(transparent)]` over `f64`,
+//! `Copy`, and free to construct (`Watts(85.0)`) and unwrap (`.get()`),
+//! so they cost nothing on the model-evaluation hot path. Only
+//! dimensionally meaningful arithmetic is implemented:
+//!
+//! * same-unit `+`/`-` and ordering,
+//! * scaling by a bare `f64` (`*`, `/`),
+//! * the ratio of two same-unit values (`Watts / Watts → f64`),
+//! * the physical cross products `Watts × Seconds = Joules` (and the
+//!   inverse divisions).
+//!
+//! Anything else — adding watts to seconds, comparing mebibytes against a
+//! raw byte count — is a compile error. The static-analysis pass
+//! (`hyperpower-analyze`, rule R6) enforces the complementary convention
+//! for quantities that stay as raw `f64`: their names must carry a unit
+//! suffix (`_w`, `_s`, `_j`, `_mib`, `_bytes`, …).
+//!
+//! # Examples
+//!
+//! ```
+//! use hyperpower_linalg::units::{Joules, Mebibytes, Seconds, Watts};
+//!
+//! let power = Watts(85.0);
+//! let latency = Seconds(0.002);
+//! let energy: Joules = power * latency;
+//! assert!((energy.get() - 0.17).abs() < 1e-12);
+//!
+//! // Budget check in consistent units, regardless of the source scale.
+//! let measured = Mebibytes::from_bytes(1.3e9);
+//! let budget = Mebibytes::from_gib(1.25);
+//! assert!(measured < budget);
+//! ```
+//!
+//! Mixing units is rejected at compile time — energy cannot stand in for
+//! power in a budget comparison:
+//!
+//! ```compile_fail,E0308
+//! use hyperpower_linalg::units::{Joules, Seconds, Watts};
+//!
+//! let power_budget = Watts(85.0);
+//! let energy: Joules = Watts(80.0) * Seconds(1.0);
+//! // ERROR: `Joules` and `Watts` are different types.
+//! assert!(energy <= power_budget);
+//! ```
+//!
+//! Nor can two different units be added:
+//!
+//! ```compile_fail,E0308
+//! use hyperpower_linalg::units::{Seconds, Watts};
+//!
+//! let nonsense = Watts(85.0) + Seconds(1.0);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit_newtype {
+    ($(#[$meta:meta])* $name:ident, $symbol:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[repr(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Wraps a raw magnitude in this unit.
+            pub const fn new(value: f64) -> Self {
+                $name(value)
+            }
+
+            /// The raw magnitude in this unit.
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// True when the magnitude is finite (neither NaN nor ±∞).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// The smaller of two values (NaN-safe total order).
+            pub fn min(self, other: Self) -> Self {
+                if other.0.total_cmp(&self.0).is_lt() {
+                    other
+                } else {
+                    self
+                }
+            }
+
+            /// The larger of two values (NaN-safe total order).
+            pub fn max(self, other: Self) -> Self {
+                if other.0.total_cmp(&self.0).is_gt() {
+                    other
+                } else {
+                    self
+                }
+            }
+
+            /// Clamps the magnitude into `[lo, hi]`.
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                $name(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Total order on the magnitudes (use for sorting/extrema so a
+            /// NaN reading cannot panic a comparator).
+            pub fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.0.fmt(f)?;
+                write!(f, " {}", $symbol)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// The dimensionless ratio of two same-unit values.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// Electrical power in watts — the `P(z)` of the paper's Eq. 1 and the
+    /// `P(z) ≤ P_B` budget check.
+    Watts,
+    "W"
+);
+
+unit_newtype!(
+    /// Energy in joules. Obtained as `Watts × Seconds`; never construct one
+    /// from a power reading directly.
+    Joules,
+    "J"
+);
+
+unit_newtype!(
+    /// Time in seconds (inference latency, virtual-clock durations).
+    Seconds,
+    "s"
+);
+
+unit_newtype!(
+    /// Memory in mebibytes (2²⁰ bytes) — the `M(z)` of the paper's Eq. 2
+    /// and the `M(z) ≤ M_B` budget check. Constructed from raw byte counts
+    /// or GiB budgets via [`Mebibytes::from_bytes`] / [`Mebibytes::from_gib`]
+    /// so every scale conversion happens in exactly one place.
+    Mebibytes,
+    "MiB"
+);
+
+/// Bytes per mebibyte.
+const BYTES_PER_MIB: f64 = 1024.0 * 1024.0;
+
+/// Mebibytes per gibibyte.
+const MIB_PER_GIB: f64 = 1024.0;
+
+impl Mebibytes {
+    /// Converts a raw byte count (e.g. an NVML reading) to mebibytes.
+    pub fn from_bytes(bytes: f64) -> Self {
+        Mebibytes(bytes / BYTES_PER_MIB)
+    }
+
+    /// Converts a GiB figure (the paper quotes budgets as 1.15/1.25 GB) to
+    /// mebibytes.
+    pub fn from_gib(gib: f64) -> Self {
+        Mebibytes(gib * MIB_PER_GIB)
+    }
+
+    /// The magnitude as raw bytes.
+    pub fn as_bytes(self) -> f64 {
+        self.0 * BYTES_PER_MIB
+    }
+
+    /// The magnitude in GiB.
+    pub fn as_gib(self) -> f64 {
+        self.0 / MIB_PER_GIB
+    }
+}
+
+impl Seconds {
+    /// Converts milliseconds to seconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Seconds(ms / 1000.0)
+    }
+
+    /// The magnitude in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1000.0
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    /// Power sustained for a duration is energy: `W × s = J`.
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    /// Power sustained for a duration is energy: `s × W = J`.
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    /// Energy over time is mean power: `J / s = W`.
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    /// Energy at a power level takes time: `J / W = s`.
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+// Tests assert exact values that are constructed to be exactly
+// representable; strict float equality is intended.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let p = Watts(85.0);
+        assert_eq!(p.get(), 85.0);
+        assert_eq!(Watts::new(85.0), p);
+        assert_eq!(Watts::ZERO.get(), 0.0);
+        assert_eq!(Watts::default(), Watts::ZERO);
+    }
+
+    #[test]
+    fn same_unit_arithmetic() {
+        assert_eq!(Watts(40.0) + Watts(5.0), Watts(45.0));
+        assert_eq!(Watts(40.0) - Watts(5.0), Watts(35.0));
+        assert_eq!(-Watts(2.0), Watts(-2.0));
+        let mut p = Watts(1.0);
+        p += Watts(2.0);
+        p -= Watts(0.5);
+        assert_eq!(p, Watts(2.5));
+        assert_eq!(Watts(10.0) * 2.0, Watts(20.0));
+        assert_eq!(2.0 * Watts(10.0), Watts(20.0));
+        assert_eq!(Watts(10.0) / 2.0, Watts(5.0));
+        assert_eq!(Watts(10.0) / Watts(4.0), 2.5);
+        let total: Watts = [Watts(1.0), Watts(2.0)].into_iter().sum();
+        assert_eq!(total, Watts(3.0));
+    }
+
+    #[test]
+    fn ordering_and_extrema() {
+        assert!(Watts(10.0) < Watts(12.0));
+        assert_eq!(Watts(10.0).max(Watts(12.0)), Watts(12.0));
+        assert_eq!(Watts(10.0).min(Watts(12.0)), Watts(10.0));
+        assert_eq!(Watts(200.0).clamp(Watts(45.0), Watts(150.0)), Watts(150.0));
+        // NaN-safe extrema never pick the NaN over a real reading.
+        assert_eq!(Watts(f64::NAN).min(Watts(1.0)), Watts(1.0));
+        assert!(!Watts(f64::NAN).is_finite());
+        assert!(Watts(1.0).is_finite());
+        assert!(Seconds(1.0).total_cmp(&Seconds(2.0)).is_lt());
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e: Joules = Watts(100.0) * Seconds(0.5);
+        assert_eq!(e, Joules(50.0));
+        assert_eq!(Seconds(0.5) * Watts(100.0), Joules(50.0));
+        assert_eq!(e / Seconds(0.5), Watts(100.0));
+        assert_eq!(e / Watts(100.0), Seconds(0.5));
+    }
+
+    #[test]
+    fn memory_scale_conversions() {
+        assert_eq!(Mebibytes::from_bytes(1024.0 * 1024.0), Mebibytes(1.0));
+        assert_eq!(Mebibytes::from_gib(1.0), Mebibytes(1024.0));
+        assert_eq!(Mebibytes(1.0).as_bytes(), 1024.0 * 1024.0);
+        assert_eq!(Mebibytes(512.0).as_gib(), 0.5);
+        // Round trip.
+        let m = Mebibytes::from_gib(1.25);
+        assert!((Mebibytes::from_bytes(m.as_bytes()).get() - m.get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seconds_scale_conversions() {
+        assert_eq!(Seconds::from_millis(4.0), Seconds(0.004));
+        assert_eq!(Seconds(0.004).as_millis(), 4.0);
+    }
+
+    #[test]
+    fn display_carries_the_symbol() {
+        assert_eq!(format!("{}", Watts(85.0)), "85 W");
+        assert_eq!(format!("{:.2}", Seconds(0.5)), "0.50 s");
+        assert_eq!(format!("{}", Joules(1.5)), "1.5 J");
+        assert_eq!(format!("{}", Mebibytes(1024.0)), "1024 MiB");
+    }
+}

@@ -10,7 +10,6 @@
 //!
 //! Run with: `cargo run --release --example embedded_deployment`
 
-
 // Examples are terminal programs: printing and panicking on missing results
 // are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
@@ -21,9 +20,9 @@ use hyperpower::{Budget, Method, Mode, Scenario, Session};
 fn main() -> Result<(), hyperpower::Error> {
     let scenario = Scenario::cifar10_tegra_tx1();
     println!(
-        "target platform: {} — power budget {} W (no memory API on this board)",
+        "target platform: {} — power budget {} (no memory API on this board)",
         scenario.device.name,
-        scenario.budgets.power_w.unwrap_or_default()
+        scenario.budgets.power.unwrap_or_default()
     );
     println!("search space: {} hyper-parameters\n", scenario.space.dim());
 

@@ -9,7 +9,6 @@
 //!
 //! Run with: `cargo run --release --example latency_constrained`
 
-
 // Examples are terminal programs: printing and panicking on missing results
 // are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
@@ -17,7 +16,10 @@
 
 use hyperpower::model::FeatureMap;
 use hyperpower::profiler::{fit_models, Profiler};
-use hyperpower::{Budget, Budgets, ConstraintOracle, Method, Mode, Scenario, SearchSpace, Session};
+use hyperpower::{
+    Budget, Budgets, ConstraintOracle, Mebibytes, Method, Mode, Scenario, SearchSpace, Seconds,
+    Session, Watts,
+};
 use hyperpower_gpu_sim::{Gpu, TrainingCostModel, VirtualClock};
 
 fn main() -> Result<(), hyperpower::Error> {
@@ -51,11 +53,12 @@ fn main() -> Result<(), hyperpower::Error> {
     for (label, budgets) in [
         (
             "power + memory (paper)",
-            Budgets::power_and_memory(90.0, 1.25),
+            Budgets::power_and_memory(Watts(90.0), Mebibytes::from_gib(1.25)),
         ),
         (
             "power + memory + 4 us latency",
-            Budgets::power_and_memory(90.0, 1.25).with_latency_ms(0.004),
+            Budgets::power_and_memory(Watts(90.0), Mebibytes::from_gib(1.25))
+                .with_latency(Seconds::from_millis(0.004)),
         ),
     ] {
         // Rebuild the session with the richer oracle by swapping budgets.
@@ -83,7 +86,7 @@ fn main() -> Result<(), hyperpower::Error> {
                     oracle
                         .models()
                         .predict_latency(&z)
-                        .map(|l| l * 1000.0)
+                        .map(|l| l.as_millis())
                         .unwrap_or(f64::NAN)
                 );
             }

@@ -7,7 +7,6 @@
 //!
 //! Run with: `cargo run --release --example power_models`
 
-
 // Examples are terminal programs: printing and panicking on missing results
 // are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
@@ -76,8 +75,8 @@ fn main() -> Result<(), hyperpower::Error> {
         let config = Config::new(unit)?;
         let z = space.structural_values(&config)?;
         let decoded = space.decode(&config)?;
-        let predicted = models.predict_power(&z);
-        let actual = gpu.analyze(&decoded.arch).power_w;
+        let predicted = models.predict_power(&z).get();
+        let actual = gpu.analyze(&decoded.arch).power.get();
         println!("  {label:<15} predicted {predicted:>6.1} W   (ground truth {actual:>6.1} W)");
     }
     Ok(())

@@ -19,10 +19,10 @@ fn main() -> Result<(), hyperpower::Error> {
     // 1. Pick a scenario: platform + search space + budgets.
     let scenario = Scenario::mnist_gtx1070();
     println!(
-        "scenario: {} — budgets: {:?} W / {:?} GiB, {}-dim search space",
+        "scenario: {} — budgets: {} / {:.2} GiB, {}-dim search space",
         scenario.name,
-        scenario.budgets.power_w,
-        scenario.budgets.memory_gib,
+        scenario.budgets.power.unwrap_or_default(),
+        scenario.budgets.memory.unwrap_or_default().as_gib(),
         scenario.space.dim()
     );
 

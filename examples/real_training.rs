@@ -12,7 +12,6 @@
 //!
 //! Run with: `cargo run --release --example real_training`
 
-
 // Examples are terminal programs: printing and panicking on missing results
 // are the point, not a lint violation.
 #![allow(clippy::print_stdout, clippy::print_stderr)]

@@ -3,7 +3,6 @@
 //! claims behind Tables 1–5 and Figures 1, 3, 4 and 6 (the full harnesses
 //! live in `crates/bench`).
 
-
 // Test-support code: strategies build exact values and assert round-trips
 // bit-for-bit; panicking helpers are correct in a test harness.
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
@@ -48,7 +47,7 @@ fn iso_accuracy_power_spread_is_large() {
         let config = Config::random(&mut rng, scenario.space.dim());
         let decoded = scenario.space.decode(&config).expect("valid");
         let err = sim.asymptotic_error(&decoded.arch, &hyper);
-        let power = analyze(&scenario.device, &decoded.arch).power_w;
+        let power = analyze(&scenario.device, &decoded.arch).power.get();
         let bucket = ((err * 100.0) as usize).min(39);
         buckets[bucket].push(power);
     }
@@ -74,11 +73,11 @@ fn power_is_training_invariant() {
     let mut gpu = Gpu::new(scenario.device.clone(), 3);
     let config = Config::new(vec![0.6; 6]).expect("in range");
     let decoded = scenario.space.decode(&config).expect("valid");
-    let truth = gpu.analyze(&decoded.arch).power_w;
+    let truth = gpu.analyze(&decoded.arch).power;
     // 20 "checkpoints": all measurements within sensor noise of the truth.
     for _ in 0..20 {
         let m = gpu.measure_power(&decoded.arch);
-        assert!((m - truth).abs() < 5.0 * scenario.device.power_noise_w);
+        assert!((m - truth).get().abs() < 5.0 * scenario.device.power_noise_w);
     }
 }
 

@@ -3,7 +3,6 @@
 //! training epochs, early termination, hardware measurement, constraint
 //! checks.
 
-
 // Test-support code: strategies build exact values and assert round-trips
 // bit-for-bit; panicking helpers are correct in a test harness.
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]

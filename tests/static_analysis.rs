@@ -4,14 +4,22 @@
 //! `hyperpower-analyze` checks invariants the compiler and clippy cannot
 //! express — seeded randomness only (R1), no raw float equality against
 //! non-zero literals (R2), `#[non_exhaustive]` public error enums (R3),
-//! no printing from library crates (R4), and `debug_assert_finite!`
-//! guards at the declared numerical boundaries (R5). Running it as an
-//! ordinary test keeps `cargo test` the single entry point for all
-//! correctness gates.
+//! no printing from library crates (R4), `debug_assert_finite!` guards at
+//! the declared numerical boundaries (R5), unit-of-measure discipline on
+//! bare `f64` quantities (R6), constraint-before-objective ordering at
+//! acquisition call sites (R7), and seeded-root RNG threading (R8).
+//! Running it as an ordinary test keeps `cargo test` the single entry
+//! point for all correctness gates.
+//!
+//! Accepted legacy findings live in `analyze-baseline.json` at the
+//! workspace root; the gate fails on drift in *either* direction (new
+//! findings, or stale baseline entries that no longer fire and must be
+//! re-recorded with `--write-baseline`).
 
 // Test-support code: panicking on a broken invariant is the point.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
+use hyperpower_analyze::baseline::{Baseline, BASELINE_FILE};
 use hyperpower_analyze::{analyze_workspace, find_workspace_root, Rule};
 
 fn workspace_root() -> std::path::PathBuf {
@@ -19,12 +27,24 @@ fn workspace_root() -> std::path::PathBuf {
         .expect("test runs inside the workspace")
 }
 
+fn committed_baseline(root: &std::path::Path) -> Baseline {
+    let path = root.join(BASELINE_FILE);
+    if path.exists() {
+        Baseline::load(&path).expect("committed baseline parses")
+    } else {
+        Baseline::default()
+    }
+}
+
 #[test]
-fn workspace_passes_all_analyzer_rules() {
-    let report = analyze_workspace(&workspace_root()).expect("workspace sources readable");
+fn workspace_has_no_findings_outside_the_baseline() {
+    let root = workspace_root();
+    let report = analyze_workspace(&root).expect("workspace sources readable");
+    let drift = committed_baseline(&root).diff(&report);
     assert!(
-        report.is_clean(),
-        "static-analysis violations:\n{}",
+        drift.is_empty(),
+        "static-analysis drift against {BASELINE_FILE}:\n{}\nfull report:\n{}",
+        drift.describe(),
         report.to_json()
     );
 }
@@ -43,16 +63,27 @@ fn analyzer_scans_the_real_library_sources() {
 
 #[test]
 fn analyzer_reports_every_rule_kind() {
-    // The report must account for all five rules even when clean, so a
+    // The report must account for all eight rules even when clean, so a
     // rule silently dropped from the rule set is caught here.
-    let report = analyze_workspace(&workspace_root()).expect("workspace sources readable");
+    let root = workspace_root();
+    let report = analyze_workspace(&root).expect("workspace sources readable");
+    let drift = committed_baseline(&root).diff(&report);
     for rule in Rule::ALL {
+        let outside_baseline: usize = drift
+            .new
+            .iter()
+            .filter(|e| e.rule == rule.id())
+            .map(|e| e.count)
+            .sum();
         assert_eq!(
-            report.findings_for(rule).count(),
+            outside_baseline,
             0,
-            "rule {} has findings on a clean workspace",
+            "rule {} has non-baseline findings on a clean workspace",
             rule.id()
         );
+        // Touch the per-rule accessor too, so a rule dropped from the
+        // report plumbing (not just the rule set) is caught.
+        let _ = report.findings_for(rule).count();
     }
-    assert_eq!(Rule::ALL.len(), 5, "expected exactly five analyzer rules");
+    assert_eq!(Rule::ALL.len(), 8, "expected exactly eight analyzer rules");
 }

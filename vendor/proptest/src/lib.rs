@@ -147,7 +147,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter '{}' rejected 1000 consecutive cases", self.whence);
+        panic!(
+            "prop_filter '{}' rejected 1000 consecutive cases",
+            self.whence
+        );
     }
 }
 
@@ -414,7 +417,13 @@ mod tests {
 
     #[test]
     fn seeds_are_stable() {
-        assert_eq!(crate::runner::seed_for("a::b"), crate::runner::seed_for("a::b"));
-        assert_ne!(crate::runner::seed_for("a::b"), crate::runner::seed_for("a::c"));
+        assert_eq!(
+            crate::runner::seed_for("a::b"),
+            crate::runner::seed_for("a::b")
+        );
+        assert_ne!(
+            crate::runner::seed_for("a::b"),
+            crate::runner::seed_for("a::c")
+        );
     }
 }
