@@ -17,6 +17,7 @@ use crate::{Finding, Rule};
 /// borrow `&mut StdRng`.
 pub const RNG_ROOTS: &[&str] = &[
     "crates/core/src/driver.rs",
+    "crates/core/src/executor.rs",
     "crates/core/src/profiler.rs",
     "crates/core/src/scenario.rs",
     "crates/data/src/generator.rs",

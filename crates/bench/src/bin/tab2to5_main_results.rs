@@ -12,8 +12,12 @@
 //! * **Table 5** — time to reach the default's best accuracy, with
 //!   speedup.
 //!
-//! Usage: `tab2to5_main_results [--quick]` (`--quick`: one run per cell
-//! and quarter-length budgets, for smoke testing).
+//! Usage: `tab2to5_main_results [--quick] [--workers N]` (`--quick`: one
+//! run per cell and quarter-length budgets, for smoke testing;
+//! `--workers`: run the 16 independent (pair × method) cells on N threads
+//! — the printed tables are bit-identical for every N, only wall-clock
+//! changes; defaults to the `HYPERPOWER_WORKERS` environment variable,
+//! then 1).
 
 // Experiment binaries are terminal programs: printing results and
 // panicking on setup failures are the point, not a lint violation.
@@ -22,6 +26,7 @@
 
 use hyperpower::report::{format_error_cell, format_scalar_cell, PairedRuns};
 use hyperpower::{Budget, Method, Mode, Scenario, Session, Trace};
+use hyperpower_bench::parallel::{parallel_map, workers_from_args};
 
 fn run_pairs(
     scenario: &Scenario,
@@ -53,28 +58,43 @@ fn run_pairs(
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let workers = workers_from_args(&args);
     let runs = if quick { 1 } else { 5 };
     let budget_scale = if quick { 0.25 } else { 1.0 };
 
     let scenarios = Scenario::all_pairs();
     let methods = Method::ALL;
 
-    // results[pair][method]
+    // Each (pair, method) cell builds its own session from its own seed,
+    // so the 16 cells are fully independent: running them on threads
+    // cannot change any table entry, only the wall-clock.
+    let cells: Vec<(usize, usize)> = (0..scenarios.len())
+        .flat_map(|si| (0..methods.len()).map(move |mi| (si, mi)))
+        .collect();
+    eprintln!(
+        "running {} (pair x method) cells on {workers} thread(s) ...",
+        cells.len()
+    );
+    let mut computed = parallel_map(&cells, workers, |_, &(si, mi)| {
+        let scenario = &scenarios[si];
+        eprintln!("running {} / {} ...", scenario.name, methods[mi]);
+        let hours = scenario.time_budget_hours * budget_scale;
+        run_pairs(
+            scenario,
+            methods[mi],
+            runs,
+            hours,
+            (si * 10 + mi + 1) as u64,
+        )
+    })
+    .into_iter();
+
+    // results[pair][method], in the cells' row-major order.
     let mut results: Vec<Vec<PairedRuns>> = Vec::new();
-    for (si, scenario) in scenarios.iter().enumerate() {
-        eprintln!("running pair {} ...", scenario.name);
-        let mut row = Vec::new();
-        for (mi, &method) in methods.iter().enumerate() {
-            let hours = scenario.time_budget_hours * budget_scale;
-            row.push(run_pairs(
-                scenario,
-                method,
-                runs,
-                hours,
-                (si * 10 + mi + 1) as u64,
-            ));
-        }
+    for _ in 0..scenarios.len() {
+        let row: Vec<PairedRuns> = computed.by_ref().take(methods.len()).collect();
         results.push(row);
     }
 

@@ -34,6 +34,10 @@ pub enum Command {
         budget: Budget,
         /// RNG seed.
         seed: u64,
+        /// Worker threads for candidate evaluation (`None` ⇒ the
+        /// `HYPERPOWER_WORKERS` environment variable, then 1). Never
+        /// changes the result, only the wall-clock.
+        workers: Option<usize>,
         /// Write the full per-sample trace as CSV to this path.
         csv: Option<String>,
     },
@@ -78,7 +82,8 @@ hyperpower — power- and memory-constrained hyper-parameter optimization
 USAGE:
   hyperpower profile --pair <PAIR> [--samples N] [--seed N]
   hyperpower run --pair <PAIR> --method <METHOD> [--mode MODE]
-                 [--evals N | --hours H] [--seed N] [--csv PATH]
+                 [--evals N | --hours H] [--seed N] [--workers N]
+                 [--csv PATH]
   hyperpower help
 
 PAIRS:    mnist-gtx | cifar-gtx | mnist-tegra | cifar-tegra
@@ -86,6 +91,9 @@ METHODS:  rand | rand-walk | hw-cwei | hw-ieci
 MODES:    default | hyperpower        (default: hyperpower)
 BUDGETS:  --evals N (function evaluations) or --hours H (virtual wall
           clock); default: the pair's paper budget (2 h / 5 h).
+WORKERS:  --workers N evaluates candidates on N threads. The result is
+          bit-identical for every N; only wall-clock changes. Default:
+          the HYPERPOWER_WORKERS environment variable, then 1.
 ";
 
 fn parse_pair(s: &str) -> Result<Pair, ParseError> {
@@ -178,6 +186,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             let mut mode = Mode::HyperPower;
             let mut budget = None;
             let mut seed = 0u64;
+            let mut workers = None;
             let mut csv = None;
             while let Some(flag) = it.next() {
                 match flag {
@@ -201,6 +210,15 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                             .parse()
                             .map_err(|_| ParseError("--seed expects an integer".into()))?
                     }
+                    "--workers" => {
+                        let n: usize = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--workers expects an integer".into()))?;
+                        if n == 0 {
+                            return Err(ParseError("--workers must be positive".into()));
+                        }
+                        workers = Some(n);
+                    }
                     "--csv" => csv = Some(take_value(flag, &mut it)?.to_string()),
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
@@ -217,6 +235,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 mode,
                 budget,
                 seed,
+                workers,
                 csv,
             })
         }
@@ -285,6 +304,8 @@ mod tests {
             "25",
             "--seed",
             "3",
+            "--workers",
+            "4",
             "--csv",
             "/tmp/t.csv",
         ])
@@ -297,9 +318,43 @@ mod tests {
                 mode: Mode::Default,
                 budget: Budget::Evaluations(25),
                 seed: 3,
+                workers: Some(4),
                 csv: Some("/tmp/t.csv".into()),
             }
         );
+    }
+
+    #[test]
+    fn workers_defaults_to_none_and_rejects_bad_values() {
+        let c = parse(&["run", "--pair", "mnist-gtx", "--method", "rand"]).unwrap();
+        let Command::Run { workers, .. } = c else {
+            panic!("expected run");
+        };
+        assert_eq!(workers, None);
+        assert!(parse(&[
+            "run",
+            "--pair",
+            "mnist-gtx",
+            "--method",
+            "rand",
+            "--workers",
+            "0"
+        ])
+        .unwrap_err()
+        .0
+        .contains("positive"));
+        assert!(parse(&[
+            "run",
+            "--pair",
+            "mnist-gtx",
+            "--method",
+            "rand",
+            "--workers",
+            "two"
+        ])
+        .unwrap_err()
+        .0
+        .contains("integer"));
     }
 
     #[test]

@@ -17,7 +17,7 @@ mod args;
 use std::process::ExitCode;
 
 use args::{parse, Command, Pair, USAGE};
-use hyperpower::{Scenario, Session};
+use hyperpower::{ExecutorOptions, Scenario, Session};
 
 fn scenario_for(pair: Pair) -> Scenario {
     match pair {
@@ -89,6 +89,7 @@ fn main() -> ExitCode {
             mode,
             budget,
             seed,
+            workers,
             csv,
         } => {
             let scenario = scenario_for(pair);
@@ -101,7 +102,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let trace = match session.run_seeded(method, mode, budget, seed) {
+            // --workers only changes wall-clock: the trace is bit-identical
+            // for every thread count (the flag overrides HYPERPOWER_WORKERS).
+            let options = match workers {
+                Some(w) => ExecutorOptions::default().with_workers(w),
+                None => ExecutorOptions::from_env(),
+            };
+            let trace = match session.run_seeded_with(method, mode, budget, seed, &options) {
                 Ok(t) => t,
                 Err(e) => {
                     eprintln!("error: {e}");

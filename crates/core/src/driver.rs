@@ -9,11 +9,10 @@
 //! exactly the information the paper's Figures 4 and 6 and Tables 2–5 are
 //! built from.
 
-use hyperpower_gpu_sim::{Gpu, TrainingCostModel, VirtualClock};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hyperpower_gpu_sim::{Gpu, TrainingCostModel};
 
-use crate::methods::{make_searcher, History, Searcher};
+use crate::executor::{run_optimization_with, ExecutorOptions};
+use crate::methods::Searcher;
 use crate::{
     Budgets, Config, ConstraintOracle, EarlyTermination, Method, Mode, Objective, Result,
     SearchSpace,
@@ -258,8 +257,10 @@ impl Trace {
 pub struct RunSetup<'a> {
     /// The search space.
     pub space: &'a SearchSpace,
-    /// The expensive objective.
-    pub objective: &'a mut dyn Objective,
+    /// The expensive objective. Shared (`&dyn`) because the executor may
+    /// evaluate several candidates on concurrent threads; implementations
+    /// are `Sync` and deterministic in `(decoded, eval_seed)`.
+    pub objective: &'a dyn Objective,
     /// The target platform (measures power/memory of evaluated samples).
     pub gpu: &'a mut Gpu,
     /// Hardware budgets used to judge feasibility.
@@ -306,124 +307,20 @@ impl std::fmt::Debug for RunSetup<'_> {
 /// Safety valve: a HyperPower-mode run whose models reject this many
 /// candidates *in a row* concludes the predicted-feasible region is
 /// (effectively) empty and stops proposing.
-const MAX_CONSECUTIVE_REJECTIONS: usize = 20_000;
+pub(crate) const MAX_CONSECUTIVE_REJECTIONS: usize = 20_000;
 
 /// Runs one optimization to completion and returns its [`Trace`].
+///
+/// The loop itself lives in [`crate::executor`]; this entry point runs it
+/// with [`ExecutorOptions::from_env`] — one simulated GPU (the paper's
+/// sequential schedule) and the thread count from `HYPERPOWER_WORKERS`.
+/// The trace is identical for every worker count.
 ///
 /// # Errors
 ///
 /// Propagates space-decoding, GP-fitting and objective errors.
 pub fn run_optimization(setup: RunSetup<'_>) -> Result<Trace> {
-    let RunSetup {
-        space,
-        objective,
-        gpu,
-        budgets,
-        oracle,
-        early_termination,
-        cost,
-        method,
-        mode,
-        budget,
-        seed,
-        searcher_override,
-    } = setup;
-
-    let mut searcher =
-        searcher_override.unwrap_or_else(|| make_searcher(method, mode, oracle.cloned()));
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut clock = VirtualClock::new();
-    let mut history = History::new();
-    let mut samples: Vec<Sample> = Vec::new();
-    let mut evaluations = 0usize;
-    let mut consecutive_rejections = 0usize;
-
-    // Model-based rejection filtering applies to model-free methods in
-    // HyperPower mode; BO methods carry the constraints in their
-    // acquisition instead (paper §3.4–3.5).
-    let screen = match (mode, oracle) {
-        (Mode::HyperPower, Some(oracle)) if method.is_model_free() => Some(oracle),
-        _ => None,
-    };
-
-    loop {
-        match budget {
-            Budget::Evaluations(n) if evaluations >= n => break,
-            Budget::VirtualHours(h) if clock.hours() >= h => break,
-            _ => {}
-        }
-
-        let config = searcher.propose(space, &history, &mut rng)?;
-        let decoded = space.decode(&config)?;
-
-        if let Some(oracle) = screen {
-            if !oracle.predicted_feasible(&decoded.structural) {
-                clock.advance_secs(cost.model_eval_s);
-                let predicted_power = oracle.models().predict_power(&decoded.structural);
-                samples.push(Sample {
-                    index: samples.len(),
-                    timestamp_s: clock.seconds(),
-                    kind: SampleKind::Rejected,
-                    error: None,
-                    power_w: predicted_power.get(),
-                    memory_bytes: None,
-                    latency_s: None,
-                    feasible: false,
-                    config,
-                });
-                consecutive_rejections += 1;
-                if consecutive_rejections >= MAX_CONSECUTIVE_REJECTIONS {
-                    break;
-                }
-                continue;
-            }
-            // Feasibility checks on surviving candidates are also billed.
-            clock.advance_secs(cost.model_eval_s);
-        }
-        consecutive_rejections = 0;
-
-        // The expensive step: train the candidate.
-        let eval_seed = seed
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(samples.len() as u64);
-        let result = objective.evaluate(&decoded, early_termination.as_ref(), eval_seed)?;
-        clock.advance_secs(result.train_secs);
-
-        // Profile the trained candidate on the target platform. The typed
-        // readings flow straight into the budget check; the trace record
-        // keeps raw (suffixed) magnitudes for CSV export and reporting.
-        let power = gpu.measure_power(&decoded.arch);
-        let memory = gpu.measure_memory(&decoded.arch).ok();
-        let latency = gpu.measure_latency(&decoded.arch);
-        clock.advance_secs(cost.measurement_s);
-
-        let feasible = budgets.satisfied_by_measurements(power, memory, Some(latency));
-        history.push(config.clone(), result.error);
-        evaluations += 1;
-        samples.push(Sample {
-            index: samples.len(),
-            timestamp_s: clock.seconds(),
-            kind: if result.terminated_early {
-                SampleKind::EarlyTerminated
-            } else {
-                SampleKind::Trained
-            },
-            error: Some(result.error),
-            power_w: power.get(),
-            memory_bytes: memory.map(|m| m.as_bytes() as u64),
-            latency_s: Some(latency.get()),
-            feasible,
-            config,
-        });
-    }
-
-    Ok(Trace {
-        method,
-        mode,
-        budgets,
-        samples,
-        total_time_s: clock.seconds(),
-    })
+    run_optimization_with(setup, &ExecutorOptions::from_env())
 }
 
 #[cfg(test)]

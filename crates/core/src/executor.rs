@@ -1,0 +1,646 @@
+//! Deterministic parallel candidate evaluation.
+//!
+//! The paper's asymmetry — constraint checks cost milliseconds while
+//! candidate *training* dominates wall-clock (§5 trains 50 candidates over
+//! 2–5 simulated hours) — makes training the obvious thing to parallelise.
+//! This module runs up to `workers` candidate trainings concurrently on OS
+//! threads ([`std::thread::scope`]; the workspace is hermetic, so no rayon)
+//! while keeping every emitted [`Trace`] **bit-for-bit reproducible**.
+//!
+//! Two dials, two very different meanings:
+//!
+//! * [`ExecutorOptions::workers`] — how many OS threads evaluate
+//!   candidates. This is *semantics-neutral*: the trace is byte-identical
+//!   for workers ∈ {1, 2, 4, 8} at a fixed seed (proven by
+//!   `tests/parallel_determinism.rs`), only real wall-clock changes.
+//! * [`ExecutorOptions::simulated_gpus`] — how many *virtual* training
+//!   GPUs the experiment models. This is a *semantic* knob: with 1 GPU the
+//!   executor reproduces the paper's sequential schedule exactly; with
+//!   G > 1 it runs the honest batch-parallel experiment (constant-liar
+//!   pending points, samples committed in completion-time order) — still
+//!   deterministic given the seed and G, and still independent of
+//!   `workers`.
+//!
+//! # Why the two dials cannot be one
+//!
+//! A single "K workers ⇒ K-point batches" knob would tie the *algorithm*
+//! (what gets proposed) to the *machine* (how many threads run), and the
+//! headline invariant — byte-identical traces across thread counts — would
+//! be unsatisfiable: a K-point constant-liar batch proposes different
+//! configurations than the sequential loop. Splitting the dials keeps the
+//! invariant testable and makes workers=1 the semantic reference.
+//!
+//! # Determinism scheme
+//!
+//! * **Proposal RNG**: one `StdRng::seed_from_u64(seed)` stream, consumed
+//!   strictly in proposal order (single-GPU: trace order; multi-GPU:
+//!   earliest-free-worker order with lowest-index tiebreak).
+//! * **Per-candidate evaluation seeds**: derived as
+//!   `seed × 0x9e37_79b9_7f4a_7c15 + query_index` (the golden-ratio mix the
+//!   sequential driver has always used), so a candidate's training outcome
+//!   depends only on *which* proposal it was — never on which thread ran
+//!   it or when it finished.
+//! * **Sensor measurements**: performed at *commit* time on the
+//!   coordinator's single [`Gpu`] stream, in commit order — the shared
+//!   noise stream never races.
+//! * **Commit order**: completion-time order with proposal-index tiebreak,
+//!   via [`CommitQueue`]; with one simulated GPU this degenerates to
+//!   proposal order.
+
+use hyperpower_gpu_sim::{CommitQueue, VirtualClock, WorkerClock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::constraints::ConstraintOracle;
+use crate::driver::{Budget, RunSetup, Sample, SampleKind, Trace, MAX_CONSECUTIVE_REJECTIONS};
+use crate::methods::{make_searcher, Conditioning, History};
+use crate::objective::EvaluationResult;
+use crate::space::Decoded;
+use crate::{Config, EarlyTermination, Method, Mode, Objective, Result};
+
+/// Environment variable read by [`ExecutorOptions::from_env`] for the
+/// default worker-thread count (used by the CI matrix to exercise the
+/// parallel paths across the whole test suite).
+pub const WORKERS_ENV: &str = "HYPERPOWER_WORKERS";
+
+/// The multiplier in the per-candidate seed derivation
+/// `eval_seed = seed × MIX + query_index` (golden-ratio mixing constant;
+/// the same derivation the sequential driver has used since the start).
+const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Knobs for the parallel evaluation executor. See the module docs for why
+/// `workers` (threads, semantics-neutral) and `simulated_gpus` (virtual
+/// schedule, semantic) are separate dials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorOptions {
+    /// Maximum OS threads evaluating candidates concurrently. Never
+    /// affects the emitted trace; 0 is treated as 1.
+    pub workers: usize,
+    /// Number of simulated training GPUs in the virtual schedule. 1 (the
+    /// default and the semantic reference) reproduces the sequential
+    /// paper experiment; G > 1 runs the batch-parallel variant. 0 is
+    /// treated as 1.
+    pub simulated_gpus: usize,
+}
+
+impl Default for ExecutorOptions {
+    fn default() -> Self {
+        ExecutorOptions {
+            workers: 1,
+            simulated_gpus: 1,
+        }
+    }
+}
+
+impl ExecutorOptions {
+    /// Options with the worker count taken from the `HYPERPOWER_WORKERS`
+    /// environment variable (unset, unparsable or zero ⇒ 1) and one
+    /// simulated GPU.
+    pub fn from_env() -> Self {
+        let workers = std::env::var(WORKERS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&w| w > 0)
+            .unwrap_or(1);
+        ExecutorOptions {
+            workers,
+            ..ExecutorOptions::default()
+        }
+    }
+
+    /// Replaces the worker-thread count (builder style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Replaces the simulated-GPU count (builder style).
+    pub fn with_simulated_gpus(mut self, simulated_gpus: usize) -> Self {
+        self.simulated_gpus = simulated_gpus;
+        self
+    }
+
+    fn effective_workers(&self) -> usize {
+        self.workers.max(1)
+    }
+}
+
+/// Runs one optimization with explicit executor options.
+///
+/// `options.simulated_gpus == 1` reproduces [`crate::driver::run_optimization`]'s
+/// sequential schedule byte-for-byte at any worker count; larger values run
+/// the deterministic batch-parallel schedule.
+///
+/// # Errors
+///
+/// Propagates space-decoding, GP-fitting and objective errors (the first
+/// error in proposal order wins, so failures are deterministic too).
+pub fn run_optimization_with(setup: RunSetup<'_>, options: &ExecutorOptions) -> Result<Trace> {
+    let workers = options.effective_workers();
+    if options.simulated_gpus.max(1) == 1 {
+        run_single_gpu(setup, workers)
+    } else {
+        run_multi_gpu(setup, workers, options.simulated_gpus)
+    }
+}
+
+/// Selects the rejection-screening oracle exactly as the sequential loop
+/// does: model-free methods in HyperPower mode screen; BO methods carry the
+/// constraints inside their acquisition instead (paper §3.4–3.5).
+fn screening_oracle(
+    mode: Mode,
+    method: Method,
+    oracle: Option<&ConstraintOracle>,
+) -> Option<&ConstraintOracle> {
+    match (mode, oracle) {
+        (Mode::HyperPower, Some(oracle)) if method.is_model_free() => Some(oracle),
+        _ => None,
+    }
+}
+
+/// A proposal planned ahead of its commit (single-GPU pipeline).
+struct PlannedItem {
+    config: Config,
+    decoded: Decoded,
+    rejected: bool,
+    eval_seed: u64,
+}
+
+/// Single-GPU mode: the semantic reference. The virtual schedule is the
+/// sequential paper experiment; `workers` only lets history-independent
+/// searchers (Rand, grid) *prefetch* a block of proposals and train them on
+/// concurrent threads. Every commit re-checks the budget, so a prefetched
+/// tail that the sequential loop would never have proposed is discarded
+/// unseen — byte identity with the sequential trace is preserved.
+fn run_single_gpu(setup: RunSetup<'_>, workers: usize) -> Result<Trace> {
+    let RunSetup {
+        space,
+        objective,
+        gpu,
+        budgets,
+        oracle,
+        early_termination,
+        cost,
+        method,
+        mode,
+        budget,
+        seed,
+        searcher_override,
+    } = setup;
+
+    let mut searcher =
+        searcher_override.unwrap_or_else(|| make_searcher(method, mode, oracle.cloned()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clock = VirtualClock::new();
+    let mut history = History::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut evaluations = 0usize;
+    let mut consecutive_rejections = 0usize;
+    let screen = screening_oracle(mode, method, oracle);
+
+    // Dependent searchers must see each result before the next proposal:
+    // their lookahead is 1 and the pipeline degenerates to the sequential
+    // loop (with the evaluation possibly running on another thread, which
+    // cannot matter — evaluation is a pure function of (decoded, seed)).
+    let lookahead = if workers > 1 && searcher.conditioning() == Conditioning::Independent {
+        workers
+    } else {
+        1
+    };
+
+    'run: loop {
+        match budget {
+            Budget::Evaluations(n) if evaluations >= n => break,
+            Budget::VirtualHours(h) if clock.hours() >= h => break,
+            _ => {}
+        }
+
+        // Plan a block of proposals. Proposals never run past the
+        // evaluation budget (rejected ones occupy no evaluation slot, so
+        // the block can only undershoot, never overshoot).
+        let room = match budget {
+            Budget::Evaluations(n) => n.saturating_sub(evaluations),
+            Budget::VirtualHours(_) => lookahead,
+        };
+        let block = lookahead.min(room).max(1);
+        let mut planned: Vec<PlannedItem> = Vec::with_capacity(block);
+        let base_slot = samples.len() as u64;
+        for offset in 0..block as u64 {
+            let config = searcher.propose(space, &history, &mut rng)?;
+            let decoded = space.decode(&config)?;
+            let rejected = match screen {
+                Some(oracle) => !oracle.predicted_feasible(&decoded.structural),
+                None => false,
+            };
+            // Every committed sample — rejected or trained — occupies one
+            // trace slot, and the evaluation seed is derived from that
+            // slot exactly as in the sequential loop.
+            let eval_seed = seed.wrapping_mul(SEED_MIX).wrapping_add(base_slot + offset);
+            planned.push(PlannedItem {
+                config,
+                decoded,
+                rejected,
+                eval_seed,
+            });
+        }
+
+        // Train the surviving candidates concurrently.
+        let tasks: Vec<(&Decoded, u64)> = planned
+            .iter()
+            .filter(|p| !p.rejected)
+            .map(|p| (&p.decoded, p.eval_seed))
+            .collect();
+        let results = evaluate_parallel(objective, early_termination.as_ref(), &tasks, workers)?;
+
+        // Commit in proposal order, advancing the virtual clock with the
+        // exact operation sequence of the sequential loop. A budget hit
+        // mid-block discards the remaining (never-would-have-been-proposed)
+        // tail.
+        let mut next_result = results.into_iter();
+        for item in planned {
+            match budget {
+                Budget::Evaluations(n) if evaluations >= n => break 'run,
+                Budget::VirtualHours(h) if clock.hours() >= h => break 'run,
+                _ => {}
+            }
+            if item.rejected {
+                let Some(oracle) = screen else {
+                    // `rejected` is only ever set by the screening oracle.
+                    unreachable!("rejected proposal without a screening oracle");
+                };
+                clock.advance_secs(cost.model_eval_s);
+                let predicted_power = oracle.models().predict_power(&item.decoded.structural);
+                samples.push(Sample {
+                    index: samples.len(),
+                    timestamp_s: clock.seconds(),
+                    kind: SampleKind::Rejected,
+                    error: None,
+                    power_w: predicted_power.get(),
+                    memory_bytes: None,
+                    latency_s: None,
+                    feasible: false,
+                    config: item.config,
+                });
+                consecutive_rejections += 1;
+                if consecutive_rejections >= MAX_CONSECUTIVE_REJECTIONS {
+                    break 'run;
+                }
+                continue;
+            }
+            if screen.is_some() {
+                // Feasibility checks on surviving candidates are billed too.
+                clock.advance_secs(cost.model_eval_s);
+            }
+            consecutive_rejections = 0;
+            let Some(result) = next_result.next() else {
+                unreachable!("one evaluation result per surviving candidate");
+            };
+            clock.advance_secs(result.train_secs);
+
+            let power = gpu.measure_power(&item.decoded.arch);
+            let memory = gpu.measure_memory(&item.decoded.arch).ok();
+            let latency = gpu.measure_latency(&item.decoded.arch);
+            clock.advance_secs(cost.measurement_s);
+
+            let feasible = budgets.satisfied_by_measurements(power, memory, Some(latency));
+            history.push(item.config.clone(), result.error);
+            evaluations += 1;
+            samples.push(Sample {
+                index: samples.len(),
+                timestamp_s: clock.seconds(),
+                kind: if result.terminated_early {
+                    SampleKind::EarlyTerminated
+                } else {
+                    SampleKind::Trained
+                },
+                error: Some(result.error),
+                power_w: power.get(),
+                memory_bytes: memory.map(|m| m.as_bytes() as u64),
+                latency_s: Some(latency.get()),
+                feasible,
+                config: item.config,
+            });
+        }
+    }
+
+    Ok(Trace {
+        method,
+        mode,
+        budgets,
+        samples,
+        total_time_s: clock.seconds(),
+    })
+}
+
+/// A candidate dispatched to a simulated GPU, awaiting training.
+struct InFlight {
+    worker: usize,
+    query: u64,
+    config: Config,
+    decoded: Decoded,
+    eval_seed: u64,
+}
+
+/// What a finished queue entry commits to the trace.
+enum CommitItem {
+    Rejected {
+        config: Config,
+        predicted_power_w: f64,
+    },
+    Evaluated {
+        worker: usize,
+        config: Config,
+        decoded: Decoded,
+        result: EvaluationResult,
+    },
+}
+
+/// Multi-GPU mode: a discrete-event simulation over `gpus` virtual worker
+/// timelines.
+///
+/// Each round (a) fills every free worker with proposals — the earliest
+/// free worker (lowest-index tiebreak) proposes next, with the in-flight
+/// configurations passed as constant-liar pending points; (b) trains the
+/// newly dispatched candidates concurrently (real threads, virtual
+/// durations); (c) pops exactly one entry — the globally earliest
+/// `(completion time, proposal index)` — from the [`CommitQueue`] and
+/// commits it. Popping the minimum is safe because after (a)+(b) every
+/// potential earlier commit is already queued: all workers are either busy
+/// (their entry is queued) or blocked for the rest of the run.
+fn run_multi_gpu(setup: RunSetup<'_>, workers: usize, gpus: usize) -> Result<Trace> {
+    let RunSetup {
+        space,
+        objective,
+        gpu,
+        budgets,
+        oracle,
+        early_termination,
+        cost,
+        method,
+        mode,
+        budget,
+        seed,
+        searcher_override,
+    } = setup;
+
+    let mut searcher =
+        searcher_override.unwrap_or_else(|| make_searcher(method, mode, oracle.cloned()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clock = WorkerClock::new(gpus);
+    let mut queue: CommitQueue<CommitItem> = CommitQueue::new();
+    let mut history = History::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut evaluations = 0usize;
+    let mut consecutive_rejections = 0usize;
+    let mut rejections_exhausted = false;
+    let mut busy = vec![false; gpus];
+    let mut blocked = vec![false; gpus];
+    let mut pending: Vec<(u64, Config)> = Vec::new();
+    let mut query: u64 = 0;
+    let mut dispatched_evals = 0usize;
+    let screen = screening_oracle(mode, method, oracle);
+
+    loop {
+        // Phase A: fill free workers with proposals, earliest worker first.
+        let mut newly_planned: Vec<InFlight> = Vec::new();
+        'fill: loop {
+            if rejections_exhausted {
+                break;
+            }
+            // The evaluation budget is never exceeded by in-flight work:
+            // dispatches, not commits, are counted against it.
+            if let Budget::Evaluations(n) = budget {
+                if dispatched_evals >= n {
+                    break;
+                }
+            }
+            let Some(w) = earliest_free(&clock, &busy, &blocked) else {
+                break;
+            };
+            if let Budget::VirtualHours(h) = budget {
+                // Paper rule: the last sample queried before the deadline
+                // completes; nothing further is queried on this worker.
+                if clock.seconds(w) / 3600.0 >= h {
+                    blocked[w] = true;
+                    continue 'fill;
+                }
+            }
+            let pending_configs: Vec<Config> = pending.iter().map(|(_, c)| c.clone()).collect();
+            let config =
+                searcher.propose_with_pending(space, &history, &pending_configs, &mut rng)?;
+            let decoded = space.decode(&config)?;
+            let q = query;
+            query += 1;
+            if let Some(oracle) = screen {
+                if !oracle.predicted_feasible(&decoded.structural) {
+                    clock.advance_secs(w, cost.model_eval_s);
+                    let predicted_power = oracle.models().predict_power(&decoded.structural);
+                    queue.push(
+                        clock.seconds(w),
+                        q,
+                        CommitItem::Rejected {
+                            config,
+                            predicted_power_w: predicted_power.get(),
+                        },
+                    );
+                    consecutive_rejections += 1;
+                    if consecutive_rejections >= MAX_CONSECUTIVE_REJECTIONS {
+                        rejections_exhausted = true;
+                    }
+                    continue 'fill;
+                }
+                clock.advance_secs(w, cost.model_eval_s);
+            }
+            consecutive_rejections = 0;
+            let eval_seed = seed.wrapping_mul(SEED_MIX).wrapping_add(q);
+            pending.push((q, config.clone()));
+            busy[w] = true;
+            if matches!(budget, Budget::Evaluations(_)) {
+                dispatched_evals += 1;
+            }
+            newly_planned.push(InFlight {
+                worker: w,
+                query: q,
+                config,
+                decoded,
+                eval_seed,
+            });
+        }
+
+        // Phase B: train the dispatched candidates concurrently and queue
+        // their completions.
+        let tasks: Vec<(&Decoded, u64)> = newly_planned
+            .iter()
+            .map(|p| (&p.decoded, p.eval_seed))
+            .collect();
+        let results = evaluate_parallel(objective, early_termination.as_ref(), &tasks, workers)?;
+        for (plan, result) in newly_planned.into_iter().zip(results) {
+            clock.advance_secs(plan.worker, result.train_secs);
+            clock.advance_secs(plan.worker, cost.measurement_s);
+            queue.push(
+                clock.seconds(plan.worker),
+                plan.query,
+                CommitItem::Evaluated {
+                    worker: plan.worker,
+                    config: plan.config,
+                    decoded: plan.decoded,
+                    result,
+                },
+            );
+        }
+
+        // Phase C: commit the globally earliest completion.
+        let Some((time_s, q, item)) = queue.pop_min() else {
+            break;
+        };
+        match item {
+            CommitItem::Rejected {
+                config,
+                predicted_power_w,
+            } => {
+                samples.push(Sample {
+                    index: samples.len(),
+                    timestamp_s: time_s,
+                    kind: SampleKind::Rejected,
+                    error: None,
+                    power_w: predicted_power_w,
+                    memory_bytes: None,
+                    latency_s: None,
+                    feasible: false,
+                    config,
+                });
+            }
+            CommitItem::Evaluated {
+                worker,
+                config,
+                decoded,
+                result,
+            } => {
+                // Sensors are read on the coordinator's single GPU stream
+                // in commit order: the noise sequence is a function of the
+                // trace, not of thread scheduling.
+                let power = gpu.measure_power(&decoded.arch);
+                let memory = gpu.measure_memory(&decoded.arch).ok();
+                let latency = gpu.measure_latency(&decoded.arch);
+                let feasible = budgets.satisfied_by_measurements(power, memory, Some(latency));
+                history.push(config.clone(), result.error);
+                evaluations += 1;
+                samples.push(Sample {
+                    index: samples.len(),
+                    timestamp_s: time_s,
+                    kind: if result.terminated_early {
+                        SampleKind::EarlyTerminated
+                    } else {
+                        SampleKind::Trained
+                    },
+                    error: Some(result.error),
+                    power_w: power.get(),
+                    memory_bytes: memory.map(|m| m.as_bytes() as u64),
+                    latency_s: Some(latency.get()),
+                    feasible,
+                    config,
+                });
+                busy[worker] = false;
+                pending.retain(|(pq, _)| *pq != q);
+            }
+        }
+    }
+
+    // `evaluations` feeds the dispatch gate; the trace recomputes its own
+    // count, and the two must agree once the queue has drained.
+    debug_assert_eq!(
+        evaluations,
+        samples
+            .iter()
+            .filter(|s| s.kind != SampleKind::Rejected)
+            .count()
+    );
+
+    Ok(Trace {
+        method,
+        mode,
+        budgets,
+        samples,
+        total_time_s: clock.latest_secs(),
+    })
+}
+
+/// The earliest-timeline free worker, lowest index on ties; `None` when
+/// every worker is busy or blocked.
+fn earliest_free(clock: &WorkerClock, busy: &[bool], blocked: &[bool]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for w in 0..clock.workers() {
+        if busy[w] || blocked[w] {
+            continue;
+        }
+        best = match best {
+            Some(b)
+                if clock.seconds(w).total_cmp(&clock.seconds(b)) != std::cmp::Ordering::Less =>
+            {
+                Some(b)
+            }
+            _ => Some(w),
+        };
+    }
+    best
+}
+
+/// Evaluates `tasks` (a `(decoded, eval_seed)` per candidate), using up to
+/// `workers` scoped threads, and returns the results in task order.
+///
+/// Work is assigned round-robin and each result lands in its own slot, so
+/// neither thread scheduling nor completion order can influence the output;
+/// on failure the first error *in task order* is returned. Thread panics
+/// propagate to the caller.
+fn evaluate_parallel(
+    objective: &dyn Objective,
+    early: Option<&EarlyTermination>,
+    tasks: &[(&Decoded, u64)],
+    workers: usize,
+) -> Result<Vec<EvaluationResult>> {
+    if tasks.len() <= 1 || workers <= 1 {
+        let mut out = Vec::with_capacity(tasks.len());
+        for (decoded, eval_seed) in tasks {
+            out.push(objective.evaluate(decoded, early, *eval_seed)?);
+        }
+        return Ok(out);
+    }
+
+    let threads = workers.min(tasks.len());
+    let mut slots: Vec<Option<Result<EvaluationResult>>> = Vec::with_capacity(tasks.len());
+    slots.resize_with(tasks.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            handles.push(scope.spawn(move || {
+                let mut mine = Vec::new();
+                let mut i = t;
+                while i < tasks.len() {
+                    let (decoded, eval_seed) = tasks[i];
+                    mine.push((i, objective.evaluate(decoded, early, eval_seed)));
+                    i += threads;
+                }
+                mine
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(pairs) => {
+                    for (i, result) in pairs {
+                        slots[i] = Some(result);
+                    }
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+
+    let mut out = Vec::with_capacity(tasks.len());
+    for slot in slots {
+        let Some(result) = slot else {
+            unreachable!("round-robin assignment covers every task slot");
+        };
+        out.push(result?);
+    }
+    Ok(out)
+}

@@ -36,6 +36,10 @@
 //! * [`methods`] — the four searchers (Rand, Rand-Walk, HW-CWEI, HW-IECI),
 //! * [`driver`] — evaluation- and virtual-time-budgeted optimization loops
 //!   producing [`Trace`]s,
+//! * [`executor`] — the deterministic (optionally multi-threaded) candidate
+//!   evaluation engine behind the driver,
+//! * [`golden`] — a dependency-free byte-exact trace codec for the
+//!   golden-trace regression fixtures,
 //! * [`scenario`] — the paper's four device–dataset pairs with their
 //!   published budgets,
 //! * [`report`] — aggregation into the paper's Tables 2–5.
@@ -62,6 +66,8 @@
 pub mod constraints;
 pub mod driver;
 mod error;
+pub mod executor;
+pub mod golden;
 pub mod methods;
 pub mod model;
 pub mod objective;
@@ -74,8 +80,9 @@ pub use constraints::{Budgets, ConstraintOracle};
 pub use driver::{Budget, Outcome, Sample, SampleKind, Trace};
 // Typed hardware units used throughout the budget/constraint API.
 pub use error::Error;
+pub use executor::{run_optimization_with, ExecutorOptions};
 pub use hyperpower_linalg::units::{Joules, Mebibytes, Seconds, Watts};
-pub use methods::{Method, Mode};
+pub use methods::{Conditioning, Method, Mode, Searcher};
 pub use model::{HwModels, LinearHwModel};
 pub use objective::{EarlyTermination, EvaluationResult, Objective, SimulatedObjective};
 pub use profiler::{ProfiledData, Profiler};

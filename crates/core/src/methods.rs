@@ -149,6 +149,21 @@ impl History {
     }
 }
 
+/// How strongly a searcher's proposals depend on the evaluation history.
+///
+/// The parallel executor uses this to decide how far ahead it may plan:
+/// [`Conditioning::Independent`] proposals can be drawn in blocks without
+/// changing the sequence (random search draws from a fixed distribution,
+/// grid search from a fixed lattice), while [`Conditioning::Dependent`]
+/// searchers must see every committed result before the next proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Conditioning {
+    /// Proposals ignore the history; planning ahead is exact.
+    Independent,
+    /// Proposals condition on the history (incumbent walks, BO posteriors).
+    Dependent,
+}
+
 /// A strategy that proposes the next candidate configuration.
 ///
 /// Proposals are *pre-screen*: for model-free methods in HyperPower mode
@@ -166,6 +181,63 @@ pub trait Searcher {
         history: &History,
         rng: &mut StdRng,
     ) -> Result<Config>;
+
+    /// How strongly proposals depend on the history (see [`Conditioning`]).
+    fn conditioning(&self) -> Conditioning {
+        Conditioning::Dependent
+    }
+
+    /// Proposes the next candidate while `pending` configurations are still
+    /// being evaluated (batch/parallel setting).
+    ///
+    /// The default ignores the pending set — correct for methods whose
+    /// proposals carry fresh randomness (Rand, Rand-Walk draw a new point
+    /// every call). Model-based searchers override this to avoid
+    /// re-proposing where an answer is already on its way (see
+    /// [`BoSearcher`]'s constant-liar strategy).
+    ///
+    /// With an empty `pending` set this must behave exactly like
+    /// [`Searcher::propose`] — the executor relies on that equivalence to
+    /// keep the single-GPU schedule byte-identical to the sequential loop.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Searcher::propose`].
+    fn propose_with_pending(
+        &mut self,
+        space: &SearchSpace,
+        history: &History,
+        pending: &[Config],
+        rng: &mut StdRng,
+    ) -> Result<Config> {
+        let _ = pending;
+        self.propose(space, history, rng)
+    }
+
+    /// Proposes `k` candidates for concurrent evaluation.
+    ///
+    /// The default accumulates the batch through
+    /// [`Searcher::propose_with_pending`], treating the batch-so-far as
+    /// pending — the standard sequential-liar reduction of batch proposal.
+    /// `k == 1` is therefore exactly one [`Searcher::propose`] call.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Searcher::propose`].
+    fn propose_batch(
+        &mut self,
+        space: &SearchSpace,
+        history: &History,
+        k: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Config>> {
+        let mut batch = Vec::with_capacity(k);
+        for _ in 0..k {
+            let next = self.propose_with_pending(space, history, &batch, rng)?;
+            batch.push(next);
+        }
+        Ok(batch)
+    }
 }
 
 /// Uniform random search.
@@ -180,6 +252,10 @@ impl Searcher for RandomSearch {
         rng: &mut StdRng,
     ) -> Result<Config> {
         Ok(Config::random(rng, space.dim()))
+    }
+
+    fn conditioning(&self) -> Conditioning {
+        Conditioning::Independent
     }
 }
 
@@ -291,6 +367,10 @@ impl Searcher for GridSearch {
         self.cursor += 1;
         Config::new(unit)
     }
+
+    fn conditioning(&self) -> Conditioning {
+        Conditioning::Independent
+    }
 }
 
 /// How a BO searcher weights EI by the constraints.
@@ -341,6 +421,11 @@ pub struct BoSearcher {
 }
 
 impl BoSearcher {
+    /// Constant-liar error assumed for in-flight candidates when the
+    /// history holds no finite incumbent yet: chance-ish MNIST/CIFAR test
+    /// error, i.e. "assume the pending run diverges".
+    pub const CONSTANT_LIAR_FALLBACK: f64 = 0.9;
+
     /// Creates a BO searcher with the paper's Expected Improvement base.
     ///
     /// # Panics
@@ -561,6 +646,35 @@ impl Searcher for BoSearcher {
         } else {
             Ok(winner)
         }
+    }
+
+    /// Constant liar (CL-min): the pending candidates are folded into the
+    /// history as fabricated observations at the incumbent's error, so the
+    /// acquisition stops seeing their neighbourhoods as unexplored and the
+    /// batch spreads out instead of proposing near-duplicates. With no
+    /// finite incumbent the lie is [`BoSearcher::CONSTANT_LIAR_FALLBACK`].
+    ///
+    /// An empty `pending` set takes the plain [`Searcher::propose`] path,
+    /// byte-identical to the sequential loop.
+    fn propose_with_pending(
+        &mut self,
+        space: &SearchSpace,
+        history: &History,
+        pending: &[Config],
+        rng: &mut StdRng,
+    ) -> Result<Config> {
+        if pending.is_empty() {
+            return self.propose(space, history, rng);
+        }
+        let lie = match history.best() {
+            Some(b) if b.error.is_finite() => b.error,
+            _ => Self::CONSTANT_LIAR_FALLBACK,
+        };
+        let mut augmented = history.clone();
+        for config in pending {
+            augmented.push(config.clone(), lie);
+        }
+        self.propose(space, &augmented, rng)
     }
 }
 
@@ -1013,6 +1127,111 @@ mod tests {
             }
         }
         assert!(near >= 5, "only {near}/10 LCB proposals near the optimum");
+    }
+
+    #[test]
+    fn conditioning_classification() {
+        assert_eq!(RandomSearch.conditioning(), Conditioning::Independent);
+        assert_eq!(GridSearch::new(2).conditioning(), Conditioning::Independent);
+        assert_eq!(
+            RandomWalk::default().conditioning(),
+            Conditioning::Dependent
+        );
+        assert_eq!(
+            BoSearcher::new(ConstraintWeighting::None, None).conditioning(),
+            Conditioning::Dependent
+        );
+        assert_eq!(
+            ThompsonSearcher::new(None).conditioning(),
+            Conditioning::Dependent
+        );
+    }
+
+    #[test]
+    fn propose_batch_of_one_equals_propose() {
+        // The executor's byte-identity argument rests on k == 1 being the
+        // plain sequential proposal for every searcher.
+        let space = SearchSpace::mnist();
+        let mut h = History::new();
+        for i in 0..6 {
+            let u = i as f64 / 5.0;
+            h.push(Config::new(vec![u; 6]).unwrap(), (u - 0.6).abs() + 0.1);
+        }
+        // Fresh instances per call: stateful searchers (grid cursor) must
+        // not see the first call before making the second.
+        let make: Vec<fn() -> Box<dyn Searcher>> = vec![
+            || Box::new(RandomSearch),
+            || Box::new(RandomWalk::default()),
+            || Box::new(GridSearch::new(2)),
+            || Box::new(BoSearcher::new(ConstraintWeighting::None, None)),
+            || Box::new(ThompsonSearcher::new(None)),
+        ];
+        for f in make {
+            let mut r1 = rng();
+            let mut r2 = rng();
+            let batch = f().propose_batch(&space, &h, 1, &mut r1).unwrap();
+            let single = f().propose(&space, &h, &mut r2).unwrap();
+            assert_eq!(batch.len(), 1);
+            assert_eq!(batch[0], single);
+        }
+    }
+
+    #[test]
+    fn propose_batch_draws_k_valid_points() {
+        let space = SearchSpace::mnist();
+        let mut s = RandomSearch;
+        let mut r = rng();
+        let batch = s.propose_batch(&space, &History::new(), 4, &mut r).unwrap();
+        assert_eq!(batch.len(), 4);
+        for c in &batch {
+            assert!(space.decode(c).is_ok());
+        }
+        // Fresh randomness per point: no duplicates in a continuous space.
+        for (i, a) in batch.iter().enumerate() {
+            for b in &batch[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_liar_spreads_bo_batches() {
+        // With a fitted GP, the liar entries must keep the batch from
+        // collapsing onto one acquisition argmax neighbourhood.
+        let space = SearchSpace::mnist();
+        let mut h = History::new();
+        for i in 0..10 {
+            let u = i as f64 / 9.0;
+            h.push(Config::new(vec![u; 6]).unwrap(), (u - 0.7).abs() + 0.05);
+        }
+        let mut s = BoSearcher::new(ConstraintWeighting::None, None);
+        let mut r = rng();
+        let batch = s.propose_batch(&space, &h, 3, &mut r).unwrap();
+        assert_eq!(batch.len(), 3);
+        for (i, a) in batch.iter().enumerate() {
+            assert!(space.decode(a).is_ok());
+            for b in &batch[i + 1..] {
+                assert_ne!(a, b, "batch proposals collapsed onto one point");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_liar_uses_fallback_without_finite_incumbent() {
+        // All-NaN history: the liar value must not poison the GP with NaN.
+        let space = SearchSpace::mnist();
+        let mut h = History::new();
+        for i in 0..4 {
+            let u = 0.1 + 0.2 * i as f64;
+            h.push(Config::new(vec![u; 6]).unwrap(), f64::NAN);
+        }
+        let mut s = BoSearcher::new(ConstraintWeighting::None, None);
+        let mut r = rng();
+        let batch = s.propose_batch(&space, &h, 3, &mut r).unwrap();
+        assert_eq!(batch.len(), 3);
+        for c in &batch {
+            assert!(space.decode(c).is_ok());
+        }
     }
 
     #[test]

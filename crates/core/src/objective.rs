@@ -60,8 +60,12 @@ pub struct EvaluationResult {
 
 /// An expensive objective function over decoded configurations.
 ///
-/// Implementations must be deterministic given `(decoded, early, seed)`.
-pub trait Objective {
+/// Implementations must be deterministic given `(decoded, early, seed)`:
+/// all run-to-run variation flows through the explicit seed, never through
+/// interior mutable state. That is also why `evaluate` takes `&self` and
+/// the trait requires [`Sync`] — the parallel executor evaluates several
+/// candidates against one shared objective from scoped threads.
+pub trait Objective: Sync {
     /// Trains the candidate and reports its test error.
     ///
     /// # Errors
@@ -69,7 +73,7 @@ pub trait Objective {
     /// Implementations may fail on invalid architectures; the built-in
     /// search spaces never produce those.
     fn evaluate(
-        &mut self,
+        &self,
         decoded: &Decoded,
         early: Option<&EarlyTermination>,
         seed: u64,
@@ -113,7 +117,7 @@ impl SimulatedObjective {
 
 impl Objective for SimulatedObjective {
     fn evaluate(
-        &mut self,
+        &self,
         decoded: &Decoded,
         early: Option<&EarlyTermination>,
         seed: u64,
@@ -123,7 +127,10 @@ impl Objective for SimulatedObjective {
         let epoch_secs = self.cost.epoch_secs(&decoded.arch, self.train_examples);
 
         if let Some(policy) = early {
-            let check = policy.check_epoch.min(full_epochs);
+            // Epochs are 1-based: a `check_epoch` of 0 means "check as
+            // soon as possible" (epoch 1), and anything past the full run
+            // checks at the final epoch.
+            let check = policy.check_epoch.min(full_epochs).max(1);
             let error_at_check = outcome.error_at_epoch(check);
             if error_at_check > policy.error_threshold {
                 return Ok(EvaluationResult {
@@ -188,7 +195,7 @@ impl RealTrainingObjective {
 
 impl Objective for RealTrainingObjective {
     fn evaluate(
-        &mut self,
+        &self,
         decoded: &Decoded,
         early: Option<&EarlyTermination>,
         seed: u64,
@@ -196,12 +203,15 @@ impl Objective for RealTrainingObjective {
         let mut net = Network::from_spec(&decoded.arch, seed)?;
         let examples = self.dataset.num_train();
         let epoch_secs = self.cost.epoch_secs(&decoded.arch, examples);
+        // Same clamp as the simulated objective: epochs are 1-based and
+        // the check cannot land past the end of the run.
+        let check = early.map(|p| p.check_epoch.min(self.epochs).max(1));
         let mut last_error = 1.0;
         for epoch in 1..=self.epochs {
             net.train_epoch(&self.dataset, self.batch_size, &decoded.hyper);
             last_error = net.evaluate(&self.dataset, Split::Test);
-            if let Some(policy) = early {
-                if epoch == policy.check_epoch && last_error > policy.error_threshold {
+            if let (Some(policy), Some(check)) = (early, check) {
+                if epoch == check && last_error > policy.error_threshold {
                     return Ok(EvaluationResult {
                         error: last_error,
                         diverged: true,
@@ -250,7 +260,7 @@ mod tests {
         let space = SearchSpace::mnist();
         // Large net, mid lr (0.5 decodes to the geometric mean 0.01), mid momentum.
         let decoded = decoded_from_unit(&space, vec![0.9, 0.9, 0.4, 0.9, 0.5, 0.5]);
-        let mut obj = simulated();
+        let obj = simulated();
         let r = obj
             .evaluate(&decoded, Some(&EarlyTermination::default()), 1)
             .unwrap();
@@ -265,7 +275,7 @@ mod tests {
         let space = SearchSpace::mnist();
         // Max learning rate + max momentum on a big net: diverges.
         let decoded = decoded_from_unit(&space, vec![0.9, 0.9, 0.4, 0.9, 1.0, 1.0]);
-        let mut obj = simulated();
+        let obj = simulated();
         let with_early = obj
             .evaluate(&decoded, Some(&EarlyTermination::default()), 2)
             .unwrap();
@@ -285,7 +295,7 @@ mod tests {
     #[test]
     fn early_termination_never_fires_on_converging_runs() {
         let space = SearchSpace::mnist();
-        let mut obj = simulated();
+        let obj = simulated();
         // Sweep mid-range learning rates; none should be flagged.
         for lr_unit in [0.3, 0.4, 0.5, 0.6] {
             let decoded = decoded_from_unit(&space, vec![0.8, 0.5, 0.4, 0.8, lr_unit, 0.3]);
@@ -300,7 +310,7 @@ mod tests {
     fn deterministic_per_seed() {
         let space = SearchSpace::mnist();
         let decoded = decoded_from_unit(&space, vec![0.5; 6]);
-        let mut obj = simulated();
+        let obj = simulated();
         let a = obj.evaluate(&decoded, None, 7).unwrap();
         let b = obj.evaluate(&decoded, None, 7).unwrap();
         assert_eq!(a, b);
@@ -328,7 +338,7 @@ mod tests {
             max_shift: 1,
         };
         let data = synthetic_dataset(opts, 1, 80, 40);
-        let mut obj = RealTrainingObjective::new(data, 3, 16, TrainingCostModel::default());
+        let obj = RealTrainingObjective::new(data, 3, 16, TrainingCostModel::default());
         let space = SearchSpace::mnist();
         // Small net (fast), sensible lr.
         let decoded = decoded_from_unit(&space, vec![0.0, 0.3, 0.6, 0.0, 0.6, 0.3]);
@@ -337,5 +347,126 @@ mod tests {
         assert!(!r.terminated_early);
         assert!(r.train_secs > 0.0);
         assert_eq!(obj.full_epochs(), 3);
+    }
+
+    // --- EarlyTermination boundary behavior -------------------------------
+    // The policy's contract at its edges, pinned directly instead of only
+    // through end-to-end runs.
+
+    /// A configuration that diverges under the simulator (max lr + max
+    /// momentum on a big net), together with its per-epoch error curve.
+    fn diverging_decoded(space: &SearchSpace) -> Decoded {
+        decoded_from_unit(space, vec![0.9, 0.9, 0.4, 0.9, 1.0, 1.0])
+    }
+
+    #[test]
+    fn error_exactly_at_threshold_is_not_terminated() {
+        // The check is strict (`error > threshold`): a run sitting exactly
+        // at chance level — threshold == observed error, bit for bit — must
+        // be allowed to continue.
+        let space = SearchSpace::mnist();
+        let decoded = diverging_decoded(&space);
+        let obj = simulated();
+        let check_epoch = 3;
+        let error_at_check = obj
+            .simulator()
+            .simulate(&decoded.arch, &decoded.hyper, 2)
+            .error_at_epoch(check_epoch);
+
+        let at_threshold = EarlyTermination {
+            check_epoch,
+            error_threshold: error_at_check,
+        };
+        let r = obj.evaluate(&decoded, Some(&at_threshold), 2).unwrap();
+        assert!(
+            !r.terminated_early,
+            "error == threshold must not terminate (strict comparison)"
+        );
+
+        // One representable notch below the observed error, it fires.
+        let below = EarlyTermination {
+            check_epoch,
+            error_threshold: f64::from_bits(error_at_check.to_bits() - 1),
+        };
+        let r = obj.evaluate(&decoded, Some(&below), 2).unwrap();
+        assert!(r.terminated_early);
+        assert_eq!(r.error, error_at_check);
+    }
+
+    #[test]
+    fn check_epoch_zero_checks_at_first_epoch() {
+        // Epochs are 1-based; a zero check epoch clamps to epoch 1 rather
+        // than panicking or silently disabling the policy.
+        let space = SearchSpace::mnist();
+        let decoded = diverging_decoded(&space);
+        let obj = simulated();
+        let zero = EarlyTermination {
+            check_epoch: 0,
+            error_threshold: 0.85,
+        };
+        let one = EarlyTermination {
+            check_epoch: 1,
+            error_threshold: 0.85,
+        };
+        let r0 = obj.evaluate(&decoded, Some(&zero), 2).unwrap();
+        let r1 = obj.evaluate(&decoded, Some(&one), 2).unwrap();
+        assert_eq!(r0, r1, "check_epoch 0 must behave like epoch 1");
+        assert!(r0.terminated_early);
+        let overhead = obj.cost_model().per_run_overhead_s;
+        let epoch_secs = obj.cost_model().epoch_secs(&decoded.arch, 60_000);
+        assert_eq!(r0.train_secs, overhead + epoch_secs);
+    }
+
+    #[test]
+    fn check_epoch_at_and_past_max_clamps_to_final_epoch() {
+        let space = SearchSpace::mnist();
+        let decoded = diverging_decoded(&space);
+        let obj = simulated();
+        let full = obj.full_epochs();
+        let at_max = EarlyTermination {
+            check_epoch: full,
+            error_threshold: 0.85,
+        };
+        let past_max = EarlyTermination {
+            check_epoch: usize::MAX,
+            error_threshold: 0.85,
+        };
+        let r_at = obj.evaluate(&decoded, Some(&at_max), 2).unwrap();
+        let r_past = obj.evaluate(&decoded, Some(&past_max), 2).unwrap();
+        // Past-the-end clamps onto the final epoch: identical outcome.
+        assert_eq!(r_at, r_past);
+        // A diverging run flagged at the final epoch has paid the full
+        // training cost; only the label differs from an unchecked run.
+        let unchecked = obj.evaluate(&decoded, None, 2).unwrap();
+        assert!(r_at.terminated_early);
+        assert_eq!(r_at.train_secs, unchecked.train_secs);
+    }
+
+    #[test]
+    fn real_training_check_epoch_zero_does_not_disable_the_policy() {
+        use hyperpower_data::synthetic_dataset;
+        use hyperpower_data::GeneratorOptions;
+        let opts = GeneratorOptions {
+            channels: 1,
+            height: 28,
+            width: 28,
+            num_classes: 10,
+            noise_level: 0.15,
+            max_shift: 1,
+        };
+        let data = synthetic_dataset(opts, 1, 80, 40);
+        let obj = RealTrainingObjective::new(data, 2, 16, TrainingCostModel::default());
+        let space = SearchSpace::mnist();
+        let decoded = decoded_from_unit(&space, vec![0.0, 0.3, 0.6, 0.0, 0.6, 0.3]);
+        // A threshold of -1 means *any* error triggers termination: with
+        // the clamp the policy fires at epoch 1 even for check_epoch 0.
+        let policy = EarlyTermination {
+            check_epoch: 0,
+            error_threshold: -1.0,
+        };
+        let r = obj.evaluate(&decoded, Some(&policy), 5).unwrap();
+        assert!(r.terminated_early);
+        let epoch_secs = obj.cost.epoch_secs(&decoded.arch, obj.dataset.num_train());
+        assert_eq!(r.train_secs, obj.cost.per_run_overhead_s + epoch_secs);
     }
 }

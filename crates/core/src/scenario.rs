@@ -22,6 +22,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::driver::{run_optimization, Budget, RunSetup, Trace};
+use crate::executor::{run_optimization_with, ExecutorOptions};
 use crate::model::FeatureMap;
 use crate::objective::SimulatedObjective;
 use crate::profiler::{fit_models, Profiler};
@@ -260,6 +261,28 @@ impl Session {
         self.run_ablation(method, models, early, budget, run_seed)
     }
 
+    /// Like [`Session::run_seeded`], with explicit [`ExecutorOptions`]
+    /// (worker threads and simulated-GPU count). The trace does not depend
+    /// on `options.workers`; it does depend on `options.simulated_gpus`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    pub fn run_seeded_with(
+        &mut self,
+        method: Method,
+        mode: Mode,
+        budget: Budget,
+        run_seed: u64,
+        options: &ExecutorOptions,
+    ) -> Result<Trace> {
+        let (models, early) = match mode {
+            Mode::Default => (false, false),
+            Mode::HyperPower => (true, true),
+        };
+        self.run_ablation_with(method, models, early, budget, run_seed, options)
+    }
+
     /// Runs one optimization with a custom proposal strategy (e.g. an
     /// alternative acquisition function or grid search), in HyperPower
     /// mode with the session's oracle and early termination.
@@ -278,11 +301,11 @@ impl Session {
     ) -> Result<Trace> {
         let cost = TrainingCostModel::default();
         let sim = TrainingSimulator::new(self.scenario.dataset.clone());
-        let mut objective = SimulatedObjective::new(sim, cost, self.scenario.train_examples);
+        let objective = SimulatedObjective::new(sim, cost, self.scenario.train_examples);
         let mut gpu = Gpu::new(self.scenario.device.clone(), run_seed ^ 0xDEAD_BEEF);
         run_optimization(RunSetup {
             space: &self.scenario.space,
-            objective: &mut objective,
+            objective: &objective,
             gpu: &mut gpu,
             budgets: self.scenario.budgets,
             oracle: Some(&self.oracle),
@@ -316,9 +339,33 @@ impl Session {
         budget: Budget,
         run_seed: u64,
     ) -> Result<Trace> {
+        self.run_ablation_with(
+            method,
+            use_models,
+            use_early_termination,
+            budget,
+            run_seed,
+            &ExecutorOptions::from_env(),
+        )
+    }
+
+    /// [`Session::run_ablation`] with explicit [`ExecutorOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    pub fn run_ablation_with(
+        &mut self,
+        method: Method,
+        use_models: bool,
+        use_early_termination: bool,
+        budget: Budget,
+        run_seed: u64,
+        options: &ExecutorOptions,
+    ) -> Result<Trace> {
         let cost = TrainingCostModel::default();
         let sim = TrainingSimulator::new(self.scenario.dataset.clone());
-        let mut objective = SimulatedObjective::new(sim, cost, self.scenario.train_examples);
+        let objective = SimulatedObjective::new(sim, cost, self.scenario.train_examples);
         let mut gpu = Gpu::new(self.scenario.device.clone(), run_seed ^ 0xDEAD_BEEF);
         let mode = if use_models {
             Mode::HyperPower
@@ -327,20 +374,23 @@ impl Session {
         };
         let oracle = use_models.then_some(&self.oracle);
         let early = use_early_termination.then(EarlyTermination::default);
-        run_optimization(RunSetup {
-            space: &self.scenario.space,
-            objective: &mut objective,
-            gpu: &mut gpu,
-            budgets: self.scenario.budgets,
-            oracle,
-            early_termination: early,
-            cost,
-            method,
-            mode,
-            budget,
-            seed: run_seed,
-            searcher_override: None,
-        })
+        run_optimization_with(
+            RunSetup {
+                space: &self.scenario.space,
+                objective: &objective,
+                gpu: &mut gpu,
+                budgets: self.scenario.budgets,
+                oracle,
+                early_termination: early,
+                cost,
+                method,
+                mode,
+                budget,
+                seed: run_seed,
+                searcher_override: None,
+            },
+            options,
+        )
     }
 }
 

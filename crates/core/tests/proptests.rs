@@ -4,10 +4,85 @@
 // bit-for-bit; panicking helpers are correct in a test harness.
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 
+use hyperpower::driver::RunSetup;
+use hyperpower::golden::encode_trace;
 use hyperpower::methods::History;
 use hyperpower::model::{FeatureMap, LinearHwModel};
-use hyperpower::{Budgets, Config, ConstraintOracle, HwModels, Mebibytes, SearchSpace, Watts};
+use hyperpower::space::Decoded;
+use hyperpower::{
+    run_optimization_with, Budget, Budgets, Config, ConstraintOracle, EarlyTermination,
+    EvaluationResult, ExecutorOptions, HwModels, Mebibytes, Method, Mode, Objective, SearchSpace,
+    Trace, Watts,
+};
+use hyperpower_gpu_sim::{DeviceProfile, Gpu, TrainingCostModel};
 use proptest::prelude::*;
+
+/// A stub objective with arbitrary (proptest-chosen) virtual durations:
+/// the training time and error depend only on the evaluation seed, exactly
+/// like the real objectives, so the executor's scheduling decisions are
+/// the only thing under test.
+struct FakeObjective {
+    durations: Vec<f64>,
+}
+
+impl Objective for FakeObjective {
+    fn evaluate(
+        &self,
+        _decoded: &Decoded,
+        early: Option<&EarlyTermination>,
+        seed: u64,
+    ) -> hyperpower::Result<EvaluationResult> {
+        let idx = (seed as usize) % self.durations.len();
+        let terminated_early = early.is_some() && seed.is_multiple_of(3);
+        let train_secs = if terminated_early {
+            self.durations[idx] * 0.25
+        } else {
+            self.durations[idx]
+        };
+        Ok(EvaluationResult {
+            error: 0.05 + 0.9 * ((seed % 997) as f64 / 997.0),
+            diverged: false,
+            terminated_early,
+            train_secs,
+        })
+    }
+
+    fn full_epochs(&self) -> usize {
+        10
+    }
+}
+
+fn run_fake(
+    objective: &FakeObjective,
+    budget: Budget,
+    seed: u64,
+    workers: usize,
+    gpus: usize,
+) -> Trace {
+    let space = SearchSpace::mnist();
+    let mut gpu = Gpu::new(DeviceProfile::gtx_1070(), seed);
+    run_optimization_with(
+        RunSetup {
+            space: &space,
+            objective,
+            gpu: &mut gpu,
+            budgets: Budgets::default(),
+            oracle: None,
+            early_termination: Some(EarlyTermination::default()),
+            cost: TrainingCostModel::default(),
+            method: Method::Rand,
+            mode: Mode::HyperPower,
+            budget,
+            seed,
+            searcher_override: None,
+        },
+        &ExecutorOptions {
+            workers,
+            simulated_gpus: gpus,
+        },
+    )
+    .expect("fake run")
+}
 
 fn unit_vec(dim: usize) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(0.0f64..=1.0, dim)
@@ -129,6 +204,70 @@ proptest! {
         let best = h.best().unwrap().error;
         let min = errors.iter().copied().fold(f64::INFINITY, f64::min);
         prop_assert_eq!(best, min);
+    }
+
+    #[test]
+    fn executor_eval_budget_is_exact_and_commits_are_ordered(
+        durations in proptest::collection::vec(1.0f64..5000.0, 1..12),
+        n in 1usize..10,
+        gpus in 1usize..5,
+        seed in 0u64..200,
+    ) {
+        let objective = FakeObjective { durations };
+        let trace = run_fake(&objective, Budget::Evaluations(n), seed, 1, gpus);
+        // The budget is met exactly: never undershot, never exceeded by
+        // in-flight work (no screen here, so every sample is evaluated).
+        prop_assert_eq!(trace.evaluations(), n);
+        prop_assert_eq!(trace.queried(), n);
+        // Commits are sorted by completion time with contiguous indices —
+        // no sample lost, duplicated or reordered.
+        let mut prev = 0.0f64;
+        for (i, s) in trace.samples.iter().enumerate() {
+            prop_assert_eq!(s.index, i);
+            prop_assert!(s.timestamp_s >= prev, "commit order broken at {i}");
+            prev = s.timestamp_s;
+        }
+        prop_assert!(trace.total_time_s >= prev);
+    }
+
+    #[test]
+    fn executor_trace_is_worker_count_invariant(
+        durations in proptest::collection::vec(1.0f64..5000.0, 1..12),
+        n in 1usize..8,
+        gpus in 1usize..4,
+        seed in 0u64..200,
+        workers in 2usize..6,
+    ) {
+        let objective = FakeObjective { durations };
+        let reference = encode_trace(&run_fake(&objective, Budget::Evaluations(n), seed, 1, gpus));
+        let parallel = encode_trace(&run_fake(&objective, Budget::Evaluations(n), seed, workers, gpus));
+        prop_assert_eq!(reference, parallel);
+    }
+
+    #[test]
+    fn executor_deadline_overshoot_is_at_most_one_sample_per_gpu(
+        durations in proptest::collection::vec(1.0f64..5000.0, 1..12),
+        gpus in 1usize..5,
+        seed in 0u64..200,
+        deadline_h in 0.05f64..2.0,
+    ) {
+        let objective = FakeObjective { durations };
+        let trace = run_fake(&objective, Budget::VirtualHours(deadline_h), seed, 1, gpus);
+        // Work is always dispatched at t = 0 < deadline.
+        prop_assert!(!trace.samples.is_empty());
+        // Only in-flight samples may finish past the deadline: at most one
+        // per simulated GPU (the paper's "last sample queried before the
+        // limit completes" rule, per worker).
+        let deadline_s = deadline_h * 3600.0;
+        let overshoots = trace
+            .samples
+            .iter()
+            .filter(|s| s.timestamp_s > deadline_s)
+            .count();
+        prop_assert!(
+            overshoots <= gpus,
+            "{overshoots} samples past the deadline with {gpus} GPUs"
+        );
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //!
 //! The crate also hosts the [`VirtualClock`] and [`TrainingCostModel`] used
 //! to run the paper's wall-clock-budgeted experiments (2 h / 5 h) in
-//! simulated time.
+//! simulated time, plus the multi-GPU [`WorkerClock`] and deterministic
+//! [`CommitQueue`] that the parallel executor schedules against.
 //!
 //! # Examples
 //!
@@ -52,7 +53,7 @@ mod device;
 mod sensor;
 
 pub use analysis::{analyze, InferenceReport};
-pub use clock::{TrainingCostModel, VirtualClock};
+pub use clock::{CommitQueue, TrainingCostModel, VirtualClock, WorkerClock};
 pub use device::DeviceProfile;
 // Measurement results carry their units in the type; re-exported so
 // downstream crates can name them without depending on the linalg crate.

@@ -48,7 +48,7 @@ fn main() -> Result<(), hyperpower::Error> {
     let session = Session::new(scenario.clone(), 11)?;
 
     // ...but evaluate candidates by actually training them.
-    let mut objective = RealTrainingObjective::new(
+    let objective = RealTrainingObjective::new(
         dataset,
         4,  // epochs per candidate
         32, // batch size
@@ -59,7 +59,7 @@ fn main() -> Result<(), hyperpower::Error> {
     println!("\nrunning HW-IECI with real SGD training (6 evaluations)...");
     let trace = run_optimization(RunSetup {
         space: &scenario.space,
-        objective: &mut objective,
+        objective: &objective,
         gpu: &mut gpu,
         budgets: scenario.budgets,
         oracle: Some(session.oracle()),

@@ -1,0 +1,140 @@
+//! Golden-trace regression tests: full [`Trace`]s pinned bit-for-bit.
+//!
+//! Each fixture in `tests/golden/` is the complete JSON encoding (see
+//! `hyperpower::golden`) of one small optimization run — every timestamp,
+//! measurement, feasibility verdict and configuration coordinate — for one
+//! of the paper's four methods under each budget kind. The executor's
+//! determinism contract makes these byte-stable across worker-thread
+//! counts, platforms and (absent an intentional semantic change) commits.
+//!
+//! # Regenerating fixtures
+//!
+//! After an *intentional* semantic change (new RNG consumption order, cost
+//! model retune, …), re-bless the fixtures and review the diff like any
+//! other code change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --test golden_traces
+//! git diff tests/golden/
+//! ```
+//!
+//! On failure, each test prints a per-field report (JSON path, expected
+//! vs actual value, f64 bit patterns) and also writes it to
+//! `target/golden-diff/<name>.txt` so CI can upload the reports as an
+//! artifact.
+
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use std::path::PathBuf;
+
+use hyperpower::golden::{diff_text, encode_trace};
+use hyperpower::{Budget, Method, Mode, Scenario, Session, Trace};
+
+/// One shared seed for all fixtures: any cross-method divergence is then a
+/// method property, not a seed artifact.
+const GOLDEN_SEED: u64 = 0x17120244;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+fn diff_report_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target/golden-diff")
+        .join(format!("{name}.txt"))
+}
+
+fn run_case(method: Method, budget: Budget) -> Trace {
+    // MNIST / GTX 1070 keeps the fixtures small and exercises both budget
+    // dimensions (power and memory); HyperPower mode exercises the
+    // rejection path for the model-free methods.
+    let mut session = Session::new(Scenario::mnist_gtx1070(), GOLDEN_SEED).expect("session setup");
+    session
+        .run_seeded(method, Mode::HyperPower, budget, GOLDEN_SEED)
+        .expect("golden run")
+}
+
+fn check(name: &str, method: Method, budget: Budget) {
+    let actual = encode_trace(&run_case(method, budget));
+    let path = fixture_path(name);
+
+    if std::env::var("GOLDEN_BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, &actual).expect("write fixture");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate with \
+             GOLDEN_BLESS=1 cargo test --test golden_traces",
+            path.display()
+        )
+    });
+    let report = diff_text(&expected, &actual);
+    if report.is_empty() {
+        return;
+    }
+    let text = format!(
+        "golden trace '{name}' diverged ({} mismatches):\n  {}\n",
+        report.len(),
+        report.join("\n  ")
+    );
+    let report_path = diff_report_path(name);
+    if let Some(dir) = report_path.parent() {
+        // Best effort: the panic below carries the full report either way.
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(&report_path, &text);
+    }
+    panic!(
+        "{text}\nIf this change is intentional, re-bless with \
+         GOLDEN_BLESS=1 cargo test --test golden_traces and review the diff."
+    );
+}
+
+/// Small budgets keep fixtures reviewable: 5 evaluations, or 0.1 virtual
+/// hours (a handful of MNIST trainings).
+const EVALS: Budget = Budget::Evaluations(5);
+const HOURS: Budget = Budget::VirtualHours(0.1);
+
+#[test]
+fn golden_rand_evals() {
+    check("rand_evals", Method::Rand, EVALS);
+}
+
+#[test]
+fn golden_rand_hours() {
+    check("rand_hours", Method::Rand, HOURS);
+}
+
+#[test]
+fn golden_randwalk_evals() {
+    check("randwalk_evals", Method::RandWalk, EVALS);
+}
+
+#[test]
+fn golden_randwalk_hours() {
+    check("randwalk_hours", Method::RandWalk, HOURS);
+}
+
+#[test]
+fn golden_hwcwei_evals() {
+    check("hwcwei_evals", Method::HwCwei, EVALS);
+}
+
+#[test]
+fn golden_hwcwei_hours() {
+    check("hwcwei_hours", Method::HwCwei, HOURS);
+}
+
+#[test]
+fn golden_hwieci_evals() {
+    check("hwieci_evals", Method::HwIeci, EVALS);
+}
+
+#[test]
+fn golden_hwieci_hours() {
+    check("hwieci_hours", Method::HwIeci, HOURS);
+}

@@ -1,0 +1,191 @@
+//! The executor's headline invariant: worker threads never change results.
+//!
+//! * With one simulated GPU (the default), the serialized trace is
+//!   **byte-identical** for workers ∈ {1, 2, 4, 8} at a fixed seed — the
+//!   thread pool is pure mechanism.
+//! * With several simulated GPUs, the (semantically different) batch
+//!   schedule is still byte-identical across worker counts.
+//! * `propose_batch(k = 1)` with no pending points degenerates to
+//!   `propose` for every searcher — the executor relies on this to make
+//!   workers=1 the semantic reference.
+
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use hyperpower::golden::encode_trace;
+use hyperpower::methods::{BoSearcher, ConstraintWeighting, GridSearch, RandomSearch};
+use hyperpower::{Budget, Config, ExecutorOptions, Method, Mode, Scenario, Searcher, Session};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 0xD47E_2018;
+
+fn run_encoded(
+    session: &mut Session,
+    method: Method,
+    budget: Budget,
+    options: &ExecutorOptions,
+) -> String {
+    let trace = session
+        .run_seeded_with(method, Mode::HyperPower, budget, SEED, options)
+        .expect("run");
+    encode_trace(&trace)
+}
+
+#[test]
+fn single_gpu_trace_is_byte_identical_across_worker_counts() {
+    let mut session = Session::new(Scenario::mnist_gtx1070(), SEED).expect("session");
+    // Rand has Independent conditioning (the executor actually pipelines a
+    // lookahead block); HW-IECI is Dependent (lookahead 1, but evaluation
+    // still hops threads). Both must be invariant.
+    for (method, budget) in [
+        (Method::Rand, Budget::Evaluations(6)),
+        (Method::Rand, Budget::VirtualHours(0.1)),
+        (Method::HwIeci, Budget::Evaluations(4)),
+    ] {
+        let reference = run_encoded(
+            &mut session,
+            method,
+            budget,
+            &ExecutorOptions::default().with_workers(1),
+        );
+        for workers in [2, 4, 8] {
+            let parallel = run_encoded(
+                &mut session,
+                method,
+                budget,
+                &ExecutorOptions::default().with_workers(workers),
+            );
+            assert_eq!(
+                reference, parallel,
+                "{method} / {budget:?}: trace changed at workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_gpu_schedule_is_byte_identical_across_worker_counts() {
+    let mut session = Session::new(Scenario::mnist_gtx1070(), SEED).expect("session");
+    let gpus = 3;
+    for (method, budget) in [
+        (Method::Rand, Budget::Evaluations(7)),
+        (Method::HwIeci, Budget::Evaluations(5)),
+    ] {
+        let reference = run_encoded(
+            &mut session,
+            method,
+            budget,
+            &ExecutorOptions::default()
+                .with_workers(1)
+                .with_simulated_gpus(gpus),
+        );
+        for workers in [2, 4] {
+            let parallel = run_encoded(
+                &mut session,
+                method,
+                budget,
+                &ExecutorOptions::default()
+                    .with_workers(workers)
+                    .with_simulated_gpus(gpus),
+            );
+            assert_eq!(
+                reference, parallel,
+                "{method} / {budget:?}: {gpus}-GPU schedule changed at workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_gpu_commits_in_completion_time_order() {
+    let mut session = Session::new(Scenario::mnist_gtx1070(), SEED).expect("session");
+    let trace = session
+        .run_seeded_with(
+            Method::Rand,
+            Mode::HyperPower,
+            Budget::Evaluations(8),
+            SEED,
+            &ExecutorOptions::default().with_simulated_gpus(4),
+        )
+        .expect("run");
+    assert_eq!(trace.evaluations(), 8);
+    let mut prev = f64::NEG_INFINITY;
+    for (i, s) in trace.samples.iter().enumerate() {
+        assert_eq!(s.index, i, "indices must be contiguous");
+        assert!(
+            s.timestamp_s >= prev,
+            "sample {i} committed out of time order: {} < {prev}",
+            s.timestamp_s
+        );
+        prev = s.timestamp_s;
+    }
+}
+
+#[test]
+fn propose_batch_of_one_equals_propose_for_every_searcher() {
+    let space = hyperpower::SearchSpace::mnist();
+    let history = hyperpower::methods::History::new();
+    type SearcherFactory = fn() -> Box<dyn Searcher>;
+    let factories: Vec<(&str, SearcherFactory)> = vec![
+        ("random", || Box::new(RandomSearch)),
+        ("grid", || Box::new(GridSearch::new(3))),
+        ("bo-ei", || {
+            Box::new(BoSearcher::new(ConstraintWeighting::None, None))
+        }),
+    ];
+    for (name, make) in factories {
+        let batch = make()
+            .propose_batch(&space, &history, 1, &mut StdRng::seed_from_u64(11))
+            .expect("batch");
+        let single = make()
+            .propose(&space, &history, &mut StdRng::seed_from_u64(11))
+            .expect("single");
+        assert_eq!(batch.len(), 1, "{name}: k=1 batch must hold one config");
+        let same = batch[0]
+            .unit()
+            .iter()
+            .zip(single.unit())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "{name}: propose_batch(1) != propose");
+    }
+}
+
+#[test]
+fn constant_liar_batch_proposes_distinct_points() {
+    // A k-batch from the BO searcher must not collapse onto one point:
+    // the constant-liar pending handling spreads the acquisition.
+    let mut session = Session::new(Scenario::mnist_gtx1070(), SEED).expect("session");
+    // Seed the searcher's history through a short run, then batch-propose.
+    let _ = session
+        .run_seeded(
+            Method::HwIeci,
+            Mode::HyperPower,
+            Budget::Evaluations(4),
+            SEED,
+        )
+        .expect("warmup run");
+    let space = session.scenario().space.clone();
+    let mut searcher = BoSearcher::new(ConstraintWeighting::None, None);
+    let mut history = hyperpower::methods::History::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..5 {
+        let c = searcher
+            .propose(&space, &history, &mut rng)
+            .expect("warmup");
+        let err = 0.3 + 0.1 * (history.len() as f64);
+        history.push(c, err);
+    }
+    let batch: Vec<Config> = searcher
+        .propose_batch(&space, &history, 3, &mut rng)
+        .expect("batch");
+    assert_eq!(batch.len(), 3);
+    for i in 0..batch.len() {
+        for j in (i + 1)..batch.len() {
+            assert_ne!(
+                batch[i].unit(),
+                batch[j].unit(),
+                "batch points {i} and {j} collapsed"
+            );
+        }
+    }
+}

@@ -29,13 +29,13 @@ fn tiny_mnist_like() -> hyperpower_data::Dataset {
 fn real_training_objective_through_full_driver() {
     let scenario = Scenario::mnist_gtx1070();
     let session = Session::new(scenario.clone(), 2).expect("session");
-    let mut objective =
+    let objective =
         RealTrainingObjective::new(tiny_mnist_like(), 3, 32, TrainingCostModel::default());
     let mut gpu = Gpu::new(scenario.device.clone(), 3);
 
     let trace = run_optimization(RunSetup {
         space: &scenario.space,
-        objective: &mut objective,
+        objective: &objective,
         gpu: &mut gpu,
         budgets: scenario.budgets,
         oracle: Some(session.oracle()),
@@ -66,13 +66,13 @@ fn real_training_learns_above_chance() {
     // candidate must clearly beat chance (90% error) — evidence the
     // networks actually learn through this path.
     let scenario = Scenario::mnist_gtx1070();
-    let mut objective =
+    let objective =
         RealTrainingObjective::new(tiny_mnist_like(), 4, 16, TrainingCostModel::default());
     let mut gpu = Gpu::new(scenario.device.clone(), 5);
 
     let trace = run_optimization(RunSetup {
         space: &scenario.space,
-        objective: &mut objective,
+        objective: &objective,
         gpu: &mut gpu,
         budgets: scenario.budgets,
         oracle: None,
