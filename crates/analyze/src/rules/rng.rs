@@ -21,6 +21,7 @@ pub const RNG_ROOTS: &[&str] = &[
     "crates/core/src/profiler.rs",
     "crates/core/src/scenario.rs",
     "crates/data/src/generator.rs",
+    "crates/gpu-sim/src/fault.rs",
     "crates/gpu-sim/src/sensor.rs",
     "crates/nn/src/layers/dropout.rs",
     "crates/nn/src/network.rs",

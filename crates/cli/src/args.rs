@@ -38,6 +38,15 @@ pub enum Command {
         /// `HYPERPOWER_WORKERS` environment variable, then 1). Never
         /// changes the result, only the wall-clock.
         workers: Option<usize>,
+        /// Fault-injection profile name (`none`, `flaky-sensor`,
+        /// `oom-heavy`); `None` ⇒ no fault injection.
+        fault_profile: Option<String>,
+        /// Checkpoint the committed trace to this path during the run.
+        checkpoint: Option<String>,
+        /// Write the checkpoint every N committed samples (default 1).
+        checkpoint_every: usize,
+        /// Resume from a checkpoint written by an interrupted run.
+        resume: Option<String>,
         /// Write the full per-sample trace as CSV to this path.
         csv: Option<String>,
     },
@@ -83,7 +92,8 @@ USAGE:
   hyperpower profile --pair <PAIR> [--samples N] [--seed N]
   hyperpower run --pair <PAIR> --method <METHOD> [--mode MODE]
                  [--evals N | --hours H] [--seed N] [--workers N]
-                 [--csv PATH]
+                 [--fault-profile NAME] [--checkpoint PATH]
+                 [--checkpoint-every N] [--resume PATH] [--csv PATH]
   hyperpower help
 
 PAIRS:    mnist-gtx | cifar-gtx | mnist-tegra | cifar-tegra
@@ -94,6 +104,15 @@ BUDGETS:  --evals N (function evaluations) or --hours H (virtual wall
 WORKERS:  --workers N evaluates candidates on N threads. The result is
           bit-identical for every N; only wall-clock changes. Default:
           the HYPERPOWER_WORKERS environment variable, then 1.
+FAULTS:   --fault-profile injects a deterministic, seeded fault schedule:
+          none | flaky-sensor | oom-heavy. Failed trials are retried with
+          backoff charged to virtual time; configurations that exhaust
+          their retries are quarantined.
+RESUME:   --checkpoint PATH persists committed results during the run
+          (atomically, every --checkpoint-every commits; default 1).
+          --resume PATH restarts an interrupted run from a checkpoint:
+          already-evaluated candidates are replayed from the cache and
+          the final trace is bit-identical to an uninterrupted run.
 ";
 
 fn parse_pair(s: &str) -> Result<Pair, ParseError> {
@@ -187,6 +206,10 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             let mut budget = None;
             let mut seed = 0u64;
             let mut workers = None;
+            let mut fault_profile = None;
+            let mut checkpoint = None;
+            let mut checkpoint_every = 1usize;
+            let mut resume = None;
             let mut csv = None;
             while let Some(flag) = it.next() {
                 match flag {
@@ -219,6 +242,20 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                         }
                         workers = Some(n);
                     }
+                    "--fault-profile" => {
+                        fault_profile = Some(take_value(flag, &mut it)?.to_string())
+                    }
+                    "--checkpoint" => checkpoint = Some(take_value(flag, &mut it)?.to_string()),
+                    "--checkpoint-every" => {
+                        let n: usize = take_value(flag, &mut it)?.parse().map_err(|_| {
+                            ParseError("--checkpoint-every expects an integer".into())
+                        })?;
+                        if n == 0 {
+                            return Err(ParseError("--checkpoint-every must be positive".into()));
+                        }
+                        checkpoint_every = n;
+                    }
+                    "--resume" => resume = Some(take_value(flag, &mut it)?.to_string()),
                     "--csv" => csv = Some(take_value(flag, &mut it)?.to_string()),
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
@@ -236,6 +273,10 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 budget,
                 seed,
                 workers,
+                fault_profile,
+                checkpoint,
+                checkpoint_every,
+                resume,
                 csv,
             })
         }
@@ -319,9 +360,77 @@ mod tests {
                 budget: Budget::Evaluations(25),
                 seed: 3,
                 workers: Some(4),
+                fault_profile: None,
+                checkpoint: None,
+                checkpoint_every: 1,
+                resume: None,
                 csv: Some("/tmp/t.csv".into()),
             }
         );
+    }
+
+    #[test]
+    fn fault_and_resume_flags() {
+        let c = parse(&[
+            "run",
+            "--pair",
+            "mnist-gtx",
+            "--method",
+            "rand",
+            "--fault-profile",
+            "flaky-sensor",
+            "--checkpoint",
+            "/tmp/run.ckpt",
+            "--checkpoint-every",
+            "5",
+            "--resume",
+            "/tmp/prev.ckpt",
+        ])
+        .unwrap();
+        let Command::Run {
+            fault_profile,
+            checkpoint,
+            checkpoint_every,
+            resume,
+            ..
+        } = c
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(fault_profile.as_deref(), Some("flaky-sensor"));
+        assert_eq!(checkpoint.as_deref(), Some("/tmp/run.ckpt"));
+        assert_eq!(checkpoint_every, 5);
+        assert_eq!(resume.as_deref(), Some("/tmp/prev.ckpt"));
+
+        // Defaults: no faults, no checkpointing, write-every-commit.
+        let c = parse(&["run", "--pair", "mnist-gtx", "--method", "rand"]).unwrap();
+        let Command::Run {
+            fault_profile,
+            checkpoint,
+            checkpoint_every,
+            resume,
+            ..
+        } = c
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(fault_profile, None);
+        assert_eq!(checkpoint, None);
+        assert_eq!(checkpoint_every, 1);
+        assert_eq!(resume, None);
+
+        assert!(parse(&[
+            "run",
+            "--pair",
+            "mnist-gtx",
+            "--method",
+            "rand",
+            "--checkpoint-every",
+            "0"
+        ])
+        .unwrap_err()
+        .0
+        .contains("positive"));
     }
 
     #[test]
@@ -431,6 +540,9 @@ mod tests {
         }
         for m in ["rand", "rand-walk", "hw-cwei", "hw-ieci"] {
             assert!(USAGE.contains(m));
+        }
+        for f in ["flaky-sensor", "oom-heavy", "--checkpoint", "--resume"] {
+            assert!(USAGE.contains(f));
         }
     }
 }

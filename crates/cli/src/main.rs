@@ -17,7 +17,8 @@ mod args;
 use std::process::ExitCode;
 
 use args::{parse, Command, Pair, USAGE};
-use hyperpower::{ExecutorOptions, Scenario, Session};
+use hyperpower::{CheckpointConfig, ExecutorOptions, Scenario, Session};
+use hyperpower_gpu_sim::FaultProfile;
 
 fn scenario_for(pair: Pair) -> Scenario {
     match pair {
@@ -90,6 +91,10 @@ fn main() -> ExitCode {
             budget,
             seed,
             workers,
+            fault_profile,
+            checkpoint,
+            checkpoint_every,
+            resume,
             csv,
         } => {
             let scenario = scenario_for(pair);
@@ -104,10 +109,30 @@ fn main() -> ExitCode {
             };
             // --workers only changes wall-clock: the trace is bit-identical
             // for every thread count (the flag overrides HYPERPOWER_WORKERS).
-            let options = match workers {
+            let mut options = match workers {
                 Some(w) => ExecutorOptions::default().with_workers(w),
                 None => ExecutorOptions::from_env(),
             };
+            if let Some(name) = fault_profile {
+                match FaultProfile::parse(&name) {
+                    Some(profile) => options = options.with_fault_profile(profile),
+                    None => {
+                        eprintln!(
+                            "error: unknown fault profile '{name}' \
+                             (expected none, flaky-sensor or oom-heavy)"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Some(path) = checkpoint {
+                let mut config = CheckpointConfig::every_commit(path);
+                config.every_commits = checkpoint_every;
+                options = options.with_checkpoint(config);
+            }
+            if let Some(path) = resume {
+                options = options.with_resume_from(path);
+            }
             let trace = match session.run_seeded_with(method, mode, budget, seed, &options) {
                 Ok(t) => t,
                 Err(e) => {

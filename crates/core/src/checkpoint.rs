@@ -1,0 +1,537 @@
+//! Crash-resumable runs: periodic trace checkpoints and bit-exact resume.
+//!
+//! The executor periodically persists its committed [`Sample`]s and every
+//! raw objective evaluation to a checkpoint file encoded with the
+//! [`crate::golden`] codec (schema `hyperpower-checkpoint-v1`). Resuming is
+//! a *deterministic re-run with an evaluation cache*: the executor replays
+//! the whole schedule from the run seed — proposals, sensor draws, fault
+//! schedules and commit order come out identical by construction — while
+//! the checkpoint's cached [`EvaluationResult`]s stand in for the expensive
+//! objective calls that already ran. After the run, the committed prefix is
+//! verified bit-for-bit against the checkpoint ([`crate::golden::diff`]),
+//! so a resume can never silently diverge from the interrupted run.
+//!
+//! The file is written atomically (temp file + rename) so a crash *during*
+//! checkpointing leaves the previous checkpoint intact.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use crate::driver::{Budget, Sample};
+use crate::golden::{self, Value};
+use crate::objective::EvaluationResult;
+use crate::{Error, Result};
+
+/// Where and how often the executor checkpoints a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Checkpoint file path (created/overwritten; written atomically).
+    pub path: PathBuf,
+    /// Write the file every this many committed samples (≥ 1; the final
+    /// state is always written when the run ends).
+    pub every_commits: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint to `path` after every commit.
+    pub fn every_commit(path: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            path: path.into(),
+            every_commits: 1,
+        }
+    }
+}
+
+/// The run identity a checkpoint is bound to. Resume refuses to mix
+/// checkpoints across seeds, methods, budgets, schedules or fault setups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointHeader {
+    /// Run seed.
+    pub seed: u64,
+    /// Method label (wire form, e.g. `"hw-ieci"`).
+    pub method: String,
+    /// Mode label (wire form).
+    pub mode: String,
+    /// Stop criterion.
+    pub budget: Budget,
+    /// Virtual schedule width (semantic knob; worker *threads* are not
+    /// part of run identity).
+    pub simulated_gpus: usize,
+    /// Fault profile name (e.g. `"none"`, `"flaky-sensor"`).
+    pub fault_profile: String,
+    /// Retry budget in force.
+    pub max_retries: u32,
+}
+
+fn budget_fields(budget: Budget) -> (&'static str, f64) {
+    match budget {
+        Budget::Evaluations(n) => ("evaluations", n as f64),
+        Budget::VirtualHours(h) => ("virtual_hours", h),
+    }
+}
+
+fn encode_header(h: &CheckpointHeader) -> String {
+    let (budget_kind, budget_value) = budget_fields(h.budget);
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"hyperpower-checkpoint-v1\",\n  \"seed\": \"");
+    out.push_str(&h.seed.to_string());
+    out.push_str("\",\n  \"method\": \"");
+    out.push_str(&h.method);
+    out.push_str("\",\n  \"mode\": \"");
+    out.push_str(&h.mode);
+    out.push_str("\",\n  \"budget\": {\"kind\": \"");
+    out.push_str(budget_kind);
+    out.push_str("\", \"value\": ");
+    out.push_str(&format!("{budget_value:?}"));
+    out.push_str("},\n  \"simulated_gpus\": ");
+    out.push_str(&h.simulated_gpus.to_string());
+    out.push_str(",\n  \"fault_profile\": \"");
+    out.push_str(&h.fault_profile);
+    out.push_str("\",\n  \"max_retries\": ");
+    out.push_str(&h.max_retries.to_string());
+    out
+}
+
+fn encode_eval(eval_seed: u64, r: &EvaluationResult) -> String {
+    format!(
+        "{{\"seed\": \"{}\", \"error\": {:?}, \"diverged\": {}, \"terminated_early\": {}, \"train_secs\": {:?}}}",
+        eval_seed, r.error, r.diverged, r.terminated_early, r.train_secs
+    )
+}
+
+/// Accumulates committed samples and raw evaluations during a run and
+/// writes the checkpoint file every `every_commits` commits.
+#[derive(Debug)]
+pub struct CheckpointSink {
+    config: CheckpointConfig,
+    header: String,
+    eval_lines: Vec<String>,
+    sample_lines: Vec<String>,
+    commits_since_write: usize,
+}
+
+impl CheckpointSink {
+    /// Creates a sink for one run.
+    pub fn new(config: CheckpointConfig, header: &CheckpointHeader) -> Self {
+        CheckpointSink {
+            config,
+            header: encode_header(header),
+            eval_lines: Vec::new(),
+            sample_lines: Vec::new(),
+            commits_since_write: 0,
+        }
+    }
+
+    /// Records one raw objective evaluation (keyed by its eval seed). The
+    /// executor calls this for every evaluation it *uses*, including cache
+    /// hits on a resumed run, so a rewritten checkpoint is always complete.
+    pub fn record_eval(&mut self, eval_seed: u64, result: &EvaluationResult) {
+        self.eval_lines.push(encode_eval(eval_seed, result));
+    }
+
+    /// Records one committed sample and writes the file if a checkpoint
+    /// interval elapsed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint-file I/O failures as [`Error::Checkpoint`].
+    pub fn record_commit(&mut self, sample: &Sample) -> Result<()> {
+        self.sample_lines.push(golden::encode_sample(sample));
+        self.commits_since_write += 1;
+        if self.commits_since_write >= self.config.every_commits.max(1) {
+            self.write()?;
+            self.commits_since_write = 0;
+        }
+        Ok(())
+    }
+
+    /// Writes the final state (always called when the run ends, whatever
+    /// the interval).
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint-file I/O failures as [`Error::Checkpoint`].
+    pub fn flush(&mut self) -> Result<()> {
+        self.write()?;
+        self.commits_since_write = 0;
+        Ok(())
+    }
+
+    fn write(&self) -> Result<()> {
+        let mut out = String::with_capacity(
+            self.header.len() + 64 * (self.eval_lines.len() + self.sample_lines.len()),
+        );
+        out.push_str(&self.header);
+        out.push_str(",\n  \"evals\": [");
+        for (i, line) in self.eval_lines.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(line);
+        }
+        out.push_str(if self.eval_lines.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"samples\": [");
+        for (i, line) in self.sample_lines.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(line);
+        }
+        out.push_str(if self.sample_lines.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
+        write_atomic(&self.config.path, &out)
+    }
+}
+
+fn write_atomic(path: &Path, contents: &str) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    let describe = |what: &str, e: std::io::Error| {
+        Error::Checkpoint(format!("{what} {}: {e}", path.display()))
+    };
+    std::fs::write(&tmp, contents).map_err(|e| describe("writing", e))?;
+    std::fs::rename(&tmp, path).map_err(|e| describe("committing", e))
+}
+
+/// A loaded checkpoint: the run identity it was written under, the cached
+/// raw evaluations and the committed samples (kept as parsed JSON for
+/// bit-exact prefix verification).
+#[derive(Debug, Clone)]
+pub struct RunCheckpoint {
+    /// The run identity recorded in the file.
+    pub header: CheckpointHeader,
+    /// Raw objective results keyed by eval seed.
+    pub evals: HashMap<u64, EvaluationResult>,
+    /// Committed samples, as parsed golden-codec values.
+    pub samples: Vec<Value>,
+}
+
+fn obj_get<'a>(members: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_str(members: &[(String, Value)], key: &str) -> Result<String> {
+    match obj_get(members, key) {
+        Some(Value::String(s)) => Ok(s.clone()),
+        _ => Err(Error::Checkpoint(format!("missing string field `{key}`"))),
+    }
+}
+
+fn get_num(members: &[(String, Value)], key: &str) -> Result<f64> {
+    match obj_get(members, key) {
+        Some(Value::Number(x)) => Ok(*x),
+        _ => Err(Error::Checkpoint(format!("missing numeric field `{key}`"))),
+    }
+}
+
+fn get_bool(members: &[(String, Value)], key: &str) -> Result<bool> {
+    match obj_get(members, key) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(Error::Checkpoint(format!("missing boolean field `{key}`"))),
+    }
+}
+
+fn get_u64_str(members: &[(String, Value)], key: &str) -> Result<u64> {
+    // u64 values are stored as strings: JSON numbers are f64 here and
+    // cannot hold every 64-bit seed exactly.
+    get_str(members, key)?
+        .parse::<u64>()
+        .map_err(|e| Error::Checkpoint(format!("bad u64 field `{key}`: {e}")))
+}
+
+impl RunCheckpoint {
+    /// Loads and validates a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Checkpoint`] on I/O failures, malformed JSON or a wrong
+    /// schema marker.
+    pub fn load(path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Error::Checkpoint(format!("reading {}: {e}", path.display())))?;
+        Self::decode(&text)
+    }
+
+    /// Parses checkpoint text (see [`RunCheckpoint::load`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Checkpoint`] on malformed input.
+    pub fn decode(text: &str) -> Result<Self> {
+        let value =
+            golden::parse(text).map_err(|e| Error::Checkpoint(format!("parse error: {e}")))?;
+        let Value::Object(top) = value else {
+            return Err(Error::Checkpoint("top level is not an object".into()));
+        };
+        let schema = get_str(&top, "schema")?;
+        if schema != "hyperpower-checkpoint-v1" {
+            return Err(Error::Checkpoint(format!("unknown schema {schema:?}")));
+        }
+        let budget = match obj_get(&top, "budget") {
+            Some(Value::Object(b)) => {
+                let kind = get_str(b, "kind")?;
+                let value = get_num(b, "value")?;
+                match kind.as_str() {
+                    "evaluations" => Budget::Evaluations(value as usize),
+                    "virtual_hours" => Budget::VirtualHours(value),
+                    other => {
+                        return Err(Error::Checkpoint(format!("unknown budget kind {other:?}")))
+                    }
+                }
+            }
+            _ => return Err(Error::Checkpoint("missing object field `budget`".into())),
+        };
+        let header = CheckpointHeader {
+            seed: get_u64_str(&top, "seed")?,
+            method: get_str(&top, "method")?,
+            mode: get_str(&top, "mode")?,
+            budget,
+            simulated_gpus: get_num(&top, "simulated_gpus")? as usize,
+            fault_profile: get_str(&top, "fault_profile")?,
+            max_retries: get_num(&top, "max_retries")? as u32,
+        };
+        let mut evals = HashMap::new();
+        let Some(Value::Array(eval_items)) = obj_get(&top, "evals") else {
+            return Err(Error::Checkpoint("missing array field `evals`".into()));
+        };
+        for item in eval_items {
+            let Value::Object(members) = item else {
+                return Err(Error::Checkpoint("eval entry is not an object".into()));
+            };
+            let seed = get_u64_str(members, "seed")?;
+            evals.insert(
+                seed,
+                EvaluationResult {
+                    error: get_num(members, "error")?,
+                    diverged: get_bool(members, "diverged")?,
+                    terminated_early: get_bool(members, "terminated_early")?,
+                    train_secs: get_num(members, "train_secs")?,
+                },
+            );
+        }
+        let Some(Value::Array(samples)) = obj_get(&top, "samples") else {
+            return Err(Error::Checkpoint("missing array field `samples`".into()));
+        };
+        Ok(RunCheckpoint {
+            header,
+            evals,
+            samples: samples.clone(),
+        })
+    }
+
+    /// Verifies this checkpoint was written by the run described by
+    /// `expected`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ResumeMismatch`] naming every differing field.
+    pub fn verify_header(&self, expected: &CheckpointHeader) -> Result<()> {
+        let mut mismatches = Vec::new();
+        let mut check = |field: &str, got: String, want: String| {
+            if got != want {
+                mismatches.push(format!("{field}: checkpoint has {got}, run wants {want}"));
+            }
+        };
+        let h = &self.header;
+        check("seed", h.seed.to_string(), expected.seed.to_string());
+        check("method", h.method.clone(), expected.method.clone());
+        check("mode", h.mode.clone(), expected.mode.clone());
+        // Budgets compare by exact bits: a resumed run must not quietly run
+        // under a slightly different deadline.
+        let fmt_budget = |b: Budget| {
+            let (kind, value) = budget_fields(b);
+            format!("{kind}({value:?}/bits {:016x})", value.to_bits())
+        };
+        check("budget", fmt_budget(h.budget), fmt_budget(expected.budget));
+        check(
+            "simulated_gpus",
+            h.simulated_gpus.to_string(),
+            expected.simulated_gpus.to_string(),
+        );
+        check(
+            "fault_profile",
+            h.fault_profile.clone(),
+            expected.fault_profile.clone(),
+        );
+        check(
+            "max_retries",
+            h.max_retries.to_string(),
+            expected.max_retries.to_string(),
+        );
+        if mismatches.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::ResumeMismatch(mismatches.join("; ")))
+        }
+    }
+
+    /// Verifies the committed samples in this checkpoint are a bit-exact
+    /// prefix of `final_samples` (the resumed run's full sample list).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ResumeMismatch`] with the golden differ's per-field report.
+    pub fn verify_prefix(&self, final_samples: &[Sample]) -> Result<()> {
+        if final_samples.len() < self.samples.len() {
+            return Err(Error::ResumeMismatch(format!(
+                "resumed run committed {} samples, checkpoint already had {}",
+                final_samples.len(),
+                self.samples.len()
+            )));
+        }
+        let mut report = Vec::new();
+        for (i, expected) in self.samples.iter().enumerate() {
+            let line = golden::encode_sample(&final_samples[i]);
+            let actual = golden::parse(&line)
+                .map_err(|e| Error::Checkpoint(format!("re-encoding sample {i}: {e}")))?;
+            for d in golden::diff(expected, &actual) {
+                report.push(format!("samples[{i}]{}", d.trim_start_matches('$')));
+            }
+        }
+        if report.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::ResumeMismatch(report.join("; ")))
+        }
+    }
+}
+
+#[cfg(test)]
+// Tests assert exact constructed values; strict float equality intended.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::driver::SampleKind;
+    use crate::Config;
+
+    fn header() -> CheckpointHeader {
+        CheckpointHeader {
+            seed: u64::MAX - 7, // not representable as f64: exercises the string encoding
+            method: "hw-ieci".into(),
+            mode: "hyperpower".into(),
+            budget: Budget::VirtualHours(0.1),
+            simulated_gpus: 2,
+            fault_profile: "flaky-sensor".into(),
+            max_retries: 2,
+        }
+    }
+
+    fn sample(index: usize) -> Sample {
+        Sample {
+            index,
+            timestamp_s: 100.5 * (index as f64 + 1.0),
+            kind: SampleKind::Trained,
+            error: Some(0.25),
+            power_w: 80.25,
+            memory_bytes: Some(123_456),
+            latency_s: Some(0.001),
+            feasible: true,
+            retries: 1,
+            faults: vec![crate::recovery::TrialFailure::Crash],
+            failure: None,
+            config: Config::new(vec![0.25, 0.75]).unwrap(),
+        }
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("hyperpower-ckpt-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_header_evals_and_samples() {
+        let path = tmp_path("roundtrip.json");
+        let mut sink = CheckpointSink::new(
+            CheckpointConfig {
+                path: path.clone(),
+                every_commits: 2,
+            },
+            &header(),
+        );
+        let r = EvaluationResult {
+            error: 0.1 + 0.2, // deliberately not 0.3
+            diverged: false,
+            terminated_early: true,
+            train_secs: 1234.5,
+        };
+        sink.record_eval(42, &r);
+        sink.record_eval(u64::MAX, &r);
+        sink.record_commit(&sample(0)).unwrap();
+        sink.record_commit(&sample(1)).unwrap();
+        let ck = RunCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ck.header, header());
+        assert_eq!(ck.evals.len(), 2);
+        assert_eq!(ck.evals[&42].error.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert!(ck.evals[&u64::MAX].terminated_early);
+        assert_eq!(ck.samples.len(), 2);
+        ck.verify_header(&header()).unwrap();
+        ck.verify_prefix(&[sample(0), sample(1), sample(2)])
+            .unwrap();
+    }
+
+    #[test]
+    fn interval_batches_writes_and_flush_forces_one() {
+        let path = tmp_path("interval.json");
+        std::fs::remove_file(&path).ok();
+        let mut sink = CheckpointSink::new(
+            CheckpointConfig {
+                path: path.clone(),
+                every_commits: 3,
+            },
+            &header(),
+        );
+        sink.record_commit(&sample(0)).unwrap();
+        assert!(!path.exists(), "one commit of three must not write yet");
+        sink.flush().unwrap();
+        assert!(path.exists());
+        let ck = RunCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ck.samples.len(), 1);
+    }
+
+    #[test]
+    fn header_mismatch_names_the_fields() {
+        let path = tmp_path("mismatch.json");
+        let mut sink = CheckpointSink::new(CheckpointConfig::every_commit(path.clone()), &header());
+        sink.flush().unwrap();
+        let ck = RunCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let mut other = header();
+        other.seed ^= 1;
+        other.fault_profile = "none".into();
+        let err = ck.verify_header(&other).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("seed"), "{msg}");
+        assert!(msg.contains("fault_profile"), "{msg}");
+        assert!(!msg.contains("method:"), "{msg}");
+    }
+
+    #[test]
+    fn prefix_mismatch_is_bit_exact() {
+        let path = tmp_path("prefix.json");
+        let mut sink = CheckpointSink::new(CheckpointConfig::every_commit(path.clone()), &header());
+        sink.record_commit(&sample(0)).unwrap();
+        let ck = RunCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let mut drifted = sample(0);
+        drifted.power_w = f64::from_bits(drifted.power_w.to_bits() + 1);
+        let err = ck.verify_prefix(&[drifted]).unwrap_err();
+        assert!(err.to_string().contains("power_w"), "{err}");
+        // Too-short final runs are rejected outright.
+        assert!(ck.verify_prefix(&[]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_files() {
+        assert!(RunCheckpoint::decode("{").is_err());
+        assert!(RunCheckpoint::decode("{\"schema\": \"other\"}").is_err());
+        assert!(
+            RunCheckpoint::decode("{\"schema\": \"hyperpower-checkpoint-v1\"}").is_err(),
+            "missing fields must fail"
+        );
+        let err = RunCheckpoint::load(Path::new("/nonexistent/ckpt.json")).unwrap_err();
+        assert!(matches!(err, Error::Checkpoint(_)));
+    }
+}

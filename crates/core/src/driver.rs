@@ -41,6 +41,9 @@ pub enum SampleKind {
     EarlyTerminated,
     /// Trained to completion.
     Trained,
+    /// Every attempt failed (fault injection or watchdog timeout); the
+    /// sample is recorded as a worst-case "liar" observation.
+    Failed,
 }
 
 /// One queried sample in a trace.
@@ -66,6 +69,15 @@ pub struct Sample {
     /// Whether the sample satisfies the budgets (by measurement for
     /// evaluated samples; rejected samples are infeasible by prediction).
     pub feasible: bool,
+    /// Retries consumed by this sample (0 when the first attempt stood).
+    pub retries: u32,
+    /// Every fault that struck this sample's attempts, in attempt order.
+    pub faults: Vec<crate::recovery::TrialFailure>,
+    /// Terminal failure cause for [`SampleKind::Failed`] samples, the
+    /// quarantine marker for circuit-broken rejections, or the secondary
+    /// cause on a completed sample (e.g. a timeout outranked by early
+    /// termination).
+    pub failure: Option<crate::recovery::TrialFailure>,
     /// The queried configuration.
     pub config: Config,
 }
@@ -120,11 +132,14 @@ impl Trace {
     }
 
     /// Evaluated samples that violated the budgets by *measurement* (the
-    /// paper's Figure 4 center metric).
+    /// paper's Figure 4 center metric). Failed samples carry no
+    /// measurements and are not counted.
     pub fn measured_violations(&self) -> usize {
         self.samples
             .iter()
-            .filter(|s| s.kind != SampleKind::Rejected && !s.feasible)
+            .filter(|s| {
+                matches!(s.kind, SampleKind::EarlyTerminated | SampleKind::Trained) && !s.feasible
+            })
             .count()
     }
 
@@ -209,8 +224,8 @@ impl Trace {
 
     /// Writes the trace as CSV (one row per queried sample) for external
     /// analysis/plotting. Columns: `index,timestamp_s,kind,error,power_w,
-    /// memory_bytes,latency_s,feasible,config...` (the config's unit-cube
-    /// coordinates, one column per dimension).
+    /// memory_bytes,latency_s,feasible,retries,failure,config...` (the
+    /// config's unit-cube coordinates, one column per dimension).
     ///
     /// # Errors
     ///
@@ -220,7 +235,7 @@ impl Trace {
         let dim = self.samples.first().map(|s| s.config.dim()).unwrap_or(0);
         write!(
             w,
-            "index,timestamp_s,kind,error,power_w,memory_bytes,latency_s,feasible"
+            "index,timestamp_s,kind,error,power_w,memory_bytes,latency_s,feasible,retries,failure"
         )?;
         for d in 0..dim {
             write!(w, ",u{d}")?;
@@ -231,10 +246,11 @@ impl Trace {
                 SampleKind::Rejected => "rejected",
                 SampleKind::EarlyTerminated => "early_terminated",
                 SampleKind::Trained => "trained",
+                SampleKind::Failed => "failed",
             };
             write!(
                 w,
-                "{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{}",
                 s.index,
                 s.timestamp_s,
                 kind,
@@ -242,7 +258,9 @@ impl Trace {
                 s.power_w,
                 s.memory_bytes.map(|m| m.to_string()).unwrap_or_default(),
                 s.latency_s.map(|l| l.to_string()).unwrap_or_default(),
-                s.feasible
+                s.feasible,
+                s.retries,
+                s.failure.map(|c| c.wire_name()).unwrap_or_default()
             )?;
             for u in s.config.unit() {
                 write!(w, ",{u}")?;
@@ -346,6 +364,9 @@ mod tests {
             memory_bytes: None,
             latency_s: error.map(|_| 0.001),
             feasible,
+            retries: 0,
+            faults: Vec::new(),
+            failure: None,
             config: Config::new(vec![0.5]).unwrap(),
         }
     }
@@ -372,6 +393,26 @@ mod tests {
         assert_eq!(t.queried(), 5);
         assert_eq!(t.evaluations(), 4);
         assert_eq!(t.measured_violations(), 1);
+    }
+
+    #[test]
+    fn failed_samples_consume_evaluations_but_not_measured_violations() {
+        let mut t = toy_trace();
+        let mut s = sample(5, 500.0, SampleKind::Failed, None, false);
+        s.retries = 2;
+        s.faults = vec![crate::recovery::TrialFailure::Crash; 3];
+        s.failure = Some(crate::recovery::TrialFailure::Crash);
+        t.samples.push(s);
+        // A failed trial spent its evaluation budget…
+        assert_eq!(t.evaluations(), 5);
+        // …but carries no measurements, so it is not a *measured* violation.
+        assert_eq!(t.measured_violations(), 1);
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let last = text.lines().last().unwrap();
+        assert!(last.contains("failed"));
+        assert!(last.contains(",2,crash"));
     }
 
     #[test]

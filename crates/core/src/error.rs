@@ -20,6 +20,19 @@ pub enum Error {
         /// Samples available.
         available: usize,
     },
+    /// A worker thread panicked while evaluating a candidate. The panic
+    /// payload is captured instead of poisoning the whole run.
+    WorkerPanic {
+        /// Proposal index (trace query) of the candidate being evaluated.
+        query: u64,
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// A resume checkpoint does not match the requested run (different
+    /// seed, method, mode, budget, fault profile, or corrupted file).
+    ResumeMismatch(String),
+    /// Writing or reading a run checkpoint failed.
+    Checkpoint(String),
     /// An underlying numerical routine failed.
     Numerical(hyperpower_linalg::Error),
     /// Gaussian-process fitting failed.
@@ -43,6 +56,11 @@ impl fmt::Display for Error {
                 f,
                 "not enough profiled samples: need {required}, have {available}"
             ),
+            Error::WorkerPanic { query, message } => {
+                write!(f, "worker panicked evaluating proposal {query}: {message}")
+            }
+            Error::ResumeMismatch(msg) => write!(f, "resume checkpoint mismatch: {msg}"),
+            Error::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
             Error::Numerical(e) => write!(f, "numerical failure: {e}"),
             Error::Gp(e) => write!(f, "gaussian-process failure: {e}"),
             Error::Nn(e) => write!(f, "network failure: {e}"),

@@ -41,22 +41,46 @@
 //!   depends only on *which* proposal it was — never on which thread ran
 //!   it or when it finished.
 //! * **Sensor measurements**: performed at *commit* time on the
-//!   coordinator's single [`Gpu`] stream, in commit order — the shared
-//!   noise stream never races.
+//!   coordinator's single [`hyperpower_gpu_sim::Gpu`] stream, in commit
+//!   order — the shared noise stream never races.
 //! * **Commit order**: completion-time order with proposal-index tiebreak,
 //!   via [`CommitQueue`]; with one simulated GPU this degenerates to
 //!   proposal order.
+//! * **Faults**: every fault decision ([`FaultPlan`]) is a pure function of
+//!   `(run seed, proposal index, attempt)` on salted streams separate from
+//!   the proposal and sensor RNGs, so fault schedules replay exactly, and
+//!   [`FaultProfile::none`] leaves the fault-free byte-identity intact (see
+//!   DESIGN.md §5b).
+//!
+//! # Fault recovery and resumable runs
+//!
+//! With a non-inert [`FaultProfile`], each evaluated candidate is run
+//! through [`crate::recovery::plan_trial`]: injected faults abort attempts,
+//! a bounded [`RetryPolicy`] re-runs them with seeded exponential backoff
+//! (charged to *virtual* time, so `Budget::VirtualHours` stays honest), and
+//! a trial whose every attempt fails commits as [`SampleKind::Failed`] — a
+//! worst-case "liar" observation for the searcher — and quarantines its
+//! configuration (circuit breaker: re-proposals are rejected at model-eval
+//! cost without training). [`ExecutorOptions::checkpoint`] persists the
+//! committed trace periodically; [`ExecutorOptions::resume_from`] replays a
+//! checkpoint's cached evaluations through a deterministic re-run and
+//! verifies the committed prefix bit-for-bit.
 
-use hyperpower_gpu_sim::{CommitQueue, VirtualClock, WorkerClock};
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+
+use hyperpower_gpu_sim::{CommitQueue, FaultPlan, FaultProfile, Gpu, VirtualClock, WorkerClock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::checkpoint::{CheckpointConfig, CheckpointHeader, CheckpointSink, RunCheckpoint};
 use crate::constraints::ConstraintOracle;
 use crate::driver::{Budget, RunSetup, Sample, SampleKind, Trace, MAX_CONSECUTIVE_REJECTIONS};
 use crate::methods::{make_searcher, Conditioning, History};
 use crate::objective::EvaluationResult;
+use crate::recovery::{plan_trial, RetryPolicy, TrialFailure, TrialOutcome, LIAR_ERROR};
 use crate::space::Decoded;
-use crate::{Config, EarlyTermination, Method, Mode, Objective, Result};
+use crate::{Config, EarlyTermination, Error, Method, Mode, Objective, Result};
 
 /// Environment variable read by [`ExecutorOptions::from_env`] for the
 /// default worker-thread count (used by the CI matrix to exercise the
@@ -71,7 +95,7 @@ const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
 /// Knobs for the parallel evaluation executor. See the module docs for why
 /// `workers` (threads, semantics-neutral) and `simulated_gpus` (virtual
 /// schedule, semantic) are separate dials.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutorOptions {
     /// Maximum OS threads evaluating candidates concurrently. Never
     /// affects the emitted trace; 0 is treated as 1.
@@ -81,6 +105,21 @@ pub struct ExecutorOptions {
     /// paper experiment; G > 1 runs the batch-parallel variant. 0 is
     /// treated as 1.
     pub simulated_gpus: usize,
+    /// Fault-injection profile. [`FaultProfile::none`] (the default) is
+    /// inert: no fault draws happen and traces are byte-identical to the
+    /// pre-fault executor. Like `simulated_gpus`, this is a *semantic*
+    /// knob and part of run identity for checkpoints.
+    pub fault_profile: FaultProfile,
+    /// Retry/backoff policy applied when faults abort an attempt.
+    pub retry: RetryPolicy,
+    /// When set, the committed trace is checkpointed here periodically
+    /// (and always at run end), atomically.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// When set, the run resumes from this checkpoint: cached evaluations
+    /// replace objective calls during a deterministic re-run, and the
+    /// checkpoint's committed samples are verified as a bit-exact prefix
+    /// of the final trace.
+    pub resume_from: Option<PathBuf>,
 }
 
 impl Default for ExecutorOptions {
@@ -88,6 +127,10 @@ impl Default for ExecutorOptions {
         ExecutorOptions {
             workers: 1,
             simulated_gpus: 1,
+            fault_profile: FaultProfile::none(),
+            retry: RetryPolicy::default(),
+            checkpoint: None,
+            resume_from: None,
         }
     }
 }
@@ -95,7 +138,8 @@ impl Default for ExecutorOptions {
 impl ExecutorOptions {
     /// Options with the worker count taken from the `HYPERPOWER_WORKERS`
     /// environment variable (unset, unparsable or zero ⇒ 1) and one
-    /// simulated GPU.
+    /// simulated GPU. Fault injection, checkpointing and resume stay at
+    /// their defaults — they are semantic knobs, never ambient state.
     pub fn from_env() -> Self {
         let workers = std::env::var(WORKERS_ENV)
             .ok()
@@ -120,6 +164,30 @@ impl ExecutorOptions {
         self
     }
 
+    /// Replaces the fault profile (builder style).
+    pub fn with_fault_profile(mut self, profile: FaultProfile) -> Self {
+        self.fault_profile = profile;
+        self
+    }
+
+    /// Replaces the retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables periodic checkpointing (builder style).
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Resumes from a checkpoint file (builder style).
+    pub fn with_resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
     fn effective_workers(&self) -> usize {
         self.workers.max(1)
     }
@@ -134,14 +202,153 @@ impl ExecutorOptions {
 /// # Errors
 ///
 /// Propagates space-decoding, GP-fitting and objective errors (the first
-/// error in proposal order wins, so failures are deterministic too).
+/// error in proposal order wins, so failures are deterministic too), plus
+/// [`Error::WorkerPanic`] for panicking objectives, [`Error::Checkpoint`]
+/// for checkpoint I/O failures and [`Error::ResumeMismatch`] when a resume
+/// checkpoint belongs to a different run or its committed samples fail the
+/// bit-exact prefix check.
 pub fn run_optimization_with(setup: RunSetup<'_>, options: &ExecutorOptions) -> Result<Trace> {
     let workers = options.effective_workers();
-    if options.simulated_gpus.max(1) == 1 {
-        run_single_gpu(setup, workers)
-    } else {
-        run_multi_gpu(setup, workers, options.simulated_gpus)
+    let gpus = options.simulated_gpus.max(1);
+    let header = CheckpointHeader {
+        seed: setup.seed,
+        method: setup.method.to_string(),
+        mode: setup.mode.to_string(),
+        budget: setup.budget,
+        simulated_gpus: gpus,
+        fault_profile: options.fault_profile.name.clone(),
+        max_retries: options.retry.max_retries,
+    };
+    let plan = FaultPlan::new(options.fault_profile.clone(), setup.seed);
+    let mut sink = options
+        .checkpoint
+        .clone()
+        .map(|config| CheckpointSink::new(config, &header));
+    let engine = Engine {
+        workers,
+        gpus,
+        plan: &plan,
+        retry: &options.retry,
+    };
+
+    let resumed = match &options.resume_from {
+        Some(path) => {
+            let checkpoint = RunCheckpoint::load(path)?;
+            checkpoint.verify_header(&header)?;
+            Some(checkpoint)
+        }
+        None => None,
+    };
+
+    let trace = match &resumed {
+        Some(checkpoint) => {
+            // Resume = deterministic re-run with an evaluation cache: the
+            // schedule (proposals, sensors, faults) replays identically by
+            // construction; only never-before-seen evaluations actually
+            // call the objective.
+            let RunSetup {
+                space,
+                objective,
+                gpu,
+                budgets,
+                oracle,
+                early_termination,
+                cost,
+                method,
+                mode,
+                budget,
+                seed,
+                searcher_override,
+            } = setup;
+            let cached = CachedObjective {
+                inner: objective,
+                cache: &checkpoint.evals,
+            };
+            engine.run(
+                RunSetup {
+                    space,
+                    objective: &cached,
+                    gpu,
+                    budgets,
+                    oracle,
+                    early_termination,
+                    cost,
+                    method,
+                    mode,
+                    budget,
+                    seed,
+                    searcher_override,
+                },
+                sink.as_mut(),
+            )?
+        }
+        None => engine.run(setup, sink.as_mut())?,
+    };
+    if let Some(checkpoint) = &resumed {
+        checkpoint.verify_prefix(&trace.samples)?;
     }
+    Ok(trace)
+}
+
+/// An objective wrapper that answers from a resume checkpoint's cached
+/// results where possible. Keyed by eval seed — the executor derives eval
+/// seeds purely from `(run seed, proposal index)`, so a hit is exactly "the
+/// interrupted run already trained this proposal".
+struct CachedObjective<'a> {
+    inner: &'a dyn Objective,
+    cache: &'a HashMap<u64, EvaluationResult>,
+}
+
+impl Objective for CachedObjective<'_> {
+    fn evaluate(
+        &self,
+        decoded: &Decoded,
+        early: Option<&EarlyTermination>,
+        seed: u64,
+    ) -> Result<EvaluationResult> {
+        if let Some(result) = self.cache.get(&seed) {
+            return Ok(*result);
+        }
+        self.inner.evaluate(decoded, early, seed)
+    }
+
+    fn full_epochs(&self) -> usize {
+        self.inner.full_epochs()
+    }
+}
+
+/// The executor's per-run read-only context.
+struct Engine<'p> {
+    workers: usize,
+    gpus: usize,
+    plan: &'p FaultPlan,
+    retry: &'p RetryPolicy,
+}
+
+impl Engine<'_> {
+    fn run(&self, setup: RunSetup<'_>, sink: Option<&mut CheckpointSink>) -> Result<Trace> {
+        if self.gpus == 1 {
+            run_single_gpu(setup, self, sink)
+        } else {
+            run_multi_gpu(setup, self, sink)
+        }
+    }
+}
+
+/// The quarantine key of a configuration: its unit-cube coordinates by
+/// exact bit pattern (the executor re-proposes bit-identical configs, so
+/// no tolerance is wanted).
+fn config_key(config: &Config) -> Vec<u64> {
+    config.unit().iter().map(|u| u.to_bits()).collect()
+}
+
+/// Predicted memory pressure of a candidate: the noise-free memory
+/// analysis as a fraction of device capacity. Consumes no RNG — fault
+/// decisions must never perturb the sensor stream.
+fn memory_pressure_frac(gpu: &Gpu, decoded: &Decoded) -> f64 {
+    let predicted_mib = gpu.analyze(&decoded.arch).memory.get();
+    let capacity_mib = gpu.device().memory_capacity_gib * 1024.0;
+    predicted_mib / capacity_mib
 }
 
 /// Selects the rejection-screening oracle exactly as the sequential loop
@@ -163,6 +370,7 @@ struct PlannedItem {
     config: Config,
     decoded: Decoded,
     rejected: bool,
+    query: u64,
     eval_seed: u64,
 }
 
@@ -172,7 +380,16 @@ struct PlannedItem {
 /// concurrent threads. Every commit re-checks the budget, so a prefetched
 /// tail that the sequential loop would never have proposed is discarded
 /// unseen — byte identity with the sequential trace is preserved.
-fn run_single_gpu(setup: RunSetup<'_>, workers: usize) -> Result<Trace> {
+///
+/// Quarantine membership is likewise checked at *commit* time (a
+/// prefetched speculative result for a config quarantined earlier in the
+/// same block is consumed and discarded), so the set's contents are a
+/// function of the trace, never of the lookahead width.
+fn run_single_gpu(
+    setup: RunSetup<'_>,
+    engine: &Engine<'_>,
+    mut sink: Option<&mut CheckpointSink>,
+) -> Result<Trace> {
     let RunSetup {
         space,
         objective,
@@ -187,6 +404,7 @@ fn run_single_gpu(setup: RunSetup<'_>, workers: usize) -> Result<Trace> {
         seed,
         searcher_override,
     } = setup;
+    let workers = engine.workers;
 
     let mut searcher =
         searcher_override.unwrap_or_else(|| make_searcher(method, mode, oracle.cloned()));
@@ -196,6 +414,7 @@ fn run_single_gpu(setup: RunSetup<'_>, workers: usize) -> Result<Trace> {
     let mut samples: Vec<Sample> = Vec::new();
     let mut evaluations = 0usize;
     let mut consecutive_rejections = 0usize;
+    let mut quarantine: HashSet<Vec<u64>> = HashSet::new();
     let screen = screening_oracle(mode, method, oracle);
 
     // Dependent searchers must see each result before the next proposal:
@@ -235,20 +454,22 @@ fn run_single_gpu(setup: RunSetup<'_>, workers: usize) -> Result<Trace> {
             // Every committed sample — rejected or trained — occupies one
             // trace slot, and the evaluation seed is derived from that
             // slot exactly as in the sequential loop.
-            let eval_seed = seed.wrapping_mul(SEED_MIX).wrapping_add(base_slot + offset);
+            let query = base_slot + offset;
+            let eval_seed = seed.wrapping_mul(SEED_MIX).wrapping_add(query);
             planned.push(PlannedItem {
                 config,
                 decoded,
                 rejected,
+                query,
                 eval_seed,
             });
         }
 
         // Train the surviving candidates concurrently.
-        let tasks: Vec<(&Decoded, u64)> = planned
+        let tasks: Vec<(u64, &Decoded, u64)> = planned
             .iter()
             .filter(|p| !p.rejected)
-            .map(|p| (&p.decoded, p.eval_seed))
+            .map(|p| (p.query, &p.decoded, p.eval_seed))
             .collect();
         let results = evaluate_parallel(objective, early_termination.as_ref(), &tasks, workers)?;
 
@@ -270,7 +491,7 @@ fn run_single_gpu(setup: RunSetup<'_>, workers: usize) -> Result<Trace> {
                 };
                 clock.advance_secs(cost.model_eval_s);
                 let predicted_power = oracle.models().predict_power(&item.decoded.structural);
-                samples.push(Sample {
+                let sample = Sample {
                     index: samples.len(),
                     timestamp_s: clock.seconds(),
                     kind: SampleKind::Rejected,
@@ -279,8 +500,49 @@ fn run_single_gpu(setup: RunSetup<'_>, workers: usize) -> Result<Trace> {
                     memory_bytes: None,
                     latency_s: None,
                     feasible: false,
+                    retries: 0,
+                    faults: Vec::new(),
+                    failure: None,
                     config: item.config,
-                });
+                };
+                if let Some(s) = sink.as_deref_mut() {
+                    s.record_commit(&sample)?;
+                }
+                samples.push(sample);
+                consecutive_rejections += 1;
+                if consecutive_rejections >= MAX_CONSECUTIVE_REJECTIONS {
+                    break 'run;
+                }
+                continue;
+            }
+            // Consume this item's (speculative) result up front so a
+            // quarantine discard keeps later items aligned with theirs.
+            let Some(result) = next_result.next() else {
+                unreachable!("one evaluation result per surviving candidate");
+            };
+            if quarantine.contains(&config_key(&item.config)) {
+                // Circuit breaker: this config already failed terminally.
+                // Reject at model-eval cost using the noise-free analysis
+                // (no sensor RNG), and drop the speculative result.
+                clock.advance_secs(cost.model_eval_s);
+                let sample = Sample {
+                    index: samples.len(),
+                    timestamp_s: clock.seconds(),
+                    kind: SampleKind::Rejected,
+                    error: None,
+                    power_w: gpu.analyze(&item.decoded.arch).power.get(),
+                    memory_bytes: None,
+                    latency_s: None,
+                    feasible: false,
+                    retries: 0,
+                    faults: Vec::new(),
+                    failure: Some(TrialFailure::Quarantined),
+                    config: item.config,
+                };
+                if let Some(s) = sink.as_deref_mut() {
+                    s.record_commit(&sample)?;
+                }
+                samples.push(sample);
                 consecutive_rejections += 1;
                 if consecutive_rejections >= MAX_CONSECUTIVE_REJECTIONS {
                     break 'run;
@@ -292,37 +554,92 @@ fn run_single_gpu(setup: RunSetup<'_>, workers: usize) -> Result<Trace> {
                 clock.advance_secs(cost.model_eval_s);
             }
             consecutive_rejections = 0;
-            let Some(result) = next_result.next() else {
-                unreachable!("one evaluation result per surviving candidate");
+            if let Some(s) = sink.as_deref_mut() {
+                s.record_eval(item.eval_seed, &result);
+            }
+            let pressure_frac = memory_pressure_frac(gpu, &item.decoded);
+            let trial = plan_trial(
+                engine.plan,
+                engine.retry,
+                item.query,
+                &result,
+                pressure_frac,
+            );
+            clock.advance_secs(trial.charged_secs);
+            let sample = match trial.outcome {
+                TrialOutcome::Completed { secondary } => {
+                    let mut faults = trial.faults;
+                    let glitched = engine.plan.sensor_glitch(item.query);
+                    if glitched {
+                        // Transient sensor glitch: the first power reading
+                        // is garbage — discard it (consuming the draw) and
+                        // pay for a repeated measurement pass.
+                        let _ = gpu.measure_power(&item.decoded.arch);
+                        faults.push(TrialFailure::SensorGlitch);
+                    }
+                    let power = gpu.measure_power(&item.decoded.arch);
+                    let memory = gpu.measure_memory(&item.decoded.arch).ok();
+                    let latency = gpu.measure_latency(&item.decoded.arch);
+                    clock.advance_secs(cost.measurement_s);
+                    if glitched {
+                        clock.advance_secs(cost.measurement_s);
+                    }
+                    let feasible = budgets.satisfied_by_measurements(power, memory, Some(latency));
+                    history.push(item.config.clone(), result.error);
+                    evaluations += 1;
+                    Sample {
+                        index: samples.len(),
+                        timestamp_s: clock.seconds(),
+                        kind: if result.terminated_early {
+                            SampleKind::EarlyTerminated
+                        } else {
+                            SampleKind::Trained
+                        },
+                        error: Some(result.error),
+                        power_w: power.get(),
+                        memory_bytes: memory.map(|m| m.as_bytes() as u64),
+                        latency_s: Some(latency.get()),
+                        feasible,
+                        retries: trial.attempts - 1,
+                        faults,
+                        failure: secondary,
+                        config: item.config,
+                    }
+                }
+                TrialOutcome::Failed(cause) => {
+                    // Graceful degradation: the searcher sees a worst-case
+                    // "liar" observation instead of a silent hole, and the
+                    // config is circuit-broken. No measurements exist — the
+                    // job never completed.
+                    history.push(item.config.clone(), LIAR_ERROR);
+                    evaluations += 1;
+                    quarantine.insert(config_key(&item.config));
+                    Sample {
+                        index: samples.len(),
+                        timestamp_s: clock.seconds(),
+                        kind: SampleKind::Failed,
+                        error: None,
+                        power_w: gpu.analyze(&item.decoded.arch).power.get(),
+                        memory_bytes: None,
+                        latency_s: None,
+                        feasible: false,
+                        retries: trial.attempts - 1,
+                        faults: trial.faults,
+                        failure: Some(cause),
+                        config: item.config,
+                    }
+                }
             };
-            clock.advance_secs(result.train_secs);
-
-            let power = gpu.measure_power(&item.decoded.arch);
-            let memory = gpu.measure_memory(&item.decoded.arch).ok();
-            let latency = gpu.measure_latency(&item.decoded.arch);
-            clock.advance_secs(cost.measurement_s);
-
-            let feasible = budgets.satisfied_by_measurements(power, memory, Some(latency));
-            history.push(item.config.clone(), result.error);
-            evaluations += 1;
-            samples.push(Sample {
-                index: samples.len(),
-                timestamp_s: clock.seconds(),
-                kind: if result.terminated_early {
-                    SampleKind::EarlyTerminated
-                } else {
-                    SampleKind::Trained
-                },
-                error: Some(result.error),
-                power_w: power.get(),
-                memory_bytes: memory.map(|m| m.as_bytes() as u64),
-                latency_s: Some(latency.get()),
-                feasible,
-                config: item.config,
-            });
+            if let Some(s) = sink.as_deref_mut() {
+                s.record_commit(&sample)?;
+            }
+            samples.push(sample);
         }
     }
 
+    if let Some(s) = sink {
+        s.flush()?;
+    }
     Ok(Trace {
         method,
         mode,
@@ -346,12 +663,26 @@ enum CommitItem {
     Rejected {
         config: Config,
         predicted_power_w: f64,
+        /// `Some(Quarantined)` for circuit-breaker rejections.
+        failure: Option<TrialFailure>,
     },
     Evaluated {
         worker: usize,
         config: Config,
         decoded: Decoded,
         result: EvaluationResult,
+        retries: u32,
+        faults: Vec<TrialFailure>,
+        secondary: Option<TrialFailure>,
+        glitched: bool,
+    },
+    Failed {
+        worker: usize,
+        config: Config,
+        decoded: Decoded,
+        retries: u32,
+        faults: Vec<TrialFailure>,
+        cause: TrialFailure,
     },
 }
 
@@ -362,12 +693,21 @@ enum CommitItem {
 /// free worker (lowest-index tiebreak) proposes next, with the in-flight
 /// configurations passed as constant-liar pending points; (b) trains the
 /// newly dispatched candidates concurrently (real threads, virtual
-/// durations); (c) pops exactly one entry — the globally earliest
-/// `(completion time, proposal index)` — from the [`CommitQueue`] and
-/// commits it. Popping the minimum is safe because after (a)+(b) every
-/// potential earlier commit is already queued: all workers are either busy
-/// (their entry is queued) or blocked for the rest of the run.
-fn run_multi_gpu(setup: RunSetup<'_>, workers: usize, gpus: usize) -> Result<Trace> {
+/// durations) and replays each one's fault schedule; (c) pops exactly one
+/// entry — the globally earliest `(completion time, proposal index)` —
+/// from the [`CommitQueue`] and commits it. Popping the minimum is safe
+/// because after (a)+(b) every potential earlier commit is already queued:
+/// all workers are either busy (their entry is queued) or blocked for the
+/// rest of the run.
+///
+/// Quarantine is checked at *dispatch* time here (phases are sequential
+/// coordinator code, so the set is worker-count-independent), and retries
+/// with their backoff run on the owning worker's timeline.
+fn run_multi_gpu(
+    setup: RunSetup<'_>,
+    engine: &Engine<'_>,
+    mut sink: Option<&mut CheckpointSink>,
+) -> Result<Trace> {
     let RunSetup {
         space,
         objective,
@@ -382,6 +722,7 @@ fn run_multi_gpu(setup: RunSetup<'_>, workers: usize, gpus: usize) -> Result<Tra
         seed,
         searcher_override,
     } = setup;
+    let (workers, gpus) = (engine.workers, engine.gpus);
 
     let mut searcher =
         searcher_override.unwrap_or_else(|| make_searcher(method, mode, oracle.cloned()));
@@ -398,6 +739,7 @@ fn run_multi_gpu(setup: RunSetup<'_>, workers: usize, gpus: usize) -> Result<Tra
     let mut pending: Vec<(u64, Config)> = Vec::new();
     let mut query: u64 = 0;
     let mut dispatched_evals = 0usize;
+    let mut quarantine: HashSet<Vec<u64>> = HashSet::new();
     let screen = screening_oracle(mode, method, oracle);
 
     loop {
@@ -441,6 +783,7 @@ fn run_multi_gpu(setup: RunSetup<'_>, workers: usize, gpus: usize) -> Result<Tra
                         CommitItem::Rejected {
                             config,
                             predicted_power_w: predicted_power.get(),
+                            failure: None,
                         },
                     );
                     consecutive_rejections += 1;
@@ -449,6 +792,27 @@ fn run_multi_gpu(setup: RunSetup<'_>, workers: usize, gpus: usize) -> Result<Tra
                     }
                     continue 'fill;
                 }
+            }
+            if quarantine.contains(&config_key(&config)) {
+                // Circuit breaker (see the single-GPU loop). The worker
+                // stays free: nothing trains.
+                clock.advance_secs(w, cost.model_eval_s);
+                queue.push(
+                    clock.seconds(w),
+                    q,
+                    CommitItem::Rejected {
+                        config,
+                        predicted_power_w: gpu.analyze(&decoded.arch).power.get(),
+                        failure: Some(TrialFailure::Quarantined),
+                    },
+                );
+                consecutive_rejections += 1;
+                if consecutive_rejections >= MAX_CONSECUTIVE_REJECTIONS {
+                    rejections_exhausted = true;
+                }
+                continue 'fill;
+            }
+            if screen.is_some() {
                 clock.advance_secs(w, cost.model_eval_s);
             }
             consecutive_rejections = 0;
@@ -467,65 +831,118 @@ fn run_multi_gpu(setup: RunSetup<'_>, workers: usize, gpus: usize) -> Result<Tra
             });
         }
 
-        // Phase B: train the dispatched candidates concurrently and queue
-        // their completions.
-        let tasks: Vec<(&Decoded, u64)> = newly_planned
+        // Phase B: train the dispatched candidates concurrently, replay
+        // each one's fault schedule on its worker's timeline, and queue
+        // the completions (or terminal failures).
+        let tasks: Vec<(u64, &Decoded, u64)> = newly_planned
             .iter()
-            .map(|p| (&p.decoded, p.eval_seed))
+            .map(|p| (p.query, &p.decoded, p.eval_seed))
             .collect();
         let results = evaluate_parallel(objective, early_termination.as_ref(), &tasks, workers)?;
-        for (plan, result) in newly_planned.into_iter().zip(results) {
-            clock.advance_secs(plan.worker, result.train_secs);
-            clock.advance_secs(plan.worker, cost.measurement_s);
-            queue.push(
-                clock.seconds(plan.worker),
-                plan.query,
-                CommitItem::Evaluated {
-                    worker: plan.worker,
-                    config: plan.config,
-                    decoded: plan.decoded,
-                    result,
-                },
+        for (item, result) in newly_planned.into_iter().zip(results) {
+            if let Some(s) = sink.as_deref_mut() {
+                s.record_eval(item.eval_seed, &result);
+            }
+            let pressure_frac = memory_pressure_frac(gpu, &item.decoded);
+            let trial = plan_trial(
+                engine.plan,
+                engine.retry,
+                item.query,
+                &result,
+                pressure_frac,
             );
+            clock.advance_secs(item.worker, trial.charged_secs);
+            match trial.outcome {
+                TrialOutcome::Completed { secondary } => {
+                    let glitched = engine.plan.sensor_glitch(item.query);
+                    clock.advance_secs(item.worker, cost.measurement_s);
+                    if glitched {
+                        // The repeated measurement pass is paid on the
+                        // worker's own timeline; the discarded sensor draw
+                        // happens at commit, on the shared stream.
+                        clock.advance_secs(item.worker, cost.measurement_s);
+                    }
+                    queue.push(
+                        clock.seconds(item.worker),
+                        item.query,
+                        CommitItem::Evaluated {
+                            worker: item.worker,
+                            config: item.config,
+                            decoded: item.decoded,
+                            result,
+                            retries: trial.attempts - 1,
+                            faults: trial.faults,
+                            secondary,
+                            glitched,
+                        },
+                    );
+                }
+                TrialOutcome::Failed(cause) => {
+                    queue.push(
+                        clock.seconds(item.worker),
+                        item.query,
+                        CommitItem::Failed {
+                            worker: item.worker,
+                            config: item.config,
+                            decoded: item.decoded,
+                            retries: trial.attempts - 1,
+                            faults: trial.faults,
+                            cause,
+                        },
+                    );
+                }
+            }
         }
 
         // Phase C: commit the globally earliest completion.
         let Some((time_s, q, item)) = queue.pop_min() else {
             break;
         };
-        match item {
+        let sample = match item {
             CommitItem::Rejected {
                 config,
                 predicted_power_w,
-            } => {
-                samples.push(Sample {
-                    index: samples.len(),
-                    timestamp_s: time_s,
-                    kind: SampleKind::Rejected,
-                    error: None,
-                    power_w: predicted_power_w,
-                    memory_bytes: None,
-                    latency_s: None,
-                    feasible: false,
-                    config,
-                });
-            }
+                failure,
+            } => Sample {
+                index: samples.len(),
+                timestamp_s: time_s,
+                kind: SampleKind::Rejected,
+                error: None,
+                power_w: predicted_power_w,
+                memory_bytes: None,
+                latency_s: None,
+                feasible: false,
+                retries: 0,
+                faults: Vec::new(),
+                failure,
+                config,
+            },
             CommitItem::Evaluated {
                 worker,
                 config,
                 decoded,
                 result,
+                retries,
+                mut faults,
+                secondary,
+                glitched,
             } => {
                 // Sensors are read on the coordinator's single GPU stream
                 // in commit order: the noise sequence is a function of the
                 // trace, not of thread scheduling.
+                if glitched {
+                    let _ = gpu.measure_power(&decoded.arch);
+                    faults.push(TrialFailure::SensorGlitch);
+                }
                 let power = gpu.measure_power(&decoded.arch);
                 let memory = gpu.measure_memory(&decoded.arch).ok();
                 let latency = gpu.measure_latency(&decoded.arch);
                 let feasible = budgets.satisfied_by_measurements(power, memory, Some(latency));
                 history.push(config.clone(), result.error);
                 evaluations += 1;
-                samples.push(Sample {
+                busy[worker] = false;
+                pending.retain(|(pq, _)| *pq != q);
+                Sample {
                     index: samples.len(),
                     timestamp_s: time_s,
                     kind: if result.terminated_early {
@@ -538,12 +955,45 @@ fn run_multi_gpu(setup: RunSetup<'_>, workers: usize, gpus: usize) -> Result<Tra
                     memory_bytes: memory.map(|m| m.as_bytes() as u64),
                     latency_s: Some(latency.get()),
                     feasible,
+                    retries,
+                    faults,
+                    failure: secondary,
                     config,
-                });
+                }
+            }
+            CommitItem::Failed {
+                worker,
+                config,
+                decoded,
+                retries,
+                faults,
+                cause,
+            } => {
+                history.push(config.clone(), LIAR_ERROR);
+                evaluations += 1;
+                quarantine.insert(config_key(&config));
                 busy[worker] = false;
                 pending.retain(|(pq, _)| *pq != q);
+                Sample {
+                    index: samples.len(),
+                    timestamp_s: time_s,
+                    kind: SampleKind::Failed,
+                    error: None,
+                    power_w: gpu.analyze(&decoded.arch).power.get(),
+                    memory_bytes: None,
+                    latency_s: None,
+                    feasible: false,
+                    retries,
+                    faults,
+                    failure: Some(cause),
+                    config,
+                }
             }
+        };
+        if let Some(s) = sink.as_deref_mut() {
+            s.record_commit(&sample)?;
         }
+        samples.push(sample);
     }
 
     // `evaluations` feeds the dispatch gate; the trace recomputes its own
@@ -556,6 +1006,9 @@ fn run_multi_gpu(setup: RunSetup<'_>, workers: usize, gpus: usize) -> Result<Tra
             .count()
     );
 
+    if let Some(s) = sink {
+        s.flush()?;
+    }
     Ok(Trace {
         method,
         mode,
@@ -585,23 +1038,58 @@ fn earliest_free(clock: &WorkerClock, busy: &[bool], blocked: &[bool]) -> Option
     best
 }
 
-/// Evaluates `tasks` (a `(decoded, eval_seed)` per candidate), using up to
-/// `workers` scoped threads, and returns the results in task order.
+/// Stringifies a panic payload (the `&str`/`String` payloads `panic!`
+/// produces; anything else gets a fixed marker).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one evaluation with the worker boundary hardened: a panicking
+/// objective becomes a typed [`Error::WorkerPanic`] carrying the proposal
+/// index and payload, instead of tearing down the whole run with a raw
+/// join failure.
+fn evaluate_caught(
+    objective: &dyn Objective,
+    early: Option<&EarlyTermination>,
+    decoded: &Decoded,
+    query: u64,
+    eval_seed: u64,
+) -> Result<EvaluationResult> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        objective.evaluate(decoded, early, eval_seed)
+    })) {
+        Ok(result) => result,
+        Err(payload) => Err(Error::WorkerPanic {
+            query,
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Evaluates `tasks` (a `(query, decoded, eval_seed)` per candidate), using
+/// up to `workers` scoped threads, and returns the results in task order.
 ///
 /// Work is assigned round-robin and each result lands in its own slot, so
 /// neither thread scheduling nor completion order can influence the output;
-/// on failure the first error *in task order* is returned. Thread panics
-/// propagate to the caller.
+/// on failure the first error *in task order* is returned — including
+/// panics, which are captured at the worker boundary as
+/// [`Error::WorkerPanic`].
 fn evaluate_parallel(
     objective: &dyn Objective,
     early: Option<&EarlyTermination>,
-    tasks: &[(&Decoded, u64)],
+    tasks: &[(u64, &Decoded, u64)],
     workers: usize,
 ) -> Result<Vec<EvaluationResult>> {
     if tasks.len() <= 1 || workers <= 1 {
         let mut out = Vec::with_capacity(tasks.len());
-        for (decoded, eval_seed) in tasks {
-            out.push(objective.evaluate(decoded, early, *eval_seed)?);
+        for (qu, decoded, eval_seed) in tasks {
+            out.push(evaluate_caught(objective, early, decoded, *qu, *eval_seed)?);
         }
         return Ok(out);
     }
@@ -616,8 +1104,8 @@ fn evaluate_parallel(
                 let mut mine = Vec::new();
                 let mut i = t;
                 while i < tasks.len() {
-                    let (decoded, eval_seed) = tasks[i];
-                    mine.push((i, objective.evaluate(decoded, early, eval_seed)));
+                    let (qu, decoded, eval_seed) = tasks[i];
+                    mine.push((i, evaluate_caught(objective, early, decoded, qu, eval_seed)));
                     i += threads;
                 }
                 mine
@@ -630,6 +1118,8 @@ fn evaluate_parallel(
                         slots[i] = Some(result);
                     }
                 }
+                // Objective panics are caught inside the worker; a join
+                // failure can only come from the executor's own code.
                 Err(panic) => std::panic::resume_unwind(panic),
             }
         }

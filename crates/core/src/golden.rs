@@ -43,6 +43,7 @@ fn kind_name(kind: SampleKind) -> &'static str {
         SampleKind::Rejected => "rejected",
         SampleKind::EarlyTerminated => "early_terminated",
         SampleKind::Trained => "trained",
+        SampleKind::Failed => "failed",
     }
 }
 
@@ -97,6 +98,27 @@ fn push_sample(out: &mut String, s: &Sample, indent: &str) {
     push_opt_f64(out, s.latency_s);
     out.push_str(", \"feasible\": ");
     out.push_str(if s.feasible { "true" } else { "false" });
+    // Fault-recovery keys are emitted only when non-default, so fault-free
+    // traces (and the pre-fault golden fixtures) are byte-identical to the
+    // v1 encoding.
+    if s.retries > 0 {
+        out.push_str(", \"retries\": ");
+        out.push_str(&s.retries.to_string());
+    }
+    if !s.faults.is_empty() {
+        out.push_str(", \"faults\": [");
+        for (i, f) in s.faults.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_escaped(out, f.wire_name());
+        }
+        out.push(']');
+    }
+    if let Some(failure) = s.failure {
+        out.push_str(", \"failure\": ");
+        push_escaped(out, failure.wire_name());
+    }
     out.push_str(", \"config\": [");
     for (i, u) in s.config.unit().iter().enumerate() {
         if i > 0 {
@@ -105,6 +127,15 @@ fn push_sample(out: &mut String, s: &Sample, indent: &str) {
         push_f64(out, *u);
     }
     out.push_str("]}");
+}
+
+/// Encodes one [`Sample`] as a single JSON object line (the same encoding
+/// [`encode_trace`] uses inside `samples`). Used by the run-checkpoint
+/// format so resumed traces are byte-compatible with golden fixtures.
+pub fn encode_sample(s: &Sample) -> String {
+    let mut out = String::new();
+    push_sample(&mut out, s, "");
+    out
 }
 
 /// Encodes a [`Trace`] as deterministic, human-diffable JSON: fixed key
@@ -462,6 +493,9 @@ mod tests {
                     memory_bytes: None,
                     latency_s: None,
                     feasible: false,
+                    retries: 0,
+                    faults: Vec::new(),
+                    failure: None,
                     config: Config::new(vec![0.25, 1.0 / 3.0]).unwrap(),
                 },
                 Sample {
@@ -473,6 +507,9 @@ mod tests {
                     memory_bytes: Some(1_234_567_890),
                     latency_s: Some(1e-3),
                     feasible: true,
+                    retries: 0,
+                    faults: Vec::new(),
+                    failure: None,
                     config: Config::new(vec![0.5, 0.75]).unwrap(),
                 },
             ],
@@ -556,6 +593,33 @@ mod tests {
         assert!(matches!(items[2], Value::Number(x) if x == f64::NEG_INFINITY));
         assert_eq!(items[3], Value::Null);
         assert!(matches!(items[4], Value::Number(x) if x == -1.5e-3));
+    }
+
+    #[test]
+    fn fault_keys_are_emitted_only_when_non_default() {
+        use crate::recovery::TrialFailure;
+        let trace = toy_trace();
+        // Default (fault-free) samples carry none of the new keys: the
+        // encoding is byte-identical to the pre-fault format.
+        let clean = encode_trace(&trace);
+        assert!(!clean.contains("retries"));
+        assert!(!clean.contains("faults"));
+        assert!(!clean.contains("failure"));
+        let mut faulted = trace.clone();
+        faulted.samples[1].retries = 2;
+        faulted.samples[1].faults = vec![TrialFailure::Crash, TrialFailure::SensorGlitch];
+        faulted.samples[1].failure = Some(TrialFailure::Crash);
+        let text = encode_trace(&faulted);
+        assert!(text.contains("\"retries\": 2"));
+        assert!(text.contains("\"faults\": [\"crash\", \"sensor_glitch\"]"));
+        assert!(text.contains("\"failure\": \"crash\""));
+        assert!(parse(&text).is_ok());
+        // The differ names the new keys on mismatch.
+        let report = diff_text(&clean, &text);
+        assert!(report.iter().any(|l| l.contains("retries")), "{report:?}");
+        // Single-sample encoder matches the in-trace encoding.
+        let line = encode_sample(&faulted.samples[1]);
+        assert!(text.contains(&line));
     }
 
     #[test]

@@ -63,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod constraints;
 pub mod driver;
 mod error;
@@ -72,10 +73,12 @@ pub mod methods;
 pub mod model;
 pub mod objective;
 pub mod profiler;
+pub mod recovery;
 pub mod report;
 pub mod scenario;
 pub mod space;
 
+pub use checkpoint::CheckpointConfig;
 pub use constraints::{Budgets, ConstraintOracle};
 pub use driver::{Budget, Outcome, Sample, SampleKind, Trace};
 // Typed hardware units used throughout the budget/constraint API.
@@ -86,6 +89,7 @@ pub use methods::{Conditioning, Method, Mode, Searcher};
 pub use model::{HwModels, LinearHwModel};
 pub use objective::{EarlyTermination, EvaluationResult, Objective, SimulatedObjective};
 pub use profiler::{ProfiledData, Profiler};
+pub use recovery::{RetryPolicy, TrialFailure};
 pub use scenario::{Scenario, Session};
 pub use space::{Config, Dimension, SearchSpace};
 

@@ -237,6 +237,9 @@ mod tests {
                 memory_bytes: None,
                 latency_s: Some(0.001),
                 feasible: *feasible,
+                retries: 0,
+                faults: Vec::new(),
+                failure: None,
                 config: Config::new(vec![0.5]).unwrap(),
             })
             .collect::<Vec<_>>();

@@ -8,13 +8,16 @@ use hyperpower::driver::RunSetup;
 use hyperpower::golden::encode_trace;
 use hyperpower::methods::History;
 use hyperpower::model::{FeatureMap, LinearHwModel};
+use hyperpower::recovery::{plan_trial, RetryPolicy, TrialOutcome};
 use hyperpower::space::Decoded;
 use hyperpower::{
     run_optimization_with, Budget, Budgets, Config, ConstraintOracle, EarlyTermination,
     EvaluationResult, ExecutorOptions, HwModels, Mebibytes, Method, Mode, Objective, SearchSpace,
     Trace, Watts,
 };
-use hyperpower_gpu_sim::{DeviceProfile, Gpu, TrainingCostModel};
+use hyperpower_gpu_sim::{
+    DeviceProfile, FaultPlan, FaultProfile, Gpu, TrainingCostModel, TrainingFault,
+};
 use proptest::prelude::*;
 
 /// A stub objective with arbitrary (proptest-chosen) virtual durations:
@@ -79,6 +82,42 @@ fn run_fake(
         &ExecutorOptions {
             workers,
             simulated_gpus: gpus,
+            ..ExecutorOptions::default()
+        },
+    )
+    .expect("fake run")
+}
+
+fn run_fake_with_profile(
+    objective: &FakeObjective,
+    budget: Budget,
+    seed: u64,
+    workers: usize,
+    gpus: usize,
+    profile: FaultProfile,
+) -> Trace {
+    let space = SearchSpace::mnist();
+    let mut gpu = Gpu::new(DeviceProfile::gtx_1070(), seed);
+    run_optimization_with(
+        RunSetup {
+            space: &space,
+            objective,
+            gpu: &mut gpu,
+            budgets: Budgets::default(),
+            oracle: None,
+            early_termination: Some(EarlyTermination::default()),
+            cost: TrainingCostModel::default(),
+            method: Method::Rand,
+            mode: Mode::HyperPower,
+            budget,
+            seed,
+            searcher_override: None,
+        },
+        &ExecutorOptions {
+            workers,
+            simulated_gpus: gpus,
+            fault_profile: profile,
+            ..ExecutorOptions::default()
         },
     )
     .expect("fake run")
@@ -267,6 +306,110 @@ proptest! {
         prop_assert!(
             overshoots <= gpus,
             "{overshoots} samples past the deadline with {gpus} GPUs"
+        );
+    }
+
+    #[test]
+    fn charged_virtual_time_is_sum_of_attempts_and_backoff(
+        seed in 0u64..5000,
+        query in 0u64..5000,
+        train_secs in 10.0f64..100_000.0,
+        pressure_frac in 0.0f64..1.2,
+        glitch_p in 0.0f64..0.5,
+        oom_p in 0.0f64..1.0,
+        onset_frac in 0.0f64..0.9,
+        crash_p in 0.0f64..0.4,
+        stall_p in 0.0f64..0.3,
+        finite_watchdog_bit in 0u32..2,
+        watchdog_secs in 600.0f64..50_000.0,
+        max_retries in 0u32..5,
+        terminated_early_bit in 0u32..2,
+    ) {
+        // Satellite invariant: the virtual time a trial charges is exactly
+        // the sum of its attempt durations plus the backoff between them —
+        // recomputed here independently from the (pure) fault plan, added
+        // in the same order so equality is bit-exact.
+        let finite_watchdog = finite_watchdog_bit == 1;
+        let terminated_early = terminated_early_bit == 1;
+        let profile = FaultProfile {
+            name: "prop".into(),
+            sensor_glitch_prob: glitch_p,
+            oom_prob_at_full_pressure: oom_p,
+            oom_onset_frac: onset_frac,
+            crash_prob: crash_p,
+            stall_prob: stall_p,
+            timeout_s: if finite_watchdog { watchdog_secs } else { f64::INFINITY },
+        };
+        let timeout_secs = profile.timeout_s;
+        let plan = FaultPlan::new(profile, seed);
+        let policy = RetryPolicy { max_retries, ..RetryPolicy::default() };
+        let result = EvaluationResult {
+            error: 0.1,
+            diverged: false,
+            terminated_early,
+            train_secs,
+        };
+        let trial = plan_trial(&plan, &policy, query, &result, pressure_frac);
+
+        prop_assert!(trial.attempts >= 1 && trial.attempts <= max_retries + 1);
+        let mut expected_secs = 0.0f64;
+        for attempt in 1..=trial.attempts {
+            let charge_secs = match plan.training_fault(query, attempt, pressure_frac) {
+                Some(TrainingFault::Stall) => timeout_secs,
+                Some(TrainingFault::Oom) | Some(TrainingFault::Crash) => {
+                    plan.fault_point_frac(query, attempt) * train_secs
+                }
+                None => {
+                    if train_secs > timeout_secs && !terminated_early {
+                        timeout_secs
+                    } else {
+                        train_secs
+                    }
+                }
+            };
+            expected_secs += charge_secs;
+            if attempt < trial.attempts {
+                expected_secs += policy.backoff_secs(attempt, plan.backoff_unit(query, attempt));
+            }
+        }
+        prop_assert_eq!(trial.charged_secs, expected_secs);
+        // A trial that ran out of attempts is terminal; otherwise the last
+        // attempt completed.
+        match trial.outcome {
+            TrialOutcome::Failed(_) => prop_assert_eq!(trial.attempts, max_retries + 1),
+            TrialOutcome::Completed { .. } => {}
+        }
+    }
+
+    #[test]
+    fn executor_deadline_overshoot_bounded_even_with_faults(
+        durations in proptest::collection::vec(1.0f64..5000.0, 1..12),
+        gpus in 1usize..5,
+        seed in 0u64..200,
+        deadline_h in 0.05f64..2.0,
+    ) {
+        // The "last sample queried before the limit completes" rule holds
+        // under fault injection too: retries and backoff stretch a trial,
+        // but each in-flight trial still commits exactly once.
+        let objective = FakeObjective { durations };
+        let trace = run_fake_with_profile(
+            &objective,
+            Budget::VirtualHours(deadline_h),
+            seed,
+            1,
+            gpus,
+            FaultProfile::oom_heavy(),
+        );
+        prop_assert!(!trace.samples.is_empty());
+        let deadline_s = deadline_h * 3600.0;
+        let overshoots = trace
+            .samples
+            .iter()
+            .filter(|s| s.timestamp_s > deadline_s)
+            .count();
+        prop_assert!(
+            overshoots <= gpus,
+            "{overshoots} samples past the deadline with {gpus} GPUs under faults"
         );
     }
 

@@ -50,11 +50,13 @@
 mod analysis;
 mod clock;
 mod device;
+mod fault;
 mod sensor;
 
 pub use analysis::{analyze, InferenceReport};
 pub use clock::{CommitQueue, TrainingCostModel, VirtualClock, WorkerClock};
 pub use device::DeviceProfile;
+pub use fault::{FaultPlan, FaultProfile, TrainingFault};
 // Measurement results carry their units in the type; re-exported so
 // downstream crates can name them without depending on the linalg crate.
 pub use hyperpower_linalg::units::{Joules, Mebibytes, Seconds, Watts};

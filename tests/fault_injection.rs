@@ -1,0 +1,533 @@
+//! Fault injection, retry/backoff, quarantine and crash-resume tests.
+//!
+//! The executor's robustness contract, end to end:
+//!
+//! * the **inert profile changes nothing** — running with
+//!   `FaultProfile::none()` (or with checkpointing enabled) is
+//!   byte-identical to not having the fault subsystem at all;
+//! * a **fixed fault profile is deterministic** — traces are byte-identical
+//!   across worker-thread counts, and every emitted trace stays
+//!   schema-valid;
+//! * **panics are typed** — a panicking objective surfaces as
+//!   [`Error::WorkerPanic`] with the proposal index and payload, not as a
+//!   poisoned thread;
+//! * **early termination beats the watchdog** — a trial that terminated
+//!   early is a completed observation even when the full training would
+//!   have overrun the timeout (the timeout is recorded as a secondary
+//!   cause);
+//! * **terminal failures quarantine** — a configuration that exhausts its
+//!   retries circuit-breaks: re-proposals are rejected at model-eval cost;
+//! * **runs resume** — a run killed mid-flight leaves a checkpoint, and
+//!   resuming it yields the same final trace bytes as the uninterrupted
+//!   run, at any worker count.
+//!
+//! The CI fault matrix drives this suite (and the golden suite) with
+//! `HYPERPOWER_FAULT_PROFILE` ∈ {none, flaky-sensor, oom-heavy} ×
+//! `HYPERPOWER_WORKERS` ∈ {1, 4}; see `.github/workflows/ci.yml`.
+
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hyperpower::driver::RunSetup;
+use hyperpower::golden::{diff_text, encode_trace, parse};
+use hyperpower::methods::History;
+use hyperpower::recovery::LIAR_ERROR;
+use hyperpower::space::Decoded;
+use hyperpower::{
+    Budget, Budgets, CheckpointConfig, Config, EarlyTermination, Error, EvaluationResult,
+    ExecutorOptions, Method, Mode, Objective, RetryPolicy, SampleKind, Scenario, SearchSpace,
+    Searcher, Session, Trace, TrialFailure,
+};
+use hyperpower_gpu_sim::{DeviceProfile, FaultProfile, Gpu, TrainingCostModel};
+use rand::rngs::StdRng;
+
+const SEED: u64 = 0x5EED_FA17;
+
+/// The profile under test for a suite invocation: the CI fault matrix sets
+/// `HYPERPOWER_FAULT_PROFILE`; locally the default exercises flaky-sensor.
+fn matrix_profile() -> FaultProfile {
+    match std::env::var("HYPERPOWER_FAULT_PROFILE") {
+        Ok(name) => FaultProfile::parse(&name)
+            .unwrap_or_else(|| panic!("unknown HYPERPOWER_FAULT_PROFILE '{name}'")),
+        Err(_) => FaultProfile::flaky_sensor(),
+    }
+}
+
+fn scratch_path(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/fault-scratch");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+fn run_session(options: &ExecutorOptions) -> Trace {
+    let mut session = Session::new(Scenario::mnist_gtx1070(), SEED).expect("session");
+    session
+        .run_seeded_with(
+            Method::Rand,
+            Mode::HyperPower,
+            Budget::Evaluations(6),
+            SEED,
+            options,
+        )
+        .expect("run")
+}
+
+// ---------------------------------------------------------------------------
+// Test objectives
+// ---------------------------------------------------------------------------
+
+/// Deterministic stub: error and training time are pure functions of the
+/// evaluation seed (like the real simulated objective, minus the cost).
+struct StubObjective {
+    train_secs_base: f64,
+    terminated_early: bool,
+}
+
+impl StubObjective {
+    fn new() -> Self {
+        StubObjective {
+            train_secs_base: 400.0,
+            terminated_early: false,
+        }
+    }
+}
+
+impl Objective for StubObjective {
+    fn evaluate(
+        &self,
+        _decoded: &Decoded,
+        _early: Option<&EarlyTermination>,
+        seed: u64,
+    ) -> hyperpower::Result<EvaluationResult> {
+        Ok(EvaluationResult {
+            error: 0.05 + 0.9 * ((seed % 997) as f64 / 997.0),
+            diverged: false,
+            terminated_early: self.terminated_early,
+            train_secs: self.train_secs_base + (seed % 13) as f64 * 25.0,
+        })
+    }
+
+    fn full_epochs(&self) -> usize {
+        10
+    }
+}
+
+/// Panics when asked to evaluate one specific proposal — deterministic at
+/// any worker count (the panic is keyed on the evaluation seed, which is a
+/// pure function of the proposal index).
+struct PanicOnQuery {
+    inner: StubObjective,
+    target_seed: u64,
+}
+
+impl PanicOnQuery {
+    /// `query` uses the executor's documented derivation
+    /// `eval_seed = run_seed × 0x9e37_79b9_7f4a_7c15 + query`.
+    fn new(run_seed: u64, query: u64) -> Self {
+        PanicOnQuery {
+            inner: StubObjective::new(),
+            target_seed: run_seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(query),
+        }
+    }
+}
+
+impl Objective for PanicOnQuery {
+    fn evaluate(
+        &self,
+        decoded: &Decoded,
+        early: Option<&EarlyTermination>,
+        seed: u64,
+    ) -> hyperpower::Result<EvaluationResult> {
+        assert!(
+            seed != self.target_seed,
+            "simulated crash: poisoned proposal"
+        );
+        self.inner.evaluate(decoded, early, seed)
+    }
+
+    fn full_epochs(&self) -> usize {
+        self.inner.full_epochs()
+    }
+}
+
+/// Stub that panics once its call budget is spent — the "kill -9" stand-in
+/// for crash-resume tests (and the worker-panic regression).
+struct ChaosObjective {
+    inner: StubObjective,
+    calls: AtomicUsize,
+    panic_after: usize,
+}
+
+impl ChaosObjective {
+    fn new(panic_after: usize) -> Self {
+        ChaosObjective {
+            inner: StubObjective::new(),
+            calls: AtomicUsize::new(0),
+            panic_after,
+        }
+    }
+}
+
+impl Objective for ChaosObjective {
+    fn evaluate(
+        &self,
+        decoded: &Decoded,
+        early: Option<&EarlyTermination>,
+        seed: u64,
+    ) -> hyperpower::Result<EvaluationResult> {
+        let call = self.calls.fetch_add(1, Ordering::SeqCst);
+        assert!(
+            call < self.panic_after,
+            "simulated crash: objective call budget exhausted"
+        );
+        self.inner.evaluate(decoded, early, seed)
+    }
+
+    fn full_epochs(&self) -> usize {
+        self.inner.full_epochs()
+    }
+}
+
+/// Always proposes the same configuration (for quarantine tests).
+struct FixedSearcher(Config);
+
+impl Searcher for FixedSearcher {
+    fn propose(
+        &mut self,
+        _space: &SearchSpace,
+        _history: &History,
+        _rng: &mut StdRng,
+    ) -> hyperpower::Result<Config> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Runs the stub objective through the real executor with full control over
+/// options (no profiling/oracle, so every proposal is evaluated).
+fn run_stub(
+    objective: &dyn Objective,
+    budget: Budget,
+    options: &ExecutorOptions,
+    searcher: Option<Box<dyn Searcher>>,
+) -> hyperpower::Result<Trace> {
+    let space = SearchSpace::mnist();
+    let mut gpu = Gpu::new(DeviceProfile::gtx_1070(), SEED);
+    hyperpower::run_optimization_with(
+        RunSetup {
+            space: &space,
+            objective,
+            gpu: &mut gpu,
+            budgets: Budgets::default(),
+            oracle: None,
+            early_termination: Some(EarlyTermination::default()),
+            cost: TrainingCostModel::default(),
+            method: Method::Rand,
+            mode: Mode::HyperPower,
+            budget,
+            seed: SEED,
+            searcher_override: searcher,
+        },
+        options,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Inert profile and matrix invariants
+// ---------------------------------------------------------------------------
+
+#[test]
+fn inert_profile_and_checkpointing_change_no_bytes() {
+    let baseline = encode_trace(&run_session(&ExecutorOptions::default()));
+    let explicit_none = encode_trace(&run_session(
+        &ExecutorOptions::default().with_fault_profile(FaultProfile::none()),
+    ));
+    assert_eq!(baseline, explicit_none);
+
+    // Observing the run through a checkpoint sink must not perturb it.
+    let ckpt = scratch_path("inert.ckpt");
+    let with_sink = encode_trace(&run_session(
+        &ExecutorOptions::default().with_checkpoint(CheckpointConfig::every_commit(ckpt.clone())),
+    ));
+    assert_eq!(baseline, with_sink);
+    assert!(ckpt.exists(), "checkpoint file written");
+}
+
+#[test]
+fn matrix_profile_trace_is_worker_invariant_and_schema_valid() {
+    let profile = matrix_profile();
+    for gpus in [1usize, 2] {
+        let reference = encode_trace(&run_session(
+            &ExecutorOptions::default()
+                .with_fault_profile(profile.clone())
+                .with_simulated_gpus(gpus),
+        ));
+        let parallel = encode_trace(&run_session(
+            &ExecutorOptions::default()
+                .with_fault_profile(profile.clone())
+                .with_simulated_gpus(gpus)
+                .with_workers(4),
+        ));
+        assert_eq!(reference, parallel, "workers must not change the trace");
+        // And the same profile + seed replays exactly.
+        let replay = encode_trace(&run_session(
+            &ExecutorOptions::default()
+                .with_fault_profile(profile.clone())
+                .with_simulated_gpus(gpus),
+        ));
+        assert_eq!(reference, replay, "fault schedule must replay exactly");
+        parse(&reference).expect("faulted trace stays schema-valid");
+        assert!(diff_text(&reference, &parallel).is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker-panic capture
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panicking_objective_becomes_typed_worker_panic() {
+    // Poison proposal 2: at every worker count the typed error names the
+    // same proposal and carries the panic payload.
+    for workers in [1usize, 4] {
+        let objective = PanicOnQuery::new(SEED, 2);
+        let err = run_stub(
+            &objective,
+            Budget::Evaluations(8),
+            &ExecutorOptions::default().with_workers(workers),
+            None,
+        )
+        .expect_err("panicking objective must fail the run");
+        match err {
+            Error::WorkerPanic { query, message } => {
+                assert_eq!(
+                    query, 2,
+                    "first panicking proposal wins (workers={workers})"
+                );
+                assert!(
+                    message.contains("simulated crash"),
+                    "payload preserved, got: {message}"
+                );
+            }
+            other => panic!("expected WorkerPanic, got: {other}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Early termination vs. watchdog timeout
+// ---------------------------------------------------------------------------
+
+/// A profile that injects nothing but arms a finite watchdog.
+fn watchdog_only(timeout_s: f64) -> FaultProfile {
+    FaultProfile {
+        name: "watchdog".into(),
+        timeout_s,
+        ..FaultProfile::none()
+    }
+}
+
+#[test]
+fn early_termination_wins_over_timeout() {
+    let objective = StubObjective {
+        train_secs_base: 5000.0, // far past the watchdog below
+        terminated_early: true,
+    };
+    let trace = run_stub(
+        &objective,
+        Budget::Evaluations(3),
+        &ExecutorOptions::default().with_fault_profile(watchdog_only(1000.0)),
+        None,
+    )
+    .expect("run");
+    assert_eq!(trace.evaluations(), 3);
+    for s in &trace.samples {
+        // The trial completed (early termination preempts the watchdog),
+        // with the overrun recorded as a secondary cause — not a failure.
+        assert_eq!(s.kind, SampleKind::EarlyTerminated);
+        assert!(s.error.is_some());
+        assert_eq!(s.failure, Some(TrialFailure::Timeout));
+        assert_eq!(s.retries, 0);
+    }
+}
+
+#[test]
+fn timeout_without_early_termination_is_terminal() {
+    let objective = StubObjective {
+        train_secs_base: 5000.0,
+        terminated_early: false,
+    };
+    let trace = run_stub(
+        &objective,
+        Budget::Evaluations(2),
+        &ExecutorOptions::default().with_fault_profile(watchdog_only(1000.0)),
+        None,
+    )
+    .expect("run");
+    for s in &trace.samples {
+        assert_eq!(s.kind, SampleKind::Failed);
+        assert_eq!(s.failure, Some(TrialFailure::Timeout));
+        assert!(s.error.is_none());
+        assert!(!s.feasible);
+        // Default policy: 2 retries, all reaped by the watchdog.
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.faults, vec![TrialFailure::Timeout; 3]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine circuit breaker
+// ---------------------------------------------------------------------------
+
+#[test]
+fn exhausted_retries_quarantine_the_configuration() {
+    let profile = FaultProfile {
+        name: "crash-always".into(),
+        crash_prob: 1.0,
+        ..FaultProfile::none()
+    };
+    let objective = StubObjective::new();
+    let config = Config::new(vec![0.5; 6]).expect("config");
+    let trace = run_stub(
+        &objective,
+        Budget::VirtualHours(0.5),
+        &ExecutorOptions::default()
+            .with_fault_profile(profile)
+            .with_retry(RetryPolicy {
+                max_retries: 1,
+                ..RetryPolicy::default()
+            }),
+        Some(Box::new(FixedSearcher(config))),
+    )
+    .expect("run");
+
+    let first = &trace.samples[0];
+    assert_eq!(first.kind, SampleKind::Failed);
+    assert_eq!(first.failure, Some(TrialFailure::Crash));
+    assert_eq!(first.retries, 1);
+    assert_eq!(first.faults, vec![TrialFailure::Crash; 2]);
+
+    // Every re-proposal of the failed config is circuit-broken: rejected
+    // at model-eval cost, never trained again.
+    assert!(trace.samples.len() > 1, "run continued past the failure");
+    for s in &trace.samples[1..] {
+        assert_eq!(s.kind, SampleKind::Rejected);
+        assert_eq!(s.failure, Some(TrialFailure::Quarantined));
+    }
+    assert_eq!(trace.evaluations(), 1, "the config trains exactly once");
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume
+// ---------------------------------------------------------------------------
+
+/// Kills a run after `panic_after` objective calls, then resumes it from
+/// the checkpoint and asserts the final trace is byte-identical to an
+/// uninterrupted run. `resume_workers`/`gpus` prove resume is free to pick
+/// a different thread count and honours the virtual schedule.
+fn kill_and_resume_case(name: &str, panic_after: usize, resume_workers: usize, gpus: usize) {
+    let profile = FaultProfile::flaky_sensor();
+    let budget = Budget::Evaluations(10);
+    let options = ExecutorOptions::default()
+        .with_fault_profile(profile.clone())
+        .with_simulated_gpus(gpus);
+
+    // Reference: uninterrupted run.
+    let reference = encode_trace(
+        &run_stub(&StubObjective::new(), budget, &options, None).expect("uninterrupted run"),
+    );
+
+    // Interrupted run: crash mid-flight, leaving a checkpoint behind.
+    let ckpt = scratch_path(name);
+    let _ = std::fs::remove_file(&ckpt);
+    let chaos = ChaosObjective::new(panic_after);
+    let err = run_stub(
+        &chaos,
+        budget,
+        &options
+            .clone()
+            .with_checkpoint(CheckpointConfig::every_commit(ckpt.clone())),
+        None,
+    )
+    .expect_err("chaos objective must kill the run");
+    assert!(matches!(err, Error::WorkerPanic { .. }), "got: {err}");
+    assert!(ckpt.exists(), "interrupted run left a checkpoint");
+
+    // Resume: committed results replay from the cache; only the remainder
+    // re-evaluates. The fresh-call allowance proves the cache is used.
+    let fresh_calls_needed = 10 - panic_after.min(10);
+    let resumed_objective = ChaosObjective::new(fresh_calls_needed + gpus);
+    let resumed = run_stub(
+        &resumed_objective,
+        budget,
+        &options
+            .clone()
+            .with_workers(resume_workers)
+            .with_resume_from(ckpt.clone()),
+        None,
+    )
+    .expect("resumed run");
+    assert_eq!(
+        reference,
+        encode_trace(&resumed),
+        "resumed trace must be byte-identical to the uninterrupted run"
+    );
+}
+
+#[test]
+fn killed_run_resumes_bit_identically_single_gpu() {
+    kill_and_resume_case("kill_single.ckpt", 4, 1, 1);
+}
+
+#[test]
+fn killed_run_resumes_bit_identically_multi_gpu_and_more_workers() {
+    kill_and_resume_case("kill_multi.ckpt", 5, 4, 2);
+}
+
+#[test]
+fn resume_rejects_a_mismatched_run() {
+    let budget = Budget::Evaluations(4);
+    let ckpt = scratch_path("mismatch.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+    let options =
+        ExecutorOptions::default().with_checkpoint(CheckpointConfig::every_commit(ckpt.clone()));
+    run_stub(&StubObjective::new(), budget, &options, None).expect("checkpointed run");
+
+    // Same checkpoint, different budget: the header check must refuse.
+    let err = run_stub(
+        &StubObjective::new(),
+        Budget::Evaluations(9),
+        &ExecutorOptions::default().with_resume_from(ckpt),
+        None,
+    )
+    .expect_err("mismatched resume must fail");
+    assert!(matches!(err, Error::ResumeMismatch(_)), "got: {err}");
+}
+
+#[test]
+fn failed_samples_never_win() {
+    // The liar contract: a terminally failed trial records no error and is
+    // infeasible, so it can never be reported as the best design — the
+    // worst-case LIAR_ERROR only steers the searcher away.
+    let profile = FaultProfile {
+        name: "crash-always".into(),
+        crash_prob: 1.0,
+        ..FaultProfile::none()
+    };
+    let trace = run_stub(
+        &StubObjective::new(),
+        Budget::Evaluations(3),
+        &ExecutorOptions::default().with_fault_profile(profile),
+        None,
+    )
+    .expect("run");
+    assert!(trace
+        .samples
+        .iter()
+        .all(|s| s.kind == SampleKind::Failed || s.failure == Some(TrialFailure::Quarantined)));
+    assert!(trace.best_feasible().is_none());
+    assert!((0.0..=1.0).contains(&LIAR_ERROR));
+}

@@ -28,7 +28,8 @@
 use std::path::PathBuf;
 
 use hyperpower::golden::{diff_text, encode_trace};
-use hyperpower::{Budget, Method, Mode, Scenario, Session, Trace};
+use hyperpower::{Budget, ExecutorOptions, Method, Mode, Scenario, Session, Trace};
+use hyperpower_gpu_sim::FaultProfile;
 
 /// One shared seed for all fixtures: any cross-method divergence is then a
 /// method property, not a seed artifact.
@@ -56,8 +57,26 @@ fn run_case(method: Method, budget: Budget) -> Trace {
         .expect("golden run")
 }
 
+/// Like [`run_case`], under a seeded fault-injection profile: retries,
+/// sensor glitches and terminal failures are part of the pinned bytes.
+fn run_faulted_case(method: Method, budget: Budget, profile: FaultProfile) -> Trace {
+    let mut session = Session::new(Scenario::mnist_gtx1070(), GOLDEN_SEED).expect("session setup");
+    session
+        .run_seeded_with(
+            method,
+            Mode::HyperPower,
+            budget,
+            GOLDEN_SEED,
+            &ExecutorOptions::default().with_fault_profile(profile),
+        )
+        .expect("golden faulted run")
+}
+
 fn check(name: &str, method: Method, budget: Budget) {
-    let actual = encode_trace(&run_case(method, budget));
+    check_encoded(name, encode_trace(&run_case(method, budget)));
+}
+
+fn check_encoded(name: &str, actual: String) {
     let path = fixture_path(name);
 
     if std::env::var("GOLDEN_BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
@@ -137,4 +156,32 @@ fn golden_hwieci_evals() {
 #[test]
 fn golden_hwieci_hours() {
     check("hwieci_hours", Method::HwIeci, HOURS);
+}
+
+// Fault-injected fixtures: the flaky-sensor profile pins the whole
+// recovery machinery — glitch re-measurements, retries with seeded
+// backoff, and terminal failures with their liar commits — bit-for-bit.
+
+#[test]
+fn golden_rand_evals_flaky_sensor() {
+    check_encoded(
+        "rand_evals_flaky_sensor",
+        encode_trace(&run_faulted_case(
+            Method::Rand,
+            EVALS,
+            FaultProfile::flaky_sensor(),
+        )),
+    );
+}
+
+#[test]
+fn golden_hwieci_evals_flaky_sensor() {
+    check_encoded(
+        "hwieci_evals_flaky_sensor",
+        encode_trace(&run_faulted_case(
+            Method::HwIeci,
+            EVALS,
+            FaultProfile::flaky_sensor(),
+        )),
+    );
 }
