@@ -16,6 +16,7 @@ use crate::{Finding, Rule};
 /// Files allowed to construct and own RNG state. Everything else must
 /// borrow `&mut StdRng`.
 pub const RNG_ROOTS: &[&str] = &[
+    "crates/core/src/drift.rs",
     "crates/core/src/driver.rs",
     "crates/core/src/executor.rs",
     "crates/core/src/profiler.rs",

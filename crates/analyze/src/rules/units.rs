@@ -343,6 +343,20 @@ mod tests {
     }
 
     #[test]
+    fn typed_margin_fields_pass_but_bare_margins_fire() {
+        // The adaptive safety margins on `Budgets` are typed newtypes —
+        // exactly the shape this rule exists to steer raw `f64`s toward.
+        assert!(
+            run("pub struct B { pub power_margin: Watts, pub memory_margin: Mebibytes }\n")
+                .is_empty()
+        );
+        let f = run("pub struct B { pub power_margin: f64 }\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("power_margin"));
+        assert_eq!(run("pub struct B { pub memory_margin: f64 }\n").len(), 1);
+    }
+
+    #[test]
     fn stems_match_whole_segments_only() {
         // `lifetime` must not hit the `time` stem; `timestamp_s` is fine.
         assert!(run("fn f(lifetime: f64) {}\n").is_empty());

@@ -49,6 +49,14 @@ pub enum Command {
         resume: Option<String>,
         /// Write the full per-sample trace as CSV to this path.
         csv: Option<String>,
+        /// Refit the constraint models online when measured drift crosses
+        /// the threshold.
+        recalibrate: bool,
+        /// Drift-detection RMSPE threshold (`None` ⇒ the library default).
+        drift_threshold: Option<f64>,
+        /// Adaptive safety-margin step as a fraction of each budget
+        /// (`None` ⇒ disabled).
+        safety_margin: Option<f64>,
     },
     /// `hyperpower help`: usage text.
     Help,
@@ -94,6 +102,7 @@ USAGE:
                  [--evals N | --hours H] [--seed N] [--workers N]
                  [--fault-profile NAME] [--checkpoint PATH]
                  [--checkpoint-every N] [--resume PATH] [--csv PATH]
+                 [--recalibrate] [--drift-threshold T] [--safety-margin F]
   hyperpower help
 
 PAIRS:    mnist-gtx | cifar-gtx | mnist-tegra | cifar-tegra
@@ -105,9 +114,17 @@ WORKERS:  --workers N evaluates candidates on N threads. The result is
           bit-identical for every N; only wall-clock changes. Default:
           the HYPERPOWER_WORKERS environment variable, then 1.
 FAULTS:   --fault-profile injects a deterministic, seeded fault schedule:
-          none | flaky-sensor | oom-heavy. Failed trials are retried with
-          backoff charged to virtual time; configurations that exhaust
-          their retries are quarantined.
+          none | flaky-sensor | oom-heavy | drifting-hw. Failed trials are
+          retried with backoff charged to virtual time; configurations
+          that exhaust their retries are quarantined; drifting-hw also
+          biases the power sensor linearly in virtual time.
+HEALING:  --recalibrate refits the constraint models online when the
+          measured drift RMSPE crosses --drift-threshold (default 0.15).
+          --safety-margin F tightens the predicted-feasible region by a
+          fraction F of each budget per measured constraint violation
+          (and relaxes it again after sustained clean commits). Both are
+          deterministic: commits are the only observation points, so the
+          trace stays bit-identical across --workers.
 RESUME:   --checkpoint PATH persists committed results during the run
           (atomically, every --checkpoint-every commits; default 1).
           --resume PATH restarts an interrupted run from a checkpoint:
@@ -211,6 +228,9 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             let mut checkpoint_every = 1usize;
             let mut resume = None;
             let mut csv = None;
+            let mut recalibrate = false;
+            let mut drift_threshold = None;
+            let mut safety_margin = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "--pair" => pair = Some(parse_pair(take_value(flag, &mut it)?)?),
@@ -257,6 +277,29 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                     }
                     "--resume" => resume = Some(take_value(flag, &mut it)?.to_string()),
                     "--csv" => csv = Some(take_value(flag, &mut it)?.to_string()),
+                    "--recalibrate" => recalibrate = true,
+                    "--drift-threshold" => {
+                        let t: f64 = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--drift-threshold expects a number".into()))?;
+                        if !(t.is_finite() && t > 0.0) {
+                            return Err(ParseError(
+                                "--drift-threshold must be positive and finite".into(),
+                            ));
+                        }
+                        drift_threshold = Some(t);
+                    }
+                    "--safety-margin" => {
+                        let f: f64 = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--safety-margin expects a number".into()))?;
+                        if !(f.is_finite() && f > 0.0 && f < 1.0) {
+                            return Err(ParseError(
+                                "--safety-margin must be a fraction in (0, 1)".into(),
+                            ));
+                        }
+                        safety_margin = Some(f);
+                    }
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -278,6 +321,9 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 checkpoint_every,
                 resume,
                 csv,
+                recalibrate,
+                drift_threshold,
+                safety_margin,
             })
         }
         other => Err(ParseError(format!(
@@ -365,8 +411,67 @@ mod tests {
                 checkpoint_every: 1,
                 resume: None,
                 csv: Some("/tmp/t.csv".into()),
+                recalibrate: false,
+                drift_threshold: None,
+                safety_margin: None,
             }
         );
+    }
+
+    #[test]
+    fn self_healing_flags() {
+        let c = parse(&[
+            "run",
+            "--pair",
+            "mnist-gtx",
+            "--method",
+            "hw-ieci",
+            "--recalibrate",
+            "--drift-threshold",
+            "0.2",
+            "--safety-margin",
+            "0.05",
+        ])
+        .unwrap();
+        let Command::Run {
+            recalibrate,
+            drift_threshold,
+            safety_margin,
+            ..
+        } = c
+        else {
+            panic!("expected run");
+        };
+        assert!(recalibrate);
+        assert_eq!(drift_threshold, Some(0.2));
+        assert_eq!(safety_margin, Some(0.05));
+
+        // Defaults: healing fully off.
+        let c = parse(&["run", "--pair", "mnist-gtx", "--method", "rand"]).unwrap();
+        let Command::Run {
+            recalibrate,
+            drift_threshold,
+            safety_margin,
+            ..
+        } = c
+        else {
+            panic!("expected run");
+        };
+        assert!(!recalibrate);
+        assert_eq!(drift_threshold, None);
+        assert_eq!(safety_margin, None);
+
+        // Out-of-domain values are rejected with specific messages.
+        for (flag, bad) in [
+            ("--drift-threshold", "0"),
+            ("--drift-threshold", "nan"),
+            ("--safety-margin", "1.5"),
+            ("--safety-margin", "-0.1"),
+        ] {
+            let err =
+                parse(&["run", "--pair", "mnist-gtx", "--method", "rand", flag, bad]).unwrap_err();
+            assert!(err.0.contains(flag), "message {:?} names the flag", err.0);
+        }
     }
 
     #[test]
@@ -541,8 +646,17 @@ mod tests {
         for m in ["rand", "rand-walk", "hw-cwei", "hw-ieci"] {
             assert!(USAGE.contains(m));
         }
-        for f in ["flaky-sensor", "oom-heavy", "--checkpoint", "--resume"] {
-            assert!(USAGE.contains(f));
+        for f in [
+            "flaky-sensor",
+            "oom-heavy",
+            "drifting-hw",
+            "--checkpoint",
+            "--resume",
+            "--recalibrate",
+            "--drift-threshold",
+            "--safety-margin",
+        ] {
+            assert!(USAGE.contains(f), "usage is missing {f}");
         }
     }
 }

@@ -96,6 +96,9 @@ fn main() -> ExitCode {
             checkpoint_every,
             resume,
             csv,
+            recalibrate,
+            drift_threshold,
+            safety_margin,
         } => {
             let scenario = scenario_for(pair);
             let name = scenario.name.clone();
@@ -119,11 +122,20 @@ fn main() -> ExitCode {
                     None => {
                         eprintln!(
                             "error: unknown fault profile '{name}' \
-                             (expected none, flaky-sensor or oom-heavy)"
+                             (expected none, flaky-sensor, oom-heavy or drifting-hw)"
                         );
                         return ExitCode::FAILURE;
                     }
                 }
+            }
+            if recalibrate {
+                options = options.with_recalibrate(true);
+            }
+            if let Some(t) = drift_threshold {
+                options = options.with_drift_threshold(t);
+            }
+            if let Some(f) = safety_margin {
+                options = options.with_safety_margin(f);
             }
             if let Some(path) = checkpoint {
                 let mut config = CheckpointConfig::every_commit(path);
@@ -146,6 +158,22 @@ fn main() -> ExitCode {
                 trace.evaluations(),
                 trace.total_time_s / 3600.0
             );
+            // Self-healing summary, printed only when something happened:
+            // default (inert) runs keep the legacy output byte-identical.
+            let recalibrations = trace.recalibration_count();
+            let degradation_events = trace.degradation_count();
+            if recalibrations > 0 || degradation_events > 0 || trace.final_drift_rmspe().is_some() {
+                let cv = session.models().power.cv_rmspe();
+                let live = trace
+                    .final_drift_rmspe()
+                    .map(|r| format!("{:.2}%", r * 100.0))
+                    .unwrap_or_else(|| "--".into());
+                println!(
+                    "self-healing: {recalibrations} recalibration(s), {degradation_events} \
+                     degradation(s), live drift RMSPE {live} (profiling cv {:.2}%)",
+                    cv * 100.0
+                );
+            }
             match trace.best_feasible() {
                 Some(best) => {
                     println!(

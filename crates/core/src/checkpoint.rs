@@ -61,6 +61,14 @@ pub struct CheckpointHeader {
     pub fault_profile: String,
     /// Retry budget in force.
     pub max_retries: u32,
+    /// Whether online recalibration was enabled (semantic knob: a
+    /// recalibrating run commits different oracles, so its checkpoints are
+    /// not interchangeable with a non-recalibrating run's).
+    pub recalibrate: bool,
+    /// Drift threshold in force.
+    pub drift_threshold: f64,
+    /// Safety-margin step in force.
+    pub safety_margin: f64,
 }
 
 fn budget_fields(budget: Budget) -> (&'static str, f64) {
@@ -89,6 +97,12 @@ fn encode_header(h: &CheckpointHeader) -> String {
     out.push_str(&h.fault_profile);
     out.push_str("\",\n  \"max_retries\": ");
     out.push_str(&h.max_retries.to_string());
+    out.push_str(",\n  \"recalibrate\": ");
+    out.push_str(if h.recalibrate { "true" } else { "false" });
+    out.push_str(",\n  \"drift_threshold\": ");
+    out.push_str(&format!("{:?}", h.drift_threshold));
+    out.push_str(",\n  \"safety_margin\": ");
+    out.push_str(&format!("{:?}", h.safety_margin));
     out
 }
 
@@ -291,6 +305,9 @@ impl RunCheckpoint {
             simulated_gpus: get_num(&top, "simulated_gpus")? as usize,
             fault_profile: get_str(&top, "fault_profile")?,
             max_retries: get_num(&top, "max_retries")? as u32,
+            recalibrate: get_bool(&top, "recalibrate")?,
+            drift_threshold: get_num(&top, "drift_threshold")?,
+            safety_margin: get_num(&top, "safety_margin")?,
         };
         let mut evals = HashMap::new();
         let Some(Value::Array(eval_items)) = obj_get(&top, "evals") else {
@@ -360,6 +377,24 @@ impl RunCheckpoint {
             h.max_retries.to_string(),
             expected.max_retries.to_string(),
         );
+        check(
+            "recalibrate",
+            h.recalibrate.to_string(),
+            expected.recalibrate.to_string(),
+        );
+        // Drift knobs compare by exact bits, like the budget: they change
+        // committed oracles and therefore run identity.
+        let fmt_f64 = |x: f64| format!("{x:?}/bits {:016x}", x.to_bits());
+        check(
+            "drift_threshold",
+            fmt_f64(h.drift_threshold),
+            fmt_f64(expected.drift_threshold),
+        );
+        check(
+            "safety_margin",
+            fmt_f64(h.safety_margin),
+            fmt_f64(expected.safety_margin),
+        );
         if mismatches.is_empty() {
             Ok(())
         } else {
@@ -415,6 +450,9 @@ mod tests {
             simulated_gpus: 2,
             fault_profile: "flaky-sensor".into(),
             max_retries: 2,
+            recalibrate: true,
+            drift_threshold: 0.2,
+            safety_margin: 0.05,
         }
     }
 
@@ -431,6 +469,9 @@ mod tests {
             retries: 1,
             faults: vec![crate::recovery::TrialFailure::Crash],
             failure: None,
+            drift_events: vec![crate::drift::DriftEvent::MarginTightened],
+            degradations: Vec::new(),
+            drift_rmspe: Some(0.125),
             config: Config::new(vec![0.25, 0.75]).unwrap(),
         }
     }
@@ -501,11 +542,16 @@ mod tests {
         let mut other = header();
         other.seed ^= 1;
         other.fault_profile = "none".into();
+        other.recalibrate = false;
+        other.safety_margin = 0.0;
         let err = ck.verify_header(&other).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("seed"), "{msg}");
         assert!(msg.contains("fault_profile"), "{msg}");
+        assert!(msg.contains("recalibrate"), "{msg}");
+        assert!(msg.contains("safety_margin"), "{msg}");
         assert!(!msg.contains("method:"), "{msg}");
+        assert!(!msg.contains("drift_threshold:"), "{msg}");
     }
 
     #[test]

@@ -34,6 +34,15 @@ pub struct Budgets {
     /// the paper (its refs \[10\] and \[14\] constrain runtime); `None`
     /// everywhere in the paper-reproduction scenarios.
     pub latency: Option<Seconds>,
+    /// Adaptive safety margin subtracted from `power` when *predicting*
+    /// feasibility (see [`crate::drift::DriftMonitor`]). Measured
+    /// feasibility ([`Budgets::satisfied_by_measurements`]) always uses
+    /// the raw budget — the margin only shrinks the predicted-feasible
+    /// region while the models are mistrusted. Zero by default.
+    pub power_margin: Watts,
+    /// Adaptive safety margin subtracted from `memory` when predicting
+    /// feasibility. Zero by default.
+    pub memory_margin: Mebibytes,
 }
 
 impl Budgets {
@@ -59,6 +68,19 @@ impl Budgets {
     pub fn with_latency(mut self, limit: Seconds) -> Self {
         self.latency = Some(limit);
         self
+    }
+
+    /// The power limit used for *predicted* feasibility: the raw budget
+    /// minus the adaptive safety margin.
+    pub fn effective_power(&self) -> Option<Watts> {
+        self.power.map(|p| Watts(p.get() - self.power_margin.get()))
+    }
+
+    /// The memory limit used for *predicted* feasibility: the raw budget
+    /// minus the adaptive safety margin.
+    pub fn effective_memory(&self) -> Option<Mebibytes> {
+        self.memory
+            .map(|m| Mebibytes(m.get() - self.memory_margin.get()))
     }
 
     /// Whether a *measured* sample satisfies the power/memory budgets.
@@ -131,13 +153,20 @@ impl ConstraintOracle {
     /// A budget whose quantity has no fitted model (memory on Tegra,
     /// latency unless a latency model was fitted) is skipped, matching the
     /// paper's handling of Tegra memory.
+    ///
+    /// Predictions are compared against the *effective* budgets (raw limit
+    /// minus any adaptive safety margin, zero unless the self-healing
+    /// layer tightened it — see [`crate::drift::DriftMonitor`]).
     pub fn predicted_feasible(&self, z: &[f64]) -> bool {
-        if let Some(pb) = self.budgets.power {
+        if let Some(pb) = self.budgets.effective_power() {
             if self.models.predict_power(z) > pb {
                 return false;
             }
         }
-        if let (Some(mb), Some(pred)) = (self.budgets.memory, self.models.predict_memory(z)) {
+        if let (Some(mb), Some(pred)) = (
+            self.budgets.effective_memory(),
+            self.models.predict_memory(z),
+        ) {
             if pred > mb {
                 return false;
             }
@@ -154,10 +183,17 @@ impl ConstraintOracle {
     /// each model prediction as Gaussian with the model's held-out
     /// residual standard deviation (HW-CWEI, paper §3.5):
     /// `Pr(P(z) ≤ P_B) · Pr(M(z) ≤ M_B)`.
+    ///
+    /// Budgets are the *effective* ones (raw limit minus adaptive safety
+    /// margin). Degenerate constraint models — zero-variance fits on exact
+    /// data, or residual estimates poisoned to non-finite values — fall
+    /// back to the hard indicator instead of propagating NaN, and the
+    /// result is always a probability in `[0, 1]`.
     pub fn feasibility_probability(&self, z: &[f64]) -> f64 {
+        hyperpower_linalg::debug_assert_finite!("feasibility-probability z", z);
         let mut p = 1.0;
-        if let Some(pb) = self.budgets.power {
-            p *= probability_below(
+        if let Some(pb) = self.budgets.effective_power() {
+            p *= constraint_probability(
                 self.models.predict_power(z).get(),
                 self.models.power.residual_std(),
                 pb.get(),
@@ -166,14 +202,27 @@ impl ConstraintOracle {
         // The raw regressions predict in their fitted scale (bytes for
         // memory), so budgets are converted to that scale for the Gaussian
         // tail probability — `residual_std` lives on the same scale.
-        if let (Some(mb), Some(model)) = (self.budgets.memory, self.models.memory.as_ref()) {
-            p *= probability_below(model.predict(z), model.residual_std(), mb.as_bytes());
+        if let (Some(mb), Some(model)) =
+            (self.budgets.effective_memory(), self.models.memory.as_ref())
+        {
+            p *= constraint_probability(model.predict(z), model.residual_std(), mb.as_bytes());
         }
         if let (Some(lb), Some(model)) = (self.budgets.latency, self.models.latency.as_ref()) {
-            p *= probability_below(model.predict(z), model.residual_std(), lb.get());
+            p *= constraint_probability(model.predict(z), model.residual_std(), lb.get());
         }
-        p
+        p.clamp(0.0, 1.0)
     }
+}
+
+/// `Pr(prediction ≤ budget)` for one Gaussian constraint, hardened against
+/// degenerate residual estimates: a non-finite or non-positive spread
+/// degrades to the deterministic hard indicator (a NaN prediction counts
+/// as infeasible), and the Gaussian tail value is clamped to `[0, 1]`.
+fn constraint_probability(predicted: f64, residual_std: f64, budget: f64) -> f64 {
+    if !residual_std.is_finite() || residual_std <= 0.0 || !predicted.is_finite() {
+        return if predicted <= budget { 1.0 } else { 0.0 };
+    }
+    probability_below(predicted, residual_std, budget).clamp(0.0, 1.0)
 }
 
 #[cfg(test)]
@@ -273,6 +322,62 @@ mod tests {
         assert!(p_small > 0.99);
         assert!((0.2..0.8).contains(&p_mid), "p_mid {p_mid}");
         assert!(p_big < 0.01);
+    }
+
+    #[test]
+    fn margins_shrink_predicted_region_but_not_measured() {
+        let mut budgets = Budgets::power(Watts(50.0));
+        budgets.power_margin = Watts(10.0);
+        let oracle = ConstraintOracle::new(
+            HwModels {
+                power: scaled_model(0.0),
+                memory: None,
+                latency: None,
+            },
+            budgets,
+        );
+        // Effective predicted budget is 40 W.
+        assert!(oracle.predicted_feasible(&[3.9])); // P = 39
+        assert!(!oracle.predicted_feasible(&[4.5])); // P = 45 (within raw, over margined)
+                                                     // Measured feasibility ignores the margin entirely.
+        assert!(budgets.satisfied_by(Watts(49.0), None));
+        assert_eq!(budgets.effective_power(), Some(Watts(40.0)));
+        // Memory margin behaves the same way.
+        let mut budgets = Budgets::power_and_memory(Watts(1e9), Mebibytes(100.0));
+        budgets.memory_margin = Mebibytes(25.0);
+        assert_eq!(budgets.effective_memory(), Some(Mebibytes(75.0)));
+        assert!(budgets.satisfied_by(Watts(1.0), Some(Mebibytes(90.0))));
+    }
+
+    #[test]
+    fn degenerate_residual_std_degrades_to_indicator() {
+        // A zero-variance model (fitted on exact data) must yield a hard
+        // 0/1 probability, never NaN.
+        let exact = scaled_model(0.0);
+        let oracle = ConstraintOracle::new(
+            HwModels {
+                power: exact,
+                memory: None,
+                latency: None,
+            },
+            Budgets::power(Watts(50.0)),
+        );
+        for z in [0.1, 4.9, 5.1, 100.0] {
+            let p = oracle.feasibility_probability(&[z]);
+            assert!(p.is_finite(), "p({z}) = {p}");
+            assert!((0.0..=1.0).contains(&p), "p({z}) = {p}");
+        }
+        // Explicitly non-finite spreads through the helper.
+        assert_eq!(super::constraint_probability(40.0, f64::NAN, 50.0), 1.0);
+        assert_eq!(super::constraint_probability(60.0, f64::NAN, 50.0), 0.0);
+        assert_eq!(
+            super::constraint_probability(40.0, f64::INFINITY, 50.0),
+            1.0
+        );
+        assert_eq!(super::constraint_probability(40.0, 0.0, 50.0), 1.0);
+        assert_eq!(super::constraint_probability(60.0, -1.0, 50.0), 0.0);
+        // A NaN prediction counts as infeasible rather than poisoning p.
+        assert_eq!(super::constraint_probability(f64::NAN, 1.0, 50.0), 0.0);
     }
 
     #[test]

@@ -78,6 +78,16 @@ pub struct Sample {
     /// cause on a completed sample (e.g. a timeout outranked by early
     /// termination).
     pub failure: Option<crate::recovery::TrialFailure>,
+    /// Self-healing state transitions caused by committing this sample
+    /// (drift detections, recalibrations, margin moves); empty unless the
+    /// drift monitor is active.
+    pub drift_events: Vec<crate::drift::DriftEvent>,
+    /// Numerical degradation-ladder events hit while *proposing* this
+    /// sample (GP jitter escalations, Rand-Walk fallbacks).
+    pub degradations: Vec<crate::drift::DegradationEvent>,
+    /// Worst live model RMSPE after this commit, when the drift monitor is
+    /// active and has measurements.
+    pub drift_rmspe: Option<f64>,
     /// The queried configuration.
     pub config: Config,
 }
@@ -222,10 +232,36 @@ impl Trace {
             .map(|s| s.timestamp_s)
     }
 
+    /// Worst live model RMSPE at the end of the run, if the drift monitor
+    /// was active and produced estimates.
+    pub fn final_drift_rmspe(&self) -> Option<f64> {
+        self.samples.iter().rev().find_map(|s| s.drift_rmspe)
+    }
+
+    /// Number of samples whose commit recalibrated the hardware models.
+    pub fn recalibration_count(&self) -> usize {
+        self.samples
+            .iter()
+            .filter(|s| {
+                s.drift_events
+                    .contains(&crate::drift::DriftEvent::Recalibrated)
+            })
+            .count()
+    }
+
+    /// Total numerical degradation-ladder events across the run.
+    pub fn degradation_count(&self) -> usize {
+        self.samples.iter().map(|s| s.degradations.len()).sum()
+    }
+
     /// Writes the trace as CSV (one row per queried sample) for external
     /// analysis/plotting. Columns: `index,timestamp_s,kind,error,power_w,
     /// memory_bytes,latency_s,feasible,retries,failure,config...` (the
-    /// config's unit-cube coordinates, one column per dimension).
+    /// config's unit-cube coordinates, one column per dimension). When any
+    /// sample carries self-healing data, three extra columns
+    /// `drift_rmspe,drift_events,degradations` appear before the config
+    /// coordinates (event lists joined with `+`); default runs keep the
+    /// historical column set.
     ///
     /// # Errors
     ///
@@ -233,10 +269,16 @@ impl Trace {
     /// using the writer afterwards.
     pub fn write_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
         let dim = self.samples.first().map(|s| s.config.dim()).unwrap_or(0);
+        let has_drift = self.samples.iter().any(|s| {
+            s.drift_rmspe.is_some() || !s.drift_events.is_empty() || !s.degradations.is_empty()
+        });
         write!(
             w,
             "index,timestamp_s,kind,error,power_w,memory_bytes,latency_s,feasible,retries,failure"
         )?;
+        if has_drift {
+            write!(w, ",drift_rmspe,drift_events,degradations")?;
+        }
         for d in 0..dim {
             write!(w, ",u{d}")?;
         }
@@ -262,6 +304,18 @@ impl Trace {
                 s.retries,
                 s.failure.map(|c| c.wire_name()).unwrap_or_default()
             )?;
+            if has_drift {
+                let events: Vec<&str> = s.drift_events.iter().map(|e| e.wire_name()).collect();
+                let degradations: Vec<String> =
+                    s.degradations.iter().map(|d| d.wire_name()).collect();
+                write!(
+                    w,
+                    ",{},{},{}",
+                    s.drift_rmspe.map(|r| r.to_string()).unwrap_or_default(),
+                    events.join("+"),
+                    degradations.join("+")
+                )?;
+            }
             for u in s.config.unit() {
                 write!(w, ",{u}")?;
             }
@@ -367,6 +421,9 @@ mod tests {
             retries: 0,
             faults: Vec::new(),
             failure: None,
+            drift_events: Vec::new(),
+            degradations: Vec::new(),
+            drift_rmspe: None,
             config: Config::new(vec![0.5]).unwrap(),
         }
     }
@@ -460,6 +517,34 @@ mod tests {
         assert!(lines[4].contains("early_terminated"));
         // Rejected samples have an empty error field.
         assert!(lines[1].contains(",,"));
+    }
+
+    #[test]
+    fn csv_gains_drift_columns_only_when_present() {
+        use crate::drift::{DegradationEvent, DriftEvent, DriftTarget};
+        let mut t = toy_trace();
+        // Default traces keep the historical column set.
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let clean = String::from_utf8(buf).unwrap();
+        assert!(!clean.contains("drift_rmspe"));
+        // A recalibrating run grows the three drift columns.
+        t.samples[2].drift_rmspe = Some(0.25);
+        t.samples[2].drift_events = vec![
+            DriftEvent::DriftDetected(DriftTarget::Power),
+            DriftEvent::Recalibrated,
+        ];
+        t.samples[4].degradations = vec![DegradationEvent::RandWalkFallback];
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains(",drift_rmspe,drift_events,degradations,u0"));
+        assert!(lines[3].contains(",0.25,drift:power+recalibrated,,"));
+        assert!(lines[5].contains(",,,rand-walk-fallback,"));
+        assert_eq!(t.final_drift_rmspe(), Some(0.25));
+        assert_eq!(t.recalibration_count(), 1);
+        assert_eq!(t.degradation_count(), 1);
     }
 
     #[test]

@@ -75,12 +75,13 @@ use rand::SeedableRng;
 
 use crate::checkpoint::{CheckpointConfig, CheckpointHeader, CheckpointSink, RunCheckpoint};
 use crate::constraints::ConstraintOracle;
+use crate::drift::{DriftConfig, DriftMonitor};
 use crate::driver::{Budget, RunSetup, Sample, SampleKind, Trace, MAX_CONSECUTIVE_REJECTIONS};
 use crate::methods::{make_searcher, Conditioning, History};
 use crate::objective::EvaluationResult;
 use crate::recovery::{plan_trial, RetryPolicy, TrialFailure, TrialOutcome, LIAR_ERROR};
 use crate::space::Decoded;
-use crate::{Config, EarlyTermination, Error, Method, Mode, Objective, Result};
+use crate::{Config, EarlyTermination, Error, Method, Mode, Objective, Result, Watts};
 
 /// Environment variable read by [`ExecutorOptions::from_env`] for the
 /// default worker-thread count (used by the CI matrix to exercise the
@@ -120,6 +121,10 @@ pub struct ExecutorOptions {
     /// checkpoint's committed samples are verified as a bit-exact prefix
     /// of the final trace.
     pub resume_from: Option<PathBuf>,
+    /// Self-healing configuration (drift detection, online recalibration,
+    /// adaptive safety margins). Inert by default; a semantic knob and
+    /// part of run identity for checkpoints when enabled.
+    pub drift: DriftConfig,
 }
 
 impl Default for ExecutorOptions {
@@ -131,6 +136,7 @@ impl Default for ExecutorOptions {
             retry: RetryPolicy::default(),
             checkpoint: None,
             resume_from: None,
+            drift: DriftConfig::default(),
         }
     }
 }
@@ -188,6 +194,30 @@ impl ExecutorOptions {
         self
     }
 
+    /// Replaces the whole self-healing configuration (builder style).
+    pub fn with_drift(mut self, drift: DriftConfig) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// Enables online recalibration (builder style).
+    pub fn with_recalibrate(mut self, recalibrate: bool) -> Self {
+        self.drift.recalibrate = recalibrate;
+        self
+    }
+
+    /// Replaces the drift-detection threshold (builder style).
+    pub fn with_drift_threshold(mut self, threshold: f64) -> Self {
+        self.drift.drift_threshold = threshold;
+        self
+    }
+
+    /// Replaces the adaptive safety-margin step (builder style).
+    pub fn with_safety_margin(mut self, margin: f64) -> Self {
+        self.drift.safety_margin = margin;
+        self
+    }
+
     fn effective_workers(&self) -> usize {
         self.workers.max(1)
     }
@@ -218,6 +248,9 @@ pub fn run_optimization_with(setup: RunSetup<'_>, options: &ExecutorOptions) -> 
         simulated_gpus: gpus,
         fault_profile: options.fault_profile.name.clone(),
         max_retries: options.retry.max_retries,
+        recalibrate: options.drift.recalibrate,
+        drift_threshold: options.drift.drift_threshold,
+        safety_margin: options.drift.safety_margin,
     };
     let plan = FaultPlan::new(options.fault_profile.clone(), setup.seed);
     let mut sink = options
@@ -229,6 +262,7 @@ pub fn run_optimization_with(setup: RunSetup<'_>, options: &ExecutorOptions) -> 
         gpus,
         plan: &plan,
         retry: &options.retry,
+        drift: options.drift,
     };
 
     let resumed = match &options.resume_from {
@@ -323,6 +357,7 @@ struct Engine<'p> {
     gpus: usize,
     plan: &'p FaultPlan,
     retry: &'p RetryPolicy,
+    drift: DriftConfig,
 }
 
 impl Engine<'_> {
@@ -372,6 +407,86 @@ struct PlannedItem {
     rejected: bool,
     query: u64,
     eval_seed: u64,
+    degradations: Vec<crate::drift::DegradationEvent>,
+}
+
+/// The self-healing outcome of one measured commit, ready to attach to
+/// its [`Sample`].
+struct CommitHealing {
+    drift_events: Vec<crate::drift::DriftEvent>,
+    drift_rmspe: Option<f64>,
+    /// Penalize this observation as a liar (a measured violation of a
+    /// predicted-feasible candidate while safety margins are on).
+    liar: bool,
+}
+
+impl CommitHealing {
+    fn inert() -> Self {
+        CommitHealing {
+            drift_events: Vec::new(),
+            drift_rmspe: None,
+            liar: false,
+        }
+    }
+}
+
+/// Feeds one measured commit through the drift monitor (when active) and
+/// applies the outcome: on any model/margin change the live oracle is
+/// rebuilt and the searcher notified. Runs at commit points only, so the
+/// whole self-healing state is a pure function of the committed prefix.
+#[allow(clippy::too_many_arguments)]
+fn heal_on_commit(
+    monitor: Option<&mut DriftMonitor>,
+    live_oracle: &mut Option<ConstraintOracle>,
+    searcher: &mut dyn crate::methods::Searcher,
+    safety_margin: f64,
+    structural: &[f64],
+    power: Watts,
+    memory: Option<crate::Mebibytes>,
+    latency: crate::Seconds,
+    feasible: bool,
+) -> CommitHealing {
+    let Some(monitor) = monitor else {
+        return CommitHealing::inert();
+    };
+    let predicted_ok = live_oracle
+        .as_ref()
+        .is_some_and(|o| o.predicted_feasible(structural));
+    let violation = predicted_ok && !feasible;
+    let obs = monitor.observe_commit(structural, power, memory, Some(latency), violation);
+    if obs.oracle_changed {
+        let oracle = monitor.oracle();
+        searcher.update_oracle(&oracle);
+        *live_oracle = Some(oracle);
+    }
+    CommitHealing {
+        drift_events: obs.events,
+        drift_rmspe: obs.drift_rmspe,
+        liar: violation && safety_margin > 0.0,
+    }
+}
+
+/// Feeds one committed screening rejection through the drift monitor's
+/// starvation valve (when active): a long unbroken run of rejections under
+/// an active margin relaxes it one step, and the live oracle is swapped so
+/// the very next screening decision sees the widened region. Rejections
+/// are part of the deterministic schedule (committed trace entries), so
+/// the valve stays worker-count invariant and replay-identical on resume.
+fn heal_on_rejection(
+    monitor: Option<&mut DriftMonitor>,
+    live_oracle: &mut Option<ConstraintOracle>,
+    searcher: &mut dyn crate::methods::Searcher,
+) -> Vec<crate::drift::DriftEvent> {
+    let Some(monitor) = monitor else {
+        return Vec::new();
+    };
+    let obs = monitor.observe_rejection();
+    if obs.oracle_changed {
+        let oracle = monitor.oracle();
+        searcher.update_oracle(&oracle);
+        *live_oracle = Some(oracle);
+    }
+    obs.events
 }
 
 /// Single-GPU mode: the semantic reference. The virtual schedule is the
@@ -415,17 +530,31 @@ fn run_single_gpu(
     let mut evaluations = 0usize;
     let mut consecutive_rejections = 0usize;
     let mut quarantine: HashSet<Vec<u64>> = HashSet::new();
-    let screen = screening_oracle(mode, method, oracle);
+    let screen_active = screening_oracle(mode, method, oracle).is_some();
+    // The live oracle starts as the profiling-time one and is replaced at
+    // commit points whenever the drift monitor recalibrates the models or
+    // moves the safety margin.
+    let mut live_oracle: Option<ConstraintOracle> = oracle.cloned();
+    let mut monitor = if engine.drift.is_inert() {
+        None
+    } else {
+        oracle.map(|o| DriftMonitor::new(o.models().clone(), o.budgets(), engine.drift))
+    };
 
     // Dependent searchers must see each result before the next proposal:
     // their lookahead is 1 and the pipeline degenerates to the sequential
     // loop (with the evaluation possibly running on another thread, which
     // cannot matter — evaluation is a pure function of (decoded, seed)).
-    let lookahead = if workers > 1 && searcher.conditioning() == Conditioning::Independent {
-        workers
-    } else {
-        1
-    };
+    // An active drift monitor also forces lookahead 1: a commit may swap
+    // the screening oracle, so prefetching a worker-count-sized block
+    // would make screening decisions depend on `workers`.
+    let lookahead =
+        if workers > 1 && searcher.conditioning() == Conditioning::Independent && monitor.is_none()
+        {
+            workers
+        } else {
+            1
+        };
 
     'run: loop {
         match budget {
@@ -446,10 +575,11 @@ fn run_single_gpu(
         let base_slot = samples.len() as u64;
         for offset in 0..block as u64 {
             let config = searcher.propose(space, &history, &mut rng)?;
+            let degradations = searcher.drain_degradations();
             let decoded = space.decode(&config)?;
-            let rejected = match screen {
-                Some(oracle) => !oracle.predicted_feasible(&decoded.structural),
-                None => false,
+            let rejected = match (screen_active, live_oracle.as_ref()) {
+                (true, Some(oracle)) => !oracle.predicted_feasible(&decoded.structural),
+                _ => false,
             };
             // Every committed sample — rejected or trained — occupies one
             // trace slot, and the evaluation seed is derived from that
@@ -462,6 +592,7 @@ fn run_single_gpu(
                 rejected,
                 query,
                 eval_seed,
+                degradations,
             });
         }
 
@@ -485,12 +616,14 @@ fn run_single_gpu(
                 _ => {}
             }
             if item.rejected {
-                let Some(oracle) = screen else {
+                let Some(oracle) = live_oracle.as_ref() else {
                     // `rejected` is only ever set by the screening oracle.
                     unreachable!("rejected proposal without a screening oracle");
                 };
                 clock.advance_secs(cost.model_eval_s);
                 let predicted_power = oracle.models().predict_power(&item.decoded.structural);
+                let drift_events =
+                    heal_on_rejection(monitor.as_mut(), &mut live_oracle, searcher.as_mut());
                 let sample = Sample {
                     index: samples.len(),
                     timestamp_s: clock.seconds(),
@@ -503,6 +636,9 @@ fn run_single_gpu(
                     retries: 0,
                     faults: Vec::new(),
                     failure: None,
+                    drift_events,
+                    degradations: item.degradations,
+                    drift_rmspe: None,
                     config: item.config,
                 };
                 if let Some(s) = sink.as_deref_mut() {
@@ -537,6 +673,9 @@ fn run_single_gpu(
                     retries: 0,
                     faults: Vec::new(),
                     failure: Some(TrialFailure::Quarantined),
+                    drift_events: Vec::new(),
+                    degradations: item.degradations,
+                    drift_rmspe: None,
                     config: item.config,
                 };
                 if let Some(s) = sink.as_deref_mut() {
@@ -549,7 +688,7 @@ fn run_single_gpu(
                 }
                 continue;
             }
-            if screen.is_some() {
+            if screen_active {
                 // Feasibility checks on surviving candidates are billed too.
                 clock.advance_secs(cost.model_eval_s);
             }
@@ -577,15 +716,40 @@ fn run_single_gpu(
                         let _ = gpu.measure_power(&item.decoded.arch);
                         faults.push(TrialFailure::SensorGlitch);
                     }
-                    let power = gpu.measure_power(&item.decoded.arch);
+                    let raw_power = gpu.measure_power(&item.decoded.arch);
                     let memory = gpu.measure_memory(&item.decoded.arch).ok();
                     let latency = gpu.measure_latency(&item.decoded.arch);
                     clock.advance_secs(cost.measurement_s);
                     if glitched {
                         clock.advance_secs(cost.measurement_s);
                     }
+                    // Systematic sensor miscalibration (the `drifting-hw`
+                    // profile): the recorded reading is biased by the
+                    // profile's drift rate × the commit timestamp. A pure
+                    // function of virtual time — no RNG, no thread state.
+                    let power = Watts(
+                        raw_power.get() + engine.plan.profile().power_bias_w(clock.seconds()),
+                    );
                     let feasible = budgets.satisfied_by_measurements(power, memory, Some(latency));
-                    history.push(item.config.clone(), result.error);
+                    let healing = heal_on_commit(
+                        monitor.as_mut(),
+                        &mut live_oracle,
+                        searcher.as_mut(),
+                        engine.drift.safety_margin,
+                        &item.decoded.structural,
+                        power,
+                        memory,
+                        latency,
+                        feasible,
+                    );
+                    history.push(
+                        item.config.clone(),
+                        if healing.liar {
+                            LIAR_ERROR
+                        } else {
+                            result.error
+                        },
+                    );
                     evaluations += 1;
                     Sample {
                         index: samples.len(),
@@ -603,6 +767,9 @@ fn run_single_gpu(
                         retries: trial.attempts - 1,
                         faults,
                         failure: secondary,
+                        drift_events: healing.drift_events,
+                        degradations: item.degradations,
+                        drift_rmspe: healing.drift_rmspe,
                         config: item.config,
                     }
                 }
@@ -626,6 +793,9 @@ fn run_single_gpu(
                         retries: trial.attempts - 1,
                         faults: trial.faults,
                         failure: Some(cause),
+                        drift_events: Vec::new(),
+                        degradations: item.degradations,
+                        drift_rmspe: None,
                         config: item.config,
                     }
                 }
@@ -656,6 +826,7 @@ struct InFlight {
     config: Config,
     decoded: Decoded,
     eval_seed: u64,
+    degradations: Vec<crate::drift::DegradationEvent>,
 }
 
 /// What a finished queue entry commits to the trace.
@@ -665,6 +836,8 @@ enum CommitItem {
         predicted_power_w: f64,
         /// `Some(Quarantined)` for circuit-breaker rejections.
         failure: Option<TrialFailure>,
+        degradations: Vec<crate::drift::DegradationEvent>,
+        drift_events: Vec<crate::drift::DriftEvent>,
     },
     Evaluated {
         worker: usize,
@@ -675,6 +848,7 @@ enum CommitItem {
         faults: Vec<TrialFailure>,
         secondary: Option<TrialFailure>,
         glitched: bool,
+        degradations: Vec<crate::drift::DegradationEvent>,
     },
     Failed {
         worker: usize,
@@ -683,6 +857,7 @@ enum CommitItem {
         retries: u32,
         faults: Vec<TrialFailure>,
         cause: TrialFailure,
+        degradations: Vec<crate::drift::DegradationEvent>,
     },
 }
 
@@ -740,7 +915,18 @@ fn run_multi_gpu(
     let mut query: u64 = 0;
     let mut dispatched_evals = 0usize;
     let mut quarantine: HashSet<Vec<u64>> = HashSet::new();
-    let screen = screening_oracle(mode, method, oracle);
+    let screen_active = screening_oracle(mode, method, oracle).is_some();
+    // Live oracle + drift monitor: same scheme as the single-GPU loop.
+    // Oracle swaps happen in Phase C (measured commits) and at Phase A
+    // rejection planning (the starvation valve) — both sequential
+    // coordinator code whose order is fixed by the committed prefix and
+    // the planned-rejection sequence, never by the worker-thread count.
+    let mut live_oracle: Option<ConstraintOracle> = oracle.cloned();
+    let mut monitor = if engine.drift.is_inert() {
+        None
+    } else {
+        oracle.map(|o| DriftMonitor::new(o.models().clone(), o.budgets(), engine.drift))
+    };
 
     loop {
         // Phase A: fill free workers with proposals, earliest worker first.
@@ -770,13 +956,24 @@ fn run_multi_gpu(
             let pending_configs: Vec<Config> = pending.iter().map(|(_, c)| c.clone()).collect();
             let config =
                 searcher.propose_with_pending(space, &history, &pending_configs, &mut rng)?;
+            let degradations = searcher.drain_degradations();
             let decoded = space.decode(&config)?;
             let q = query;
             query += 1;
-            if let Some(oracle) = screen {
-                if !oracle.predicted_feasible(&decoded.structural) {
+            if screen_active {
+                let (rejected, predicted_power) = {
+                    let Some(oracle) = live_oracle.as_ref() else {
+                        unreachable!("screening is only active with an oracle");
+                    };
+                    (
+                        !oracle.predicted_feasible(&decoded.structural),
+                        oracle.models().predict_power(&decoded.structural),
+                    )
+                };
+                if rejected {
                     clock.advance_secs(w, cost.model_eval_s);
-                    let predicted_power = oracle.models().predict_power(&decoded.structural);
+                    let drift_events =
+                        heal_on_rejection(monitor.as_mut(), &mut live_oracle, searcher.as_mut());
                     queue.push(
                         clock.seconds(w),
                         q,
@@ -784,6 +981,8 @@ fn run_multi_gpu(
                             config,
                             predicted_power_w: predicted_power.get(),
                             failure: None,
+                            degradations,
+                            drift_events,
                         },
                     );
                     consecutive_rejections += 1;
@@ -804,6 +1003,8 @@ fn run_multi_gpu(
                         config,
                         predicted_power_w: gpu.analyze(&decoded.arch).power.get(),
                         failure: Some(TrialFailure::Quarantined),
+                        degradations,
+                        drift_events: Vec::new(),
                     },
                 );
                 consecutive_rejections += 1;
@@ -812,7 +1013,7 @@ fn run_multi_gpu(
                 }
                 continue 'fill;
             }
-            if screen.is_some() {
+            if screen_active {
                 clock.advance_secs(w, cost.model_eval_s);
             }
             consecutive_rejections = 0;
@@ -828,6 +1029,7 @@ fn run_multi_gpu(
                 config,
                 decoded,
                 eval_seed,
+                degradations,
             });
         }
 
@@ -874,6 +1076,7 @@ fn run_multi_gpu(
                             faults: trial.faults,
                             secondary,
                             glitched,
+                            degradations: item.degradations,
                         },
                     );
                 }
@@ -888,6 +1091,7 @@ fn run_multi_gpu(
                             retries: trial.attempts - 1,
                             faults: trial.faults,
                             cause,
+                            degradations: item.degradations,
                         },
                     );
                 }
@@ -903,6 +1107,8 @@ fn run_multi_gpu(
                 config,
                 predicted_power_w,
                 failure,
+                degradations,
+                drift_events,
             } => Sample {
                 index: samples.len(),
                 timestamp_s: time_s,
@@ -915,6 +1121,9 @@ fn run_multi_gpu(
                 retries: 0,
                 faults: Vec::new(),
                 failure,
+                drift_events,
+                degradations,
+                drift_rmspe: None,
                 config,
             },
             CommitItem::Evaluated {
@@ -926,6 +1135,7 @@ fn run_multi_gpu(
                 mut faults,
                 secondary,
                 glitched,
+                degradations,
             } => {
                 // Sensors are read on the coordinator's single GPU stream
                 // in commit order: the noise sequence is a function of the
@@ -934,11 +1144,33 @@ fn run_multi_gpu(
                     let _ = gpu.measure_power(&decoded.arch);
                     faults.push(TrialFailure::SensorGlitch);
                 }
-                let power = gpu.measure_power(&decoded.arch);
+                let raw_power = gpu.measure_power(&decoded.arch);
+                // Sensor drift biases the reading as a function of the commit
+                // timestamp — deterministic across worker counts because the
+                // commit order (and thus `time_s`) is.
+                let power = Watts(raw_power.get() + engine.plan.profile().power_bias_w(time_s));
                 let memory = gpu.measure_memory(&decoded.arch).ok();
                 let latency = gpu.measure_latency(&decoded.arch);
                 let feasible = budgets.satisfied_by_measurements(power, memory, Some(latency));
-                history.push(config.clone(), result.error);
+                let healing = heal_on_commit(
+                    monitor.as_mut(),
+                    &mut live_oracle,
+                    searcher.as_mut(),
+                    engine.drift.safety_margin,
+                    &decoded.structural,
+                    power,
+                    memory,
+                    latency,
+                    feasible,
+                );
+                history.push(
+                    config.clone(),
+                    if healing.liar {
+                        LIAR_ERROR
+                    } else {
+                        result.error
+                    },
+                );
                 evaluations += 1;
                 busy[worker] = false;
                 pending.retain(|(pq, _)| *pq != q);
@@ -958,6 +1190,9 @@ fn run_multi_gpu(
                     retries,
                     faults,
                     failure: secondary,
+                    drift_events: healing.drift_events,
+                    degradations,
+                    drift_rmspe: healing.drift_rmspe,
                     config,
                 }
             }
@@ -968,6 +1203,7 @@ fn run_multi_gpu(
                 retries,
                 faults,
                 cause,
+                degradations,
             } => {
                 history.push(config.clone(), LIAR_ERROR);
                 evaluations += 1;
@@ -986,6 +1222,9 @@ fn run_multi_gpu(
                     retries,
                     faults,
                     failure: Some(cause),
+                    drift_events: Vec::new(),
+                    degradations,
+                    drift_rmspe: None,
                     config,
                 }
             }

@@ -119,6 +119,33 @@ fn push_sample(out: &mut String, s: &Sample, indent: &str) {
         out.push_str(", \"failure\": ");
         push_escaped(out, failure.wire_name());
     }
+    // Self-healing keys follow the same only-when-non-default rule: runs
+    // with the drift monitor off (the default) encode byte-identically to
+    // the pre-drift format.
+    if !s.drift_events.is_empty() {
+        out.push_str(", \"drift_events\": [");
+        for (i, e) in s.drift_events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_escaped(out, e.wire_name());
+        }
+        out.push(']');
+    }
+    if !s.degradations.is_empty() {
+        out.push_str(", \"degradations\": [");
+        for (i, d) in s.degradations.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_escaped(out, &d.wire_name());
+        }
+        out.push(']');
+    }
+    if let Some(rmspe) = s.drift_rmspe {
+        out.push_str(", \"drift_rmspe\": ");
+        push_f64(out, rmspe);
+    }
     out.push_str(", \"config\": [");
     for (i, u) in s.config.unit().iter().enumerate() {
         if i > 0 {
@@ -496,6 +523,9 @@ mod tests {
                     retries: 0,
                     faults: Vec::new(),
                     failure: None,
+                    drift_events: Vec::new(),
+                    degradations: Vec::new(),
+                    drift_rmspe: None,
                     config: Config::new(vec![0.25, 1.0 / 3.0]).unwrap(),
                 },
                 Sample {
@@ -510,6 +540,9 @@ mod tests {
                     retries: 0,
                     faults: Vec::new(),
                     failure: None,
+                    drift_events: Vec::new(),
+                    degradations: Vec::new(),
+                    drift_rmspe: None,
                     config: Config::new(vec![0.5, 0.75]).unwrap(),
                 },
             ],
@@ -619,6 +652,39 @@ mod tests {
         assert!(report.iter().any(|l| l.contains("retries")), "{report:?}");
         // Single-sample encoder matches the in-trace encoding.
         let line = encode_sample(&faulted.samples[1]);
+        assert!(text.contains(&line));
+    }
+
+    #[test]
+    fn drift_keys_are_emitted_only_when_non_default() {
+        use crate::drift::{DegradationEvent, DriftEvent, DriftTarget};
+        let trace = toy_trace();
+        let clean = encode_trace(&trace);
+        assert!(!clean.contains("drift_events"));
+        assert!(!clean.contains("degradations"));
+        assert!(!clean.contains("drift_rmspe"));
+        let mut healing = trace.clone();
+        healing.samples[1].drift_events = vec![
+            DriftEvent::DriftDetected(DriftTarget::Power),
+            DriftEvent::Recalibrated,
+        ];
+        healing.samples[1].degradations = vec![
+            DegradationEvent::JitterEscalated { rung: 1 },
+            DegradationEvent::RandWalkFallback,
+        ];
+        healing.samples[1].drift_rmspe = Some(0.25);
+        let text = encode_trace(&healing);
+        assert!(text.contains("\"drift_events\": [\"drift:power\", \"recalibrated\"]"));
+        assert!(text.contains("\"degradations\": [\"jitter:1\", \"rand-walk-fallback\"]"));
+        assert!(text.contains("\"drift_rmspe\": 0.25"));
+        assert!(parse(&text).is_ok());
+        let report = diff_text(&clean, &text);
+        assert!(
+            report.iter().any(|l| l.contains("drift_events")),
+            "{report:?}"
+        );
+        // Single-sample encoder matches the in-trace encoding.
+        let line = encode_sample(&healing.samples[1]);
         assert!(text.contains(&line));
     }
 

@@ -31,6 +31,8 @@
 //! * [`model`] — linear predictive power/memory models with 10-fold CV,
 //! * [`profiler`] — offline random profiling on a simulated GPU,
 //! * [`constraints`] — budgets and model-backed feasibility oracles,
+//! * [`drift`] — the self-healing layer: drift detection, online
+//!   recalibration, adaptive safety margins, degradation events,
 //! * [`objective`] — the expensive objective (train a CNN, report test
 //!   error), in both simulated and real-training flavours,
 //! * [`methods`] — the four searchers (Rand, Rand-Walk, HW-CWEI, HW-IECI),
@@ -65,6 +67,7 @@
 
 pub mod checkpoint;
 pub mod constraints;
+pub mod drift;
 pub mod driver;
 mod error;
 pub mod executor;
@@ -80,6 +83,7 @@ pub mod space;
 
 pub use checkpoint::CheckpointConfig;
 pub use constraints::{Budgets, ConstraintOracle};
+pub use drift::{DegradationEvent, DriftConfig, DriftEvent, DriftMonitor, DriftTarget};
 pub use driver::{Budget, Outcome, Sample, SampleKind, Trace};
 // Typed hardware units used throughout the budget/constraint API.
 pub use error::Error;

@@ -18,12 +18,18 @@ use hyperpower_gp::acquisition::{
     expected_improvement_at, lower_confidence_bound_at, probability_of_improvement_at,
 };
 use hyperpower_gp::sampler::uniform_candidates;
-use hyperpower_gp::{fit_gp_hyperparams, FitOptions, Matern52};
+use hyperpower_gp::{fit_gp_hyperparams_laddered, FitOptions, Matern52};
 use hyperpower_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
+use crate::drift::DegradationEvent;
 use crate::{Config, ConstraintOracle, Error, Result, SearchSpace};
+
+/// Highest jitter-ladder rung a BO surrogate fit may climb before the
+/// searcher gives up on the GP for that proposal and degrades to a
+/// Rand-Walk step (rungs `0..=MAX_JITTER_RUNGS`, noise floor ×100 each).
+pub const MAX_JITTER_RUNGS: u32 = 2;
 
 /// The search method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -238,6 +244,35 @@ pub trait Searcher {
         }
         Ok(batch)
     }
+
+    /// Drains the typed degradation events accumulated since the last call
+    /// (jitter-ladder escalations, Rand-Walk fallbacks). The default is
+    /// empty: model-free searchers have no surrogate to degrade.
+    fn drain_degradations(&mut self) -> Vec<DegradationEvent> {
+        Vec::new()
+    }
+
+    /// Replaces the searcher's constraint oracle after an online
+    /// recalibration. The default ignores it: model-free methods consult
+    /// the executor's oracle through the rejection filter, not a copy of
+    /// their own.
+    fn update_oracle(&mut self, oracle: &ConstraintOracle) {
+        let _ = oracle;
+    }
+}
+
+/// The degradation-ladder terminus: a Gaussian step around the incumbent
+/// (Rand-Walk's proposal rule), or a uniform draw when the history holds no
+/// finite incumbent. Used by BO searchers when the surrogate cannot be fit
+/// even at the top jitter rung — one bad proposal step must not abort a
+/// multi-hour search.
+fn rand_walk_fallback(space: &SearchSpace, history: &History, rng: &mut StdRng) -> Config {
+    match history.best() {
+        Some(best) if best.error.is_finite() => {
+            best.config.gaussian_step(RandomWalk::DEFAULT_SIGMA, rng)
+        }
+        _ => Config::random(rng, space.dim()),
+    }
 }
 
 /// Uniform random search.
@@ -418,6 +453,10 @@ pub struct BoSearcher {
     /// Observations required before the GP takes over from random
     /// proposals.
     pub min_observations: usize,
+    /// Surrogate-fit options; the noise floor is the base of the jitter
+    /// ladder.
+    pub fit_options: FitOptions,
+    degradations: Vec<DegradationEvent>,
 }
 
 impl BoSearcher {
@@ -443,6 +482,12 @@ impl BoSearcher {
             base_acquisition: BaseAcquisition::default(),
             candidates: 500,
             min_observations: 3,
+            fit_options: FitOptions {
+                restarts: 2,
+                max_evals_per_restart: 80,
+                min_noise_variance: 1e-6,
+            },
+            degradations: Vec::new(),
         }
     }
 
@@ -517,16 +562,28 @@ impl Searcher for BoSearcher {
             return Ok(Config::random(rng, space.dim()));
         }
         let x = Matrix::from_vec(n, d, data).map_err(Error::Numerical)?;
-        let fitted = fit_gp_hyperparams(
+        let fitted = match fit_gp_hyperparams_laddered(
             Matern52::new(0.5).into_kernel(),
             &x,
             &y,
-            FitOptions {
-                restarts: 2,
-                max_evals_per_restart: 80,
-                min_noise_variance: 1e-6,
-            },
-        )?;
+            self.fit_options,
+            MAX_JITTER_RUNGS,
+        ) {
+            Ok(laddered) => {
+                if laddered.rungs > 0 {
+                    self.degradations.push(DegradationEvent::JitterEscalated {
+                        rung: laddered.rungs,
+                    });
+                }
+                laddered.fitted
+            }
+            Err(_) => {
+                // Bottom of the ladder: degrade this proposal to a
+                // Rand-Walk step instead of aborting the whole search.
+                self.degradations.push(DegradationEvent::RandWalkFallback);
+                return Ok(rand_walk_fallback(space, history, rng));
+            }
+        };
         // min_observations guards this, but an empty history (possible
         // with min_observations == 0) must degrade to a random seed, not
         // panic.
@@ -676,6 +733,18 @@ impl Searcher for BoSearcher {
         }
         self.propose(space, &augmented, rng)
     }
+
+    fn drain_degradations(&mut self) -> Vec<DegradationEvent> {
+        std::mem::take(&mut self.degradations)
+    }
+
+    fn update_oracle(&mut self, oracle: &ConstraintOracle) {
+        // Only replace an oracle this searcher already weights by: a
+        // Default-mode searcher stays constraint-unaware.
+        if self.oracle.is_some() {
+            self.oracle = Some(oracle.clone());
+        }
+    }
 }
 
 /// Thompson-sampling Bayesian optimization (extension).
@@ -695,6 +764,10 @@ pub struct ThompsonSearcher {
     /// Observations required before the GP takes over from random
     /// proposals.
     pub min_observations: usize,
+    /// Surrogate-fit options; the noise floor is the base of the jitter
+    /// ladder.
+    pub fit_options: FitOptions,
+    degradations: Vec<DegradationEvent>,
 }
 
 impl ThompsonSearcher {
@@ -705,6 +778,12 @@ impl ThompsonSearcher {
             oracle,
             candidates: 120,
             min_observations: 3,
+            fit_options: FitOptions {
+                restarts: 2,
+                max_evals_per_restart: 80,
+                min_noise_variance: 1e-6,
+            },
+            degradations: Vec::new(),
         }
     }
 
@@ -747,16 +826,26 @@ impl Searcher for ThompsonSearcher {
             return self.feasible_random(space, rng);
         }
         let x = Matrix::from_vec(n, d, data).map_err(Error::Numerical)?;
-        let fitted = fit_gp_hyperparams(
+        let fitted = match fit_gp_hyperparams_laddered(
             Matern52::new(0.5).into_kernel(),
             &x,
             &y,
-            FitOptions {
-                restarts: 2,
-                max_evals_per_restart: 80,
-                min_noise_variance: 1e-6,
-            },
-        )?;
+            self.fit_options,
+            MAX_JITTER_RUNGS,
+        ) {
+            Ok(laddered) => {
+                if laddered.rungs > 0 {
+                    self.degradations.push(DegradationEvent::JitterEscalated {
+                        rung: laddered.rungs,
+                    });
+                }
+                laddered.fitted
+            }
+            Err(_) => {
+                self.degradations.push(DegradationEvent::RandWalkFallback);
+                return Ok(rand_walk_fallback(space, history, rng));
+            }
+        };
 
         // Candidate grid, constraint-filtered up front.
         let grid = uniform_candidates(rng, self.candidates * 4, d);
@@ -792,7 +881,15 @@ impl Searcher for ThompsonSearcher {
                 (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
             })
             .collect();
-        let sample = fitted.gp.sample_posterior(&queries, &normals)?;
+        let sample = match fitted.gp.sample_posterior(&queries, &normals) {
+            Ok(sample) => sample,
+            Err(_) => {
+                // Joint-posterior factorization failed even though the fit
+                // succeeded: same terminus as a failed fit.
+                self.degradations.push(DegradationEvent::RandWalkFallback);
+                return Ok(rand_walk_fallback(space, history, rng));
+            }
+        };
         let argmin = sample
             .iter()
             .enumerate()
@@ -803,6 +900,16 @@ impl Searcher for ThompsonSearcher {
             // Unreachable while `candidates` is checked non-empty above,
             // but a panic-free fallback costs nothing.
             None => self.feasible_random(space, rng),
+        }
+    }
+
+    fn drain_degradations(&mut self) -> Vec<DegradationEvent> {
+        std::mem::take(&mut self.degradations)
+    }
+
+    fn update_oracle(&mut self, oracle: &ConstraintOracle) {
+        if self.oracle.is_some() {
+            self.oracle = Some(oracle.clone());
         }
     }
 }
@@ -1232,6 +1339,55 @@ mod tests {
         for c in &batch {
             assert!(space.decode(c).is_ok());
         }
+    }
+
+    #[test]
+    fn poisoned_fit_degrades_to_rand_walk_without_failing() {
+        // A noise floor of NaN fails every jitter rung; the searcher must
+        // still return Ok and record the downgrade as a typed event.
+        let space = SearchSpace::mnist();
+        let h = history_from(&[
+            (vec![0.2; 6], 0.5),
+            (vec![0.4; 6], 0.3),
+            (vec![0.6; 6], 0.7),
+            (vec![0.8; 6], 0.6),
+        ]);
+        let mut s = BoSearcher::new(ConstraintWeighting::None, None);
+        s.fit_options.min_noise_variance = f64::NAN;
+        let mut r = rng();
+        let c = s.propose(&space, &h, &mut r).unwrap();
+        assert!(space.decode(&c).is_ok());
+        let events = s.drain_degradations();
+        assert_eq!(events, vec![DegradationEvent::RandWalkFallback]);
+        // The drain is a take: a second call reports nothing.
+        assert!(s.drain_degradations().is_empty());
+
+        let mut t = ThompsonSearcher::new(None);
+        t.fit_options.min_noise_variance = f64::NAN;
+        let c = t.propose(&space, &h, &mut r).unwrap();
+        assert!(space.decode(&c).is_ok());
+        assert_eq!(
+            t.drain_degradations(),
+            vec![DegradationEvent::RandWalkFallback]
+        );
+    }
+
+    #[test]
+    fn clean_fit_reports_no_degradations() {
+        let space = SearchSpace::mnist();
+        let h = history_from(&[
+            (vec![0.2; 6], 0.5),
+            (vec![0.4; 6], 0.3),
+            (vec![0.6; 6], 0.7),
+            (vec![0.8; 6], 0.6),
+        ]);
+        let mut s = BoSearcher::new(ConstraintWeighting::None, None);
+        let mut r = rng();
+        let _ = s.propose(&space, &h, &mut r).unwrap();
+        assert!(s.drain_degradations().is_empty());
+        // Model-free searchers use the defaulted hook.
+        let mut rand = RandomSearch;
+        assert!(Searcher::drain_degradations(&mut rand).is_empty());
     }
 
     #[test]

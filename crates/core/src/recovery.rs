@@ -280,6 +280,7 @@ mod tests {
             crash_prob: 1.0,
             stall_prob: 0.0,
             timeout_s: f64::INFINITY,
+            sensor_drift_w_per_hour: 0.0,
         }
     }
 
@@ -379,6 +380,7 @@ mod tests {
             crash_prob: 0.0,
             stall_prob: 1.0,
             timeout_s: 333.0,
+            sensor_drift_w_per_hour: 0.0,
         };
         let plan = FaultPlan::new(profile, 8);
         let policy = RetryPolicy {

@@ -339,6 +339,7 @@ proptest! {
             crash_prob: crash_p,
             stall_prob: stall_p,
             timeout_s: if finite_watchdog { watchdog_secs } else { f64::INFINITY },
+            sensor_drift_w_per_hour: 0.0,
         };
         let timeout_secs = profile.timeout_s;
         let plan = FaultPlan::new(profile, seed);
@@ -411,6 +412,58 @@ proptest! {
             overshoots <= gpus,
             "{overshoots} samples past the deadline with {gpus} GPUs under faults"
         );
+    }
+
+    #[test]
+    fn recalibrated_weights_are_a_pure_function_of_the_prefix(
+        zs in proptest::collection::vec(proptest::collection::vec(1.0f64..8.0, 3), 8..20),
+        factor in 1.3f64..2.0,
+        split in 0usize..8,
+    ) {
+        use hyperpower::drift::{DriftConfig, DriftMonitor};
+        // Two monitors fed the same committed sequence — plus a third
+        // cloned mid-stream — must agree bit-for-bit: recalibration is a
+        // pure fold over the committed prefix, with no hidden state.
+        let config = DriftConfig {
+            recalibrate: true,
+            drift_threshold: 0.1,
+            safety_margin: 0.0,
+        };
+        let make = || DriftMonitor::new(
+            HwModels { power: toy_power_model(0.0), memory: None, latency: None },
+            Budgets::power(Watts(5000.0)),
+            config,
+        );
+        let mut a = make();
+        let mut b = make();
+        let mut forked = None;
+        for (i, z) in zs.iter().enumerate() {
+            if i == split {
+                forked = Some(a.clone());
+            }
+            let truth = Watts((60.0 + z.iter().sum::<f64>()) * factor);
+            let oa = a.observe_commit(z, truth, None, None, false);
+            let ob = b.observe_commit(z, truth, None, None, false);
+            prop_assert_eq!(&oa.events, &ob.events);
+            prop_assert_eq!(oa.drift_rmspe, ob.drift_rmspe);
+            if let Some(c) = forked.as_mut() {
+                let oc = c.observe_commit(z, truth, None, None, false);
+                prop_assert_eq!(&oa.events, &oc.events);
+            }
+        }
+        prop_assert_eq!(a.recalibrations(), b.recalibrations());
+        prop_assert_eq!(
+            a.current_models().power.weights(),
+            b.current_models().power.weights(),
+            "recalibrated weights diverged between identical replays"
+        );
+        if let Some(c) = forked {
+            prop_assert_eq!(
+                a.current_models().power.weights(),
+                c.current_models().power.weights(),
+                "mid-stream clone diverged from the original"
+            );
+        }
     }
 
     #[test]

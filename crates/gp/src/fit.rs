@@ -3,7 +3,7 @@ use std::sync::Arc;
 use hyperpower_linalg::Matrix;
 
 use crate::optimize::{nelder_mead, NelderMeadOptions};
-use crate::{GpRegressor, Kernel, Result};
+use crate::{Error, GpRegressor, Kernel, Result};
 
 /// Options for [`fit_gp_hyperparams`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +63,15 @@ pub fn fit_gp_hyperparams(
     y: &[f64],
     options: FitOptions,
 ) -> Result<FittedGp> {
+    // A non-finite noise floor would otherwise be silently ignored by
+    // `f64::max` (NaN loses); reject it up front so callers poking the
+    // failure path get a deterministic error instead of a quiet fit.
+    if !(options.min_noise_variance.is_finite() && options.min_noise_variance > 0.0) {
+        return Err(Error::InvalidHyperParameter {
+            name: "min_noise_variance",
+            value: options.min_noise_variance,
+        });
+    }
     // Data-driven initial guesses.
     let median_dist = median_pairwise_distance(x).max(1e-3);
     let y_var = variance(y).max(1e-6);
@@ -136,6 +145,58 @@ pub fn fit_gp_hyperparams(
         signal_variance,
         noise_variance,
     })
+}
+
+/// A fit that may have climbed the noise-floor ladder before succeeding.
+#[derive(Debug, Clone)]
+pub struct LadderedFit {
+    /// The fitted GP from the first rung that succeeded.
+    pub fitted: FittedGp,
+    /// How many rungs failed before this fit succeeded (0 = clean fit at
+    /// the requested noise floor).
+    pub rungs: u32,
+}
+
+/// Like [`fit_gp_hyperparams`], but escalates the noise floor through a
+/// deterministic jitter ladder instead of failing outright.
+///
+/// Rung `r` retries the fit with `min_noise_variance × 100^r`, for
+/// `r = 0..=max_rungs`. A larger noise floor inflates the diagonal of the
+/// kernel matrix, which rescues Cholesky factorizations that fail on
+/// near-duplicate inputs at the cost of a less confident surrogate. The
+/// ladder is a pure function of the data and options — no randomness, no
+/// retry loops with side effects — so callers can log each escalation as a
+/// typed event and stay reproducible.
+///
+/// # Errors
+///
+/// Returns the last rung's error if every rung fails (e.g. a non-finite
+/// noise floor poisons all rungs, or the data itself is degenerate).
+pub fn fit_gp_hyperparams_laddered(
+    base_kernel: Arc<dyn Kernel>,
+    x: &Matrix,
+    y: &[f64],
+    options: FitOptions,
+    max_rungs: u32,
+) -> Result<LadderedFit> {
+    let mut last: Result<LadderedFit> = Err(Error::NoObservations);
+    for rung in 0..=max_rungs {
+        let floor = options.min_noise_variance * 100f64.powi(rung as i32);
+        let rung_options = FitOptions {
+            min_noise_variance: floor,
+            ..options
+        };
+        match fit_gp_hyperparams(base_kernel.clone(), x, y, rung_options) {
+            Ok(fitted) => {
+                return Ok(LadderedFit {
+                    fitted,
+                    rungs: rung,
+                })
+            }
+            Err(e) => last = Err(e),
+        }
+    }
+    last
 }
 
 fn median_pairwise_distance(x: &Matrix) -> f64 {
@@ -236,6 +297,41 @@ mod tests {
         )
         .unwrap();
         assert_eq!(fitted.gp.num_observations(), 2);
+    }
+
+    #[test]
+    fn ladder_reports_zero_rungs_on_clean_data() {
+        let (x, y) = sine_data(12);
+        let laddered = fit_gp_hyperparams_laddered(
+            Matern52::new(1.0).into_kernel(),
+            &x,
+            &y,
+            FitOptions::default(),
+            2,
+        )
+        .unwrap();
+        assert_eq!(laddered.rungs, 0);
+        assert!(laddered.fitted.noise_variance >= 1e-6);
+    }
+
+    #[test]
+    fn non_finite_noise_floor_fails_every_rung() {
+        let (x, y) = sine_data(8);
+        let options = FitOptions {
+            min_noise_variance: f64::NAN,
+            ..FitOptions::default()
+        };
+        let direct = fit_gp_hyperparams(Matern52::new(1.0).into_kernel(), &x, &y, options);
+        assert!(matches!(
+            direct,
+            Err(Error::InvalidHyperParameter {
+                name: "min_noise_variance",
+                ..
+            })
+        ));
+        let laddered =
+            fit_gp_hyperparams_laddered(Matern52::new(1.0).into_kernel(), &x, &y, options, 2);
+        assert!(laddered.is_err());
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod regressor;
 pub mod sampler;
 
 pub use error::Error;
-pub use fit::{fit_gp_hyperparams, FitOptions, FittedGp};
+pub use fit::{fit_gp_hyperparams, fit_gp_hyperparams_laddered, FitOptions, FittedGp, LadderedFit};
 pub use kernel::{Kernel, Matern52, SquaredExponential};
 pub use kernel_ard::Matern52Ard;
 pub use regressor::{GpRegressor, Prediction};

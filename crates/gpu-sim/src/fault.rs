@@ -70,6 +70,14 @@ pub struct FaultProfile {
     /// (or a stalled worker) is reaped after exactly this many seconds.
     /// `f64::INFINITY` disables the watchdog.
     pub timeout_s: f64,
+    /// Systematic power-sensor miscalibration accumulating over *virtual*
+    /// time: every committed power reading is biased by
+    /// `sensor_drift_w_per_hour × (commit timestamp in hours)`. Unlike the
+    /// glitch fault (transient, per-read) this models a sensor slowly
+    /// walking away from the profiling-time calibration — the drift the
+    /// self-healing constraint layer exists to detect. `0.0` disables it
+    /// and draws nothing.
+    pub sensor_drift_w_per_hour: f64,
 }
 
 impl FaultProfile {
@@ -84,6 +92,7 @@ impl FaultProfile {
             crash_prob: 0.0,
             stall_prob: 0.0,
             timeout_s: f64::INFINITY,
+            sensor_drift_w_per_hour: 0.0,
         }
     }
 
@@ -97,6 +106,7 @@ impl FaultProfile {
             crash_prob: 0.05,
             stall_prob: 0.0,
             timeout_s: f64::INFINITY,
+            sensor_drift_w_per_hour: 0.0,
         }
     }
 
@@ -111,28 +121,53 @@ impl FaultProfile {
             crash_prob: 0.05,
             stall_prob: 0.05,
             timeout_s: 3600.0,
+            sensor_drift_w_per_hour: 0.0,
+        }
+    }
+
+    /// Hardware slowly walking away from its profiling-time calibration:
+    /// the power sensor accumulates +10 W of bias per virtual hour while
+    /// every transient fault stays off. The profile that exercises drift
+    /// detection and online recalibration.
+    pub fn drifting_hw() -> Self {
+        FaultProfile {
+            name: "drifting-hw".into(),
+            sensor_drift_w_per_hour: 10.0,
+            ..FaultProfile::none()
         }
     }
 
     /// Looks up a built-in profile by its CLI name
-    /// (`none | flaky-sensor | oom-heavy`).
+    /// (`none | flaky-sensor | oom-heavy | drifting-hw`).
     pub fn parse(name: &str) -> Option<Self> {
         match name {
             "none" => Some(FaultProfile::none()),
             "flaky-sensor" => Some(FaultProfile::flaky_sensor()),
             "oom-heavy" => Some(FaultProfile::oom_heavy()),
+            "drifting-hw" => Some(FaultProfile::drifting_hw()),
             _ => None,
         }
     }
 
-    /// Whether this profile can never inject anything (all rates zero and
-    /// the watchdog disabled).
+    /// Whether this profile can never inject anything (all rates zero, no
+    /// sensor drift and the watchdog disabled).
     pub fn is_inert(&self) -> bool {
         self.sensor_glitch_prob <= 0.0
             && self.oom_prob_at_full_pressure <= 0.0
             && self.crash_prob <= 0.0
             && self.stall_prob <= 0.0
             && self.timeout_s.is_infinite()
+            && self.sensor_drift_w_per_hour <= 0.0
+    }
+
+    /// The accumulated power-sensor bias (watts) at virtual time
+    /// `virtual_secs`. A pure function of the timestamp — no randomness —
+    /// so drift-biased readings stay worker-invariant and resumable.
+    pub fn power_bias_w(&self, virtual_secs: f64) -> f64 {
+        if self.sensor_drift_w_per_hour <= 0.0 {
+            return 0.0;
+        }
+        self.sensor_drift_w_per_hour * virtual_secs / 3600.0
     }
 }
 
@@ -345,12 +380,29 @@ mod tests {
 
     #[test]
     fn parse_knows_every_builtin() {
-        for name in ["none", "flaky-sensor", "oom-heavy"] {
+        for name in ["none", "flaky-sensor", "oom-heavy", "drifting-hw"] {
             let p = FaultProfile::parse(name).expect("builtin profile");
             assert_eq!(p.name, name);
         }
         assert!(FaultProfile::parse("chaos-monkey").is_none());
         assert!(FaultProfile::parse("none").is_some_and(|p| p.is_inert()));
         assert!(FaultProfile::parse("oom-heavy").is_some_and(|p| !p.is_inert()));
+        assert!(FaultProfile::parse("drifting-hw").is_some_and(|p| !p.is_inert()));
+    }
+
+    #[test]
+    fn drifting_hw_biases_power_linearly_and_injects_nothing_else() {
+        let profile = FaultProfile::drifting_hw();
+        assert_eq!(profile.power_bias_w(0.0), 0.0);
+        assert_eq!(profile.power_bias_w(3600.0), 10.0);
+        assert_eq!(profile.power_bias_w(1800.0), 5.0);
+        // No transient faults: the only effect is the deterministic bias.
+        let plan = FaultPlan::new(profile, 42);
+        for q in 0..100 {
+            assert_eq!(plan.training_fault(q, 1, 0.99), None);
+            assert!(!plan.sensor_glitch(q));
+        }
+        // The inert profile has zero bias everywhere.
+        assert_eq!(FaultProfile::none().power_bias_w(7200.0), 0.0);
     }
 }

@@ -22,8 +22,9 @@
 //!   run, at any worker count.
 //!
 //! The CI fault matrix drives this suite (and the golden suite) with
-//! `HYPERPOWER_FAULT_PROFILE` ∈ {none, flaky-sensor, oom-heavy} ×
-//! `HYPERPOWER_WORKERS` ∈ {1, 4}; see `.github/workflows/ci.yml`.
+//! `HYPERPOWER_FAULT_PROFILE` ∈ {none, flaky-sensor, oom-heavy,
+//! drifting-hw} × `HYPERPOWER_WORKERS` ∈ {1, 4} ×
+//! `HYPERPOWER_RECALIBRATE` ∈ {unset, 1}; see `.github/workflows/ci.yml`.
 
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 
@@ -52,6 +53,20 @@ fn matrix_profile() -> FaultProfile {
         Ok(name) => FaultProfile::parse(&name)
             .unwrap_or_else(|| panic!("unknown HYPERPOWER_FAULT_PROFILE '{name}'")),
         Err(_) => FaultProfile::flaky_sensor(),
+    }
+}
+
+/// The CI matrix's third axis: `HYPERPOWER_RECALIBRATE=1` turns the
+/// self-healing layer on (drift monitor, online refits, adaptive margins)
+/// for the matrix invariants, proving they also hold while the constraint
+/// models are being rewritten mid-run.
+fn matrix_options() -> ExecutorOptions {
+    match std::env::var("HYPERPOWER_RECALIBRATE") {
+        Ok(v) if v == "1" || v.eq_ignore_ascii_case("on") => ExecutorOptions::default()
+            .with_recalibrate(true)
+            .with_drift_threshold(0.05)
+            .with_safety_margin(0.05),
+        _ => ExecutorOptions::default(),
     }
 }
 
@@ -261,12 +276,12 @@ fn matrix_profile_trace_is_worker_invariant_and_schema_valid() {
     let profile = matrix_profile();
     for gpus in [1usize, 2] {
         let reference = encode_trace(&run_session(
-            &ExecutorOptions::default()
+            &matrix_options()
                 .with_fault_profile(profile.clone())
                 .with_simulated_gpus(gpus),
         ));
         let parallel = encode_trace(&run_session(
-            &ExecutorOptions::default()
+            &matrix_options()
                 .with_fault_profile(profile.clone())
                 .with_simulated_gpus(gpus)
                 .with_workers(4),
@@ -274,7 +289,7 @@ fn matrix_profile_trace_is_worker_invariant_and_schema_valid() {
         assert_eq!(reference, parallel, "workers must not change the trace");
         // And the same profile + seed replays exactly.
         let replay = encode_trace(&run_session(
-            &ExecutorOptions::default()
+            &matrix_options()
                 .with_fault_profile(profile.clone())
                 .with_simulated_gpus(gpus),
         ));
@@ -505,6 +520,156 @@ fn resume_rejects_a_mismatched_run() {
     )
     .expect_err("mismatched resume must fail");
     assert!(matches!(err, Error::ResumeMismatch(_)), "got: {err}");
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing: drift recalibration, margins, and the degradation ladder
+// ---------------------------------------------------------------------------
+
+/// Options that turn the whole self-healing layer on, aggressively enough
+/// to engage within a short run under `drifting-hw`.
+fn healing_options(gpus: usize) -> ExecutorOptions {
+    ExecutorOptions::default()
+        .with_fault_profile(FaultProfile::drifting_hw())
+        .with_simulated_gpus(gpus)
+        .with_recalibrate(true)
+        .with_drift_threshold(0.05)
+        .with_safety_margin(0.1)
+}
+
+#[test]
+fn recalibrating_run_is_worker_invariant_under_drifting_hw() {
+    let run = |gpus: usize, workers: usize| {
+        let mut session = Session::new(Scenario::mnist_gtx1070(), SEED).expect("session");
+        encode_trace(
+            &session
+                .run_seeded_with(
+                    Method::Rand,
+                    Mode::HyperPower,
+                    Budget::Evaluations(16),
+                    SEED,
+                    &healing_options(gpus).with_workers(workers),
+                )
+                .expect("run"),
+        )
+    };
+    let mut recalibrated_anywhere = false;
+    for gpus in [1usize, 2] {
+        let reference = run(gpus, 1);
+        let parallel = run(gpus, 4);
+        assert_eq!(
+            reference, parallel,
+            "recalibrating trace must be worker-invariant (gpus={gpus})"
+        );
+        let trace = parse(&reference).expect("recalibrating trace stays schema-valid");
+        drop(trace);
+        recalibrated_anywhere |= reference.contains("\"recalibrated\"");
+    }
+    assert!(
+        recalibrated_anywhere,
+        "drifting-hw never engaged a recalibration — thresholds too loose for the test"
+    );
+}
+
+#[test]
+fn recalibrating_killed_run_resumes_bit_identically() {
+    // Same kill-and-resume contract as above, but with the drift monitor
+    // rewriting the constraint models mid-run: the replayed prefix must
+    // reconstruct the monitor (and margins) bit-exactly.
+    let session = Session::new(Scenario::mnist_gtx1070(), SEED).expect("session");
+    let oracle = session.oracle().clone();
+    let budget = Budget::Evaluations(16);
+    let run_healing = |objective: &dyn Objective, options: &ExecutorOptions| {
+        let space = SearchSpace::mnist();
+        let mut gpu = Gpu::new(DeviceProfile::gtx_1070(), SEED);
+        hyperpower::run_optimization_with(
+            RunSetup {
+                space: &space,
+                objective,
+                gpu: &mut gpu,
+                budgets: oracle.budgets(),
+                oracle: Some(&oracle),
+                early_termination: Some(EarlyTermination::default()),
+                cost: TrainingCostModel::default(),
+                method: Method::Rand,
+                mode: Mode::HyperPower,
+                budget,
+                seed: SEED,
+                searcher_override: None,
+            },
+            options,
+        )
+    };
+    let options = healing_options(1);
+    let reference =
+        encode_trace(&run_healing(&StubObjective::new(), &options).expect("uninterrupted run"));
+
+    let ckpt = scratch_path("kill_recalibrating.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+    let err = run_healing(
+        &ChaosObjective::new(5),
+        &options
+            .clone()
+            .with_checkpoint(CheckpointConfig::every_commit(ckpt.clone())),
+    )
+    .expect_err("chaos objective must kill the run");
+    assert!(matches!(err, Error::WorkerPanic { .. }), "got: {err}");
+    assert!(ckpt.exists(), "interrupted run left a checkpoint");
+
+    let resumed = run_healing(
+        &ChaosObjective::new(100),
+        &options
+            .clone()
+            .with_workers(4)
+            .with_resume_from(ckpt.clone()),
+    )
+    .expect("resumed run");
+    assert_eq!(
+        reference,
+        encode_trace(&resumed),
+        "resumed recalibrating trace must be byte-identical to the uninterrupted run"
+    );
+}
+
+#[test]
+fn forced_gp_failure_degrades_through_ladder_to_rand_walk() {
+    use hyperpower::methods::{BoSearcher, ConstraintWeighting};
+    use hyperpower::DegradationEvent;
+
+    // Poison the surrogate's noise floor: every rung of the jitter ladder
+    // fails, so every GP proposal must degrade to a Rand-Walk step — and
+    // the run completes with each downgrade as a typed trace event.
+    let mut searcher = BoSearcher::new(ConstraintWeighting::None, None);
+    searcher.fit_options.min_noise_variance = f64::NAN;
+    let trace = run_stub(
+        &StubObjective::new(),
+        Budget::Evaluations(8),
+        &ExecutorOptions::default(),
+        Some(Box::new(searcher)),
+    )
+    .expect("forced GP failure must not abort the run");
+    assert_eq!(trace.evaluations(), 8);
+    assert!(
+        trace.degradation_count() > 0,
+        "poisoned fits left no degradation events in the trace"
+    );
+    let all_fallbacks = trace
+        .samples
+        .iter()
+        .flat_map(|s| s.degradations.iter())
+        .all(|d| *d == DegradationEvent::RandWalkFallback);
+    assert!(
+        all_fallbacks,
+        "a NaN noise floor cannot be rescued by jitter"
+    );
+    // Seed-phase proposals (before min_observations) never touch the GP.
+    for s in &trace.samples[..3] {
+        assert!(s.degradations.is_empty(), "seed proposals degraded");
+    }
+    // The encoded trace round-trips with the degradation keys present.
+    let text = encode_trace(&trace);
+    assert!(text.contains("rand-walk-fallback"));
+    parse(&text).expect("degraded trace stays schema-valid");
 }
 
 #[test]

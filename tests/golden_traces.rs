@@ -174,6 +174,46 @@ fn golden_rand_evals_flaky_sensor() {
     );
 }
 
+// Drifting-hardware fixtures: the sensor bias grows with virtual time and
+// the self-healing layer is switched on, aggressively enough that drift
+// detections, margin moves and the live-RMSPE telemetry are part of the
+// pinned bytes. (A full recalibration needs more measured commits than a
+// reviewable fixture holds; that path is pinned by the fault-injection
+// suite's worker-invariance and kill-and-resume tests instead.)
+
+fn run_healing_case(method: Method) -> Trace {
+    let mut session = Session::new(Scenario::mnist_gtx1070(), GOLDEN_SEED).expect("session setup");
+    session
+        .run_seeded_with(
+            method,
+            Mode::HyperPower,
+            EVALS,
+            GOLDEN_SEED,
+            &ExecutorOptions::default()
+                .with_fault_profile(FaultProfile::drifting_hw())
+                .with_recalibrate(true)
+                .with_drift_threshold(0.02)
+                .with_safety_margin(0.1),
+        )
+        .expect("golden healing run")
+}
+
+#[test]
+fn golden_rand_evals_drifting_hw() {
+    check_encoded(
+        "rand_evals_drifting_hw",
+        encode_trace(&run_healing_case(Method::Rand)),
+    );
+}
+
+#[test]
+fn golden_hwieci_evals_drifting_hw() {
+    check_encoded(
+        "hwieci_evals_drifting_hw",
+        encode_trace(&run_healing_case(Method::HwIeci)),
+    );
+}
+
 #[test]
 fn golden_hwieci_evals_flaky_sensor() {
     check_encoded(
