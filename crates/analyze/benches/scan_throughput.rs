@@ -1,0 +1,37 @@
+//! Whole-workspace scan throughput of the analyzer.
+//!
+//! Measures `analyze_sources` end to end — comment/string stripping,
+//! tokenization, all per-file rules, the item index, the call graph and
+//! the workspace rules — over the deterministic synthetic corpus from
+//! [`hyperpower_analyze::corpus`]. The committed reference number lives
+//! in `BENCH_analyze.json` at the workspace root, and
+//! `tests/bench_ratchet.rs` fails the build if throughput regresses
+//! below the recorded floor or the corpus silently changes shape.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hyperpower_analyze::corpus::{corpus_bytes, synthetic_files};
+
+/// Must match `corpus_files` in `BENCH_analyze.json`.
+const CORPUS_FILES: usize = 48;
+
+fn scan_throughput(c: &mut Criterion) {
+    let files = synthetic_files(CORPUS_FILES);
+    let bytes = corpus_bytes(&files);
+    let refs: Vec<(&str, &str)> = files
+        .iter()
+        .map(|(p, t)| (p.as_str(), t.as_str()))
+        .collect();
+    c.bench_function(
+        &format!("analyze_sources/{CORPUS_FILES}files/{bytes}B"),
+        |b| {
+            b.iter(|| {
+                let report = hyperpower_analyze::analyze_sources(black_box(&refs));
+                assert!(report.is_clean());
+                report.files_scanned
+            })
+        },
+    );
+}
+
+criterion_group!(benches, scan_throughput);
+criterion_main!(benches);

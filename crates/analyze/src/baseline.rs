@@ -11,6 +11,14 @@
 //!   paid down, and the baseline must be regenerated (with
 //!   `hyperpower-analyze --write-baseline`) so the ratchet only ever
 //!   tightens.
+//!
+//! **Schema v2** adds per-entry metadata: `severity` (the rule's level,
+//! mirrored into SARIF) and `since` (provenance: which analyzer
+//! generation accepted the bucket, or `"migrated-v1"` for entries read
+//! from a v1 file). Both are informational — the ratchet still keys on
+//! `(rule, file, count)` only, so v1 and v2 baselines enforce
+//! identically. v1 files (no `schema` line, no `severity`/`since`) load
+//! transparently; `--write-baseline` always emits v2.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -19,6 +27,15 @@ use crate::{Report, Rule};
 
 /// The canonical baseline file name at the workspace root.
 pub const BASELINE_FILE: &str = "analyze-baseline.json";
+
+/// The schema marker written into v2 baselines.
+pub const SCHEMA_V2: &str = "hyperpower-analyze-baseline/v2";
+
+/// Provenance stamped on buckets accepted by this analyzer generation.
+pub const PROVENANCE: &str = "analyzer-v3";
+
+/// Provenance stamped on buckets migrated from a v1 baseline file.
+pub const PROVENANCE_MIGRATED: &str = "migrated-v1";
 
 /// One accepted (grandfathered) findings bucket.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +46,31 @@ pub struct Entry {
     pub file: String,
     /// Accepted number of findings of `rule` in `file`.
     pub count: usize,
+    /// The rule's severity wire form (`"error"`/`"warning"`).
+    pub severity: String,
+    /// Which analyzer generation accepted this bucket.
+    pub since: String,
+}
+
+impl Entry {
+    /// Builds an entry with the rule's default severity and current
+    /// provenance.
+    pub fn new(rule: &str, file: &str, count: usize) -> Self {
+        Entry {
+            severity: default_severity(rule),
+            since: PROVENANCE.to_string(),
+            rule: rule.to_string(),
+            file: file.to_string(),
+            count,
+        }
+    }
+}
+
+fn default_severity(rule_id: &str) -> String {
+    Rule::from_id(rule_id)
+        .map(|r| r.severity().as_str())
+        .unwrap_or("error")
+        .to_string()
 }
 
 /// A set of accepted findings buckets, sorted by (file, rule).
@@ -86,20 +128,23 @@ impl Baseline {
         Baseline {
             entries: counts
                 .into_iter()
-                .map(|((file, rule), count)| Entry { rule, file, count })
+                .map(|((file, rule), count)| Entry::new(&rule, &file, count))
                 .collect(),
         }
     }
 
-    /// Serialises the baseline (deterministic: entries are sorted).
+    /// Serialises the baseline as schema v2 (deterministic: entries are
+    /// sorted).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"entries\": [\n");
+        let mut out = format!("{{\n  \"schema\": \"{SCHEMA_V2}\",\n  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"count\": {}}}{}\n",
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"count\": {}, \"severity\": \"{}\", \"since\": \"{}\"}}{}\n",
                 e.rule,
                 crate::json_escape(&e.file),
                 e.count,
+                crate::json_escape(&e.severity),
+                crate::json_escape(&e.since),
                 if i + 1 < self.entries.len() { "," } else { "" }
             ));
         }
@@ -107,13 +152,28 @@ impl Baseline {
         out
     }
 
-    /// Parses the JSON produced by [`Baseline::to_json`]. The parser is
-    /// line-oriented and only accepts that exact shape — good enough for
-    /// a file the tool itself writes, without a JSON dependency.
+    /// Parses the JSON produced by [`Baseline::to_json`] — either schema
+    /// v2 or the legacy v1 shape (no `schema` line, entries carry only
+    /// rule/file/count). v1 entries migrate transparently: severity comes
+    /// from the rule's current default and `since` is stamped
+    /// [`PROVENANCE_MIGRATED`]. The parser is line-oriented and only
+    /// accepts those exact shapes — good enough for a file the tool
+    /// itself writes, without a JSON dependency.
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut entries = Vec::new();
         for (n, line) in text.lines().enumerate() {
             let line = line.trim().trim_end_matches(',');
+            if line.contains("\"schema\"") {
+                let schema = extract_str(line, "schema")
+                    .ok_or_else(|| format!("baseline line {}: malformed \"schema\"", n + 1))?;
+                if schema != SCHEMA_V2 {
+                    return Err(format!(
+                        "baseline line {}: unsupported schema {schema:?} (expected {SCHEMA_V2:?})",
+                        n + 1
+                    ));
+                }
+                continue;
+            }
             if !line.contains("\"rule\"") {
                 continue;
             }
@@ -126,7 +186,24 @@ impl Baseline {
             if !Rule::ALL.iter().any(|r| r.id() == rule) {
                 return Err(format!("baseline line {}: unknown rule {rule}", n + 1));
             }
-            entries.push(Entry { rule, file, count });
+            let severity = match extract_str(line, "severity") {
+                Some(s) => {
+                    if crate::Severity::parse(&s).is_none() {
+                        return Err(format!("baseline line {}: unknown severity {s:?}", n + 1));
+                    }
+                    s
+                }
+                None => default_severity(&rule),
+            };
+            let since =
+                extract_str(line, "since").unwrap_or_else(|| PROVENANCE_MIGRATED.to_string());
+            entries.push(Entry {
+                rule,
+                file,
+                count,
+                severity,
+                since,
+            });
         }
         entries.sort_by(|a, b| (&a.file, &a.rule).cmp(&(&b.file, &b.rule)));
         Ok(Baseline { entries })
@@ -160,21 +237,13 @@ impl Baseline {
         for (key, &n) in &current {
             let base = accepted.get(key).copied().unwrap_or(0);
             if n > base {
-                drift.new.push(Entry {
-                    rule: key.1.clone(),
-                    file: key.0.clone(),
-                    count: n - base,
-                });
+                drift.new.push(Entry::new(&key.1, &key.0, n - base));
             }
         }
         for (key, &base) in &accepted {
             let n = current.get(key).copied().unwrap_or(0);
             if base > n {
-                drift.stale.push(Entry {
-                    rule: key.1.clone(),
-                    file: key.0.clone(),
-                    count: base - n,
-                });
+                drift.stale.push(Entry::new(&key.1, &key.0, base - n));
             }
         }
         drift
@@ -308,5 +377,50 @@ mod tests {
         let bad =
             "{\n  \"entries\": [\n    {\"rule\": \"R99\", \"file\": \"x\", \"count\": 1}\n  ]\n}\n";
         assert!(Baseline::parse(bad).is_err());
+    }
+
+    #[test]
+    fn v2_emits_schema_severity_and_provenance() {
+        let base = Baseline::from_report(&report(vec![finding(
+            Rule::R14OrderSensitiveReduction,
+            "crates/a/src/lib.rs",
+            3,
+        )]));
+        let json = base.to_json();
+        assert!(json.contains(SCHEMA_V2));
+        assert!(json.contains("\"severity\": \"warning\""));
+        assert!(json.contains(&format!("\"since\": \"{PROVENANCE}\"")));
+    }
+
+    #[test]
+    fn v1_baseline_migrates_transparently() {
+        // The pre-v3 on-disk shape: no schema line, bare rule/file/count.
+        let v1 = "{\n  \"entries\": [\n    {\"rule\": \"R6\", \"file\": \"crates/a/src/lib.rs\", \"count\": 2}\n  ]\n}\n";
+        let parsed = Baseline::parse(v1).unwrap();
+        assert_eq!(parsed.entries.len(), 1);
+        assert_eq!(parsed.entries[0].severity, "error");
+        assert_eq!(parsed.entries[0].since, PROVENANCE_MIGRATED);
+
+        // Ratchet semantics are unchanged by migration: two findings
+        // match, three drift.
+        let two = report(vec![
+            finding(Rule::R6UnitDiscipline, "crates/a/src/lib.rs", 3),
+            finding(Rule::R6UnitDiscipline, "crates/a/src/lib.rs", 9),
+        ]);
+        assert!(parsed.diff(&two).is_empty());
+        let mut three = two.clone();
+        three
+            .findings
+            .push(finding(Rule::R6UnitDiscipline, "crates/a/src/lib.rs", 12));
+        assert_eq!(parsed.diff(&three).new.len(), 1);
+    }
+
+    #[test]
+    fn bad_severity_and_schema_rejected() {
+        let bad_sev = "{\n  \"entries\": [\n    {\"rule\": \"R6\", \"file\": \"x\", \"count\": 1, \"severity\": \"fatal\", \"since\": \"analyzer-v3\"}\n  ]\n}\n";
+        assert!(Baseline::parse(bad_sev).is_err());
+        let bad_schema =
+            "{\n  \"schema\": \"hyperpower-analyze-baseline/v9\",\n  \"entries\": [\n  ]\n}\n";
+        assert!(Baseline::parse(bad_schema).is_err());
     }
 }

@@ -1,0 +1,792 @@
+//! Workspace item index: the symbol layer under the cross-file rules.
+//!
+//! Built from the token streams of every scanned [`SourceFile`], the index
+//! records the items the workspace-level rules (R10–R13) reason about:
+//! function definitions (name, `impl` owner, parameters, body token range,
+//! call sites), struct definitions with their fields, and `use`
+//! declarations. It is deliberately approximate — no name resolution
+//! beyond `impl` ownership and workspace-unique names — because the
+//! analyzer must stay dependency-free (no syn/rustc). The call graph in
+//! [`crate::graph`] only materialises edges the index can resolve
+//! *confidently*, so approximation errs toward missing edges, never
+//! toward false ones.
+
+use crate::scan::SourceFile;
+use crate::token::{matching_close, Token, TokenKind};
+
+/// Keywords that look like call syntax (`if (…)`, `match (…)`) but never
+/// name a workspace function.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "fn", "let",
+    "mut", "pub", "use", "mod", "impl", "trait", "struct", "enum", "where", "move", "ref", "as",
+    "in", "dyn", "unsafe", "const", "static", "type",
+];
+
+/// One function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// The binding name (empty for `self` receivers and `_` patterns).
+    pub name: String,
+    /// The type tokens, joined with single spaces (`"& mut StdRng"`).
+    pub ty: String,
+}
+
+impl Param {
+    /// True when the parameter is a `&mut` borrow of the named type.
+    pub fn is_mut_ref_of(&self, ty: &str) -> bool {
+        self.ty.starts_with("& mut ") && self.ty[6..].split(' ').next() == Some(ty)
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The called name (last path segment, or the method name).
+    pub name: String,
+    /// `Type` for `Type::name(…)` path calls, `None` otherwise.
+    pub qualifier: Option<String>,
+    /// True for `.name(…)` method-call syntax.
+    pub method: bool,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// One function definition.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function name.
+    pub name: String,
+    /// The `impl` type the function is defined on, if any (for
+    /// `impl Trait for T`, the `T`).
+    pub owner: Option<String>,
+    /// Workspace-relative file path, `/`-separated.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the definition is `pub`.
+    pub is_pub: bool,
+    /// Whether the definition sits in a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// The parameters, in order.
+    pub params: Vec<Param>,
+    /// Token-index range of the body `{ … }` in the file's stream
+    /// (inclusive braces), or `None` for body-less trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// Calls made inside the body, in source order. Calls inside a nested
+    /// `fn` belong to the nested item, not this one.
+    pub calls: Vec<CallSite>,
+    /// Identifier texts appearing in the body (deduplicated, sorted).
+    body_idents: Vec<String>,
+}
+
+impl FnItem {
+    /// Whether the body mentions `ident` as a token-exact identifier.
+    pub fn body_mentions(&self, ident: &str) -> bool {
+        self.body_idents
+            .binary_search_by(|s| s.as_str().cmp(ident))
+            .is_ok()
+    }
+}
+
+/// One struct field.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    /// The field name.
+    pub name: String,
+    /// The type tokens, joined with single spaces.
+    pub ty: String,
+    /// 1-based line of the field.
+    pub line: usize,
+}
+
+/// One struct definition (only brace-form structs carry fields).
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// The struct name.
+    pub name: String,
+    /// Workspace-relative file path, `/`-separated.
+    pub file: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: usize,
+    /// The named fields, in declaration order.
+    pub fields: Vec<FieldItem>,
+}
+
+/// One `use` declaration leaf (groups are flattened).
+#[derive(Debug, Clone)]
+pub struct UseItem {
+    /// Workspace-relative file path of the declaration.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The full path segments (`["std", "collections", "HashMap"]`).
+    pub path: Vec<String>,
+    /// The name the import binds locally (last segment, or the `as` alias).
+    pub local: String,
+}
+
+/// The workspace item index.
+#[derive(Debug, Clone, Default)]
+pub struct ItemIndex {
+    /// Every function definition found, in (file, token) order.
+    pub functions: Vec<FnItem>,
+    /// Every brace-form struct definition found.
+    pub structs: Vec<StructItem>,
+    /// Every `use` leaf found.
+    pub uses: Vec<UseItem>,
+}
+
+impl ItemIndex {
+    /// Builds the index over the scanned files.
+    pub fn build(files: &[SourceFile]) -> Self {
+        let mut index = ItemIndex::default();
+        for file in files {
+            index_file(file, &mut index);
+        }
+        index
+    }
+
+    /// The struct named `name` defined in `file`, if indexed.
+    pub fn struct_in(&self, file: &str, name: &str) -> Option<&StructItem> {
+        self.structs
+            .iter()
+            .find(|s| s.file == file && s.name == name)
+    }
+
+    /// Functions with this exact name, anywhere in the workspace.
+    pub fn functions_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = (usize, &'a FnItem)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.name == name)
+    }
+}
+
+fn rel(file: &SourceFile) -> String {
+    file.rel_path.to_string_lossy().replace('\\', "/")
+}
+
+/// Indexes one file: `impl` blocks, `fn` items, `struct` items, `use`
+/// declarations, then attributes call sites to the innermost enclosing
+/// function body.
+fn index_file(file: &SourceFile, index: &mut ItemIndex) {
+    let toks = &file.tokens;
+    let path = rel(file);
+
+    // impl blocks: (body range, owner type name).
+    let mut impls: Vec<(usize, usize, String)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("impl") {
+            if let Some((owner, open)) = impl_owner(toks, i) {
+                if let Some(close) = matching_close(toks, open, "{", "}") {
+                    impls.push((open, close, owner));
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Function definitions.
+    let fn_base = index.functions.len();
+    let mut fn_ranges: Vec<(usize, usize, usize)> = Vec::new(); // (open, close, fn idx)
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Ident) {
+            if let Some(item) = parse_fn(file, &path, toks, i, &impls) {
+                if let Some((open, close)) = item.body {
+                    fn_ranges.push((open, close, index.functions.len()));
+                }
+                index.functions.push(item);
+            }
+        }
+        if toks[i].is_ident("struct") && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Ident) {
+            if let Some(item) = parse_struct(&path, toks, i) {
+                index.structs.push(item);
+            }
+        }
+        if toks[i].is_ident("use") {
+            parse_use(&path, toks, i, &mut index.uses);
+        }
+        i += 1;
+    }
+
+    // Call sites, attributed to the innermost enclosing function body.
+    for j in 0..toks.len() {
+        let Some(call) = call_at(toks, j) else {
+            continue;
+        };
+        let innermost = fn_ranges
+            .iter()
+            .filter(|(open, close, _)| *open < j && j < *close)
+            .min_by_key(|(open, close, _)| close - open);
+        if let Some((_, _, fn_idx)) = innermost {
+            index.functions[*fn_idx].calls.push(call);
+        }
+    }
+
+    // Body identifier sets (for cheap "does this fn mention X" queries).
+    for (open, close, fn_idx) in &fn_ranges {
+        let mut idents: Vec<String> = toks[*open..=*close]
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect();
+        idents.sort();
+        idents.dedup();
+        index.functions[*fn_idx].body_idents = idents;
+    }
+    let _ = fn_base;
+}
+
+/// For the `impl` token at `i`, returns the implemented-on type name and
+/// the index of the block's opening brace.
+fn impl_owner(toks: &[Token], i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    // Skip generic parameters: `impl<T: Ord> …`.
+    if toks.get(j)?.is_punct("<") {
+        j = skip_angles(toks, j)?;
+    }
+    // First path: either the type, or the trait (when followed by `for`).
+    let (first, after) = read_type_name(toks, j)?;
+    let mut owner = first;
+    let mut j = after;
+    // `impl Trait for Type { … }`.
+    if toks.get(j).is_some_and(|t| t.is_ident("for")) {
+        let (ty, after_ty) = read_type_name(toks, j + 1)?;
+        owner = ty;
+        j = after_ty;
+    }
+    // Find the block open brace (skipping where clauses).
+    while j < toks.len() && !toks[j].is_punct("{") {
+        if toks[j].is_punct(";") {
+            return None;
+        }
+        j += 1;
+    }
+    if j < toks.len() {
+        Some((owner, j))
+    } else {
+        None
+    }
+}
+
+/// Reads a (possibly path-qualified, possibly generic) type name starting
+/// at `j`; returns the final simple name and the index after the type.
+fn read_type_name(toks: &[Token], mut j: usize) -> Option<(String, usize)> {
+    // Leading `&`/`&mut` (rare in impl position, cheap to tolerate).
+    while toks
+        .get(j)
+        .is_some_and(|t| t.is_punct("&") || t.is_ident("mut"))
+    {
+        j += 1;
+    }
+    let mut name = None;
+    while let Some(t) = toks.get(j) {
+        if t.kind == TokenKind::Ident {
+            name = Some(t.text.clone());
+            j += 1;
+            if toks.get(j).is_some_and(|n| n.is_punct("::")) {
+                j += 1;
+                continue;
+            }
+            if toks.get(j).is_some_and(|n| n.is_punct("<")) {
+                j = skip_angles(toks, j)?;
+            }
+            break;
+        }
+        return None;
+    }
+    name.map(|n| (n, j))
+}
+
+/// Skips a balanced `<…>` group starting at the `<` at `j`; returns the
+/// index after the closing `>`. Handles `>>` produced by the joined-punct
+/// lexer by counting it as two closes.
+fn skip_angles(toks: &[Token], j: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct("<") || t.is_punct("<<") {
+            depth += if t.text == "<<" { 2 } else { 1 };
+        } else if t.is_punct(">") || t.is_punct(">>") {
+            depth -= if t.text == ">>" { 2 } else { 1 };
+            if depth <= 0 {
+                return Some(k + 1);
+            }
+        } else if t.is_punct(";") || t.is_punct("{") {
+            return None; // not a generics group after all
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Parses the function whose `fn` keyword is at `i`.
+fn parse_fn(
+    file: &SourceFile,
+    path: &str,
+    toks: &[Token],
+    i: usize,
+    impls: &[(usize, usize, String)],
+) -> Option<FnItem> {
+    let name_tok = toks.get(i + 1)?;
+    let mut j = i + 2;
+    if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+        j = skip_angles(toks, j)?;
+    }
+    if !toks.get(j).is_some_and(|t| t.is_punct("(")) {
+        return None;
+    }
+    let params_close = matching_close(toks, j, "(", ")")?;
+    let params = parse_params(&toks[j + 1..params_close]);
+
+    // Body: the first `{` after the parameter list, unless a `;` ends the
+    // item first (trait method declaration).
+    let mut k = params_close + 1;
+    let mut body = None;
+    while k < toks.len() {
+        if toks[k].is_punct(";") {
+            break;
+        }
+        if toks[k].is_punct("{") {
+            let close = matching_close(toks, k, "{", "}")?;
+            body = Some((k, close));
+            break;
+        }
+        k += 1;
+    }
+
+    let owner = impls
+        .iter()
+        .filter(|(open, close, _)| *open < i && i < *close)
+        .min_by_key(|(open, close, _)| close - open)
+        .map(|(_, _, name)| name.clone());
+
+    Some(FnItem {
+        name: name_tok.text.clone(),
+        owner,
+        file: path.to_string(),
+        line: toks[i].line,
+        is_pub: is_pub_before(toks, i),
+        in_test: file.line_in_test(toks[i].line),
+        params,
+        body,
+        calls: Vec::new(),
+        body_idents: Vec::new(),
+    })
+}
+
+/// Whether a `pub` marker directly precedes the item keyword at `i`
+/// (tolerating `pub(crate)`-style visibility groups).
+fn is_pub_before(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_ident("pub") {
+            return true;
+        }
+        // Tokens that may sit between `pub` and the keyword.
+        if t.is_punct(")")
+            || t.is_punct("(")
+            || t.is_ident("crate")
+            || t.is_ident("super")
+            || t.is_ident("unsafe")
+            || t.is_ident("const")
+            || t.is_ident("async")
+            || t.is_ident("extern")
+            || t.is_ident("in")
+        {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Splits a parameter token slice on top-level commas and extracts
+/// (name, type) pairs. `self` receivers produce a param with an empty
+/// name and the receiver tokens as the type.
+fn parse_params(toks: &[Token]) -> Vec<Param> {
+    let mut params = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "<" => depth += 1,
+            "<<" => depth += 2,
+            ")" | "]" | ">" => depth -= 1,
+            ">>" => depth -= 2,
+            "," if depth == 0 => {
+                groups.push((start, k));
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < toks.len() {
+        groups.push((start, toks.len()));
+    }
+    for (a, b) in groups {
+        let group = &toks[a..b];
+        if group.is_empty() {
+            continue;
+        }
+        let colon = group.iter().position(|t| t.is_punct(":"));
+        let (name, ty_start) = match colon {
+            Some(c) => {
+                let name = group[..c]
+                    .iter()
+                    .rev()
+                    .find(|t| t.kind == TokenKind::Ident && t.text != "mut")
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                (name, c + 1)
+            }
+            None => (String::new(), 0), // `self`, `&mut self`
+        };
+        let ty = group[ty_start..]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        params.push(Param { name, ty });
+    }
+    params
+}
+
+/// Parses the brace-form struct whose `struct` keyword is at `i`. Unit
+/// and tuple structs are indexed with no fields.
+fn parse_struct(path: &str, toks: &[Token], i: usize) -> Option<StructItem> {
+    let name_tok = toks.get(i + 1)?;
+    let mut j = i + 2;
+    if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+        j = skip_angles(toks, j)?;
+    }
+    // Skip where clauses up to the body or terminator.
+    while j < toks.len() && !toks[j].is_punct("{") {
+        if toks[j].is_punct(";") || toks[j].is_punct("(") {
+            return Some(StructItem {
+                name: name_tok.text.clone(),
+                file: path.to_string(),
+                line: toks[i].line,
+                fields: Vec::new(),
+            });
+        }
+        j += 1;
+    }
+    let open = j;
+    let close = matching_close(toks, open, "{", "}")?;
+
+    let mut fields = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        // Skip attributes on fields.
+        if toks[k].is_punct("#") && toks.get(k + 1).is_some_and(|t| t.is_punct("[")) {
+            if let Some(c) = matching_close(toks, k + 1, "[", "]") {
+                k = c + 1;
+                continue;
+            }
+        }
+        if toks[k].is_ident("pub") {
+            k += 1;
+            if toks.get(k).is_some_and(|t| t.is_punct("(")) {
+                if let Some(c) = matching_close(toks, k, "(", ")") {
+                    k = c + 1;
+                }
+            }
+            continue;
+        }
+        if toks[k].kind == TokenKind::Ident && toks.get(k + 1).is_some_and(|t| t.is_punct(":")) {
+            let name = toks[k].text.clone();
+            let line = toks[k].line;
+            // Type runs to the next top-level comma or the close brace.
+            let mut depth = 0i32;
+            let mut t_end = k + 2;
+            while t_end < close {
+                match toks[t_end].text.as_str() {
+                    "(" | "[" | "<" | "{" => depth += 1,
+                    "<<" => depth += 2,
+                    ")" | "]" | ">" | "}" => depth -= 1,
+                    ">>" => depth -= 2,
+                    "," if depth <= 0 => break,
+                    _ => {}
+                }
+                t_end += 1;
+            }
+            let ty = toks[k + 2..t_end]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            fields.push(FieldItem { name, ty, line });
+            k = t_end + 1;
+            continue;
+        }
+        k += 1;
+    }
+    Some(StructItem {
+        name: name_tok.text.clone(),
+        file: path.to_string(),
+        line: toks[i].line,
+        fields,
+    })
+}
+
+/// Parses the `use` declaration at `i` into flattened leaves.
+fn parse_use(path: &str, toks: &[Token], i: usize, out: &mut Vec<UseItem>) {
+    // Collect tokens to the terminating `;`.
+    let mut end = i + 1;
+    while end < toks.len() && !toks[end].is_punct(";") {
+        end += 1;
+    }
+    let line = toks[i].line;
+    flatten_use(&toks[i + 1..end], &mut Vec::new(), path, line, out);
+}
+
+fn flatten_use(
+    toks: &[Token],
+    prefix: &mut Vec<String>,
+    path: &str,
+    line: usize,
+    out: &mut Vec<UseItem>,
+) {
+    let mut k = 0;
+    let depth_before = prefix.len();
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.kind == TokenKind::Ident && t.text != "as" {
+            prefix.push(t.text.clone());
+            k += 1;
+            continue;
+        }
+        if t.is_punct("::") {
+            k += 1;
+            if toks.get(k).is_some_and(|n| n.is_punct("{")) {
+                let Some(close) = matching_close(toks, k, "{", "}") else {
+                    break;
+                };
+                // Split the group on top-level commas and recurse.
+                let inner = &toks[k + 1..close];
+                let mut depth = 0i32;
+                let mut start = 0;
+                for (g, gt) in inner.iter().enumerate() {
+                    if gt.is_punct("{") {
+                        depth += 1;
+                    } else if gt.is_punct("}") {
+                        depth -= 1;
+                    } else if gt.is_punct(",") && depth == 0 {
+                        flatten_use(&inner[start..g], prefix, path, line, out);
+                        start = g + 1;
+                    }
+                }
+                flatten_use(&inner[start..], prefix, path, line, out);
+                prefix.truncate(depth_before);
+                return;
+            }
+            continue;
+        }
+        if t.is_ident("as") {
+            if let Some(alias) = toks.get(k + 1) {
+                out.push(UseItem {
+                    file: path.to_string(),
+                    line,
+                    path: prefix.clone(),
+                    local: alias.text.clone(),
+                });
+            }
+            prefix.truncate(depth_before);
+            return;
+        }
+        if t.is_punct("*") {
+            prefix.truncate(depth_before);
+            return; // glob: no single local name
+        }
+        k += 1;
+    }
+    if prefix.len() > depth_before || (!prefix.is_empty() && depth_before == 0) {
+        if let Some(local) = prefix.last().cloned() {
+            out.push(UseItem {
+                file: path.to_string(),
+                line,
+                path: prefix.clone(),
+                local,
+            });
+        }
+    }
+    prefix.truncate(depth_before);
+}
+
+/// Recognizes a call at token `j`: an identifier directly followed by
+/// `(`, excluding definitions, keywords and macro invocations.
+fn call_at(toks: &[Token], j: usize) -> Option<CallSite> {
+    let t = toks.get(j)?;
+    if t.kind != TokenKind::Ident || KEYWORDS.contains(&t.text.as_str()) {
+        return None;
+    }
+    if !toks.get(j + 1).is_some_and(|n| n.is_punct("(")) {
+        return None;
+    }
+    let prev = j.checked_sub(1).map(|p| &toks[p]);
+    // `fn name(` is a definition; `name!(` can't happen (the `!` sits
+    // between); struct literals `Name {` don't match; `#[cfg(…)]`-style
+    // attribute arguments are calls to nothing we index.
+    if prev.is_some_and(|p| p.is_ident("fn")) {
+        return None;
+    }
+    let method = prev.is_some_and(|p| p.is_punct("."));
+    let qualifier = if prev.is_some_and(|p| p.is_punct("::")) {
+        j.checked_sub(2)
+            .map(|q| &toks[q])
+            .filter(|q| {
+                q.kind == TokenKind::Ident
+                    && q.text
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_uppercase())
+            })
+            .map(|q| q.text.clone())
+    } else {
+        None
+    };
+    Some(CallSite {
+        name: t.text.clone(),
+        qualifier,
+        method,
+        line: t.line,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn index(text: &str) -> ItemIndex {
+        let file = SourceFile::from_source(PathBuf::from("crates/core/src/x.rs"), text);
+        ItemIndex::build(std::slice::from_ref(&file))
+    }
+
+    #[test]
+    fn functions_params_and_owner() {
+        let ix = index(
+            "pub struct Gpu { pub seed: u64 }\n\
+             impl Gpu {\n    pub fn new(seed: u64) -> Self { Gpu { seed } }\n\
+                 fn draw(&self, rng: &mut StdRng) -> f64 { step(rng) }\n}\n\
+             fn free(x: f64) -> f64 { x }\n",
+        );
+        assert_eq!(ix.functions.len(), 3);
+        let new = &ix.functions[0];
+        assert_eq!(new.name, "new");
+        assert_eq!(new.owner.as_deref(), Some("Gpu"));
+        assert!(new.is_pub);
+        assert_eq!(new.params.len(), 1);
+        assert_eq!(new.params[0].name, "seed");
+        let draw = &ix.functions[1];
+        assert_eq!(draw.owner.as_deref(), Some("Gpu"));
+        assert!(!draw.is_pub);
+        assert!(draw.params[1].is_mut_ref_of("StdRng"));
+        assert_eq!(ix.functions[2].owner, None);
+    }
+
+    #[test]
+    fn trait_impl_owner_is_the_type() {
+        let ix = index("impl Searcher for RandomSearch {\n    fn propose(&mut self) {}\n}\n");
+        assert_eq!(ix.functions[0].owner.as_deref(), Some("RandomSearch"));
+    }
+
+    #[test]
+    fn generic_impl_and_fn() {
+        let ix = index(
+            "impl<T: Ord> Queue<T> {\n    fn push<U>(&mut self, item: U) { store(item) }\n}\n",
+        );
+        assert_eq!(ix.functions[0].owner.as_deref(), Some("Queue"));
+        assert_eq!(ix.functions[0].params[1].name, "item");
+    }
+
+    #[test]
+    fn calls_attributed_to_innermost_fn() {
+        let ix = index("fn outer() {\n    a();\n    fn inner() { b(); }\n    c();\n}\n");
+        let outer = ix.functions.iter().find(|f| f.name == "outer").unwrap();
+        let inner = ix.functions.iter().find(|f| f.name == "inner").unwrap();
+        let outer_calls: Vec<&str> = outer.calls.iter().map(|c| c.name.as_str()).collect();
+        let inner_calls: Vec<&str> = inner.calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(outer_calls, ["a", "c"]);
+        assert_eq!(inner_calls, ["b"]);
+    }
+
+    #[test]
+    fn qualified_and_method_calls() {
+        let ix = index("fn f() {\n    let g = Gpu::new(7);\n    g.measure();\n    helper(1);\n}\n");
+        let calls = &ix.functions[0].calls;
+        assert_eq!(calls.len(), 3);
+        assert_eq!(calls[0].qualifier.as_deref(), Some("Gpu"));
+        assert!(!calls[0].method);
+        assert!(calls[1].method);
+        assert_eq!(calls[2].qualifier, None);
+        assert!(!calls[2].method);
+    }
+
+    #[test]
+    fn struct_fields_with_attributes_and_visibility() {
+        let ix = index(
+            "pub struct CheckpointHeader {\n    /// Run seed.\n    pub seed: u64,\n\
+                 #[allow(dead_code)]\n    pub budget: Budget,\n    private_knob: Option<PathBuf>,\n}\n",
+        );
+        let s = ix
+            .struct_in("crates/core/src/x.rs", "CheckpointHeader")
+            .unwrap();
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["seed", "budget", "private_knob"]);
+        assert_eq!(s.fields[2].ty, "Option < PathBuf >");
+    }
+
+    #[test]
+    fn unit_and_tuple_structs_have_no_fields() {
+        let ix = index("pub struct Marker;\npub struct Pair(f64, f64);\n");
+        assert_eq!(ix.structs.len(), 2);
+        assert!(ix.structs.iter().all(|s| s.fields.is_empty()));
+    }
+
+    #[test]
+    fn use_leaves_flattened_with_aliases() {
+        let ix = index(
+            "use std::collections::{HashMap, BTreeMap as Ordered};\nuse rand::rngs::StdRng;\n",
+        );
+        let locals: Vec<&str> = ix.uses.iter().map(|u| u.local.as_str()).collect();
+        assert!(locals.contains(&"HashMap"));
+        assert!(locals.contains(&"Ordered"));
+        assert!(locals.contains(&"StdRng"));
+        let aliased = ix.uses.iter().find(|u| u.local == "Ordered").unwrap();
+        assert_eq!(aliased.path.last().map(String::as_str), Some("BTreeMap"));
+    }
+
+    #[test]
+    fn body_mentions_is_token_exact() {
+        let ix = index("fn f() { let x = SystemTime::now(); }\n");
+        assert!(ix.functions[0].body_mentions("SystemTime"));
+        assert!(!ix.functions[0].body_mentions("System"));
+    }
+
+    #[test]
+    fn test_region_functions_are_marked() {
+        let ix = index("fn live() {}\n#[cfg(test)]\nmod t {\n    fn helper() {}\n}\n");
+        assert!(!ix.functions[0].in_test);
+        assert!(ix.functions[1].in_test);
+    }
+
+    #[test]
+    fn bodyless_trait_fn_indexed_without_body() {
+        let ix = index("trait S {\n    fn propose(&mut self, n: usize) -> f64;\n}\n");
+        assert_eq!(ix.functions[0].name, "propose");
+        assert!(ix.functions[0].body.is_none());
+    }
+}

@@ -16,14 +16,24 @@
 //! | `R6` | `f64` physical quantities carry unit suffixes (`_w`, `_mb`, `_s`, `_j`) or typed newtypes; no mixed-unit arithmetic |
 //! | `R7` | acquisition paths evaluate the cheap hardware-constraint indicator before the expensive objective (HW-IECI/HW-CWEI) |
 //! | `R8` | RNGs are constructed only at declared seeded roots and threaded `&mut` elsewhere |
+//! | `R9` | no unordered collections (`HashMap`/`HashSet`) in trace-affecting crates |
+//! | `R10` | wall-clock reads unreachable from non-sink files (R1, interprocedurally) |
+//! | `R11` | RNG minting unreachable from non-root files (R8, interprocedurally) |
+//! | `R12` | concurrency primitives confined to the executor boundary; trace writes confined to the commit path |
+//! | `R13` | every semantic `ExecutorOptions` knob appears in the `CheckpointHeader` run identity |
+//! | `R14` | order-sensitive float reductions only in blessed helpers |
 //!
 //! The pass tokenizes each file after blanking comments and string/char
 //! literals (see [`token`]), so matching is token-exact rather than
 //! substring-based, `#[cfg(test)]` regions are exempt, and no
 //! syn/rustc dependency is needed (this workspace builds hermetically, so
-//! the analyzer must stay dependency-free). Intentional exceptions are
-//! annotated in the source with `// analyze::allow(<rule>)`, which
-//! silences the named rule on that line and the next.
+//! the analyzer must stay dependency-free). On top of the per-file token
+//! rules, a workspace layer builds an item index ([`index`]: functions,
+//! impl owners, struct fields, `use` leaves) and a conservative call
+//! graph ([`graph`]) that power the cross-file rules R10/R11/R13.
+//! Intentional exceptions are annotated in the source with
+//! `// analyze::allow(<rule>)`, which silences the named rule on that
+//! line and the next.
 //!
 //! Run it as `cargo run -p hyperpower-analyze` (human-readable), with
 //! `--format json` or `--format sarif` for machine-readable reports, with
@@ -34,13 +44,16 @@
 //! baseline entry (the ratchet only tightens).
 
 pub mod baseline;
+pub mod corpus;
 pub mod fix;
+pub mod graph;
+pub mod index;
 pub mod rules;
 pub mod sarif;
 mod scan;
 pub mod token;
 
-pub use scan::{Line, SourceFile};
+pub use scan::{rust_files, Line, SourceFile};
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -82,6 +95,38 @@ impl std::error::Error for Error {
 /// Analyzer result type.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// The severity a rule's findings carry in SARIF output and the v2
+/// baseline. Severity is *metadata* — the ratchet treats warnings and
+/// errors identically (any drift fails) — but review UIs render them
+/// differently and future policy can key off it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Severity {
+    /// Suspicious pattern; the fix may legitimately be an allow marker.
+    Warning,
+    /// Invariant violation; the fix is a code change.
+    Error,
+}
+
+impl Severity {
+    /// The wire form used in SARIF `level` and baseline v2 entries.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses the wire form.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
 /// The rule kinds the pass checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
@@ -104,11 +149,26 @@ pub enum Rule {
     R7ConstraintOrder,
     /// R8: RNG constructed or owned outside a declared seeded root.
     R8RngThreading,
+    /// R9: unordered collection (`HashMap`/`HashSet`) in a
+    /// trace-affecting crate.
+    R9UnorderedCollections,
+    /// R10: call path from a non-sink file into a wall-clock read.
+    R10WallClockFlow,
+    /// R11: call path from a non-root file into an RNG-minting function.
+    R11RngFlow,
+    /// R12: concurrency primitive outside the executor boundary, or
+    /// trace write outside the commit path.
+    R12ConcurrencyBoundary,
+    /// R13: semantic executor knob missing from the checkpoint-header
+    /// run identity (or vice versa).
+    R13CheckpointHeader,
+    /// R14: order-sensitive float reduction outside blessed helpers.
+    R14OrderSensitiveReduction,
 }
 
 impl Rule {
     /// All rule kinds, in id order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 14] = [
         Rule::R1NondeterministicEntropy,
         Rule::R2RawFloatEq,
         Rule::R3ErrorEnumExhaustive,
@@ -117,6 +177,12 @@ impl Rule {
         Rule::R6UnitDiscipline,
         Rule::R7ConstraintOrder,
         Rule::R8RngThreading,
+        Rule::R9UnorderedCollections,
+        Rule::R10WallClockFlow,
+        Rule::R11RngFlow,
+        Rule::R12ConcurrencyBoundary,
+        Rule::R13CheckpointHeader,
+        Rule::R14OrderSensitiveReduction,
     ];
 
     /// Short id used in reports and `analyze::allow(..)` markers.
@@ -130,7 +196,18 @@ impl Rule {
             Rule::R6UnitDiscipline => "R6",
             Rule::R7ConstraintOrder => "R7",
             Rule::R8RngThreading => "R8",
+            Rule::R9UnorderedCollections => "R9",
+            Rule::R10WallClockFlow => "R10",
+            Rule::R11RngFlow => "R11",
+            Rule::R12ConcurrencyBoundary => "R12",
+            Rule::R13CheckpointHeader => "R13",
+            Rule::R14OrderSensitiveReduction => "R14",
         }
+    }
+
+    /// The rule with this id, if any.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == id)
     }
 
     /// Human-readable slug.
@@ -144,6 +221,23 @@ impl Rule {
             Rule::R6UnitDiscipline => "unit-of-measure",
             Rule::R7ConstraintOrder => "constraint-before-objective",
             Rule::R8RngThreading => "rng-threading",
+            Rule::R9UnorderedCollections => "unordered-collections",
+            Rule::R10WallClockFlow => "wall-clock-flow",
+            Rule::R11RngFlow => "rng-flow",
+            Rule::R12ConcurrencyBoundary => "concurrency-boundary",
+            Rule::R13CheckpointHeader => "checkpoint-header-completeness",
+            Rule::R14OrderSensitiveReduction => "order-sensitive-reduction",
+        }
+    }
+
+    /// The default severity of the rule's findings. R14's narrow
+    /// detector can flag sequential loops that are deterministic *today*
+    /// (the hazard is the future refactor), so it reports as a warning;
+    /// every other rule flags a present violation.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::R14OrderSensitiveReduction => Severity::Warning,
+            _ => Severity::Error,
         }
     }
 
@@ -169,6 +263,24 @@ impl Rule {
             }
             Rule::R8RngThreading => {
                 "RNGs are constructed only at declared seeded roots and passed &mut everywhere else"
+            }
+            Rule::R9UnorderedCollections => {
+                "trace-affecting crates use ordered collections (BTreeMap/BTreeSet), never randomized-iteration hash types"
+            }
+            Rule::R10WallClockFlow => {
+                "no call path from deterministic code into wall-clock reads outside declared timing sinks"
+            }
+            Rule::R11RngFlow => {
+                "no call path from non-root files into RNG-constructing functions; streams are threaded from seeded roots"
+            }
+            Rule::R12ConcurrencyBoundary => {
+                "concurrency primitives live only in the executor boundary, and trace writes only in the commit path"
+            }
+            Rule::R13CheckpointHeader => {
+                "every semantic executor knob is recorded in the checkpoint-header run identity"
+            }
+            Rule::R14OrderSensitiveReduction => {
+                "loop float accumulation goes through blessed ordered-reduction helpers"
             }
         }
     }
@@ -263,40 +375,63 @@ pub(crate) fn json_escape(s: &str) -> String {
 ///
 /// Scans `crates/<name>/src/**/*.rs` for each name in [`LIBRARY_CRATES`]
 /// (crates absent from the tree are skipped, so the pass also works on
-/// the scratch workspaces the unit tests build), applies the per-file
-/// rules, and checks each [`rules::GUARD_SITES`] entry for R5.
+/// the scratch workspaces the unit tests build), then runs both analysis
+/// phases via [`analyze_files`].
 pub fn analyze_workspace(root: &Path) -> Result<Report> {
-    let mut findings = Vec::new();
-    let mut files_scanned = 0;
-
+    let mut files = Vec::new();
     for krate in LIBRARY_CRATES {
         let src = root.join("crates").join(krate).join("src");
         if !src.is_dir() {
             continue;
         }
         for path in scan::rust_files(&src)? {
-            let file = SourceFile::load(root, &path)?;
-            rules::apply_rules(&file, &mut findings);
-            files_scanned += 1;
+            files.push(SourceFile::load(root, &path)?);
+        }
+    }
+    Ok(analyze_files(files))
+}
+
+/// Analyzes in-memory sources: `(workspace-relative path, text)` pairs.
+/// This is the disk-free twin of [`analyze_workspace`], used by the
+/// fixture corpus and the throughput bench; paths still determine rule
+/// scope (trace crates, roots, boundaries), so fixtures choose them
+/// deliberately.
+pub fn analyze_sources(sources: &[(&str, &str)]) -> Report {
+    let files = sources
+        .iter()
+        .map(|(path, text)| SourceFile::from_source(PathBuf::from(path), text))
+        .collect();
+    analyze_files(files)
+}
+
+/// Both analysis phases over already-scanned files: per-file rules and
+/// R5 guard sites first, then the workspace layer (item index →
+/// confident call graph → cross-file rules R10/R11/R13).
+fn analyze_files(files: Vec<SourceFile>) -> Report {
+    let mut findings = Vec::new();
+    for file in &files {
+        rules::apply_rules(file, &mut findings);
+    }
+    for (rel, what) in rules::GUARD_SITES {
+        if let Some(file) = files
+            .iter()
+            .find(|f| f.rel_path.to_string_lossy().replace('\\', "/") == *rel)
+        {
+            rules::check_finite_guard(file, what, &mut findings);
         }
     }
 
-    for (rel, what) in rules::GUARD_SITES {
-        let path = root.join(rel);
-        if !path.is_file() {
-            continue;
-        }
-        let file = SourceFile::load(root, &path)?;
-        rules::check_finite_guard(&file, what, &mut findings);
-    }
+    let index = index::ItemIndex::build(&files);
+    let graph = graph::CallGraph::build(&index);
+    rules::apply_workspace_rules(&files, &index, &graph, &mut findings);
 
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule.id()).cmp(&(b.file.as_str(), b.line, b.rule.id()))
     });
-    Ok(Report {
+    Report {
         findings,
-        files_scanned,
-    })
+        files_scanned: files.len(),
+    }
 }
 
 /// Walks upward from `start` to the directory whose `Cargo.toml` declares
@@ -378,7 +513,9 @@ mod tests {
         ws.write(
             "crates/core/src/methods.rs",
             concat!(
-                "use std::time::SystemTime;\n", // R1
+                "use std::time::SystemTime;\n",     // R1
+                "use std::collections::HashMap;\n", // R9
+                "use std::sync::Mutex;\n",          // R12
                 "pub fn pick(xs: &[f64]) -> usize {\n",
                 "    xs.iter().enumerate()\n",
                 "        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())\n", // R2
@@ -393,10 +530,24 @@ mod tests {
                 "    e * self.acquisition_weight(z)\n",
                 "}\n",
                 "fn fork() { let r = StdRng::seed_from_u64(1); }\n", // R8
+                "fn refork() { fork(); }\n",                         // R11
+                "fn tick() -> u64 { let _t = SystemTime::now(); 0 }\n",
+                "fn tock() -> u64 { tick() }\n", // R10
+                "fn accumulate(xs: &[f64]) -> f64 {\n",
+                "    let mut acc = 0.0;\n",
+                "    for x in xs { acc += x; }\n", // R14
+                "    acc\n",
+                "}\n",
             ),
         );
         // R5: a declared guard site present but without the marker.
         ws.write("crates/core/src/model.rs", "pub fn fit() {}\n");
+        // R13: an options struct with an undeclared knob (and no header
+        // file at all).
+        ws.write(
+            "crates/core/src/executor.rs",
+            "pub struct ExecutorOptions {\n    pub workers: usize,\n    pub mystery_knob: u64,\n}\n",
+        );
 
         let report = analyze_workspace(&ws.root).unwrap();
         for rule in Rule::ALL {

@@ -39,7 +39,7 @@ fn usage() {
     println!(
         "  --format <f>      output format (default: text; --json is shorthand for --format json)"
     );
-    println!("  --fix             apply mechanical rewrites (unit suffixes, allow-marker normalization) before analyzing");
+    println!("  --fix             apply mechanical rewrites (unit suffixes, HashMap/HashSet -> BTree in trace crates, allow-marker normalization) before analyzing");
     println!("  --baseline <p>    compare findings against a baseline file (default: <root>/{BASELINE_FILE} when present)");
     println!(
         "  --write-baseline  accept the current findings into the baseline file and exit clean"

@@ -1,0 +1,154 @@
+//! R9 — no unordered collections in trace-affecting crates.
+//!
+//! The workspace's headline guarantee is byte-identical traces for a
+//! given (seed, committed prefix). `HashMap`/`HashSet` iteration order is
+//! randomized per process (std's SipHash keys), so *any* iteration over
+//! them — directly, via `drain`, or by collecting keys — is a latent
+//! nondeterminism that only shows up when someone adds a loop later.
+//! Rather than guessing which uses iterate, the trace-affecting crates
+//! ban the types outright: use `BTreeMap`/`BTreeSet` (deterministic
+//! order, and every key in this workspace is already `Ord`), or sort
+//! explicitly before iterating and carry an `analyze::allow(R9)` marker.
+//!
+//! `--fix` rewrites the unambiguous cases: when a file uses none of the
+//! hash-only APIs (`with_capacity`, `drain`, …) the type tokens are
+//! renamed mechanically (see [`crate::fix`]).
+
+use crate::scan::SourceFile;
+use crate::token::TokenKind;
+use crate::{Finding, Rule};
+
+/// Path prefixes of the trace-affecting crates: everything that runs
+/// between seeding and trace commit. `linalg`/`nn`/`gp` compute pure
+/// functions of their inputs and may use hashing internally; `data`
+/// generates datasets with sequential loops and is checked by R1/R8
+/// instead.
+pub const TRACE_CRATES: &[&str] = &["crates/core/", "crates/gpu-sim/"];
+
+/// The banned unordered collection types.
+pub const UNORDERED_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Hash-only APIs whose presence makes the mechanical `HashMap →
+/// BTreeMap` rewrite unsafe (no BTree equivalent, or different
+/// semantics). A file using any of these must be migrated by hand.
+pub const HASH_ONLY_APIS: &[&str] = &[
+    "with_capacity",
+    "reserve",
+    "capacity",
+    "hasher",
+    "with_hasher",
+    "shrink_to",
+    "shrink_to_fit",
+    "drain",
+    "extract_if",
+    "raw_entry",
+];
+
+/// Whether R9 applies to this workspace-relative path.
+pub fn in_scope(rel_path: &str) -> bool {
+    TRACE_CRATES.iter().any(|p| rel_path.starts_with(p))
+}
+
+/// R9: flags every live `HashMap`/`HashSet` token in trace-affecting
+/// crates (one finding per line).
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let rule = Rule::R9UnorderedCollections;
+    let rel = file.rel_path.to_string_lossy().replace('\\', "/");
+    if !in_scope(&rel) {
+        return;
+    }
+    let mut last_line = 0;
+    for t in &file.tokens {
+        if t.kind != TokenKind::Ident || !UNORDERED_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        if t.line == last_line || file.token_exempt(t, rule.id()) {
+            continue;
+        }
+        last_line = t.line;
+        let ordered = if t.text == "HashMap" {
+            "BTreeMap"
+        } else {
+            "BTreeSet"
+        };
+        findings.push(super::finding_at(
+            rule,
+            file,
+            t.line,
+            format!(
+                "`{}` in a trace-affecting crate: iteration order is randomized per process; use `{ordered}` (or sort before iterating and mark `analyze::allow(R9)`)",
+                t.text
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_at(path: &str, text: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(PathBuf::from(path), text);
+        let mut f = Vec::new();
+        check(&file, &mut f);
+        f
+    }
+
+    #[test]
+    fn hashmap_in_core_fires_once_per_line() {
+        let f = run_at(
+            "crates/core/src/executor.rs",
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u64, u64>) -> HashMap<u64, u64> { m.clone() }\n",
+        );
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == Rule::R9UnorderedCollections));
+    }
+
+    #[test]
+    fn hashset_in_gpu_sim_fires() {
+        let f = run_at(
+            "crates/gpu-sim/src/fault.rs",
+            "use std::collections::HashSet;\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("BTreeSet"));
+    }
+
+    #[test]
+    fn btree_collections_pass() {
+        assert!(run_at(
+            "crates/core/src/executor.rs",
+            "use std::collections::{BTreeMap, BTreeSet};\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn non_trace_crates_are_out_of_scope() {
+        assert!(run_at(
+            "crates/gp/src/kernel.rs",
+            "use std::collections::HashMap;\n"
+        )
+        .is_empty());
+        assert!(run_at(
+            "crates/data/src/generator.rs",
+            "use std::collections::HashMap;\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn test_code_and_allow_are_exempt() {
+        assert!(run_at(
+            "crates/core/src/methods.rs",
+            "#[cfg(test)]\nmod t {\n    use std::collections::HashSet;\n}\n"
+        )
+        .is_empty());
+        assert!(run_at(
+            "crates/core/src/methods.rs",
+            "// analyze::allow(R9)\nuse std::collections::HashMap;\n"
+        )
+        .is_empty());
+    }
+}

@@ -1,9 +1,12 @@
-//! The analyzer rules (R1–R8), one module per rule family.
+//! The analyzer rules (R1–R14), one module per rule family.
 //!
-//! Each rule is a token- or file-level check over a [`SourceFile`] whose
-//! comments and strings have already been blanked and whose remaining
-//! text has been tokenized. Rules only fire in library-crate code outside
-//! `#[cfg(test)]` regions, and every rule honours the
+//! R1–R9, R12 and R14 are token- or file-level checks over a single
+//! [`SourceFile`] whose comments and strings have already been blanked
+//! and whose remaining text has been tokenized. R10, R11 and R13 are
+//! *workspace-level*: they additionally consume the item index
+//! ([`crate::index`]) and the confident call graph ([`crate::graph`])
+//! built over all scanned files. Rules only fire in library-crate code
+//! outside `#[cfg(test)]` regions, and every rule honours the
 //! `// analyze::allow(<rule>)` escape hatch.
 //!
 //! | module | rules |
@@ -16,15 +19,28 @@
 //! | [`units`] | R6 — unit-of-measure discipline on `f64` quantities |
 //! | [`ordering`] | R7 — hardware constraints evaluated before objectives |
 //! | [`rng`] | R8 — RNGs constructed only at declared seeded roots |
+//! | [`collections`] | R9 — no unordered collections in trace-affecting crates |
+//! | [`flow`] | R10 — wall-clock flow outside timing sinks (interprocedural) |
+//! | [`flow`] | R11 — RNG minting reachable from non-root files (interprocedural) |
+//! | [`concurrency`] | R12 — concurrency primitives confined to the executor boundary |
+//! | [`header`] | R13 — checkpoint-header completeness (cross-file) |
+//! | [`reductions`] | R14 — order-sensitive float reductions outside blessed helpers |
 
+pub mod collections;
+pub mod concurrency;
 pub mod determinism;
 pub mod errors;
 pub mod floats;
+pub mod flow;
+pub mod header;
 pub mod io;
 pub mod ordering;
+pub mod reductions;
 pub mod rng;
 pub mod units;
 
+use crate::graph::CallGraph;
+use crate::index::ItemIndex;
 use crate::scan::SourceFile;
 use crate::{Finding, Rule};
 
@@ -45,8 +61,10 @@ pub const GUARD_SITES: &[(&str, &str)] = &[
 /// The marker R5 looks for at each guard site.
 pub const FINITE_GUARD_MARKER: &str = "debug_assert_finite!";
 
-/// Applies every per-file rule (R1–R4, R6–R8) to one file. R5 is applied
-/// separately per [`GUARD_SITES`] entry via [`check_finite_guard`].
+/// Applies every per-file rule (R1–R4, R6–R9, R12, R14) to one file. R5
+/// is applied separately per [`GUARD_SITES`] entry via
+/// [`check_finite_guard`]; the workspace-level rules (R10, R11, R13) run
+/// once over all files via [`apply_workspace_rules`].
 pub fn apply_rules(file: &SourceFile, findings: &mut Vec<Finding>) {
     determinism::check(file, findings);
     floats::check(file, findings);
@@ -55,6 +73,21 @@ pub fn apply_rules(file: &SourceFile, findings: &mut Vec<Finding>) {
     units::check(file, findings);
     ordering::check(file, findings);
     rng::check(file, findings);
+    collections::check(file, findings);
+    concurrency::check(file, findings);
+    reductions::check(file, findings);
+}
+
+/// Applies the workspace-level rules (R10, R11, R13) over the full scan.
+pub fn apply_workspace_rules(
+    files: &[SourceFile],
+    index: &ItemIndex,
+    graph: &CallGraph,
+    findings: &mut Vec<Finding>,
+) {
+    flow::check_wallclock_flow(files, index, graph, findings);
+    flow::check_rng_flow(files, index, graph, findings);
+    header::check(files, index, findings);
 }
 
 /// R5: the file is a declared guard site and must contain the

@@ -25,10 +25,11 @@ pub fn to_sarif(report: &Report) -> String {
     out.push_str("          \"rules\": [\n");
     for (i, rule) in Rule::ALL.iter().enumerate() {
         out.push_str(&format!(
-            "            {{\"id\": \"{}\", \"name\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            "            {{\"id\": \"{}\", \"name\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \"defaultConfiguration\": {{\"level\": \"{}\"}}}}{}\n",
             rule.id(),
             rule.slug(),
             json_escape(rule.description()),
+            rule.severity().as_str(),
             if i + 1 < Rule::ALL.len() { "," } else { "" }
         ));
     }
@@ -42,7 +43,10 @@ pub fn to_sarif(report: &Report) -> String {
         out.push_str("        {\n");
         out.push_str(&format!("          \"ruleId\": \"{}\",\n", f.rule.id()));
         out.push_str(&format!("          \"ruleIndex\": {rule_index},\n"));
-        out.push_str("          \"level\": \"error\",\n");
+        out.push_str(&format!(
+            "          \"level\": \"{}\",\n",
+            f.rule.severity().as_str()
+        ));
         out.push_str(&format!(
             "          \"message\": {{\"text\": \"{}\"}},\n",
             json_escape(&f.message)
@@ -87,6 +91,10 @@ mod tests {
         assert!(s.contains("\"ruleId\": \"R6\""));
         assert!(s.contains("\"startLine\": 12"));
         assert!(s.contains("needs a \\\"unit\\\" suffix"));
+        // Severity is per-rule: R6 findings are errors, and the rule
+        // catalogue carries R14's warning default.
+        assert!(s.contains("\"level\": \"error\""));
+        assert!(s.contains("\"defaultConfiguration\": {\"level\": \"warning\"}"));
         // One rule descriptor per rule.
         assert_eq!(s.matches("\"shortDescription\"").count(), Rule::ALL.len());
         // Cheap well-formedness smoke checks.

@@ -1,0 +1,82 @@
+//! Throughput ratchet for the analyzer's whole-workspace scan.
+//!
+//! `BENCH_analyze.json` at the workspace root commits three facts about
+//! the `benches/scan_throughput.rs` workload: the corpus shape
+//! (`corpus_files`, `corpus_bytes` — so the measured workload can never
+//! silently change meaning), the reference throughputs on the machine
+//! that recorded them, and `floor_mbps`, a deliberately loose lower
+//! bound (~10× slack under the debug-profile reference) that catches
+//! order-of-magnitude regressions — an accidentally quadratic index
+//! pass, a per-token allocation storm — without flaking on slow CI
+//! hardware.
+
+// Test-support code: panicking on a broken invariant is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::time::Instant;
+
+use hyperpower_analyze::corpus::{corpus_bytes, synthetic_files};
+use hyperpower_analyze::find_workspace_root;
+
+const BENCH_FILE: &str = "BENCH_analyze.json";
+
+fn committed(key: &str, text: &str) -> f64 {
+    let pat = format!("\"{key}\": ");
+    let start = text
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{BENCH_FILE} missing key {key}"))
+        + pat.len();
+    let digits: String = text[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("{BENCH_FILE}: key {key} is not a number"))
+}
+
+#[test]
+fn corpus_shape_matches_committed_reference() {
+    let root = find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("test runs inside the workspace");
+    let text = std::fs::read_to_string(root.join(BENCH_FILE)).expect("BENCH_analyze.json readable");
+
+    let files = synthetic_files(committed("corpus_files", &text) as usize);
+    assert_eq!(
+        corpus_bytes(&files),
+        committed("corpus_bytes", &text) as usize,
+        "synthetic corpus changed shape: re-run `cargo bench -p hyperpower-analyze` and refresh {BENCH_FILE}"
+    );
+}
+
+#[test]
+fn scan_throughput_stays_above_committed_floor() {
+    let root = find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("test runs inside the workspace");
+    let text = std::fs::read_to_string(root.join(BENCH_FILE)).expect("BENCH_analyze.json readable");
+    let floor_mbps = committed("floor_mbps", &text);
+
+    let files = synthetic_files(committed("corpus_files", &text) as usize);
+    let bytes = corpus_bytes(&files) as f64;
+    let refs: Vec<(&str, &str)> = files
+        .iter()
+        .map(|(p, t)| (p.as_str(), t.as_str()))
+        .collect();
+
+    // Warm up once (page in code paths), then take the best of three —
+    // the ratchet bounds capability, not scheduler noise.
+    let _ = hyperpower_analyze::analyze_sources(&refs);
+    let mut best_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let report = hyperpower_analyze::analyze_sources(&refs);
+        let secs = start.elapsed().as_secs_f64();
+        assert!(report.is_clean());
+        best_secs = best_secs.min(secs);
+    }
+    let mbps = bytes / 1e6 / best_secs;
+    assert!(
+        mbps >= floor_mbps,
+        "scan throughput regressed: {mbps:.2} MB/s < committed floor {floor_mbps} MB/s ({BENCH_FILE})"
+    );
+}

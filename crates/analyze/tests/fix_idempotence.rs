@@ -1,0 +1,49 @@
+//! `--fix` must be idempotent: applying it to its own output changes
+//! nothing.
+//!
+//! A fixer that keeps rewriting converged code is worse than no fixer —
+//! it turns every CI run into a diff and erodes trust in the rewrites.
+//! This test runs `fix_source` over every real library source file,
+//! applies it a second time to whatever the first pass produced, and
+//! fails if the second pass wants to touch a single byte. CI enforces
+//! the same property end-to-end by running the binary's `--fix` twice
+//! and diffing the tree.
+
+// Test-support code: panicking on a broken invariant is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use hyperpower_analyze::fix::fix_source;
+use hyperpower_analyze::{find_workspace_root, rust_files, LIBRARY_CRATES};
+
+#[test]
+fn second_fix_pass_is_a_no_op_on_every_library_file() {
+    let root = find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("test runs inside the workspace");
+    let mut checked = 0usize;
+    for krate in LIBRARY_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        for path in rust_files(&src).expect("library sources listable") {
+            let text = std::fs::read_to_string(&path).expect("source readable");
+            let rel = path.strip_prefix(&root).unwrap_or(&path).to_path_buf();
+            let first = fix_source(rel.clone(), &text);
+            // The committed tree should already be converged; a pending
+            // rewrite here means someone forgot to run --fix, and the
+            // second application must still land exactly there.
+            let converged = first.text.unwrap_or(text);
+            let second = fix_source(rel.clone(), &converged);
+            assert!(
+                second.text.is_none(),
+                "fix is not idempotent on {}: second pass still rewrites",
+                rel.display()
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 40,
+        "only {checked} files checked — idempotence sweep lost the source tree"
+    );
+}

@@ -1,0 +1,21 @@
+//@file: crates/core/src/clock_like.rs
+pub struct Cursor {
+    pos: u64,
+}
+
+impl Cursor {
+    pub fn new(pos: u64) -> Self {
+        Cursor { pos }
+    }
+
+    pub fn now(&self) -> u64 {
+        self.pos
+    }
+}
+
+//@file: crates/core/src/consumer.rs
+use crate::clock_like::Cursor;
+
+pub fn advance(c: &Cursor) -> u64 {
+    c.now() + 1
+}

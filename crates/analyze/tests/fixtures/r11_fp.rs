@@ -1,0 +1,11 @@
+//@file: crates/core/src/scenario.rs
+pub fn derive_stream(seed: u64) -> u64 {
+    fork(seed)
+}
+
+//@file: crates/core/src/streams.rs
+pub fn fork(seed: u64) -> u64 {
+    let rng = StdRng::seed_from_u64(seed);
+    let _ = rng;
+    seed
+}

@@ -1,0 +1,6 @@
+//@file: crates/core/src/pool.rs
+use std::sync::Mutex;
+
+pub struct Shared {
+    inner: Mutex<u64>,
+}

@@ -1,0 +1,4 @@
+//@file: crates/gp/src/options.rs
+pub struct ExecutorOptions {
+    pub mystery_knob: u64,
+}

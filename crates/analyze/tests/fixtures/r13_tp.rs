@@ -1,0 +1,5 @@
+//@file: crates/core/src/executor.rs
+pub struct ExecutorOptions {
+    pub workers: usize,
+    pub mystery_knob: u64,
+}

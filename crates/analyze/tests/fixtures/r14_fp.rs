@@ -1,0 +1,21 @@
+//@file: crates/gpu-sim/src/count.rs
+pub fn stats(xs: &[f64]) -> (usize, f64) {
+    let mut n = 0;
+    for x in xs {
+        if *x > 0.0 {
+            n += 1;
+        }
+    }
+    let mut scale_factor = 1.0;
+    scale_factor += 0.5;
+    (n, scale_factor)
+}
+
+//@file: crates/data/src/gen.rs
+pub fn running(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}

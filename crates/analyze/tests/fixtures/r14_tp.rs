@@ -1,0 +1,8 @@
+//@file: crates/gpu-sim/src/accumulate.rs
+pub fn total(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}

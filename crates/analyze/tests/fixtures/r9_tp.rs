@@ -1,0 +1,6 @@
+//@file: crates/core/src/registry.rs
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u64, u64> {
+    HashMap::new()
+}

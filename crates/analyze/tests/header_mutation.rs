@@ -1,0 +1,83 @@
+//! Mutation test for R13 (checkpoint-header completeness).
+//!
+//! The point of R13 is that the analyzer — not a human reviewer — fails
+//! the moment the executor-options ↔ checkpoint-header contract rots.
+//! A rule like that needs proof it would actually fire: this test takes
+//! the *real* `executor.rs` and `checkpoint.rs` sources, verifies the
+//! live contract is clean, then applies minimal mutations (hide a header
+//! field; add an undeclared executor knob) and asserts the analyzer
+//! reports each one. If someone weakens R13 to the point of vacuity,
+//! this test is what breaks.
+
+// Test-support code: panicking on a broken invariant is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use hyperpower_analyze::{analyze_sources, find_workspace_root, Rule};
+
+const OPTIONS_PATH: &str = "crates/core/src/executor.rs";
+const HEADER_PATH: &str = "crates/core/src/checkpoint.rs";
+
+fn real_sources() -> (String, String) {
+    let root = find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("test runs inside the workspace");
+    let options = std::fs::read_to_string(root.join(OPTIONS_PATH)).expect("executor.rs readable");
+    let header = std::fs::read_to_string(root.join(HEADER_PATH)).expect("checkpoint.rs readable");
+    (options, header)
+}
+
+fn r13_count(options: &str, header: &str) -> usize {
+    analyze_sources(&[(OPTIONS_PATH, options), (HEADER_PATH, header)])
+        .findings_for(Rule::R13CheckpointHeader)
+        .count()
+}
+
+#[test]
+fn live_contract_is_clean() {
+    let (options, header) = real_sources();
+    assert_eq!(
+        r13_count(&options, &header),
+        0,
+        "the real ExecutorOptions/CheckpointHeader contract must hold"
+    );
+}
+
+#[test]
+fn hiding_a_header_identity_field_is_detected() {
+    let (options, header) = real_sources();
+    // `recalibrate` is mapped from the `drift` knob; renaming the field
+    // everywhere in checkpoint.rs simulates a refactor that drops it
+    // from the run identity.
+    let mutated = header.replace("recalibrate", "recalibrate_gone");
+    assert_ne!(mutated, header, "mutation must actually change the source");
+    assert!(
+        r13_count(&options, &mutated) > 0,
+        "R13 failed to notice a mapped header field disappearing"
+    );
+}
+
+#[test]
+fn adding_an_unmapped_executor_knob_is_detected() {
+    let (options, header) = real_sources();
+    let mutated = options.replace(
+        "pub struct ExecutorOptions {",
+        "pub struct ExecutorOptions {\n    pub unmapped_knob: u64,",
+    );
+    assert_ne!(mutated, options, "mutation must actually change the source");
+    assert!(
+        r13_count(&mutated, &header) > 0,
+        "R13 failed to notice an executor knob with no identity declaration"
+    );
+}
+
+#[test]
+fn hiding_an_options_knob_is_detected_as_stale_map() {
+    let (options, header) = real_sources();
+    // Removing the `drift` field leaves the identity map pointing at a
+    // knob that no longer exists.
+    let mutated = options.replace("pub drift:", "pub drift_renamed:");
+    assert_ne!(mutated, options, "mutation must actually change the source");
+    assert!(
+        r13_count(&mutated, &header) > 0,
+        "R13 failed to notice an identity-mapped knob disappearing"
+    );
+}

@@ -14,7 +14,7 @@
 //! The file is written atomically (temp file + rename) so a crash *during*
 //! checkpointing leaves the previous checkpoint intact.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use crate::driver::{Budget, Sample};
@@ -217,7 +217,7 @@ pub struct RunCheckpoint {
     /// The run identity recorded in the file.
     pub header: CheckpointHeader,
     /// Raw objective results keyed by eval seed.
-    pub evals: HashMap<u64, EvaluationResult>,
+    pub evals: BTreeMap<u64, EvaluationResult>,
     /// Committed samples, as parsed golden-codec values.
     pub samples: Vec<Value>,
 }
@@ -309,7 +309,7 @@ impl RunCheckpoint {
             drift_threshold: get_num(&top, "drift_threshold")?,
             safety_margin: get_num(&top, "safety_margin")?,
         };
-        let mut evals = HashMap::new();
+        let mut evals = BTreeMap::new();
         let Some(Value::Array(eval_items)) = obj_get(&top, "evals") else {
             return Err(Error::Checkpoint("missing array field `evals`".into()));
         };

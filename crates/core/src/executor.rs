@@ -66,7 +66,7 @@
 //! checkpoint's cached evaluations through a deterministic re-run and
 //! verifies the committed prefix bit-for-bit.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 
 use hyperpower_gpu_sim::{CommitQueue, FaultPlan, FaultProfile, Gpu, VirtualClock, WorkerClock};
@@ -330,7 +330,7 @@ pub fn run_optimization_with(setup: RunSetup<'_>, options: &ExecutorOptions) -> 
 /// interrupted run already trained this proposal".
 struct CachedObjective<'a> {
     inner: &'a dyn Objective,
-    cache: &'a HashMap<u64, EvaluationResult>,
+    cache: &'a BTreeMap<u64, EvaluationResult>,
 }
 
 impl Objective for CachedObjective<'_> {
@@ -529,7 +529,7 @@ fn run_single_gpu(
     let mut samples: Vec<Sample> = Vec::new();
     let mut evaluations = 0usize;
     let mut consecutive_rejections = 0usize;
-    let mut quarantine: HashSet<Vec<u64>> = HashSet::new();
+    let mut quarantine: BTreeSet<Vec<u64>> = BTreeSet::new();
     let screen_active = screening_oracle(mode, method, oracle).is_some();
     // The live oracle starts as the profiling-time one and is replaced at
     // commit points whenever the drift monitor recalibrates the models or
@@ -914,7 +914,7 @@ fn run_multi_gpu(
     let mut pending: Vec<(u64, Config)> = Vec::new();
     let mut query: u64 = 0;
     let mut dispatched_evals = 0usize;
-    let mut quarantine: HashSet<Vec<u64>> = HashSet::new();
+    let mut quarantine: BTreeSet<Vec<u64>> = BTreeSet::new();
     let screen_active = screening_oracle(mode, method, oracle).is_some();
     // Live oracle + drift monitor: same scheme as the single-GPU loop.
     // Oracle swaps happen in Phase C (measured commits) and at Phase A

@@ -100,9 +100,9 @@ pub fn analyze(device: &DeviceProfile, spec: &ArchSpec) -> InferenceReport {
     let walk = spec.shape_walk();
     let batch = device.inference_batch as f64;
 
-    let mut total_time = 0.0;
-    let mut weighted_power = 0.0;
-    let mut weighted_util = 0.0;
+    let mut times_s = Vec::with_capacity(walk.len());
+    let mut power_terms = Vec::with_capacity(walk.len());
+    let mut util_terms = Vec::with_capacity(walk.len());
     for layer in &walk {
         let cost = layer_cost(device, layer);
         // Memory-bound kernels still draw substantial power (the memory
@@ -112,10 +112,16 @@ pub fn analyze(device: &DeviceProfile, spec: &ArchSpec) -> InferenceReport {
         let draw_fraction = 0.15 + 0.85 * activity;
         let power =
             device.idle_power_w + (device.max_power_w - device.idle_power_w) * draw_fraction;
-        total_time += cost.time_s;
-        weighted_power += cost.time_s * power;
-        weighted_util += cost.time_s * cost.utilization;
+        times_s.push(cost.time_s);
+        power_terms.push(cost.time_s * power);
+        util_terms.push(cost.time_s * cost.utilization);
     }
+    // The layer walk is in network order; sum_ordered pins the
+    // left-to-right association so the report stays bit-identical across
+    // refactors of this loop (analyzer rule R14).
+    let total_time = hyperpower_linalg::vector::sum_ordered(&times_s);
+    let weighted_power = hyperpower_linalg::vector::sum_ordered(&power_terms);
+    let weighted_util = hyperpower_linalg::vector::sum_ordered(&util_terms);
     let power_w = if total_time > 0.0 {
         weighted_power / total_time
     } else {

@@ -51,6 +51,18 @@ pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
     a.iter().zip(b).map(|(x, y)| x - y).collect()
 }
 
+/// Strictly left-to-right sum of a slice.
+///
+/// This is the workspace's blessed order-sensitive reduction (analyzer
+/// rule R14): callers that must produce bit-identical traces sum through
+/// it instead of open-coding `+=` in a loop, so the sequential
+/// association order is pinned in exactly one place and a future
+/// parallel/SIMD refactor of the caller cannot silently reorder it.
+pub fn sum_ordered(a: &[f64]) -> f64 {
+    // analyze::allow(R14): this fold *is* the blessed ordered reduction.
+    a.iter().fold(0.0, |acc, x| acc + x)
+}
+
 #[cfg(test)]
 // Tests assert exact values that are constructed to be exactly
 // representable; strict float equality is intended.
@@ -97,5 +109,17 @@ mod tests {
     #[test]
     fn sub_elementwise() {
         assert_eq!(sub(&[5.0, 3.0], &[2.0, 1.0]), vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn sum_ordered_is_left_to_right() {
+        // With this magnitude spread, left-to-right and right-to-left
+        // association produce different doubles; pin the former.
+        let xs = [1e16, 1.0, -1e16, 1.0];
+        assert_eq!(sum_ordered(&xs), xs.iter().fold(0.0, |a, x| a + x));
+        // 1e16 + 1.0 rounds back to 1e16 (ulp is 2.0 up there), so the
+        // first 1.0 vanishes and only the last survives the cancellation.
+        assert_eq!(sum_ordered(&xs), 1.0);
+        assert_eq!(sum_ordered(&[]), 0.0);
     }
 }

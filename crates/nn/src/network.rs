@@ -34,6 +34,10 @@ impl Network {
     ///
     /// Currently infallible for a validated spec; the `Result` reserves the
     /// right to fail on future spec extensions.
+    //
+    // Derived-stream boundary: the RNG is minted from the explicit `seed`
+    // argument, never ambient state, so any caller stays deterministic
+    // per (spec, seed). analyze::allow(R11)
     pub fn from_spec(spec: &ArchSpec, seed: u64) -> Result<Self> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut layers: Vec<Box<dyn Layer>> = Vec::new();

@@ -7,7 +7,12 @@
 //! no printing from library crates (R4), `debug_assert_finite!` guards at
 //! the declared numerical boundaries (R5), unit-of-measure discipline on
 //! bare `f64` quantities (R6), constraint-before-objective ordering at
-//! acquisition call sites (R7), and seeded-root RNG threading (R8).
+//! acquisition call sites (R7), seeded-root RNG threading (R8), ordered
+//! collections in trace-affecting crates (R9), interprocedural wall-clock
+//! (R10) and RNG-minting (R11) flow over the workspace call graph,
+//! concurrency primitives confined to the executor boundary (R12),
+//! checkpoint-header completeness against the executor's knobs (R13), and
+//! order-sensitive float reductions routed through blessed helpers (R14).
 //! Running it as an ordinary test keeps `cargo test` the single entry
 //! point for all correctness gates.
 //!
@@ -63,8 +68,8 @@ fn analyzer_scans_the_real_library_sources() {
 
 #[test]
 fn analyzer_reports_every_rule_kind() {
-    // The report must account for all eight rules even when clean, so a
-    // rule silently dropped from the rule set is caught here.
+    // The report must account for all fourteen rules even when clean, so
+    // a rule silently dropped from the rule set is caught here.
     let root = workspace_root();
     let report = analyze_workspace(&root).expect("workspace sources readable");
     let drift = committed_baseline(&root).diff(&report);
@@ -85,5 +90,9 @@ fn analyzer_reports_every_rule_kind() {
         // report plumbing (not just the rule set) is caught.
         let _ = report.findings_for(rule).count();
     }
-    assert_eq!(Rule::ALL.len(), 8, "expected exactly eight analyzer rules");
+    assert_eq!(
+        Rule::ALL.len(),
+        14,
+        "expected exactly fourteen analyzer rules"
+    );
 }
