@@ -1,15 +1,28 @@
 //! Whole-workspace scan throughput of the analyzer.
 //!
-//! Measures `analyze_sources` end to end — comment/string stripping,
-//! tokenization, all per-file rules, the item index, the call graph and
-//! the workspace rules — over the deterministic synthetic corpus from
-//! [`hyperpower_analyze::corpus`]. The committed reference number lives
-//! in `BENCH_analyze.json` at the workspace root, and
-//! `tests/bench_ratchet.rs` fails the build if throughput regresses
-//! below the recorded floor or the corpus silently changes shape.
+//! Two workloads over the deterministic synthetic corpus from
+//! [`hyperpower_analyze::corpus`]:
+//!
+//! * `analyze_sources` end to end — comment/string stripping,
+//!   tokenization, all per-file rules, the item index, the call graph,
+//!   the flow-sensitive rules and the workspace rules;
+//! * the flow engine alone — per-function CFG construction plus the
+//!   reaching-definitions worklist solve, isolated so a fixpoint
+//!   regression cannot hide inside the whole-scan number.
+//!
+//! The committed reference numbers live in `BENCH_analyze.json` at the
+//! workspace root, and `tests/bench_ratchet.rs` fails the build if
+//! either throughput regresses below its recorded floor or the corpus
+//! silently changes shape.
+
+use std::path::PathBuf;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hyperpower_analyze::cfg::Cfg;
 use hyperpower_analyze::corpus::{corpus_bytes, synthetic_files};
+use hyperpower_analyze::dataflow::Dataflow;
+use hyperpower_analyze::index::ItemIndex;
+use hyperpower_analyze::SourceFile;
 
 /// Must match `corpus_files` in `BENCH_analyze.json`.
 const CORPUS_FILES: usize = 48;
@@ -33,5 +46,34 @@ fn scan_throughput(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, scan_throughput);
+fn cfg_dataflow_throughput(c: &mut Criterion) {
+    let files = synthetic_files(CORPUS_FILES);
+    let bytes = corpus_bytes(&files);
+    let sources: Vec<SourceFile> = files
+        .iter()
+        .map(|(p, t)| SourceFile::from_source(PathBuf::from(p), t))
+        .collect();
+    let index = ItemIndex::build(&sources);
+    c.bench_function(&format!("cfg_dataflow/{CORPUS_FILES}files/{bytes}B"), |b| {
+        b.iter(|| {
+            let mut solved = 0usize;
+            for f in &index.functions {
+                let Some(body) = f.body else { continue };
+                let Some(src) = sources
+                    .iter()
+                    .find(|s| s.rel_path.to_string_lossy().replace('\\', "/") == f.file)
+                else {
+                    continue;
+                };
+                let cfg = Cfg::build(black_box(&src.tokens), body);
+                let df = Dataflow::solve(&cfg, &src.tokens, &f.params);
+                solved += df.defs.len();
+            }
+            assert!(solved > 0, "corpus produced no definitions");
+            solved
+        })
+    });
+}
+
+criterion_group!(benches, scan_throughput, cfg_dataflow_throughput);
 criterion_main!(benches);

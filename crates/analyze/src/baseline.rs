@@ -32,7 +32,7 @@ pub const BASELINE_FILE: &str = "analyze-baseline.json";
 pub const SCHEMA_V2: &str = "hyperpower-analyze-baseline/v2";
 
 /// Provenance stamped on buckets accepted by this analyzer generation.
-pub const PROVENANCE: &str = "analyzer-v3";
+pub const PROVENANCE: &str = "analyzer-v4";
 
 /// Provenance stamped on buckets migrated from a v1 baseline file.
 pub const PROVENANCE_MIGRATED: &str = "migrated-v1";

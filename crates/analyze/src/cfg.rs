@@ -1,0 +1,494 @@
+//! Per-function control-flow graphs lowered from the token stream.
+//!
+//! [`Cfg::build`] turns one function body (a token range from
+//! [`crate::index::FnItem::body`]) into basic blocks connected by edges:
+//! `if`/`else if`/`else` chains and `match` expressions fork into one
+//! block per arm and re-join; `for`/`while`/`loop` bodies get back edges
+//! through a header block; `return` and the `?` operator add edges to the
+//! synthetic exit block. Each block carries the *straight-line* token
+//! segments that execute in it — disjoint across blocks — which is what
+//! the worklist solver in [`crate::dataflow`] consumes. Branches are
+//! additionally recorded with their full arm token spans (overlapping the
+//! nested blocks on purpose) so arm-local scans like R18's RNG-draw
+//! counting can see everything an arm executes.
+//!
+//! The lowering is deliberately approximate where precision buys nothing
+//! for the rules built on top: `break`/`continue` fall through to the
+//! next statement (over-approximating reachability, which only ever makes
+//! the dataflow *more* conservative), and closure bodies are lowered as
+//! if inline in the enclosing function.
+
+use crate::token::{matching_close, Token, TokenKind};
+
+/// What kind of fork a [`Branch`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchKind {
+    /// An `if` / `else if` / `else` chain (one branch for the whole chain).
+    If,
+    /// A `match` expression (one arm span per match arm).
+    Match,
+}
+
+/// One multi-way fork in a function body, with the full token span of
+/// each arm (inclusive of nested control flow).
+#[derive(Debug, Clone)]
+pub struct Branch {
+    /// The fork kind.
+    pub kind: BranchKind,
+    /// 1-based line of the `if`/`match` keyword.
+    pub line: usize,
+    /// Inclusive token ranges of each arm body (braces included for
+    /// block arms).
+    pub arms: Vec<(usize, usize)>,
+    /// For [`BranchKind::If`]: whether a final `else` exists. When it
+    /// does not, control may skip every arm (an implicit empty arm).
+    pub has_else: bool,
+}
+
+impl Branch {
+    /// The inclusive token span covering every arm of this branch.
+    pub fn span(&self) -> (usize, usize) {
+        let lo = self.arms.iter().map(|a| a.0).min().unwrap_or(0);
+        let hi = self.arms.iter().map(|a| a.1).max().unwrap_or(0);
+        (lo, hi)
+    }
+}
+
+/// One basic block: an ordered list of disjoint straight-line token
+/// segments plus successor edges.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Half-open `[start, end)` token ranges executed in this block, in
+    /// order. Disjoint across all blocks of the CFG.
+    pub segments: Vec<(usize, usize)>,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+}
+
+/// A per-function control-flow graph over the file's token stream.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// The blocks; `blocks[entry]` is the function entry.
+    pub blocks: Vec<Block>,
+    /// Every `if`/`match` fork found, in source order.
+    pub branches: Vec<Branch>,
+    /// Entry block index.
+    pub entry: usize,
+    /// Synthetic exit block index (`return` / `?` / fall-off edges).
+    pub exit: usize,
+}
+
+impl Cfg {
+    /// Lowers the body `{ … }` at token range `body` (inclusive braces)
+    /// into a CFG.
+    pub fn build(toks: &[Token], body: (usize, usize)) -> Cfg {
+        let mut b = Builder {
+            toks,
+            blocks: vec![Block::default(), Block::default()],
+            branches: Vec::new(),
+        };
+        let last = b.lower(body.0 + 1, body.1, 0);
+        b.blocks[last].succs.push(1);
+        Cfg {
+            blocks: b.blocks,
+            branches: b.branches,
+            entry: 0,
+            exit: 1,
+        }
+    }
+
+    /// Predecessor lists, computed from the successor edges.
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, block) in self.blocks.iter().enumerate() {
+            for &s in &block.succs {
+                preds[s].push(i);
+            }
+        }
+        preds
+    }
+
+    /// The block whose segments contain token index `at`, if any.
+    pub fn block_at(&self, at: usize) -> Option<usize> {
+        self.blocks.iter().position(|b| {
+            b.segments
+                .iter()
+                .any(|&(start, end)| start <= at && at < end)
+        })
+    }
+}
+
+struct Builder<'a> {
+    toks: &'a [Token],
+    blocks: Vec<Block>,
+    branches: Vec<Branch>,
+}
+
+impl Builder<'_> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn seg(&mut self, block: usize, start: usize, end: usize) {
+        if start < end {
+            self.blocks[block].segments.push((start, end));
+        }
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    /// Lowers tokens in `[start, end)` starting in block `cur`; returns
+    /// the block where control continues afterwards.
+    fn lower(&mut self, start: usize, end: usize, mut cur: usize) -> usize {
+        let mut seg_start = start;
+        let mut i = start;
+        while i < end {
+            let t = &self.toks[i];
+            if t.kind == TokenKind::Ident {
+                // `match x { … }` in expression position only: a `match`
+                // preceded by `.` is a method/field named `match` (not
+                // legal Rust, but stay safe) and `::` a path segment.
+                let prefixed =
+                    i > 0 && (self.toks[i - 1].is_punct(".") || self.toks[i - 1].is_punct("::"));
+                if !prefixed {
+                    match t.text.as_str() {
+                        "if" => {
+                            self.seg(cur, seg_start, i);
+                            let (join, after) = self.lower_if_chain(i, end, cur);
+                            cur = join;
+                            i = after;
+                            seg_start = after;
+                            continue;
+                        }
+                        "match" => {
+                            if let Some((join, after)) = self.lower_match(i, end, cur) {
+                                self.seg(cur, seg_start, i);
+                                // The scrutinee tokens run in `cur`.
+                                self.seg(cur, i, self.match_open(i, end).unwrap_or(i));
+                                cur = join;
+                                i = after;
+                                seg_start = after;
+                                continue;
+                            }
+                        }
+                        "for" | "while" | "loop" => {
+                            if let Some((join, after)) = self.lower_loop(i, end, cur) {
+                                self.seg(cur, seg_start, i);
+                                cur = join;
+                                i = after;
+                                seg_start = after;
+                                continue;
+                            }
+                        }
+                        "return" => {
+                            // The return expression still executes here;
+                            // the edge to exit is added when the statement
+                            // ends. Approximation: keep scanning — code
+                            // after `return` is dead but harmless to scan.
+                            self.edge(cur, 1);
+                        }
+                        _ => {}
+                    }
+                }
+            } else if t.is_punct("?") {
+                self.edge(cur, 1);
+            }
+            i += 1;
+        }
+        self.seg(cur, seg_start, end);
+        cur
+    }
+
+    /// The opening brace of the `match` body, scanning past the scrutinee.
+    fn match_open(&self, kw: usize, end: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for j in kw + 1..end {
+            let t = &self.toks[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if t.is_punct("{") && depth == 0 {
+                return Some(j);
+            } else if t.is_punct(";") && depth == 0 {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Lowers the full `if` / `else if` / `else` chain whose `if` keyword
+    /// sits at `kw`. Returns `(join block, index after the chain)`.
+    fn lower_if_chain(&mut self, kw: usize, end: usize, cur: usize) -> (usize, usize) {
+        let join = self.new_block();
+        let line = self.toks[kw].line;
+        let mut arms = Vec::new();
+        let mut has_else = false;
+        let mut i = kw;
+        loop {
+            // `i` is at an `if` keyword: condition runs to the body brace.
+            let Some(open) = self.match_open(i, end) else {
+                // Malformed / truncated: treat as straight-line.
+                self.edge(cur, join);
+                return (join, i + 1);
+            };
+            let Some(close) = matching_close(self.toks, open, "{", "}") else {
+                self.edge(cur, join);
+                return (join, open + 1);
+            };
+            arms.push((open, close));
+            let arm = self.new_block();
+            self.edge(cur, arm);
+            // Condition tokens run in the arm block so `if let` bindings
+            // reach the arm body.
+            self.seg(arm, i + 1, open);
+            let last = self.lower(open + 1, close, arm);
+            self.edge(last, join);
+
+            let mut j = close + 1;
+            if j < end && self.toks[j].is_ident("else") {
+                j += 1;
+                if j < end && self.toks[j].is_ident("if") {
+                    i = j;
+                    continue;
+                }
+                // Final `else { … }`.
+                if j < end && self.toks[j].is_punct("{") {
+                    if let Some(ec) = matching_close(self.toks, j, "{", "}") {
+                        arms.push((j, ec));
+                        has_else = true;
+                        let arm = self.new_block();
+                        self.edge(cur, arm);
+                        let last = self.lower(j + 1, ec, arm);
+                        self.edge(last, join);
+                        j = ec + 1;
+                    }
+                }
+                self.finish_branch(BranchKind::If, line, arms, has_else, cur, join);
+                return (join, j);
+            }
+            self.finish_branch(BranchKind::If, line, arms, false, cur, join);
+            return (join, j);
+        }
+    }
+
+    fn finish_branch(
+        &mut self,
+        kind: BranchKind,
+        line: usize,
+        arms: Vec<(usize, usize)>,
+        has_else: bool,
+        cur: usize,
+        join: usize,
+    ) {
+        if !has_else && kind == BranchKind::If {
+            // Control may skip every arm.
+            self.edge(cur, join);
+        }
+        self.branches.push(Branch {
+            kind,
+            line,
+            arms,
+            has_else,
+        });
+    }
+
+    /// Lowers the `match` at `kw`. Returns `(join, index after)`.
+    fn lower_match(&mut self, kw: usize, end: usize, cur: usize) -> Option<(usize, usize)> {
+        let open = self.match_open(kw, end)?;
+        let close = matching_close(self.toks, open, "{", "}")?;
+        let join = self.new_block();
+        let mut arms = Vec::new();
+        let mut i = open + 1;
+        while i < close {
+            // Pattern (and optional guard) up to the top-level `=>`.
+            let pat_start = i;
+            let mut depth = 0i32;
+            let mut arrow = None;
+            while i < close {
+                let t = &self.toks[i];
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                    depth -= 1;
+                } else if t.is_punct("=>") && depth == 0 {
+                    arrow = Some(i);
+                    break;
+                }
+                i += 1;
+            }
+            let arrow = arrow?;
+            // Arm body: a `{ … }` block, or an expression up to the
+            // top-level `,` (or the match close).
+            let body_start = arrow + 1;
+            let (body_end_incl, next) =
+                if self.toks.get(body_start).is_some_and(|t| t.is_punct("{")) {
+                    let bc = matching_close(self.toks, body_start, "{", "}")?;
+                    let mut n = bc + 1;
+                    if n < close && self.toks[n].is_punct(",") {
+                        n += 1;
+                    }
+                    (bc, n)
+                } else {
+                    let mut depth = 0i32;
+                    let mut j = body_start;
+                    while j < close {
+                        let t = &self.toks[j];
+                        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                            depth += 1;
+                        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                            depth -= 1;
+                        } else if t.is_punct(",") && depth == 0 {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    (j.saturating_sub(1).max(body_start), (j + 1).min(close))
+                };
+            arms.push((body_start, body_end_incl));
+            let arm = self.new_block();
+            self.edge(cur, arm);
+            // Pattern bindings reach the arm body.
+            self.seg(arm, pat_start, arrow);
+            let last = if self.toks[body_start].is_punct("{") {
+                self.lower(body_start + 1, body_end_incl, arm)
+            } else {
+                self.lower(body_start, body_end_incl + 1, arm)
+            };
+            self.edge(last, join);
+            i = next;
+        }
+        if arms.is_empty() {
+            // `match never {}` — uninhabited scrutinee.
+            self.edge(cur, join);
+        }
+        self.branches.push(Branch {
+            kind: BranchKind::Match,
+            line: self.toks[kw].line,
+            arms,
+            has_else: true,
+        });
+        Some((join, close + 1))
+    }
+
+    /// Lowers the `for`/`while`/`loop` at `kw`. Returns `(join, after)`.
+    fn lower_loop(&mut self, kw: usize, end: usize, cur: usize) -> Option<(usize, usize)> {
+        let open = if self.toks[kw].is_ident("loop") {
+            let j = kw + 1;
+            if self.toks.get(j).is_some_and(|t| t.is_punct("{")) {
+                j
+            } else {
+                return None;
+            }
+        } else {
+            self.match_open(kw, end)?
+        };
+        let close = matching_close(self.toks, open, "{", "}")?;
+        let header = self.new_block();
+        let body = self.new_block();
+        let join = self.new_block();
+        self.edge(cur, header);
+        // Header tokens (`for pat in iter` / `while cond`) run in the
+        // header block, so loop-variable defs reach the body.
+        self.seg(header, kw, open);
+        self.edge(header, body);
+        self.edge(header, join);
+        let last = self.lower(open + 1, close, body);
+        self.edge(last, header);
+        Some((join, close + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn build(src: &str) -> (Vec<Token>, Cfg) {
+        let toks = tokenize(src);
+        let open = toks.iter().position(|t| t.is_punct("{")).unwrap();
+        let close = matching_close(&toks, open, "{", "}").unwrap();
+        let cfg = Cfg::build(&toks, (open, close));
+        (toks, cfg)
+    }
+
+    #[test]
+    fn straight_line_body_is_one_block_plus_exit() {
+        let (_, cfg) = build("fn f() { let x = 1; let y = x; }");
+        assert_eq!(cfg.branches.len(), 0);
+        assert!(cfg.blocks[cfg.entry].succs.contains(&cfg.exit));
+    }
+
+    #[test]
+    fn if_without_else_records_skippable_branch() {
+        let (_, cfg) = build("fn f(c: bool) { if c { work(); } done(); }");
+        assert_eq!(cfg.branches.len(), 1);
+        let b = &cfg.branches[0];
+        assert_eq!(b.kind, BranchKind::If);
+        assert!(!b.has_else);
+        assert_eq!(b.arms.len(), 1);
+    }
+
+    #[test]
+    fn else_if_chain_is_one_branch_with_all_arms() {
+        let (_, cfg) =
+            build("fn f(c: u8) { if c == 0 { a(); } else if c == 1 { b(); } else { c(); } }");
+        assert_eq!(cfg.branches.len(), 1);
+        let b = &cfg.branches[0];
+        assert!(b.has_else);
+        assert_eq!(b.arms.len(), 3);
+    }
+
+    #[test]
+    fn match_arms_are_recorded_with_expression_and_block_bodies() {
+        let (_, cfg) = build("fn f(c: u8) { match c { 0 => a(), 1 => { b(); } _ => c(), } }");
+        assert_eq!(cfg.branches.len(), 1);
+        let b = &cfg.branches[0];
+        assert_eq!(b.kind, BranchKind::Match);
+        assert_eq!(b.arms.len(), 3);
+    }
+
+    #[test]
+    fn loop_body_has_back_edge_through_header() {
+        let (_, cfg) = build("fn f(xs: &[f64]) { for x in xs { use_it(x); } }");
+        // entry → header → body → header, header → join → exit.
+        let preds = cfg.preds();
+        let header = cfg.blocks[cfg.entry].succs[0];
+        assert!(preds[header].len() >= 2, "header needs entry + back edge");
+    }
+
+    #[test]
+    fn question_mark_and_return_edge_to_exit() {
+        let (_, cfg) = build("fn f() -> Result<(), E> { step()?; return Ok(()); }");
+        assert!(cfg.blocks[cfg.entry].succs.contains(&cfg.exit));
+    }
+
+    #[test]
+    fn segments_are_disjoint_across_blocks() {
+        let (toks, cfg) = build(
+            "fn f(c: bool, xs: &[f64]) { let mut s = 0.0; if c { for x in xs { s += x; } } else { s = 1.0; } end(s); }",
+        );
+        let mut covered = vec![0u8; toks.len()];
+        for b in &cfg.blocks {
+            for &(s, e) in &b.segments {
+                for c in covered.iter_mut().take(e).skip(s) {
+                    *c += 1;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c <= 1), "overlapping segments");
+    }
+
+    #[test]
+    fn nested_generics_in_signatures_do_not_derail_lowering() {
+        let (_, cfg) = build(
+            "fn f(m: Vec<Vec<u64>>) { let x: Vec<Vec<u64>> = m; if x.is_empty() { give_up(); } }",
+        );
+        assert_eq!(cfg.branches.len(), 1);
+    }
+}

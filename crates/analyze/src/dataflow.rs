@@ -1,0 +1,655 @@
+//! Reaching-definitions dataflow over [`crate::cfg`] CFGs.
+//!
+//! A small worklist solver: each block's straight-line segments are
+//! scanned for definitions (`let` bindings, assignments, loop variables,
+//! function parameters), each definition is abstracted into a per-rule
+//! value domain ([`AbstractValue`]), and the classic `IN = ∪ OUT[preds]`,
+//! `OUT = gen ∪ (IN − kill)` equations are iterated to a fixpoint. Rules
+//! then ask [`Dataflow::reaching`] which definitions of a variable can
+//! reach a given token — the def-use chains behind R15's safe-index
+//! proofs, R17's unit tracking, and anything later PRs build on top.
+//!
+//! The domain is deliberately shallow: enough to prove the facts the
+//! rules need (`i` ranges over `0..xs.len()`, `n` is the non-zero literal
+//! `4`, `p` came from `Watts(…)`) and nothing more. Unknown shapes map to
+//! [`AbstractValue::Other`], which every rule treats as "cannot prove" —
+//! approximation only ever loses proofs, never soundness.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+use crate::index::Param;
+use crate::token::{Token, TokenKind};
+
+/// What a definition binds, abstractly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbstractValue {
+    /// A literal integer (sign folded in).
+    Int(i128),
+    /// `seq.len()` / `self.seq.len()` for the named sequence.
+    LenOf(String),
+    /// A loop variable ranging over `0..seq.len()` — a proved in-bounds
+    /// index for `seq`.
+    RangeIndexOf(String),
+    /// `Name(…)` or `Name::assoc(…)` with an uppercase head — a
+    /// constructor, recorded by type name.
+    Ctor(String),
+    /// `name(…)` / `.name(…)` — a call, recorded by callee name.
+    Call(String),
+    /// A function parameter, recorded with its declared type tokens.
+    Param(String),
+    /// Anything else.
+    Other,
+}
+
+impl AbstractValue {
+    /// Whether this value is integer-typed as far as the domain can tell.
+    pub fn is_integer_evidence(&self) -> bool {
+        matches!(
+            self,
+            AbstractValue::Int(_) | AbstractValue::LenOf(_) | AbstractValue::RangeIndexOf(_)
+        )
+    }
+}
+
+/// One definition of a variable.
+#[derive(Debug, Clone)]
+pub struct Def {
+    /// The defined variable name.
+    pub var: String,
+    /// Token index where the definition takes effect.
+    pub at: usize,
+    /// 1-based source line of the definition.
+    pub line: usize,
+    /// The abstracted bound value.
+    pub value: AbstractValue,
+}
+
+/// The solved reaching-definitions facts for one function.
+#[derive(Debug, Clone)]
+pub struct Dataflow {
+    /// Every definition found, including parameter pseudo-defs.
+    pub defs: Vec<Def>,
+    /// Per block: def indices in program order.
+    block_defs: Vec<Vec<usize>>,
+    /// Per block: def indices reaching the block entry.
+    ins: Vec<BTreeSet<usize>>,
+}
+
+impl Dataflow {
+    /// Solves reaching definitions for one function body.
+    pub fn solve(cfg: &Cfg, toks: &[Token], params: &[Param]) -> Dataflow {
+        let mut defs: Vec<Def> = Vec::new();
+        let mut block_defs: Vec<Vec<usize>> = vec![Vec::new(); cfg.blocks.len()];
+
+        // Parameter pseudo-defs sit before every body token in the entry
+        // block, so they behave like ordinary defs (and later bindings of
+        // the same name kill them).
+        let body_open = cfg.blocks[cfg.entry]
+            .segments
+            .first()
+            .map_or(0, |&(s, _)| s.saturating_sub(1));
+        for p in params {
+            block_defs[cfg.entry].push(defs.len());
+            defs.push(Def {
+                var: p.name.clone(),
+                at: body_open,
+                line: toks.get(body_open).map_or(1, |t| t.line),
+                value: AbstractValue::Param(p.ty.clone()),
+            });
+        }
+
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            for &(s, e) in &block.segments {
+                scan_defs(toks, s, e, &mut defs, &mut block_defs[b]);
+            }
+        }
+
+        // gen/kill per block.
+        let n = cfg.blocks.len();
+        let mut gens: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        let mut killed_vars: Vec<BTreeSet<&str>> = vec![BTreeSet::new(); n];
+        for b in 0..n {
+            let mut last: std::collections::BTreeMap<&str, usize> = Default::default();
+            for &d in &block_defs[b] {
+                last.insert(defs[d].var.as_str(), d);
+                killed_vars[b].insert(defs[d].var.as_str());
+            }
+            gens[b] = last.values().copied().collect();
+        }
+
+        let preds = cfg.preds();
+        let mut ins: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        let mut outs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        let mut work: Vec<usize> = (0..n).collect();
+        while let Some(b) = work.pop() {
+            let mut inn = BTreeSet::new();
+            for &p in &preds[b] {
+                inn.extend(outs[p].iter().copied());
+            }
+            let mut out = gens[b].clone();
+            for &d in &inn {
+                if !killed_vars[b].contains(defs[d].var.as_str()) {
+                    out.insert(d);
+                }
+            }
+            ins[b] = inn;
+            if out != outs[b] {
+                outs[b] = out;
+                work.extend(cfg.blocks[b].succs.iter().copied());
+            }
+        }
+
+        Dataflow {
+            defs,
+            block_defs,
+            ins,
+        }
+    }
+
+    /// The definitions of `var` that can reach token index `at`.
+    ///
+    /// An empty answer means "nothing provable" (the variable is bound by
+    /// a pattern shape the scanner does not model, or `at` sits outside
+    /// the lowered region) — callers must treat it as unknown, not as
+    /// dead code.
+    pub fn reaching(&self, cfg: &Cfg, var: &str, at: usize) -> Vec<&Def> {
+        let Some(b) = cfg.block_at(at) else {
+            return Vec::new();
+        };
+        // A def earlier in the same block shadows everything inbound.
+        let mut local = None;
+        for &d in &self.block_defs[b] {
+            if self.defs[d].var == var && self.defs[d].at < at {
+                local = Some(d);
+            }
+        }
+        if let Some(d) = local {
+            return vec![&self.defs[d]];
+        }
+        self.ins[b]
+            .iter()
+            .filter(|&&d| self.defs[d].var == var)
+            .map(|&d| &self.defs[d])
+            .collect()
+    }
+}
+
+/// Scans one straight-line token segment `[s, e)` for definitions.
+fn scan_defs(toks: &[Token], s: usize, e: usize, defs: &mut Vec<Def>, block_defs: &mut Vec<usize>) {
+    let mut i = s;
+    while i < e {
+        let t = &toks[i];
+        if t.is_ident("let") {
+            i = scan_let(toks, i, e, defs, block_defs);
+            continue;
+        }
+        if t.is_ident("for") {
+            i = scan_for(toks, i, e, defs, block_defs);
+            continue;
+        }
+        // Plain assignment / compound assignment to a simple name.
+        if t.kind == TokenKind::Ident
+            && !is_keyword(&t.text)
+            && (i == s || !(toks[i - 1].is_punct(".") || toks[i - 1].is_punct("::")))
+        {
+            if let Some(op) = toks.get(i + 1) {
+                let compound = matches!(
+                    op.text.as_str(),
+                    "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>="
+                ) && op.kind == TokenKind::Punct;
+                if op.is_punct("=") || compound {
+                    let end = stmt_end(toks, i + 2, e);
+                    let value = if compound {
+                        AbstractValue::Other
+                    } else {
+                        classify_rhs(&toks[i + 2..end])
+                    };
+                    push_def(toks, i, t.text.clone(), value, defs, block_defs);
+                    i = end;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Scans a `let` statement starting at the `let` keyword; returns the
+/// index to resume from.
+fn scan_let(
+    toks: &[Token],
+    kw: usize,
+    e: usize,
+    defs: &mut Vec<Def>,
+    block_defs: &mut Vec<usize>,
+) -> usize {
+    // Pattern variables: lowercase-head idents up to the top-level `=`,
+    // `;`, or a type annotation `:` (skipping `mut`/`ref`; uppercase
+    // heads are constructors like `Some`).
+    let mut vars: Vec<(usize, String)> = Vec::new();
+    let mut depth = 0i32;
+    let mut eq = None;
+    let mut in_type = false;
+    let mut j = kw + 1;
+    while j < e {
+        let t = &toks[j];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if t.is_punct(":") && depth == 0 {
+            in_type = true;
+        } else if t.is_punct("=") && depth == 0 {
+            eq = Some(j);
+            break;
+        } else if t.is_punct(";") && depth == 0 {
+            break;
+        } else if !in_type
+            && t.kind == TokenKind::Ident
+            && !is_keyword(&t.text)
+            && t.text != "_"
+            && t.text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_lowercase() || c == '_')
+            && !toks.get(j + 1).is_some_and(|n| n.is_punct("("))
+        {
+            vars.push((j, t.text.clone()));
+        }
+        j += 1;
+    }
+    let Some(eq) = eq else {
+        // `let x;` — a declaration without a value; treat as no def.
+        return j + 1;
+    };
+    let end = stmt_end(toks, eq + 1, e);
+    let value = if vars.len() == 1 {
+        classify_rhs(&toks[eq + 1..end])
+    } else {
+        AbstractValue::Other
+    };
+    for (at, name) in vars {
+        push_def(toks, at, name, value.clone(), defs, block_defs);
+    }
+    end
+}
+
+/// Scans a `for PAT in ITER` header; returns the resume index.
+fn scan_for(
+    toks: &[Token],
+    kw: usize,
+    e: usize,
+    defs: &mut Vec<Def>,
+    block_defs: &mut Vec<usize>,
+) -> usize {
+    // Find the `in` at top level.
+    let mut depth = 0i32;
+    let mut in_at = None;
+    for (j, t) in toks.iter().enumerate().take(e).skip(kw + 1) {
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if t.is_ident("in") && depth == 0 {
+            in_at = Some(j);
+            break;
+        } else if t.is_punct("{") && depth == 0 {
+            break;
+        }
+    }
+    let Some(in_at) = in_at else { return kw + 1 };
+
+    let iter_end = e; // header segments end at the body brace already
+    let simple_var = (in_at == kw + 2 || (in_at == kw + 3 && toks[kw + 1].is_ident("mut")))
+        .then(|| &toks[in_at - 1])
+        .filter(|t| t.kind == TokenKind::Ident && !is_keyword(&t.text))
+        .map(|t| t.text.clone());
+
+    if let Some(var) = simple_var {
+        let value = classify_range_iter(&toks[in_at + 1..iter_end]);
+        push_def(toks, in_at - 1, var, value, defs, block_defs);
+    } else {
+        // Destructuring pattern: every lowercase-head ident binds Other.
+        for j in kw + 1..in_at {
+            let t = &toks[j];
+            if t.kind == TokenKind::Ident
+                && !is_keyword(&t.text)
+                && t.text != "_"
+                && t.text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_')
+            {
+                push_def(
+                    toks,
+                    j,
+                    t.text.clone(),
+                    AbstractValue::Other,
+                    defs,
+                    block_defs,
+                );
+            }
+        }
+    }
+    in_at + 1
+}
+
+fn push_def(
+    toks: &[Token],
+    at: usize,
+    var: String,
+    value: AbstractValue,
+    defs: &mut Vec<Def>,
+    block_defs: &mut Vec<usize>,
+) {
+    block_defs.push(defs.len());
+    defs.push(Def {
+        var,
+        at,
+        line: toks[at].line,
+        value,
+    });
+}
+
+/// First top-level `;` in `[from, e)`, or `e`.
+fn stmt_end(toks: &[Token], from: usize, e: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(e).skip(from) {
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        } else if t.is_punct(";") && depth <= 0 {
+            return j;
+        }
+    }
+    e
+}
+
+/// Abstracts the right-hand side of a binding.
+fn classify_rhs(r: &[Token]) -> AbstractValue {
+    // Literal integers, with unary minus.
+    if r.len() == 1 && r[0].kind == TokenKind::Int {
+        return parse_int(&r[0].text).map_or(AbstractValue::Other, AbstractValue::Int);
+    }
+    if r.len() == 2 && r[0].is_punct("-") && r[1].kind == TokenKind::Int {
+        return parse_int(&r[1].text).map_or(AbstractValue::Other, |v| AbstractValue::Int(-v));
+    }
+    // `seq.len()` / `self.seq.len()`.
+    if let Some(seq) = match_len_of(r) {
+        return AbstractValue::LenOf(seq);
+    }
+    // `Name(…)` / `Name::assoc(…)` constructor with uppercase head.
+    if r.len() >= 2
+        && r[0].kind == TokenKind::Ident
+        && r[0].text.chars().next().is_some_and(|c| c.is_uppercase())
+    {
+        if r[1].is_punct("(") {
+            return AbstractValue::Ctor(r[0].text.clone());
+        }
+        if r.len() >= 4
+            && r[1].is_punct("::")
+            && r[2].kind == TokenKind::Ident
+            && r[3].is_punct("(")
+        {
+            return AbstractValue::Ctor(r[0].text.clone());
+        }
+    }
+    // First call head: `name(…)`, `path::name(…)`, `recv.name(…)`.
+    let mut k = 0;
+    while k + 1 < r.len() {
+        if r[k].kind == TokenKind::Ident && r[k + 1].is_punct("(") && !is_keyword(&r[k].text) {
+            return AbstractValue::Call(r[k].text.clone());
+        }
+        k += 1;
+    }
+    AbstractValue::Other
+}
+
+/// Recognises `xs.len()` and `self.xs.len()`, returning `xs`.
+fn match_len_of(r: &[Token]) -> Option<String> {
+    let base = if r.len() == 5 && r[0].kind == TokenKind::Ident {
+        0
+    } else if r.len() == 7 && r[0].is_ident("self") && r[1].is_punct(".") {
+        2
+    } else {
+        return None;
+    };
+    let seq = &r[base];
+    if seq.kind == TokenKind::Ident
+        && r[base + 1].is_punct(".")
+        && r[base + 2].is_ident("len")
+        && r[base + 3].is_punct("(")
+        && r[base + 4].is_punct(")")
+    {
+        Some(seq.text.clone())
+    } else {
+        None
+    }
+}
+
+/// Abstracts a `for` iterable: `0..seq.len()` (exclusive!) proves the
+/// loop variable in-bounds for `seq`; everything else is [`AbstractValue::Other`].
+fn classify_range_iter(r: &[Token]) -> AbstractValue {
+    if r.len() >= 3
+        && r[0].kind == TokenKind::Int
+        && parse_int(&r[0].text) == Some(0)
+        && r[1].is_punct("..")
+    {
+        if let Some(seq) = match_len_of(&r[2..]) {
+            return AbstractValue::RangeIndexOf(seq);
+        }
+    }
+    AbstractValue::Other
+}
+
+/// Parses a Rust integer literal (underscores, radix prefixes, type
+/// suffixes).
+fn parse_int(text: &str) -> Option<i128> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    let (digits, radix): (&str, u32) =
+        if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+            (h, 16)
+        } else if let Some(o) = t.strip_prefix("0o") {
+            (o, 8)
+        } else if let Some(b) = t.strip_prefix("0b") {
+            (b, 2)
+        } else {
+            (&t, 10)
+        };
+    let end = digits
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map_or(digits.len(), |(i, _)| i);
+    if end == 0 {
+        return None;
+    }
+    i128::from_str_radix(&digits[..end], radix).ok()
+}
+
+/// Rust keywords the def scanner must never treat as variable names.
+/// Shared with the flow-sensitive rules (e.g. R15's index-site filter).
+pub(crate) fn is_df_keyword(s: &str) -> bool {
+    is_keyword(s)
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "Self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "async"
+            | "await"
+            | "dyn"
+            | "box"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{matching_close, tokenize};
+
+    fn solve(src: &str) -> (Vec<Token>, Cfg, Dataflow) {
+        let toks = tokenize(src);
+        let open = toks.iter().position(|t| t.is_punct("{")).unwrap();
+        let close = matching_close(&toks, open, "{", "}").unwrap();
+        let cfg = Cfg::build(&toks, (open, close));
+        let df = Dataflow::solve(&cfg, &toks, &[]);
+        (toks, cfg, df)
+    }
+
+    fn token_of(toks: &[Token], text: &str, nth: usize) -> usize {
+        toks.iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == text)
+            .map(|(i, _)| i)
+            .nth(nth)
+            .unwrap()
+    }
+
+    #[test]
+    fn straight_line_let_reaches_use() {
+        let (toks, cfg, df) = solve("fn f() { let n = 4; emit(n); }");
+        let use_at = token_of(&toks, "n", 1);
+        let r = df.reaching(&cfg, "n", use_at);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].value, AbstractValue::Int(4));
+    }
+
+    #[test]
+    fn rebinding_shadows_earlier_def_in_same_block() {
+        let (toks, cfg, df) = solve("fn f() { let n = 4; let n = 0; emit(n); }");
+        let use_at = token_of(&toks, "n", 2);
+        let r = df.reaching(&cfg, "n", use_at);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].value, AbstractValue::Int(0));
+    }
+
+    #[test]
+    fn both_branch_defs_reach_the_join() {
+        let (toks, cfg, df) =
+            solve("fn f(c: bool) { let mut n = 1; if c { n = 2; } else { n = 3; } emit(n); }");
+        let use_at = token_of(&toks, "n", 3);
+        let r = df.reaching(&cfg, "n", use_at);
+        let mut vals: Vec<_> = r.iter().map(|d| d.value.clone()).collect();
+        vals.sort_by_key(|v| format!("{v:?}"));
+        assert_eq!(
+            vals,
+            vec![AbstractValue::Int(2), AbstractValue::Int(3)],
+            "branch defs must both reach the join (and kill the initial 1)"
+        );
+    }
+
+    #[test]
+    fn if_without_else_keeps_the_inbound_def() {
+        let (toks, cfg, df) = solve("fn f(c: bool) { let mut n = 1; if c { n = 2; } emit(n); }");
+        let use_at = token_of(&toks, "n", 2);
+        let r = df.reaching(&cfg, "n", use_at);
+        assert_eq!(r.len(), 2, "skipping the arm keeps n = 1 live");
+    }
+
+    #[test]
+    fn range_loop_var_is_proved_index_of_sequence() {
+        let (toks, cfg, df) = solve("fn f(xs: &[f64]) { for i in 0..xs.len() { touch(xs[i]); } }");
+        let use_at = token_of(&toks, "i", 1);
+        let r = df.reaching(&cfg, "i", use_at);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].value, AbstractValue::RangeIndexOf("xs".into()));
+    }
+
+    #[test]
+    fn inclusive_range_is_not_a_proof() {
+        let (toks, cfg, df) = solve("fn f(xs: &[f64]) { for i in 0..=xs.len() { touch(i); } }");
+        let use_at = token_of(&toks, "i", 1);
+        let r = df.reaching(&cfg, "i", use_at);
+        assert_eq!(r.len(), 1);
+        assert_eq!(
+            r[0].value,
+            AbstractValue::Other,
+            "0..=len can go out of bounds"
+        );
+    }
+
+    #[test]
+    fn len_binding_is_tracked() {
+        let (toks, cfg, df) = solve("fn f(xs: &[f64]) { let n = xs.len(); emit(n); }");
+        let use_at = token_of(&toks, "n", 1);
+        let r = df.reaching(&cfg, "n", use_at);
+        assert_eq!(r[0].value, AbstractValue::LenOf("xs".into()));
+    }
+
+    #[test]
+    fn unit_constructor_is_tracked_by_type_name() {
+        let (toks, cfg, df) = solve("fn f() { let p = Watts(2.5); emit(p); }");
+        let use_at = token_of(&toks, "p", 1);
+        let r = df.reaching(&cfg, "p", use_at);
+        assert_eq!(r[0].value, AbstractValue::Ctor("Watts".into()));
+        let (toks, cfg, df) = solve("fn g() { let m = Mebibytes::from_gib(1.0); emit(m); }");
+        let use_at = token_of(&toks, "m", 1);
+        let r = df.reaching(&cfg, "m", use_at);
+        assert_eq!(r[0].value, AbstractValue::Ctor("Mebibytes".into()));
+    }
+
+    #[test]
+    fn params_are_pseudo_defs_killed_by_rebinding() {
+        let toks = tokenize("fn f(n: usize) { emit(n); let n = 1; emit(n); }");
+        let open = toks.iter().position(|t| t.is_punct("{")).unwrap();
+        let close = matching_close(&toks, open, "{", "}").unwrap();
+        let cfg = Cfg::build(&toks, (open, close));
+        let params = vec![Param {
+            name: "n".into(),
+            ty: "usize".into(),
+        }];
+        let df = Dataflow::solve(&cfg, &toks, &params);
+        let first_use = token_of(&toks, "n", 1);
+        let r = df.reaching(&cfg, "n", first_use);
+        assert_eq!(r[0].value, AbstractValue::Param("usize".into()));
+        let second_use = token_of(&toks, "n", 3);
+        let r = df.reaching(&cfg, "n", second_use);
+        assert_eq!(r[0].value, AbstractValue::Int(1));
+    }
+
+    #[test]
+    fn loop_carried_defs_flow_around_the_back_edge() {
+        let (toks, cfg, df) = solve(
+            "fn f(xs: &[u64]) { let mut acc = 0; for x in xs { acc = step(acc, x); } emit(acc); }",
+        );
+        let use_at = token_of(&toks, "acc", 3);
+        let r = df.reaching(&cfg, "acc", use_at);
+        assert_eq!(r.len(), 2, "initial 0 and the loop-carried call both reach");
+    }
+}

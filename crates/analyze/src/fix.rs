@@ -1,6 +1,6 @@
 //! `--fix`: mechanical, token-aware source rewrites.
 //!
-//! Three fix families are supported, all safe enough to apply blindly:
+//! Four fix families are supported, all safe enough to apply blindly:
 //!
 //! * **R6 unit suffixes** — a *non-`pub`* `name: f64` declaration whose
 //!   name is a physical quantity without a unit suffix is renamed to the
@@ -20,6 +20,13 @@
 //! * **allow-marker normalization** — `// analyze::allow(r4,R1, r1)`
 //!   becomes `// analyze::allow(R1, R4)` (uppercase, deduplicated,
 //!   sorted, canonical spacing), keeping the escape hatch greppable.
+//! * **R16 stale-allow removal** — grants the analysis proved unused
+//!   (and ids naming unknown rules) are deleted from their markers;
+//!   a marker left with no ids is removed outright, and a line left
+//!   holding only an empty comment is dropped. Staleness is a
+//!   *workspace-level* fact (a marker is live exactly when some rule
+//!   consumed it during a full analysis), so `apply_fixes` runs the
+//!   analyzer once over every file before rewriting any of them.
 //!
 //! Renames operate on token positions from the stripped text; the strip
 //! pass blanks characters one-for-one, so token columns map directly onto
@@ -28,7 +35,7 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use crate::rules::{collections, units};
+use crate::rules::{collections, stale_allow, units};
 use crate::scan::{rust_files, SourceFile};
 use crate::token::TokenKind;
 use crate::{Error, Result, Rule, LIBRARY_CRATES};
@@ -42,12 +49,19 @@ pub struct FixReport {
     pub renames: usize,
     /// Allow markers rewritten into canonical form.
     pub markers_normalized: usize,
+    /// Stale allow ids removed (R16).
+    pub allows_removed: usize,
 }
 
 /// Applies all fixes to the library crates under `root`, writing changed
 /// files back to disk.
 pub fn apply_fixes(root: &Path) -> Result<FixReport> {
     let mut report = FixReport::default();
+    // Load every file up front and run one full analysis: allow-marker
+    // usage — and therefore staleness (R16) — is a workspace-level fact.
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut texts: Vec<String> = Vec::new();
+    let mut files: Vec<SourceFile> = Vec::new();
     for krate in LIBRARY_CRATES {
         let src = root.join("crates").join(krate).join("src");
         if !src.is_dir() {
@@ -59,17 +73,29 @@ pub fn apply_fixes(root: &Path) -> Result<FixReport> {
                 source,
             })?;
             let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-            let outcome = fix_source(rel, &text);
-            if let Some(fixed) = outcome.text {
-                std::fs::write(&path, fixed).map_err(|source| Error::Io {
-                    path: path.clone(),
-                    source,
-                })?;
-                report.files_changed += 1;
-            }
-            report.renames += outcome.renames;
-            report.markers_normalized += outcome.markers_normalized;
+            files.push(SourceFile::from_source(rel, &text));
+            texts.push(text);
+            paths.push(path);
         }
+    }
+    let _ = crate::analyze_files(&files, None);
+
+    for ((path, text), file) in paths.iter().zip(&texts).zip(&files) {
+        let mut stale: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for (line, id, _known) in stale_allow::stale_ids(file) {
+            stale.entry(line).or_default().push(id);
+        }
+        let outcome = fix_source_with(file.rel_path.clone(), text, &stale);
+        if let Some(fixed) = outcome.text {
+            std::fs::write(path, fixed).map_err(|source| Error::Io {
+                path: path.clone(),
+                source,
+            })?;
+            report.files_changed += 1;
+        }
+        report.renames += outcome.renames;
+        report.markers_normalized += outcome.markers_normalized;
+        report.allows_removed += outcome.allows_removed;
     }
     Ok(report)
 }
@@ -83,11 +109,102 @@ pub struct FileFix {
     pub renames: usize,
     /// Allow markers normalized in this file.
     pub markers_normalized: usize,
+    /// Stale allow ids removed from this file (R16).
+    pub allows_removed: usize,
 }
 
-/// Computes the fixed form of one file's source (pure; exposed for
-/// tests).
+/// Computes the fixed form of one file's source with no staleness facts
+/// (pure; exposed for tests). [`apply_fixes`] uses [`fix_source_with`] so
+/// R16 removals — which need a full-workspace analysis — apply too.
 pub fn fix_source(rel_path: PathBuf, text: &str) -> FileFix {
+    fix_source_with(rel_path, text, &BTreeMap::new())
+}
+
+/// Computes the fixed form of one file's source, additionally removing
+/// the stale allow ids in `stale` (1-based marker line -> ids), as
+/// reported by [`stale_allow::stale_ids`] on an analyzed workspace.
+pub fn fix_source_with(
+    rel_path: PathBuf,
+    text: &str,
+    stale: &BTreeMap<usize, Vec<String>>,
+) -> FileFix {
+    let (cleaned, allows_removed) = remove_stale_allow_ids(text, stale);
+    // The rename/normalize pipeline runs on the cleaned text so line
+    // numbers, marker scans and the R9 allow check all see the source
+    // that will actually be written.
+    let mut out = fix_pipeline(rel_path, &cleaned);
+    out.allows_removed = allows_removed;
+    if out.text.is_none() && cleaned != text {
+        out.text = Some(cleaned);
+    }
+    out
+}
+
+/// Deletes the stale ids from their marker lines. A marker with no ids
+/// left is removed; a line reduced to an empty comment (or to nothing) is
+/// dropped. Returns the cleaned text and the number of ids removed.
+fn remove_stale_allow_ids(text: &str, stale: &BTreeMap<usize, Vec<String>>) -> (String, usize) {
+    if stale.is_empty() {
+        return (text.to_string(), 0);
+    }
+    let mut removed = 0;
+    let mut out: Vec<String> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let Some(ids) = stale.get(&(idx + 1)) else {
+            out.push(raw.to_string());
+            continue;
+        };
+        let Some(start) = raw.find("analyze::allow(") else {
+            out.push(raw.to_string());
+            continue;
+        };
+        let ids_start = start + "analyze::allow(".len();
+        let Some(close) = raw[ids_start..].find(')').map(|c| c + ids_start) else {
+            out.push(raw.to_string());
+            continue;
+        };
+        let all: Vec<&str> = raw[ids_start..close]
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let kept: Vec<&str> = all
+            .iter()
+            .copied()
+            .filter(|s| !ids.iter().any(|r| r.eq_ignore_ascii_case(s)))
+            .collect();
+        removed += all.len() - kept.len();
+        if !kept.is_empty() {
+            out.push(format!(
+                "{}{}{}",
+                &raw[..ids_start],
+                kept.join(", "),
+                &raw[close..]
+            ));
+            continue;
+        }
+        // The whole marker goes; tidy what is left of the line.
+        let line = format!("{}{}", &raw[..start], &raw[close + 1..]);
+        let trimmed = line.trim_end();
+        let without_comment = trimmed
+            .strip_suffix("//")
+            .map(str::trim_end)
+            .unwrap_or(trimmed);
+        if without_comment.trim().is_empty() {
+            continue; // drop the now-empty line
+        }
+        out.push(without_comment.to_string());
+    }
+    let mut rebuilt = out.join("\n");
+    if text.ends_with('\n') {
+        rebuilt.push('\n');
+    }
+    (rebuilt, removed)
+}
+
+/// The rename + marker-normalization passes (everything except R16
+/// removal) over one file's source.
+fn fix_pipeline(rel_path: PathBuf, text: &str) -> FileFix {
     let file = SourceFile::from_source(rel_path, text);
     let toks = &file.tokens;
 
@@ -205,6 +322,7 @@ pub fn fix_source(rel_path: PathBuf, text: &str) -> FileFix {
         text: (rebuilt != text).then_some(rebuilt),
         renames: renames.len(),
         markers_normalized,
+        allows_removed: 0,
     }
 }
 
@@ -400,5 +518,74 @@ mod tests {
         let src = "pub fn f() {}\n\
              #[cfg(test)]\nmod t {\n    use std::collections::HashMap;\n    #[test]\n    fn ok() { let _m: HashMap<u64, u64> = HashMap::new(); }\n}\n";
         assert!(fix_core(src).text.is_none());
+    }
+
+    fn fix_stale(text: &str, stale: &[(usize, &str)]) -> FileFix {
+        let mut map: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for (line, id) in stale {
+            map.entry(*line).or_default().push((*id).to_string());
+        }
+        fix_source_with(PathBuf::from("crates/x/src/lib.rs"), text, &map)
+    }
+
+    #[test]
+    fn stale_removal_drops_one_id_and_keeps_the_rest() {
+        let src = "// analyze::allow(R1, R4)\nfn f() {}\n";
+        let out = fix_stale(src, &[(1, "R4")]);
+        assert_eq!(out.allows_removed, 1);
+        assert_eq!(out.text.unwrap(), "// analyze::allow(R1)\nfn f() {}\n");
+    }
+
+    #[test]
+    fn stale_removal_drops_an_emptied_marker_line() {
+        let src = "fn f() {}\n// analyze::allow(R4)\nfn g() {}\n";
+        let out = fix_stale(src, &[(2, "R4")]);
+        assert_eq!(out.allows_removed, 1);
+        assert_eq!(out.text.unwrap(), "fn f() {}\nfn g() {}\n");
+    }
+
+    #[test]
+    fn stale_removal_strips_a_trailing_marker_comment() {
+        let src = "fn f(v: &[u8]) -> u8 {\n    v[0] // analyze::allow(R4)\n}\n";
+        let out = fix_stale(src, &[(2, "R4")]);
+        assert_eq!(out.allows_removed, 1);
+        assert_eq!(out.text.unwrap(), "fn f(v: &[u8]) -> u8 {\n    v[0]\n}\n");
+    }
+
+    #[test]
+    fn stale_removal_keeps_surrounding_prose() {
+        let src = "// kept for the fuzz run: analyze::allow(R2, R4)\nfn f() {}\n";
+        let out = fix_stale(src, &[(1, "R4")]);
+        assert_eq!(
+            out.text.unwrap(),
+            "// kept for the fuzz run: analyze::allow(R2)\nfn f() {}\n"
+        );
+    }
+
+    #[test]
+    fn stale_removal_composes_with_marker_normalization() {
+        // The surviving ids are re-canonicalized by the normal pipeline.
+        let src = "// analyze::allow(r4,  r1, R2)\nfn f() {}\n";
+        let out = fix_stale(src, &[(1, "R4")]);
+        assert_eq!(out.allows_removed, 1);
+        assert_eq!(out.text.unwrap(), "// analyze::allow(R1, R2)\nfn f() {}\n");
+    }
+
+    #[test]
+    fn stale_removal_is_idempotent() {
+        let src = "fn f() {}\n// analyze::allow(R4)\nfn g() {}\n";
+        let once = fix_stale(src, &[(2, "R4")]).text.unwrap();
+        // A second pass with no staleness facts changes nothing.
+        let again = fix_source(PathBuf::from("crates/x/src/lib.rs"), &once);
+        assert!(again.text.is_none());
+        assert_eq!(again.allows_removed, 0);
+    }
+
+    #[test]
+    fn no_stale_facts_is_a_no_op() {
+        let src = "// analyze::allow(R4)\nfn f() {}\n";
+        let out = fix_stale(src, &[]);
+        assert_eq!(out.allows_removed, 0);
+        assert!(out.text.is_none());
     }
 }

@@ -69,6 +69,9 @@ pub struct FnItem {
     pub in_test: bool,
     /// The parameters, in order.
     pub params: Vec<Param>,
+    /// The declared return type tokens joined with single spaces
+    /// (`Result < Vec < Sample > , ExecError >`), or empty for `()`.
+    pub ret: String,
     /// Token-index range of the body `{ … }` in the file's stream
     /// (inclusive braces), or `None` for body-less trait declarations.
     pub body: Option<(usize, usize)>,
@@ -347,6 +350,24 @@ fn parse_fn(
     let params_close = matching_close(toks, j, "(", ")")?;
     let params = parse_params(&toks[j + 1..params_close]);
 
+    // Declared return type: the tokens between `->` and the body brace,
+    // terminating semicolon, or `where` clause.
+    let mut ret = String::new();
+    if toks.get(params_close + 1).is_some_and(|t| t.is_punct("->")) {
+        let mut r = params_close + 2;
+        while r < toks.len() {
+            let t = &toks[r];
+            if t.is_punct("{") || t.is_punct(";") || t.is_ident("where") {
+                break;
+            }
+            if !ret.is_empty() {
+                ret.push(' ');
+            }
+            ret.push_str(&t.text);
+            r += 1;
+        }
+    }
+
     // Body: the first `{` after the parameter list, unless a `;` ends the
     // item first (trait method declaration).
     let mut k = params_close + 1;
@@ -377,6 +398,7 @@ fn parse_fn(
         is_pub: is_pub_before(toks, i),
         in_test: file.line_in_test(toks[i].line),
         params,
+        ret,
         body,
         calls: Vec::new(),
         body_idents: Vec::new(),

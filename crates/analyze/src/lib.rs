@@ -22,6 +22,11 @@
 //! | `R12` | concurrency primitives confined to the executor boundary; trace writes confined to the commit path |
 //! | `R13` | every semantic `ExecutorOptions` knob appears in the `CheckpointHeader` run identity |
 //! | `R14` | order-sensitive float reductions only in blessed helpers |
+//! | `R15` | no panicking construct (unchecked index, non-literal div/rem, `unreachable!`) reachable from the executor commit path |
+//! | `R16` | no stale `analyze::allow` markers (an allow that suppresses nothing is itself a finding) |
+//! | `R17` | no discarded workspace `Result`s, no unit newtypes dropped into bare mixed arithmetic |
+//! | `R18` | branch arms in trace-affecting code draw from the RNG equally often |
+//! | `R19` | the committed determinism certificate matches the proved facts |
 //!
 //! The pass tokenizes each file after blanking comments and string/char
 //! literals (see [`token`]), so matching is token-exact rather than
@@ -30,7 +35,12 @@
 //! the analyzer must stay dependency-free). On top of the per-file token
 //! rules, a workspace layer builds an item index ([`index`]: functions,
 //! impl owners, struct fields, `use` leaves) and a conservative call
-//! graph ([`graph`]) that power the cross-file rules R10/R11/R13.
+//! graph ([`graph`]) that power the cross-file rules R10/R11/R13, and a
+//! flow-sensitive layer lowers function bodies into per-function CFGs
+//! ([`cfg`]) solved by a reaching-definitions worklist engine
+//! ([`dataflow`]) that powers R15/R17/R18. R19 compares the committed
+//! determinism certificate ([`certificate`]) against the proved facts,
+//! and R16 closes the loop by flagging allow markers nothing consumed.
 //! Intentional exceptions are annotated in the source with
 //! `// analyze::allow(<rule>)`, which silences the named rule on that
 //! line and the next.
@@ -44,7 +54,10 @@
 //! baseline entry (the ratchet only tightens).
 
 pub mod baseline;
+pub mod certificate;
+pub mod cfg;
 pub mod corpus;
+pub mod dataflow;
 pub mod fix;
 pub mod graph;
 pub mod index;
@@ -53,7 +66,7 @@ pub mod sarif;
 mod scan;
 pub mod token;
 
-pub use scan::{rust_files, Line, SourceFile};
+pub use scan::{rust_files, AllowMarker, Line, SourceFile};
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -164,11 +177,26 @@ pub enum Rule {
     R13CheckpointHeader,
     /// R14: order-sensitive float reduction outside blessed helpers.
     R14OrderSensitiveReduction,
+    /// R15: panicking construct (unchecked index, non-literal integer
+    /// div/rem, `unreachable!`) reachable from the executor commit path.
+    R15PanicPath,
+    /// R16: an `analyze::allow` marker whose rule no longer fires in its
+    /// scope (or that names an unknown rule).
+    R16StaleAllow,
+    /// R17: discarded `Result` (`let _ =`) from a workspace call, or a
+    /// unit newtype flowing into unit-dropping arithmetic.
+    R17DiscardedResult,
+    /// R18: match/if arms in trace-affecting code whose RNG-draw counts
+    /// differ, misaligning the seeded stream across replays.
+    R18BranchDivergentRng,
+    /// R19: the committed determinism certificate diverges from what the
+    /// analysis proves.
+    R19DeterminismCertificate,
 }
 
 impl Rule {
     /// All rule kinds, in id order.
-    pub const ALL: [Rule; 14] = [
+    pub const ALL: [Rule; 19] = [
         Rule::R1NondeterministicEntropy,
         Rule::R2RawFloatEq,
         Rule::R3ErrorEnumExhaustive,
@@ -183,6 +211,11 @@ impl Rule {
         Rule::R12ConcurrencyBoundary,
         Rule::R13CheckpointHeader,
         Rule::R14OrderSensitiveReduction,
+        Rule::R15PanicPath,
+        Rule::R16StaleAllow,
+        Rule::R17DiscardedResult,
+        Rule::R18BranchDivergentRng,
+        Rule::R19DeterminismCertificate,
     ];
 
     /// Short id used in reports and `analyze::allow(..)` markers.
@@ -202,6 +235,11 @@ impl Rule {
             Rule::R12ConcurrencyBoundary => "R12",
             Rule::R13CheckpointHeader => "R13",
             Rule::R14OrderSensitiveReduction => "R14",
+            Rule::R15PanicPath => "R15",
+            Rule::R16StaleAllow => "R16",
+            Rule::R17DiscardedResult => "R17",
+            Rule::R18BranchDivergentRng => "R18",
+            Rule::R19DeterminismCertificate => "R19",
         }
     }
 
@@ -227,16 +265,25 @@ impl Rule {
             Rule::R12ConcurrencyBoundary => "concurrency-boundary",
             Rule::R13CheckpointHeader => "checkpoint-header-completeness",
             Rule::R14OrderSensitiveReduction => "order-sensitive-reduction",
+            Rule::R15PanicPath => "panic-path",
+            Rule::R16StaleAllow => "stale-allow",
+            Rule::R17DiscardedResult => "discarded-result",
+            Rule::R18BranchDivergentRng => "branch-divergent-rng",
+            Rule::R19DeterminismCertificate => "determinism-certificate",
         }
     }
 
     /// The default severity of the rule's findings. R14's narrow
     /// detector can flag sequential loops that are deterministic *today*
-    /// (the hazard is the future refactor), so it reports as a warning;
-    /// every other rule flags a present violation.
+    /// (the hazard is the future refactor), R16 flags dead escape hatches
+    /// (hygiene, not breakage), and R18's draw-count comparison cannot
+    /// see through helper calls — those three report as warnings; every
+    /// other rule flags a present violation.
     pub fn severity(self) -> Severity {
         match self {
-            Rule::R14OrderSensitiveReduction => Severity::Warning,
+            Rule::R14OrderSensitiveReduction
+            | Rule::R16StaleAllow
+            | Rule::R18BranchDivergentRng => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -281,6 +328,21 @@ impl Rule {
             }
             Rule::R14OrderSensitiveReduction => {
                 "loop float accumulation goes through blessed ordered-reduction helpers"
+            }
+            Rule::R15PanicPath => {
+                "code reachable from the executor commit path uses checked indexing/arithmetic and never unreachable!"
+            }
+            Rule::R16StaleAllow => {
+                "every analyze::allow marker still suppresses a live finding; dead escape hatches are removed"
+            }
+            Rule::R17DiscardedResult => {
+                "trace-affecting code never discards workspace Results or drops units via bare newtype arithmetic"
+            }
+            Rule::R18BranchDivergentRng => {
+                "branch arms in trace-affecting code draw from the RNG the same number of times"
+            }
+            Rule::R19DeterminismCertificate => {
+                "the committed determinism certificate matches the facts the analysis proves, byte for byte"
             }
         }
     }
@@ -378,38 +440,74 @@ pub(crate) fn json_escape(s: &str) -> String {
 /// the scratch workspaces the unit tests build), then runs both analysis
 /// phases via [`analyze_files`].
 pub fn analyze_workspace(root: &Path) -> Result<Report> {
+    analyze_workspace_with(root, false)
+}
+
+/// Like [`analyze_workspace`], with `include_self` additionally scanning
+/// the analyzer's own sources (`crates/analyze/src`, minus `main.rs`,
+/// which owns stdout) — the CI self-analysis job.
+pub fn analyze_workspace_with(root: &Path, include_self: bool) -> Result<Report> {
+    let files = load_workspace_files(root, include_self)?;
+    let committed = std::fs::read_to_string(root.join(certificate::CERTIFICATE_FILE)).ok();
+    Ok(analyze_files(&files, committed.as_deref()))
+}
+
+/// Generates the determinism certificate for the workspace at `root`
+/// (the bytes `--write-certificate` commits), or `None` when no
+/// trace-affecting crate exists.
+pub fn generate_certificate(root: &Path) -> Result<Option<String>> {
+    let files = load_workspace_files(root, false)?;
+    let findings = pre_certificate_findings(&files);
+    Ok(certificate::generate(&files, &findings))
+}
+
+fn load_workspace_files(root: &Path, include_self: bool) -> Result<Vec<SourceFile>> {
     let mut files = Vec::new();
-    for krate in LIBRARY_CRATES {
+    let mut crates: Vec<&str> = LIBRARY_CRATES.to_vec();
+    if include_self {
+        crates.push("analyze");
+    }
+    for krate in crates {
         let src = root.join("crates").join(krate).join("src");
         if !src.is_dir() {
             continue;
         }
         for path in scan::rust_files(&src)? {
+            if krate == "analyze" && path.file_name().is_some_and(|n| n == "main.rs") {
+                continue;
+            }
             files.push(SourceFile::load(root, &path)?);
         }
     }
-    Ok(analyze_files(files))
+    Ok(files)
 }
 
 /// Analyzes in-memory sources: `(workspace-relative path, text)` pairs.
 /// This is the disk-free twin of [`analyze_workspace`], used by the
 /// fixture corpus and the throughput bench; paths still determine rule
 /// scope (trace crates, roots, boundaries), so fixtures choose them
-/// deliberately.
+/// deliberately. A source whose path is `determinism-certificate.json`
+/// is not scanned as code — it plays the committed certificate, enabling
+/// R19 (without one, R19 stays off so corpora need no certificate).
 pub fn analyze_sources(sources: &[(&str, &str)]) -> Report {
-    let files = sources
+    let committed = sources
         .iter()
+        .find(|(path, _)| *path == certificate::CERTIFICATE_FILE)
+        .map(|(_, text)| *text);
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .filter(|(path, _)| *path != certificate::CERTIFICATE_FILE)
         .map(|(path, text)| SourceFile::from_source(PathBuf::from(path), text))
         .collect();
-    analyze_files(files)
+    analyze_files_inner(&files, committed, committed.is_some())
 }
 
-/// Both analysis phases over already-scanned files: per-file rules and
-/// R5 guard sites first, then the workspace layer (item index →
-/// confident call graph → cross-file rules R10/R11/R13).
-fn analyze_files(files: Vec<SourceFile>) -> Report {
+/// Every rule that runs before the certificate layer (R1–R15, R17, R18):
+/// the per-file rules, R5 guard sites, the symbol-graph rules, and the
+/// flow-sensitive rules.
+fn pre_certificate_findings(files: &[SourceFile]) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for file in &files {
+    for file in files {
         rules::apply_rules(file, &mut findings);
     }
     for (rel, what) in rules::GUARD_SITES {
@@ -421,9 +519,34 @@ fn analyze_files(files: Vec<SourceFile>) -> Report {
         }
     }
 
-    let index = index::ItemIndex::build(&files);
+    let index = index::ItemIndex::build(files);
     let graph = graph::CallGraph::build(&index);
-    rules::apply_workspace_rules(&files, &index, &graph, &mut findings);
+    rules::apply_workspace_rules(files, &index, &graph, &mut findings);
+    findings
+}
+
+/// All analysis phases over already-scanned files. `committed_cert` is
+/// the committed determinism certificate, if one exists on disk.
+fn analyze_files(files: &[SourceFile], committed_cert: Option<&str>) -> Report {
+    analyze_files_inner(files, committed_cert, true)
+}
+
+fn analyze_files_inner(
+    files: &[SourceFile],
+    committed_cert: Option<&str>,
+    check_cert: bool,
+) -> Report {
+    let mut findings = pre_certificate_findings(files);
+
+    // R19 after every fact-backing rule; R16 last, once every rule that
+    // can consume an allow marker has run.
+    if check_cert {
+        let so_far = findings.clone();
+        certificate::check(committed_cert, files, &so_far, &mut findings);
+    }
+    for file in files {
+        rules::stale_allow::check(file, &mut findings);
+    }
 
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule.id()).cmp(&(b.file.as_str(), b.line, b.rule.id()))
@@ -538,16 +661,33 @@ mod tests {
                 "    for x in xs { acc += x; }\n", // R14
                 "    acc\n",
                 "}\n",
+                // R16: a grant that suppresses nothing.
+                "// analyze::allow(R1)\n",
+                "pub fn quiet_tick() {}\n",
+                // R17: a workspace Result discarded with `let _ =`.
+                "pub fn persist_trace() -> Result<(), u8> { Ok(()) }\n",
+                "pub fn on_exit() { let _ = persist_trace(); }\n",
+                // R18: arms drawing 1 vs 0 values from the shared stream.
+                "fn jitter(&mut self, hot: bool) -> f64 {\n",
+                "    if hot { self.rng.random_range(0.0..1.0) } else { 0.0 }\n",
+                "}\n",
             ),
         );
         // R5: a declared guard site present but without the marker.
         ws.write("crates/core/src/model.rs", "pub fn fit() {}\n");
         // R13: an options struct with an undeclared knob (and no header
-        // file at all).
+        // file at all). R15: a commit root with an unprovable index.
         ws.write(
             "crates/core/src/executor.rs",
-            "pub struct ExecutorOptions {\n    pub workers: usize,\n    pub mystery_knob: u64,\n}\n",
+            concat!(
+                "pub struct ExecutorOptions {\n    pub workers: usize,\n    pub mystery_knob: u64,\n}\n",
+                "pub fn commit(&mut self) {\n",
+                "    self.samples.push(self.tasks[self.cursor]);\n",
+                "}\n",
+            ),
         );
+        // R19 fires on the missing determinism certificate (trace crates
+        // are analyzed but no determinism-certificate.json is committed).
 
         let report = analyze_workspace(&ws.root).unwrap();
         for rule in Rule::ALL {

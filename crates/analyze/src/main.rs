@@ -3,8 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! hyperpower-analyze [--format text|json|sarif] [--fix]
-//!                    [--baseline <path>] [--write-baseline] [root]
+//! hyperpower-analyze [--format text|json|sarif] [--fix] [--include-self]
+//!                    [--baseline <path>] [--write-baseline]
+//!                    [--write-certificate] [root]
 //! ```
 //!
 //! When a baseline exists (`analyze-baseline.json` at the workspace root,
@@ -23,7 +24,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use hyperpower_analyze::baseline::{Baseline, BASELINE_FILE};
-use hyperpower_analyze::{analyze_workspace, find_workspace_root, fix, sarif, Rule};
+use hyperpower_analyze::certificate::CERTIFICATE_FILE;
+use hyperpower_analyze::{
+    analyze_workspace_with, find_workspace_root, fix, generate_certificate, sarif, Rule,
+};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -34,16 +38,20 @@ enum Format {
 
 fn usage() {
     println!(
-        "usage: hyperpower-analyze [--format text|json|sarif] [--fix] [--baseline <path>] [--write-baseline] [workspace-root]"
+        "usage: hyperpower-analyze [--format text|json|sarif] [--fix] [--include-self] [--baseline <path>] [--write-baseline] [--write-certificate] [workspace-root]"
     );
     println!(
         "  --format <f>      output format (default: text; --json is shorthand for --format json)"
     );
-    println!("  --fix             apply mechanical rewrites (unit suffixes, HashMap/HashSet -> BTree in trace crates, allow-marker normalization) before analyzing");
+    println!("  --fix             apply mechanical rewrites (unit suffixes, HashMap/HashSet -> BTree in trace crates, allow-marker normalization, stale allow removal) before analyzing");
     println!("  --baseline <p>    compare findings against a baseline file (default: <root>/{BASELINE_FILE} when present)");
     println!(
         "  --write-baseline  accept the current findings into the baseline file and exit clean"
     );
+    println!(
+        "  --write-certificate  regenerate <root>/{CERTIFICATE_FILE} from the current analysis and exit"
+    );
+    println!("  --include-self    also scan the analyzer's own sources (crates/analyze, main.rs excluded)");
     println!("rules:");
     for rule in Rule::ALL {
         println!("  {} ({}): {}", rule.id(), rule.slug(), rule.description());
@@ -53,7 +61,9 @@ fn usage() {
 fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut apply_fix = false;
+    let mut include_self = false;
     let mut write_baseline = false;
+    let mut write_certificate = false;
     let mut baseline_arg: Option<PathBuf> = None;
     let mut root_arg: Option<PathBuf> = None;
 
@@ -76,7 +86,9 @@ fn main() -> ExitCode {
                 };
             }
             "--fix" => apply_fix = true,
+            "--include-self" => include_self = true,
             "--write-baseline" => write_baseline = true,
+            "--write-certificate" => write_certificate = true,
             "--baseline" => match args.next() {
                 Some(p) => baseline_arg = Some(PathBuf::from(p)),
                 None => {
@@ -121,8 +133,8 @@ fn main() -> ExitCode {
     if apply_fix {
         match fix::apply_fixes(&root) {
             Ok(r) => eprintln!(
-                "fix: {} file(s) changed, {} identifier(s) renamed, {} marker(s) normalized",
-                r.files_changed, r.renames, r.markers_normalized
+                "fix: {} file(s) changed, {} identifier(s) renamed, {} marker(s) normalized, {} stale allow id(s) removed",
+                r.files_changed, r.renames, r.markers_normalized, r.allows_removed
             ),
             Err(e) => {
                 eprintln!("fix failed: {e}");
@@ -131,7 +143,32 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match analyze_workspace(&root) {
+    if write_certificate {
+        let cert_path = root.join(CERTIFICATE_FILE);
+        match generate_certificate(&root) {
+            Ok(Some(json)) => {
+                if let Err(e) = std::fs::write(&cert_path, json) {
+                    eprintln!("cannot write {}: {e}", cert_path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("certificate: wrote {}", cert_path.display());
+                return ExitCode::SUCCESS;
+            }
+            Ok(None) => {
+                eprintln!(
+                    "certificate: no trace-affecting crates under {}",
+                    root.display()
+                );
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("certificate generation failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match analyze_workspace_with(&root, include_self) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("analysis failed: {e}");

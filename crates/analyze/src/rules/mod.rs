@@ -1,13 +1,18 @@
-//! The analyzer rules (R1–R14), one module per rule family.
+//! The analyzer rules (R1–R19), one module per rule family.
 //!
 //! R1–R9, R12 and R14 are token- or file-level checks over a single
 //! [`SourceFile`] whose comments and strings have already been blanked
 //! and whose remaining text has been tokenized. R10, R11 and R13 are
 //! *workspace-level*: they additionally consume the item index
 //! ([`crate::index`]) and the confident call graph ([`crate::graph`])
-//! built over all scanned files. Rules only fire in library-crate code
-//! outside `#[cfg(test)]` regions, and every rule honours the
-//! `// analyze::allow(<rule>)` escape hatch.
+//! built over all scanned files. R15, R17 and R18 are *flow-sensitive*:
+//! on top of the index/graph they build per-function CFGs
+//! ([`crate::cfg`]) and reaching-definitions facts ([`crate::dataflow`]).
+//! R19 compares the committed determinism certificate
+//! ([`crate::certificate`]) against one recomputed from the findings so
+//! far, and R16 runs dead last to audit which allow markers went unused.
+//! Rules only fire in library-crate code outside `#[cfg(test)]` regions,
+//! and every rule honours the `// analyze::allow(<rule>)` escape hatch.
 //!
 //! | module | rules |
 //! |--------|-------|
@@ -25,18 +30,27 @@
 //! | [`concurrency`] | R12 — concurrency primitives confined to the executor boundary |
 //! | [`header`] | R13 — checkpoint-header completeness (cross-file) |
 //! | [`reductions`] | R14 — order-sensitive float reductions outside blessed helpers |
+//! | [`panic_path`] | R15 — panic sites reachable from the executor commit path |
+//! | [`stale_allow`] | R16 — unused `analyze::allow` escape hatches |
+//! | [`results`] | R17 — discarded `Result`s and lossy unit casts |
+//! | [`divergence`] | R18 — branch-divergent RNG draws |
+//! | [`crate::certificate`] | R19 — determinism certificate drift |
 
 pub mod collections;
 pub mod concurrency;
 pub mod determinism;
+pub mod divergence;
 pub mod errors;
 pub mod floats;
 pub mod flow;
 pub mod header;
 pub mod io;
 pub mod ordering;
+pub mod panic_path;
 pub mod reductions;
+pub mod results;
 pub mod rng;
+pub mod stale_allow;
 pub mod units;
 
 use crate::graph::CallGraph;
@@ -78,7 +92,8 @@ pub fn apply_rules(file: &SourceFile, findings: &mut Vec<Finding>) {
     reductions::check(file, findings);
 }
 
-/// Applies the workspace-level rules (R10, R11, R13) over the full scan.
+/// Applies the workspace-level rules (R10, R11, R13) and the
+/// flow-sensitive rules (R15, R17, R18) over the full scan.
 pub fn apply_workspace_rules(
     files: &[SourceFile],
     index: &ItemIndex,
@@ -88,6 +103,9 @@ pub fn apply_workspace_rules(
     flow::check_wallclock_flow(files, index, graph, findings);
     flow::check_rng_flow(files, index, graph, findings);
     header::check(files, index, findings);
+    panic_path::check(files, index, graph, findings);
+    results::check(files, index, findings);
+    divergence::check(files, index, findings);
 }
 
 /// R5: the file is a declared guard site and must contain the
@@ -97,11 +115,7 @@ pub fn check_finite_guard(file: &SourceFile, what: &str, findings: &mut Vec<Find
         .lines
         .iter()
         .any(|l| !l.in_test && l.code.contains(FINITE_GUARD_MARKER));
-    let allowed = file
-        .lines
-        .iter()
-        .any(|l| l.allowed.contains(Rule::R5MissingFiniteGuard.id()));
-    if !present && !allowed {
+    if !present && !file.any_line_allows(Rule::R5MissingFiniteGuard.id()) {
         findings.push(Finding {
             rule: Rule::R5MissingFiniteGuard,
             file: file.rel_path.display().to_string(),
@@ -137,6 +151,19 @@ pub(crate) fn finding_at(rule: Rule, file: &SourceFile, line: usize, message: St
         file: file.rel_path.display().to_string(),
         line,
         excerpt: file.excerpt_at(line),
+        message,
+    }
+}
+
+/// Builds a file-level [`Finding`] (no meaningful line or excerpt) — used
+/// by rules whose subject is a whole artifact, like the determinism
+/// certificate (R19).
+pub(crate) fn finding_for_file(rule: Rule, file: &str, message: String) -> Finding {
+    Finding {
+        rule,
+        file: file.to_string(),
+        line: 1,
+        excerpt: String::new(),
         message,
     }
 }

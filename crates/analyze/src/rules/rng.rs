@@ -30,7 +30,7 @@ pub const RNG_ROOTS: &[&str] = &[
 ];
 
 /// Seeded-construction methods that only roots may call.
-const CONSTRUCT_IDENTS: &[&str] = &["seed_from_u64", "from_seed", "from_rng"];
+pub(crate) const CONSTRUCT_IDENTS: &[&str] = &["seed_from_u64", "from_seed", "from_rng"];
 
 /// R8: outside the declared roots, flags RNG construction and non-`&mut`
 /// RNG ownership.

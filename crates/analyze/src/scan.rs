@@ -7,7 +7,8 @@
 //! from the token stream (test code is exempt from most rules), and
 //! `// analyze::allow(<rule>)` escape-hatch markers are collected.
 
-use std::collections::HashSet;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashSet};
 use std::path::{Path, PathBuf};
 
 use crate::token::{matching_close, tokenize, Token};
@@ -29,6 +30,15 @@ pub struct Line {
     pub allowed: HashSet<String>,
 }
 
+/// One `// analyze::allow(…)` escape-hatch marker.
+#[derive(Debug, Clone)]
+pub struct AllowMarker {
+    /// 1-based line the marker sits on (it covers this line and the next).
+    pub line: usize,
+    /// The rule ids the marker grants, uppercased.
+    pub ids: Vec<String>,
+}
+
 /// A scanned source file.
 #[derive(Debug, Clone)]
 pub struct SourceFile {
@@ -39,6 +49,13 @@ pub struct SourceFile {
     /// The token stream of the stripped source (comments/strings blanked
     /// before lexing, so their contents never produce tokens).
     pub tokens: Vec<Token>,
+    /// Every allow marker in the file, in line order.
+    pub markers: Vec<AllowMarker>,
+    /// `(marker line, rule id)` pairs consumed by a rule during analysis
+    /// — a marker that suppressed at least one would-be finding. R16
+    /// flags the rest as stale. Interior mutability because recording
+    /// happens inside the `&self` exemption queries every rule calls.
+    used_allows: RefCell<BTreeSet<(usize, String)>>,
 }
 
 impl SourceFile {
@@ -55,25 +72,28 @@ impl SourceFile {
 
     /// Scans source text (exposed for unit tests).
     pub fn from_source(rel_path: PathBuf, text: &str) -> Self {
-        let stripped = strip_comments_and_strings(text);
+        let (stripped, comments) = split_code_and_comments(text);
         let raw_lines: Vec<&str> = text.lines().collect();
         let code_lines: Vec<&str> = stripped.lines().collect();
+        let comment_lines: Vec<&str> = comments.lines().collect();
         let tokens = tokenize(&stripped);
 
         let in_test_flags = test_region_lines(&tokens, raw_lines.len());
 
         // Allow markers: a marker covers its own line and the next.
         let mut allows: Vec<HashSet<String>> = vec![HashSet::new(); raw_lines.len()];
-        for (i, raw) in raw_lines.iter().enumerate() {
-            if let Some(ids) = parse_allow_marker(raw) {
+        let mut markers = Vec::new();
+        for (i, comment) in comment_lines.iter().enumerate() {
+            if let Some(ids) = parse_allow_marker(comment) {
                 for id in &ids {
                     allows[i].insert(id.clone());
                 }
                 if i + 1 < raw_lines.len() {
-                    for id in ids {
-                        allows[i + 1].insert(id);
+                    for id in &ids {
+                        allows[i + 1].insert(id.clone());
                     }
                 }
+                markers.push(AllowMarker { line: i + 1, ids });
             }
         }
 
@@ -92,6 +112,8 @@ impl SourceFile {
             rel_path,
             lines,
             tokens,
+            markers,
+            used_allows: RefCell::new(BTreeSet::new()),
         }
     }
 
@@ -103,11 +125,45 @@ impl SourceFile {
     }
 
     /// Whether `rule_id` is allowed on `line` (1-based) via the escape
-    /// hatch.
+    /// hatch. A positive answer marks the granting marker(s) as *used*,
+    /// which is what keeps them off R16's stale list.
     pub fn line_allowed(&self, line: usize, rule_id: &str) -> bool {
-        self.lines
+        let hit = self
+            .lines
             .get(line.saturating_sub(1))
-            .is_some_and(|l| l.allowed.contains(rule_id))
+            .is_some_and(|l| l.allowed.contains(rule_id));
+        if hit {
+            let mut used = self.used_allows.borrow_mut();
+            for m in &self.markers {
+                if (m.line == line || m.line + 1 == line) && m.ids.iter().any(|i| i == rule_id) {
+                    used.insert((m.line, rule_id.to_string()));
+                }
+            }
+        }
+        hit
+    }
+
+    /// Whether any marker in the file grants `rule_id` (file-scope rules
+    /// like R5 use this). Like [`Self::line_allowed`], a positive answer
+    /// marks the granting marker(s) as used.
+    pub fn any_line_allows(&self, rule_id: &str) -> bool {
+        let mut hit = false;
+        let mut used = self.used_allows.borrow_mut();
+        for m in &self.markers {
+            if m.ids.iter().any(|i| i == rule_id) {
+                used.insert((m.line, rule_id.to_string()));
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Whether the marker at `marker_line` was consumed for `rule_id`
+    /// during analysis (R16's staleness query).
+    pub fn allow_used(&self, marker_line: usize, rule_id: &str) -> bool {
+        self.used_allows
+            .borrow()
+            .contains(&(marker_line, rule_id.to_string()))
     }
 
     /// A token's line is exempt from a rule when it is test code or the
@@ -198,14 +254,24 @@ fn test_region_lines(tokens: &[Token], line_count: usize) -> Vec<bool> {
 }
 
 /// Extracts rule ids from an `analyze::allow(R1, R4)` marker, if present.
+///
+/// Two guards keep prose from becoming policy: doc-comment lines (`///`,
+/// `//!`) never carry markers — rustdoc that *mentions* the escape hatch
+/// must not silently grant it — and every id must be rule-shaped (`R`
+/// plus digits), so source that merely contains the marker string (the
+/// analyzer's own parser, say) doesn't register garbage grants.
 pub(crate) fn parse_allow_marker(line: &str) -> Option<Vec<String>> {
+    let lead = line.trim_start();
+    if lead.starts_with("///") || lead.starts_with("//!") {
+        return None;
+    }
     let idx = line.find("analyze::allow(")?;
     let rest = &line[idx + "analyze::allow(".len()..];
     let close = rest.find(')')?;
     let ids = rest[..close]
         .split(',')
         .map(|s| s.trim().to_ascii_uppercase())
-        .filter(|s| !s.is_empty())
+        .filter(|s| is_rule_shaped(s))
         .collect::<Vec<_>>();
     if ids.is_empty() {
         None
@@ -214,12 +280,26 @@ pub(crate) fn parse_allow_marker(line: &str) -> Option<Vec<String>> {
     }
 }
 
-/// Blanks comments, string literals and char literals to spaces, preserving
-/// line structure so line numbers survive. Handles `//`, `/* */` (nested),
-/// `"…"` with escapes, raw strings `r"…"` / `r#"…"#` (and their `br`
-/// byte-string forms), and char literals (without mistaking lifetimes for
-/// them).
-fn strip_comments_and_strings(text: &str) -> String {
+/// `R` followed by one or more digits — the only id shape markers accept.
+pub(crate) fn is_rule_shaped(id: &str) -> bool {
+    let mut chars = id.chars();
+    chars.next() == Some('R') && {
+        let rest: Vec<char> = chars.collect();
+        !rest.is_empty() && rest.iter().all(|c| c.is_ascii_digit())
+    }
+}
+
+/// Splits source text into a *code* stream and a *comments* stream, both
+/// position-preserving (same line structure, same column offsets).
+///
+/// In the code stream, comments and string/char-literal contents become
+/// spaces, so tokenization and line-based rules can never fire inside
+/// them. In the comments stream only comment text survives (including
+/// its `//`, `//!`, `///`, `/*` introducers) — everything else becomes
+/// spaces — so `analyze::allow` markers are parsed from *comments only*:
+/// a string literal that merely mentions the marker (the analyzer's own
+/// finding messages, say) must not register a grant.
+fn split_code_and_comments(text: &str) -> (String, String) {
     #[derive(Clone, Copy, PartialEq)]
     enum State {
         Code,
@@ -230,6 +310,7 @@ fn strip_comments_and_strings(text: &str) -> String {
     }
 
     let mut out = String::with_capacity(text.len());
+    let mut com = String::with_capacity(text.len());
     let chars: Vec<char> = text.chars().collect();
     let mut state = State::Code;
     let mut i = 0;
@@ -242,6 +323,8 @@ fn strip_comments_and_strings(text: &str) -> String {
                     state = State::LineComment;
                     out.push(' ');
                     out.push(' ');
+                    com.push('/');
+                    com.push('/');
                     i += 2;
                     continue;
                 }
@@ -249,12 +332,15 @@ fn strip_comments_and_strings(text: &str) -> String {
                     state = State::BlockComment(1);
                     out.push(' ');
                     out.push(' ');
+                    com.push('/');
+                    com.push('*');
                     i += 2;
                     continue;
                 }
                 '"' => {
                     state = State::Str;
                     out.push(' ');
+                    com.push(' ');
                 }
                 'r' if next == Some('"') || next == Some('#') => {
                     // Possible raw string: r"…" or r#"…"#.
@@ -267,19 +353,38 @@ fn strip_comments_and_strings(text: &str) -> String {
                     if chars.get(j) == Some(&'"') {
                         for _ in i..=j {
                             out.push(' ');
+                            com.push(' ');
                         }
                         i = j + 1;
                         state = State::RawStr(hashes);
                         continue;
                     }
                     out.push(c);
+                    com.push(' ');
                 }
                 '\'' => {
                     // Char literal vs lifetime: a literal closes with ' a
                     // character or escape later; a lifetime never does.
                     let close_at = if next == Some('\\') {
-                        // escaped char: '\x7f', '\n', '\'', …
-                        (i + 2..chars.len().min(i + 8)).find(|&j| chars[j] == '\'')
+                        // Escaped char. The escape payload starts at i+2, so
+                        // the close search must begin at i+3 — starting at
+                        // i+2 made `'\''` blank the wrong span (the escaped
+                        // quote matched first, leaving a stray tick that
+                        // tokenized as a bogus lifetime).
+                        match chars.get(i + 2) {
+                            // '\u{…}': up to six hex digits, then `}` then
+                            // the closing quote. A fixed 8-char window cut
+                            // long escapes like '\u{1F600}' short, leaking
+                            // the literal's braces into stripped code.
+                            Some('u') if chars.get(i + 3) == Some(&'{') => (i + 4
+                                ..chars.len().min(i + 12))
+                                .find(|&j| chars[j] == '}')
+                                .filter(|&j| chars.get(j + 1) == Some(&'\''))
+                                .map(|j| j + 1),
+                            // '\n', '\'', '\\', '\x7f', …
+                            Some(_) => (i + 3..chars.len().min(i + 9)).find(|&j| chars[j] == '\''),
+                            None => None,
+                        }
                     } else if next.is_some() && chars.get(i + 2) == Some(&'\'') {
                         Some(i + 2)
                     } else {
@@ -288,28 +393,42 @@ fn strip_comments_and_strings(text: &str) -> String {
                     if let Some(end) = close_at {
                         for _ in i..=end {
                             out.push(' ');
+                            com.push(' ');
                         }
                         i = end + 1;
                         continue;
                     }
                     out.push(c); // lifetime tick
+                    com.push(' ');
                 }
-                _ => out.push(c),
+                '\n' => {
+                    out.push('\n');
+                    com.push('\n');
+                }
+                _ => {
+                    out.push(c);
+                    com.push(' ');
+                }
             },
             State::LineComment => {
                 if c == '\n' {
                     state = State::Code;
                     out.push('\n');
+                    com.push('\n');
                 } else {
                     out.push(' ');
+                    com.push(c);
                 }
             }
             State::BlockComment(nesting) => {
                 if c == '\n' {
                     out.push('\n');
+                    com.push('\n');
                 } else if c == '*' && next == Some('/') {
                     out.push(' ');
                     out.push(' ');
+                    com.push('*');
+                    com.push('/');
                     i += 2;
                     state = if nesting == 1 {
                         State::Code
@@ -320,28 +439,41 @@ fn strip_comments_and_strings(text: &str) -> String {
                 } else if c == '/' && next == Some('*') {
                     out.push(' ');
                     out.push(' ');
+                    com.push('/');
+                    com.push('*');
                     i += 2;
                     state = State::BlockComment(nesting + 1);
                     continue;
                 } else {
                     out.push(' ');
+                    com.push(c);
                 }
             }
             State::Str => match c {
                 '\\' => {
                     out.push(' ');
+                    com.push(' ');
                     if next.is_some() {
-                        out.push(if next == Some('\n') { '\n' } else { ' ' });
+                        let nl = if next == Some('\n') { '\n' } else { ' ' };
+                        out.push(nl);
+                        com.push(nl);
                         i += 2;
                         continue;
                     }
                 }
                 '"' => {
                     out.push(' ');
+                    com.push(' ');
                     state = State::Code;
                 }
-                '\n' => out.push('\n'),
-                _ => out.push(' '),
+                '\n' => {
+                    out.push('\n');
+                    com.push('\n');
+                }
+                _ => {
+                    out.push(' ');
+                    com.push(' ');
+                }
             },
             State::RawStr(hashes) => {
                 if c == '"' {
@@ -349,22 +481,26 @@ fn strip_comments_and_strings(text: &str) -> String {
                     if all_hashes {
                         for _ in 0..=hashes {
                             out.push(' ');
+                            com.push(' ');
                         }
                         i += hashes + 1;
                         state = State::Code;
                         continue;
                     }
                     out.push(' ');
+                    com.push(' ');
                 } else if c == '\n' {
                     out.push('\n');
+                    com.push('\n');
                 } else {
                     out.push(' ');
+                    com.push(' ');
                 }
             }
         }
         i += 1;
     }
-    out
+    (out, com)
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted for determinism.
@@ -485,6 +621,39 @@ mod tests {
     }
 
     #[test]
+    fn escaped_quote_char_literal_leaves_no_stray_tick() {
+        // `'\''` used to blank the wrong span (the escaped quote matched
+        // the close search), leaving a stray `'` that tokenized as a
+        // bogus lifetime and shifted every later token.
+        let f = scan("let q = '\\''; let d = '\\\\'; fn g<'a>(x: &'a str) {}\n");
+        use crate::token::TokenKind;
+        let lifetimes: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"], "tokens: {:?}", f.tokens);
+        assert!(f.lines[0].code.contains("let d"));
+    }
+
+    #[test]
+    fn long_unicode_char_literal_is_fully_blanked() {
+        // A fixed 8-char close window cut '\u{1F600}' short and leaked
+        // the literal's braces into stripped code, corrupting brace
+        // balance for every body-range consumer.
+        let f = scan("let e = '\\u{1F600}'; fn live() { x(); }\n");
+        assert!(!f.lines[0].code.contains('{') || f.lines[0].code.contains("live() { x(); }"));
+        assert_eq!(
+            f.lines[0].code.matches('{').count(),
+            f.lines[0].code.matches('}').count()
+        );
+        assert!(f.lines[0].code.contains("fn live"));
+        let toks: Vec<&str> = f.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(!toks.contains(&"1F600"), "literal leaked: {toks:?}");
+    }
+
+    #[test]
     fn cfg_test_region_is_marked() {
         let text =
             "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn after() {}\n";
@@ -572,5 +741,55 @@ mod tests {
         let f = scan("let x = 1; // analyze::allow(R2, r4)\n");
         assert!(f.lines[0].allowed.contains("R2"));
         assert!(f.lines[0].allowed.contains("R4"));
+        assert_eq!(f.markers.len(), 1);
+        assert_eq!(f.markers[0].line, 1);
+    }
+
+    #[test]
+    fn doc_comment_mentions_are_not_markers() {
+        // Rustdoc that *describes* the escape hatch must not grant it.
+        let f = scan(
+            "/// write `// analyze::allow(R8)` here\nuse x::thread_rng;\n//! analyze::allow(R1)\n",
+        );
+        assert!(f.markers.is_empty());
+        assert!(f.lines[1].allowed.is_empty());
+    }
+
+    #[test]
+    fn malformed_ids_do_not_register() {
+        // Code that merely contains the marker string (the analyzer's own
+        // parser) must not register garbage grants.
+        let f =
+            scan("let idx = line.find(\"analyze::allow(\")?;\n// analyze::allow(banana, R2x)\n");
+        assert!(f.markers.is_empty());
+    }
+
+    #[test]
+    fn line_allowed_records_marker_usage() {
+        let f = scan("// analyze::allow(R4)\nuse x;\nuse y;\n");
+        assert!(!f.allow_used(1, "R4"));
+        assert!(f.line_allowed(2, "R4"));
+        assert!(f.allow_used(1, "R4"));
+        assert!(!f.allow_used(1, "R1"));
+        assert!(!f.line_allowed(3, "R4"));
+    }
+
+    #[test]
+    fn any_line_allows_records_usage() {
+        let f = scan("fn f() {}\n// analyze::allow(R5)\nfn g() {}\n");
+        assert!(f.any_line_allows("R5"));
+        assert!(f.allow_used(2, "R5"));
+        assert!(!f.any_line_allows("R9"));
+    }
+
+    #[test]
+    fn marker_inside_string_literal_is_not_a_grant() {
+        // The analyzer's own finding messages mention the escape hatch in
+        // string literals; those must never register markers.
+        let f = scan("fn msg() -> &'static str {\n    \"carry analyze::allow(R15)\"\n}\n");
+        assert!(f.markers.is_empty(), "{:?}", f.markers);
+        let g = scan("fn ok() {}\n// real grant: analyze::allow(R15)\nfn idx() {}\n");
+        assert_eq!(g.markers.len(), 1);
+        assert_eq!(g.markers[0].line, 2);
     }
 }

@@ -142,7 +142,89 @@ pub fn tokenize(stripped: &str) -> Vec<Token> {
         col += len;
         i += len;
     }
-    tokens
+    split_generic_closers(tokens)
+}
+
+/// Splits `>>` (and `>>=`) tokens that close nested generics into
+/// individual `>` tokens, so downstream consumers see `Vec<Vec<f64>>` as
+/// two closing angles rather than one shift operator — and
+/// `Vec<Vec<u8>>= v` as two closes plus a plain `=`, keeping the
+/// assignment visible to def-use tracking. Only `>>`s inside a
+/// *validated* generic region are split: a `<` preceded by an identifier,
+/// `::` or another `>` whose angle depth balances before a `;`/`{`/`}`
+/// statement boundary. Shift expressions never validate (`x >> 2` has no
+/// pending open, and `a << b >> c` hits the statement end unbalanced), so
+/// they keep their joined form.
+fn split_generic_closers(tokens: Vec<Token>) -> Vec<Token> {
+    let mut split = vec![false; tokens.len()];
+    for i in 0..tokens.len() {
+        if !tokens[i].is_punct("<") {
+            continue;
+        }
+        let opens_generic = i > 0
+            && (tokens[i - 1].kind == TokenKind::Ident
+                || tokens[i - 1].is_punct("::")
+                || tokens[i - 1].is_punct(">"));
+        if !opens_generic {
+            continue;
+        }
+        let mut depth = 1i32;
+        let mut j = i + 1;
+        let mut close = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct("<<") {
+                depth += 2;
+            } else if t.is_punct(">") {
+                depth -= 1;
+            } else if t.is_punct(">>") || t.is_punct(">>=") {
+                depth -= 2;
+            } else if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+                break; // statement boundary: not a generics group
+            }
+            if depth <= 0 {
+                close = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(close) = close else { continue };
+        for (k, flag) in split.iter_mut().enumerate().take(close + 1).skip(i) {
+            if tokens[k].is_punct(">>") || tokens[k].is_punct(">>=") {
+                *flag = true;
+            }
+        }
+    }
+    if !split.iter().any(|&s| s) {
+        return tokens;
+    }
+    let mut out = Vec::with_capacity(tokens.len() + 4);
+    for (k, t) in tokens.into_iter().enumerate() {
+        if !split[k] {
+            out.push(t);
+            continue;
+        }
+        let tail_eq = t.text == ">>=";
+        for (off, text) in [(0usize, ">"), (1, ">")] {
+            out.push(Token {
+                kind: TokenKind::Punct,
+                text: text.to_string(),
+                line: t.line,
+                col: t.col + off,
+            });
+        }
+        if tail_eq {
+            out.push(Token {
+                kind: TokenKind::Punct,
+                text: "=".to_string(),
+                line: t.line,
+                col: t.col + 2,
+            });
+        }
+    }
+    out
 }
 
 /// Lexes one numeric literal starting at `chars[0]` (an ASCII digit).
@@ -348,6 +430,45 @@ mod tests {
         assert_eq!((ts[0].line, ts[0].col), (1, 0));
         assert_eq!((ts[1].line, ts[1].col), (1, 3));
         assert_eq!((ts[2].line, ts[2].col), (2, 2));
+    }
+
+    #[test]
+    fn nested_generic_close_is_split_into_two_angles() {
+        // `Vec<Vec<f64>>` must close with two `>` tokens, not one `>>`
+        // shift: angle-depth consumers (skip_angles, the CFG builder)
+        // otherwise see an unbalanced group.
+        let ts = kinds("let x: Vec<Vec<f64>> = make();");
+        let closes = ts
+            .iter()
+            .filter(|(k, s)| *k == TokenKind::Punct && s == ">")
+            .count();
+        assert_eq!(closes, 2, "tokens: {ts:?}");
+        assert!(!ts.iter().any(|(_, s)| s == ">>"));
+    }
+
+    #[test]
+    fn nested_generic_close_glued_to_eq_keeps_the_assignment() {
+        // Without the split, `Vec<Vec<u8>>=v` lexes a `>>=` that swallows
+        // the `=`, hiding the assignment from def-use tracking.
+        let ts = kinds("let x: Vec<Vec<u8>>=v;");
+        assert!(ts.iter().any(|(k, s)| *k == TokenKind::Punct && s == "="));
+        assert!(!ts.iter().any(|(_, s)| s == ">>=" || s == ">>"));
+    }
+
+    #[test]
+    fn shift_operators_stay_joined() {
+        let ts = kinds("let y = x >> 2; let z = a << b;");
+        assert!(ts.iter().any(|(_, s)| s == ">>"));
+        assert!(ts.iter().any(|(_, s)| s == "<<"));
+        // A comparison chain is not a generic region either.
+        let cmp = kinds("if a < b { c >> 1 } else { d }");
+        assert!(cmp.iter().any(|(_, s)| s == ">>"));
+    }
+
+    #[test]
+    fn qualified_path_double_close_is_split() {
+        let ts = kinds("let n = <T as Iterator<Item = u8>>::next(it);");
+        assert!(!ts.iter().any(|(_, s)| s == ">>"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 // Test-support code: panicking on a broken invariant is the point.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use hyperpower_analyze::fix::fix_source;
+use hyperpower_analyze::fix::{apply_fixes, fix_source};
 use hyperpower_analyze::{find_workspace_root, rust_files, LIBRARY_CRATES};
 
 #[test]
@@ -46,4 +46,71 @@ fn second_fix_pass_is_a_no_op_on_every_library_file() {
         checked >= 40,
         "only {checked} files checked — idempotence sweep lost the source tree"
     );
+}
+
+/// R16 removal end-to-end: `apply_fixes` deletes a dormant grant, keeps a
+/// consumed one, and converges — the second pass touches nothing.
+#[test]
+fn apply_fixes_removes_stale_allows_and_converges() {
+    let tmp = std::env::temp_dir().join(format!("hp-fix-r16-{}", std::process::id()));
+    let src_dir = tmp.join("crates").join("core").join("src");
+    std::fs::create_dir_all(&src_dir).expect("temp workspace creatable");
+    let file = src_dir.join("config.rs");
+    std::fs::write(
+        &file,
+        "// analyze::allow(R4)\npub fn log() { eprintln!(\"x\"); }\n\n// analyze::allow(R9)\npub fn quiet() -> usize {\n    64\n}\n",
+    )
+    .expect("temp source writable");
+
+    let report = apply_fixes(&tmp).expect("fix pass runs");
+    assert_eq!(
+        report.allows_removed, 1,
+        "exactly the dormant R9 grant goes"
+    );
+    assert_eq!(report.files_changed, 1);
+    let fixed = std::fs::read_to_string(&file).expect("fixed source readable");
+    assert!(
+        fixed.contains("analyze::allow(R4)"),
+        "consumed grant must survive:\n{fixed}"
+    );
+    assert!(
+        !fixed.contains("allow(R9)"),
+        "stale grant must be removed:\n{fixed}"
+    );
+
+    let again = apply_fixes(&tmp).expect("second fix pass runs");
+    assert_eq!(again.files_changed, 0, "fix must converge after one pass");
+    assert_eq!(again.allows_removed, 0);
+    std::fs::remove_dir_all(&tmp).expect("temp workspace removable");
+}
+
+/// The committed tree carries no stale allow markers: a full-workspace
+/// analysis followed by `fix_source_with` on its staleness facts rewrites
+/// nothing. (The real burn-down lives in `analyze-baseline.json` and the
+/// allow markers, both of which R16 audits.)
+#[test]
+fn committed_tree_has_no_stale_allows() {
+    use hyperpower_analyze::analyze_sources;
+    use hyperpower_analyze::Rule;
+    let root = find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("test runs inside the workspace");
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for krate in LIBRARY_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        for path in rust_files(&src).expect("library sources listable") {
+            let text = std::fs::read_to_string(&path).expect("source readable");
+            let rel = path.strip_prefix(&root).unwrap_or(&path);
+            sources.push((rel.to_string_lossy().replace('\\', "/"), text));
+        }
+    }
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(p, t)| (p.as_str(), t.as_str()))
+        .collect();
+    let report = analyze_sources(&refs);
+    let stale: Vec<_> = report.findings_for(Rule::R16StaleAllow).collect();
+    assert!(stale.is_empty(), "stale allow markers in tree: {stale:?}");
 }

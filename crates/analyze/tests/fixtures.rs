@@ -1,4 +1,4 @@
-//! Adversarial fixture corpus for the workspace rules R9–R14.
+//! Adversarial fixture corpus for the workspace rules R9–R19.
 //!
 //! Each fixture under `tests/fixtures/` is a miniature multi-file
 //! workspace in one file: `//@file: <workspace-relative path>` marker
@@ -117,6 +117,66 @@ const CASES: &[(&str, &str, Rule, bool)] = &[
         Rule::R14OrderSensitiveReduction,
         false,
     ),
+    (
+        "r15_tp",
+        include_str!("fixtures/r15_tp.rs"),
+        Rule::R15PanicPath,
+        true,
+    ),
+    (
+        "r15_fp",
+        include_str!("fixtures/r15_fp.rs"),
+        Rule::R15PanicPath,
+        false,
+    ),
+    (
+        "r16_tp",
+        include_str!("fixtures/r16_tp.rs"),
+        Rule::R16StaleAllow,
+        true,
+    ),
+    (
+        "r16_fp",
+        include_str!("fixtures/r16_fp.rs"),
+        Rule::R16StaleAllow,
+        false,
+    ),
+    (
+        "r17_tp",
+        include_str!("fixtures/r17_tp.rs"),
+        Rule::R17DiscardedResult,
+        true,
+    ),
+    (
+        "r17_fp",
+        include_str!("fixtures/r17_fp.rs"),
+        Rule::R17DiscardedResult,
+        false,
+    ),
+    (
+        "r18_tp",
+        include_str!("fixtures/r18_tp.rs"),
+        Rule::R18BranchDivergentRng,
+        true,
+    ),
+    (
+        "r18_fp",
+        include_str!("fixtures/r18_fp.rs"),
+        Rule::R18BranchDivergentRng,
+        false,
+    ),
+    (
+        "r19_tp",
+        include_str!("fixtures/r19_tp.rs"),
+        Rule::R19DeterminismCertificate,
+        true,
+    ),
+    (
+        "r19_fp",
+        include_str!("fixtures/r19_fp.rs"),
+        Rule::R19DeterminismCertificate,
+        false,
+    ),
 ];
 
 #[test]
@@ -128,6 +188,11 @@ fn every_workspace_rule_has_a_tp_and_fp_fixture() {
         Rule::R12ConcurrencyBoundary,
         Rule::R13CheckpointHeader,
         Rule::R14OrderSensitiveReduction,
+        Rule::R15PanicPath,
+        Rule::R16StaleAllow,
+        Rule::R17DiscardedResult,
+        Rule::R18BranchDivergentRng,
+        Rule::R19DeterminismCertificate,
     ] {
         for expect in [true, false] {
             assert!(

@@ -1,0 +1,5 @@
+//@file: crates/core/src/config.rs
+// analyze::allow(R9)
+pub fn max_batches() -> usize {
+    64
+}

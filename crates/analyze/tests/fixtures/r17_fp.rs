@@ -1,0 +1,22 @@
+//@file: crates/core/src/trace.rs
+pub fn warm_cache() {}
+pub fn fallible() -> Result<(), u8> {
+    Ok(())
+}
+pub fn tick() {
+    let _ = warm_cache();
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn discard_in_test_is_fine() {
+        let _ = super::fallible();
+    }
+}
+//@file: crates/gp/src/lib.rs
+pub fn fit() -> Result<(), u8> {
+    Ok(())
+}
+pub fn refresh() {
+    let _ = fit();
+}

@@ -1,0 +1,11 @@
+//@file: crates/core/src/trace.rs
+pub fn persist(path: &str) -> Result<(), u8> {
+    if path.is_empty() {
+        Err(1)
+    } else {
+        Ok(())
+    }
+}
+pub fn on_shutdown() {
+    let _ = persist("trace.bin");
+}

@@ -1,0 +1,15 @@
+//@file: crates/gpu-sim/src/noise.rs
+pub fn perturb(rng: &mut Lcg, hot: bool) -> f64 {
+    if hot {
+        rng.random_range(0.5..1.0)
+    } else {
+        rng.random_range(0.0..0.5)
+    }
+}
+pub fn spawn_stream(seed: u64) -> Lcg {
+    let mut rng = Lcg::seed_from_u64(seed);
+    if seed == 0 {
+        rng.random_range(0..7);
+    }
+    rng
+}

@@ -1,0 +1,13 @@
+//@file: crates/gpu-sim/src/noise.rs
+pub struct Noise {
+    rng: Lcg,
+}
+impl Noise {
+    pub fn jitter(&mut self, hot: bool) -> f64 {
+        if hot {
+            self.rng.random_range(0.0..1.0)
+        } else {
+            0.0
+        }
+    }
+}

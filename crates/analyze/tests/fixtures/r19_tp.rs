@@ -1,0 +1,20 @@
+//@file: crates/core/src/lib.rs
+pub fn step() {}
+//@file: determinism-certificate.json
+{
+  "schema": "hyperpower-determinism-certificate/v1",
+  "provenance": "analyzer-v4",
+  "crates": [
+    {
+      "crate": "crates/core",
+      "files": 1,
+      "facts": [
+        {"fact": "no-wall-clock-flow", "rules": ["R1", "R10"], "status": "proved"},
+        {"fact": "all-rng-rooted", "rules": ["R8", "R11"], "status": "proved"},
+        {"fact": "no-unordered-collections", "rules": ["R9"], "status": "proved"},
+        {"fact": "panic-free-commit-path", "rules": ["R15"], "status": "refuted-by-2-findings"},
+        {"fact": "header-complete", "rules": ["R13"], "status": "proved"}
+      ]
+    }
+  ]
+}

@@ -617,7 +617,7 @@ fn run_single_gpu(
             }
             if item.rejected {
                 let Some(oracle) = live_oracle.as_ref() else {
-                    // `rejected` is only ever set by the screening oracle.
+                    // `rejected` is only ever set by the screening oracle. analyze::allow(R15)
                     unreachable!("rejected proposal without a screening oracle");
                 };
                 clock.advance_secs(cost.model_eval_s);
@@ -654,6 +654,7 @@ fn run_single_gpu(
             // Consume this item's (speculative) result up front so a
             // quarantine discard keeps later items aligned with theirs.
             let Some(result) = next_result.next() else {
+                // One speculative result is enqueued per surviving item. analyze::allow(R15)
                 unreachable!("one evaluation result per surviving candidate");
             };
             if quarantine.contains(&config_key(&item.config)) {
@@ -949,7 +950,7 @@ fn run_multi_gpu(
                 // Paper rule: the last sample queried before the deadline
                 // completes; nothing further is queried on this worker.
                 if clock.seconds(w) / 3600.0 >= h {
-                    blocked[w] = true;
+                    blocked[w] = true; // in-bounds: earliest_free yields w < workers. analyze::allow(R15)
                     continue 'fill;
                 }
             }
@@ -963,6 +964,7 @@ fn run_multi_gpu(
             if screen_active {
                 let (rejected, predicted_power) = {
                     let Some(oracle) = live_oracle.as_ref() else {
+                        // screen_active implies a live oracle. analyze::allow(R15)
                         unreachable!("screening is only active with an oracle");
                     };
                     (
@@ -1019,7 +1021,7 @@ fn run_multi_gpu(
             consecutive_rejections = 0;
             let eval_seed = seed.wrapping_mul(SEED_MIX).wrapping_add(q);
             pending.push((q, config.clone()));
-            busy[w] = true;
+            busy[w] = true; // in-bounds: earliest_free yields w < workers. analyze::allow(R15)
             if matches!(budget, Budget::Evaluations(_)) {
                 dispatched_evals += 1;
             }
@@ -1172,7 +1174,7 @@ fn run_multi_gpu(
                     },
                 );
                 evaluations += 1;
-                busy[worker] = false;
+                busy[worker] = false; // in-bounds: workers only dispatch valid indices. analyze::allow(R15)
                 pending.retain(|(pq, _)| *pq != q);
                 Sample {
                     index: samples.len(),
@@ -1208,7 +1210,7 @@ fn run_multi_gpu(
                 history.push(config.clone(), LIAR_ERROR);
                 evaluations += 1;
                 quarantine.insert(config_key(&config));
-                busy[worker] = false;
+                busy[worker] = false; // in-bounds: workers only dispatch valid indices. analyze::allow(R15)
                 pending.retain(|(pq, _)| *pq != q);
                 Sample {
                     index: samples.len(),
@@ -1262,6 +1264,7 @@ fn run_multi_gpu(
 fn earliest_free(clock: &WorkerClock, busy: &[bool], blocked: &[bool]) -> Option<usize> {
     let mut best: Option<usize> = None;
     for w in 0..clock.workers() {
+        // in-bounds: both slices have workers() entries. analyze::allow(R15)
         if busy[w] || blocked[w] {
             continue;
         }
@@ -1343,7 +1346,7 @@ fn evaluate_parallel(
                 let mut mine = Vec::new();
                 let mut i = t;
                 while i < tasks.len() {
-                    let (qu, decoded, eval_seed) = tasks[i];
+                    let (qu, decoded, eval_seed) = tasks[i]; // bounded by the while condition. analyze::allow(R15)
                     mine.push((i, evaluate_caught(objective, early, decoded, qu, eval_seed)));
                     i += threads;
                 }
@@ -1354,7 +1357,7 @@ fn evaluate_parallel(
             match handle.join() {
                 Ok(pairs) => {
                     for (i, result) in pairs {
-                        slots[i] = Some(result);
+                        slots[i] = Some(result); // in-bounds: i indexes tasks, slots is same length. analyze::allow(R15)
                     }
                 }
                 // Objective panics are caught inside the worker; a join
@@ -1367,6 +1370,7 @@ fn evaluate_parallel(
     let mut out = Vec::with_capacity(tasks.len());
     for slot in slots {
         let Some(result) = slot else {
+            // Round-robin assignment fills every slot. analyze::allow(R15)
             unreachable!("round-robin assignment covers every task slot");
         };
         out.push(result?);

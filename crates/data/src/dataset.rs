@@ -200,7 +200,9 @@ impl<'a> Iterator for BatchIter<'a> {
             Split::Test => (&self.dataset.test_images, &self.dataset.test_labels),
         };
         Some(Batch {
-            images: &images[start * px..end * px],
+            // `cursor`/`end` are clamped to the split length above; the
+            // grant covers both slice expressions.
+            images: &images[start * px..end * px], // analyze::allow(R15)
             labels: &labels[start..end],
         })
     }

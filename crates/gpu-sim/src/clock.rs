@@ -153,7 +153,9 @@ impl WorkerClock {
     /// The latest worker timeline in seconds — the experiment-level elapsed
     /// time once all workers have drained.
     pub fn latest_secs(&self) -> f64 {
-        let mut latest = self.now_s[0];
+        // In-bounds: `now_s` has one entry per worker, workers >= 1; the
+        // grant covers both accesses.
+        let mut latest = self.now_s[0]; // analyze::allow(R15)
         for &t in &self.now_s[1..] {
             if t.total_cmp(&latest) == std::cmp::Ordering::Greater {
                 latest = t;
@@ -216,7 +218,7 @@ impl<T> CommitQueue<T> {
             best = match best {
                 None => Some(i),
                 Some(b) => {
-                    let (bt, bs, _) = &self.items[b];
+                    let (bt, bs, _) = &self.items[b]; // in-bounds: b comes from enumerate. analyze::allow(R15)
                     if key_less((*t, *s), (*bt, *bs)) {
                         Some(i)
                     } else {

@@ -59,7 +59,8 @@ pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
 /// association order is pinned in exactly one place and a future
 /// parallel/SIMD refactor of the caller cannot silently reorder it.
 pub fn sum_ordered(a: &[f64]) -> f64 {
-    // analyze::allow(R14): this fold *is* the blessed ordered reduction.
+    // Deliberately dormant grant, kept as documentation of the blessing:
+    // analyze::allow(R14, R16): this fold *is* the blessed ordered reduction.
     a.iter().fold(0.0, |acc, x| acc + x)
 }
 

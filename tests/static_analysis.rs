@@ -11,21 +11,30 @@
 //! collections in trace-affecting crates (R9), interprocedural wall-clock
 //! (R10) and RNG-minting (R11) flow over the workspace call graph,
 //! concurrency primitives confined to the executor boundary (R12),
-//! checkpoint-header completeness against the executor's knobs (R13), and
-//! order-sensitive float reductions routed through blessed helpers (R14).
-//! Running it as an ordinary test keeps `cargo test` the single entry
-//! point for all correctness gates.
+//! checkpoint-header completeness against the executor's knobs (R13),
+//! order-sensitive float reductions routed through blessed helpers (R14),
+//! panic-free executor commit paths via CFG + reaching definitions (R15),
+//! no stale allow markers (R16), no discarded workspace `Result`s or
+//! mixed-unit arithmetic (R17), branch-balanced RNG draws (R18), and a
+//! committed per-crate determinism certificate that matches the analysis
+//! (R19). Running it as an ordinary test keeps `cargo test` the single
+//! entry point for all correctness gates.
 //!
 //! Accepted legacy findings live in `analyze-baseline.json` at the
 //! workspace root; the gate fails on drift in *either* direction (new
 //! findings, or stale baseline entries that no longer fire and must be
-//! re-recorded with `--write-baseline`).
+//! re-recorded with `--write-baseline`). The determinism certificate
+//! ratchets the same way: `determinism-certificate.json` is compared
+//! byte-for-byte against what the current analysis would generate, so a
+//! regressed fact (or an unrecorded improvement) fails tier-1 until the
+//! file is re-recorded with `--write-certificate`.
 
 // Test-support code: panicking on a broken invariant is the point.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use hyperpower_analyze::baseline::{Baseline, BASELINE_FILE};
-use hyperpower_analyze::{analyze_workspace, find_workspace_root, Rule};
+use hyperpower_analyze::certificate::CERTIFICATE_FILE;
+use hyperpower_analyze::{analyze_workspace, find_workspace_root, generate_certificate, Rule};
 
 fn workspace_root() -> std::path::PathBuf {
     find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
@@ -68,7 +77,7 @@ fn analyzer_scans_the_real_library_sources() {
 
 #[test]
 fn analyzer_reports_every_rule_kind() {
-    // The report must account for all fourteen rules even when clean, so
+    // The report must account for all nineteen rules even when clean, so
     // a rule silently dropped from the rule set is caught here.
     let root = workspace_root();
     let report = analyze_workspace(&root).expect("workspace sources readable");
@@ -92,7 +101,34 @@ fn analyzer_reports_every_rule_kind() {
     }
     assert_eq!(
         Rule::ALL.len(),
-        14,
-        "expected exactly fourteen analyzer rules"
+        19,
+        "expected exactly nineteen analyzer rules"
     );
+}
+
+#[test]
+fn determinism_certificate_is_committed_and_current() {
+    let root = workspace_root();
+    let generated = generate_certificate(&root)
+        .expect("workspace sources readable")
+        .expect("trace-affecting crates exist");
+    let committed = std::fs::read_to_string(root.join(CERTIFICATE_FILE))
+        .expect("determinism-certificate.json is committed at the repo root");
+    assert_eq!(
+        committed, generated,
+        "determinism certificate is stale: re-record it with \
+         `cargo run -p hyperpower-analyze -- --write-certificate`"
+    );
+}
+
+#[test]
+fn determinism_certificate_generation_is_byte_deterministic() {
+    let root = workspace_root();
+    let a = generate_certificate(&root)
+        .expect("workspace sources readable")
+        .expect("trace-affecting crates exist");
+    let b = generate_certificate(&root)
+        .expect("workspace sources readable")
+        .expect("trace-affecting crates exist");
+    assert_eq!(a, b, "two certificate generations over one tree diverged");
 }
