@@ -24,6 +24,9 @@ pub const RNG_ROOTS: &[&str] = &[
     "crates/data/src/generator.rs",
     "crates/gpu-sim/src/fault.rs",
     "crates/gpu-sim/src/sensor.rs",
+    // Seeded corpus generation for the linalg hot-path benches: the bench
+    // workload is pinned by BENCH_linalg.json, so the module owns its RNG.
+    "crates/linalg/src/corpus.rs",
     "crates/nn/src/layers/dropout.rs",
     "crates/nn/src/network.rs",
     "crates/nn/src/sim.rs",

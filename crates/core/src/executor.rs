@@ -574,6 +574,10 @@ fn run_single_gpu(
         let mut planned: Vec<PlannedItem> = Vec::with_capacity(block);
         let base_slot = samples.len() as u64;
         for offset in 0..block as u64 {
+            // BO searchers score their candidate grid in blocks through the
+            // batched GP posterior (`BoSearcher::GP_SCORE_BLOCK`); the
+            // batched path is bit-identical to per-point prediction, so
+            // proposals here match the pre-batching traces byte-for-byte.
             let config = searcher.propose(space, &history, &mut rng)?;
             let degradations = searcher.drain_degradations();
             let decoded = space.decode(&config)?;

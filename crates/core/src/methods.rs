@@ -18,7 +18,7 @@ use hyperpower_gp::acquisition::{
     expected_improvement_at, lower_confidence_bound_at, probability_of_improvement_at,
 };
 use hyperpower_gp::sampler::uniform_candidates;
-use hyperpower_gp::{fit_gp_hyperparams_laddered, FitOptions, Matern52};
+use hyperpower_gp::{fit_gp_hyperparams_laddered, FitOptions, Matern52, Prediction};
 use hyperpower_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -465,6 +465,15 @@ impl BoSearcher {
     /// error, i.e. "assume the pending run diverges".
     pub const CONSTANT_LIAR_FALLBACK: f64 = 0.9;
 
+    /// Candidate-block size for batched GP scoring: each block becomes one
+    /// multi-RHS triangular solve through
+    /// [`GpRegressor::posterior_batch`](hyperpower_gp::GpRegressor::posterior_batch)
+    /// instead of one solve per candidate. Large enough to amortize the
+    /// factor traversal, small enough to keep the per-block scratch matrix
+    /// in cache. Batching never changes scores: the batched posterior is
+    /// bit-identical to per-point `predict`.
+    pub const GP_SCORE_BLOCK: usize = 64;
+
     /// Creates a BO searcher with the paper's Expected Improvement base.
     ///
     /// # Panics
@@ -613,18 +622,39 @@ impl Searcher for BoSearcher {
             BaseAcquisition::LowerConfidenceBound { .. }
         );
         let any_feasible = weighted.iter().any(|(_, w)| *w > 0.0);
-        let mut scored: Vec<(Config, f64, f64)> = Vec::with_capacity(weighted.len());
-        for (candidate, weight) in weighted {
-            // The expensive objective runs only where its value can reach
-            // the proposal: LCB's penalty form needs every base, EI/PI
-            // need bases for predicted-feasible candidates — and for the
-            // whole grid only when nothing is feasible and the unweighted
-            // fallback will have to decide. A skipped base contributes
-            // base * 0.0 == 0.0 exactly as before, so selection is
-            // unchanged.
-            let base = if lcb || weight > 0.0 || !any_feasible {
-                let prediction = fitted.gp.predict(candidate.unit())?;
-                match self.base_acquisition {
+        // The expensive objective runs only where its value can reach the
+        // proposal: LCB's penalty form needs every base, EI/PI need bases
+        // for predicted-feasible candidates — and for the whole grid only
+        // when nothing is feasible and the unweighted fallback will have
+        // to decide. A skipped base contributes base * 0.0 == 0.0 exactly
+        // as before, so selection is unchanged.
+        //
+        // Candidates that do need a base are scored in blocks of
+        // [`Self::GP_SCORE_BLOCK`] through the batched posterior — one
+        // multi-RHS triangular solve per block instead of one solve per
+        // candidate. `posterior_batch` is bit-identical to per-point
+        // `predict` (pinned by `crates/gp/tests/posterior_batch.rs`), so
+        // the acquisition sees the same numbers either way.
+        let needs_base: Vec<usize> = weighted
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, weight))| lcb || *weight > 0.0 || !any_feasible)
+            .map(|(i, _)| i)
+            .collect();
+        let mut bases = vec![0.0f64; weighted.len()];
+        for block in needs_base.chunks(Self::GP_SCORE_BLOCK) {
+            let mut units = Vec::with_capacity(block.len() * d);
+            for &i in block {
+                units.extend_from_slice(weighted[i].0.unit());
+            }
+            let queries = Matrix::from_vec(block.len(), d, units).map_err(Error::Numerical)?;
+            let (means, variances) = fitted.gp.posterior_batch(&queries)?;
+            for (q, &i) in block.iter().enumerate() {
+                let prediction = Prediction {
+                    mean: means[q],
+                    variance: variances[q],
+                };
+                bases[i] = match self.base_acquisition {
                     BaseAcquisition::ExpectedImprovement => {
                         expected_improvement_at(prediction, best)
                     }
@@ -634,12 +664,14 @@ impl Searcher for BoSearcher {
                     BaseAcquisition::LowerConfidenceBound { beta } => {
                         lower_confidence_bound_at(prediction, beta)
                     }
-                }
-            } else {
-                0.0
-            };
-            scored.push((candidate, base, weight));
+                };
+            }
         }
+        let scored: Vec<(Config, f64, f64)> = weighted
+            .into_iter()
+            .zip(bases)
+            .map(|((candidate, weight), base)| (candidate, base, weight))
+            .collect();
         if lcb {
             let lo = scored
                 .iter()

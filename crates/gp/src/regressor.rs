@@ -166,6 +166,68 @@ impl GpRegressor {
         Ok(Prediction { mean, variance })
     }
 
+    /// Posterior means and (noise-free, clamped) variances for a whole
+    /// block of query points — the rows of `queries` — in one pass.
+    ///
+    /// Semantically this is `predict` applied to every row, and the results
+    /// are **bit-for-bit identical** to the per-point path (pinned by
+    /// `tests/posterior_batch.rs` and the workspace goldens): each query's
+    /// `k*` vector, mean dot product, triangular solve and variance
+    /// reduction execute the exact same operation sequence. What changes is
+    /// the memory traffic — the `m` forward substitutions run as one
+    /// multi-RHS blocked solve ([`Cholesky::solve_lower_columns`]), so each
+    /// panel row of `L` is loaded once per block instead of once per query.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] if `queries.cols()` differs from the
+    ///   training dimensionality.
+    /// * [`Error::Numerical`] if the triangular solve against the stored
+    ///   factorization fails.
+    pub fn posterior_batch(&self, queries: &Matrix) -> Result<(Vec<f64>, Vec<f64>)> {
+        if queries.cols() != self.x_train.cols() {
+            return Err(Error::DimensionMismatch {
+                expected: format!("queries with {} columns", self.x_train.cols()),
+                found: format!("queries with {} columns", queries.cols()),
+            });
+        }
+        let m = queries.rows();
+        let n = self.x_train.rows();
+        // K* gathered column-wise (n×m): component-major is exactly the
+        // layout the multi-RHS forward solve wants.
+        let mut kstar = Matrix::zeros(n, m);
+        let mut means = Vec::with_capacity(m);
+        for q in 0..m {
+            let k_star: Vec<f64> = self
+                .kernel
+                .cross(queries.row(q), &self.x_train)
+                .into_iter()
+                .map(|v| v * self.signal_variance)
+                .collect();
+            means.push(self.y_mean + vector::dot(&k_star, &self.alpha));
+            for (i, v) in k_star.into_iter().enumerate() {
+                kstar[(i, q)] = v;
+            }
+        }
+        let v = self
+            .chol
+            .solve_lower_columns(&kstar)
+            .map_err(Error::Numerical)?;
+        // Column dots in row-major storage: transpose once so each query's
+        // `vᵀv` is the same contiguous `vector::dot` fold `predict` runs.
+        let vt = v.transpose();
+        let mut variances = Vec::with_capacity(m);
+        for q in 0..m {
+            let query = queries.row(q);
+            let prior = self.signal_variance * self.kernel.eval(query, query);
+            let vq = vt.row(q);
+            variances.push((prior - vector::dot(vq, vq)).max(0.0));
+        }
+        hyperpower_linalg::debug_assert_finite!("gp batch posterior means", &means);
+        hyperpower_linalg::debug_assert_finite!("gp batch posterior variances", &variances);
+        Ok((means, variances))
+    }
+
     /// Joint posterior over a set of query points (rows of `queries`):
     /// the posterior mean vector and the full posterior covariance matrix.
     ///
@@ -188,9 +250,12 @@ impl GpRegressor {
             });
         }
         let m = queries.rows();
-        // Cross-covariance K* (m×n) and prior K** (m×m).
+        let n = self.x_train.rows();
+        // Cross-covariance K* gathered column-wise (n×m), solved for all
+        // queries in one blocked multi-RHS pass — bit-identical per column
+        // to the per-query `solve_lower` this loop used to run.
         let mut mean = Vec::with_capacity(m);
-        let mut v_rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut kstar = Matrix::zeros(n, m);
         for i in 0..m {
             let k_star: Vec<f64> = self
                 .kernel
@@ -199,13 +264,16 @@ impl GpRegressor {
                 .map(|v| v * self.signal_variance)
                 .collect();
             mean.push(self.y_mean + vector::dot(&k_star, &self.alpha));
-            let v = self.chol.solve_lower(&k_star)?;
-            v_rows.push(v);
+            for (r, v) in k_star.into_iter().enumerate() {
+                kstar[(r, i)] = v;
+            }
         }
+        let v = self.chol.solve_lower_columns(&kstar)?;
+        let vt = v.transpose();
         hyperpower_linalg::debug_assert_finite!("gp joint posterior mean", &mean);
         let cov = Matrix::from_fn(m, m, |i, j| {
             let prior = self.signal_variance * self.kernel.eval(queries.row(i), queries.row(j));
-            prior - vector::dot(&v_rows[i], &v_rows[j])
+            prior - vector::dot(vt.row(i), vt.row(j))
         });
         Ok((mean, cov))
     }

@@ -1,0 +1,155 @@
+//! Speedup ratchet for batched GP acquisition scoring.
+//!
+//! `BENCH_gp.json` at the workspace root commits the facts about the
+//! `benches/gp_batch.rs` workload — the corpus checksums (same seeded
+//! corpus as the bench, so the committed numbers always describe the same
+//! bits), the reference timings, and a *relative* floor: scoring the
+//! candidate grid through `posterior_batch` in blocks must stay at least
+//! `batch_speedup_floor`× faster than the per-point `predict` loop it
+//! replaced, measured side by side on whatever machine runs the test. The
+//! speedup only counts because the outputs are bit-identical — that part
+//! is asserted here too, on the full grid.
+
+// Test-support code: panicking on a broken invariant is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+
+use std::time::Instant;
+
+use hyperpower_gp::{GpRegressor, Matern52};
+use hyperpower_linalg::{corpus, Matrix};
+
+const BENCH_FILE: &str = "BENCH_gp.json";
+
+fn bench_text() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(BENCH_FILE);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{} unreadable: {e}", path.display()))
+}
+
+fn committed(key: &str, text: &str) -> f64 {
+    let pat = format!("\"{key}\": ");
+    let start = text
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{BENCH_FILE} missing key {key}"))
+        + pat.len();
+    let digits: String = text[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("{BENCH_FILE}: key {key} is not a number"))
+}
+
+struct Workload {
+    gp: GpRegressor,
+    grid: Matrix,
+    blocks: Vec<Matrix>,
+}
+
+fn workload(text: &str) -> Workload {
+    let train_n = committed("train_n", text) as usize;
+    let dims = committed("dims", text) as usize;
+    let candidates = committed("candidates", text) as usize;
+    let block = committed("block", text) as usize;
+
+    let x = corpus::dense(0x6701, train_n, dims);
+    let y = corpus::vector(0x6702, train_n);
+    let grid = corpus::dense(0x6703, candidates, dims);
+    assert_eq!(
+        f64::from(corpus::checksum(&x)),
+        committed("checksum_train", text),
+        "seeded training corpus changed bits: refresh {BENCH_FILE}"
+    );
+    assert_eq!(
+        f64::from(corpus::checksum(&grid)),
+        committed("checksum_grid", text),
+        "seeded candidate grid changed bits: refresh {BENCH_FILE}"
+    );
+
+    let gp = GpRegressor::fit(Matern52::new(0.5).into_kernel(), 1.0, 1e-6, &x, &y)
+        .expect("corpus surrogate fit");
+    let blocks: Vec<Matrix> = (0..candidates / block)
+        .map(|i| {
+            let data: Vec<f64> = (i * block..(i + 1) * block)
+                .flat_map(|r| grid.row(r).iter().copied())
+                .collect();
+            Matrix::from_vec(block, dims, data).expect("sized to shape")
+        })
+        .collect();
+    Workload { gp, grid, blocks }
+}
+
+/// Best-of-`reps` wall time of `f`, after one warm-up call.
+fn best_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let _ = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let _ = std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[test]
+fn batched_scoring_keeps_committed_speedup_over_pointwise() {
+    let text = bench_text();
+    let floor = committed("batch_speedup_floor", &text);
+    let w = workload(&text);
+
+    // Bit-equality first: the speedup only counts for identical numbers.
+    let mut pointwise: Vec<(f64, f64)> = Vec::with_capacity(w.grid.rows());
+    for i in 0..w.grid.rows() {
+        let p = w.gp.predict(w.grid.row(i)).expect("in-domain query");
+        pointwise.push((p.mean, p.variance));
+    }
+    let mut q = 0usize;
+    for b in &w.blocks {
+        let (means, variances) = w.gp.posterior_batch(b).expect("in-domain block");
+        for (m, v) in means.iter().zip(&variances) {
+            assert_eq!(
+                m.to_bits(),
+                pointwise[q].0.to_bits(),
+                "mean bits diverged at candidate {q}"
+            );
+            assert_eq!(
+                v.to_bits(),
+                pointwise[q].1.to_bits(),
+                "variance bits diverged at candidate {q}"
+            );
+            q += 1;
+        }
+    }
+    assert_eq!(q, w.grid.rows(), "blocks must tile the whole grid");
+
+    let point_secs = best_secs(3, || {
+        let mut acc = 0.0f64;
+        for i in 0..w.grid.rows() {
+            let p = w.gp.predict(w.grid.row(i)).expect("in-domain query");
+            acc += p.mean + p.variance;
+        }
+        acc
+    });
+    let batch_secs = best_secs(3, || {
+        let mut acc = 0.0f64;
+        for b in &w.blocks {
+            let (means, variances) = w.gp.posterior_batch(b).expect("in-domain block");
+            acc += means.iter().sum::<f64>() + variances.iter().sum::<f64>();
+        }
+        acc
+    });
+
+    let speedup = point_secs / batch_secs;
+    eprintln!(
+        "gp scoring {} candidates: pointwise {point_secs:.4}s, batched \
+         {batch_secs:.4}s, speedup {speedup:.2}x (floor {floor}x)",
+        w.grid.rows()
+    );
+    assert!(
+        speedup >= floor,
+        "batched acquisition speedup regressed: {speedup:.2}x < committed \
+         floor {floor}x ({BENCH_FILE})"
+    );
+}

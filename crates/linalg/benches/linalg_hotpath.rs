@@ -1,0 +1,74 @@
+//! Hot-path throughput of the blocked linalg kernels.
+//!
+//! Every workload comes from the seeded corpus in
+//! [`hyperpower_linalg::corpus`] so the numbers committed to
+//! `BENCH_linalg.json` (workspace root) always describe the same bits;
+//! `tests/bench_ratchet.rs` pins the corpus checksums and fails the build
+//! if the blocked kernels lose their recorded speedup over the frozen
+//! naive loops.
+//!
+//! Workload sizes match the ratchet: n = 256 for `matmul`/`matvec`/
+//! `cholesky`/`solve_matrix` (the GP hot path's working size), 256×64 for
+//! `gram` (tall-thin, the kernel-matrix shape).
+
+// Bench-support code: panicking on a broken invariant is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hyperpower_linalg::{corpus, Cholesky};
+
+/// Must match `n` in `BENCH_linalg.json`.
+const N: usize = 256;
+
+fn matmul_hotpath(c: &mut Criterion) {
+    let a = corpus::dense(1, N, N);
+    let b = corpus::dense(2, N, N);
+    c.bench_function(&format!("matmul/{N}x{N}"), |bch| {
+        bch.iter(|| black_box(&a).matmul(black_box(&b)).expect("square product"))
+    });
+}
+
+fn gram_hotpath(c: &mut Criterion) {
+    let x = corpus::dense(3, N, N / 4);
+    c.bench_function(&format!("gram/{N}x{}", N / 4), |bch| {
+        bch.iter(|| black_box(&x).gram())
+    });
+}
+
+fn matvec_hotpath(c: &mut Criterion) {
+    let a = corpus::dense(1, N, N);
+    let v = corpus::vector(4, N);
+    c.bench_function(&format!("matvec/{N}x{N}"), |bch| {
+        bch.iter(|| black_box(&a).matvec(black_box(&v)).expect("length matches"))
+    });
+}
+
+fn cholesky_hotpath(c: &mut Criterion) {
+    let a = corpus::spd(5, N);
+    c.bench_function(&format!("cholesky/{N}"), |bch| {
+        bch.iter(|| Cholesky::factor(black_box(&a)).expect("SPD by construction"))
+    });
+}
+
+fn solve_matrix_hotpath(c: &mut Criterion) {
+    let a = corpus::spd(5, N);
+    let chol = Cholesky::factor(&a).expect("SPD by construction");
+    let b = corpus::dense(6, N, 8);
+    c.bench_function(&format!("solve_matrix/{N}x8"), |bch| {
+        bch.iter(|| {
+            black_box(&chol)
+                .solve_matrix(black_box(&b))
+                .expect("shapes agree")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    matmul_hotpath,
+    gram_hotpath,
+    matvec_hotpath,
+    cholesky_hotpath,
+    solve_matrix_hotpath
+);
+criterion_main!(benches);

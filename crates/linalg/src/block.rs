@@ -1,0 +1,462 @@
+//! Cache-blocked, register-tiled kernels behind [`Matrix`](crate::Matrix)
+//! and [`Cholesky`](crate::Cholesky).
+//!
+//! # The accumulation-order contract
+//!
+//! Every kernel in this module is a *layout* optimization, never a
+//! *reassociation*: for each output element, the sequence of floating-point
+//! operations that produces it — the order of the k-loop, the placement of
+//! the final divide, the `== 0.0` skip in `matmul`/`gram` — is exactly the
+//! sequence the naive element-at-a-time loops in `matrix.rs`/`cholesky.rs`
+//! used before this module existed. Blocking only changes *which output
+//! elements are in flight at once* (register tiles over output rows and
+//! columns, panels over the factorization), which is invisible to IEEE-754
+//! arithmetic. The frozen naive kernels live on as test oracles in
+//! `tests/reference_kernels.rs`, which property-tests bit-exactness of every
+//! kernel here against them; the 12 golden traces at the workspace root pin
+//! the same contract end-to-end.
+//!
+//! Legal moves when extending this module (see DESIGN.md §2a):
+//! * tile output rows/columns; hoist loads; pack panels into contiguous
+//!   scratch (an f64 copied through memory is the same f64);
+//! * split a reduction loop into sequential chunks executed in increasing
+//!   order with the running value carried between chunks (in a register or
+//!   in memory — both are exact).
+//!
+//! Illegal moves:
+//! * reordering or splitting a reduction into independent partial sums;
+//! * dropping or widening a `== 0.0` skip (`0.0 * inf` is NaN, and adding
+//!   `±0.0` can flip the sign of a `-0.0` accumulator);
+//! * dividing before the accumulation finishes, or fusing multiply-add
+//!   (Rust never contracts `a*b + c` on its own; keep it that way).
+
+/// Rows per register tile: each micro-kernel keeps `MR` output rows of
+/// accumulators live so a loaded `rhs` element is reused `MR` times.
+pub const MR: usize = 4;
+
+/// Columns per register tile: `MR * NR` f64 accumulators fit in the vector
+/// register file, so the k-loop runs without touching the output in memory.
+pub const NR: usize = 8;
+
+/// Panel width for the blocked Cholesky factorization and the blocked
+/// triangular solves. Tuned for the workspace's n ≈ 64–512 range: a panel
+/// of `PANEL` columns (≤ 32·8 bytes per row) stays L1-resident across the
+/// trailing update that reuses it O(n) times.
+pub const PANEL: usize = 32;
+
+/// Rows of the `matmul` micro-tile. 4×8 keeps the accumulator tile (8 YMM
+/// registers at the x86-64-v3 target the workspace builds for — see
+/// `.cargo/config.toml`) plus a `b`-row vector and an `a` broadcast inside
+/// the 16-register vector file; the crate forbids `unsafe`, so the kernels
+/// rely on auto-vectorization for their SIMD.
+const MM_R: usize = 4;
+
+/// Columns of the `matmul` micro-tile (see [`MM_R`]).
+const MM_N: usize = 8;
+
+/// Full-tile `matmul` micro-kernel for rows with no exact-`0.0` operand:
+/// `acc[r] += arows[r][k] · bp[k·MM_N..]` for every k, in increasing k.
+///
+/// `bp` is the packed `kdim`×`MM_N` column panel of `b`. Everything here is
+/// zipped iterators on purpose: with no slice indexing there is no panic
+/// path, so LLVM keeps the whole 4×8 accumulator tile in registers across
+/// the k-loop and vectorizes the column dimension (a bounds check inside
+/// the loop forces the tile back to the stack every iteration, because the
+/// caller's `acc` must be consistent if the check ever unwound).
+/// `#[inline(never)]` keeps that property: compiled in isolation the
+/// optimizer sees only noalias parameters, while inlined into the tile
+/// loops of [`matmul_into`] the surrounding state defeats the register
+/// promotion. The call overhead is amortized over `kdim · MM_R · MM_N`
+/// multiply-adds.
+#[inline(never)]
+fn tile_kernel_clean(arows: &[&[f64]; MM_R], bp: &[f64], acc: &mut [[f64; MM_N]; MM_R]) {
+    let [a0s, a1s, a2s, a3s] = *arows;
+    let [acc0, acc1, acc2, acc3] = acc;
+    for ((((brow, &a0), &a1), &a2), &a3) in
+        bp.chunks_exact(MM_N).zip(a0s).zip(a1s).zip(a2s).zip(a3s)
+    {
+        for (s, &bv) in acc0.iter_mut().zip(brow) {
+            *s += a0 * bv;
+        }
+        for (s, &bv) in acc1.iter_mut().zip(brow) {
+            *s += a1 * bv;
+        }
+        for (s, &bv) in acc2.iter_mut().zip(brow) {
+            *s += a2 * bv;
+        }
+        for (s, &bv) in acc3.iter_mut().zip(brow) {
+            *s += a3 * bv;
+        }
+    }
+}
+
+/// Full-tile `matmul` micro-kernel with the naive `== 0.0` skip.
+///
+/// Same shape as [`tile_kernel_clean`] — zipped, panic-free, isolated — but
+/// each row's update is guarded exactly as the naive loop guards it. Per
+/// output element the sequence is identical either way; the clean variant
+/// exists because a per-k compare costs as much as the arithmetic it gates.
+#[inline(never)]
+fn tile_kernel_skip(arows: &[&[f64]; MM_R], bp: &[f64], acc: &mut [[f64; MM_N]; MM_R]) {
+    let [a0s, a1s, a2s, a3s] = *arows;
+    let [acc0, acc1, acc2, acc3] = acc;
+    for ((((brow, &a0), &a1), &a2), &a3) in
+        bp.chunks_exact(MM_N).zip(a0s).zip(a1s).zip(a2s).zip(a3s)
+    {
+        if a0 != 0.0 {
+            for (s, &bv) in acc0.iter_mut().zip(brow) {
+                *s += a0 * bv;
+            }
+        }
+        if a1 != 0.0 {
+            for (s, &bv) in acc1.iter_mut().zip(brow) {
+                *s += a1 * bv;
+            }
+        }
+        if a2 != 0.0 {
+            for (s, &bv) in acc2.iter_mut().zip(brow) {
+                *s += a2 * bv;
+            }
+        }
+        if a3 != 0.0 {
+            for (s, &bv) in acc3.iter_mut().zip(brow) {
+                *s += a3 * bv;
+            }
+        }
+    }
+}
+
+/// `out = a · b` for row-major `a` (m×k), `b` (k×n), `out` (m×n, zeroed).
+///
+/// Register-tiled over `MM_R`×`MM_N` output blocks; per output element the
+/// k-loop is sequential in increasing k with the naive kernel's exact
+/// `a[(i,k)] == 0.0` skip, so every element is bit-identical to
+/// `for i { for k { if a != 0 { for j { out += a * b } } } }`.
+pub(crate) fn matmul_into(m: usize, kdim: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * kdim);
+    debug_assert_eq!(b.len(), kdim * n);
+    debug_assert_eq!(out.len(), m * n);
+    // One pass over `a` up front: rows with no exact zero never take the
+    // `== 0.0` skip, so tiles made of clean rows can run a branch-free
+    // k-loop — the identical operation sequence, minus a per-k check that
+    // would otherwise cost as much as the arithmetic.
+    let row_clean: Vec<bool> = (0..m)
+        .map(|i| !a[i * kdim..(i + 1) * kdim].contains(&0.0))
+        .collect();
+    // j0 outer: the kdim×MM_N panel of `b` a tile column reads stays
+    // cache-resident while every row tile sweeps over it; with i0 outer
+    // each row tile would re-stream all of `b` instead. Loop order over
+    // *tiles* is free under the contract — it never changes the
+    // per-element operation sequence.
+    let mut j0 = 0;
+    let mut bp = vec![0.0f64; 0];
+    while j0 < n {
+        let jw = (n - j0).min(MM_N);
+        // Pack the b panel contiguously (bit-exact copy): the k-loop then
+        // streams 64-byte lines instead of stride-n rows.
+        bp.resize(kdim * jw, 0.0);
+        for k in 0..kdim {
+            bp[k * jw..(k + 1) * jw].copy_from_slice(&b[k * n + j0..k * n + j0 + jw]);
+        }
+        let mut i0 = 0;
+        while i0 < m {
+            let ih = (m - i0).min(MM_R);
+            // The accumulator tile lives in registers for the whole k-loop.
+            let mut acc = [[0.0f64; MM_N]; MM_R];
+            if ih == MM_R && jw == MM_N {
+                let arows: [&[f64]; MM_R] =
+                    core::array::from_fn(|r| &a[(i0 + r) * kdim..(i0 + r + 1) * kdim]);
+                if row_clean[i0..i0 + MM_R].iter().all(|&c| c) {
+                    // No operand in these rows hits the `== 0.0` skip, so
+                    // running every row unconditionally is the identical
+                    // sequence. (NaN rows land here too: NaN is not
+                    // `== 0.0`, so the naive loop does not skip it either.)
+                    tile_kernel_clean(&arows, &bp, &mut acc);
+                } else {
+                    tile_kernel_skip(&arows, &bp, &mut acc);
+                }
+            } else {
+                // Edge tiles (ih < MM_R or jw < MM_N) run the same
+                // operation sequence on a partial tile.
+                for k in 0..kdim {
+                    let brow = &bp[k * jw..k * jw + jw];
+                    for (r, accr) in acc.iter_mut().enumerate().take(ih) {
+                        let av = a[(i0 + r) * kdim + k];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        for (c, bv) in brow.iter().enumerate() {
+                            accr[c] += av * bv;
+                        }
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate().take(ih) {
+                out[(i0 + r) * n + j0..(i0 + r) * n + j0 + jw].copy_from_slice(&accr[..jw]);
+            }
+            i0 += MM_R;
+        }
+        j0 += MM_N;
+    }
+}
+
+/// `out[i] = dot(a.row(i), x)` for row-major `a` (m×k).
+///
+/// Processes `MR` rows per pass so each `x[k]` load is amortized. Per row
+/// the accumulation is `-0.0 + a[i,0]·x[0] + a[i,1]·x[1] + …` — the exact
+/// fold of [`crate::vector::dot`], whose `Iterator::sum` starts from the
+/// IEEE additive identity `-0.0` (observable: a dot product whose only
+/// nonzero-free products are `-0.0` sums to `-0.0`, not `+0.0`).
+pub(crate) fn matvec_into(m: usize, kdim: usize, a: &[f64], x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * kdim);
+    debug_assert_eq!(x.len(), kdim);
+    debug_assert_eq!(out.len(), m);
+    let mut i0 = 0;
+    while i0 < m {
+        let ih = (m - i0).min(MR);
+        let mut acc = [-0.0f64; MR];
+        for (k, &xv) in x.iter().enumerate() {
+            for (r, accr) in acc.iter_mut().enumerate().take(ih) {
+                *accr += a[(i0 + r) * kdim + k] * xv;
+            }
+        }
+        out[i0..i0 + ih].copy_from_slice(&acc[..ih]);
+        i0 += MR;
+    }
+}
+
+/// Upper triangle of `out = xᵀ·x` for row-major `x` (rows×cols), then a
+/// mirror copy into the lower triangle — the naive `gram` contract.
+///
+/// The reduction runs over the rows of `x` in increasing order with the
+/// naive kernel's `row[a] == 0.0` skip; register tiles cover `MR`×`NR`
+/// output blocks. Tiles strictly below the diagonal are skipped; tiles
+/// crossing it compute a few sub-diagonal lanes and discard them (the
+/// stores are guarded to `b >= a`), which never touches observable state.
+pub(crate) fn gram_into(rows: usize, cols: usize, x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), rows * cols);
+    debug_assert_eq!(out.len(), cols * cols);
+    let mut a0 = 0;
+    while a0 < cols {
+        let ah = (cols - a0).min(MR);
+        // First tile column that intersects the upper triangle b >= a0.
+        let mut b0 = (a0 / NR) * NR;
+        while b0 < cols {
+            let bw = (cols - b0).min(NR);
+            let mut acc = [[0.0f64; NR]; MR];
+            for i in 0..rows {
+                let row = &x[i * cols..(i + 1) * cols];
+                for (r, accr) in acc.iter_mut().enumerate().take(ah) {
+                    let ra = row[a0 + r];
+                    if ra == 0.0 {
+                        continue;
+                    }
+                    for (c, rb) in row[b0..b0 + bw].iter().enumerate() {
+                        accr[c] += ra * rb;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate().take(ah) {
+                let arow = a0 + r;
+                for (c, &v) in accr.iter().enumerate().take(bw) {
+                    let bcol = b0 + c;
+                    if bcol >= arow {
+                        out[arow * cols + bcol] = v;
+                    }
+                }
+            }
+            b0 += NR;
+        }
+        a0 += MR;
+    }
+    for a in 0..cols {
+        for b in 0..a {
+            out[a * cols + b] = out[b * cols + a];
+        }
+    }
+}
+
+/// Blocked right-looking Cholesky: factors the lower triangle of `a` (n×n,
+/// row-major) into `l` (pre-zeroed n×n).
+///
+/// Returns `Err((pivot, value))` on the first non-positive or non-finite
+/// pivot — the same index and the bit-identical pivot value the naive
+/// left-looking loop reports, because pivots are visited in the same order
+/// and every intermediate is produced by the same operation sequence:
+/// element (i, j) accumulates `a[i,j] − Σ_{k<j} l[i,k]·l[j,k]` with k
+/// strictly increasing (earlier panels are subtracted by the trailing
+/// update, the in-panel remainder by the panel factorization), then takes
+/// the same `sqrt`/divide.
+pub(crate) fn cholesky_factor(n: usize, a: &[f64], l: &mut [f64]) -> Result<(), (usize, f64)> {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(l.len(), n * n);
+    // Workspace: the lower triangle of `a`, updated in place panel by panel.
+    for i in 0..n {
+        for j in 0..=i {
+            l[i * n + j] = a[i * n + j];
+        }
+    }
+    let mut k0 = 0;
+    while k0 < n {
+        let k1 = (k0 + PANEL).min(n);
+        // Factor the diagonal block (left-looking within the panel; the
+        // contributions of columns < k0 are already subtracted).
+        for i in k0..k1 {
+            for j in k0..=i {
+                let mut sum = l[i * n + j];
+                for k in k0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err((i, sum));
+                    }
+                    l[i * n + j] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        // Panel solve: rows below the diagonal block against the panel.
+        for i in k1..n {
+            for j in k0..k1 {
+                let mut sum = l[i * n + j];
+                for k in k0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+        // Trailing update: w[i,j] −= Σ_{k in panel} l[i,k]·l[j,k] for the
+        // remaining lower triangle, k strictly increasing per element.
+        if k1 < n {
+            trailing_update(n, k0, k1, l);
+        }
+        k0 = k1;
+    }
+    Ok(())
+}
+
+/// Rank-`k1-k0` update of the trailing lower triangle, register-tiled.
+///
+/// Packs the panel transposed (`pt[k][j] = l[j][k]`) so the micro-kernel
+/// reads both operands contiguously; packing copies f64 values bit-exactly.
+fn trailing_update(n: usize, k0: usize, k1: usize, l: &mut [f64]) {
+    let kw = k1 - k0;
+    let tn = n - k1;
+    let mut pt = vec![0.0f64; kw * tn];
+    for j in 0..tn {
+        for (k, ptk) in pt.chunks_exact_mut(tn).enumerate() {
+            ptk[j] = l[(k1 + j) * n + k0 + k];
+        }
+    }
+    let mut i0 = k1;
+    while i0 < n {
+        let ih = (n - i0).min(MR);
+        let mut j0 = k1;
+        // Only tiles intersecting the lower triangle j <= i.
+        while j0 < n && j0 < i0 + ih {
+            let jw = (n - j0).min(NR);
+            let mut acc = [[0.0f64; NR]; MR];
+            for (r, accr) in acc.iter_mut().enumerate().take(ih) {
+                accr[..jw].copy_from_slice(&l[(i0 + r) * n + j0..(i0 + r) * n + j0 + jw]);
+            }
+            for (k, ptk) in pt.chunks_exact(tn).enumerate() {
+                let pj = &ptk[j0 - k1..j0 - k1 + jw];
+                for (r, accr) in acc.iter_mut().enumerate().take(ih) {
+                    let lik = l[(i0 + r) * n + k0 + k];
+                    for (c, &pv) in pj.iter().enumerate() {
+                        accr[c] -= lik * pv;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate().take(ih) {
+                let irow = i0 + r;
+                for (c, &v) in accr.iter().enumerate().take(jw) {
+                    let jcol = j0 + c;
+                    if jcol <= irow {
+                        l[irow * n + jcol] = v;
+                    }
+                }
+            }
+            j0 += NR;
+        }
+        i0 += MR;
+    }
+}
+
+/// Blocked forward substitution `L·Y = B` for `nrhs` right-hand sides
+/// stored column-wise: `y[i * nrhs + r]` is component `i` of RHS `r`.
+///
+/// On entry `y` holds `B`; on exit it holds `Y`. Per (element, RHS) the
+/// operation sequence is the naive single-RHS `solve_lower`: subtract
+/// `l[i,k]·y[k]` for k = 0..i in increasing order (earlier panels via the
+/// trailing update, the in-panel remainder in place), then divide by
+/// `l[i,i]`. Carrying the partial value through memory between panels is
+/// exact; only the L traffic changes (each panel row is loaded once and
+/// reused across all RHS).
+pub(crate) fn solve_lower_multi(n: usize, l: &[f64], nrhs: usize, y: &mut [f64]) {
+    debug_assert_eq!(l.len(), n * n);
+    debug_assert_eq!(y.len(), n * nrhs);
+    let mut a0 = 0;
+    while a0 < n {
+        let a1 = (a0 + PANEL).min(n);
+        for i in a0..a1 {
+            let (head, tail) = y.split_at_mut(i * nrhs);
+            let yi = &mut tail[..nrhs];
+            for k in a0..i {
+                let lik = l[i * n + k];
+                let yk = &head[k * nrhs..(k + 1) * nrhs];
+                for (yv, &kv) in yi.iter_mut().zip(yk) {
+                    *yv -= lik * kv;
+                }
+            }
+            let d = l[i * n + i];
+            for yv in yi.iter_mut() {
+                *yv /= d;
+            }
+        }
+        for i in a1..n {
+            let (head, tail) = y.split_at_mut(i * nrhs);
+            let yi = &mut tail[..nrhs];
+            for k in a0..a1 {
+                let lik = l[i * n + k];
+                let yk = &head[k * nrhs..(k + 1) * nrhs];
+                for (yv, &kv) in yi.iter_mut().zip(yk) {
+                    *yv -= lik * kv;
+                }
+            }
+        }
+        a0 = a1;
+    }
+}
+
+/// Backward substitution `Lᵀ·X = Y` for `nrhs` right-hand sides stored
+/// column-wise (`y[i * nrhs + r]`), reading `L` through its cached
+/// transpose `lt` (`lt[i * n + k] = l[k * n + i]`).
+///
+/// Backward substitution cannot be panel-reordered without changing the
+/// per-element k order (element i needs x[k] for *all* k > i before it can
+/// finish), so the blocking here is layout-only: the transposed factor
+/// makes the k-loop a contiguous read, and the RHS dimension vectorizes.
+/// Per (element, RHS): subtract `l[k,i]·x[k]` for k = i+1..n in increasing
+/// order, then divide — the naive `solve_lower_transpose` sequence.
+pub(crate) fn solve_lower_transpose_multi(n: usize, lt: &[f64], nrhs: usize, y: &mut [f64]) {
+    debug_assert_eq!(lt.len(), n * n);
+    debug_assert_eq!(y.len(), n * nrhs);
+    for i in (0..n).rev() {
+        let (_, tail) = y.split_at_mut(i * nrhs);
+        let (yi, xs) = tail.split_at_mut(nrhs);
+        for k in i + 1..n {
+            let lki = lt[i * n + k];
+            let xk = &xs[(k - i - 1) * nrhs..(k - i) * nrhs];
+            for (yv, &kv) in yi.iter_mut().zip(xk) {
+                *yv -= lki * kv;
+            }
+        }
+        let d = lt[i * n + i];
+        for yv in yi.iter_mut() {
+            *yv /= d;
+        }
+    }
+}

@@ -27,6 +27,10 @@ use crate::{Error, Matrix, Result};
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cholesky {
     l: Matrix,
+    /// Cached `Lᵀ` (row-major), so backward substitution — which cannot be
+    /// panel-reordered without changing the per-element accumulation order —
+    /// still reads its k-loop contiguously. Derived from `l` at factor time.
+    lt: Matrix,
 }
 
 impl Cholesky {
@@ -34,6 +38,12 @@ impl Cholesky {
     ///
     /// Only the lower triangle of `a` is read, so callers may pass a matrix
     /// whose upper triangle is stale.
+    ///
+    /// The factorization is the blocked right-looking algorithm in
+    /// `crate::block`; it produces a factor bit-identical to the naive
+    /// left-looking loop (pinned by `tests/reference_kernels.rs`), and on
+    /// failure reports the same first bad pivot with the bit-identical
+    /// pivot value.
     ///
     /// # Errors
     ///
@@ -52,29 +62,13 @@ impl Cholesky {
         }
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let mut sum = a[(i, j)];
-                for k in 0..j {
-                    sum -= l[(i, k)] * l[(j, k)];
-                }
-                if i == j {
-                    if sum <= 0.0 || !sum.is_finite() {
-                        return Err(Error::NotPositiveDefinite {
-                            pivot: i,
-                            value: sum,
-                        });
-                    }
-                    l[(i, j)] = sum.sqrt();
-                } else {
-                    l[(i, j)] = sum / l[(j, j)];
-                }
-            }
-        }
+        crate::block::cholesky_factor(n, a.as_slice(), l.buf_mut())
+            .map_err(|(pivot, value)| Error::NotPositiveDefinite { pivot, value })?;
         // Inputs were checked above; this catches factor-internal
         // overflow/underflow before L escapes into GP solves.
         crate::debug_assert_finite!("cholesky factor L", l.as_slice());
-        Ok(Cholesky { l })
+        let lt = l.transpose();
+        Ok(Cholesky { l, lt })
     }
 
     /// Factors `a + jitter·I`, escalating `jitter` by ×10 up to `max_tries`
@@ -152,14 +146,8 @@ impl Cholesky {
                 found: format!("rhs of length {}", b.len()),
             });
         }
-        let mut y = vec![0.0; n];
-        for i in 0..n {
-            let mut sum = b[i];
-            for (k, &yk) in y.iter().enumerate().take(i) {
-                sum -= self.l[(i, k)] * yk;
-            }
-            y[i] = sum / self.l[(i, i)];
-        }
+        let mut y = b.to_vec();
+        crate::block::solve_lower_multi(n, self.l.as_slice(), 1, &mut y);
         Ok(y)
     }
 
@@ -176,23 +164,23 @@ impl Cholesky {
                 found: format!("rhs of length {}", y.len()),
             });
         }
-        let mut x = vec![0.0; n];
-        for i in (0..n).rev() {
-            let mut sum = y[i];
-            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
-                sum -= self.l[(k, i)] * xk;
-            }
-            x[i] = sum / self.l[(i, i)];
-        }
+        let mut x = y.to_vec();
+        crate::block::solve_lower_transpose_multi(n, self.lt.as_slice(), 1, &mut x);
         Ok(x)
     }
 
-    /// Solves `A·X = B` column-by-column.
+    /// Solves `L·Y = B` for every column of `B` in one blocked pass:
+    /// column `j` of the result is `solve_lower(b.col(j))`, bit-for-bit.
+    ///
+    /// A row-major matrix with RHS in the columns is exactly the layout the
+    /// multi-RHS kernel wants (components contiguous across right-hand
+    /// sides), so each `L` panel row is loaded once and reused across all
+    /// columns instead of once per column.
     ///
     /// # Errors
     ///
     /// Returns [`Error::ShapeMismatch`] if `b.rows() != self.dim()`.
-    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+    pub fn solve_lower_columns(&self, b: &Matrix) -> Result<Matrix> {
         let n = self.dim();
         if b.rows() != n {
             return Err(Error::ShapeMismatch {
@@ -200,20 +188,28 @@ impl Cholesky {
                 found: format!("rhs with {} rows", b.rows()),
             });
         }
-        let mut out = Matrix::zeros(n, b.cols());
-        for j in 0..b.cols() {
-            let col = b.col(j);
-            let x = self.solve(&col)?;
-            for i in 0..n {
-                out[(i, j)] = x[i];
-            }
-        }
+        let mut y = b.clone();
+        crate::block::solve_lower_multi(n, self.l.as_slice(), y.cols(), y.buf_mut());
+        Ok(y)
+    }
+
+    /// Solves `A·X = B` for every column of `B` (forward then backward
+    /// substitution, both multi-RHS; no per-column allocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        let mut out = self.solve_lower_columns(b)?;
+        crate::block::solve_lower_transpose_multi(n, self.lt.as_slice(), out.cols(), out.buf_mut());
         Ok(out)
     }
 
     /// Natural logarithm of `det(A) = det(L)² = (∏ Lᵢᵢ)²`.
     pub fn log_det(&self) -> f64 {
-        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+        let log_pivots: Vec<f64> = (0..self.dim()).map(|i| self.l[(i, i)].ln()).collect();
+        crate::vector::sum_ordered(&log_pivots) * 2.0
     }
 
     /// Reconstructs `A = L·Lᵀ` (mainly useful in tests).

@@ -22,9 +22,15 @@
 //!   constraint pipeline's `P(z) ≤ P_B` / `M(z) ≤ M_B` checks are
 //!   type-safe at the API boundary.
 //!
-//! Everything is implemented from scratch on safe Rust; matrices in this
-//! problem domain are small (at most a few hundred rows), so cache-oblivious
-//! blocking or SIMD would be over-engineering.
+//! Everything is implemented from scratch in safe Rust. The hot kernels
+//! (`matmul`/`gram`/`matvec`, the Cholesky factorization and its triangular
+//! solves) are cache-blocked and register-tiled in [`block`] under a strict
+//! accumulation-order contract: blocking changes memory layout and reuse,
+//! never the per-output-element operation sequence, so every result is
+//! bit-for-bit identical to the naive element-at-a-time loops (which live
+//! on as frozen test oracles in `tests/reference_kernels.rs`). See
+//! DESIGN.md §2a for the contract and the legal/illegal transformation
+//! catalog.
 //!
 //! # Examples
 //!
@@ -46,7 +52,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 mod cholesky;
+pub mod corpus;
 mod error;
 pub mod guards;
 mod lstsq;

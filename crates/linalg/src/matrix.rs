@@ -8,8 +8,13 @@ use crate::{Cholesky, Error, Result};
 /// The matrix is the basic currency of the numerical code in this workspace:
 /// Gaussian-process kernels, design matrices for the power/memory models and
 /// covariance matrices are all `Matrix` values. Storage is a single `Vec`
-/// in row-major order; matrices in this problem domain are small (hundreds
-/// of rows at most), so no blocking or SIMD is attempted.
+/// in row-major order. The hot products ([`Matrix::matmul`],
+/// [`Matrix::gram`], [`Matrix::matvec`]) are cache-blocked and
+/// register-tiled in `crate::block` under a strict accumulation-order
+/// contract: per output element they execute the exact operation sequence
+/// of the naive element-at-a-time loops, so results are bit-for-bit
+/// identical to the pre-blocking implementation (see DESIGN.md §2a and
+/// `tests/reference_kernels.rs`).
 ///
 /// # Examples
 ///
@@ -145,12 +150,40 @@ impl Matrix {
 
     /// Copies column `j` into a new vector.
     ///
+    /// Allocates per call; hot loops should use [`Matrix::col_iter`] or
+    /// [`Matrix::copy_col_into`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        self.col_iter(j).collect()
+    }
+
+    /// Iterates over column `j` without allocating (strided walk over the
+    /// row-major buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        self.data[j..].iter().step_by(self.cols.max(1)).copied()
+    }
+
+    /// Copies column `j` into a caller-provided buffer of length
+    /// `self.rows()` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()` or `out.len() != self.rows()`.
+    pub fn copy_col_into(&self, j: usize, out: &mut [f64]) {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        assert_eq!(out.len(), self.rows, "copy_col_into: buffer length");
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.data[i * self.cols + j];
+        }
     }
 
     /// Borrows the underlying row-major buffer.
@@ -161,6 +194,12 @@ impl Matrix {
     /// Consumes the matrix and returns the underlying row-major buffer.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
+    }
+
+    /// Mutably borrows the underlying row-major buffer (crate-internal:
+    /// the blocked kernels in `crate::block` write through this).
+    pub(crate) fn buf_mut(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 
     /// Returns `true` if every entry is finite.
@@ -185,9 +224,9 @@ impl Matrix {
                 found: format!("vector of length {}", x.len()),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| crate::vector::dot(self.row(i), x))
-            .collect())
+        let mut out = vec![0.0; self.rows];
+        crate::block::matvec_into(self.rows, self.cols, &self.data, x, &mut out);
+        Ok(out)
     }
 
     /// Matrix-matrix product `self * rhs`.
@@ -203,40 +242,21 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    out[(i, j)] += a * rhs[(k, j)];
-                }
-            }
-        }
+        crate::block::matmul_into(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
         Ok(out)
     }
 
     /// Gram matrix `selfᵀ * self` (always symmetric positive semi-definite).
     pub fn gram(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.cols);
-        for i in 0..self.rows {
-            let r = self.row(i);
-            for a in 0..self.cols {
-                let ra = r[a];
-                if ra == 0.0 {
-                    continue;
-                }
-                for b in a..self.cols {
-                    out[(a, b)] += ra * r[b];
-                }
-            }
-        }
-        for a in 0..self.cols {
-            for b in 0..a {
-                out[(a, b)] = out[(b, a)];
-            }
-        }
+        crate::block::gram_into(self.rows, self.cols, &self.data, &mut out.data);
         out
     }
 
@@ -366,6 +386,29 @@ mod tests {
         assert_eq!(m[(1, 0)], 4.0);
         assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
         assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn col_accessors_agree() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]).unwrap();
+        for j in 0..m.cols() {
+            let owned = m.col(j);
+            let via_iter: Vec<f64> = m.col_iter(j).collect();
+            assert_eq!(owned, via_iter);
+            let mut buf = vec![0.0; m.rows()];
+            m.copy_col_into(j, &mut buf);
+            assert_eq!(owned, buf);
+        }
+        // Single-column matrix: the stride degenerates to 1.
+        let thin = Matrix::from_rows(&[&[1.5], &[-2.5]]).unwrap();
+        assert_eq!(thin.col_iter(0).collect::<Vec<_>>(), vec![1.5, -2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn col_iter_out_of_bounds_panics() {
+        let m = Matrix::identity(2);
+        let _ = m.col_iter(2);
     }
 
     #[test]

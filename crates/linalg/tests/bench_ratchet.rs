@@ -1,0 +1,148 @@
+//! Speedup ratchet for the blocked linalg kernels.
+//!
+//! `BENCH_linalg.json` at the workspace root commits the facts about the
+//! `benches/linalg_hotpath.rs` workload: the corpus checksums (so the
+//! measured bits can never silently change), the reference timings on the
+//! machine that recorded them, and a *relative* floor — the blocked
+//! `matmul` must stay at least `matmul_speedup_floor`× faster than the
+//! frozen naive oracle in `tests/common/mod.rs`, measured side by side on
+//! whatever machine runs the test. A ratio ratchet cannot flake on slow CI
+//! hardware the way an absolute-throughput floor can, and it pins exactly
+//! the claim the blocked kernels exist to make.
+
+// Test-support code: panicking on a broken invariant is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+
+mod common;
+
+use std::time::Instant;
+
+use common::naive_matmul;
+use hyperpower_linalg::corpus;
+
+const BENCH_FILE: &str = "BENCH_linalg.json";
+
+fn bench_text() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(BENCH_FILE);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{} unreadable: {e}", path.display()))
+}
+
+fn committed(key: &str, text: &str) -> f64 {
+    let pat = format!("\"{key}\": ");
+    let start = text
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{BENCH_FILE} missing key {key}"))
+        + pat.len();
+    let digits: String = text[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("{BENCH_FILE}: key {key} is not a number"))
+}
+
+/// Best-of-`reps` wall time of `f`, after one warm-up call.
+fn best_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let _ = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let _ = std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[test]
+fn corpus_checksums_match_committed_reference() {
+    let text = bench_text();
+    let n = committed("n", &text) as usize;
+    for (key, m) in [
+        ("checksum_a", corpus::dense(1, n, n)),
+        ("checksum_b", corpus::dense(2, n, n)),
+        ("checksum_spd", corpus::spd(5, n)),
+    ] {
+        assert_eq!(
+            f64::from(corpus::checksum(&m)),
+            committed(key, &text),
+            "seeded corpus changed bits ({key}): the committed timings no \
+             longer describe this workload — refresh {BENCH_FILE}"
+        );
+    }
+}
+
+#[test]
+fn blocked_matmul_keeps_committed_speedup_over_naive() {
+    let text = bench_text();
+    let n = committed("n", &text) as usize;
+    let floor = committed("matmul_speedup_floor", &text);
+
+    let a = corpus::dense(1, n, n);
+    let b = corpus::dense(2, n, n);
+
+    let naive_secs = best_secs(3, || naive_matmul(&a, &b));
+    let blocked_secs = best_secs(3, || a.matmul(&b).expect("square product"));
+
+    // The speedup only counts because the result is identical: the blocked
+    // product must match the oracle bit-for-bit while being faster.
+    let reference = naive_matmul(&a, &b);
+    let blocked = a.matmul(&b).expect("square product");
+    assert_eq!(
+        reference.as_slice().len(),
+        blocked.as_slice().len(),
+        "shape drifted"
+    );
+    for (i, (r, v)) in reference
+        .as_slice()
+        .iter()
+        .zip(blocked.as_slice())
+        .enumerate()
+    {
+        assert_eq!(
+            r.to_bits(),
+            v.to_bits(),
+            "matmul element {i} diverged from the naive oracle"
+        );
+    }
+
+    let speedup = naive_secs / blocked_secs;
+    eprintln!(
+        "matmul {n}x{n}: naive {naive_secs:.4}s, blocked {blocked_secs:.4}s, \
+         speedup {speedup:.2}x (floor {floor}x)"
+    );
+    assert!(
+        speedup >= floor,
+        "blocked matmul speedup regressed: {speedup:.2}x < committed floor \
+         {floor}x ({BENCH_FILE})"
+    );
+}
+
+/// The blocked product recorded in `BENCH_linalg.json` is pinned by bits,
+/// not just by speed: the committed checksum of `A·B` guards against a
+/// kernel change that is fast but wrong (or right but re-associated).
+#[test]
+fn matmul_product_checksum_matches_committed_reference() {
+    let text = bench_text();
+    let n = committed("n", &text) as usize;
+    let a = corpus::dense(1, n, n);
+    let b = corpus::dense(2, n, n);
+    let prod = a.matmul(&b).expect("square product");
+    assert_eq!(
+        f64::from(corpus::checksum(&prod)),
+        committed("checksum_product", &text),
+        "matmul result bits changed: the accumulation-order contract \
+         (DESIGN.md §2a) forbids this without a golden re-bless"
+    );
+    // And the SPD factor, which exercises cholesky + the panel solves.
+    let spd = corpus::spd(5, n);
+    let chol = hyperpower_linalg::Cholesky::factor(&spd).expect("SPD by construction");
+    assert_eq!(
+        f64::from(corpus::checksum(chol.factor_l())),
+        committed("checksum_factor", &text),
+        "cholesky factor bits changed: the accumulation-order contract \
+         (DESIGN.md §2a) forbids this without a golden re-bless"
+    );
+}

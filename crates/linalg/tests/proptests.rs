@@ -47,6 +47,69 @@ proptest! {
     }
 
     #[test]
+    fn solve_composes_from_triangular_solves_bitwise(a in spd_strategy(8)) {
+        // `solve` promises exactly forward-then-backward substitution; the
+        // composition must be bit-identical, not merely close, because the
+        // GP hot path mixes the composed and the split forms freely.
+        let chol = Cholesky::factor(&a).expect("SPD by construction");
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.73) - 1.1).collect();
+        let composed = chol.solve(&b).unwrap();
+        let y = chol.solve_lower(&b).unwrap();
+        let split = chol.solve_lower_transpose(&y).unwrap();
+        for (c, s) in composed.iter().zip(&split) {
+            prop_assert_eq!(c.to_bits(), s.to_bits());
+        }
+        // Round trip through the factor: L·y == b and L·Lᵀ·x == b up to
+        // substitution rounding.
+        let l = chol.factor_l();
+        let ly = l.matvec(&y).unwrap();
+        let residual = vector::sub(&ly, &b);
+        prop_assert!(vector::norm2(&residual) < 1e-9 * (1.0 + vector::norm2(&b)));
+        let llt_x = l.matvec(&l.transpose().matvec(&composed).unwrap()).unwrap();
+        let residual = vector::sub(&llt_x, &b);
+        prop_assert!(vector::norm2(&residual) < 1e-6 * (1.0 + vector::norm2(&b)));
+    }
+
+    #[test]
+    fn jitter_ladder_factor_solves_consistently(
+        (a, b) in (1usize..=8).prop_flat_map(|n| {
+            // Rank-deficient Gram matrix from a single row: always needs
+            // the jitter ladder for n > 1.
+            (
+                proptest::collection::vec(-2.0f64..2.0, n),
+                proptest::collection::vec(-3.0f64..3.0, n),
+            )
+        }).prop_map(|(row, b)| {
+            let n = row.len();
+            let x = Matrix::from_vec(1, n, row).expect("sized to shape");
+            (x.gram(), b)
+        })
+    ) {
+        let n = a.rows();
+        let (chol, jitter) = Cholesky::factor_with_jitter(&a, 1e-10, 30)
+            .expect("ladder must terminate on a PSD matrix");
+        prop_assert!(jitter >= 0.0);
+        // The factor the ladder returns is exactly the factor of the
+        // jittered matrix, so solving with it must round-trip against
+        // A + jitter·I — same contract as the un-jittered path.
+        let mut aj = a.clone();
+        aj.add_diagonal(jitter);
+        let refactored = Cholesky::factor(&aj).expect("ladder already factored this");
+        prop_assert_eq!(chol.factor_l(), refactored.factor_l());
+        let x = chol.solve(&b).unwrap();
+        let reconstructed = aj.matvec(&x).unwrap();
+        let residual = vector::sub(&reconstructed, &b);
+        // The jittered system is potentially ill-conditioned (that is the
+        // point of the ladder); bound the relative residual loosely.
+        prop_assert!(
+            vector::norm2(&residual) <= 1e-3 * (1.0 + vector::norm2(&b) + vector::norm2(&x)),
+            "jitter {} n {} residual {}",
+            jitter, n, vector::norm2(&residual)
+        );
+    }
+
+    #[test]
     fn cholesky_log_det_is_finite(a in spd_strategy(8)) {
         let chol = Cholesky::factor(&a).unwrap();
         prop_assert!(chol.log_det().is_finite());

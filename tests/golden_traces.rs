@@ -14,9 +14,14 @@
 //! other code change:
 //!
 //! ```text
-//! GOLDEN_BLESS=1 cargo test --test golden_traces
+//! GOLDEN_BLESS=force cargo test --test golden_traces
 //! git diff tests/golden/
 //! ```
+//!
+//! `GOLDEN_BLESS=1` only writes *missing* fixtures; if blessing would
+//! change the bytes of an existing one it fails with the full per-field
+//! report instead (the golden-invariance gate). Only the explicit
+//! `force` spelling may rewrite committed bytes.
 //!
 //! On failure, each test prints a per-field report (JSON path, expected
 //! vs actual value, f64 bit patterns) and also writes it to
@@ -79,7 +84,30 @@ fn check(name: &str, method: Method, budget: Budget) {
 fn check_encoded(name: &str, actual: String) {
     let path = fixture_path(name);
 
-    if std::env::var("GOLDEN_BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+    let bless_var = std::env::var("GOLDEN_BLESS").unwrap_or_default();
+    if !bless_var.is_empty() && bless_var != "0" {
+        // Invariance gate: blessing must never *silently* rewrite a
+        // fixture. If the bytes would change, fail with the same pointed
+        // per-field report a plain test run gives, and require the
+        // explicit `GOLDEN_BLESS=force` spelling to overwrite — so a
+        // stray bless in a "nothing should change" PR shows up as a
+        // failure, not a quiet diff.
+        if bless_var != "force" {
+            if let Ok(expected) = std::fs::read_to_string(&path) {
+                let report = diff_text(&expected, &actual);
+                if report.is_empty() {
+                    return; // byte-identical: nothing to bless
+                }
+                panic!(
+                    "GOLDEN_BLESS would change fixture '{name}' ({} mismatches):\n  {}\n\
+                     \nIf this semantic change is intentional, re-bless with \
+                     GOLDEN_BLESS=force and review the diff; otherwise the \
+                     change violates the golden-invariance contract.",
+                    report.len(),
+                    report.join("\n  ")
+                );
+            }
+        }
         std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
         std::fs::write(&path, &actual).expect("write fixture");
         return;

@@ -151,6 +151,81 @@ fn propose_batch_of_one_equals_propose_for_every_searcher() {
 }
 
 #[test]
+fn propose_batch_of_one_equals_propose_with_fitted_surrogate() {
+    // The empty-history variant above degrades BO to a random seed before
+    // the surrogate ever fits; this one feeds the searcher enough
+    // observations that `propose` actually runs the batched GP scoring
+    // path, and the k=1 batch must still match `propose` bit-for-bit.
+    let space = hyperpower::SearchSpace::mnist();
+    let mut history = hyperpower::methods::History::new();
+    let mut warm = StdRng::seed_from_u64(23);
+    for i in 0..6 {
+        let c = Config::random(&mut warm, space.dim());
+        history.push(c, 0.2 + 0.05 * i as f64);
+    }
+    let batch = BoSearcher::new(ConstraintWeighting::None, None)
+        .propose_batch(&space, &history, 1, &mut StdRng::seed_from_u64(29))
+        .expect("batch");
+    let single = BoSearcher::new(ConstraintWeighting::None, None)
+        .propose(&space, &history, &mut StdRng::seed_from_u64(29))
+        .expect("single");
+    assert_eq!(batch.len(), 1);
+    let same = batch[0]
+        .unit()
+        .iter()
+        .zip(single.unit())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(same, "fitted BO: propose_batch(1) != propose");
+}
+
+#[test]
+fn batched_posterior_matches_pointwise_at_workspace_level() {
+    // The executor's determinism story leans on `posterior_batch` being
+    // per-point `predict` bit-for-bit (the BO searcher scores its grid in
+    // blocks). The gp crate pins this property in isolation; this check
+    // pins it against a surrogate fitted exactly the way the searcher fits
+    // one — through the jitter ladder on history-shaped data.
+    use hyperpower_gp::{fit_gp_hyperparams_laddered, FitOptions, Matern52};
+    use hyperpower_linalg::Matrix;
+
+    let d = 3;
+    let n = 17;
+    let mut rng = StdRng::seed_from_u64(0x917E_0001);
+    let x = Matrix::from_fn(n, d, |_, _| rand::RngExt::random_range(&mut rng, 0.0..1.0));
+    let y: Vec<f64> = (0..n)
+        .map(|_| rand::RngExt::random_range(&mut rng, 0.1..0.9))
+        .collect();
+    let fitted = fit_gp_hyperparams_laddered(
+        Matern52::new(0.5).into_kernel(),
+        &x,
+        &y,
+        FitOptions::default(),
+        2,
+    )
+    .expect("ladder fit")
+    .fitted;
+    for block in 1..=8usize {
+        let queries = Matrix::from_fn(block, d, |_, _| {
+            rand::RngExt::random_range(&mut rng, 0.0..1.0)
+        });
+        let (means, variances) = fitted.gp.posterior_batch(&queries).expect("batch");
+        for q in 0..block {
+            let p = fitted.gp.predict(queries.row(q)).expect("pointwise");
+            assert_eq!(
+                means[q].to_bits(),
+                p.mean.to_bits(),
+                "block {block}, query {q}: mean bits diverged"
+            );
+            assert_eq!(
+                variances[q].to_bits(),
+                p.variance.to_bits(),
+                "block {block}, query {q}: variance bits diverged"
+            );
+        }
+    }
+}
+
+#[test]
 fn constant_liar_batch_proposes_distinct_points() {
     // A k-batch from the BO searcher must not collapse onto one point:
     // the constant-liar pending handling spreads the acquisition.
