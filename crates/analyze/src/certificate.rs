@@ -35,7 +35,7 @@ pub const CERT_SCHEMA: &str = "hyperpower-determinism-certificate/v1";
 
 /// Trace-affecting crates the certificate covers (workspace-relative
 /// directory prefixes, no trailing slash).
-pub const CERT_CRATES: &[&str] = &["crates/core", "crates/gpu-sim"];
+pub const CERT_CRATES: &[&str] = &["crates/core", "crates/gpu-sim", "crates/server"];
 
 /// The proved facts, in emission order, with their backing rules.
 pub const FACTS: &[(&str, &[&str])] = &[

@@ -74,7 +74,7 @@ use std::path::{Path, PathBuf};
 /// Crates whose `src/` trees the pass scans. The `cli` and `bench`
 /// crates are intentionally absent: they own stdout, and their wiring
 /// code may panic on startup errors.
-pub const LIBRARY_CRATES: &[&str] = &["core", "data", "gp", "gpu-sim", "linalg", "nn"];
+pub const LIBRARY_CRATES: &[&str] = &["core", "data", "gp", "gpu-sim", "linalg", "nn", "server"];
 
 /// Analyzer errors (I/O only — scanning itself is total).
 #[derive(Debug)]

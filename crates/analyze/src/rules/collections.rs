@@ -22,8 +22,9 @@ use crate::{Finding, Rule};
 /// between seeding and trace commit. `linalg`/`nn`/`gp` compute pure
 /// functions of their inputs and may use hashing internally; `data`
 /// generates datasets with sequential loops and is checked by R1/R8
-/// instead.
-pub const TRACE_CRATES: &[&str] = &["crates/core/", "crates/gpu-sim/"];
+/// instead. The serving layer replays committed traces, so it is held to
+/// the same ordering discipline.
+pub const TRACE_CRATES: &[&str] = &["crates/core/", "crates/gpu-sim/", "crates/server/"];
 
 /// The banned unordered collection types.
 pub const UNORDERED_TYPES: &[&str] = &["HashMap", "HashSet"];

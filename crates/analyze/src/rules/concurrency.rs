@@ -25,8 +25,13 @@ use crate::{Finding, Rule};
 pub const EXECUTOR_BOUNDARY: &[&str] = &["crates/core/src/executor.rs"];
 
 /// Files allowed to append to a `samples` trace: the executor's commit
-/// queue and the sequential driver it mirrors.
-pub const COMMIT_PATHS: &[&str] = &["crates/core/src/driver.rs", "crates/core/src/executor.rs"];
+/// queue, the sequential driver it mirrors, and the ask–tell study core
+/// whose single commit point both now share.
+pub const COMMIT_PATHS: &[&str] = &[
+    "crates/core/src/driver.rs",
+    "crates/core/src/executor.rs",
+    "crates/core/src/study.rs",
+];
 
 /// Concurrency primitive type/module names (token-exact).
 const PRIMITIVE_IDENTS: &[&str] = &[

@@ -71,9 +71,30 @@ pub const DEFAULT_SPEC: Spec = Spec {
     ],
 };
 
-/// R13 against the workspace's real contract.
+/// The serving layer's contract: every `ServerConfig` knob is
+/// execution-only (leases, bounds, priorities and snapshot cadence may
+/// never change a committed byte), and the journal's run identity is the
+/// study name plus the embedded checkpoint header.
+pub const SERVER_SPEC: Spec = Spec {
+    options_file: "crates/server/src/server.rs",
+    options_struct: "ServerConfig",
+    header_file: "crates/server/src/journal.rs",
+    header_struct: "JournalHeader",
+    execution_only: &[
+        "root",
+        "max_studies",
+        "max_outstanding_per_study",
+        "max_outstanding_total",
+        "lease_policy",
+        "snapshot_every_commits",
+    ],
+    identity_map: &[("__run", &["name", "run"])],
+};
+
+/// R13 against the workspace's real contracts.
 pub fn check(files: &[SourceFile], index: &ItemIndex, findings: &mut Vec<Finding>) {
     check_spec(&DEFAULT_SPEC, files, index, findings);
+    check_spec(&SERVER_SPEC, files, index, findings);
 }
 
 /// R13 against an explicit spec (exposed for fixtures and the mutation

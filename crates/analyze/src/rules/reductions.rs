@@ -23,8 +23,9 @@ use crate::{Finding, Rule};
 /// Path prefixes where the rule applies — the same trace-affecting
 /// crates as R9. `linalg` and `nn` are the blessed home of fixed-order
 /// kernels (their loops *define* the canonical order), and `data`'s
-/// generator loops run sequentially before any trace exists.
-pub const TRACE_CRATES: &[&str] = &["crates/core/", "crates/gpu-sim/"];
+/// generator loops run sequentially before any trace exists. The serving
+/// layer replays committed traces, so it is held to the same discipline.
+pub const TRACE_CRATES: &[&str] = &["crates/core/", "crates/gpu-sim/", "crates/server/"];
 
 /// R14: float compound assignment inside `for` bodies of trace-affecting
 /// crates.

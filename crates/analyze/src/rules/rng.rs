@@ -21,6 +21,8 @@ pub const RNG_ROOTS: &[&str] = &[
     "crates/core/src/executor.rs",
     "crates/core/src/profiler.rs",
     "crates/core/src/scenario.rs",
+    // The ask–tell core derives per-lease jitter from the run seed.
+    "crates/core/src/study.rs",
     "crates/data/src/generator.rs",
     "crates/gpu-sim/src/fault.rs",
     "crates/gpu-sim/src/sensor.rs",
@@ -30,6 +32,11 @@ pub const RNG_ROOTS: &[&str] = &[
     "crates/nn/src/layers/dropout.rs",
     "crates/nn/src/network.rs",
     "crates/nn/src/sim.rs",
+    // The chaos harness derives its entire fault schedule from one seed.
+    "crates/server/src/chaos.rs",
+    // The server installs studies, each of which owns the RNG for its
+    // journaled run seed.
+    "crates/server/src/server.rs",
 ];
 
 /// Seeded-construction methods that only roots may call.

@@ -58,8 +58,78 @@ pub enum Command {
         /// (`None` ⇒ disabled).
         safety_margin: Option<f64>,
     },
+    /// `hyperpower serve --study <SPEC>...`: host several named studies in
+    /// one crash-safe ask–tell server and drive them to completion with
+    /// simulated workers.
+    Serve {
+        /// The studies to host, in command-line order.
+        studies: Vec<StudyArg>,
+        /// Durability root: every study journals and snapshots under here.
+        root: String,
+        /// Simulated workers per study per scheduling round.
+        workers: usize,
+        /// Snapshot (and journal-rotation) cadence in commits.
+        snapshot_every: usize,
+        /// Reattach to existing journals instead of requiring fresh names.
+        resume: bool,
+    },
     /// `hyperpower help`: usage text.
     Help,
+}
+
+/// One `--study NAME:METHOD:EVALS[:SEED[:PRIORITY]]` specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StudyArg {
+    /// Study name (journal/snapshot file stem).
+    pub name: String,
+    /// Search method.
+    pub method: Method,
+    /// Evaluation budget.
+    pub evals: usize,
+    /// RNG seed (default 0).
+    pub seed: u64,
+    /// Shedding priority — higher wins under global backpressure
+    /// (default 1).
+    pub priority: u32,
+}
+
+fn parse_study_arg(s: &str) -> Result<StudyArg, ParseError> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if !(3..=5).contains(&parts.len()) {
+        return Err(ParseError(format!(
+            "--study expects NAME:METHOD:EVALS[:SEED[:PRIORITY]], got '{s}'"
+        )));
+    }
+    let name = parts[0].to_string();
+    if name.is_empty() {
+        return Err(ParseError("--study name must be non-empty".into()));
+    }
+    let method = parse_method(parts[1])?;
+    let evals: usize = parts[2]
+        .parse()
+        .map_err(|_| ParseError(format!("--study '{s}': EVALS expects an integer")))?;
+    if evals == 0 {
+        return Err(ParseError(format!("--study '{s}': EVALS must be positive")));
+    }
+    let seed: u64 = match parts.get(3) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| ParseError(format!("--study '{s}': SEED expects an integer")))?,
+        None => 0,
+    };
+    let priority: u32 = match parts.get(4) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| ParseError(format!("--study '{s}': PRIORITY expects an integer")))?,
+        None => 1,
+    };
+    Ok(StudyArg {
+        name,
+        method,
+        evals,
+        seed,
+        priority,
+    })
 }
 
 /// The paper's device–dataset pairs, as CLI values.
@@ -103,6 +173,9 @@ USAGE:
                  [--fault-profile NAME] [--checkpoint PATH]
                  [--checkpoint-every N] [--resume PATH] [--csv PATH]
                  [--recalibrate] [--drift-threshold T] [--safety-margin F]
+  hyperpower serve --study NAME:METHOD:EVALS[:SEED[:PRIORITY]] ...
+                   [--root DIR] [--workers N] [--snapshot-every N]
+                   [--resume]
   hyperpower help
 
 PAIRS:    mnist-gtx | cifar-gtx | mnist-tegra | cifar-tegra
@@ -130,6 +203,15 @@ RESUME:   --checkpoint PATH persists committed results during the run
           --resume PATH restarts an interrupted run from a checkpoint:
           already-evaluated candidates are replayed from the cache and
           the final trace is bit-identical to an uninterrupted run.
+SERVER:   serve hosts several named MNIST studies in one crash-safe
+          ask-tell server: candidates go out under leases, tells are
+          idempotent, and every study is journaled (write-ahead) and
+          snapshotted (atomically, every --snapshot-every commits;
+          default 8) under --root (default target/study-server). Kill the
+          process at any instant and re-run with --resume: each study
+          recovers and finishes with the exact bytes of an uninterrupted
+          run. PRIORITY (default 1) settles who is shed first under
+          global backpressure; higher wins.
 ";
 
 fn parse_pair(s: &str) -> Result<Pair, ParseError> {
@@ -326,8 +408,51 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 safety_margin,
             })
         }
+        "serve" => {
+            let mut studies = Vec::new();
+            let mut root = String::from("target/study-server");
+            let mut workers = 1usize;
+            let mut snapshot_every = 8usize;
+            let mut resume = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--study" => studies.push(parse_study_arg(take_value(flag, &mut it)?)?),
+                    "--root" => root = take_value(flag, &mut it)?.to_string(),
+                    "--workers" => {
+                        let n: usize = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--workers expects an integer".into()))?;
+                        if n == 0 {
+                            return Err(ParseError("--workers must be positive".into()));
+                        }
+                        workers = n;
+                    }
+                    "--snapshot-every" => {
+                        let n: usize = take_value(flag, &mut it)?.parse().map_err(|_| {
+                            ParseError("--snapshot-every expects an integer".into())
+                        })?;
+                        if n == 0 {
+                            return Err(ParseError("--snapshot-every must be positive".into()));
+                        }
+                        snapshot_every = n;
+                    }
+                    "--resume" => resume = true,
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if studies.is_empty() {
+                return Err(ParseError("at least one --study is required".into()));
+            }
+            Ok(Command::Serve {
+                studies,
+                root,
+                workers,
+                snapshot_every,
+                resume,
+            })
+        }
         other => Err(ParseError(format!(
-            "unknown subcommand '{other}' (expected profile, run or help)"
+            "unknown subcommand '{other}' (expected profile, run, serve or help)"
         ))),
     }
 }
@@ -639,6 +764,97 @@ mod tests {
     }
 
     #[test]
+    fn serve_parses_studies_and_defaults() {
+        let c = parse(&[
+            "serve",
+            "--study",
+            "alpha:rand:6",
+            "--study",
+            "beta:rand-walk:5:42:3",
+            "--root",
+            "/tmp/srv",
+            "--workers",
+            "4",
+            "--snapshot-every",
+            "2",
+            "--resume",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                studies: vec![
+                    StudyArg {
+                        name: "alpha".into(),
+                        method: Method::Rand,
+                        evals: 6,
+                        seed: 0,
+                        priority: 1,
+                    },
+                    StudyArg {
+                        name: "beta".into(),
+                        method: Method::RandWalk,
+                        evals: 5,
+                        seed: 42,
+                        priority: 3,
+                    },
+                ],
+                root: "/tmp/srv".into(),
+                workers: 4,
+                snapshot_every: 2,
+                resume: true,
+            }
+        );
+
+        let c = parse(&["serve", "--study", "solo:hw-cwei:4"]).unwrap();
+        let Command::Serve {
+            root,
+            workers,
+            snapshot_every,
+            resume,
+            ..
+        } = c
+        else {
+            panic!("expected serve");
+        };
+        assert_eq!(root, "target/study-server");
+        assert_eq!(workers, 1);
+        assert_eq!(snapshot_every, 8);
+        assert!(!resume);
+    }
+
+    #[test]
+    fn serve_rejects_malformed_studies() {
+        assert!(parse(&["serve"]).unwrap_err().0.contains("--study"));
+        for bad in [
+            "alpha",
+            "alpha:rand",
+            "alpha:sgd:6",
+            "alpha:rand:0",
+            "alpha:rand:x",
+            ":rand:6",
+            "a:rand:6:s",
+            "a:rand:6:1:p",
+            "a:rand:6:1:2:9",
+        ] {
+            assert!(
+                parse(&["serve", "--study", bad]).is_err(),
+                "'{bad}' must be rejected"
+            );
+        }
+        assert!(parse(&["serve", "--study", "a:rand:6", "--workers", "0"])
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(
+            parse(&["serve", "--study", "a:rand:6", "--snapshot-every", "0"])
+                .unwrap_err()
+                .0
+                .contains("positive")
+        );
+    }
+
+    #[test]
     fn usage_mentions_everything() {
         for name in Pair::NAMES {
             assert!(USAGE.contains(name));
@@ -655,6 +871,11 @@ mod tests {
             "--recalibrate",
             "--drift-threshold",
             "--safety-margin",
+            "serve",
+            "--study",
+            "--root",
+            "--snapshot-every",
+            "--resume",
         ] {
             assert!(USAGE.contains(f), "usage is missing {f}");
         }

@@ -14,11 +14,19 @@
 
 mod args;
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use args::{parse, Command, Pair, USAGE};
-use hyperpower::{CheckpointConfig, ExecutorOptions, Scenario, Session};
-use hyperpower_gpu_sim::FaultProfile;
+use args::{parse, Command, Pair, StudyArg, USAGE};
+use std::collections::BTreeMap;
+
+use hyperpower::{
+    Budget, Budgets, CheckpointConfig, ConstraintOracle, DriftConfig, EarlyTermination,
+    ExecutorOptions, Method, Mode, Objective, RetryPolicy, Scenario, SearchSpace, Session,
+    StudySpec,
+};
+use hyperpower_gpu_sim::{DeviceProfile, FaultProfile, Gpu, TrainingCostModel};
+use hyperpower_server::{ServerConfig, ServerError, StudyServer, StudySetup, SyntheticObjective};
 
 fn scenario_for(pair: Pair) -> Scenario {
     match pair {
@@ -27,6 +35,122 @@ fn scenario_for(pair: Pair) -> Scenario {
         Pair::MnistTegra => Scenario::mnist_tegra_tx1(),
         Pair::CifarTegra => Scenario::cifar10_tegra_tx1(),
     }
+}
+
+/// Hosts the requested studies in one crash-safe server and drives them
+/// to completion with `workers` simulated workers per study per round.
+fn serve(
+    studies: &[StudyArg],
+    root: &str,
+    workers: usize,
+    snapshot_every: usize,
+    resume: bool,
+) -> Result<(), ServerError> {
+    let mut server = StudyServer::new(ServerConfig {
+        root: PathBuf::from(root),
+        snapshot_every_commits: snapshot_every,
+        ..ServerConfig::default()
+    })?;
+    // The BO methods screen candidates through the paper's constraint
+    // oracle; profile and fit it once per distinct seed.
+    let mut oracles: BTreeMap<u64, ConstraintOracle> = BTreeMap::new();
+    for arg in studies {
+        let oracle = match arg.method {
+            Method::HwCwei | Method::HwIeci => {
+                if let std::collections::btree_map::Entry::Vacant(slot) = oracles.entry(arg.seed) {
+                    let session = Session::new(Scenario::mnist_gtx1070(), arg.seed)
+                        .map_err(ServerError::Core)?;
+                    println!(
+                        "profiled constraint models for seed {} in {:.0} virtual seconds",
+                        arg.seed,
+                        session.profiling_secs()
+                    );
+                    slot.insert(session.oracle().clone());
+                }
+                oracles.get(&arg.seed).cloned()
+            }
+            Method::Rand | Method::RandWalk => None,
+        };
+        let setup = StudySetup {
+            space: SearchSpace::mnist(),
+            gpu: Gpu::new(DeviceProfile::gtx_1070(), arg.seed),
+            oracle,
+            spec: StudySpec {
+                method: arg.method,
+                mode: Mode::HyperPower,
+                budget: Budget::Evaluations(arg.evals),
+                seed: arg.seed,
+                budgets: Budgets::default(),
+                cost: TrainingCostModel::default(),
+                early_termination: Some(EarlyTermination::default()),
+                fault_profile: FaultProfile::none(),
+                retry: RetryPolicy::default(),
+                drift: DriftConfig::default(),
+            },
+            priority: arg.priority,
+        };
+        if resume {
+            let recovered = server.open_study(&arg.name, setup)?;
+            if recovered > 0 {
+                println!(
+                    "{}: recovered {recovered} committed sample(s) from the journal",
+                    arg.name
+                );
+            }
+        } else {
+            server.create_study(&arg.name, setup)?;
+        }
+    }
+
+    let objective = SyntheticObjective;
+    let mut now_s = 0.0;
+    loop {
+        let mut all_finished = true;
+        now_s += 60.0;
+        server.tick(now_s);
+        for arg in studies {
+            if server.is_finished(&arg.name)? {
+                continue;
+            }
+            all_finished = false;
+            let batch = match server.ask(&arg.name, workers, now_s) {
+                Ok(batch) => batch,
+                // Backpressure: skip this round, retry once work drains.
+                Err(ServerError::Overloaded { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+            for candidate in batch {
+                let result = objective.evaluate(&candidate.decoded, None, candidate.eval_seed)?;
+                server.tell(&arg.name, candidate.lease_id, &result)?;
+            }
+        }
+        if all_finished {
+            break;
+        }
+    }
+
+    for arg in studies {
+        let trace = server.trace(&arg.name)?;
+        println!(
+            "{} / {} / evals {}: {} samples queried, {} evaluated, {:.2} h virtual time",
+            arg.name,
+            arg.method,
+            arg.evals,
+            trace.queried(),
+            trace.evaluations(),
+            trace.total_time_s / 3600.0
+        );
+        match trace.best_feasible() {
+            Some(best) => println!(
+                "  best feasible design: {:.2}% test error at {:.1} W",
+                best.error * 100.0,
+                best.power_w
+            ),
+            None => println!("  no feasible design found"),
+        }
+    }
+    println!("journals and snapshots under {root}");
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -45,6 +169,26 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
+        Command::Serve {
+            studies,
+            root,
+            workers,
+            snapshot_every,
+            resume,
+        } => match serve(&studies, &root, workers, snapshot_every, resume) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(ServerError::StudyExists(name)) => {
+                eprintln!(
+                    "error: study {name:?} already has a journal under {root} \
+                     (pass --resume to reattach, or pick a fresh --root)"
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Command::Profile {
             pair,
             samples,

@@ -12,7 +12,10 @@
 //! so a resume can never silently diverge from the interrupted run.
 //!
 //! The file is written atomically (temp file + rename) so a crash *during*
-//! checkpointing leaves the previous checkpoint intact.
+//! checkpointing leaves the previous checkpoint intact. A crash between
+//! the temp write and the rename can strand a stale `*.tmp` beside the
+//! checkpoint; both [`CheckpointSink::new`] and [`RunCheckpoint::load`]
+//! sweep such orphans away so no later open mistakes one for live state.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -125,8 +128,12 @@ pub struct CheckpointSink {
 }
 
 impl CheckpointSink {
-    /// Creates a sink for one run.
+    /// Creates a sink for one run, sweeping away any orphaned temp file a
+    /// crashed predecessor left beside the checkpoint path (a crash
+    /// between temp write and rename strands one; it holds no committed
+    /// state — the rename is the commit point — so removal is safe).
     pub fn new(config: CheckpointConfig, header: &CheckpointHeader) -> Self {
+        clean_orphaned_tmp(&config.path);
         CheckpointSink {
             config,
             header: encode_header(header),
@@ -209,6 +216,17 @@ fn write_atomic(path: &Path, contents: &str) -> Result<()> {
     std::fs::rename(&tmp, path).map_err(|e| describe("committing", e))
 }
 
+/// Removes the stale `*.tmp` a crash between temp write and rename leaves
+/// beside `path`. Best-effort: the orphan never holds committed state (the
+/// rename is the commit point), so failing to remove it only means the
+/// next atomic write overwrites it anyway.
+fn clean_orphaned_tmp(path: &Path) {
+    let tmp = path.with_extension("tmp");
+    if tmp != path {
+        std::fs::remove_file(&tmp).ok();
+    }
+}
+
 /// A loaded checkpoint: the run identity it was written under, the cached
 /// raw evaluations and the committed samples (kept as parsed JSON for
 /// bit-exact prefix verification).
@@ -256,13 +274,17 @@ fn get_u64_str(members: &[(String, Value)], key: &str) -> Result<u64> {
 }
 
 impl RunCheckpoint {
-    /// Loads and validates a checkpoint file.
+    /// Loads and validates a checkpoint file, first sweeping away any
+    /// orphaned `*.tmp` a crashed writer left beside it (the checkpoint
+    /// proper is always complete — the rename is the commit point — so the
+    /// orphan is garbage, never a better candidate to resume from).
     ///
     /// # Errors
     ///
     /// [`Error::Checkpoint`] on I/O failures, malformed JSON or a wrong
     /// schema marker.
     pub fn load(path: &Path) -> Result<Self> {
+        clean_orphaned_tmp(path);
         let text = std::fs::read_to_string(path)
             .map_err(|e| Error::Checkpoint(format!("reading {}: {e}", path.display())))?;
         Self::decode(&text)

@@ -28,6 +28,20 @@ pub enum Error {
         /// Stringified panic payload.
         message: String,
     },
+    /// A `tell` referenced a lease this study never issued.
+    UnknownLease {
+        /// The unrecognized lease identifier.
+        lease_id: u64,
+    },
+    /// A `tell` arrived for a lease that was already reclaimed after its
+    /// deadline passed; the observation is rejected and study state is
+    /// untouched (the re-issued lease's tell will carry the result).
+    LeaseExpired {
+        /// The expired lease identifier.
+        lease_id: u64,
+        /// Trace slot of the proposal the lease covered.
+        query: u64,
+    },
     /// A resume checkpoint does not match the requested run (different
     /// seed, method, mode, budget, fault profile, or corrupted file).
     ResumeMismatch(String),
@@ -58,6 +72,15 @@ impl fmt::Display for Error {
             ),
             Error::WorkerPanic { query, message } => {
                 write!(f, "worker panicked evaluating proposal {query}: {message}")
+            }
+            Error::UnknownLease { lease_id } => {
+                write!(f, "unknown lease {lease_id}: this study never issued it")
+            }
+            Error::LeaseExpired { lease_id, query } => {
+                write!(
+                    f,
+                    "lease {lease_id} for proposal {query} expired and was reclaimed"
+                )
             }
             Error::ResumeMismatch(msg) => write!(f, "resume checkpoint mismatch: {msg}"),
             Error::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),

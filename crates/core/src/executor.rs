@@ -69,7 +69,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 
-use hyperpower_gpu_sim::{CommitQueue, FaultPlan, FaultProfile, Gpu, VirtualClock, WorkerClock};
+use hyperpower_gpu_sim::{CommitQueue, FaultPlan, FaultProfile, WorkerClock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -77,21 +77,20 @@ use crate::checkpoint::{CheckpointConfig, CheckpointHeader, CheckpointSink, RunC
 use crate::constraints::ConstraintOracle;
 use crate::drift::{DriftConfig, DriftMonitor};
 use crate::driver::{Budget, RunSetup, Sample, SampleKind, Trace, MAX_CONSECUTIVE_REJECTIONS};
-use crate::methods::{make_searcher, Conditioning, History};
+use crate::methods::{make_searcher, History};
 use crate::objective::EvaluationResult;
 use crate::recovery::{plan_trial, RetryPolicy, TrialFailure, TrialOutcome, LIAR_ERROR};
 use crate::space::Decoded;
-use crate::{Config, EarlyTermination, Error, Method, Mode, Objective, Result, Watts};
+use crate::study::{
+    config_key, heal_on_commit, heal_on_rejection, memory_pressure_frac, screening_oracle, Study,
+    StudySpec, SEED_MIX,
+};
+use crate::{Config, EarlyTermination, Error, Objective, Result, Watts};
 
 /// Environment variable read by [`ExecutorOptions::from_env`] for the
 /// default worker-thread count (used by the CI matrix to exercise the
 /// parallel paths across the whole test suite).
 pub const WORKERS_ENV: &str = "HYPERPOWER_WORKERS";
-
-/// The multiplier in the per-candidate seed derivation
-/// `eval_seed = seed × MIX + query_index` (golden-ratio mixing constant;
-/// the same derivation the sequential driver has used since the start).
-const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Knobs for the parallel evaluation executor. See the module docs for why
 /// `workers` (threads, semantics-neutral) and `simulated_gpus` (virtual
@@ -370,136 +369,15 @@ impl Engine<'_> {
     }
 }
 
-/// The quarantine key of a configuration: its unit-cube coordinates by
-/// exact bit pattern (the executor re-proposes bit-identical configs, so
-/// no tolerance is wanted).
-fn config_key(config: &Config) -> Vec<u64> {
-    config.unit().iter().map(|u| u.to_bits()).collect()
-}
-
-/// Predicted memory pressure of a candidate: the noise-free memory
-/// analysis as a fraction of device capacity. Consumes no RNG — fault
-/// decisions must never perturb the sensor stream.
-fn memory_pressure_frac(gpu: &Gpu, decoded: &Decoded) -> f64 {
-    let predicted_mib = gpu.analyze(&decoded.arch).memory.get();
-    let capacity_mib = gpu.device().memory_capacity_gib * 1024.0;
-    predicted_mib / capacity_mib
-}
-
-/// Selects the rejection-screening oracle exactly as the sequential loop
-/// does: model-free methods in HyperPower mode screen; BO methods carry the
-/// constraints inside their acquisition instead (paper §3.4–3.5).
-fn screening_oracle(
-    mode: Mode,
-    method: Method,
-    oracle: Option<&ConstraintOracle>,
-) -> Option<&ConstraintOracle> {
-    match (mode, oracle) {
-        (Mode::HyperPower, Some(oracle)) if method.is_model_free() => Some(oracle),
-        _ => None,
-    }
-}
-
-/// A proposal planned ahead of its commit (single-GPU pipeline).
-struct PlannedItem {
-    config: Config,
-    decoded: Decoded,
-    rejected: bool,
-    query: u64,
-    eval_seed: u64,
-    degradations: Vec<crate::drift::DegradationEvent>,
-}
-
-/// The self-healing outcome of one measured commit, ready to attach to
-/// its [`Sample`].
-struct CommitHealing {
-    drift_events: Vec<crate::drift::DriftEvent>,
-    drift_rmspe: Option<f64>,
-    /// Penalize this observation as a liar (a measured violation of a
-    /// predicted-feasible candidate while safety margins are on).
-    liar: bool,
-}
-
-impl CommitHealing {
-    fn inert() -> Self {
-        CommitHealing {
-            drift_events: Vec::new(),
-            drift_rmspe: None,
-            liar: false,
-        }
-    }
-}
-
-/// Feeds one measured commit through the drift monitor (when active) and
-/// applies the outcome: on any model/margin change the live oracle is
-/// rebuilt and the searcher notified. Runs at commit points only, so the
-/// whole self-healing state is a pure function of the committed prefix.
-#[allow(clippy::too_many_arguments)]
-fn heal_on_commit(
-    monitor: Option<&mut DriftMonitor>,
-    live_oracle: &mut Option<ConstraintOracle>,
-    searcher: &mut dyn crate::methods::Searcher,
-    safety_margin: f64,
-    structural: &[f64],
-    power: Watts,
-    memory: Option<crate::Mebibytes>,
-    latency: crate::Seconds,
-    feasible: bool,
-) -> CommitHealing {
-    let Some(monitor) = monitor else {
-        return CommitHealing::inert();
-    };
-    let predicted_ok = live_oracle
-        .as_ref()
-        .is_some_and(|o| o.predicted_feasible(structural));
-    let violation = predicted_ok && !feasible;
-    let obs = monitor.observe_commit(structural, power, memory, Some(latency), violation);
-    if obs.oracle_changed {
-        let oracle = monitor.oracle();
-        searcher.update_oracle(&oracle);
-        *live_oracle = Some(oracle);
-    }
-    CommitHealing {
-        drift_events: obs.events,
-        drift_rmspe: obs.drift_rmspe,
-        liar: violation && safety_margin > 0.0,
-    }
-}
-
-/// Feeds one committed screening rejection through the drift monitor's
-/// starvation valve (when active): a long unbroken run of rejections under
-/// an active margin relaxes it one step, and the live oracle is swapped so
-/// the very next screening decision sees the widened region. Rejections
-/// are part of the deterministic schedule (committed trace entries), so
-/// the valve stays worker-count invariant and replay-identical on resume.
-fn heal_on_rejection(
-    monitor: Option<&mut DriftMonitor>,
-    live_oracle: &mut Option<ConstraintOracle>,
-    searcher: &mut dyn crate::methods::Searcher,
-) -> Vec<crate::drift::DriftEvent> {
-    let Some(monitor) = monitor else {
-        return Vec::new();
-    };
-    let obs = monitor.observe_rejection();
-    if obs.oracle_changed {
-        let oracle = monitor.oracle();
-        searcher.update_oracle(&oracle);
-        *live_oracle = Some(oracle);
-    }
-    obs.events
-}
-
-/// Single-GPU mode: the semantic reference. The virtual schedule is the
+/// Single-GPU mode: the semantic reference, now a thin driver over the
+/// [`Study`] ask–tell state machine. The virtual schedule is the
 /// sequential paper experiment; `workers` only lets history-independent
 /// searchers (Rand, grid) *prefetch* a block of proposals and train them on
-/// concurrent threads. Every commit re-checks the budget, so a prefetched
-/// tail that the sequential loop would never have proposed is discarded
-/// unseen — byte identity with the sequential trace is preserved.
-///
-/// Quarantine membership is likewise checked at *commit* time (a
-/// prefetched speculative result for a config quarantined earlier in the
-/// same block is consumed and discarded), so the set's contents are a
-/// function of the trace, never of the lookahead width.
+/// concurrent threads. The study re-checks the budget before every commit,
+/// so a prefetched tail that the sequential loop would never have proposed
+/// is discarded unseen — byte identity with the sequential trace is
+/// preserved. (Quarantine membership is likewise checked at *commit* time
+/// inside the study; see `crate::study` for the full exactness argument.)
 fn run_single_gpu(
     setup: RunSetup<'_>,
     engine: &Engine<'_>,
@@ -520,308 +398,41 @@ fn run_single_gpu(
         searcher_override,
     } = setup;
     let workers = engine.workers;
-
-    let mut searcher =
-        searcher_override.unwrap_or_else(|| make_searcher(method, mode, oracle.cloned()));
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut clock = VirtualClock::new();
-    let mut history = History::new();
-    let mut samples: Vec<Sample> = Vec::new();
-    let mut evaluations = 0usize;
-    let mut consecutive_rejections = 0usize;
-    let mut quarantine: BTreeSet<Vec<u64>> = BTreeSet::new();
-    let screen_active = screening_oracle(mode, method, oracle).is_some();
-    // The live oracle starts as the profiling-time one and is replaced at
-    // commit points whenever the drift monitor recalibrates the models or
-    // moves the safety margin.
-    let mut live_oracle: Option<ConstraintOracle> = oracle.cloned();
-    let mut monitor = if engine.drift.is_inert() {
-        None
-    } else {
-        oracle.map(|o| DriftMonitor::new(o.models().clone(), o.budgets(), engine.drift))
+    let spec = StudySpec {
+        method,
+        mode,
+        budget,
+        seed,
+        budgets,
+        cost,
+        early_termination,
+        fault_profile: engine.plan.profile().clone(),
+        retry: *engine.retry,
+        drift: engine.drift,
     };
+    let mut study = Study::new(spec, oracle, searcher_override);
 
-    // Dependent searchers must see each result before the next proposal:
-    // their lookahead is 1 and the pipeline degenerates to the sequential
-    // loop (with the evaluation possibly running on another thread, which
-    // cannot matter — evaluation is a pure function of (decoded, seed)).
-    // An active drift monitor also forces lookahead 1: a commit may swap
-    // the screening oracle, so prefetching a worker-count-sized block
-    // would make screening decisions depend on `workers`.
-    let lookahead =
-        if workers > 1 && searcher.conditioning() == Conditioning::Independent && monitor.is_none()
-        {
-            workers
-        } else {
-            1
-        };
-
-    'run: loop {
-        match budget {
-            Budget::Evaluations(n) if evaluations >= n => break,
-            Budget::VirtualHours(h) if clock.hours() >= h => break,
-            _ => {}
+    // The driver evaluates every asked batch to completion before asking
+    // again, so lease deadlines never matter here: `now_s` stays 0.
+    loop {
+        let batch = study.ask(space, gpu, workers, 0.0, sink.as_deref_mut())?;
+        if batch.is_empty() {
+            break;
         }
-
-        // Plan a block of proposals. Proposals never run past the
-        // evaluation budget (rejected ones occupy no evaluation slot, so
-        // the block can only undershoot, never overshoot).
-        let room = match budget {
-            Budget::Evaluations(n) => n.saturating_sub(evaluations),
-            Budget::VirtualHours(_) => lookahead,
-        };
-        let block = lookahead.min(room).max(1);
-        let mut planned: Vec<PlannedItem> = Vec::with_capacity(block);
-        let base_slot = samples.len() as u64;
-        for offset in 0..block as u64 {
-            // BO searchers score their candidate grid in blocks through the
-            // batched GP posterior (`BoSearcher::GP_SCORE_BLOCK`); the
-            // batched path is bit-identical to per-point prediction, so
-            // proposals here match the pre-batching traces byte-for-byte.
-            let config = searcher.propose(space, &history, &mut rng)?;
-            let degradations = searcher.drain_degradations();
-            let decoded = space.decode(&config)?;
-            let rejected = match (screen_active, live_oracle.as_ref()) {
-                (true, Some(oracle)) => !oracle.predicted_feasible(&decoded.structural),
-                _ => false,
-            };
-            // Every committed sample — rejected or trained — occupies one
-            // trace slot, and the evaluation seed is derived from that
-            // slot exactly as in the sequential loop.
-            let query = base_slot + offset;
-            let eval_seed = seed.wrapping_mul(SEED_MIX).wrapping_add(query);
-            planned.push(PlannedItem {
-                config,
-                decoded,
-                rejected,
-                query,
-                eval_seed,
-                degradations,
-            });
-        }
-
-        // Train the surviving candidates concurrently.
-        let tasks: Vec<(u64, &Decoded, u64)> = planned
+        let tasks: Vec<(u64, &Decoded, u64)> = batch
             .iter()
-            .filter(|p| !p.rejected)
-            .map(|p| (p.query, &p.decoded, p.eval_seed))
+            .map(|c| (c.query, &c.decoded, c.eval_seed))
             .collect();
         let results = evaluate_parallel(objective, early_termination.as_ref(), &tasks, workers)?;
-
-        // Commit in proposal order, advancing the virtual clock with the
-        // exact operation sequence of the sequential loop. A budget hit
-        // mid-block discards the remaining (never-would-have-been-proposed)
-        // tail.
-        let mut next_result = results.into_iter();
-        for item in planned {
-            match budget {
-                Budget::Evaluations(n) if evaluations >= n => break 'run,
-                Budget::VirtualHours(h) if clock.hours() >= h => break 'run,
-                _ => {}
-            }
-            if item.rejected {
-                let Some(oracle) = live_oracle.as_ref() else {
-                    // `rejected` is only ever set by the screening oracle. analyze::allow(R15)
-                    unreachable!("rejected proposal without a screening oracle");
-                };
-                clock.advance_secs(cost.model_eval_s);
-                let predicted_power = oracle.models().predict_power(&item.decoded.structural);
-                let drift_events =
-                    heal_on_rejection(monitor.as_mut(), &mut live_oracle, searcher.as_mut());
-                let sample = Sample {
-                    index: samples.len(),
-                    timestamp_s: clock.seconds(),
-                    kind: SampleKind::Rejected,
-                    error: None,
-                    power_w: predicted_power.get(),
-                    memory_bytes: None,
-                    latency_s: None,
-                    feasible: false,
-                    retries: 0,
-                    faults: Vec::new(),
-                    failure: None,
-                    drift_events,
-                    degradations: item.degradations,
-                    drift_rmspe: None,
-                    config: item.config,
-                };
-                if let Some(s) = sink.as_deref_mut() {
-                    s.record_commit(&sample)?;
-                }
-                samples.push(sample);
-                consecutive_rejections += 1;
-                if consecutive_rejections >= MAX_CONSECUTIVE_REJECTIONS {
-                    break 'run;
-                }
-                continue;
-            }
-            // Consume this item's (speculative) result up front so a
-            // quarantine discard keeps later items aligned with theirs.
-            let Some(result) = next_result.next() else {
-                // One speculative result is enqueued per surviving item. analyze::allow(R15)
-                unreachable!("one evaluation result per surviving candidate");
-            };
-            if quarantine.contains(&config_key(&item.config)) {
-                // Circuit breaker: this config already failed terminally.
-                // Reject at model-eval cost using the noise-free analysis
-                // (no sensor RNG), and drop the speculative result.
-                clock.advance_secs(cost.model_eval_s);
-                let sample = Sample {
-                    index: samples.len(),
-                    timestamp_s: clock.seconds(),
-                    kind: SampleKind::Rejected,
-                    error: None,
-                    power_w: gpu.analyze(&item.decoded.arch).power.get(),
-                    memory_bytes: None,
-                    latency_s: None,
-                    feasible: false,
-                    retries: 0,
-                    faults: Vec::new(),
-                    failure: Some(TrialFailure::Quarantined),
-                    drift_events: Vec::new(),
-                    degradations: item.degradations,
-                    drift_rmspe: None,
-                    config: item.config,
-                };
-                if let Some(s) = sink.as_deref_mut() {
-                    s.record_commit(&sample)?;
-                }
-                samples.push(sample);
-                consecutive_rejections += 1;
-                if consecutive_rejections >= MAX_CONSECUTIVE_REJECTIONS {
-                    break 'run;
-                }
-                continue;
-            }
-            if screen_active {
-                // Feasibility checks on surviving candidates are billed too.
-                clock.advance_secs(cost.model_eval_s);
-            }
-            consecutive_rejections = 0;
-            if let Some(s) = sink.as_deref_mut() {
-                s.record_eval(item.eval_seed, &result);
-            }
-            let pressure_frac = memory_pressure_frac(gpu, &item.decoded);
-            let trial = plan_trial(
-                engine.plan,
-                engine.retry,
-                item.query,
-                &result,
-                pressure_frac,
-            );
-            clock.advance_secs(trial.charged_secs);
-            let sample = match trial.outcome {
-                TrialOutcome::Completed { secondary } => {
-                    let mut faults = trial.faults;
-                    let glitched = engine.plan.sensor_glitch(item.query);
-                    if glitched {
-                        // Transient sensor glitch: the first power reading
-                        // is garbage — discard it (consuming the draw) and
-                        // pay for a repeated measurement pass.
-                        let _ = gpu.measure_power(&item.decoded.arch);
-                        faults.push(TrialFailure::SensorGlitch);
-                    }
-                    let raw_power = gpu.measure_power(&item.decoded.arch);
-                    let memory = gpu.measure_memory(&item.decoded.arch).ok();
-                    let latency = gpu.measure_latency(&item.decoded.arch);
-                    clock.advance_secs(cost.measurement_s);
-                    if glitched {
-                        clock.advance_secs(cost.measurement_s);
-                    }
-                    // Systematic sensor miscalibration (the `drifting-hw`
-                    // profile): the recorded reading is biased by the
-                    // profile's drift rate × the commit timestamp. A pure
-                    // function of virtual time — no RNG, no thread state.
-                    let power = Watts(
-                        raw_power.get() + engine.plan.profile().power_bias_w(clock.seconds()),
-                    );
-                    let feasible = budgets.satisfied_by_measurements(power, memory, Some(latency));
-                    let healing = heal_on_commit(
-                        monitor.as_mut(),
-                        &mut live_oracle,
-                        searcher.as_mut(),
-                        engine.drift.safety_margin,
-                        &item.decoded.structural,
-                        power,
-                        memory,
-                        latency,
-                        feasible,
-                    );
-                    history.push(
-                        item.config.clone(),
-                        if healing.liar {
-                            LIAR_ERROR
-                        } else {
-                            result.error
-                        },
-                    );
-                    evaluations += 1;
-                    Sample {
-                        index: samples.len(),
-                        timestamp_s: clock.seconds(),
-                        kind: if result.terminated_early {
-                            SampleKind::EarlyTerminated
-                        } else {
-                            SampleKind::Trained
-                        },
-                        error: Some(result.error),
-                        power_w: power.get(),
-                        memory_bytes: memory.map(|m| m.as_bytes() as u64),
-                        latency_s: Some(latency.get()),
-                        feasible,
-                        retries: trial.attempts - 1,
-                        faults,
-                        failure: secondary,
-                        drift_events: healing.drift_events,
-                        degradations: item.degradations,
-                        drift_rmspe: healing.drift_rmspe,
-                        config: item.config,
-                    }
-                }
-                TrialOutcome::Failed(cause) => {
-                    // Graceful degradation: the searcher sees a worst-case
-                    // "liar" observation instead of a silent hole, and the
-                    // config is circuit-broken. No measurements exist — the
-                    // job never completed.
-                    history.push(item.config.clone(), LIAR_ERROR);
-                    evaluations += 1;
-                    quarantine.insert(config_key(&item.config));
-                    Sample {
-                        index: samples.len(),
-                        timestamp_s: clock.seconds(),
-                        kind: SampleKind::Failed,
-                        error: None,
-                        power_w: gpu.analyze(&item.decoded.arch).power.get(),
-                        memory_bytes: None,
-                        latency_s: None,
-                        feasible: false,
-                        retries: trial.attempts - 1,
-                        faults: trial.faults,
-                        failure: Some(cause),
-                        drift_events: Vec::new(),
-                        degradations: item.degradations,
-                        drift_rmspe: None,
-                        config: item.config,
-                    }
-                }
-            };
-            if let Some(s) = sink.as_deref_mut() {
-                s.record_commit(&sample)?;
-            }
-            samples.push(sample);
+        for (candidate, result) in batch.iter().zip(results) {
+            study.tell(gpu, candidate.lease_id, &result, sink.as_deref_mut())?;
         }
     }
 
     if let Some(s) = sink {
         s.flush()?;
     }
-    Ok(Trace {
-        method,
-        mode,
-        budgets,
-        samples,
-        total_time_s: clock.seconds(),
-    })
+    Ok(study.into_trace())
 }
 
 /// A candidate dispatched to a simulated GPU, awaiting training.

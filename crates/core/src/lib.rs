@@ -38,6 +38,9 @@
 //! * [`methods`] — the four searchers (Rand, Rand-Walk, HW-CWEI, HW-IECI),
 //! * [`driver`] — evaluation- and virtual-time-budgeted optimization loops
 //!   producing [`Trace`]s,
+//! * [`study`] — the ask–tell state machine behind the loops: leased
+//!   candidate batches out, idempotent observations in, byte-identical
+//!   traces committed,
 //! * [`executor`] — the deterministic (optionally multi-threaded) candidate
 //!   evaluation engine behind the driver,
 //! * [`golden`] — a dependency-free byte-exact trace codec for the
@@ -80,6 +83,7 @@ pub mod recovery;
 pub mod report;
 pub mod scenario;
 pub mod space;
+pub mod study;
 
 pub use checkpoint::CheckpointConfig;
 pub use constraints::{Budgets, ConstraintOracle};
@@ -96,6 +100,7 @@ pub use profiler::{ProfiledData, Profiler};
 pub use recovery::{RetryPolicy, TrialFailure};
 pub use scenario::{Scenario, Session};
 pub use space::{Config, Dimension, SearchSpace};
+pub use study::{LeasedCandidate, NullSink, ObservationSink, Study, StudySpec, TellOutcome};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, Error>;

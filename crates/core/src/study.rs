@@ -1,0 +1,976 @@
+//! The ask–tell study state machine.
+//!
+//! [`Study`] factors the single-GPU optimization loop of
+//! [`crate::executor`] into an explicit state machine with no embedded
+//! objective call: [`Study::ask`] plans proposals and hands out **leased**
+//! candidate batches, the caller evaluates them however it likes (inline,
+//! on worker threads, on another machine), and [`Study::tell`] ingests the
+//! observations and commits samples to the trace. The committed trace is
+//! **byte-identical** to the embedded loop's — `crate::executor` itself now
+//! drives a `Study` — which is what lets a serving layer
+//! (`hyperpower-server`) host many concurrent studies, lose workers,
+//! receive duplicated or reordered tells, and crash-restart without ever
+//! perturbing a single trace byte.
+//!
+//! # Why leases keep the trace exact
+//!
+//! Evaluation is a pure function of `(decoded, eval_seed)`, and the eval
+//! seed is derived from the proposal's trace slot alone
+//! (`seed × SEED_MIX + query`). So *who* evaluates a candidate, *when* the
+//! result arrives, and *how many times* the work is re-issued after a lost
+//! worker are all unobservable in the trace. A lease records one issuance
+//! of a candidate to a worker, with a deadline on the **caller's scheduler
+//! clock** (never the study's virtual trace clock):
+//!
+//! * expiry ([`Study::reclaim_expired`]) returns the candidate to the pool;
+//!   the next [`Study::ask`] re-issues it under a fresh lease with the
+//!   attempt count bumped and the deadline grown by the PR 4 retry/backoff
+//!   machinery ([`RetryPolicy::backoff_secs`] with a seeded jitter draw in
+//!   the `FaultPlan` style);
+//! * a tell against an expired lease is rejected with the typed
+//!   [`Error::LeaseExpired`] and leaves every byte of state untouched;
+//! * a duplicate tell (same lease, already ingested) is absorbed as
+//!   [`TellOutcome::Duplicate`];
+//! * out-of-order tells are buffered on their planned slot and commit only
+//!   when every earlier proposal has committed — commits happen in strict
+//!   proposal order, exactly like the embedded loop.
+//!
+//! # Commit discipline
+//!
+//! All clock advances and sensor reads happen at *commit* points, in
+//! proposal order, so the trace is a pure function of the committed prefix
+//! — the same scheme DESIGN.md §5a proves for the executor. Budgets are
+//! re-checked before every commit; a budget hit discards the planned tail
+//! unseen (its RNG consumption is unobservable) and voids its leases as
+//! [`TellOutcome::Discarded`].
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use hyperpower_gpu_sim::{FaultPlan, FaultProfile, Gpu, TrainingCostModel, VirtualClock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::checkpoint::CheckpointSink;
+use crate::constraints::ConstraintOracle;
+use crate::drift::{DriftConfig, DriftMonitor};
+use crate::driver::{Budget, Sample, SampleKind, Trace, MAX_CONSECUTIVE_REJECTIONS};
+use crate::methods::{make_searcher, Conditioning, History, Searcher};
+use crate::objective::EvaluationResult;
+use crate::recovery::{plan_trial, RetryPolicy, TrialFailure, TrialOutcome, LIAR_ERROR};
+use crate::space::Decoded;
+use crate::{Budgets, Config, EarlyTermination, Error, Method, Mode, Result, SearchSpace, Watts};
+
+/// The multiplier in the per-candidate seed derivation
+/// `eval_seed = seed × SEED_MIX + query_index` (golden-ratio mixing
+/// constant; the same derivation the sequential driver has always used).
+pub(crate) const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Salt for the lease-deadline jitter stream (disjoint from the fault
+/// salts `0xFA17_000x` so lease lifecycle can never collide with fault
+/// draws — not that either is ever visible in the trace).
+const SALT_LEASE: u64 = 0x1EA5_E001;
+
+/// Everything that defines a study's run identity and schedule: the exact
+/// information [`crate::driver::RunSetup`] carries minus the borrowed
+/// evaluation context (space, objective, GPU), which the caller supplies
+/// per call so a server can own many studies side by side.
+#[derive(Debug, Clone)]
+pub struct StudySpec {
+    /// Search method.
+    pub method: Method,
+    /// Enhancement mode.
+    pub mode: Mode,
+    /// Stop criterion.
+    pub budget: Budget,
+    /// Run seed (searcher proposals, objective noise, sensor noise order).
+    pub seed: u64,
+    /// Hardware budgets used to judge feasibility.
+    pub budgets: Budgets,
+    /// Virtual-time cost model.
+    pub cost: TrainingCostModel,
+    /// Early-termination policy handed to evaluators; `Some` in
+    /// HyperPower mode. The study itself never calls the objective — this
+    /// is carried so [`Study::early_termination`] can tell workers what to
+    /// run.
+    pub early_termination: Option<EarlyTermination>,
+    /// Fault-injection profile (semantic knob, part of run identity).
+    pub fault_profile: FaultProfile,
+    /// Retry/backoff policy applied when faults abort an attempt.
+    pub retry: RetryPolicy,
+    /// Self-healing configuration.
+    pub drift: DriftConfig,
+}
+
+/// One candidate issued to a worker under a lease.
+#[derive(Debug, Clone)]
+pub struct LeasedCandidate {
+    /// Unique (per study, monotonically increasing) lease identifier.
+    pub lease_id: u64,
+    /// Trace slot of the proposal the lease covers.
+    pub query: u64,
+    /// 1-based issuance count for this candidate (bumped on re-issue
+    /// after expiry).
+    pub attempt: u32,
+    /// The proposed configuration.
+    pub config: Config,
+    /// Its decoded architecture (what the objective evaluates).
+    pub decoded: Decoded,
+    /// The evaluation seed — a pure function of `(run seed, query)`, so a
+    /// re-issued lease computes the identical result.
+    pub eval_seed: u64,
+    /// Scheduler-clock deadline: past this instant the lease is eligible
+    /// for [`Study::reclaim_expired`]. Never compared against the study's
+    /// virtual trace clock.
+    pub deadline_s: f64,
+}
+
+/// What happened to an observation handed to [`Study::tell`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TellOutcome {
+    /// The observation was ingested; `committed` samples (this one plus
+    /// any unblocked successors, or zero if it is buffered behind an
+    /// earlier pending proposal) reached the trace.
+    Accepted {
+        /// Samples committed by this tell's drain.
+        committed: usize,
+    },
+    /// The lease was already fulfilled — a duplicate delivery, absorbed
+    /// without touching any state.
+    Duplicate,
+    /// The run ended (budget hit) before this proposal could commit; the
+    /// observation is absorbed and discarded, exactly as the embedded
+    /// loop discards a prefetched tail.
+    Discarded,
+}
+
+/// Where a study streams its durable observations: the write-ahead
+/// journal hook. [`CheckpointSink`] implements it (the executor's
+/// periodic checkpoints), and `hyperpower-server` implements it with an
+/// append-only journal. Calls arrive in commit order — `record_eval`
+/// immediately before the commit that consumed the evaluation — so any
+/// sink sees the exact byte stream of the embedded loop.
+pub trait ObservationSink {
+    /// Records one raw objective evaluation, keyed by its eval seed.
+    fn record_eval(&mut self, eval_seed: u64, result: &EvaluationResult);
+
+    /// Records one committed sample.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O failures; the study aborts the commit loop and
+    /// surfaces the error to the caller.
+    fn record_commit(&mut self, sample: &Sample) -> Result<()>;
+}
+
+impl ObservationSink for CheckpointSink {
+    fn record_eval(&mut self, eval_seed: u64, result: &EvaluationResult) {
+        CheckpointSink::record_eval(self, eval_seed, result);
+    }
+
+    fn record_commit(&mut self, sample: &Sample) -> Result<()> {
+        CheckpointSink::record_commit(self, sample)
+    }
+}
+
+/// A sink that records nothing (for callers without durability).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ObservationSink for NullSink {
+    fn record_eval(&mut self, _eval_seed: u64, _result: &EvaluationResult) {}
+
+    fn record_commit(&mut self, _sample: &Sample) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Lifecycle state of one issued lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeaseState {
+    /// Issued, awaiting its tell.
+    Outstanding,
+    /// Its tell was ingested (further tells are duplicates).
+    Fulfilled,
+    /// Reclaimed after its deadline passed; tells are rejected.
+    Expired,
+    /// Voided because the run ended before the proposal committed; tells
+    /// are absorbed.
+    Discarded,
+}
+
+/// Bookkeeping for one issued lease.
+#[derive(Debug, Clone, Copy)]
+struct LeaseRecord {
+    query: u64,
+    state: LeaseState,
+    deadline_s: f64,
+}
+
+/// A proposal planned ahead of its commit.
+#[derive(Debug)]
+struct Planned {
+    config: Config,
+    decoded: Decoded,
+    rejected: bool,
+    query: u64,
+    eval_seed: u64,
+    degradations: Vec<crate::drift::DegradationEvent>,
+    /// The observation, once told (buffered until this item reaches the
+    /// front of the commit queue).
+    result: Option<EvaluationResult>,
+    /// The currently outstanding lease on this item, if any.
+    lease: Option<u64>,
+    /// Leases issued for this item so far.
+    attempt: u32,
+}
+
+/// The quarantine key of a configuration: its unit-cube coordinates by
+/// exact bit pattern (the study re-proposes bit-identical configs, so no
+/// tolerance is wanted).
+pub(crate) fn config_key(config: &Config) -> Vec<u64> {
+    config.unit().iter().map(|u| u.to_bits()).collect()
+}
+
+/// Predicted memory pressure of a candidate: the noise-free memory
+/// analysis as a fraction of device capacity. Consumes no RNG — fault
+/// decisions must never perturb the sensor stream.
+pub(crate) fn memory_pressure_frac(gpu: &Gpu, decoded: &Decoded) -> f64 {
+    let predicted_mib = gpu.analyze(&decoded.arch).memory.get();
+    let capacity_mib = gpu.device().memory_capacity_gib * 1024.0;
+    predicted_mib / capacity_mib
+}
+
+/// Selects the rejection-screening oracle exactly as the sequential loop
+/// does: model-free methods in HyperPower mode screen; BO methods carry the
+/// constraints inside their acquisition instead (paper §3.4–3.5).
+pub(crate) fn screening_oracle(
+    mode: Mode,
+    method: Method,
+    oracle: Option<&ConstraintOracle>,
+) -> Option<&ConstraintOracle> {
+    match (mode, oracle) {
+        (Mode::HyperPower, Some(oracle)) if method.is_model_free() => Some(oracle),
+        _ => None,
+    }
+}
+
+/// The self-healing outcome of one measured commit, ready to attach to
+/// its [`Sample`].
+pub(crate) struct CommitHealing {
+    pub(crate) drift_events: Vec<crate::drift::DriftEvent>,
+    pub(crate) drift_rmspe: Option<f64>,
+    /// Penalize this observation as a liar (a measured violation of a
+    /// predicted-feasible candidate while safety margins are on).
+    pub(crate) liar: bool,
+}
+
+impl CommitHealing {
+    fn inert() -> Self {
+        CommitHealing {
+            drift_events: Vec::new(),
+            drift_rmspe: None,
+            liar: false,
+        }
+    }
+}
+
+/// Feeds one measured commit through the drift monitor (when active) and
+/// applies the outcome: on any model/margin change the live oracle is
+/// rebuilt and the searcher notified. Runs at commit points only, so the
+/// whole self-healing state is a pure function of the committed prefix.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn heal_on_commit(
+    monitor: Option<&mut DriftMonitor>,
+    live_oracle: &mut Option<ConstraintOracle>,
+    searcher: &mut dyn Searcher,
+    safety_margin: f64,
+    structural: &[f64],
+    power: Watts,
+    memory: Option<crate::Mebibytes>,
+    latency: crate::Seconds,
+    feasible: bool,
+) -> CommitHealing {
+    let Some(monitor) = monitor else {
+        return CommitHealing::inert();
+    };
+    let predicted_ok = live_oracle
+        .as_ref()
+        .is_some_and(|o| o.predicted_feasible(structural));
+    let violation = predicted_ok && !feasible;
+    let obs = monitor.observe_commit(structural, power, memory, Some(latency), violation);
+    if obs.oracle_changed {
+        let oracle = monitor.oracle();
+        searcher.update_oracle(&oracle);
+        *live_oracle = Some(oracle);
+    }
+    CommitHealing {
+        drift_events: obs.events,
+        drift_rmspe: obs.drift_rmspe,
+        liar: violation && safety_margin > 0.0,
+    }
+}
+
+/// Feeds one committed screening rejection through the drift monitor's
+/// starvation valve (when active): a long unbroken run of rejections under
+/// an active margin relaxes it one step, and the live oracle is swapped so
+/// the very next screening decision sees the widened region.
+pub(crate) fn heal_on_rejection(
+    monitor: Option<&mut DriftMonitor>,
+    live_oracle: &mut Option<ConstraintOracle>,
+    searcher: &mut dyn Searcher,
+) -> Vec<crate::drift::DriftEvent> {
+    let Some(monitor) = monitor else {
+        return Vec::new();
+    };
+    let obs = monitor.observe_rejection();
+    if obs.oracle_changed {
+        let oracle = monitor.oracle();
+        searcher.update_oracle(&oracle);
+        *live_oracle = Some(oracle);
+    }
+    obs.events
+}
+
+/// One hyper-parameter study as an explicit ask–tell state machine. See
+/// the module docs for the protocol and its exactness argument.
+pub struct Study {
+    spec: StudySpec,
+    plan: FaultPlan,
+    searcher: Box<dyn Searcher>,
+    rng: StdRng,
+    clock: VirtualClock,
+    history: History,
+    samples: Vec<Sample>,
+    evaluations: usize,
+    consecutive_rejections: usize,
+    quarantine: BTreeSet<Vec<u64>>,
+    screen_active: bool,
+    live_oracle: Option<ConstraintOracle>,
+    monitor: Option<DriftMonitor>,
+    queue: VecDeque<Planned>,
+    leases: BTreeMap<u64, LeaseRecord>,
+    next_lease: u64,
+    lease_policy: RetryPolicy,
+    finished: bool,
+}
+
+// Manual impl: `searcher` is a trait object, so only its presence is
+// reported.
+impl std::fmt::Debug for Study {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Study")
+            .field("spec", &self.spec)
+            .field("committed", &self.samples.len())
+            .field("evaluations", &self.evaluations)
+            .field("pending", &self.queue.len())
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Study {
+    /// Creates a study from its spec, the profiling-time constraint oracle
+    /// (cloned; `Some` in HyperPower mode) and an optional custom searcher.
+    pub fn new(
+        spec: StudySpec,
+        oracle: Option<&ConstraintOracle>,
+        searcher_override: Option<Box<dyn Searcher>>,
+    ) -> Self {
+        let searcher = searcher_override
+            .unwrap_or_else(|| make_searcher(spec.method, spec.mode, oracle.cloned()));
+        let screen_active = screening_oracle(spec.mode, spec.method, oracle).is_some();
+        let live_oracle = oracle.cloned();
+        let monitor = if spec.drift.is_inert() {
+            None
+        } else {
+            oracle.map(|o| DriftMonitor::new(o.models().clone(), o.budgets(), spec.drift))
+        };
+        let plan = FaultPlan::new(spec.fault_profile.clone(), spec.seed);
+        let rng = StdRng::seed_from_u64(spec.seed);
+        Study {
+            spec,
+            plan,
+            searcher,
+            rng,
+            clock: VirtualClock::new(),
+            history: History::new(),
+            samples: Vec::new(),
+            evaluations: 0,
+            consecutive_rejections: 0,
+            quarantine: BTreeSet::new(),
+            screen_active,
+            live_oracle,
+            monitor,
+            queue: VecDeque::new(),
+            leases: BTreeMap::new(),
+            next_lease: 0,
+            // Lease deadlines reuse the retry/backoff machinery: deadline
+            // growth per re-issue is exponential with seeded jitter. The
+            // defaults give generous first deadlines; servers override via
+            // `with_lease_policy`. Execution-only: never part of the trace.
+            lease_policy: RetryPolicy {
+                max_retries: 0,
+                backoff_base_s: 600.0,
+                backoff_factor: 2.0,
+                backoff_jitter_frac: 0.5,
+            },
+            finished: false,
+        }
+    }
+
+    /// Replaces the lease-deadline policy (builder style). The policy's
+    /// `backoff_secs(attempt, jitter)` gives the lease TTL for issuance
+    /// `attempt`; `max_retries` is unused (re-issue is unbounded — the
+    /// evaluation is pure, so it eventually lands). Trace-neutral.
+    pub fn with_lease_policy(mut self, policy: RetryPolicy) -> Self {
+        self.lease_policy = policy;
+        self
+    }
+
+    /// The study's defining spec.
+    pub fn spec(&self) -> &StudySpec {
+        &self.spec
+    }
+
+    /// The early-termination policy evaluators should run under.
+    pub fn early_termination(&self) -> Option<EarlyTermination> {
+        self.spec.early_termination
+    }
+
+    /// Whether the run is over (budget hit or rejection valve tripped).
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Committed samples so far.
+    pub fn committed(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Function evaluations consumed so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Outstanding (issued, unfulfilled, unexpired) leases.
+    pub fn outstanding_leases(&self) -> usize {
+        self.leases
+            .values()
+            .filter(|r| r.state == LeaseState::Outstanding)
+            .count()
+    }
+
+    /// The trace committed so far, as a snapshot (the run may continue).
+    pub fn trace(&self) -> Trace {
+        Trace {
+            method: self.spec.method,
+            mode: self.spec.mode,
+            budgets: self.spec.budgets,
+            samples: self.samples.clone(),
+            total_time_s: self.clock.seconds(),
+        }
+    }
+
+    /// Consumes the study and returns its final trace.
+    pub fn into_trace(self) -> Trace {
+        Trace {
+            method: self.spec.method,
+            mode: self.spec.mode,
+            budgets: self.spec.budgets,
+            samples: self.samples,
+            total_time_s: self.clock.seconds(),
+        }
+    }
+
+    /// Plans proposals as needed and returns up to `max` leased candidates
+    /// awaiting evaluation, stamping deadlines relative to the caller's
+    /// scheduler clock `now_s`. Returns an empty batch when the run is
+    /// finished, or when every pending candidate is already out on an
+    /// unexpired lease.
+    ///
+    /// Block planning follows the embedded loop exactly: only
+    /// history-independent searchers without an active drift monitor plan
+    /// more than one proposal ahead, so the trace stays byte-identical for
+    /// every `max` (the executor's worker-count invariance, restated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates proposal/decoding errors and sink I/O failures from
+    /// commits of screening rejections.
+    pub fn ask<S: ObservationSink>(
+        &mut self,
+        space: &SearchSpace,
+        gpu: &mut Gpu,
+        max: usize,
+        now_s: f64,
+        mut sink: Option<&mut S>,
+    ) -> Result<Vec<LeasedCandidate>> {
+        // Plan blocks until the run ends or a candidate awaits evaluation.
+        // (A block can be all screening rejections, which commit right
+        // here; the embedded loop spins the same way.)
+        while !self.finished && !self.has_pending_eval() {
+            if self.budget_exhausted() {
+                self.finish();
+                break;
+            }
+            self.plan_block(space, max)?;
+            self.drain(gpu, sink.as_deref_mut())?;
+        }
+        if self.finished {
+            return Ok(Vec::new());
+        }
+
+        let mut out = Vec::new();
+        let policy = self.lease_policy;
+        let seed = self.spec.seed;
+        let mut next = self.next_lease;
+        let mut issued: Vec<LeaseRecord> = Vec::new();
+        let cap = max.max(1);
+        for item in self.queue.iter_mut() {
+            if item.rejected || item.result.is_some() || item.lease.is_some() {
+                continue;
+            }
+            if out.len() >= cap {
+                break;
+            }
+            item.attempt += 1;
+            let lease_id = next;
+            next += 1;
+            let ttl = policy.backoff_secs(
+                item.attempt,
+                lease_jitter_unit(seed, item.query, item.attempt),
+            );
+            let deadline_s = now_s + ttl;
+            item.lease = Some(lease_id);
+            issued.push(LeaseRecord {
+                query: item.query,
+                state: LeaseState::Outstanding,
+                deadline_s,
+            });
+            out.push(LeasedCandidate {
+                lease_id,
+                query: item.query,
+                attempt: item.attempt,
+                config: item.config.clone(),
+                decoded: item.decoded.clone(),
+                eval_seed: item.eval_seed,
+                deadline_s,
+            });
+        }
+        for (offset, record) in issued.into_iter().enumerate() {
+            self.leases.insert(self.next_lease + offset as u64, record);
+        }
+        self.next_lease = next;
+        Ok(out)
+    }
+
+    /// Ingests one observation for `lease_id` and commits every proposal
+    /// the arrival unblocks, in proposal order.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownLease`] for a lease this study never issued;
+    /// [`Error::LeaseExpired`] for a reclaimed lease (state untouched);
+    /// sink I/O failures from the commits.
+    pub fn tell<S: ObservationSink>(
+        &mut self,
+        gpu: &mut Gpu,
+        lease_id: u64,
+        result: &EvaluationResult,
+        sink: Option<&mut S>,
+    ) -> Result<TellOutcome> {
+        let Some(record) = self.leases.get_mut(&lease_id) else {
+            return Err(Error::UnknownLease { lease_id });
+        };
+        match record.state {
+            LeaseState::Expired => {
+                return Err(Error::LeaseExpired {
+                    lease_id,
+                    query: record.query,
+                })
+            }
+            LeaseState::Fulfilled => return Ok(TellOutcome::Duplicate),
+            LeaseState::Discarded => return Ok(TellOutcome::Discarded),
+            LeaseState::Outstanding => {}
+        }
+        record.state = LeaseState::Fulfilled;
+        let query = record.query;
+        let Some(item) = self.queue.iter_mut().find(|i| i.query == query) else {
+            // An outstanding lease always has its item queued: `finish`
+            // voids leases when it clears the queue.
+            unreachable!("outstanding lease without a queued item");
+        };
+        item.result = Some(*result);
+        item.lease = None;
+        let before = self.samples.len();
+        self.drain(gpu, sink)?;
+        Ok(TellOutcome::Accepted {
+            committed: self.samples.len() - before,
+        })
+    }
+
+    /// Reclaims every outstanding lease whose deadline has passed on the
+    /// caller's scheduler clock, returning how many were reclaimed. The
+    /// candidates return to the pool and the next [`Study::ask`] re-issues
+    /// them (attempt bumped, deadline grown). Trace-neutral by
+    /// construction: reclamation touches lease bookkeeping only.
+    pub fn reclaim_expired(&mut self, now_s: f64) -> usize {
+        let mut reclaimed = 0;
+        for record in self.leases.values_mut() {
+            if record.state == LeaseState::Outstanding && now_s > record.deadline_s {
+                record.state = LeaseState::Expired;
+                let query = record.query;
+                if let Some(item) = self.queue.iter_mut().find(|i| i.query == query) {
+                    item.lease = None;
+                }
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
+    /// Reclaims every outstanding lease regardless of deadline (the
+    /// server's shed-lowest-priority backpressure valve). Trace-neutral,
+    /// like deadline expiry.
+    pub fn reclaim_all(&mut self) -> usize {
+        self.reclaim_expired(f64::INFINITY)
+    }
+
+    fn has_pending_eval(&self) -> bool {
+        self.queue.iter().any(|i| !i.rejected && i.result.is_none())
+    }
+
+    fn budget_exhausted(&self) -> bool {
+        match self.spec.budget {
+            Budget::Evaluations(n) => self.evaluations >= n,
+            Budget::VirtualHours(h) => self.clock.hours() >= h,
+        }
+    }
+
+    /// Ends the run: the planned tail is discarded unseen (exactly as the
+    /// embedded loop discards a prefetched tail on a budget hit) and its
+    /// leases are voided so late tells are absorbed, not rejected.
+    fn finish(&mut self) {
+        self.finished = true;
+        for item in &self.queue {
+            let Some(lease_id) = item.lease else { continue };
+            if let Some(record) = self.leases.get_mut(&lease_id) {
+                if record.state == LeaseState::Outstanding {
+                    record.state = LeaseState::Discarded;
+                }
+            }
+        }
+        self.queue.clear();
+    }
+
+    /// Plans one block of proposals, mirroring the embedded loop: the
+    /// searcher proposes, degradations are drained, the space decodes, and
+    /// the screening oracle (when active) marks predicted-infeasible
+    /// candidates rejected. Proposals never run past the evaluation budget
+    /// (rejected ones occupy no evaluation slot, so the block can only
+    /// undershoot, never overshoot).
+    fn plan_block(&mut self, space: &SearchSpace, max: usize) -> Result<()> {
+        debug_assert!(self.queue.is_empty(), "blocks plan only on a drained queue");
+        // Dependent searchers must see each result before the next
+        // proposal: their lookahead is 1. An active drift monitor also
+        // forces lookahead 1: a commit may swap the screening oracle, so
+        // planning a wider block would make screening decisions depend on
+        // the batch width.
+        let lookahead = if max > 1
+            && self.searcher.conditioning() == Conditioning::Independent
+            && self.monitor.is_none()
+        {
+            max
+        } else {
+            1
+        };
+        let room = match self.spec.budget {
+            Budget::Evaluations(n) => n.saturating_sub(self.evaluations),
+            Budget::VirtualHours(_) => lookahead,
+        };
+        let block = lookahead.min(room).max(1);
+        let base_slot = (self.samples.len() + self.queue.len()) as u64;
+        for offset in 0..block as u64 {
+            let config = self.searcher.propose(space, &self.history, &mut self.rng)?;
+            let degradations = self.searcher.drain_degradations();
+            let decoded = space.decode(&config)?;
+            let rejected = match (self.screen_active, self.live_oracle.as_ref()) {
+                (true, Some(oracle)) => !oracle.predicted_feasible(&decoded.structural),
+                _ => false,
+            };
+            // Every committed sample — rejected or trained — occupies one
+            // trace slot, and the evaluation seed is derived from that
+            // slot exactly as in the sequential loop.
+            let query = base_slot + offset;
+            let eval_seed = self.spec.seed.wrapping_mul(SEED_MIX).wrapping_add(query);
+            self.queue.push_back(Planned {
+                config,
+                decoded,
+                rejected,
+                query,
+                eval_seed,
+                degradations,
+                result: None,
+                lease: None,
+                attempt: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Commits every front-of-queue proposal that is ready — screening
+    /// rejections unconditionally, evaluated candidates once their result
+    /// has been told — re-checking the budget before each commit.
+    fn drain<S: ObservationSink>(&mut self, gpu: &mut Gpu, mut sink: Option<&mut S>) -> Result<()> {
+        while let Some(front) = self.queue.front() {
+            if self.budget_exhausted() {
+                self.finish();
+                break;
+            }
+            let ready = front.rejected || front.result.is_some();
+            if !ready {
+                break;
+            }
+            let Some(item) = self.queue.pop_front() else {
+                // The front was just observed.
+                unreachable!("front disappeared between peek and pop");
+            };
+            if item.rejected {
+                self.commit_screen_rejection(item, sink.as_deref_mut())?;
+            } else {
+                self.commit_evaluated(item, gpu, sink.as_deref_mut())?;
+            }
+            if self.finished {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits one screening rejection, advancing the virtual clock with
+    /// the exact operation sequence of the embedded loop.
+    fn commit_screen_rejection<S: ObservationSink>(
+        &mut self,
+        item: Planned,
+        sink: Option<&mut S>,
+    ) -> Result<()> {
+        self.clock.advance_secs(self.spec.cost.model_eval_s);
+        let Some(oracle) = self.live_oracle.as_ref() else {
+            // `rejected` is only ever set by the screening oracle. analyze::allow(R15)
+            unreachable!("rejected proposal without a screening oracle");
+        };
+        let predicted_power = oracle.models().predict_power(&item.decoded.structural);
+        let drift_events = heal_on_rejection(
+            self.monitor.as_mut(),
+            &mut self.live_oracle,
+            self.searcher.as_mut(),
+        );
+        let sample = Sample {
+            index: self.samples.len(),
+            timestamp_s: self.clock.seconds(),
+            kind: SampleKind::Rejected,
+            error: None,
+            power_w: predicted_power.get(),
+            memory_bytes: None,
+            latency_s: None,
+            feasible: false,
+            retries: 0,
+            faults: Vec::new(),
+            failure: None,
+            drift_events,
+            degradations: item.degradations,
+            drift_rmspe: None,
+            config: item.config,
+        };
+        if let Some(s) = sink {
+            s.record_commit(&sample)?;
+        }
+        self.samples.push(sample);
+        self.consecutive_rejections += 1;
+        if self.consecutive_rejections >= MAX_CONSECUTIVE_REJECTIONS {
+            self.finish();
+        }
+        Ok(())
+    }
+
+    /// Commits one evaluated proposal: the quarantine circuit breaker may
+    /// still reject it (dropping the buffered result), otherwise the fault
+    /// schedule replays, sensors are read on the shared stream, and the
+    /// sample commits — all exactly as the embedded loop does.
+    fn commit_evaluated<S: ObservationSink>(
+        &mut self,
+        item: Planned,
+        gpu: &mut Gpu,
+        mut sink: Option<&mut S>,
+    ) -> Result<()> {
+        let Planned {
+            config,
+            decoded,
+            query,
+            eval_seed,
+            degradations,
+            result,
+            ..
+        } = item;
+        let Some(result) = result else {
+            // `drain` only pops evaluated items whose result was told. analyze::allow(R15)
+            unreachable!("evaluated commit without a told result");
+        };
+        if self.quarantine.contains(&config_key(&config)) {
+            // Circuit breaker: this config already failed terminally.
+            // Reject at model-eval cost using the noise-free analysis
+            // (no sensor RNG), and drop the buffered result.
+            self.clock.advance_secs(self.spec.cost.model_eval_s);
+            let sample = Sample {
+                index: self.samples.len(),
+                timestamp_s: self.clock.seconds(),
+                kind: SampleKind::Rejected,
+                error: None,
+                power_w: gpu.analyze(&decoded.arch).power.get(),
+                memory_bytes: None,
+                latency_s: None,
+                feasible: false,
+                retries: 0,
+                faults: Vec::new(),
+                failure: Some(TrialFailure::Quarantined),
+                drift_events: Vec::new(),
+                degradations,
+                drift_rmspe: None,
+                config,
+            };
+            if let Some(s) = sink.as_deref_mut() {
+                s.record_commit(&sample)?;
+            }
+            self.samples.push(sample);
+            self.consecutive_rejections += 1;
+            if self.consecutive_rejections >= MAX_CONSECUTIVE_REJECTIONS {
+                self.finish();
+            }
+            return Ok(());
+        }
+        if self.screen_active {
+            // Feasibility checks on surviving candidates are billed too.
+            self.clock.advance_secs(self.spec.cost.model_eval_s);
+        }
+        self.consecutive_rejections = 0;
+        if let Some(s) = sink.as_deref_mut() {
+            s.record_eval(eval_seed, &result);
+        }
+        let pressure_frac = memory_pressure_frac(gpu, &decoded);
+        let trial = plan_trial(&self.plan, &self.spec.retry, query, &result, pressure_frac);
+        self.clock.advance_secs(trial.charged_secs);
+        let sample = match trial.outcome {
+            TrialOutcome::Completed { secondary } => {
+                let mut faults = trial.faults;
+                let glitched = self.plan.sensor_glitch(query);
+                if glitched {
+                    // Transient sensor glitch: the first power reading
+                    // is garbage — discard it (consuming the draw) and
+                    // pay for a repeated measurement pass.
+                    let _ = gpu.measure_power(&decoded.arch);
+                    faults.push(TrialFailure::SensorGlitch);
+                }
+                let raw_power = gpu.measure_power(&decoded.arch);
+                let memory = gpu.measure_memory(&decoded.arch).ok();
+                let latency = gpu.measure_latency(&decoded.arch);
+                self.clock.advance_secs(self.spec.cost.measurement_s);
+                if glitched {
+                    self.clock.advance_secs(self.spec.cost.measurement_s);
+                }
+                // Systematic sensor miscalibration (the `drifting-hw`
+                // profile): the recorded reading is biased by the
+                // profile's drift rate × the commit timestamp. A pure
+                // function of virtual time — no RNG, no thread state.
+                let power =
+                    Watts(raw_power.get() + self.plan.profile().power_bias_w(self.clock.seconds()));
+                let feasible =
+                    self.spec
+                        .budgets
+                        .satisfied_by_measurements(power, memory, Some(latency));
+                let healing = heal_on_commit(
+                    self.monitor.as_mut(),
+                    &mut self.live_oracle,
+                    self.searcher.as_mut(),
+                    self.spec.drift.safety_margin,
+                    &decoded.structural,
+                    power,
+                    memory,
+                    latency,
+                    feasible,
+                );
+                self.history.push(
+                    config.clone(),
+                    if healing.liar {
+                        LIAR_ERROR
+                    } else {
+                        result.error
+                    },
+                );
+                self.evaluations += 1;
+                Sample {
+                    index: self.samples.len(),
+                    timestamp_s: self.clock.seconds(),
+                    kind: if result.terminated_early {
+                        SampleKind::EarlyTerminated
+                    } else {
+                        SampleKind::Trained
+                    },
+                    error: Some(result.error),
+                    power_w: power.get(),
+                    memory_bytes: memory.map(|m| m.as_bytes() as u64),
+                    latency_s: Some(latency.get()),
+                    feasible,
+                    retries: trial.attempts - 1,
+                    faults,
+                    failure: secondary,
+                    drift_events: healing.drift_events,
+                    degradations,
+                    drift_rmspe: healing.drift_rmspe,
+                    config,
+                }
+            }
+            TrialOutcome::Failed(cause) => {
+                // Graceful degradation: the searcher sees a worst-case
+                // "liar" observation instead of a silent hole, and the
+                // config is circuit-broken. No measurements exist — the
+                // job never completed.
+                self.history.push(config.clone(), LIAR_ERROR);
+                self.evaluations += 1;
+                self.quarantine.insert(config_key(&config));
+                Sample {
+                    index: self.samples.len(),
+                    timestamp_s: self.clock.seconds(),
+                    kind: SampleKind::Failed,
+                    error: None,
+                    power_w: gpu.analyze(&decoded.arch).power.get(),
+                    memory_bytes: None,
+                    latency_s: None,
+                    feasible: false,
+                    retries: trial.attempts - 1,
+                    faults: trial.faults,
+                    failure: Some(cause),
+                    drift_events: Vec::new(),
+                    degradations,
+                    drift_rmspe: None,
+                    config,
+                }
+            }
+        };
+        if let Some(s) = sink {
+            s.record_commit(&sample)?;
+        }
+        self.samples.push(sample);
+        Ok(())
+    }
+}
+
+/// The `[0, 1)` jitter draw for lease deadline `attempt` of `query` —
+/// golden-ratio mixing on a salted stream, a pure function of its inputs
+/// in the `FaultPlan` style.
+fn lease_jitter_unit(seed: u64, query: u64, attempt: u32) -> f64 {
+    use rand::RngExt;
+    let mut h = seed ^ SALT_LEASE;
+    h = h.wrapping_mul(SEED_MIX).wrapping_add(query);
+    h = h.wrapping_mul(SEED_MIX).wrapping_add(u64::from(attempt));
+    StdRng::seed_from_u64(h).random_range(0.0..1.0)
+}

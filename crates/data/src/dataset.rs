@@ -202,7 +202,7 @@ impl<'a> Iterator for BatchIter<'a> {
         Some(Batch {
             // `cursor`/`end` are clamped to the split length above; the
             // grant covers both slice expressions.
-            images: &images[start * px..end * px], // analyze::allow(R15)
+            images: &images[start * px..end * px],
             labels: &labels[start..end],
         })
     }

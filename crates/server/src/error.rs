@@ -1,0 +1,78 @@
+//! Typed server-layer errors.
+//!
+//! The serving layer degrades gracefully, never opaquely: every refusal a
+//! caller can hit has its own variant, and core study errors (including
+//! the lease lifecycle's [`hyperpower::Error::LeaseExpired`]) pass through
+//! unwrapped inside [`ServerError::Core`] so callers can match on them.
+
+use std::fmt;
+
+use hyperpower::Error;
+
+/// Everything that can go wrong at the serving layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// An error surfaced by the underlying study (proposal, decode,
+    /// journal I/O, lease lifecycle).
+    Core(Error),
+    /// No study with this name is hosted by the server.
+    StudyNotFound(String),
+    /// A study with this name already exists (names are unique keys; use
+    /// [`crate::StudyServer::open_study`] to resume one).
+    StudyExists(String),
+    /// Study names are path components of journal files: only ASCII
+    /// alphanumerics, `_` and `-` are accepted.
+    InvalidStudyName(String),
+    /// The server refused to take on more work: the named study (or the
+    /// server as a whole, for study admission) is at its bound and nothing
+    /// lower-priority could be shed. The caller should tell results back
+    /// (or let leases expire) and retry.
+    Overloaded {
+        /// The study whose request was refused.
+        study: String,
+        /// Outstanding units (leases, or hosted studies) at refusal time.
+        outstanding: usize,
+        /// The configured bound that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Core(e) => write!(f, "study error: {e}"),
+            ServerError::StudyNotFound(name) => write!(f, "no study named {name:?}"),
+            ServerError::StudyExists(name) => {
+                write!(f, "study {name:?} already exists (open_study resumes it)")
+            }
+            ServerError::InvalidStudyName(name) => write!(
+                f,
+                "invalid study name {name:?}: use ASCII alphanumerics, '_' or '-'"
+            ),
+            ServerError::Overloaded {
+                study,
+                outstanding,
+                limit,
+            } => write!(
+                f,
+                "overloaded: study {study:?} refused at {outstanding}/{limit} outstanding — tell results back or let leases expire, then retry"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<Error> for ServerError {
+    fn from(e: Error) -> Self {
+        ServerError::Core(e)
+    }
+}

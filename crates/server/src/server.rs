@@ -1,0 +1,493 @@
+//! The multi-study ask–tell server.
+//!
+//! [`StudyServer`] hosts many concurrent named [`Study`]s, each with its
+//! own search space, simulated GPU, and durable [`StudyJournal`]. The
+//! server is a *state machine over state machines*: it adds exactly the
+//! concerns a serving layer owes its callers —
+//!
+//! * **admission and naming** — studies are keyed by validated names
+//!   (journal file stems); creating over live durable state is refused,
+//!   [`StudyServer::open_study`] resumes it instead;
+//! * **leases** — every ask hands out candidates under deadlines on the
+//!   caller's scheduler clock; [`StudyServer::tick`] reclaims expired
+//!   leases so lost workers never wedge a study;
+//! * **idempotent tells** — duplicated and reordered deliveries are
+//!   absorbed by the study's lease ledger; a tell on a reclaimed lease is
+//!   rejected with the typed [`hyperpower::Error::LeaseExpired`] and
+//!   changes nothing;
+//! * **graceful degradation** — per-study and server-wide outstanding
+//!   bounds; at the global bound the server sheds *all* leases of the
+//!   lowest-priority study with work outstanding (trace-neutral: shed
+//!   candidates are simply re-issued later) before refusing the request
+//!   with the typed [`ServerError::Overloaded`];
+//! * **crash safety** — every commit is journaled before it is
+//!   acknowledged; [`StudyServer::open_study`] rebuilds a killed study by
+//!   deterministic replay against its journaled evaluations and
+//!   byte-verifies the recomputed prefix against the recorded samples.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use hyperpower::checkpoint::CheckpointHeader;
+use hyperpower::golden;
+use hyperpower::{
+    ConstraintOracle, Error, LeasedCandidate, RetryPolicy, SearchSpace, Study, StudySpec,
+    TellOutcome, Trace,
+};
+use hyperpower_gpu_sim::Gpu;
+
+use crate::journal::{encode_header_line, JournalHeader, RecoveredStudy, StudyJournal};
+use crate::ServerError;
+
+/// Execution-level serving knobs. None of these can change a committed
+/// trace byte — run identity lives entirely in each study's [`StudySpec`]
+/// (journaled via its header) — so every field is free to differ across a
+/// server restart.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Directory holding every study's journal and snapshot.
+    pub root: PathBuf,
+    /// Maximum hosted studies.
+    pub max_studies: usize,
+    /// Maximum outstanding leases per study; asks beyond it are refused
+    /// with [`ServerError::Overloaded`].
+    pub max_outstanding_per_study: usize,
+    /// Maximum outstanding leases server-wide; at the bound the server
+    /// sheds the lowest-priority study's leases before refusing.
+    pub max_outstanding_total: usize,
+    /// Lease-deadline policy: `backoff_secs(attempt, jitter)` is the TTL
+    /// of issuance `attempt`, so re-issued leases get geometrically more
+    /// time (the PR 4 retry/backoff machinery, repurposed).
+    pub lease_policy: RetryPolicy,
+    /// Snapshot (and journal-rotation) cadence in commits; `0` snapshots
+    /// only when a study finishes.
+    pub snapshot_every_commits: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            root: PathBuf::from("target/study-server"),
+            max_studies: 64,
+            max_outstanding_per_study: 16,
+            max_outstanding_total: 64,
+            lease_policy: RetryPolicy {
+                max_retries: 0,
+                backoff_base_s: 600.0,
+                backoff_factor: 2.0,
+                backoff_jitter_frac: 0.5,
+            },
+            snapshot_every_commits: 8,
+        }
+    }
+}
+
+/// Everything a hosted study needs besides its name: the evaluation
+/// context the core [`Study`] deliberately does not own.
+#[derive(Debug)]
+pub struct StudySetup {
+    /// The search space candidates are proposed from.
+    pub space: SearchSpace,
+    /// The study's simulated GPU (sensor streams are per-study state).
+    pub gpu: Gpu,
+    /// The profiling-time constraint oracle, when the method screens.
+    pub oracle: Option<ConstraintOracle>,
+    /// Run identity and schedule.
+    pub spec: StudySpec,
+    /// Shedding priority: under global overload the *lowest* priority
+    /// study loses its leases first.
+    pub priority: u32,
+}
+
+#[derive(Debug)]
+struct StudyEntry {
+    study: Study,
+    space: SearchSpace,
+    gpu: Gpu,
+    journal: StudyJournal,
+    priority: u32,
+}
+
+/// A crash-safe server hosting many concurrent named studies. See the
+/// module docs for the contract.
+#[derive(Debug)]
+pub struct StudyServer {
+    config: ServerConfig,
+    studies: BTreeMap<String, StudyEntry>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// The journal header a study setup implies (simulated_gpus is 1: a study
+/// is the single-schedule machine; batch-parallel variants are hosted as
+/// separate studies).
+fn journal_header(name: &str, spec: &StudySpec) -> JournalHeader {
+    JournalHeader {
+        name: name.to_string(),
+        run: CheckpointHeader {
+            seed: spec.seed,
+            method: spec.method.to_string(),
+            mode: spec.mode.to_string(),
+            budget: spec.budget,
+            simulated_gpus: 1,
+            fault_profile: spec.fault_profile.name.clone(),
+            max_retries: spec.retry.max_retries,
+            recalibrate: spec.drift.recalibrate,
+            drift_threshold: spec.drift.drift_threshold,
+            safety_margin: spec.drift.safety_margin,
+        },
+    }
+}
+
+impl StudyServer {
+    /// Creates a server over `config.root` (created if absent). Hosts no
+    /// studies yet; durable state on disk is untouched until a study of
+    /// that name is created or opened.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Core`] when the root directory cannot be created.
+    pub fn new(config: ServerConfig) -> Result<Self, ServerError> {
+        std::fs::create_dir_all(&config.root).map_err(|e| {
+            ServerError::Core(Error::Checkpoint(format!(
+                "creating {}: {e}",
+                config.root.display()
+            )))
+        })?;
+        Ok(StudyServer {
+            config,
+            studies: BTreeMap::new(),
+        })
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Names of every hosted study, in order.
+    pub fn study_names(&self) -> Vec<String> {
+        self.studies.keys().cloned().collect()
+    }
+
+    /// Outstanding leases across all hosted studies.
+    pub fn outstanding_total(&self) -> usize {
+        self.studies
+            .values()
+            .map(|e| e.study.outstanding_leases())
+            .sum()
+    }
+
+    /// Creates a brand-new study. Refuses names with live durable state on
+    /// disk ([`StudyServer::open_study`] resumes those) so an admission
+    /// race can never truncate a journal.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::InvalidStudyName`], [`ServerError::StudyExists`],
+    /// [`ServerError::Overloaded`] (at `max_studies`), or journal I/O
+    /// failures.
+    pub fn create_study(&mut self, name: &str, setup: StudySetup) -> Result<(), ServerError> {
+        self.admit(name)?;
+        let (journal_path, _) = crate::journal::study_paths(&self.config.root, name);
+        if journal_path.exists() {
+            return Err(ServerError::StudyExists(name.to_string()));
+        }
+        self.install(name, setup, None)?;
+        Ok(())
+    }
+
+    /// Creates the study if no durable state exists, otherwise resumes it
+    /// from its journal and snapshot: the study's deterministic schedule
+    /// is replayed against the journaled evaluations, the recomputed
+    /// prefix is byte-verified against every recorded sample, and the
+    /// durable files are rewritten fresh. Returns the number of committed
+    /// samples recovered.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`StudyServer::create_study`] raises, plus
+    /// [`hyperpower::Error::ResumeMismatch`] (via [`ServerError::Core`])
+    /// when the journal belongs to a different run identity or replay
+    /// disagrees with the recorded bytes.
+    pub fn open_study(&mut self, name: &str, setup: StudySetup) -> Result<usize, ServerError> {
+        self.admit(name)?;
+        let recovered = StudyJournal::load(&self.config.root, name)?;
+        let Some(recovered) = recovered else {
+            self.install(name, setup, None)?;
+            return Ok(0);
+        };
+        let expected = encode_header_line(&journal_header(name, &setup.spec));
+        if recovered.header_line != expected {
+            return Err(ServerError::Core(Error::ResumeMismatch(format!(
+                "journal for study {name:?} was written by a different run: journal header {}, expected {}",
+                recovered.header_line, expected
+            ))));
+        }
+        let committed = recovered.samples.len();
+        self.install(name, setup, Some(recovered))?;
+        Ok(committed)
+    }
+
+    /// Admission checks shared by create and open.
+    fn admit(&self, name: &str) -> Result<(), ServerError> {
+        if !valid_name(name) {
+            return Err(ServerError::InvalidStudyName(name.to_string()));
+        }
+        if self.studies.contains_key(name) {
+            return Err(ServerError::StudyExists(name.to_string()));
+        }
+        if self.studies.len() >= self.config.max_studies {
+            return Err(ServerError::Overloaded {
+                study: name.to_string(),
+                outstanding: self.studies.len(),
+                limit: self.config.max_studies,
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the entry, replaying recovered state when given.
+    fn install(
+        &mut self,
+        name: &str,
+        setup: StudySetup,
+        recovered: Option<RecoveredStudy>,
+    ) -> Result<(), ServerError> {
+        let StudySetup {
+            space,
+            mut gpu,
+            oracle,
+            spec,
+            priority,
+        } = setup;
+        let header = journal_header(name, &spec);
+        let mut journal = StudyJournal::create(
+            &self.config.root,
+            &header,
+            self.config.snapshot_every_commits,
+        )?;
+        let mut study =
+            Study::new(spec, oracle.as_ref(), None).with_lease_policy(self.config.lease_policy);
+        if let Some(recovered) = recovered {
+            replay(&mut study, &space, &mut gpu, &mut journal, &recovered)?;
+        }
+        self.studies.insert(
+            name.to_string(),
+            StudyEntry {
+                study,
+                space,
+                gpu,
+                journal,
+                priority,
+            },
+        );
+        Ok(())
+    }
+
+    fn entry_mut(&mut self, name: &str) -> Result<&mut StudyEntry, ServerError> {
+        self.studies
+            .get_mut(name)
+            .ok_or_else(|| ServerError::StudyNotFound(name.to_string()))
+    }
+
+    fn entry(&self, name: &str) -> Result<&StudyEntry, ServerError> {
+        self.studies
+            .get(name)
+            .ok_or_else(|| ServerError::StudyNotFound(name.to_string()))
+    }
+
+    /// Asks study `name` for up to `max` leased candidates, deadlines
+    /// stamped relative to the scheduler clock `now_s`.
+    ///
+    /// Backpressure: a study at its per-study outstanding bound is refused
+    /// outright; at the server-wide bound the lowest-priority study with
+    /// leases outstanding is shed first (its candidates return to its
+    /// pool — trace-neutral), and only if the requester itself is that
+    /// lowest-priority study is the request refused.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::StudyNotFound`], [`ServerError::Overloaded`], or
+    /// study/journal errors.
+    pub fn ask(
+        &mut self,
+        name: &str,
+        max: usize,
+        now_s: f64,
+    ) -> Result<Vec<LeasedCandidate>, ServerError> {
+        let per_study = self.config.max_outstanding_per_study;
+        let global = self.config.max_outstanding_total;
+        let outstanding = self.entry(name)?.study.outstanding_leases();
+        if outstanding >= per_study {
+            return Err(ServerError::Overloaded {
+                study: name.to_string(),
+                outstanding,
+                limit: per_study,
+            });
+        }
+        // Server-wide valve: shed the lowest-priority study holding
+        // leases until there is room, refusing only when the requester is
+        // itself the lowest priority left.
+        while self.outstanding_total() >= global {
+            let victim = self
+                .studies
+                .iter()
+                .filter(|(_, e)| e.study.outstanding_leases() > 0)
+                .min_by_key(|(victim_name, e)| (e.priority, (*victim_name).clone()))
+                .map(|(victim_name, e)| (victim_name.clone(), e.priority));
+            let requester_priority = self.entry(name)?.priority;
+            match victim {
+                Some((victim_name, victim_priority))
+                    if victim_name != name && victim_priority < requester_priority =>
+                {
+                    self.entry_mut(&victim_name)?.study.reclaim_all();
+                }
+                _ => {
+                    return Err(ServerError::Overloaded {
+                        study: name.to_string(),
+                        outstanding: self.outstanding_total(),
+                        limit: global,
+                    })
+                }
+            }
+        }
+        let cap = max.min(per_study - outstanding);
+        let entry = self.entry_mut(name)?;
+        let batch = entry.study.ask(
+            &entry.space,
+            &mut entry.gpu,
+            cap,
+            now_s,
+            Some(&mut entry.journal),
+        )?;
+        if entry.study.is_finished() {
+            entry.journal.flush()?;
+        }
+        Ok(batch)
+    }
+
+    /// Tells study `name` the result for `lease_id`. Duplicates are
+    /// absorbed ([`TellOutcome::Duplicate`]); tells for proposals the run
+    /// outlived are absorbed ([`TellOutcome::Discarded`]); tells on
+    /// reclaimed leases are rejected with the typed
+    /// [`hyperpower::Error::LeaseExpired`], state untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::StudyNotFound`] or study/journal errors (including
+    /// the lease-lifecycle rejections above).
+    pub fn tell(
+        &mut self,
+        name: &str,
+        lease_id: u64,
+        result: &hyperpower::EvaluationResult,
+    ) -> Result<TellOutcome, ServerError> {
+        let entry = self.entry_mut(name)?;
+        let outcome =
+            entry
+                .study
+                .tell(&mut entry.gpu, lease_id, result, Some(&mut entry.journal))?;
+        if entry.study.is_finished() {
+            entry.journal.flush()?;
+        }
+        Ok(outcome)
+    }
+
+    /// Reclaims every lease whose deadline passed, across all studies.
+    /// Returns how many were reclaimed; their candidates will be re-issued
+    /// by later asks.
+    pub fn tick(&mut self, now_s: f64) -> usize {
+        self.studies
+            .values_mut()
+            .map(|e| e.study.reclaim_expired(now_s))
+            .sum()
+    }
+
+    /// Whether study `name` has finished its run.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::StudyNotFound`].
+    pub fn is_finished(&self, name: &str) -> Result<bool, ServerError> {
+        Ok(self.entry(name)?.study.is_finished())
+    }
+
+    /// Committed samples of study `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::StudyNotFound`].
+    pub fn committed(&self, name: &str) -> Result<usize, ServerError> {
+        Ok(self.entry(name)?.study.committed())
+    }
+
+    /// A snapshot of study `name`'s committed trace.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::StudyNotFound`].
+    pub fn trace(&self, name: &str) -> Result<Trace, ServerError> {
+        Ok(self.entry(name)?.study.trace())
+    }
+}
+
+/// Replays a recovered study back to its recorded committed state: width-1
+/// asks feed journaled evaluations back in, the journal files are rebuilt
+/// live, and every recomputed sample is byte-verified against its recorded
+/// bytes. Replay leases are reclaimed at the end so real workers get the
+/// in-flight candidates re-issued.
+fn replay(
+    study: &mut Study,
+    space: &SearchSpace,
+    gpu: &mut Gpu,
+    journal: &mut StudyJournal,
+    recovered: &RecoveredStudy,
+) -> Result<(), ServerError> {
+    let target = recovered.samples.len();
+    'drive: while !study.is_finished() && study.committed() < target {
+        let batch = study.ask(space, gpu, 1, 0.0, Some(&mut *journal))?;
+        if batch.is_empty() {
+            break;
+        }
+        for candidate in batch {
+            let Some(result) = recovered.evals.get(&candidate.eval_seed) else {
+                // The journal records every evaluation before the commit
+                // that consumes it, so running dry before `target` means
+                // the journal lost non-tail records.
+                break 'drive;
+            };
+            study.tell(gpu, candidate.lease_id, result, Some(&mut *journal))?;
+        }
+    }
+    if study.committed() < target {
+        return Err(ServerError::Core(Error::ResumeMismatch(format!(
+            "replay reconstructed {} of {target} journaled samples — evaluations are missing from the journal",
+            study.committed()
+        ))));
+    }
+    // Byte-exact agreement between the recomputation and the record. The
+    // replay may legitimately run past `target` (a block of screening
+    // rejections commits in one drain); the excess is fresh progress, not
+    // recovered state, so only the recorded prefix is compared.
+    let trace = study.trace();
+    let mut report = Vec::new();
+    for (index, expected) in recovered.samples.iter().enumerate() {
+        let line = golden::encode_sample(&trace.samples[index]);
+        let actual = golden::parse(&line)
+            .map_err(|e| Error::Checkpoint(format!("re-encoding sample {index}: {e}")))?;
+        for d in golden::diff(expected, &actual) {
+            report.push(format!("samples[{index}]{}", d.trim_start_matches('$')));
+        }
+    }
+    if !report.is_empty() {
+        return Err(ServerError::Core(Error::ResumeMismatch(report.join("; "))));
+    }
+    study.reclaim_all();
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Chaos matrix: runs the deterministic chaos harness across an
+//! env-selected {seed} × {workers} cell and fails loudly — with per-study
+//! trace-diff artifacts under `target/chaos-diff/` — if any study's
+//! post-chaos trace drifts from its uninterrupted reference by a single
+//! byte.
+//!
+//! CI fans this out as a job matrix:
+//!
+//! ```sh
+//! HYPERPOWER_CHAOS_SEED=3 HYPERPOWER_WORKERS=4 \
+//!     cargo test -q -p hyperpower-server --test chaos_matrix
+//! ```
+//!
+//! Locally (no env vars) it sweeps a small default grid so `cargo test`
+//! alone still exercises kills, torn journals, duplicated and delayed
+//! tells, and mid-run crash/recovery cycles.
+
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use std::path::PathBuf;
+
+use hyperpower_server::{run_chaos, write_mismatch_artifacts};
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().map(|raw| {
+        raw.trim()
+            .parse::<u64>()
+            .unwrap_or_else(|e| panic!("{name}={raw:?} is not a u64: {e}"))
+    })
+}
+
+fn scratch_root(label: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/chaos-scratch")
+        .join(label)
+}
+
+#[test]
+fn chaos_matrix_traces_are_byte_identical() {
+    let seeds: Vec<u64> = match env_u64("HYPERPOWER_CHAOS_SEED") {
+        Some(seed) => vec![seed],
+        None => vec![1, 2, 3],
+    };
+    let workers_grid: Vec<usize> = match env_u64("HYPERPOWER_WORKERS") {
+        Some(w) => vec![w.max(1) as usize],
+        None => vec![1, 4],
+    };
+
+    let artifact_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/chaos-diff");
+    let mut failures = Vec::new();
+    for &seed in &seeds {
+        for &workers in &workers_grid {
+            let label = format!("seed{seed}-w{workers}");
+            let root = scratch_root(&label);
+            let outcome =
+                run_chaos(seed, workers, &root).unwrap_or_else(|e| panic!("chaos {label}: {e}"));
+            let r = outcome.report;
+            eprintln!(
+                "chaos {label}: rounds={} crashes={} torn_journals={} recovered_samples={} \
+                 dropped={} duplicated={} delayed={} expired={} reclaimed={} refusals={}",
+                r.rounds,
+                r.crashes,
+                r.torn_journals,
+                r.recovered_samples,
+                r.dropped_tells,
+                r.duplicated_tells,
+                r.delayed_tells,
+                r.expired_tells,
+                r.reclaimed_leases,
+                r.overload_refusals,
+            );
+            if !outcome.mismatches.is_empty() {
+                let paths = write_mismatch_artifacts(&outcome, &artifact_dir, &label)
+                    .expect("write chaos diff artifacts");
+                for m in &outcome.mismatches {
+                    failures.push(format!(
+                        "{label}: study {:?} diverged ({} field diffs)",
+                        m.study,
+                        m.diffs.len()
+                    ));
+                }
+                eprintln!("chaos {label}: wrote {} diff artifact(s)", paths.len());
+            }
+            std::fs::remove_dir_all(&root).ok();
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "chaos traces diverged from uninterrupted references \
+         (diff artifacts under target/chaos-diff/):\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The harness itself must be deterministic: the same cell run twice
+/// yields the identical report, not merely identical traces.
+#[test]
+fn chaos_harness_is_deterministic() {
+    let a = run_chaos(7, 2, &scratch_root("det-a")).expect("first run");
+    let b = run_chaos(7, 2, &scratch_root("det-b")).expect("second run");
+    assert_eq!(format!("{:?}", a.report), format!("{:?}", b.report));
+    assert!(a.mismatches.is_empty(), "seed 7 must pass");
+    assert!(b.mismatches.is_empty(), "seed 7 must pass");
+    std::fs::remove_dir_all(scratch_root("det-a")).ok();
+    std::fs::remove_dir_all(scratch_root("det-b")).ok();
+}

@@ -1,0 +1,552 @@
+//! Serving-layer contract tests: lease lifecycle, idempotent tells,
+//! backpressure, durability and byte-exact recovery.
+//!
+//! The chaos harness (`tests/chaos_matrix.rs`) attacks everything at
+//! once; this suite isolates each promise:
+//!
+//! * serving a study through ask–tell — at any width, with duplicated or
+//!   arbitrarily reordered deliveries — commits the exact bytes of the
+//!   embedded executor loop (property-tested over delivery schedules);
+//! * a tell on an expired lease is rejected with the typed
+//!   [`hyperpower::Error::LeaseExpired`] and changes nothing;
+//! * per-study and server-wide bounds refuse with typed
+//!   [`ServerError::Overloaded`], shedding the lowest-priority study
+//!   first at the global bound;
+//! * `kill -9` (dropping the server, tearing the journal tail, stranding
+//!   a stale snapshot temp) resumes to byte-identical state.
+
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use std::path::PathBuf;
+
+use hyperpower::driver::RunSetup;
+use hyperpower::golden::encode_trace;
+use hyperpower::{
+    run_optimization_with, Budget, Budgets, DriftConfig, EarlyTermination, Error, EvaluationResult,
+    ExecutorOptions, Method, Mode, Objective, RetryPolicy, SearchSpace, StudySpec, TellOutcome,
+    Trace,
+};
+use hyperpower_gpu_sim::{DeviceProfile, FaultProfile, Gpu, TrainingCostModel};
+use hyperpower_server::{ServerConfig, ServerError, StudyServer, StudySetup, SyntheticObjective};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const SEED: u64 = 0x5EED_05E6;
+
+fn scratch_root(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/server-scratch")
+        .join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn spec(seed: u64, budget: Budget, profile: FaultProfile) -> StudySpec {
+    StudySpec {
+        method: Method::Rand,
+        mode: Mode::HyperPower,
+        budget,
+        seed,
+        budgets: Budgets::default(),
+        cost: TrainingCostModel::default(),
+        early_termination: Some(EarlyTermination::default()),
+        fault_profile: profile,
+        retry: RetryPolicy::default(),
+        drift: DriftConfig::default(),
+    }
+}
+
+fn setup(seed: u64, budget: Budget, priority: u32) -> StudySetup {
+    StudySetup {
+        space: SearchSpace::mnist(),
+        gpu: Gpu::new(DeviceProfile::gtx_1070(), seed),
+        oracle: None,
+        spec: spec(seed, budget, FaultProfile::none()),
+        priority,
+    }
+}
+
+/// The uninterrupted embedded-loop reference for `setup(seed, budget, _)`.
+fn reference(seed: u64, budget: Budget) -> Trace {
+    let space = SearchSpace::mnist();
+    let mut gpu = Gpu::new(DeviceProfile::gtx_1070(), seed);
+    let objective = SyntheticObjective;
+    run_optimization_with(
+        RunSetup {
+            space: &space,
+            objective: &objective,
+            gpu: &mut gpu,
+            budgets: Budgets::default(),
+            oracle: None,
+            early_termination: Some(EarlyTermination::default()),
+            cost: TrainingCostModel::default(),
+            method: Method::Rand,
+            mode: Mode::HyperPower,
+            budget,
+            seed,
+            searcher_override: None,
+        },
+        &ExecutorOptions::default(),
+    )
+    .expect("reference run")
+}
+
+fn eval(c: &hyperpower::LeasedCandidate) -> EvaluationResult {
+    SyntheticObjective
+        .evaluate(&c.decoded, None, c.eval_seed)
+        .expect("synthetic objective")
+}
+
+/// Serves the study to completion, telling every result back promptly.
+fn drive(server: &mut StudyServer, name: &str, width: usize) {
+    let mut now = 0.0;
+    for _ in 0..10_000 {
+        if server.is_finished(name).expect("is_finished") {
+            return;
+        }
+        now += 60.0;
+        let batch = server.ask(name, width, now).expect("ask");
+        for c in batch {
+            server.tell(name, c.lease_id, &eval(&c)).expect("tell");
+        }
+    }
+    panic!("drive wedged: study {name} never finished");
+}
+
+// ---------------------------------------------------------------------------
+// Byte-exactness of plain serving
+// ---------------------------------------------------------------------------
+
+#[test]
+fn served_study_matches_embedded_loop_at_any_width() {
+    let expected = encode_trace(&reference(SEED, Budget::Evaluations(6)));
+    for width in [1usize, 3, 8] {
+        let root = scratch_root(&format!("plain-w{width}"));
+        let mut server = StudyServer::new(ServerConfig {
+            root,
+            ..ServerConfig::default()
+        })
+        .expect("server");
+        server
+            .create_study("plain", setup(SEED, Budget::Evaluations(6), 1))
+            .expect("create");
+        drive(&mut server, "plain", width);
+        let actual = encode_trace(&server.trace("plain").expect("trace"));
+        assert_eq!(expected, actual, "width {width} changed the trace");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Idempotent tells: duplication and reordering (property)
+// ---------------------------------------------------------------------------
+
+/// Serves a study while duplicating and shuffling every round's
+/// deliveries according to `schedule_seed`; the committed bytes must not
+/// care.
+fn drive_scrambled(server: &mut StudyServer, name: &str, schedule_seed: u64) {
+    let mut rng = StdRng::seed_from_u64(schedule_seed);
+    let mut draw = move || rng.random_range(0.0..1.0);
+    let mut now = 0.0;
+    for _ in 0..10_000 {
+        if server.is_finished(name).expect("is_finished") {
+            return;
+        }
+        now += 60.0;
+        let batch = server.ask(name, 4, now).expect("ask");
+        // Build the delivery list: every result at least once, some twice.
+        let mut deliveries: Vec<(u64, EvaluationResult)> = Vec::new();
+        for c in &batch {
+            let r = eval(c);
+            deliveries.push((c.lease_id, r));
+            if draw() < 0.5 {
+                deliveries.push((c.lease_id, r));
+            }
+        }
+        // Fisher–Yates on float draws (the vendored rand subset).
+        for i in (1..deliveries.len()).rev() {
+            let j = (draw() * (i + 1) as f64) as usize;
+            deliveries.swap(i, j.min(i));
+        }
+        let mut accepted = 0usize;
+        let mut duplicates = 0usize;
+        for (lease_id, r) in &deliveries {
+            match server.tell(name, *lease_id, r).expect("tell") {
+                TellOutcome::Accepted { .. } => accepted += 1,
+                TellOutcome::Duplicate => duplicates += 1,
+                TellOutcome::Discarded => {}
+            }
+        }
+        assert_eq!(accepted, batch.len(), "each lease ingested exactly once");
+        assert_eq!(duplicates, deliveries.len() - batch.len());
+    }
+    panic!("drive_scrambled wedged: study {name} never finished");
+}
+
+proptest! {
+    /// Duplicated and arbitrarily reordered tells yield bit-identical
+    /// traces for every delivery schedule.
+    #[test]
+    fn duplicated_and_reordered_tells_are_trace_neutral(schedule_seed in 0u64..1_000_000) {
+        let expected = encode_trace(&reference(SEED, Budget::Evaluations(6)));
+        let root = scratch_root(&format!("scramble-{schedule_seed}"));
+        let mut server = StudyServer::new(ServerConfig { root: root.clone(), ..ServerConfig::default() })
+            .expect("server");
+        server
+            .create_study("scramble", setup(SEED, Budget::Evaluations(6), 1))
+            .expect("create");
+        drive_scrambled(&mut server, "scramble", schedule_seed);
+        let actual = encode_trace(&server.trace("scramble").expect("trace"));
+        prop_assert_eq!(expected, actual);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lease expiry
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tell_on_expired_lease_is_rejected_and_state_untouched() {
+    let root = scratch_root("expiry");
+    let mut server = StudyServer::new(ServerConfig {
+        root,
+        lease_policy: RetryPolicy {
+            max_retries: 0,
+            backoff_base_s: 10.0,
+            backoff_factor: 2.0,
+            backoff_jitter_frac: 0.0,
+        },
+        ..ServerConfig::default()
+    })
+    .expect("server");
+    server
+        .create_study("exp", setup(SEED, Budget::Evaluations(4), 1))
+        .expect("create");
+
+    let batch = server.ask("exp", 1, 0.0).expect("ask");
+    assert_eq!(batch.len(), 1);
+    let candidate = &batch[0];
+    assert!(
+        (candidate.deadline_s - 10.0).abs() < 1e-9,
+        "TTL is the policy base"
+    );
+
+    // The worker dies; the deadline passes; the lease is reclaimed.
+    assert_eq!(server.tick(100.0), 1);
+    let before_bytes = encode_trace(&server.trace("exp").expect("trace"));
+    let before_committed = server.committed("exp").expect("committed");
+
+    let err = server
+        .tell("exp", candidate.lease_id, &eval(candidate))
+        .expect_err("late tell must be rejected");
+    match err {
+        ServerError::Core(Error::LeaseExpired { lease_id, query }) => {
+            assert_eq!(lease_id, candidate.lease_id);
+            assert_eq!(query, candidate.query);
+        }
+        other => panic!("expected LeaseExpired, got {other}"),
+    }
+    assert_eq!(
+        before_bytes,
+        encode_trace(&server.trace("exp").expect("trace")),
+        "a rejected tell must not perturb a single byte"
+    );
+    assert_eq!(
+        before_committed,
+        server.committed("exp").expect("committed")
+    );
+    assert_eq!(server.outstanding_total(), 0);
+
+    // The candidate is re-issued under a fresh lease with the attempt
+    // bumped and a grown deadline; serving on yields the reference bytes.
+    let reissued = server.ask("exp", 1, 100.0).expect("ask");
+    assert_eq!(reissued.len(), 1);
+    assert_eq!(reissued[0].query, candidate.query);
+    assert_eq!(reissued[0].eval_seed, candidate.eval_seed);
+    assert_eq!(reissued[0].attempt, 2);
+    assert!(
+        reissued[0].deadline_s > 100.0 + 10.0,
+        "backoff grows the TTL"
+    );
+    server
+        .tell("exp", reissued[0].lease_id, &eval(&reissued[0]))
+        .expect("tell");
+    drive(&mut server, "exp", 2);
+    assert_eq!(
+        encode_trace(&reference(SEED, Budget::Evaluations(4))),
+        encode_trace(&server.trace("exp").expect("trace"))
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure
+// ---------------------------------------------------------------------------
+
+#[test]
+fn per_study_bound_refuses_with_typed_overload() {
+    let root = scratch_root("overload");
+    let mut server = StudyServer::new(ServerConfig {
+        root,
+        max_outstanding_per_study: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server");
+    server
+        .create_study("busy", setup(SEED, Budget::Evaluations(6), 1))
+        .expect("create");
+
+    let batch = server.ask("busy", 5, 0.0).expect("ask");
+    assert_eq!(batch.len(), 2, "the ask is capped at the per-study bound");
+    match server.ask("busy", 1, 0.0) {
+        Err(ServerError::Overloaded {
+            study,
+            outstanding,
+            limit,
+        }) => {
+            assert_eq!(study, "busy");
+            assert_eq!(outstanding, 2);
+            assert_eq!(limit, 2);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // Telling a result back drains the queue and lifts the refusal.
+    server
+        .tell("busy", batch[0].lease_id, &eval(&batch[0]))
+        .expect("tell");
+    assert!(server.ask("busy", 1, 0.0).is_ok());
+}
+
+#[test]
+fn global_bound_sheds_lowest_priority_first() {
+    let root = scratch_root("shed");
+    let mut server = StudyServer::new(ServerConfig {
+        root,
+        max_outstanding_per_study: 8,
+        max_outstanding_total: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server");
+    server
+        .create_study("hi", setup(SEED, Budget::Evaluations(6), 5))
+        .expect("create hi");
+    server
+        .create_study("lo", setup(SEED ^ 1, Budget::Evaluations(6), 1))
+        .expect("create lo");
+
+    let lo_batch = server.ask("lo", 2, 0.0).expect("lo ask");
+    assert_eq!(lo_batch.len(), 2);
+    assert_eq!(server.outstanding_total(), 2);
+
+    // At the global bound the high-priority ask sheds `lo`'s leases.
+    let hi_batch = server.ask("hi", 1, 0.0).expect("hi ask");
+    assert_eq!(hi_batch.len(), 1);
+    assert_eq!(server.committed("lo").expect("committed"), 0);
+
+    // `lo`'s old leases are dead; its candidates re-issue later.
+    match server.tell("lo", lo_batch[0].lease_id, &eval(&lo_batch[0])) {
+        Err(ServerError::Core(Error::LeaseExpired { .. })) => {}
+        other => panic!("expected LeaseExpired on shed lease, got {other:?}"),
+    }
+
+    // While hi's candidate is out on a lease, a refill ask plans nothing
+    // new (block planning preserves worker-count invariance) — the batch
+    // is empty, not an error.
+    assert!(server.ask("hi", 4, 0.0).expect("hi refill").is_empty());
+
+    // Fill the bound with high-priority work: the low-priority study has
+    // nothing it may shed, so its ask is refused, typed.
+    for c in hi_batch {
+        server.tell("hi", c.lease_id, &eval(&c)).expect("tell hi");
+    }
+    let hi_pair = server.ask("hi", 2, 0.0).expect("hi pair");
+    assert_eq!(hi_pair.len(), 2);
+    assert_eq!(server.outstanding_total(), 2);
+    match server.ask("lo", 1, 0.0) {
+        Err(ServerError::Overloaded { study, .. }) => assert_eq!(study, "lo"),
+        other => panic!("expected Overloaded for lo, got {other:?}"),
+    }
+
+    // Both studies still finish exactly once pressure drains.
+    for c in hi_pair {
+        server.tell("hi", c.lease_id, &eval(&c)).expect("tell hi");
+    }
+    drive(&mut server, "hi", 2);
+    drive(&mut server, "lo", 2);
+    assert_eq!(
+        encode_trace(&reference(SEED, Budget::Evaluations(6))),
+        encode_trace(&server.trace("hi").expect("trace hi"))
+    );
+    assert_eq!(
+        encode_trace(&reference(SEED ^ 1, Budget::Evaluations(6))),
+        encode_trace(&server.trace("lo").expect("trace lo"))
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Naming and admission
+// ---------------------------------------------------------------------------
+
+#[test]
+fn admission_errors_are_typed() {
+    let root = scratch_root("admission");
+    let mut server = StudyServer::new(ServerConfig {
+        root,
+        max_studies: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server");
+
+    match server.create_study("../evil", setup(SEED, Budget::Evaluations(2), 1)) {
+        Err(ServerError::InvalidStudyName(name)) => assert_eq!(name, "../evil"),
+        other => panic!("expected InvalidStudyName, got {other:?}"),
+    }
+    match server.ask("ghost", 1, 0.0) {
+        Err(ServerError::StudyNotFound(name)) => assert_eq!(name, "ghost"),
+        other => panic!("expected StudyNotFound, got {other:?}"),
+    }
+    server
+        .create_study("a", setup(SEED, Budget::Evaluations(2), 1))
+        .expect("create a");
+    match server.create_study("a", setup(SEED, Budget::Evaluations(2), 1)) {
+        Err(ServerError::StudyExists(name)) => assert_eq!(name, "a"),
+        other => panic!("expected StudyExists, got {other:?}"),
+    }
+    server
+        .create_study("b", setup(SEED, Budget::Evaluations(2), 1))
+        .expect("create b");
+    match server.create_study("c", setup(SEED, Budget::Evaluations(2), 1)) {
+        Err(ServerError::Overloaded { limit, .. }) => assert_eq!(limit, 2),
+        other => panic!("expected Overloaded at max_studies, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durability: kill -9 and resume
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kill_and_resume_is_byte_exact_even_with_torn_tail_and_stale_tmp() {
+    let expected = encode_trace(&reference(SEED, Budget::Evaluations(6)));
+    let root = scratch_root("kill9");
+    let config = ServerConfig {
+        root: root.clone(),
+        // A cadence longer than the partial run below, so the crash lands
+        // in the window where the journal still carries live records.
+        snapshot_every_commits: 4,
+        ..ServerConfig::default()
+    };
+    let mut server = StudyServer::new(config.clone()).expect("server");
+    server
+        .create_study("crashy", setup(SEED, Budget::Evaluations(6), 1))
+        .expect("create");
+
+    // Serve part of the run, then "kill -9" the process.
+    let mut now = 0.0;
+    for _ in 0..3 {
+        now += 60.0;
+        let batch = server.ask("crashy", 1, now).expect("ask");
+        for c in batch {
+            server.tell("crashy", c.lease_id, &eval(&c)).expect("tell");
+        }
+    }
+    let committed_before = server.committed("crashy").expect("committed");
+    assert!(committed_before > 0, "the partial run committed something");
+    drop(server);
+
+    // The crash tore the journal mid-append and stranded a stale snapshot
+    // temp file.
+    let (journal_path, snapshot_path) = hyperpower_server::journal::study_paths(&root, "crashy");
+    let bytes = std::fs::read(&journal_path).expect("journal bytes");
+    if bytes.len() > 8 {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&journal_path)
+            .expect("open journal");
+        file.set_len(bytes.len() as u64 - 7).expect("tear journal");
+    }
+    std::fs::write(
+        snapshot_path.with_extension("tmp"),
+        "{ \"schema\": \"hyperpower-checkpoint-v1\", torn",
+    )
+    .expect("stale tmp");
+
+    // Recover and finish; the bytes must equal the uninterrupted run.
+    let mut server = StudyServer::new(config).expect("server 2");
+    let recovered = server
+        .open_study("crashy", setup(SEED, Budget::Evaluations(6), 1))
+        .expect("open");
+    assert!(
+        recovered <= committed_before,
+        "a tear can only lose the tail"
+    );
+    drive(&mut server, "crashy", 2);
+    assert_eq!(
+        expected,
+        encode_trace(&server.trace("crashy").expect("trace"))
+    );
+    assert!(
+        !snapshot_path.with_extension("tmp").exists(),
+        "recovery sweeps the stale snapshot temp"
+    );
+}
+
+#[test]
+fn open_study_refuses_a_mismatched_spec() {
+    let root = scratch_root("mismatch");
+    let config = ServerConfig {
+        root,
+        ..ServerConfig::default()
+    };
+    let mut server = StudyServer::new(config.clone()).expect("server");
+    server
+        .create_study("pinned", setup(SEED, Budget::Evaluations(4), 1))
+        .expect("create");
+    let batch = server.ask("pinned", 1, 0.0).expect("ask");
+    for c in batch {
+        server.tell("pinned", c.lease_id, &eval(&c)).expect("tell");
+    }
+    drop(server);
+
+    let mut server = StudyServer::new(config).expect("server 2");
+    match server.open_study("pinned", setup(SEED ^ 99, Budget::Evaluations(4), 1)) {
+        Err(ServerError::Core(Error::ResumeMismatch(msg))) => {
+            assert!(msg.contains("different run"), "{msg}");
+        }
+        other => panic!("expected ResumeMismatch, got {other:?}"),
+    }
+    // create_study must also refuse: durable state exists on disk.
+    match server.create_study("pinned", setup(SEED, Budget::Evaluations(4), 1)) {
+        Err(ServerError::StudyExists(name)) => assert_eq!(name, "pinned"),
+        other => panic!("expected StudyExists over durable state, got {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_rotation_keeps_the_journal_to_its_header() {
+    let root = scratch_root("rotate");
+    let mut server = StudyServer::new(ServerConfig {
+        root: root.clone(),
+        snapshot_every_commits: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server");
+    server
+        .create_study("rot", setup(SEED, Budget::Evaluations(5), 1))
+        .expect("create");
+    drive(&mut server, "rot", 2);
+    let committed = server.committed("rot").expect("committed");
+    drop(server);
+
+    let (journal_path, snapshot_path) = hyperpower_server::journal::study_paths(&root, "rot");
+    let journal = std::fs::read_to_string(&journal_path).expect("journal");
+    assert_eq!(
+        journal.lines().count(),
+        1,
+        "a finished study's journal rotates down to its header line"
+    );
+    assert!(journal.starts_with("H {"), "{journal}");
+    let snapshot =
+        hyperpower::checkpoint::RunCheckpoint::load(&snapshot_path).expect("snapshot parses");
+    assert_eq!(snapshot.samples.len(), committed);
+}

@@ -522,6 +522,44 @@ fn resume_rejects_a_mismatched_run() {
     assert!(matches!(err, Error::ResumeMismatch(_)), "got: {err}");
 }
 
+#[test]
+fn orphaned_checkpoint_tmp_is_swept_on_open() {
+    let budget = Budget::Evaluations(4);
+    let ckpt = scratch_path("orphan.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+    let options =
+        ExecutorOptions::default().with_checkpoint(CheckpointConfig::every_commit(ckpt.clone()));
+    let reference = encode_trace(
+        &run_stub(&StubObjective::new(), budget, &options, None).expect("checkpointed run"),
+    );
+
+    // Simulate a crash between the temp write and the rename: a stale,
+    // half-written `*.tmp` stranded beside the (complete) checkpoint.
+    let tmp = ckpt.with_extension("tmp");
+    std::fs::write(&tmp, "{ \"schema\": \"hyperpower-checkpoint-v1\", torn").expect("stale tmp");
+
+    // Resume must sweep the orphan on open and replay from the real
+    // checkpoint, bit-identically.
+    let resumed = run_stub(
+        &StubObjective::new(),
+        budget,
+        &ExecutorOptions::default().with_resume_from(ckpt.clone()),
+        None,
+    )
+    .expect("resume despite an orphaned tmp");
+    assert_eq!(
+        reference,
+        encode_trace(&resumed),
+        "orphaned tmp must not perturb a resumed run"
+    );
+    assert!(!tmp.exists(), "RunCheckpoint::load sweeps the orphaned tmp");
+
+    // A fresh checkpointing run sweeps it on sink creation too.
+    std::fs::write(&tmp, "stale").expect("stale tmp");
+    run_stub(&StubObjective::new(), budget, &options, None).expect("fresh checkpointed run");
+    assert!(!tmp.exists(), "CheckpointSink::new sweeps the orphaned tmp");
+}
+
 // ---------------------------------------------------------------------------
 // Self-healing: drift recalibration, margins, and the degradation ladder
 // ---------------------------------------------------------------------------
