@@ -87,6 +87,13 @@ pub const SERVER_SPEC: Spec = Spec {
         "max_outstanding_total",
         "lease_policy",
         "snapshot_every_commits",
+        "hedge_after_s",
+        "tenant_rate_per_s",
+        "tenant_burst",
+        "breaker_threshold",
+        "breaker_cooldown_s",
+        "supervision_seed",
+        "health",
     ],
     identity_map: &[("__run", &["name", "run"])],
 };

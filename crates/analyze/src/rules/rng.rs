@@ -34,6 +34,8 @@ pub const RNG_ROOTS: &[&str] = &[
     "crates/nn/src/sim.rs",
     // The chaos harness derives its entire fault schedule from one seed.
     "crates/server/src/chaos.rs",
+    // Supervision derives probation/parole jitter from one seed.
+    "crates/server/src/health.rs",
     // The server installs studies, each of which owns the RNG for its
     // journaled run seed.
     "crates/server/src/server.rs",

@@ -72,6 +72,25 @@ pub enum Command {
         snapshot_every: usize,
         /// Reattach to existing journals instead of requiring fresh names.
         resume: bool,
+        /// Hedge-deadline base in scheduler-clock seconds: a candidate
+        /// whose single lease is older than this (plus seeded jitter) is
+        /// speculatively re-dispatched. `Some(0.0)` disables hedging;
+        /// `None` keeps the server default.
+        hedge_after: Option<f64>,
+        /// Per-study token-bucket admission rate in requests per
+        /// scheduler-clock second. `Some(0.0)` disables the bucket;
+        /// `None` keeps the server default (disabled).
+        tenant_rate: Option<f64>,
+    },
+    /// `hyperpower fsck --root DIR [--salvage]`: scan a study store's
+    /// journals and snapshots for integrity defects (corrupt frames,
+    /// truncated tails, stale temps, header mismatches), optionally
+    /// salvaging by truncating to the last valid frame.
+    Fsck {
+        /// The store directory to scan.
+        root: String,
+        /// Repair what determinism makes safe to repair.
+        salvage: bool,
     },
     /// `hyperpower help`: usage text.
     Help,
@@ -175,7 +194,8 @@ USAGE:
                  [--recalibrate] [--drift-threshold T] [--safety-margin F]
   hyperpower serve --study NAME:METHOD:EVALS[:SEED[:PRIORITY]] ...
                    [--root DIR] [--workers N] [--snapshot-every N]
-                   [--resume]
+                   [--resume] [--hedge-after SECS] [--tenant-rate R]
+  hyperpower fsck [--root DIR] [--salvage]
   hyperpower help
 
 PAIRS:    mnist-gtx | cifar-gtx | mnist-tegra | cifar-tegra
@@ -187,7 +207,8 @@ WORKERS:  --workers N evaluates candidates on N threads. The result is
           bit-identical for every N; only wall-clock changes. Default:
           the HYPERPOWER_WORKERS environment variable, then 1.
 FAULTS:   --fault-profile injects a deterministic, seeded fault schedule:
-          none | flaky-sensor | oom-heavy | drifting-hw. Failed trials are
+          none | flaky-sensor | oom-heavy | drifting-hw | slow-worker |
+          bit-rot. Failed trials are
           retried with backoff charged to virtual time; configurations
           that exhaust their retries are quarantined; drifting-hw also
           biases the power sensor linearly in virtual time.
@@ -211,7 +232,22 @@ SERVER:   serve hosts several named MNIST studies in one crash-safe
           process at any instant and re-run with --resume: each study
           recovers and finishes with the exact bytes of an uninterrupted
           run. PRIORITY (default 1) settles who is shed first under
-          global backpressure; higher wins.
+          global backpressure; higher wins. --hedge-after SECS re-issues
+          any candidate whose lease has been silent that long (plus
+          seeded jitter) as a speculative duplicate on a healthy worker —
+          trace-neutral, first fulfilment wins (0 disables).
+          --tenant-rate R admits at most R requests per virtual second
+          per study through a token bucket (refused with a typed
+          backpressure error, never a stall; 0 disables).
+FSCK:     fsck scans every study under --root (default
+          target/study-server): journal records and snapshots are
+          CRC32-framed, so bit-rot, truncated tails, stale temp files
+          and snapshot/journal header mismatches are all detected and
+          reported. With --salvage it repairs what determinism makes
+          safe: truncate the journal to its last valid frame, sweep
+          stale temps, drop a defective snapshot when the journal still
+          holds the full history — replay then reconverges to the exact
+          committed bytes.
 ";
 
 fn parse_pair(s: &str) -> Result<Pair, ParseError> {
@@ -414,10 +450,34 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             let mut workers = 1usize;
             let mut snapshot_every = 8usize;
             let mut resume = false;
+            let mut hedge_after = None;
+            let mut tenant_rate = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "--study" => studies.push(parse_study_arg(take_value(flag, &mut it)?)?),
                     "--root" => root = take_value(flag, &mut it)?.to_string(),
+                    "--hedge-after" => {
+                        let s: f64 = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--hedge-after expects a number".into()))?;
+                        if !(s.is_finite() && s >= 0.0) {
+                            return Err(ParseError(
+                                "--hedge-after must be a non-negative number of seconds".into(),
+                            ));
+                        }
+                        hedge_after = Some(s);
+                    }
+                    "--tenant-rate" => {
+                        let r: f64 = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--tenant-rate expects a number".into()))?;
+                        if !(r.is_finite() && r >= 0.0) {
+                            return Err(ParseError(
+                                "--tenant-rate must be a non-negative rate per second".into(),
+                            ));
+                        }
+                        tenant_rate = Some(r);
+                    }
                     "--workers" => {
                         let n: usize = take_value(flag, &mut it)?
                             .parse()
@@ -449,10 +509,24 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 workers,
                 snapshot_every,
                 resume,
+                hedge_after,
+                tenant_rate,
             })
         }
+        "fsck" => {
+            let mut root = String::from("target/study-server");
+            let mut salvage = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--root" => root = take_value(flag, &mut it)?.to_string(),
+                    "--salvage" => salvage = true,
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Fsck { root, salvage })
+        }
         other => Err(ParseError(format!(
-            "unknown subcommand '{other}' (expected profile, run, serve or help)"
+            "unknown subcommand '{other}' (expected profile, run, serve, fsck or help)"
         ))),
     }
 }
@@ -803,6 +877,8 @@ mod tests {
                 workers: 4,
                 snapshot_every: 2,
                 resume: true,
+                hedge_after: None,
+                tenant_rate: None,
             }
         );
 
@@ -812,6 +888,8 @@ mod tests {
             workers,
             snapshot_every,
             resume,
+            hedge_after,
+            tenant_rate,
             ..
         } = c
         else {
@@ -821,6 +899,72 @@ mod tests {
         assert_eq!(workers, 1);
         assert_eq!(snapshot_every, 8);
         assert!(!resume);
+        assert_eq!(hedge_after, None);
+        assert_eq!(tenant_rate, None);
+    }
+
+    #[test]
+    fn serve_supervision_flags() {
+        let c = parse(&[
+            "serve",
+            "--study",
+            "a:rand:6",
+            "--hedge-after",
+            "300",
+            "--tenant-rate",
+            "0.5",
+        ])
+        .unwrap();
+        let Command::Serve {
+            hedge_after,
+            tenant_rate,
+            ..
+        } = c
+        else {
+            panic!("expected serve");
+        };
+        assert_eq!(hedge_after, Some(300.0));
+        assert_eq!(tenant_rate, Some(0.5));
+
+        // Zero is the explicit off switch, not an error.
+        let c = parse(&["serve", "--study", "a:rand:6", "--hedge-after", "0"]).unwrap();
+        let Command::Serve { hedge_after, .. } = c else {
+            panic!("expected serve");
+        };
+        assert_eq!(hedge_after, Some(0.0));
+
+        for (flag, bad) in [
+            ("--hedge-after", "-1"),
+            ("--hedge-after", "inf"),
+            ("--hedge-after", "soon"),
+            ("--tenant-rate", "-0.5"),
+            ("--tenant-rate", "nan"),
+        ] {
+            assert!(
+                parse(&["serve", "--study", "a:rand:6", flag, bad]).is_err(),
+                "{flag} {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn fsck_parses_root_and_salvage() {
+        assert_eq!(
+            parse(&["fsck"]).unwrap(),
+            Command::Fsck {
+                root: "target/study-server".into(),
+                salvage: false
+            }
+        );
+        assert_eq!(
+            parse(&["fsck", "--root", "/tmp/store", "--salvage"]).unwrap(),
+            Command::Fsck {
+                root: "/tmp/store".into(),
+                salvage: true
+            }
+        );
+        assert!(parse(&["fsck", "--frobnicate"]).is_err());
+        assert!(parse(&["fsck", "--root"]).unwrap_err().0.contains("value"));
     }
 
     #[test]
@@ -876,6 +1020,12 @@ mod tests {
             "--root",
             "--snapshot-every",
             "--resume",
+            "slow-worker",
+            "bit-rot",
+            "--hedge-after",
+            "--tenant-rate",
+            "fsck",
+            "--salvage",
         ] {
             assert!(USAGE.contains(f), "usage is missing {f}");
         }

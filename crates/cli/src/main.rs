@@ -26,7 +26,9 @@ use hyperpower::{
     StudySpec,
 };
 use hyperpower_gpu_sim::{DeviceProfile, FaultProfile, Gpu, TrainingCostModel};
-use hyperpower_server::{ServerConfig, ServerError, StudyServer, StudySetup, SyntheticObjective};
+use hyperpower_server::{
+    fsck_store, ServerConfig, ServerError, StudyServer, StudySetup, SyntheticObjective,
+};
 
 fn scenario_for(pair: Pair) -> Scenario {
     match pair {
@@ -45,12 +47,21 @@ fn serve(
     workers: usize,
     snapshot_every: usize,
     resume: bool,
+    hedge_after: Option<f64>,
+    tenant_rate: Option<f64>,
 ) -> Result<(), ServerError> {
-    let mut server = StudyServer::new(ServerConfig {
+    let mut config = ServerConfig {
         root: PathBuf::from(root),
         snapshot_every_commits: snapshot_every,
         ..ServerConfig::default()
-    })?;
+    };
+    if let Some(secs) = hedge_after {
+        config.hedge_after_s = secs;
+    }
+    if let Some(rate) = tenant_rate {
+        config.tenant_rate_per_s = rate;
+    }
+    let mut server = StudyServer::new(config)?;
     // The BO methods screen candidates through the paper's constraint
     // oracle; profile and fit it once per distinct seed.
     let mut oracles: BTreeMap<u64, ConstraintOracle> = BTreeMap::new();
@@ -104,10 +115,26 @@ fn serve(
 
     let objective = SyntheticObjective;
     let mut now_s = 0.0;
+    let mut total_reclaimed = 0usize;
+    let mut total_hedged = 0usize;
     loop {
         let mut all_finished = true;
         now_s += 60.0;
-        server.tick(now_s);
+        let report = server.tick_hedge(now_s);
+        total_reclaimed += report.reclaimed;
+        total_hedged += report.hedged.len();
+        // Hedged duplicates race the original lease; whichever tell
+        // lands first commits, the other resolves as a duplicate.
+        for (study, candidate) in report.hedged {
+            let result = objective.evaluate(&candidate.decoded, None, candidate.eval_seed)?;
+            match server.tell(&study, candidate.lease_id, &result) {
+                Ok(_) => {}
+                Err(ServerError::Overloaded { .. })
+                | Err(ServerError::Backpressure { .. })
+                | Err(ServerError::CircuitOpen { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
         for arg in studies {
             if server.is_finished(&arg.name)? {
                 continue;
@@ -116,7 +143,9 @@ fn serve(
             let batch = match server.ask(&arg.name, workers, now_s) {
                 Ok(batch) => batch,
                 // Backpressure: skip this round, retry once work drains.
-                Err(ServerError::Overloaded { .. }) => continue,
+                Err(ServerError::Overloaded { .. })
+                | Err(ServerError::Backpressure { .. })
+                | Err(ServerError::CircuitOpen { .. }) => continue,
                 Err(e) => return Err(e),
             };
             for candidate in batch {
@@ -127,6 +156,19 @@ fn serve(
         if all_finished {
             break;
         }
+    }
+    // Supervision summary, printed only when something happened: default
+    // (inert) serves keep the legacy output byte-identical.
+    if total_reclaimed > 0 || total_hedged > 0 {
+        let mut superseded = 0u64;
+        for arg in studies {
+            let (_, lost) = server.hedge_stats(&arg.name)?;
+            superseded += lost;
+        }
+        println!(
+            "supervision: {total_reclaimed} lease(s) reclaimed, {total_hedged} hedged \
+             re-dispatch(es), {superseded} superseded"
+        );
     }
 
     for arg in studies {
@@ -175,7 +217,17 @@ fn main() -> ExitCode {
             workers,
             snapshot_every,
             resume,
-        } => match serve(&studies, &root, workers, snapshot_every, resume) {
+            hedge_after,
+            tenant_rate,
+        } => match serve(
+            &studies,
+            &root,
+            workers,
+            snapshot_every,
+            resume,
+            hedge_after,
+            tenant_rate,
+        ) {
             Ok(()) => ExitCode::SUCCESS,
             Err(ServerError::StudyExists(name)) => {
                 eprintln!(
@@ -186,6 +238,24 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Command::Fsck { root, salvage } => match fsck_store(&PathBuf::from(&root), salvage) {
+            Ok(report) => {
+                println!("{report}");
+                if report.clean() {
+                    ExitCode::SUCCESS
+                } else if salvage && report.recoverable() {
+                    // Defects found but every study was repaired back to
+                    // a replayable prefix: the store is usable again.
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cannot scan {root}: {e}");
                 ExitCode::FAILURE
             }
         },
@@ -265,8 +335,8 @@ fn main() -> ExitCode {
                     Some(profile) => options = options.with_fault_profile(profile),
                     None => {
                         eprintln!(
-                            "error: unknown fault profile '{name}' \
-                             (expected none, flaky-sensor, oom-heavy or drifting-hw)"
+                            "error: unknown fault profile '{name}' (expected none, \
+                             flaky-sensor, oom-heavy, drifting-hw, slow-worker or bit-rot)"
                         );
                         return ExitCode::FAILURE;
                     }

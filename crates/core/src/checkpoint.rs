@@ -2,7 +2,7 @@
 //!
 //! The executor periodically persists its committed [`Sample`]s and every
 //! raw objective evaluation to a checkpoint file encoded with the
-//! [`crate::golden`] codec (schema `hyperpower-checkpoint-v1`). Resuming is
+//! [`crate::golden`] codec (schema `hyperpower-checkpoint-v2`). Resuming is
 //! a *deterministic re-run with an evaluation cache*: the executor replays
 //! the whole schedule from the run seed — proposals, sensor draws, fault
 //! schedules and commit order come out identical by construction — while
@@ -16,6 +16,17 @@
 //! the temp write and the rename can strand a stale `*.tmp` beside the
 //! checkpoint; both [`CheckpointSink::new`] and [`RunCheckpoint::load`]
 //! sweep such orphans away so no later open mistakes one for live state.
+//!
+//! # Integrity frame (v2)
+//!
+//! Crashes are not the only way durable state dies: bytes at rest rot.
+//! Since codec v2 every checkpoint is *checksum-framed*: line 1 is
+//! `C <crc32>` — eight lowercase hex digits of the [`crate::integrity`]
+//! CRC32 over everything after that line — and the JSON body follows
+//! unchanged. A reader verifies the frame before parsing, so a flipped
+//! bit surfaces as a typed [`Error::Checkpoint`] instead of resuming a
+//! corrupted run. Legacy unframed v1 files are still read (best-effort,
+//! no checksum); v2 files with a broken or missing frame are refused.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -84,7 +95,7 @@ fn budget_fields(budget: Budget) -> (&'static str, f64) {
 fn encode_header(h: &CheckpointHeader) -> String {
     let (budget_kind, budget_value) = budget_fields(h.budget);
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"hyperpower-checkpoint-v1\",\n  \"seed\": \"");
+    out.push_str("{\n  \"schema\": \"hyperpower-checkpoint-v2\",\n  \"seed\": \"");
     out.push_str(&h.seed.to_string());
     out.push_str("\",\n  \"method\": \"");
     out.push_str(&h.method);
@@ -203,8 +214,40 @@ impl CheckpointSink {
         } else {
             "\n  ]\n}\n"
         });
-        write_atomic(&self.config.path, &out)
+        write_atomic(&self.config.path, &frame_body(&out))
     }
+}
+
+/// Prepends the v2 integrity frame: `C <crc32-of-body>` on its own line.
+pub(crate) fn frame_body(body: &str) -> String {
+    format!("C {}\n{body}", crate::integrity::crc32_hex(body.as_bytes()))
+}
+
+/// Splits a checkpoint file into its verified body. A `C <crc>` first
+/// line must checksum-match the remainder; unframed text (legacy v1) is
+/// returned as-is for the schema check to sort out.
+fn unframe_body(text: &str) -> Result<&str> {
+    let Some(rest) = text.strip_prefix("C ") else {
+        return Ok(text);
+    };
+    let Some((token, body)) = rest.split_once('\n') else {
+        return Err(Error::Checkpoint(
+            "integrity frame has no body after it".into(),
+        ));
+    };
+    let Some(expected) = crate::integrity::parse_crc32_hex(token) else {
+        return Err(Error::Checkpoint(format!(
+            "malformed integrity frame token {token:?}"
+        )));
+    };
+    let actual = crate::integrity::crc32(body.as_bytes());
+    if actual != expected {
+        return Err(Error::Checkpoint(format!(
+            "integrity frame mismatch: recorded crc32 {expected:08x}, computed {actual:08x} — \
+             the file has rotted or was truncated mid-body"
+        )));
+    }
+    Ok(body)
 }
 
 fn write_atomic(path: &Path, contents: &str) -> Result<()> {
@@ -296,14 +339,24 @@ impl RunCheckpoint {
     ///
     /// [`Error::Checkpoint`] on malformed input.
     pub fn decode(text: &str) -> Result<Self> {
+        let framed = text.starts_with("C ");
+        let body = unframe_body(text)?;
         let value =
-            golden::parse(text).map_err(|e| Error::Checkpoint(format!("parse error: {e}")))?;
+            golden::parse(body).map_err(|e| Error::Checkpoint(format!("parse error: {e}")))?;
         let Value::Object(top) = value else {
             return Err(Error::Checkpoint("top level is not an object".into()));
         };
         let schema = get_str(&top, "schema")?;
-        if schema != "hyperpower-checkpoint-v1" {
-            return Err(Error::Checkpoint(format!("unknown schema {schema:?}")));
+        match (schema.as_str(), framed) {
+            ("hyperpower-checkpoint-v2", true) => {}
+            // Legacy pre-frame files: readable, but carry no checksum.
+            ("hyperpower-checkpoint-v1", false) => {}
+            ("hyperpower-checkpoint-v2", false) => {
+                return Err(Error::Checkpoint(
+                    "v2 checkpoint is missing its integrity frame (truncated head?)".into(),
+                ));
+            }
+            _ => return Err(Error::Checkpoint(format!("unknown schema {schema:?}"))),
         }
         let budget = match obj_get(&top, "budget") {
             Some(Value::Object(b)) => {
@@ -494,6 +547,8 @@ mod tests {
             drift_events: vec![crate::drift::DriftEvent::MarginTightened],
             degradations: Vec::new(),
             drift_rmspe: Some(0.125),
+            hedged: 0,
+            reclaimed: 0,
             config: Config::new(vec![0.25, 0.75]).unwrap(),
         }
     }
@@ -601,5 +656,26 @@ mod tests {
         );
         let err = RunCheckpoint::load(Path::new("/nonexistent/ckpt.json")).unwrap_err();
         assert!(matches!(err, Error::Checkpoint(_)));
+    }
+
+    #[test]
+    fn bit_rot_is_detected_by_the_integrity_frame() {
+        let path = tmp_path("bitrot.json");
+        let mut sink = CheckpointSink::new(CheckpointConfig::every_commit(path.clone()), &header());
+        sink.record_commit(&sample(0)).unwrap();
+        let clean = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(clean.starts_with("C "), "v2 files lead with the frame");
+        assert!(RunCheckpoint::decode(&clean).is_ok());
+        // Flip one bit in the middle of the body: the frame must catch it.
+        let mut rotted = clean.clone().into_bytes();
+        let mid = rotted.len() / 2;
+        rotted[mid] ^= 0x08;
+        let rotted = String::from_utf8(rotted).unwrap();
+        let err = RunCheckpoint::decode(&rotted).unwrap_err();
+        assert!(err.to_string().contains("integrity frame"), "{err}");
+        // Stripping the frame off a v2 body is refused too.
+        let body = clean.split_once('\n').unwrap().1;
+        assert!(RunCheckpoint::decode(body).is_err());
     }
 }

@@ -88,6 +88,15 @@ pub struct Sample {
     /// Worst live model RMSPE after this commit, when the drift monitor is
     /// active and has measurements.
     pub drift_rmspe: Option<f64>,
+    /// Speculative (hedged) duplicate leases issued for this proposal
+    /// while a straggler held the original. Operational lease telemetry:
+    /// hedging is trace-neutral, so this field is deliberately *excluded*
+    /// from the golden codec and the journal/checkpoint record.
+    pub hedged: u32,
+    /// Leases on this proposal reclaimed after their deadline passed (or
+    /// shed under overload) before a worker delivered. Operational lease
+    /// telemetry, excluded from the golden codec like [`Sample::hedged`].
+    pub reclaimed: u32,
     /// The queried configuration.
     pub config: Config,
 }
@@ -254,6 +263,16 @@ impl Trace {
         self.samples.iter().map(|s| s.degradations.len()).sum()
     }
 
+    /// Total speculative (hedged) duplicate leases issued across the run.
+    pub fn hedged_count(&self) -> usize {
+        self.samples.iter().map(|s| s.hedged as usize).sum()
+    }
+
+    /// Total expired/shed lease reclamations across the run.
+    pub fn reclaimed_count(&self) -> usize {
+        self.samples.iter().map(|s| s.reclaimed as usize).sum()
+    }
+
     /// Writes the trace as CSV (one row per queried sample) for external
     /// analysis/plotting. Columns: `index,timestamp_s,kind,error,power_w,
     /// memory_bytes,latency_s,feasible,retries,failure,config...` (the
@@ -261,7 +280,9 @@ impl Trace {
     /// sample carries self-healing data, three extra columns
     /// `drift_rmspe,drift_events,degradations` appear before the config
     /// coordinates (event lists joined with `+`); default runs keep the
-    /// historical column set.
+    /// historical column set. When any sample carries lease telemetry
+    /// (hedged duplicates or reclaimed leases), two further columns
+    /// `hedged,reclaimed` appear before the config coordinates.
     ///
     /// # Errors
     ///
@@ -278,6 +299,10 @@ impl Trace {
         )?;
         if has_drift {
             write!(w, ",drift_rmspe,drift_events,degradations")?;
+        }
+        let has_lease_ops = self.samples.iter().any(|s| s.hedged > 0 || s.reclaimed > 0);
+        if has_lease_ops {
+            write!(w, ",hedged,reclaimed")?;
         }
         for d in 0..dim {
             write!(w, ",u{d}")?;
@@ -315,6 +340,9 @@ impl Trace {
                     events.join("+"),
                     degradations.join("+")
                 )?;
+            }
+            if has_lease_ops {
+                write!(w, ",{},{}", s.hedged, s.reclaimed)?;
             }
             for u in s.config.unit() {
                 write!(w, ",{u}")?;
@@ -424,6 +452,8 @@ mod tests {
             drift_events: Vec::new(),
             degradations: Vec::new(),
             drift_rmspe: None,
+            hedged: 0,
+            reclaimed: 0,
             config: Config::new(vec![0.5]).unwrap(),
         }
     }

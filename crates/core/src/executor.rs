@@ -741,6 +741,8 @@ fn run_multi_gpu(
                 drift_events,
                 degradations,
                 drift_rmspe: None,
+                hedged: 0,
+                reclaimed: 0,
                 config,
             },
             CommitItem::Evaluated {
@@ -810,6 +812,8 @@ fn run_multi_gpu(
                     drift_events: healing.drift_events,
                     degradations,
                     drift_rmspe: healing.drift_rmspe,
+                    hedged: 0,
+                    reclaimed: 0,
                     config,
                 }
             }
@@ -842,6 +846,8 @@ fn run_multi_gpu(
                     drift_events: Vec::new(),
                     degradations,
                     drift_rmspe: None,
+                    hedged: 0,
+                    reclaimed: 0,
                     config,
                 }
             }

@@ -98,6 +98,10 @@ fn push_sample(out: &mut String, s: &Sample, indent: &str) {
     push_opt_f64(out, s.latency_s);
     out.push_str(", \"feasible\": ");
     out.push_str(if s.feasible { "true" } else { "false" });
+    // `Sample::hedged` / `Sample::reclaimed` are deliberately NOT encoded:
+    // they are operational lease telemetry, not trace identity. Excluding
+    // them is what makes hedged and unhedged runs byte-compare equal here
+    // (the server's trace-neutrality proof leans on this).
     // Fault-recovery keys are emitted only when non-default, so fault-free
     // traces (and the pre-fault golden fixtures) are byte-identical to the
     // v1 encoding.
@@ -526,6 +530,8 @@ mod tests {
                     drift_events: Vec::new(),
                     degradations: Vec::new(),
                     drift_rmspe: None,
+                    hedged: 0,
+                    reclaimed: 0,
                     config: Config::new(vec![0.25, 1.0 / 3.0]).unwrap(),
                 },
                 Sample {
@@ -543,6 +549,8 @@ mod tests {
                     drift_events: Vec::new(),
                     degradations: Vec::new(),
                     drift_rmspe: None,
+                    hedged: 0,
+                    reclaimed: 0,
                     config: Config::new(vec![0.5, 0.75]).unwrap(),
                 },
             ],

@@ -45,6 +45,8 @@
 //!   evaluation engine behind the driver,
 //! * [`golden`] — a dependency-free byte-exact trace codec for the
 //!   golden-trace regression fixtures,
+//! * [`integrity`] — the CRC32 checksum framing every durable record
+//!   against bit-rot,
 //! * [`scenario`] — the paper's four device–dataset pairs with their
 //!   published budgets,
 //! * [`report`] — aggregation into the paper's Tables 2–5.
@@ -75,6 +77,7 @@ pub mod driver;
 mod error;
 pub mod executor;
 pub mod golden;
+pub mod integrity;
 pub mod methods;
 pub mod model;
 pub mod objective;
@@ -97,7 +100,7 @@ pub use methods::{Conditioning, Method, Mode, Searcher};
 pub use model::{HwModels, LinearHwModel};
 pub use objective::{EarlyTermination, EvaluationResult, Objective, SimulatedObjective};
 pub use profiler::{ProfiledData, Profiler};
-pub use recovery::{RetryPolicy, TrialFailure};
+pub use recovery::{RetryPolicy, StoreDefect, TrialFailure};
 pub use scenario::{Scenario, Session};
 pub use space::{Config, Dimension, SearchSpace};
 pub use study::{LeasedCandidate, NullSink, ObservationSink, Study, StudySpec, TellOutcome};

@@ -94,6 +94,44 @@ impl From<TrainingFault> for TrialFailure {
     }
 }
 
+/// What an integrity scan can find wrong with a study's durable store —
+/// the *at-rest* counterpart of [`TrialFailure`]'s in-flight taxonomy.
+/// Each defect maps to exactly one salvage rule (see the server's fsck).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum StoreDefect {
+    /// A record's checksum frame does not match its payload (bit-rot), or
+    /// the frame token itself is malformed.
+    CorruptFrame,
+    /// The file's final record is torn — no trailing newline — from a
+    /// crash mid-append. Benign: the record was never acknowledged.
+    TruncatedTail,
+    /// A stale temp file (`*.tmp` / `*.journal-tmp`) stranded by a crash
+    /// between temp write and atomic rename. Benign garbage.
+    StaleTmp,
+    /// The journal header and the snapshot disagree about the run
+    /// identity — the two files belong to different runs.
+    HeaderMismatch,
+}
+
+impl StoreDefect {
+    /// Stable wire name used by fsck reports.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            StoreDefect::CorruptFrame => "corrupt_frame",
+            StoreDefect::TruncatedTail => "truncated_tail",
+            StoreDefect::StaleTmp => "stale_tmp",
+            StoreDefect::HeaderMismatch => "header_mismatch",
+        }
+    }
+}
+
+impl std::fmt::Display for StoreDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
 /// Bounded-retry policy with seeded exponential backoff.
 ///
 /// A failed attempt is retried up to `max_retries` times; the wait before

@@ -273,6 +273,8 @@ mod tests {
                 drift_events: Vec::new(),
                 degradations: Vec::new(),
                 drift_rmspe: None,
+                hedged: 0,
+                reclaimed: 0,
                 config: Config::new(vec![0.5]).unwrap(),
             })
             .collect::<Vec<_>>();

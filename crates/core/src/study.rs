@@ -70,6 +70,12 @@ pub(crate) const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
 /// draws — not that either is ever visible in the trace).
 const SALT_LEASE: u64 = 0x1EA5_E001;
 
+/// Salt for the hedge-deadline jitter stream: disjoint from
+/// [`SALT_LEASE`] so the speculative re-dispatch schedule can never
+/// collide with the lease-TTL draws (both are keyed by `(seed, query,
+/// attempt)`).
+const SALT_HEDGE: u64 = 0x1EA5_E002;
+
 /// Everything that defines a study's run identity and schedule: the exact
 /// information [`crate::driver::RunSetup`] carries minus the borrowed
 /// evaluation context (space, objective, GPU), which the caller supplies
@@ -203,6 +209,9 @@ enum LeaseState {
 struct LeaseRecord {
     query: u64,
     state: LeaseState,
+    /// Scheduler-clock instant the lease was issued (hedge deadlines are
+    /// measured from issuance, not from the run start).
+    issued_s: f64,
     deadline_s: f64,
 }
 
@@ -218,10 +227,17 @@ struct Planned {
     /// The observation, once told (buffered until this item reaches the
     /// front of the commit queue).
     result: Option<EvaluationResult>,
-    /// The currently outstanding lease on this item, if any.
-    lease: Option<u64>,
+    /// Every currently outstanding lease on this item. More than one only
+    /// while a hedged duplicate is in flight; the first fulfilment wins
+    /// and supersedes the rest.
+    leases: Vec<u64>,
     /// Leases issued for this item so far.
     attempt: u32,
+    /// Speculative (hedged) duplicate leases issued for this item.
+    hedged: u32,
+    /// Leases on this item reclaimed (deadline expiry or shedding) before
+    /// a worker delivered.
+    reclaimed: u32,
 }
 
 /// The quarantine key of a configuration: its unit-cube coordinates by
@@ -352,6 +368,8 @@ pub struct Study {
     next_lease: u64,
     lease_policy: RetryPolicy,
     finished: bool,
+    hedges_issued: u64,
+    hedges_superseded: u64,
 }
 
 // Manual impl: `searcher` is a trait object, so only its presence is
@@ -415,6 +433,8 @@ impl Study {
                 backoff_jitter_frac: 0.5,
             },
             finished: false,
+            hedges_issued: 0,
+            hedges_superseded: 0,
         }
     }
 
@@ -527,7 +547,7 @@ impl Study {
         let mut issued: Vec<LeaseRecord> = Vec::new();
         let cap = max.max(1);
         for item in self.queue.iter_mut() {
-            if item.rejected || item.result.is_some() || item.lease.is_some() {
+            if item.rejected || item.result.is_some() || !item.leases.is_empty() {
                 continue;
             }
             if out.len() >= cap {
@@ -541,10 +561,11 @@ impl Study {
                 lease_jitter_unit(seed, item.query, item.attempt),
             );
             let deadline_s = now_s + ttl;
-            item.lease = Some(lease_id);
+            item.leases.push(lease_id);
             issued.push(LeaseRecord {
                 query: item.query,
                 state: LeaseState::Outstanding,
+                issued_s: now_s,
                 deadline_s,
             });
             out.push(LeasedCandidate {
@@ -601,7 +622,18 @@ impl Study {
             unreachable!("outstanding lease without a queued item");
         };
         item.result = Some(*result);
-        item.lease = None;
+        // First fulfilment wins: every sibling lease still in flight for
+        // this item (hedged duplicates) is superseded — marked fulfilled
+        // so its eventual tell is absorbed as `TellOutcome::Duplicate`.
+        let siblings: Vec<u64> = item.leases.drain(..).filter(|id| *id != lease_id).collect();
+        for sibling in siblings {
+            if let Some(other) = self.leases.get_mut(&sibling) {
+                if other.state == LeaseState::Outstanding {
+                    other.state = LeaseState::Fulfilled;
+                    self.hedges_superseded += 1;
+                }
+            }
+        }
         let before = self.samples.len();
         self.drain(gpu, sink)?;
         Ok(TellOutcome::Accepted {
@@ -616,17 +648,101 @@ impl Study {
     /// construction: reclamation touches lease bookkeeping only.
     pub fn reclaim_expired(&mut self, now_s: f64) -> usize {
         let mut reclaimed = 0;
-        for record in self.leases.values_mut() {
+        for (lease_id, record) in self.leases.iter_mut() {
             if record.state == LeaseState::Outstanding && now_s > record.deadline_s {
                 record.state = LeaseState::Expired;
                 let query = record.query;
                 if let Some(item) = self.queue.iter_mut().find(|i| i.query == query) {
-                    item.lease = None;
+                    item.leases.retain(|id| id != lease_id);
+                    item.reclaimed = item.reclaimed.saturating_add(1);
                 }
                 reclaimed += 1;
             }
         }
         reclaimed
+    }
+
+    /// Issues a speculative duplicate lease for every proposal whose single
+    /// outstanding lease has outlived its seeded *hedge deadline* — the
+    /// lease-policy backoff curve evaluated on a hedge-salted jitter
+    /// stream, measured from issuance — and returns the duplicates for
+    /// dispatch to another worker. The first fulfilment commits at the
+    /// single commit point; the loser resolves as
+    /// [`TellOutcome::Duplicate`]. Hedging never stacks: an item with a
+    /// hedge already in flight is left alone until a tell or an expiry
+    /// thins its leases.
+    ///
+    /// Trace-neutral by construction: the duplicate carries the same
+    /// `eval_seed` (fixed at planning time), so whichever lease wins
+    /// delivers bit-identical bytes.
+    pub fn hedge_overdue(&mut self, now_s: f64, hedge: &RetryPolicy) -> Vec<LeasedCandidate> {
+        if self.finished {
+            return Vec::new();
+        }
+        let seed = self.spec.seed;
+        let policy = self.lease_policy;
+        let mut out = Vec::new();
+        for item in self.queue.iter_mut() {
+            if item.rejected || item.result.is_some() || item.leases.len() != 1 {
+                continue;
+            }
+            let original = item.leases[0];
+            let Some(record) = self.leases.get(&original) else {
+                continue;
+            };
+            if record.state != LeaseState::Outstanding {
+                continue;
+            }
+            let hedge_after = hedge.backoff_secs(
+                item.attempt,
+                hedge_jitter_unit(seed, item.query, item.attempt),
+            );
+            if now_s - record.issued_s <= hedge_after {
+                continue;
+            }
+            item.attempt += 1;
+            let lease_id = self.next_lease;
+            self.next_lease += 1;
+            let ttl = policy.backoff_secs(
+                item.attempt,
+                lease_jitter_unit(seed, item.query, item.attempt),
+            );
+            let deadline_s = now_s + ttl;
+            item.leases.push(lease_id);
+            item.hedged = item.hedged.saturating_add(1);
+            self.hedges_issued += 1;
+            self.leases.insert(
+                lease_id,
+                LeaseRecord {
+                    query: item.query,
+                    state: LeaseState::Outstanding,
+                    issued_s: now_s,
+                    deadline_s,
+                },
+            );
+            out.push(LeasedCandidate {
+                lease_id,
+                query: item.query,
+                attempt: item.attempt,
+                config: item.config.clone(),
+                decoded: item.decoded.clone(),
+                eval_seed: item.eval_seed,
+                deadline_s,
+            });
+        }
+        out
+    }
+
+    /// Speculative (hedged) duplicate leases issued over the study's
+    /// lifetime.
+    pub fn hedges_issued(&self) -> u64 {
+        self.hedges_issued
+    }
+
+    /// Hedged leases superseded by a sibling's earlier fulfilment (the
+    /// race's losers, eventually absorbed as duplicates).
+    pub fn hedges_superseded(&self) -> u64 {
+        self.hedges_superseded
     }
 
     /// Reclaims every outstanding lease regardless of deadline (the
@@ -653,10 +769,11 @@ impl Study {
     fn finish(&mut self) {
         self.finished = true;
         for item in &self.queue {
-            let Some(lease_id) = item.lease else { continue };
-            if let Some(record) = self.leases.get_mut(&lease_id) {
-                if record.state == LeaseState::Outstanding {
-                    record.state = LeaseState::Discarded;
+            for lease_id in &item.leases {
+                if let Some(record) = self.leases.get_mut(lease_id) {
+                    if record.state == LeaseState::Outstanding {
+                        record.state = LeaseState::Discarded;
+                    }
                 }
             }
         }
@@ -711,8 +828,10 @@ impl Study {
                 eval_seed,
                 degradations,
                 result: None,
-                lease: None,
+                leases: Vec::new(),
                 attempt: 0,
+                hedged: 0,
+                reclaimed: 0,
             });
         }
         Ok(())
@@ -780,6 +899,8 @@ impl Study {
             drift_events,
             degradations: item.degradations,
             drift_rmspe: None,
+            hedged: item.hedged,
+            reclaimed: item.reclaimed,
             config: item.config,
         };
         if let Some(s) = sink {
@@ -810,6 +931,8 @@ impl Study {
             eval_seed,
             degradations,
             result,
+            hedged,
+            reclaimed,
             ..
         } = item;
         let Some(result) = result else {
@@ -836,6 +959,8 @@ impl Study {
                 drift_events: Vec::new(),
                 degradations,
                 drift_rmspe: None,
+                hedged,
+                reclaimed,
                 config,
             };
             if let Some(s) = sink.as_deref_mut() {
@@ -926,6 +1051,8 @@ impl Study {
                     drift_events: healing.drift_events,
                     degradations,
                     drift_rmspe: healing.drift_rmspe,
+                    hedged,
+                    reclaimed,
                     config,
                 }
             }
@@ -952,6 +1079,8 @@ impl Study {
                     drift_events: Vec::new(),
                     degradations,
                     drift_rmspe: None,
+                    hedged,
+                    reclaimed,
                     config,
                 }
             }
@@ -970,6 +1099,18 @@ impl Study {
 fn lease_jitter_unit(seed: u64, query: u64, attempt: u32) -> f64 {
     use rand::RngExt;
     let mut h = seed ^ SALT_LEASE;
+    h = h.wrapping_mul(SEED_MIX).wrapping_add(query);
+    h = h.wrapping_mul(SEED_MIX).wrapping_add(u64::from(attempt));
+    StdRng::seed_from_u64(h).random_range(0.0..1.0)
+}
+
+/// The `[0, 1)` jitter draw for the hedge deadline of issuance `attempt`
+/// of `query` — same construction as [`lease_jitter_unit`] on the
+/// disjoint [`SALT_HEDGE`] stream, so hedge timing and lease TTLs are
+/// independent pure functions of `(seed, query, attempt)`.
+fn hedge_jitter_unit(seed: u64, query: u64, attempt: u32) -> f64 {
+    use rand::RngExt;
+    let mut h = seed ^ SALT_HEDGE;
     h = h.wrapping_mul(SEED_MIX).wrapping_add(query);
     h = h.wrapping_mul(SEED_MIX).wrapping_add(u64::from(attempt));
     StdRng::seed_from_u64(h).random_range(0.0..1.0)

@@ -137,14 +137,51 @@ impl FaultProfile {
         }
     }
 
+    /// A fleet of stragglers: workers frequently stall mid-attempt and the
+    /// 1.5 h watchdog reaps them, so leases routinely outlive optimistic
+    /// deadlines. The profile that exercises hedged re-dispatch and the
+    /// worker health state machine.
+    pub fn slow_worker() -> Self {
+        FaultProfile {
+            name: "slow-worker".into(),
+            sensor_glitch_prob: 0.05,
+            oom_prob_at_full_pressure: 0.0,
+            oom_onset_frac: 1.0,
+            crash_prob: 0.05,
+            stall_prob: 0.3,
+            timeout_s: 5400.0,
+            sensor_drift_w_per_hour: 0.0,
+        }
+    }
+
+    /// Decaying storage/memory at the worker: corrupted state surfaces as
+    /// garbage sensor reads and hard job crashes. The training-side
+    /// companion of the store-level `bit-rot` chaos mode (which flips bits
+    /// in journals and snapshots at rest).
+    pub fn bit_rot() -> Self {
+        FaultProfile {
+            name: "bit-rot".into(),
+            sensor_glitch_prob: 0.2,
+            oom_prob_at_full_pressure: 0.0,
+            oom_onset_frac: 1.0,
+            crash_prob: 0.1,
+            stall_prob: 0.0,
+            timeout_s: f64::INFINITY,
+            sensor_drift_w_per_hour: 0.0,
+        }
+    }
+
     /// Looks up a built-in profile by its CLI name
-    /// (`none | flaky-sensor | oom-heavy | drifting-hw`).
+    /// (`none | flaky-sensor | oom-heavy | drifting-hw | slow-worker |
+    /// bit-rot`).
     pub fn parse(name: &str) -> Option<Self> {
         match name {
             "none" => Some(FaultProfile::none()),
             "flaky-sensor" => Some(FaultProfile::flaky_sensor()),
             "oom-heavy" => Some(FaultProfile::oom_heavy()),
             "drifting-hw" => Some(FaultProfile::drifting_hw()),
+            "slow-worker" => Some(FaultProfile::slow_worker()),
+            "bit-rot" => Some(FaultProfile::bit_rot()),
             _ => None,
         }
     }
@@ -380,7 +417,14 @@ mod tests {
 
     #[test]
     fn parse_knows_every_builtin() {
-        for name in ["none", "flaky-sensor", "oom-heavy", "drifting-hw"] {
+        for name in [
+            "none",
+            "flaky-sensor",
+            "oom-heavy",
+            "drifting-hw",
+            "slow-worker",
+            "bit-rot",
+        ] {
             let p = FaultProfile::parse(name).expect("builtin profile");
             assert_eq!(p.name, name);
         }
@@ -388,6 +432,8 @@ mod tests {
         assert!(FaultProfile::parse("none").is_some_and(|p| p.is_inert()));
         assert!(FaultProfile::parse("oom-heavy").is_some_and(|p| !p.is_inert()));
         assert!(FaultProfile::parse("drifting-hw").is_some_and(|p| !p.is_inert()));
+        assert!(FaultProfile::parse("slow-worker").is_some_and(|p| !p.is_inert()));
+        assert!(FaultProfile::parse("bit-rot").is_some_and(|p| !p.is_inert()));
     }
 
     #[test]

@@ -43,6 +43,47 @@ const SALT_DELAY: u64 = 0xC4A0_0003;
 const SALT_CRASH: u64 = 0xC4A0_0004;
 const SALT_TEAR: u64 = 0xC4A0_0005;
 const SALT_TEAR_AT: u64 = 0xC4A0_0006;
+const SALT_ROT: u64 = 0xC4A0_0007;
+const SALT_ROT_AT: u64 = 0xC4A0_0008;
+const SALT_SLOW: u64 = 0xC4A0_0009;
+const SALT_SLOW_DELAY: u64 = 0xC4A0_000A;
+
+/// Which failure family a chaos run leans on, atop the always-on baseline
+/// faults (drops, duplicates, delays, crashes, torn journals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChaosProfile {
+    /// The original kill/duplicate/reorder/crash storm.
+    Baseline,
+    /// Crashes additionally flip seeded bits inside journal bodies; the
+    /// harness recovers through `fsck --salvage` and proves byte-exact
+    /// reconvergence.
+    BitRot,
+    /// A seeded subset of workers delivers results rounds late, forcing
+    /// hedged re-dispatch and worker quarantines.
+    SlowWorker,
+}
+
+impl ChaosProfile {
+    /// Stable CLI/CI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosProfile::Baseline => "baseline",
+            ChaosProfile::BitRot => "bit-rot",
+            ChaosProfile::SlowWorker => "slow-worker",
+        }
+    }
+
+    /// Parses a CLI/CI name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "baseline" => Some(ChaosProfile::Baseline),
+            "bit-rot" => Some(ChaosProfile::BitRot),
+            "slow-worker" => Some(ChaosProfile::SlowWorker),
+            _ => None,
+        }
+    }
+}
 
 /// Deterministic fault decisions for one chaos run: every predicate is a
 /// pure function of the plan seed and its arguments.
@@ -97,6 +138,30 @@ impl ChaosPlan {
     /// of the record's bytes that survive.
     pub fn tear_keep_frac(&self, round: u64, study: u64) -> f64 {
         self.unit(SALT_TEAR_AT, round, study)
+    }
+
+    /// Whether this crash also rots a bit somewhere in the study's journal
+    /// body (bit-rot profile only).
+    pub fn rot_journal(&self, round: u64, study: u64) -> bool {
+        self.unit(SALT_ROT, round, study) < 0.6
+    }
+
+    /// Which `(byte fraction, bit)` of the journal body the rot flips.
+    pub fn rot_target(&self, round: u64, study: u64) -> (f64, u32) {
+        let frac = self.unit(SALT_ROT_AT, round, study);
+        let bit = (self.unit(SALT_ROT_AT, study, round) * 8.0) as u32 & 7;
+        (frac, bit)
+    }
+
+    /// Whether this worker is chronically slow (slow-worker profile only).
+    pub fn slow_worker(&self, worker: u64) -> bool {
+        self.unit(SALT_SLOW, worker, 0) < 0.4
+    }
+
+    /// Extra delivery rounds a slow worker adds — always past the hedge
+    /// deadline, so the duplicate race actually happens.
+    pub fn slow_delay_rounds(&self, worker: u64, lease_id: u64) -> u64 {
+        3 + (self.unit(SALT_SLOW_DELAY, worker, lease_id) * 3.0) as u64
     }
 }
 
@@ -242,6 +307,16 @@ pub struct ChaosReport {
     pub reclaimed_leases: usize,
     /// Asks refused by backpressure.
     pub overload_refusals: usize,
+    /// Speculative duplicate leases issued by hedged re-dispatch.
+    pub hedged_leases: u64,
+    /// Sibling leases a first fulfilment superseded.
+    pub superseded_leases: u64,
+    /// Journal bodies bit-rotted by a crash (bit-rot profile).
+    pub rotted_journals: usize,
+    /// Studies recovered only after an `fsck --salvage` pass.
+    pub salvaged_studies: usize,
+    /// Workers quarantined or retired at the end of the run.
+    pub unhealthy_workers: usize,
 }
 
 /// A study whose post-chaos trace differs from the uninterrupted
@@ -274,6 +349,8 @@ struct Delivery {
     lease_id: u64,
     result: EvaluationResult,
     due_round: u64,
+    /// Index of the worker carrying the result (fleet attribution).
+    worker: usize,
 }
 
 /// Scheduler-clock seconds per round. Together with the harness lease
@@ -299,7 +376,39 @@ fn harness_config(root: &Path) -> ServerConfig {
             backoff_jitter_frac: 0.5,
         },
         snapshot_every_commits: 3,
+        // One round of silence (plus jitter) and a candidate is hedged —
+        // shorter than the lease TTL so the duplicate race actually runs
+        // before reclamation would have re-pooled the candidate.
+        hedge_after_s: 120.0,
+        ..ServerConfig::default()
     }
+}
+
+/// Flips one seeded bit inside the journal's body (never the header
+/// line), the way silent media corruption does. Returns whether a bit was
+/// flipped (a rotated, body-less journal has nothing to rot).
+fn rot_journal_body(
+    root: &Path,
+    name: &str,
+    byte_frac: f64,
+    bit: u32,
+) -> Result<bool, Error> {
+    let (journal_path, _) = study_paths(root, name);
+    let describe = |what: &str, e: std::io::Error| {
+        Error::Checkpoint(format!("{what} {}: {e}", journal_path.display()))
+    };
+    let mut bytes = std::fs::read(&journal_path).map_err(|e| describe("reading", e))?;
+    let Some(header_end) = bytes.iter().position(|&b| b == b'\n') else {
+        return Ok(false);
+    };
+    let body_len = bytes.len() - (header_end + 1);
+    if body_len == 0 {
+        return Ok(false);
+    }
+    let offset = header_end + 1 + ((byte_frac * body_len as f64) as usize).min(body_len - 1);
+    bytes[offset] ^= 1 << (bit & 7);
+    std::fs::write(&journal_path, bytes).map_err(|e| describe("writing", e))?;
+    Ok(true)
 }
 
 /// Tears the study's journal the way a `kill -9` mid-`write` does: the
@@ -334,21 +443,39 @@ fn tear_journal_tail(root: &Path, name: &str, keep_frac: f64) -> Result<bool, Er
 }
 
 /// Runs the full chaos scenario for `(seed, workers)` with durable state
-/// under `root` (wiped first), returning the fault counters and any trace
-/// mismatches. See the module docs.
+/// under `root` (wiped first) and the baseline profile. See
+/// [`run_chaos_with`].
+///
+/// # Errors
+///
+/// As [`run_chaos_with`].
+pub fn run_chaos(seed: u64, workers: usize, root: &Path) -> Result<ChaosOutcome, ServerError> {
+    run_chaos_with(seed, workers, root, ChaosProfile::Baseline)
+}
+
+/// Runs the full chaos scenario for `(seed, workers, profile)` with
+/// durable state under `root` (wiped first), returning the fault counters
+/// and any trace mismatches. See the module docs.
 ///
 /// # Errors
 ///
 /// [`ServerError`] on any *unexpected* failure — an error the contract
-/// says must not happen (unknown leases, journal corruption beyond the
-/// torn tail, a wedged serving loop). Expected rejections (lease expiry,
-/// overload) are absorbed into the report.
-pub fn run_chaos(seed: u64, workers: usize, root: &Path) -> Result<ChaosOutcome, ServerError> {
+/// says must not happen (unknown leases, journal corruption that salvage
+/// cannot repair, a wedged serving loop). Expected rejections (lease
+/// expiry, overload) are absorbed into the report.
+pub fn run_chaos_with(
+    seed: u64,
+    workers: usize,
+    root: &Path,
+    profile: ChaosProfile,
+) -> Result<ChaosOutcome, ServerError> {
     std::fs::remove_dir_all(root).ok();
     let plan = ChaosPlan::new(seed);
     let studies = deployment();
     let objective = SyntheticObjective;
     let config = harness_config(root);
+    let workers = workers.max(1);
+    let worker_ids: Vec<String> = (0..workers).map(|w| format!("w{w}")).collect();
     let mut server = StudyServer::new(config.clone())?;
     for st in &studies {
         server.create_study(st.name, chaos_setup(st))?;
@@ -375,47 +502,80 @@ pub fn run_chaos(seed: u64, workers: usize, root: &Path) -> Result<ChaosOutcome,
             ))));
         }
         now_s += ROUND_SECS;
-        report.reclaimed_leases += server.tick(now_s);
+        let tick = server.tick_hedge(now_s);
+        report.reclaimed_leases += tick.reclaimed;
+        // Hedged duplicates go straight to the healthiest worker on hand
+        // (an eligible non-slow one, when the profile marks some slow) and
+        // land this round; whichever copy of the candidate fulfils first
+        // commits, the sibling resolves as a duplicate.
+        for (name, candidate) in tick.hedged {
+            let Some(si) = studies.iter().position(|st| st.name == name) else {
+                continue;
+            };
+            let w = hedge_worker(&plan, &server, &worker_ids, profile);
+            let result = objective.evaluate(&candidate.decoded, None, candidate.eval_seed)?;
+            pending.push(Delivery {
+                study: si,
+                lease_id: candidate.lease_id,
+                result,
+                due_round: round,
+                worker: w,
+            });
+        }
 
-        // Workers pick up new candidates, study by study.
+        // Workers pick up new candidates, study by study; supervision
+        // gates dispatch — a quarantined worker's ask yields no lease.
         for (si, st) in studies.iter().enumerate() {
             if server.is_finished(st.name)? {
                 continue;
             }
-            let batch = match server.ask(st.name, workers, now_s) {
-                Ok(batch) => batch,
-                Err(ServerError::Overloaded { .. }) => {
-                    report.overload_refusals += 1;
-                    continue;
-                }
-                Err(e) => return Err(e),
-            };
-            for candidate in batch {
-                // Evaluation is pure, so "the worker computes" is just a
-                // function call; chaos decides the delivery's fate.
-                let result = objective.evaluate(&candidate.decoded, None, candidate.eval_seed)?;
-                if plan.drop_tell(si as u64, candidate.lease_id) {
-                    report.dropped_tells += 1;
-                    continue;
-                }
-                let delay = plan.delay_rounds(si as u64, candidate.lease_id);
-                if delay > 0 {
-                    report.delayed_tells += 1;
-                }
-                pending.push(Delivery {
-                    study: si,
-                    lease_id: candidate.lease_id,
-                    result,
-                    due_round: round + delay,
-                });
-                if plan.duplicate_tell(si as u64, candidate.lease_id) {
-                    report.duplicated_tells += 1;
+            for (w, worker_id) in worker_ids.iter().enumerate() {
+                let batch = match server.ask_worker(st.name, worker_id, 1, now_s) {
+                    Ok(batch) => batch,
+                    Err(
+                        ServerError::Overloaded { .. }
+                        | ServerError::Backpressure { .. }
+                        | ServerError::CircuitOpen { .. },
+                    ) => {
+                        report.overload_refusals += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
+                for candidate in batch {
+                    // Evaluation is pure, so "the worker computes" is just
+                    // a function call; chaos decides the delivery's fate.
+                    let result =
+                        objective.evaluate(&candidate.decoded, None, candidate.eval_seed)?;
+                    if plan.drop_tell(si as u64, candidate.lease_id) {
+                        report.dropped_tells += 1;
+                        server.note_worker_failure(worker_id, now_s);
+                        continue;
+                    }
+                    let mut delay = plan.delay_rounds(si as u64, candidate.lease_id);
+                    if profile == ChaosProfile::SlowWorker && plan.slow_worker(w as u64) {
+                        delay += plan.slow_delay_rounds(w as u64, candidate.lease_id);
+                    }
+                    if delay > 0 {
+                        report.delayed_tells += 1;
+                    }
                     pending.push(Delivery {
                         study: si,
                         lease_id: candidate.lease_id,
                         result,
-                        due_round: round + delay + 1,
+                        due_round: round + delay,
+                        worker: w,
                     });
+                    if plan.duplicate_tell(si as u64, candidate.lease_id) {
+                        report.duplicated_tells += 1;
+                        pending.push(Delivery {
+                            study: si,
+                            lease_id: candidate.lease_id,
+                            result,
+                            due_round: round + delay + 1,
+                            worker: w,
+                        });
+                    }
                 }
             }
         }
@@ -429,12 +589,15 @@ pub fn run_chaos(seed: u64, workers: usize, root: &Path) -> Result<ChaosOutcome,
                 continue;
             }
             let name = studies[delivery.study].name;
+            let worker_id = &worker_ids[delivery.worker];
             match server.tell(name, delivery.lease_id, &delivery.result) {
-                Ok(_) => {}
+                Ok(_) => server.note_worker_success(worker_id, now_s),
                 Err(ServerError::Core(Error::LeaseExpired { .. })) => {
                     // Delivered after its deadline passed and the lease
                     // was reclaimed: the typed rejection, state untouched.
+                    // The lateness is the worker's — its streak grows.
                     report.expired_tells += 1;
+                    server.note_worker_failure(worker_id, now_s);
                 }
                 Err(e) => return Err(e),
             }
@@ -453,6 +616,14 @@ pub fn run_chaos(seed: u64, workers: usize, root: &Path) -> Result<ChaosOutcome,
                 {
                     report.torn_journals += 1;
                 }
+                // Silent media corruption on top of the crash: flip a
+                // seeded bit somewhere in the journal body.
+                if profile == ChaosProfile::BitRot && plan.rot_journal(round, si as u64) {
+                    let (frac, bit) = plan.rot_target(round, si as u64);
+                    if rot_journal_body(root, st.name, frac, bit).map_err(ServerError::Core)? {
+                        report.rotted_journals += 1;
+                    }
+                }
                 // A crash inside an atomic snapshot write strands a stale
                 // temp file; recovery must sweep, never trust, it.
                 let (_, snapshot_path) = study_paths(root, st.name);
@@ -464,11 +635,37 @@ pub fn run_chaos(seed: u64, workers: usize, root: &Path) -> Result<ChaosOutcome,
             }
             server = StudyServer::new(config.clone())?;
             for st in &studies {
-                report.recovered_samples += server.open_study(st.name, chaos_setup(st))?;
+                match server.open_study(st.name, chaos_setup(st)) {
+                    Ok(n) => report.recovered_samples += n,
+                    Err(ServerError::Core(Error::Checkpoint(_) | Error::ResumeMismatch(_))) => {
+                        // Damage beyond the torn-tail window (bit-rot):
+                        // run exactly what an operator would — `fsck
+                        // --salvage` — then reopen. Salvage only discards
+                        // unverifiable suffixes, and replay reconverges to
+                        // the same bytes, so this must succeed.
+                        let fsck =
+                            crate::fsck::fsck_store(root, true).map_err(ServerError::Core)?;
+                        if !fsck.recoverable() {
+                            return Err(ServerError::Core(Error::Checkpoint(format!(
+                                "fsck could not salvage the store:\n{fsck}"
+                            ))));
+                        }
+                        report.salvaged_studies += 1;
+                        report.recovered_samples += server.open_study(st.name, chaos_setup(st))?;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
         }
     }
     report.rounds = round;
+    for st in &studies {
+        let (issued, superseded) = server.hedge_stats(st.name)?;
+        report.hedged_leases += issued;
+        report.superseded_leases += superseded;
+    }
+    let (_, _, quarantined, retired) = server.workers().census();
+    report.unhealthy_workers = quarantined + retired;
 
     // The verdict: every study's bytes against the uninterrupted reference.
     let mut mismatches = Vec::new();
@@ -486,6 +683,26 @@ pub fn run_chaos(seed: u64, workers: usize, root: &Path) -> Result<ChaosOutcome,
         }
     }
     Ok(ChaosOutcome { report, mismatches })
+}
+
+/// Picks the worker to carry a hedged duplicate: the first eligible
+/// worker that is not seeded-slow, falling back to the first eligible,
+/// falling back to worker 0 (delivery still races the original).
+fn hedge_worker(
+    plan: &ChaosPlan,
+    server: &StudyServer,
+    worker_ids: &[String],
+    profile: ChaosProfile,
+) -> usize {
+    let eligible: Vec<usize> = (0..worker_ids.len())
+        .filter(|w| server.workers().eligible(&worker_ids[*w]))
+        .collect();
+    if profile == ChaosProfile::SlowWorker {
+        if let Some(w) = eligible.iter().copied().find(|w| !plan.slow_worker(*w as u64)) {
+            return w;
+        }
+    }
+    eligible.first().copied().unwrap_or(0)
 }
 
 /// Writes one diff artifact per mismatching study under `dir` (created if

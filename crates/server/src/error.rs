@@ -36,6 +36,25 @@ pub enum ServerError {
         /// The configured bound that was hit.
         limit: usize,
     },
+    /// The tenant's token bucket ran dry: this study is calling `ask`/
+    /// `tell` faster than its admitted rate. Pure flow control — no state
+    /// changed; retry after `retry_after_s` of scheduler-clock time.
+    Backpressure {
+        /// The study whose request was refused.
+        study: String,
+        /// Scheduler-clock seconds until one token accrues.
+        retry_after_s: f64,
+    },
+    /// The study's circuit breaker is open after a run of consecutive
+    /// journal/tell failures (or a tenant quarantine): requests are
+    /// refused outright until the breaker's parole instant passes on the
+    /// scheduler clock.
+    CircuitOpen {
+        /// The study whose request was refused.
+        study: String,
+        /// Scheduler-clock instant the breaker half-opens again.
+        until_s: f64,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -57,6 +76,17 @@ impl fmt::Display for ServerError {
             } => write!(
                 f,
                 "overloaded: study {study:?} refused at {outstanding}/{limit} outstanding — tell results back or let leases expire, then retry"
+            ),
+            ServerError::Backpressure {
+                study,
+                retry_after_s,
+            } => write!(
+                f,
+                "backpressure: study {study:?} is over its admitted rate — retry in {retry_after_s:.0} virtual seconds"
+            ),
+            ServerError::CircuitOpen { study, until_s } => write!(
+                f,
+                "circuit open: study {study:?} tripped its breaker — refused until t={until_s:.0}s on the scheduler clock"
             ),
         }
     }

@@ -5,20 +5,24 @@
 //! using two files per study under the server root:
 //!
 //! * `<name>.journal` — an append-only write-ahead log. Line 1 is the
-//!   study's identity header (`H {…}`), then one line per record:
-//!   `E {…}` for a raw objective evaluation (the checkpoint codec's eval
-//!   form, keyed by eval seed) and `S {…}` for a committed sample
-//!   ([`hyperpower::golden::encode_sample`] bytes, verbatim). Appends
-//!   happen *before* the corresponding snapshot-sink update — the WAL
-//!   discipline — so the journal is never behind the snapshot.
+//!   study's identity header (`H <crc> {…}`), then one line per record:
+//!   `E <crc> {…}` for a raw objective evaluation (the checkpoint codec's
+//!   eval form, keyed by eval seed) and `S <crc> {…}` for a committed
+//!   sample ([`hyperpower::golden::encode_sample`] bytes, verbatim).
+//!   `<crc>` is the CRC32 of the payload as eight lowercase hex digits
+//!   ([`hyperpower::integrity`]): a flipped bit anywhere in a record is a
+//!   detected *corrupt frame*, not silently-wrong state. Legacy v1 lines
+//!   (payload immediately after the tag, no checksum) are still read.
+//!   Appends happen *before* the corresponding snapshot-sink update — the
+//!   WAL discipline — so the journal is never behind the snapshot.
 //! * `<name>.snapshot` — a complete [`hyperpower::checkpoint`] file
-//!   (schema `hyperpower-checkpoint-v1`), written atomically
-//!   (temp + rename) every `snapshot_every` commits by the PR 4
-//!   [`CheckpointSink`]. After each snapshot the journal **rotates**: it
-//!   is atomically rewritten to just its header line, because everything
-//!   it held is now inside the snapshot. The steady-state journal is
-//!   therefore short — the tail since the last snapshot — while the
-//!   snapshot bounds replay work.
+//!   (schema `hyperpower-checkpoint-v2`, CRC32-framed as a whole by the
+//!   checkpoint codec), written atomically (temp + rename) every
+//!   `snapshot_every` commits by the PR 4 [`CheckpointSink`]. After each
+//!   snapshot the journal **rotates**: it is atomically rewritten to just
+//!   its header line, because everything it held is now inside the
+//!   snapshot. The steady-state journal is therefore short — the tail
+//!   since the last snapshot — while the snapshot bounds replay work.
 //!
 //! # Crash windows, enumerated
 //!
@@ -52,7 +56,34 @@ use hyperpower::golden::{self, Value};
 use hyperpower::{Budget, Error, EvaluationResult, ObservationSink, Result, Sample};
 
 /// Wire schema marker of the journal header line.
-const JOURNAL_SCHEMA: &str = "hyperpower-study-journal-v1";
+const JOURNAL_SCHEMA: &str = "hyperpower-study-journal-v2";
+
+/// Frames a record payload for the wire: `<crc32 hex8> <payload>`.
+pub(crate) fn frame_payload(payload: &str) -> String {
+    format!("{} {payload}", hyperpower::integrity::crc32_hex(payload.as_bytes()))
+}
+
+/// Strips and verifies a record's integrity frame, returning the payload.
+/// Legacy v1 records carry no frame — their payload starts immediately
+/// with `{` — and pass through unverified (they predate the checksum).
+pub(crate) fn unframe_payload(rest: &str) -> Result<&str> {
+    if rest.starts_with('{') {
+        return Ok(rest);
+    }
+    let (token, payload) = rest.split_once(' ').ok_or_else(|| {
+        Error::Checkpoint(format!("corrupt frame: unterminated checksum token in {rest:?}"))
+    })?;
+    let expected = hyperpower::integrity::parse_crc32_hex(token).ok_or_else(|| {
+        Error::Checkpoint(format!("corrupt frame: malformed checksum token {token:?}"))
+    })?;
+    let actual = hyperpower::integrity::crc32(payload.as_bytes());
+    if actual != expected {
+        return Err(Error::Checkpoint(format!(
+            "corrupt frame: checksum mismatch (recorded {expected:08x}, computed {actual:08x})"
+        )));
+    }
+    Ok(payload)
+}
 
 /// The identity a study journal is bound to: the study's name plus the
 /// full run identity of the PR 4 checkpoint codec. Every trace-affecting
@@ -157,7 +188,7 @@ fn decode_eval_line(line: &str) -> Result<(u64, EvaluationResult)> {
 }
 
 /// The trace slot a journaled sample line occupies.
-fn sample_index(value: &Value) -> Result<usize> {
+pub(crate) fn sample_index(value: &Value) -> Result<usize> {
     let Value::Object(members) = value else {
         return Err(Error::Checkpoint(
             "journal sample line is not an object".into(),
@@ -225,7 +256,7 @@ impl StudyJournal {
         let (journal_path, snapshot_path) = study_paths(root, &header.name);
         std::fs::remove_file(journal_path.with_extension("journal-tmp")).ok();
         let header_line = encode_header_line(header);
-        std::fs::write(&journal_path, format!("H {header_line}\n"))
+        std::fs::write(&journal_path, format!("H {}\n", frame_payload(&header_line)))
             .map_err(|e| io_err("writing", &journal_path, e))?;
         let file = std::fs::OpenOptions::new()
             .append(true)
@@ -282,12 +313,14 @@ impl StudyJournal {
                 journal_path.display()
             )));
         };
-        let Some(header_line) = first.strip_prefix("H ") else {
+        let Some(header_rest) = first.strip_prefix("H ") else {
             return Err(Error::Checkpoint(format!(
                 "journal {} does not start with a header record",
                 journal_path.display()
             )));
         };
+        let header_line = unframe_payload(header_rest)
+            .map_err(|e| Error::Checkpoint(format!("journal {}: {e}", journal_path.display())))?;
         let mut evals = BTreeMap::new();
         let mut by_index: BTreeMap<usize, Value> = BTreeMap::new();
         if snapshot_path.exists() {
@@ -300,10 +333,16 @@ impl StudyJournal {
         }
         for line in lines {
             if let Some(rest) = line.strip_prefix("E ") {
-                let (seed, result) = decode_eval_line(rest)?;
+                let payload = unframe_payload(rest).map_err(|e| {
+                    Error::Checkpoint(format!("journal {}: {e}", journal_path.display()))
+                })?;
+                let (seed, result) = decode_eval_line(payload)?;
                 evals.insert(seed, result);
             } else if let Some(rest) = line.strip_prefix("S ") {
-                let value = golden::parse(rest)
+                let payload = unframe_payload(rest).map_err(|e| {
+                    Error::Checkpoint(format!("journal {}: {e}", journal_path.display()))
+                })?;
+                let value = golden::parse(payload)
                     .map_err(|e| Error::Checkpoint(format!("journal sample line: {e}")))?;
                 let index = sample_index(&value)?;
                 if let Some(existing) = by_index.get(&index) {
@@ -366,7 +405,7 @@ impl StudyJournal {
         // after it lands is discarding the journal body safe.
         self.sink.flush()?;
         let tmp = self.journal_path.with_extension("journal-tmp");
-        std::fs::write(&tmp, format!("H {}\n", self.header_line))
+        std::fs::write(&tmp, format!("H {}\n", frame_payload(&self.header_line)))
             .map_err(|e| io_err("writing", &tmp, e))?;
         std::fs::rename(&tmp, &self.journal_path)
             .map_err(|e| io_err("rotating", &self.journal_path, e))?;
@@ -381,7 +420,7 @@ impl StudyJournal {
 
     fn append(&mut self, tag: char, line: &str) -> Result<()> {
         self.file
-            .write_all(format!("{tag} {line}\n").as_bytes())
+            .write_all(format!("{tag} {}\n", frame_payload(line)).as_bytes())
             .map_err(|e| io_err("appending to", &self.journal_path, e))
     }
 }

@@ -17,8 +17,17 @@
 //!   then proves every study's final trace is byte-identical to an
 //!   uninterrupted run;
 //! * graceful degradation — bounded per-study and server-wide outstanding
-//!   work, shed-lowest-priority backpressure, and typed
-//!   [`ServerError`] refusals instead of silent stalls.
+//!   work, shed-lowest-priority backpressure, per-tenant token-bucket
+//!   admission and circuit breakers, and typed [`ServerError`] refusals
+//!   instead of silent stalls;
+//! * [`health`] — a deterministic worker/tenant supervision state machine
+//!   (`Healthy → Suspect → Quarantined → Retired`) gating lease dispatch
+//!   and driving hedged re-dispatch of overdue candidates;
+//! * [`fsck`] — an offline integrity scanner over a store directory:
+//!   every journal record and snapshot is CRC32-framed, and
+//!   [`fsck_store`] reports (and optionally salvages, by truncating to
+//!   the last valid frame) corrupt frames, torn tails, stale temp files
+//!   and header mismatches.
 //!
 //! Nothing the server does can change a committed trace byte: run
 //! identity lives entirely in each study's [`hyperpower::StudySpec`]
@@ -30,12 +39,17 @@
 
 pub mod chaos;
 mod error;
+pub mod fsck;
+pub mod health;
 pub mod journal;
 mod server;
 
 pub use chaos::{
-    run_chaos, write_mismatch_artifacts, ChaosOutcome, ChaosPlan, ChaosReport, SyntheticObjective,
+    run_chaos, run_chaos_with, write_mismatch_artifacts, ChaosOutcome, ChaosPlan, ChaosProfile,
+    ChaosReport, SyntheticObjective,
 };
 pub use error::ServerError;
+pub use fsck::{fsck_store, FsckReport, StudyFsck};
+pub use health::{Fleet, HealthPolicy, HealthState};
 pub use journal::{JournalHeader, RecoveredStudy, StudyJournal};
-pub use server::{ServerConfig, StudyServer, StudySetup};
+pub use server::{ServerConfig, StudyServer, StudySetup, TickReport};

@@ -1,31 +1,43 @@
 //! Chaos matrix: runs the deterministic chaos harness across an
-//! env-selected {seed} × {workers} cell and fails loudly — with per-study
-//! trace-diff artifacts under `target/chaos-diff/` — if any study's
-//! post-chaos trace drifts from its uninterrupted reference by a single
-//! byte.
+//! env-selected {seed} × {workers} × {profile} cell and fails loudly —
+//! with per-study trace-diff artifacts under `target/chaos-diff/` — if
+//! any study's post-chaos trace drifts from its uninterrupted reference
+//! by a single byte. After every cell, `fsck` scans the surviving store
+//! and must find it clean.
 //!
 //! CI fans this out as a job matrix:
 //!
 //! ```sh
 //! HYPERPOWER_CHAOS_SEED=3 HYPERPOWER_WORKERS=4 \
+//! HYPERPOWER_CHAOS_PROFILE=bit-rot \
 //!     cargo test -q -p hyperpower-server --test chaos_matrix
 //! ```
 //!
-//! Locally (no env vars) it sweeps a small default grid so `cargo test`
-//! alone still exercises kills, torn journals, duplicated and delayed
-//! tells, and mid-run crash/recovery cycles.
+//! Locally (no env vars) it sweeps a small default grid over all three
+//! profiles so `cargo test` alone still exercises kills, torn journals,
+//! duplicated and delayed tells, crash/recovery cycles, bit-rot salvage
+//! and hedged re-dispatch.
 
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use std::path::PathBuf;
 
-use hyperpower_server::{run_chaos, write_mismatch_artifacts};
+use hyperpower_server::{
+    fsck_store, run_chaos_with, write_mismatch_artifacts, ChaosProfile,
+};
 
 fn env_u64(name: &str) -> Option<u64> {
     std::env::var(name).ok().map(|raw| {
         raw.trim()
             .parse::<u64>()
             .unwrap_or_else(|e| panic!("{name}={raw:?} is not a u64: {e}"))
+    })
+}
+
+fn env_profile() -> Option<ChaosProfile> {
+    std::env::var("HYPERPOWER_CHAOS_PROFILE").ok().map(|raw| {
+        ChaosProfile::parse(raw.trim())
+            .unwrap_or_else(|| panic!("HYPERPOWER_CHAOS_PROFILE={raw:?} is not a profile"))
     })
 }
 
@@ -45,59 +57,86 @@ fn chaos_matrix_traces_are_byte_identical() {
         Some(w) => vec![w.max(1) as usize],
         None => vec![1, 4],
     };
+    let profiles: Vec<ChaosProfile> = match env_profile() {
+        Some(profile) => vec![profile],
+        None => vec![
+            ChaosProfile::Baseline,
+            ChaosProfile::BitRot,
+            ChaosProfile::SlowWorker,
+        ],
+    };
 
     let artifact_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/chaos-diff");
+    let fsck_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/chaos-fsck");
     let mut failures = Vec::new();
-    for &seed in &seeds {
-        for &workers in &workers_grid {
-            let label = format!("seed{seed}-w{workers}");
-            let root = scratch_root(&label);
-            let outcome =
-                run_chaos(seed, workers, &root).unwrap_or_else(|e| panic!("chaos {label}: {e}"));
-            let r = outcome.report;
-            eprintln!(
-                "chaos {label}: rounds={} crashes={} torn_journals={} recovered_samples={} \
-                 dropped={} duplicated={} delayed={} expired={} reclaimed={} refusals={}",
-                r.rounds,
-                r.crashes,
-                r.torn_journals,
-                r.recovered_samples,
-                r.dropped_tells,
-                r.duplicated_tells,
-                r.delayed_tells,
-                r.expired_tells,
-                r.reclaimed_leases,
-                r.overload_refusals,
-            );
-            if !outcome.mismatches.is_empty() {
-                let paths = write_mismatch_artifacts(&outcome, &artifact_dir, &label)
-                    .expect("write chaos diff artifacts");
-                for m in &outcome.mismatches {
-                    failures.push(format!(
-                        "{label}: study {:?} diverged ({} field diffs)",
-                        m.study,
-                        m.diffs.len()
-                    ));
+    for &profile in &profiles {
+        for &seed in &seeds {
+            for &workers in &workers_grid {
+                let label = format!("{}-seed{seed}-w{workers}", profile.name());
+                let root = scratch_root(&label);
+                let outcome = run_chaos_with(seed, workers, &root, profile)
+                    .unwrap_or_else(|e| panic!("chaos {label}: {e}"));
+                let r = outcome.report;
+                eprintln!(
+                    "chaos {label}: rounds={} crashes={} torn_journals={} recovered_samples={} \
+                     dropped={} duplicated={} delayed={} expired={} reclaimed={} refusals={} \
+                     hedged={} superseded={} rotted={} salvaged={} unhealthy_workers={}",
+                    r.rounds,
+                    r.crashes,
+                    r.torn_journals,
+                    r.recovered_samples,
+                    r.dropped_tells,
+                    r.duplicated_tells,
+                    r.delayed_tells,
+                    r.expired_tells,
+                    r.reclaimed_leases,
+                    r.overload_refusals,
+                    r.hedged_leases,
+                    r.superseded_leases,
+                    r.rotted_journals,
+                    r.salvaged_studies,
+                    r.unhealthy_workers,
+                );
+                // The surviving store must scan clean: every frame
+                // checksum-valid, no stale temps left behind.
+                let fsck = fsck_store(&root, false).expect("fsck scan");
+                if !fsck.clean() {
+                    std::fs::create_dir_all(&fsck_dir).expect("fsck artifact dir");
+                    let path = fsck_dir.join(format!("{label}.fsck"));
+                    std::fs::write(&path, format!("{fsck}\n")).expect("write fsck report");
+                    failures.push(format!("{label}: post-chaos store is not clean:\n{fsck}"));
                 }
-                eprintln!("chaos {label}: wrote {} diff artifact(s)", paths.len());
+                if !outcome.mismatches.is_empty() {
+                    let paths = write_mismatch_artifacts(&outcome, &artifact_dir, &label)
+                        .expect("write chaos diff artifacts");
+                    for m in &outcome.mismatches {
+                        failures.push(format!(
+                            "{label}: study {:?} diverged ({} field diffs)",
+                            m.study,
+                            m.diffs.len()
+                        ));
+                    }
+                    eprintln!("chaos {label}: wrote {} diff artifact(s)", paths.len());
+                }
+                std::fs::remove_dir_all(&root).ok();
             }
-            std::fs::remove_dir_all(&root).ok();
         }
     }
     assert!(
         failures.is_empty(),
         "chaos traces diverged from uninterrupted references \
-         (diff artifacts under target/chaos-diff/):\n{}",
+         (diff artifacts under target/chaos-diff/, fsck reports under target/chaos-fsck/):\n{}",
         failures.join("\n")
     );
 }
 
 /// The harness itself must be deterministic: the same cell run twice
-/// yields the identical report, not merely identical traces.
+/// yields the identical report, not merely identical traces. Exercised
+/// on the bit-rot profile so the salvage path is covered too.
 #[test]
 fn chaos_harness_is_deterministic() {
-    let a = run_chaos(7, 2, &scratch_root("det-a")).expect("first run");
-    let b = run_chaos(7, 2, &scratch_root("det-b")).expect("second run");
+    let a = run_chaos_with(7, 2, &scratch_root("det-a"), ChaosProfile::BitRot).expect("first run");
+    let b = run_chaos_with(7, 2, &scratch_root("det-b"), ChaosProfile::BitRot).expect("second run");
     assert_eq!(format!("{:?}", a.report), format!("{:?}", b.report));
     assert!(a.mismatches.is_empty(), "seed 7 must pass");
     assert!(b.mismatches.is_empty(), "seed 7 must pass");

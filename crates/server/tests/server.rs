@@ -27,7 +27,10 @@ use hyperpower::{
     Trace,
 };
 use hyperpower_gpu_sim::{DeviceProfile, FaultProfile, Gpu, TrainingCostModel};
-use hyperpower_server::{ServerConfig, ServerError, StudyServer, StudySetup, SyntheticObjective};
+use hyperpower_server::{
+    fsck_store, HealthState, ServerConfig, ServerError, StudyServer, StudySetup,
+    SyntheticObjective,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -545,8 +548,470 @@ fn snapshot_rotation_keeps_the_journal_to_its_header() {
         1,
         "a finished study's journal rotates down to its header line"
     );
-    assert!(journal.starts_with("H {"), "{journal}");
+    // v2 framing: `H <crc32 hex8> {payload}`.
+    assert!(journal.starts_with("H "), "{journal}");
+    let rest = journal.trim_start_matches("H ");
+    let (crc, payload) = rest.split_once(' ').expect("framed header");
+    assert_eq!(
+        hyperpower::integrity::parse_crc32_hex(crc),
+        Some(hyperpower::integrity::crc32(payload.trim_end().as_bytes())),
+        "header frame checksum verifies"
+    );
+    assert!(payload.starts_with('{'), "{journal}");
     let snapshot =
         hyperpower::checkpoint::RunCheckpoint::load(&snapshot_path).expect("snapshot parses");
     assert_eq!(snapshot.samples.len(), committed);
+}
+
+// ---------------------------------------------------------------------------
+// Supervision: quarantine gating and the shed tie-break
+// ---------------------------------------------------------------------------
+
+/// Pins the documented shed order: victims are chosen by `(priority,
+/// name)` — lowest priority first, lexicographically smallest name
+/// breaking ties — so equal-priority studies shed deterministically.
+#[test]
+fn shed_victim_tie_break_is_priority_then_name() {
+    let root = scratch_root("tiebreak");
+    let mut server = StudyServer::new(ServerConfig {
+        root,
+        max_outstanding_per_study: 8,
+        max_outstanding_total: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server");
+    server
+        .create_study("bb", setup(SEED ^ 2, Budget::Evaluations(6), 1))
+        .expect("create bb");
+    server
+        .create_study("aa", setup(SEED ^ 1, Budget::Evaluations(6), 1))
+        .expect("create aa");
+    server
+        .create_study("hi", setup(SEED, Budget::Evaluations(6), 5))
+        .expect("create hi");
+
+    let bb = server.ask("bb", 1, 0.0).expect("bb ask");
+    let aa = server.ask("aa", 1, 0.0).expect("aa ask");
+    assert_eq!(server.outstanding_total(), 2);
+
+    // At the global bound, "aa" and "bb" tie on priority: the name
+    // breaks the tie, so "aa" is shed and "bb" keeps its lease.
+    let hi = server.ask("hi", 1, 0.0).expect("hi ask");
+    assert_eq!(hi.len(), 1);
+    match server.tell("aa", aa[0].lease_id, &eval(&aa[0])) {
+        Err(ServerError::Core(Error::LeaseExpired { .. })) => {}
+        other => panic!("aa must have been shed, got {other:?}"),
+    }
+    match server.tell("bb", bb[0].lease_id, &eval(&bb[0])) {
+        Ok(TellOutcome::Accepted { .. }) => {}
+        other => panic!("bb must have survived the tie-break, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_quarantined_worker_never_receives_a_fresh_lease() {
+    let root = scratch_root("quarantine");
+    let mut server = StudyServer::new(ServerConfig {
+        root,
+        supervision_seed: 7,
+        ..ServerConfig::default()
+    })
+    .expect("server");
+    server
+        .create_study("q", setup(SEED, Budget::Evaluations(6), 1))
+        .expect("create");
+
+    // A healthy worker gets work.
+    let batch = server.ask_worker("q", "w0", 1, 60.0).expect("w0 ask");
+    assert_eq!(batch.len(), 1);
+    server
+        .tell("q", batch[0].lease_id, &eval(&batch[0]))
+        .expect("tell");
+
+    // Fail w1 until supervision quarantines it (probation threshold plus
+    // a bounded seeded slack).
+    server.worker_heartbeat("w1", 60.0);
+    let mut state = HealthState::Healthy;
+    for _ in 0..16 {
+        state = server.note_worker_failure("w1", 60.0);
+        if state == HealthState::Quarantined {
+            break;
+        }
+    }
+    assert_eq!(state, HealthState::Quarantined);
+
+    // Quarantined: an empty batch, not an error — and no fresh lease.
+    let refused = server.ask_worker("q", "w1", 1, 120.0).expect("w1 ask");
+    assert!(refused.is_empty(), "a quarantined worker got a lease");
+    assert_eq!(server.worker_state("w1"), Some(HealthState::Quarantined));
+
+    // A healthy sibling still receives the candidate.
+    let sibling = server.ask_worker("q", "w2", 1, 120.0).expect("w2 ask");
+    assert_eq!(sibling.len(), 1);
+    server
+        .tell("q", sibling[0].lease_id, &eval(&sibling[0]))
+        .expect("tell sibling");
+
+    // Past its seeded parole instant a sweep releases the worker.
+    let parole = server.workers().parole_until("w1").expect("parole set");
+    server.tick(parole + 1.0);
+    assert_eq!(server.worker_state("w1"), Some(HealthState::Healthy));
+    let back = server
+        .ask_worker("q", "w1", 1, parole + 2.0)
+        .expect("w1 parole ask");
+    assert_eq!(back.len(), 1);
+    server
+        .tell("q", back[0].lease_id, &eval(&back[0]))
+        .expect("tell paroled");
+
+    // Supervision is execution-only: the served bytes are the reference.
+    drive(&mut server, "q", 2);
+    assert_eq!(
+        encode_trace(&reference(SEED, Budget::Evaluations(6))),
+        encode_trace(&server.trace("q").expect("trace"))
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Hedged re-dispatch
+// ---------------------------------------------------------------------------
+
+/// Hedge-friendly config: leases effectively never expire (isolating the
+/// hedge race from reclaim) and deadlines are jitter-free.
+fn hedge_config(root: PathBuf, hedge_after_s: f64) -> ServerConfig {
+    ServerConfig {
+        root,
+        lease_policy: RetryPolicy {
+            max_retries: 0,
+            backoff_base_s: 1.0e6,
+            backoff_factor: 2.0,
+            backoff_jitter_frac: 0.0,
+        },
+        hedge_after_s,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn hedged_duplicate_commits_once_and_is_trace_neutral() {
+    let root = scratch_root("hedge-unit");
+    let mut server = StudyServer::new(hedge_config(root, 100.0)).expect("server");
+    server
+        .create_study("h", setup(SEED, Budget::Evaluations(6), 1))
+        .expect("create");
+
+    let batch = server.ask("h", 1, 60.0).expect("ask");
+    assert_eq!(batch.len(), 1);
+    let original = &batch[0];
+
+    // Before the hedge deadline (issue + 100 s) the tick hedges nothing.
+    let report = server.tick_hedge(110.0);
+    assert!(report.hedged.is_empty(), "hedged before the deadline");
+
+    // Past it, the candidate is re-issued: same query, same eval_seed
+    // (fixed at planning time — the trace-neutrality mechanism), a fresh
+    // lease.
+    let report = server.tick_hedge(200.0);
+    assert_eq!(report.hedged.len(), 1);
+    let (study, hedged) = &report.hedged[0];
+    assert_eq!(study, "h");
+    assert_eq!(hedged.query, original.query);
+    assert_eq!(hedged.eval_seed, original.eval_seed);
+    assert_ne!(hedged.lease_id, original.lease_id);
+
+    // An item is hedged at most once while both leases are out.
+    assert!(server.tick_hedge(300.0).hedged.is_empty());
+
+    // First fulfilment commits; the loser resolves as a duplicate.
+    match server.tell("h", hedged.lease_id, &eval(hedged)).expect("tell") {
+        TellOutcome::Accepted { .. } => {}
+        other => panic!("hedge winner must commit, got {other:?}"),
+    }
+    match server
+        .tell("h", original.lease_id, &eval(original))
+        .expect("tell loser")
+    {
+        TellOutcome::Duplicate => {}
+        other => panic!("hedge loser must be a duplicate, got {other:?}"),
+    }
+    assert_eq!(server.hedge_stats("h").expect("stats"), (1, 1));
+
+    drive(&mut server, "h", 2);
+    assert_eq!(
+        encode_trace(&reference(SEED, Budget::Evaluations(6))),
+        encode_trace(&server.trace("h").expect("trace"))
+    );
+}
+
+/// Serves a study under hedging while stalling a seeded subset of
+/// deliveries long enough for `tick_hedge` to race a duplicate against
+/// them; stalled originals are told late and must resolve as duplicates
+/// (or commit first — either order is trace-neutral).
+fn drive_hedged(server: &mut StudyServer, name: &str, width: usize, schedule_seed: u64) {
+    let mut rng = StdRng::seed_from_u64(schedule_seed);
+    let mut draw = move || rng.random_range(0.0..1.0);
+    let mut now = 0.0;
+    let mut stalled: Vec<(hyperpower::LeasedCandidate, u32)> = Vec::new();
+    for round in 0..10_000u32 {
+        now += 60.0;
+        let report = server.tick_hedge(now);
+        for (study, c) in report.hedged {
+            server.tell(&study, c.lease_id, &eval(&c)).expect("hedged tell");
+        }
+        let mut due = Vec::new();
+        stalled.retain(|(c, release)| {
+            if *release <= round {
+                due.push(c.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for c in due {
+            // Either the hedge already committed this candidate
+            // (Duplicate), the run outlived it (Discarded), or the stall
+            // released before the hedge fired (Accepted): all are legal.
+            server.tell(name, c.lease_id, &eval(&c)).expect("late tell");
+        }
+        if server.is_finished(name).expect("is_finished") {
+            if stalled.is_empty() {
+                return;
+            }
+            continue;
+        }
+        let batch = match server.ask(name, width, now) {
+            Ok(batch) => batch,
+            Err(ServerError::Overloaded { .. }) => continue,
+            Err(e) => panic!("ask: {e}"),
+        };
+        for c in batch {
+            if draw() < 0.4 {
+                let delay = 3 + (draw() * 4.0) as u32;
+                stalled.push((c, round + delay));
+            } else {
+                server.tell(name, c.lease_id, &eval(&c)).expect("tell");
+            }
+        }
+    }
+    panic!("drive_hedged wedged: study {name} never finished");
+}
+
+proptest! {
+    /// Any (hedge deadline, worker width, schedule seed) yields committed
+    /// bytes identical to the unhedged embedded-loop reference, and every
+    /// hedge the server issued was settled by a single commit.
+    #[test]
+    fn hedged_redispatch_is_trace_neutral(
+        schedule_seed in 0u64..1_000_000,
+        hedge_after in prop::sample::select(vec![90.0f64, 120.0, 240.0]),
+        width in 1usize..4,
+    ) {
+        let expected = encode_trace(&reference(SEED, Budget::Evaluations(6)));
+        let root = scratch_root(&format!("hedge-{schedule_seed}-{width}"));
+        let mut server = StudyServer::new(hedge_config(root.clone(), hedge_after))
+            .expect("server");
+        server
+            .create_study("hp", setup(SEED, Budget::Evaluations(6), 1))
+            .expect("create");
+        drive_hedged(&mut server, "hp", width, schedule_seed);
+        let actual = encode_trace(&server.trace("hp").expect("trace"));
+        prop_assert_eq!(expected, actual);
+        let (issued, superseded) = server.hedge_stats("hp").expect("stats");
+        prop_assert_eq!(issued, superseded, "every hedge race settles as one commit");
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tenant backpressure: token bucket and circuit breaker
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sustained_overload_returns_only_typed_refusals() {
+    let expected = encode_trace(&reference(SEED, Budget::Evaluations(6)));
+    let root = scratch_root("soak");
+    let mut server = StudyServer::new(ServerConfig {
+        root,
+        max_outstanding_per_study: 2,
+        tenant_rate_per_s: 0.05,
+        tenant_burst: 2.0,
+        ..ServerConfig::default()
+    })
+    .expect("server");
+    server
+        .create_study("soak", setup(SEED, Budget::Evaluations(6), 1))
+        .expect("create");
+
+    // Hammer the tenant at 0.2 admissions/s against a 0.05/s refill:
+    // most calls must be refused, every refusal must be typed, and the
+    // study must still finish with the reference bytes.
+    let mut now = 0.0;
+    let mut refusals = 0usize;
+    let mut pending: Vec<(u64, EvaluationResult)> = Vec::new();
+    for _ in 0..4_000 {
+        now += 5.0;
+        // Advance the scheduler clock (tells are charged at its
+        // high-water mark) and let overdue leases reclaim, as any real
+        // serving loop would.
+        server.tick(now);
+        pending.retain(|(lease_id, result)| match server.tell("soak", *lease_id, result) {
+            Ok(_) => false,
+            Err(ServerError::Backpressure { retry_after_s, .. }) => {
+                assert!(retry_after_s.is_finite() && retry_after_s > 0.0);
+                refusals += 1;
+                true
+            }
+            // A starved tell can outlive its lease; the candidate goes
+            // back to the queue and a later ask re-issues it.
+            Err(ServerError::Core(Error::LeaseExpired { .. })) => false,
+            Err(e) => panic!("tell refused untypedly: {e}"),
+        });
+        if server.is_finished("soak").expect("is_finished") {
+            if pending.is_empty() {
+                break;
+            }
+            continue;
+        }
+        if !pending.is_empty() {
+            // Don't let fresh asks burn the trickle of tokens the
+            // stalled tells are waiting on.
+            continue;
+        }
+        match server.ask("soak", 4, now) {
+            Ok(batch) => {
+                for c in batch {
+                    pending.push((c.lease_id, eval(&c)));
+                }
+            }
+            Err(ServerError::Backpressure { retry_after_s, .. }) => {
+                assert!(retry_after_s.is_finite() && retry_after_s > 0.0);
+                refusals += 1;
+            }
+            Err(ServerError::Overloaded { .. }) => refusals += 1,
+            Err(e) => panic!("ask refused untypedly: {e}"),
+        }
+    }
+    assert!(refusals > 0, "the soak never saw backpressure");
+    assert!(server.is_finished("soak").expect("is_finished"));
+    assert!(pending.is_empty(), "every result was eventually ingested");
+    assert_eq!(
+        expected,
+        encode_trace(&server.trace("soak").expect("trace"))
+    );
+}
+
+#[test]
+fn breaker_opens_after_sustained_journal_failures() {
+    let root = scratch_root("breaker");
+    let mut server = StudyServer::new(ServerConfig {
+        root: root.clone(),
+        // Snapshot on every commit so tells hit the filesystem each time.
+        snapshot_every_commits: 1,
+        breaker_threshold: 3,
+        ..ServerConfig::default()
+    })
+    .expect("server");
+    server
+        .create_study("br", setup(SEED, Budget::Evaluations(6), 1))
+        .expect("create");
+    let batch = server.ask("br", 1, 60.0).expect("ask");
+    for c in batch {
+        server.tell("br", c.lease_id, &eval(&c)).expect("tell");
+    }
+
+    // Yank the store out from under the server: every snapshot rotation
+    // now fails, each failed tell extends the tenant's breaker streak,
+    // and within the seeded threshold the circuit opens.
+    std::fs::remove_dir_all(&root).expect("yank store");
+    let mut saw_open = false;
+    for i in 0..20u32 {
+        let now = 120.0 + f64::from(i);
+        match server.ask("br", 1, now) {
+            Ok(batch) => {
+                for c in batch {
+                    match server.tell("br", c.lease_id, &eval(&c)) {
+                        Err(ServerError::Core(_)) => {} // streak grows
+                        Err(ServerError::CircuitOpen { .. }) => {}
+                        Ok(_) => {}
+                        Err(e) => panic!("unexpected tell error: {e}"),
+                    }
+                }
+            }
+            Err(ServerError::CircuitOpen { study, until_s }) => {
+                assert_eq!(study, "br");
+                assert!(until_s > now, "parole must be in the future");
+                saw_open = true;
+                break;
+            }
+            Err(ServerError::Core(_)) => {} // journal failure: streak grows
+            Err(e) => panic!("unexpected ask error: {e}"),
+        }
+    }
+    assert!(saw_open, "the breaker never opened");
+    assert_eq!(server.tenant_state("br"), Some(HealthState::Quarantined));
+}
+
+// ---------------------------------------------------------------------------
+// fsck: scan and salvage
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fsck_salvages_a_rotted_journal_back_to_replayable_bytes() {
+    let expected = encode_trace(&reference(SEED, Budget::Evaluations(6)));
+    let root = scratch_root("fsck-salvage");
+    let config = ServerConfig {
+        root: root.clone(),
+        // No mid-run rotation: the journal keeps every record, so the
+        // bit-flip below lands in live history.
+        snapshot_every_commits: 100,
+        ..ServerConfig::default()
+    };
+    let mut server = StudyServer::new(config.clone()).expect("server");
+    server
+        .create_study("rotted", setup(SEED, Budget::Evaluations(6), 1))
+        .expect("create");
+    let mut now = 0.0;
+    for _ in 0..3 {
+        now += 60.0;
+        for c in server.ask("rotted", 1, now).expect("ask") {
+            server.tell("rotted", c.lease_id, &eval(&c)).expect("tell");
+        }
+    }
+    drop(server);
+
+    // Bit-rot one byte of the first record after the header, and strand
+    // a half-written temp file next to it.
+    let (journal_path, _) = hyperpower_server::journal::study_paths(&root, "rotted");
+    let mut bytes = std::fs::read(&journal_path).expect("journal bytes");
+    let header_end = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .expect("header line");
+    bytes[header_end + 20] ^= 0x01;
+    std::fs::write(&journal_path, &bytes).expect("rot journal");
+    std::fs::write(journal_path.with_extension("journal-tmp"), "half-written").expect("tmp");
+
+    // A plain scan reports the damage without touching anything.
+    let scan = fsck_store(&root, false).expect("scan");
+    assert!(!scan.clean(), "the rot must be detected:\n{scan}");
+    assert!(scan.recoverable(), "a torn suffix is salvageable:\n{scan}");
+    assert_eq!(std::fs::read(&journal_path).expect("journal"), bytes);
+
+    // Salvage truncates to the last valid frame and sweeps the temp.
+    let salvaged = fsck_store(&root, true).expect("salvage");
+    assert!(salvaged.salvaged, "salvage must report repairs:\n{salvaged}");
+    assert!(salvaged.recoverable());
+    let rescan = fsck_store(&root, false).expect("rescan");
+    assert!(rescan.clean(), "the salvaged store must scan clean:\n{rescan}");
+
+    // Reopen (replaying the salvaged prefix) and finish: byte-identical.
+    let mut server = StudyServer::new(config).expect("server 2");
+    server
+        .open_study("rotted", setup(SEED, Budget::Evaluations(6), 1))
+        .expect("open salvaged");
+    drive(&mut server, "rotted", 2);
+    assert_eq!(
+        expected,
+        encode_trace(&server.trace("rotted").expect("trace"))
+    );
 }
